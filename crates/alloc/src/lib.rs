@@ -1,0 +1,28 @@
+//! # gvf-alloc — device object allocators
+//!
+//! The allocation substrate for the `gvf` reproduction of *"Judging a
+//! Type by Its Pointer"* (ASPLOS 2021):
+//!
+//! - [`CudaHeapAllocator`] models the default CUDA device heap the paper
+//!   uses as its baseline: program-order placement that interleaves types
+//!   plus per-allocation padding (§8.2);
+//! - [`SharedOa`] is the paper's type-based **Shared Object Allocator**
+//!   (§4): contiguous per-type regions sized in object counts, chunk
+//!   doubling, merging of adjacent chunks, and the *virtual range table*
+//!   that COAL's lookup walks.
+//!
+//! TypePointer's pointer tagging is applied on top of either allocator by
+//! `gvf-core`, which owns the vTable layout and therefore knows each
+//! type's tag value — matching the paper's claim that TypePointer is
+//! allocator-independent (§6.1).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cuda;
+mod sharedoa;
+mod traits;
+
+pub use cuda::CudaHeapAllocator;
+pub use sharedoa::SharedOa;
+pub use traits::{AllocStats, AllocatorKind, DeviceAllocator, TypeKey, TypeRange};

@@ -1,0 +1,335 @@
+//! SharedOA — the paper's type-based shared object allocator (§4).
+
+use crate::traits::{AllocStats, AllocatorKind, DeviceAllocator, TypeKey, TypeRange};
+use gvf_mem::{DeviceMemory, VirtAddr};
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+struct Region {
+    base: VirtAddr,
+    capacity_objs: u64,
+    used_objs: u64,
+}
+
+#[derive(Clone, Debug)]
+struct TypeState {
+    obj_size: u64,
+    regions: Vec<Region>,
+    next_region_objs: u64,
+    /// Next free byte inside the type's current VA arena.
+    arena_next: u64,
+    /// One past the arena's last byte.
+    arena_end: u64,
+}
+
+/// The type-based **Shared Object Allocator**.
+///
+/// SharedOA dedicates contiguous chunks of the unified CPU–GPU address
+/// space to each object type and tracks them in a *virtual range table*
+/// (paper Fig. 3). Region sizing follows §4/§5:
+///
+/// - regions are sized in **object counts**, not bytes, so larger objects
+///   get proportionally larger chunks;
+/// - the first region of a type holds
+///   [`initial_chunk_objs`](Self::initial_chunk_objs) objects (default
+///   4096, the paper's "4K objects");
+/// - when a region fills, the next one **doubles** in capacity;
+/// - a new region that starts exactly where the previous region of the
+///   same type ends is **merged** into it, keeping the range table small.
+///
+/// To make merging effective, each type carves its chunks out of a large
+/// per-type **virtual-address arena** (virtual space is plentiful in a
+/// 49-bit address space and costs nothing until touched, thanks to demand
+/// paging). Chunks of one type are therefore almost always contiguous and
+/// collapse into a single range-table entry, which is what keeps COAL's
+/// lookup tree shallow. Only *committed* chunk bytes count as reserved in
+/// the fragmentation statistics (Fig. 10b), not arena address space.
+///
+/// Objects within a region are packed at their natural size — SharedOA
+/// has no internal fragmentation (§8.2) — and
+/// [`AllocStats::external_fragmentation`] reports the Fig. 10b metric.
+///
+/// ```
+/// use gvf_alloc::{DeviceAllocator, SharedOa, TypeKey};
+/// use gvf_mem::DeviceMemory;
+///
+/// let mut mem = DeviceMemory::with_capacity(1 << 24);
+/// let mut soa = SharedOa::new();
+/// soa.register_type(TypeKey(0), 48);
+/// let a = soa.alloc(&mut mem, TypeKey(0));
+/// let b = soa.alloc(&mut mem, TypeKey(0));
+/// assert_eq!(b.canonical() - a.canonical(), 48); // same-type objects pack
+/// ```
+#[derive(Debug)]
+pub struct SharedOa {
+    types: HashMap<TypeKey, TypeState>,
+    initial_chunk_objs: u64,
+    merges: u64,
+}
+
+impl SharedOa {
+    /// Default number of objects in a type's first region (§4: "a small
+    /// region size (i.e. 4K objects)").
+    pub const DEFAULT_INITIAL_CHUNK_OBJS: u64 = 4096;
+
+    /// Creates a SharedOA with the default initial chunk size.
+    pub fn new() -> Self {
+        Self::with_initial_chunk(Self::DEFAULT_INITIAL_CHUNK_OBJS)
+    }
+
+    /// Creates a SharedOA whose first region per type holds
+    /// `initial_chunk_objs` objects — the knob swept in Fig. 10.
+    ///
+    /// # Panics
+    /// Panics if `initial_chunk_objs` is zero.
+    pub fn with_initial_chunk(initial_chunk_objs: u64) -> Self {
+        assert!(initial_chunk_objs > 0, "initial chunk must hold at least one object");
+        SharedOa { types: HashMap::new(), initial_chunk_objs, merges: 0 }
+    }
+
+    /// The configured initial chunk size, in objects.
+    pub fn initial_chunk_objs(&self) -> u64 {
+        self.initial_chunk_objs
+    }
+
+    /// How many times adjacent same-type regions were merged.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Looks up which type owns `addr`, if any (host-side use; the
+    /// GPU-side equivalent is COAL's instrumented lookup in `gvf-core`).
+    pub fn type_of(&self, addr: VirtAddr) -> Option<TypeKey> {
+        let a = addr.canonical();
+        for (&ty, st) in &self.types {
+            for r in &st.regions {
+                let base = r.base.canonical();
+                if a >= base && a < base + r.used_objs * st.obj_size {
+                    return Some(ty);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Default for SharedOa {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeviceAllocator for SharedOa {
+    fn register_type(&mut self, ty: TypeKey, obj_size: u64) {
+        assert!(obj_size > 0, "zero-sized object type");
+        let initial = self.initial_chunk_objs;
+        let st = self.types.entry(ty).or_insert_with(|| TypeState {
+            obj_size,
+            regions: Vec::new(),
+            next_region_objs: initial,
+            arena_next: 0,
+            arena_end: 0,
+        });
+        assert_eq!(st.obj_size, obj_size, "{ty} re-registered with a different size");
+    }
+
+    fn alloc(&mut self, mem: &mut DeviceMemory, ty: TypeKey) -> VirtAddr {
+        let st = self.types.get_mut(&ty).unwrap_or_else(|| panic!("{ty} not registered"));
+        let need_new = match st.regions.last() {
+            Some(r) => r.used_objs == r.capacity_objs,
+            None => true,
+        };
+        if need_new {
+            let capacity = st.next_region_objs;
+            st.next_region_objs = capacity.saturating_mul(2);
+            let chunk_bytes = capacity * st.obj_size;
+            // Carve the chunk from the type's VA arena; grow the arena
+            // when exhausted. Generous arenas keep same-type chunks
+            // contiguous so they merge (§4).
+            if st.arena_next + chunk_bytes > st.arena_end {
+                let arena_bytes = (chunk_bytes * 256).max(1 << 22);
+                let base = mem.reserve(arena_bytes, 256);
+                st.arena_next = base.canonical();
+                st.arena_end = st.arena_next + arena_bytes;
+            }
+            let base = VirtAddr::new(st.arena_next);
+            st.arena_next += chunk_bytes;
+            match st.regions.last_mut() {
+                Some(prev)
+                    if prev.base.canonical() + prev.capacity_objs * st.obj_size
+                        == base.canonical() =>
+                {
+                    prev.capacity_objs += capacity;
+                    self.merges += 1;
+                }
+                _ => st.regions.push(Region { base, capacity_objs: capacity, used_objs: 0 }),
+            }
+        }
+        let r = st.regions.last_mut().expect("region exists after growth");
+        let addr = r.base.offset(r.used_objs * st.obj_size);
+        r.used_objs += 1;
+        addr
+    }
+
+    fn ranges(&self) -> Vec<TypeRange> {
+        let mut out: Vec<TypeRange> = self
+            .types
+            .iter()
+            .flat_map(|(&ty, st)| {
+                st.regions.iter().map(move |r| TypeRange {
+                    ty,
+                    base: r.base,
+                    len: r.capacity_objs * st.obj_size,
+                })
+            })
+            .collect();
+        out.sort_by_key(|r| r.base);
+        out
+    }
+
+    fn stats(&self) -> AllocStats {
+        let mut s = AllocStats::default();
+        for st in self.types.values() {
+            for r in &st.regions {
+                s.objects += r.used_objs;
+                s.used_bytes += r.used_objs * st.obj_size;
+                s.reserved_bytes += r.capacity_objs * st.obj_size;
+                s.regions += 1;
+            }
+        }
+        s
+    }
+
+    fn kind(&self) -> AllocatorKind {
+        AllocatorKind::SharedOa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> DeviceMemory {
+        DeviceMemory::with_capacity(1 << 24)
+    }
+
+    #[test]
+    fn same_type_objects_are_contiguous() {
+        let mut m = mem();
+        let mut soa = SharedOa::with_initial_chunk(8);
+        soa.register_type(TypeKey(0), 64);
+        let addrs: Vec<_> = (0..8).map(|_| soa.alloc(&mut m, TypeKey(0))).collect();
+        for w in addrs.windows(2) {
+            assert_eq!(w[1].canonical() - w[0].canonical(), 64);
+        }
+    }
+
+    #[test]
+    fn doubling_region_growth_merges_within_arena() {
+        let mut m = mem();
+        let mut soa = SharedOa::with_initial_chunk(4);
+        soa.register_type(TypeKey(0), 16);
+        // Interleave another type; arenas keep each type's chunks
+        // contiguous anyway, so the 4+8+16 chunks merge into one range.
+        soa.register_type(TypeKey(1), 16);
+        for i in 0..28 {
+            soa.alloc(&mut m, TypeKey(0));
+            if i % 4 == 0 {
+                soa.alloc(&mut m, TypeKey(1));
+            }
+        }
+        let ranges: Vec<_> = soa.ranges().into_iter().filter(|r| r.ty == TypeKey(0)).collect();
+        assert_eq!(ranges.len(), 1, "chunks in one arena merge");
+        assert_eq!(ranges[0].len / 16, 4 + 8 + 16);
+        assert!(soa.merges() >= 2, "type 0's doubled chunks must merge");
+    }
+
+    #[test]
+    fn contiguous_chunks_merge() {
+        let mut m = mem();
+        let mut soa = SharedOa::with_initial_chunk(4);
+        soa.register_type(TypeKey(0), 64);
+        // Only this type allocates ⇒ chunks are brk-adjacent ⇒ merged.
+        for _ in 0..64 {
+            soa.alloc(&mut m, TypeKey(0));
+        }
+        assert_eq!(soa.ranges().len(), 1, "adjacent regions should merge");
+        assert!(soa.merges() > 0);
+    }
+
+    #[test]
+    fn range_table_covers_all_objects() {
+        let mut m = mem();
+        let mut soa = SharedOa::with_initial_chunk(4);
+        soa.register_type(TypeKey(0), 48);
+        soa.register_type(TypeKey(1), 32);
+        let mut ptrs = Vec::new();
+        for i in 0..50 {
+            let ty = TypeKey((i % 2) as u32);
+            ptrs.push((ty, soa.alloc(&mut m, ty)));
+        }
+        let ranges = soa.ranges();
+        for (ty, p) in ptrs {
+            let owner = ranges.iter().find(|r| r.contains(p)).expect("covered");
+            assert_eq!(owner.ty, ty);
+            assert_eq!(soa.type_of(p), Some(ty));
+        }
+    }
+
+    #[test]
+    fn ranges_are_disjoint_and_sorted() {
+        let mut m = mem();
+        let mut soa = SharedOa::with_initial_chunk(4);
+        for t in 0..5u32 {
+            soa.register_type(TypeKey(t), 24 + t as u64 * 8);
+        }
+        for i in 0..200u32 {
+            soa.alloc(&mut m, TypeKey(i % 5));
+        }
+        let ranges = soa.ranges();
+        for w in ranges.windows(2) {
+            assert!(w[0].end().canonical() <= w[1].base.canonical());
+        }
+    }
+
+    #[test]
+    fn fragmentation_grows_with_initial_chunk() {
+        let frag_for = |chunk: u64| {
+            let mut m = mem();
+            let mut soa = SharedOa::with_initial_chunk(chunk);
+            soa.register_type(TypeKey(0), 64);
+            for _ in 0..100 {
+                soa.alloc(&mut m, TypeKey(0));
+            }
+            soa.stats().external_fragmentation()
+        };
+        assert!(frag_for(4096) > frag_for(16));
+    }
+
+    #[test]
+    fn no_internal_fragmentation() {
+        let mut m = mem();
+        let mut soa = SharedOa::with_initial_chunk(10);
+        soa.register_type(TypeKey(0), 40);
+        for _ in 0..10 {
+            soa.alloc(&mut m, TypeKey(0));
+        }
+        let s = soa.stats();
+        assert_eq!(s.used_bytes, 400);
+        assert_eq!(s.reserved_bytes, 400);
+        assert_eq!(s.external_fragmentation(), 0.0);
+    }
+
+    #[test]
+    fn type_of_unknown_address() {
+        let soa = SharedOa::new();
+        assert_eq!(soa.type_of(VirtAddr::new(0x1234)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn alloc_unregistered_panics() {
+        let mut m = mem();
+        SharedOa::new().alloc(&mut m, TypeKey(3));
+    }
+}

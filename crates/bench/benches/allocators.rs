@@ -1,0 +1,59 @@
+//! Criterion: allocator throughput and packing — CudaHeap vs SharedOA
+//! (the §8.2 comparison's host-side component), plus the chunk-size
+//! sensitivity that drives Fig. 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gvf_alloc::{CudaHeapAllocator, DeviceAllocator, SharedOa, TypeKey};
+use gvf_mem::DeviceMemory;
+
+const N: u32 = 20_000;
+
+fn alloc_n(alloc: &mut dyn DeviceAllocator) {
+    let mut mem = DeviceMemory::with_capacity(256 << 20);
+    for t in 0..4u32 {
+        alloc.register_type(TypeKey(t), 32 + t as u64 * 8);
+    }
+    for i in 0..N {
+        alloc.alloc(&mut mem, TypeKey(i % 4));
+    }
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocators");
+    group.sample_size(20);
+    group.bench_function("cuda_heap/20k", |b| {
+        b.iter(|| alloc_n(&mut CudaHeapAllocator::new()))
+    });
+    group.bench_function("sharedoa/20k", |b| b.iter(|| alloc_n(&mut SharedOa::new())));
+    for chunk in [256u64, 4096, 65536] {
+        group.bench_with_input(
+            BenchmarkId::new("sharedoa_chunk", chunk),
+            &chunk,
+            |b, &chunk| b.iter(|| alloc_n(&mut SharedOa::with_initial_chunk(chunk))),
+        );
+    }
+    group.finish();
+
+    // Packing report (Fig. 10b flavour).
+    let mut soa = SharedOa::new();
+    alloc_n(&mut soa);
+    let mut cuda = CudaHeapAllocator::new();
+    alloc_n(&mut cuda);
+    println!("\npacking after 20k mixed allocations:");
+    println!(
+        "  CudaHeap: reserved {} B for {} B live ({:.0}% overhead)",
+        cuda.stats().reserved_bytes,
+        cuda.stats().used_bytes,
+        cuda.stats().external_fragmentation() * 100.0
+    );
+    println!(
+        "  SharedOA: reserved {} B for {} B live ({:.0}% fragmentation), {} ranges",
+        soa.stats().reserved_bytes,
+        soa.stats().used_bytes,
+        soa.stats().external_fragmentation() * 100.0,
+        soa.ranges().len()
+    );
+}
+
+criterion_group!(benches, bench_allocators);
+criterion_main!(benches);

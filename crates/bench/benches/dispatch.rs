@@ -1,0 +1,44 @@
+//! Criterion: per-strategy virtual-dispatch cost on the §8.3
+//! microbenchmark, in *simulated GPU cycles per call* (reported via
+//! wall-time of the whole simulation; the printed custom metric is the
+//! interesting one — see the `fig6`/`fig12` harness binaries for the
+//! paper-format numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gvf_core::Strategy;
+use gvf_workloads::{micro, MicroParams, WorkloadConfig};
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut cfg = WorkloadConfig::tiny();
+    cfg.iterations = 1;
+    let params = MicroParams { n_objects: 8192, n_types: 4 };
+
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(10);
+    for strategy in [
+        Strategy::Branch,
+        Strategy::Cuda,
+        Strategy::Concord,
+        Strategy::SharedOa,
+        Strategy::Coal,
+        Strategy::TypePointerProto,
+        Strategy::TypePointerHw,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &s| b.iter(|| micro::run(s, params, &cfg)),
+        );
+    }
+    group.finish();
+
+    // Print the simulated-cycle comparison once, for the record.
+    println!("\nsimulated cycles per 8192 calls (4 types):");
+    for strategy in [Strategy::Branch, Strategy::Cuda, Strategy::Coal, Strategy::TypePointerHw] {
+        let r = micro::run(strategy, params, &cfg);
+        println!("  {:<16} {:>9}", strategy.label(), r.stats.cycles);
+    }
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion: raw simulator throughput — how fast `gvf-sim` replays
+//! traces (host instructions per simulated warp instruction). Useful
+//! when judging how large a `--scale` is affordable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gvf_sim::{AccessTag, Gpu, GpuConfig, KernelTrace, MemOp, Op, Space, WarpTrace};
+
+fn synthetic_kernel(warps: usize, ops_per_warp: usize) -> KernelTrace {
+    let mk_warp = |wi: usize| {
+        let mut w = WarpTrace::new();
+        for k in 0..ops_per_warp {
+            match k % 4 {
+                0 => w.push(Op::Alu(3)),
+                1 => {
+                    let addrs: Vec<u64> =
+                        (0..32).map(|l| ((wi * ops_per_warp + k) * 32 + l) as u64 * 32).collect();
+                    w.push(Op::Mem(MemOp {
+                        space: Space::Global,
+                        is_store: false,
+                        width: 8,
+                        mask: u32::MAX,
+                        addrs: addrs.into_boxed_slice(),
+                        tag: AccessTag::Field,
+                    }));
+                }
+                2 => w.push(Op::Branch),
+                _ => w.push(Op::Mem(MemOp {
+                    space: Space::Global,
+                    is_store: true,
+                    width: 4,
+                    mask: u32::MAX,
+                    addrs: (0..32u64).map(|l| 0x80_0000 + l * 4).collect(),
+                    tag: AccessTag::Other,
+                })),
+            }
+        }
+        w
+    };
+    KernelTrace { warps: (0..warps).map(mk_warp).collect() }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_replay");
+    for warps in [64usize, 512] {
+        let kernel = synthetic_kernel(warps, 64);
+        let instrs = kernel.dyn_instrs();
+        group.throughput(Throughput::Elements(instrs));
+        group.bench_with_input(BenchmarkId::new("v100_scaled8", warps), &kernel, |b, k| {
+            let gpu = Gpu::new(GpuConfig::v100_scaled(8));
+            b.iter(|| gpu.execute(k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion mirror of Fig. 12a at reduced size: microbenchmark object
+//! scaling for BRANCH / CUDA / COAL / TypePointer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gvf_core::Strategy;
+use gvf_workloads::{micro, MicroParams, WorkloadConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut cfg = WorkloadConfig::tiny();
+    cfg.iterations = 1;
+
+    let mut group = c.benchmark_group("fig12a");
+    group.sample_size(10);
+    for objects in [4096usize, 16384, 65536] {
+        for strategy in
+            [Strategy::Branch, Strategy::Cuda, Strategy::Coal, Strategy::TypePointerProto]
+        {
+            let params = MicroParams { n_objects: objects, n_types: 4 };
+            group.bench_with_input(
+                BenchmarkId::new(strategy.label(), objects),
+                &(strategy, params),
+                |b, &(s, p)| b.iter(|| micro::run(s, p, &cfg)),
+            );
+        }
+    }
+    group.finish();
+
+    println!("\nsimulated cycles, normalized to BRANCH at each size:");
+    for objects in [4096usize, 16384, 65536] {
+        let params = MicroParams { n_objects: objects, n_types: 4 };
+        let base = micro::run(Strategy::Branch, params, &cfg).stats.cycles as f64;
+        print!("  {objects:>6} objs:");
+        for strategy in
+            [Strategy::Branch, Strategy::Cuda, Strategy::Coal, Strategy::TypePointerProto]
+        {
+            let r = micro::run(strategy, params, &cfg);
+            print!("  {}={:.1}x", strategy.label(), r.stats.cycles as f64 / base);
+        }
+        println!();
+    }
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

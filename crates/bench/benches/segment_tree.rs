@@ -1,0 +1,65 @@
+//! Criterion ablation: COAL's segment tree vs a linear range scan
+//! (the design choice of paper §5 / Algorithm 1 — `O(log K)` lookups).
+//! Measures both host-side lookup throughput and the emitted device
+//! instruction counts as the range count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gvf_core::{LinearRangeTable, ResolvedRange, SegmentTree};
+use gvf_mem::{DeviceMemory, VirtAddr};
+use gvf_sim::{lanes_from_fn, run_kernel};
+
+fn ranges(k: usize) -> Vec<ResolvedRange> {
+    (0..k)
+        .map(|i| ResolvedRange {
+            lo: (i as u64 + 1) * 0x10000,
+            hi: (i as u64 + 1) * 0x10000 + 0x8000,
+            vtable: VirtAddr::new(0x100 + i as u64 * 16),
+        })
+        .collect()
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_lookup");
+    for k in [4usize, 16, 64, 256] {
+        let rs = ranges(k);
+        let mut mem = DeviceMemory::with_capacity(16 << 20);
+        let tree = SegmentTree::build(&mut mem, &rs);
+        let linear = LinearRangeTable::build(&mut mem, &rs);
+        let probes: Vec<VirtAddr> =
+            (0..1024).map(|i| VirtAddr::new((i % k as u64 + 1) * 0x10000 + (i * 8) % 0x8000)).collect();
+
+        group.bench_with_input(BenchmarkId::new("segment_tree", k), &k, |b, _| {
+            b.iter(|| probes.iter().map(|&p| tree.lookup(p)).filter(Option::is_some).count())
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", k), &k, |b, _| {
+            b.iter(|| probes.iter().map(|&p| linear.lookup(p)).filter(Option::is_some).count())
+        });
+    }
+    group.finish();
+
+    // Device-side instruction-count ablation.
+    println!("\nemitted device mem-ops per warp lookup (tree vs linear):");
+    for k in [4usize, 16, 64, 256] {
+        let rs = ranges(k);
+        let mut mem = DeviceMemory::with_capacity(16 << 20);
+        let tree = SegmentTree::build(&mut mem, &rs);
+        let linear = LinearRangeTable::build(&mut mem, &rs);
+        let worst = VirtAddr::new(k as u64 * 0x10000 + 4); // last range
+        let objs = lanes_from_fn(|_| Some(worst));
+        let kt = run_kernel(&mut mem, 32, |w| {
+            tree.emit_walk(w, &objs);
+        });
+        let kl = run_kernel(&mut mem, 32, |w| {
+            linear.emit_scan(w, &objs);
+        });
+        println!(
+            "  K={k:>3}: tree {} ops (depth {}), linear {} ops",
+            kt.dyn_instrs(),
+            tree.depth(),
+            kl.dyn_instrs()
+        );
+    }
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion mirror of the Fig. 6 harness at reduced size: end-to-end
+//! workload simulation per strategy (GOL and vE-BFS as representatives
+//! of the model-simulation and graph-analytics suites).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gvf_core::Strategy;
+use gvf_workloads::{run_workload, WorkloadConfig, WorkloadKind};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut cfg = WorkloadConfig::tiny();
+    cfg.iterations = 1;
+
+    for kind in [WorkloadKind::GameOfLife, WorkloadKind::VeBfs] {
+        let mut group = c.benchmark_group(format!("fig6/{kind}"));
+        group.sample_size(10);
+        for strategy in Strategy::EVALUATED {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(strategy.label()),
+                &strategy,
+                |b, &s| b.iter(|| run_workload(kind, s, &cfg)),
+            );
+        }
+        group.finish();
+
+        // Simulated-cycle record for the bench log.
+        let base = run_workload(kind, Strategy::SharedOa, &cfg);
+        println!("\n{kind} simulated cycles (normalized to SharedOA):");
+        for strategy in Strategy::EVALUATED {
+            let r = run_workload(kind, strategy, &cfg);
+            println!(
+                "  {:<14} {:>9} ({:.2})",
+                strategy.label(),
+                r.stats.cycles,
+                base.stats.cycles as f64 / r.stats.cycles as f64
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation (§5 design choice): COAL's segment tree vs a linear scan of
+//! the virtual range table, end-to-end on the real workloads, and the
+//! §6.1 tag-budget fallback sweep for TypePointer.
+//!
+//! Not a paper figure — it backs the paper's *argument* for organizing
+//! the ranges as a tree and for the overflow fallback being viable.
+
+use gvf_bench::cli::HarnessOpts;
+use gvf_bench::report::{geomean, print_table};
+use gvf_core::{LookupKind, Strategy};
+use gvf_workloads::{run_workload, WorkloadKind};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+
+    // Part 1: COAL lookup structure, normalized to SharedOA.
+    let mut rows = Vec::new();
+    let mut tree_norm = Vec::new();
+    let mut lin_norm = Vec::new();
+    for kind in [
+        WorkloadKind::GameOfLife,
+        WorkloadKind::Structure,
+        WorkloadKind::VeBfs,
+        WorkloadKind::VenPr,
+    ] {
+        let base = run_workload(kind, Strategy::SharedOa, &opts.cfg);
+        let tree = run_workload(kind, Strategy::Coal, &opts.cfg);
+        let mut cfg = opts.cfg.clone();
+        cfg.coal_lookup = LookupKind::LinearScan;
+        let lin = run_workload(kind, Strategy::Coal, &cfg);
+        assert_eq!(tree.checksum, lin.checksum, "{kind}: lookup kinds disagree");
+        let t = base.stats.cycles as f64 / tree.stats.cycles as f64;
+        let l = base.stats.cycles as f64 / lin.stats.cycles as f64;
+        tree_norm.push(t);
+        lin_norm.push(l);
+        rows.push(vec![
+            kind.label().to_string(),
+            format!("{t:.2}"),
+            format!("{l:.2}"),
+            format!("{}", tree.stats.total_instrs()),
+            format!("{}", lin.stats.total_instrs()),
+        ]);
+    }
+    rows.push(vec![
+        "GM".to_string(),
+        format!("{:.2}", geomean(&tree_norm)),
+        format!("{:.2}", geomean(&lin_norm)),
+        String::new(),
+        String::new(),
+    ]);
+    println!("\nAblation — COAL lookup: segment tree (paper Algorithm 1) vs linear scan");
+    println!("(performance normalized to SharedOA; instrs = dynamic warp instructions)\n");
+    print_table(&["Workload", "tree perf", "linear perf", "tree instrs", "linear instrs"], &rows);
+
+    // Part 2: TypePointer tag-budget sweep. vE has four single-slot
+    // edge types = 32 bytes of vTables; shrinking the budget pushes
+    // types one by one onto the classic fallback path, converging on
+    // SharedOA-like behaviour.
+    println!("\nExtension — TypePointer §6.1 fallback: shrinking tag budget (vE-BFS)");
+    println!("(normalized to unbounded-budget TypePointer)\n");
+    let full = run_workload(WorkloadKind::VeBfs, Strategy::TypePointerHw, &opts.cfg);
+    let mut rows = vec![vec![
+        "unbounded (4/4 tagged)".to_string(),
+        "1.00".to_string(),
+        format!("{}", full.stats.global_load_transactions),
+    ]];
+    for (budget, tagged) in [(24u64, 3), (16, 2), (8, 1)] {
+        let mut cfg = opts.cfg.clone();
+        cfg.tag_budget = Some(budget);
+        let r = run_workload(WorkloadKind::VeBfs, Strategy::TypePointerHw, &cfg);
+        assert_eq!(r.checksum, full.checksum, "fallback changed results");
+        rows.push(vec![
+            format!("{budget} B ({tagged}/4 tagged)"),
+            format!("{:.2}", full.stats.cycles as f64 / r.stats.cycles as f64),
+            format!("{}", r.stats.global_load_transactions),
+        ]);
+    }
+    print_table(&["tag budget", "norm perf", "ld transactions"], &rows);
+    println!("(fewer tagged types ⇒ more classic vTable loads ⇒ more transactions)");
+}

@@ -1,0 +1,34 @@
+//! Diagnostic: raw hardware-counter dump for one workload across all
+//! strategies (cycles, instruction mix, transactions, cache rates,
+//! per-tag latency attribution). Useful when calibrating the timing
+//! model; not itself a paper figure.
+
+use gvf_bench::cli::HarnessOpts;
+use gvf_core::Strategy;
+use gvf_sim::AccessTag;
+use gvf_workloads::{run_workload, WorkloadKind};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    for kind in [WorkloadKind::VeBfs, WorkloadKind::GameOfLife] {
+        println!("\n== {kind} ==");
+        for s in Strategy::EVALUATED {
+            let r = run_workload(kind, s, &opts.cfg);
+            println!(
+                "{:>12}: cyc={:>9} M/C/X={}/{}/{} ldtx={} l1={:.2} l2={:.2} dram={} A={} B={} walk={}",
+                s.label(),
+                r.stats.cycles,
+                r.stats.instrs_mem,
+                r.stats.instrs_compute,
+                r.stats.instrs_ctrl,
+                r.stats.global_load_transactions,
+                r.stats.l1_hit_rate(),
+                r.stats.l2_hit_rate(),
+                r.stats.dram_accesses,
+                r.stats.stall(AccessTag::VtablePtr),
+                r.stats.stall(AccessTag::VfuncPtr),
+                r.stats.stall(AccessTag::RangeWalk),
+            );
+        }
+    }
+}

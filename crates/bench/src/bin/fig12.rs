@@ -1,0 +1,65 @@
+//! Figure 12: scalability microbenchmarks (§8.3).
+//!
+//! (a) Execution time vs object count at 4 types, normalized to BRANCH
+//!     with the smallest count. Paper @32M objects: CUDA 5.6× slower
+//!     than BRANCH, COAL 3.3×, TypePointer 2.0×.
+//! (b) Execution time vs types-per-warp at a fixed object count,
+//!     normalized to BRANCH with 1 type. Paper: all converge as
+//!     divergence dominates at 32 types.
+//!
+//! Counts scale with `--scale` (paper's 1M–32M at scale 128).
+
+use gvf_bench::cli::HarnessOpts;
+use gvf_bench::report::print_table;
+use gvf_core::Strategy;
+use gvf_workloads::{micro, MicroParams};
+
+const STRATEGIES: [Strategy; 4] =
+    [Strategy::Branch, Strategy::Cuda, Strategy::Coal, Strategy::TypePointerProto];
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let unit = 8192 * opts.cfg.scale as usize; // "1M" at paper scale 128
+
+    // (a) objects sweep at 4 types.
+    let mut rows = Vec::new();
+    let mut baseline = None;
+    for step in [1usize, 2, 4, 8, 16, 32] {
+        let params = MicroParams { n_objects: unit * step, n_types: 4 };
+        let mut row = vec![format!("{}x", step)];
+        for s in STRATEGIES {
+            let r = micro::run(s, params, &opts.cfg);
+            if s == Strategy::Branch && baseline.is_none() {
+                baseline = Some(r.stats.cycles as f64);
+            }
+            row.push(format!("{:.1}", r.stats.cycles as f64 / baseline.unwrap()));
+        }
+        rows.push(row);
+    }
+    println!("\nFig. 12a — Execution time vs object count (4 types), normalized to");
+    println!("BRANCH at 1x. paper @32x: CUDA 5.6x, COAL 3.3x, TypePointer 2.0x of BRANCH\n");
+    let headers: Vec<&str> =
+        std::iter::once("objects").chain(STRATEGIES.iter().map(|s| s.label())).collect();
+    print_table(&headers, &rows);
+
+    // (b) types sweep at 16x objects.
+    let mut rows = Vec::new();
+    let mut baseline = None;
+    for types in [1usize, 2, 4, 8, 16, 32] {
+        let params = MicroParams { n_objects: unit * 16, n_types: types };
+        let mut row = vec![format!("{types}")];
+        for s in STRATEGIES {
+            let r = micro::run(s, params, &opts.cfg);
+            if s == Strategy::Branch && baseline.is_none() {
+                baseline = Some(r.stats.cycles as f64);
+            }
+            row.push(format!("{:.1}", r.stats.cycles as f64 / baseline.unwrap()));
+        }
+        rows.push(row);
+    }
+    println!("\nFig. 12b — Execution time vs types-per-warp (16x objects), normalized");
+    println!("to BRANCH at 1 type. paper: gaps shrink as divergence dominates\n");
+    let headers: Vec<&str> =
+        std::iter::once("types").chain(STRATEGIES.iter().map(|s| s.label())).collect();
+    print_table(&headers, &rows);
+}

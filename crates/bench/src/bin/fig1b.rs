@@ -1,0 +1,41 @@
+//! Figure 1b: breakdown of the virtual-function direct cost under
+//! contemporary CUDA, averaged over the object-oriented apps.
+//!
+//! Paper (PC sampling on a V100): ~87% of the added latency comes from
+//! the vTable-pointer load (A), the rest split between the vFunc load
+//! (B) and the indirect call (C).
+
+use gvf_bench::cli::HarnessOpts;
+use gvf_bench::report::print_table;
+use gvf_core::Strategy;
+use gvf_workloads::{run_workload, WorkloadKind};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut rows = Vec::new();
+    let (mut sa, mut sb, mut sc) = (0.0, 0.0, 0.0);
+    for kind in WorkloadKind::EVALUATED {
+        let r = run_workload(kind, Strategy::Cuda, &opts.cfg);
+        let (a, b, c) = r.stats.dispatch_latency_breakdown();
+        sa += a;
+        sb += b;
+        sc += c;
+        rows.push(vec![
+            kind.label().to_string(),
+            format!("{:.1}%", a * 100.0),
+            format!("{:.1}%", b * 100.0),
+            format!("{:.1}%", c * 100.0),
+        ]);
+    }
+    let n = WorkloadKind::EVALUATED.len() as f64;
+    rows.push(vec![
+        "AVG".to_string(),
+        format!("{:.1}%", sa / n * 100.0),
+        format!("{:.1}%", sb / n * 100.0),
+        format!("{:.1}%", sc / n * 100.0),
+    ]);
+
+    println!("\nFig. 1b — Virtual-function direct-cost latency breakdown (CUDA)");
+    println!("paper AVG: A (load vTable*) ~87%, remainder split between B and C\n");
+    print_table(&["Workload", "A: load vTable*", "B: load vFunc*", "C: indirect call"], &rows);
+}

@@ -1,0 +1,46 @@
+//! Figure 6: kernel performance of CUDA, Concord, COAL and TypePointer,
+//! normalized to SharedOA, across the eleven workloads.
+//!
+//! Paper geomeans (silicon V100): CUDA 0.59, Concord 0.72,
+//! COAL 1.06, TypePointer 1.12.
+
+use gvf_bench::cli::HarnessOpts;
+use gvf_bench::report::{geomean, print_table};
+use gvf_core::Strategy;
+use gvf_workloads::{run_workload, WorkloadKind};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let strategies = Strategy::EVALUATED;
+    let mut rows = Vec::new();
+    let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+
+    for kind in WorkloadKind::EVALUATED {
+        let base = run_workload(kind, Strategy::SharedOa, &opts.cfg);
+        let mut row = vec![format!("{} {}", kind.suite(), kind)];
+        for (si, s) in strategies.into_iter().enumerate() {
+            let r = if s == Strategy::SharedOa {
+                base.clone()
+            } else {
+                run_workload(kind, s, &opts.cfg)
+            };
+            assert_eq!(r.checksum, base.checksum, "{kind}: {s} functional mismatch");
+            let norm = base.stats.cycles as f64 / r.stats.cycles as f64;
+            per_strategy[si].push(norm);
+            row.push(format!("{norm:.2}"));
+        }
+        rows.push(row);
+    }
+
+    let mut gm_row = vec!["GM".to_string()];
+    for v in &per_strategy {
+        gm_row.push(format!("{:.2}", geomean(v)));
+    }
+    rows.push(gm_row);
+
+    println!("\nFig. 6 — Performance normalized to SharedOA (higher is better)");
+    println!("paper GM: CUDA 0.59, Concord 0.72, SharedOA 1.00, COAL 1.06, TypePointer 1.12\n");
+    let headers: Vec<&str> =
+        std::iter::once("Workload").chain(strategies.iter().map(|s| s.label())).collect();
+    print_table(&headers, &rows);
+}

@@ -1,0 +1,43 @@
+//! Figure 8: global load transactions, normalized to SharedOA.
+//!
+//! Paper geomeans: CUDA 1.00, Concord 0.82, COAL 0.86, TypePointer 0.81.
+
+use gvf_bench::cli::HarnessOpts;
+use gvf_bench::report::{geomean, print_table};
+use gvf_core::Strategy;
+use gvf_workloads::{run_workload, WorkloadKind};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let strategies = Strategy::EVALUATED;
+    let mut rows = Vec::new();
+    let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+
+    for kind in WorkloadKind::EVALUATED {
+        let base = run_workload(kind, Strategy::SharedOa, &opts.cfg);
+        let mut row = vec![kind.label().to_string()];
+        for (si, s) in strategies.into_iter().enumerate() {
+            let r = if s == Strategy::SharedOa {
+                base.clone()
+            } else {
+                run_workload(kind, s, &opts.cfg)
+            };
+            let norm = r.stats.global_load_transactions as f64
+                / base.stats.global_load_transactions.max(1) as f64;
+            per_strategy[si].push(norm);
+            row.push(format!("{norm:.2}"));
+        }
+        rows.push(row);
+    }
+    let mut gm = vec!["GM".to_string()];
+    for v in &per_strategy {
+        gm.push(format!("{:.2}", geomean(v)));
+    }
+    rows.push(gm);
+
+    println!("\nFig. 8 — Global load transactions normalized to SharedOA (lower is better)");
+    println!("paper GM: CUDA 1.00, Concord 0.82, SharedOA 1.00, COAL 0.86, TypePointer 0.81\n");
+    let headers: Vec<&str> =
+        std::iter::once("Workload").chain(strategies.iter().map(|s| s.label())).collect();
+    print_table(&headers, &rows);
+}

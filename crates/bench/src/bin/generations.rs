@@ -1,0 +1,36 @@
+//! Robustness check across GPU generations (§2: the paper "examined
+//! code from several different GPU generations and observe[d] similar
+//! behavior"): the strategy ordering of Fig. 6 must hold on P100-,
+//! V100- and A100-like machines, each scaled to the workload size.
+
+use gvf_bench::cli::HarnessOpts;
+use gvf_bench::report::print_table;
+use gvf_core::Strategy;
+use gvf_sim::GpuConfig;
+use gvf_workloads::{run_workload, WorkloadKind};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let machines: [(&str, GpuConfig); 3] = [
+        ("P100", GpuConfig::p100().scaled_to(8)),
+        ("V100", GpuConfig::v100().scaled_to(8)),
+        ("A100", GpuConfig::a100().scaled_to(8)),
+    ];
+    let mut rows = Vec::new();
+    for kind in [WorkloadKind::GameOfLife, WorkloadKind::VeBfs] {
+        for (name, gpu) in &machines {
+            let mut cfg = opts.cfg.clone();
+            cfg.gpu = gpu.clone();
+            let base = run_workload(kind, Strategy::SharedOa, &cfg);
+            let mut row = vec![format!("{} {}", kind.label(), name)];
+            for s in [Strategy::Cuda, Strategy::Coal, Strategy::TypePointerProto] {
+                let r = run_workload(kind, s, &cfg);
+                row.push(format!("{:.2}", base.stats.cycles as f64 / r.stats.cycles as f64));
+            }
+            rows.push(row);
+        }
+    }
+    println!("\nRobustness — Fig. 6 ordering across GPU generations");
+    println!("(normalized to SharedOA on each machine; expect CUDA < 1 < COAL ≤ TP everywhere)\n");
+    print_table(&["Workload/GPU", "CUDA", "COAL", "TypePointer"], &rows);
+}

@@ -1,0 +1,30 @@
+//! Table 2: workload characteristics — object instances, concrete types,
+//! vTable entries, and dynamic virtual calls per thousand instructions.
+//!
+//! Paper values (full-scale CUDA inputs): 0.5–5.6 M objects, 3–6 types,
+//! 3–74 vFuncs, vFuncPKI 15–54. Ours are the same ports at the harness
+//! scale; object counts shrink with `--scale`, the rest should land in
+//! the same ballpark.
+
+use gvf_bench::cli::HarnessOpts;
+use gvf_bench::report::print_table;
+use gvf_core::Strategy;
+use gvf_workloads::{run_workload, WorkloadKind};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::EVALUATED {
+        let r = run_workload(kind, Strategy::SharedOa, &opts.cfg);
+        rows.push(vec![
+            format!("{} {}", kind.suite(), kind.label()),
+            format!("{}", r.table2.objects),
+            format!("{}", r.table2.types),
+            format!("{}", r.table2.vfunc_entries),
+            format!("{:.1}", r.table2.vfunc_pki),
+        ]);
+    }
+    println!("\nTable 2 — workload characteristics (at --scale {})", opts.cfg.scale);
+    println!("paper: 0.5-5.6M objects, 3-6 types, 3-74 vFuncs, vFuncPKI 15-54\n");
+    print_table(&["Workload", "# Objects", "# Types", "# vFuncs", "vFuncPKI"], &rows);
+}

@@ -1,0 +1,48 @@
+//! Minimal flag parsing shared by the harness binaries.
+
+use gvf_workloads::WorkloadConfig;
+
+/// Common harness options: `--scale N`, `--iters N`, `--seed N`.
+#[derive(Clone, Debug)]
+pub struct HarnessOpts {
+    /// Workload configuration assembled from the flags.
+    pub cfg: WorkloadConfig,
+}
+
+impl HarnessOpts {
+    /// Parses `std::env::args`, starting from the evaluation defaults.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed flags.
+    pub fn from_args() -> Self {
+        let mut cfg = WorkloadConfig::eval();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let need = |i: usize| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("flag {} needs a value", args[i]))
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    cfg.scale = need(i).parse().expect("--scale takes an integer");
+                    i += 2;
+                }
+                "--iters" => {
+                    cfg.iterations = need(i).parse().expect("--iters takes an integer");
+                    i += 2;
+                }
+                "--seed" => {
+                    cfg.seed = need(i).parse().expect("--seed takes an integer");
+                    i += 2;
+                }
+                "--help" | "-h" => {
+                    println!("options: --scale N (default 8)  --iters N  --seed N");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other} (try --help)"),
+            }
+        }
+        HarnessOpts { cfg }
+    }
+}

@@ -1,0 +1,9 @@
+//! # gvf-bench — the figure/table regeneration harness
+//!
+//! One binary per table and figure of the paper's evaluation; see
+//! `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md` for
+//! paper-vs-measured results. The library part hosts shared report
+//! formatting used by the binaries and the Criterion benches.
+
+pub mod cli;
+pub mod report;

@@ -1,0 +1,805 @@
+//! The "compiled and loaded" program: materialized vTables, per-kernel
+//! constant tables, TypePointer tags, COAL lookup structures, object
+//! construction, and the dispatch emission itself.
+
+use crate::registry::{FuncId, TypeId, TypeRegistry};
+use crate::segtree::{LinearRangeTable, ResolvedRange, SegmentTree};
+use crate::strategy::Strategy;
+use gvf_alloc::{DeviceAllocator, TypeKey};
+use gvf_mem::{DeviceMemory, VirtAddr, MAX_TAG};
+use gvf_sim::{lanes_from_fn, AccessTag, Lanes, WarpCtx, WARP_SIZE};
+use std::collections::HashMap;
+
+/// Base of the synthetic "instruction memory" where virtual-function
+/// code addresses live. Decoding a code address back to a [`FuncId`] is
+/// how the functional model "jumps" to a body. GPUs embed each virtual
+/// function's code separately in every kernel (§2: no dynamic loading or
+/// cross-kernel code sharing), so the kernel index participates in the
+/// address — which is exactly why the constant-memory indirection
+/// exists.
+const CODE_BASE: u64 = 0x1_0000_0000_0000;
+const CODE_STRIDE: u64 = 16;
+const CODE_KERNEL_SHIFT: u32 = 28;
+
+/// Marker written into the CPU-vTable-pointer slot of `sharedNew`
+/// objects; the GPU never reads it, it just occupies the slot (§4).
+const CPU_VTABLE_MARK: u64 = 0xC0DE_0000_0000;
+
+/// Reserved tag meaning "this type's vTable did not fit the tag budget;
+/// dispatch through the classic embedded-pointer path" (the fallback
+/// mechanism of §6.1 for programs with more types than the 15 bits can
+/// name).
+pub const NO_TAG: u16 = gvf_mem::MAX_TAG;
+
+/// COAL's range-lookup data structure (the §5 design choice: the paper
+/// picks a segment tree for `O(log K)`; the linear scan is the ablation
+/// baseline).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LookupKind {
+    /// Balanced segment tree (paper Algorithm 1).
+    #[default]
+    SegmentTree,
+    /// Entry-by-entry scan of the virtual range table.
+    LinearScan,
+}
+
+/// How TypePointer encodes a type in the 15 unused pointer bits (§6.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TagMode {
+    /// The tag is a **byte offset** into the contiguous vTable region
+    /// (up to 32 KiB of vTables, ~4k vFunc pointers).
+    #[default]
+    Offset,
+    /// The tag is a **type index**; all vTables are padded to the size of
+    /// the largest, and the offset is `index × paddedSize` (supports up
+    /// to 32k types at the cost of padding, §6.2).
+    Index,
+}
+
+/// A virtual call site, as the compiler sees it.
+#[derive(Clone, Debug, Default)]
+pub struct CallSite {
+    /// Virtual slot being invoked.
+    pub slot: usize,
+    /// Types that can reach this site (`None` = every type implementing
+    /// the slot). Concord's switch enumerates exactly these.
+    pub candidates: Option<Vec<TypeId>>,
+    /// `true` when static analysis proves every lane calls through the
+    /// *same object* here. COAL's heuristic skips instrumenting such
+    /// sites and falls back to the plain CUDA sequence (§5) — the
+    /// situation RAY hits.
+    pub statically_converged: bool,
+}
+
+impl CallSite {
+    /// A site invoking `slot` with no static knowledge.
+    pub fn new(slot: usize) -> Self {
+        CallSite { slot, candidates: None, statically_converged: false }
+    }
+
+    /// Restricts the candidate types (class-hierarchy analysis).
+    pub fn with_candidates(mut self, candidates: Vec<TypeId>) -> Self {
+        self.candidates = Some(candidates);
+        self
+    }
+
+    /// Marks the site statically warp-converged.
+    pub fn converged(mut self) -> Self {
+        self.statically_converged = true;
+        self
+    }
+}
+
+/// A fully materialized program for one [`Strategy`].
+///
+/// Construction order mirrors the paper's toolflow:
+///
+/// 1. [`DeviceProgram::new`] lays out the vTables in global memory and
+///    the per-kernel function tables in constant memory (§2), and picks
+///    each type's TypePointer tag (§6.1);
+/// 2. [`register_types`](DeviceProgram::register_types) declares object
+///    sizes to the allocator;
+/// 3. objects are built with [`construct`](DeviceProgram::construct);
+/// 4. [`finalize_ranges`](DeviceProgram::finalize_ranges) snapshots the
+///    allocator's virtual range table into the COAL segment tree;
+/// 5. kernels dispatch through [`vcall`](DeviceProgram::vcall).
+#[derive(Debug)]
+pub struct DeviceProgram {
+    strategy: Strategy,
+    registry: TypeRegistry,
+    tag_mode: TagMode,
+    vtable_base: VirtAddr,
+    vtable_offsets: Vec<u64>,
+    padded_vtable_bytes: u64,
+    vtable_to_type: HashMap<u64, TypeId>,
+    tree: Option<SegmentTree>,
+    linear: Option<LinearRangeTable>,
+    lookup_kind: LookupKind,
+    /// One constant-memory function table per launched kernel (§2):
+    /// `const_tables[k]` holds kernel `k`'s code addresses.
+    const_tables: Vec<VirtAddr>,
+    current_kernel: usize,
+    /// Tag-encoding budget in bytes (offset mode). Types whose vTables
+    /// start beyond it get [`NO_TAG`] and dispatch through the classic
+    /// path — the §6.1 link-time fallback.
+    tag_capacity: u64,
+}
+
+impl DeviceProgram {
+    /// Materializes vTables and constant tables for `registry` under
+    /// `strategy`, with the default [`TagMode::Offset`].
+    pub fn new(mem: &mut DeviceMemory, registry: &TypeRegistry, strategy: Strategy) -> Self {
+        Self::with_tag_mode(mem, registry, strategy, TagMode::Offset)
+    }
+
+    /// Like [`new`](Self::new) with an explicit TypePointer tag mode.
+    ///
+    /// # Panics
+    /// Panics if the registry is empty, or if [`TagMode::Offset`] cannot
+    /// encode the vTable region in 15 bits (use [`TagMode::Index`], or
+    /// [`with_tag_budget`](Self::with_tag_budget) for the §6.1 fallback).
+    pub fn with_tag_mode(
+        mem: &mut DeviceMemory,
+        registry: &TypeRegistry,
+        strategy: Strategy,
+        tag_mode: TagMode,
+    ) -> Self {
+        let prog = Self::with_tag_budget(mem, registry, strategy, tag_mode, u64::MAX);
+        if tag_mode == TagMode::Offset {
+            let total: u64 = registry
+                .type_ids()
+                .map(|t| registry.num_slots(t) as u64 * 8)
+                .sum();
+            assert!(
+                total <= MAX_TAG as u64,
+                "vTable region ({total} bytes) exceeds the 15 tag bits; use \
+                 TagMode::Index or with_tag_budget"
+            );
+        }
+        prog
+    }
+
+    /// Like [`with_tag_mode`](Self::with_tag_mode) but with a finite
+    /// tag-encoding budget: types whose vTable starts beyond
+    /// `tag_capacity_bytes` receive the reserved [`NO_TAG`] tag and
+    /// dispatch through the classic embedded-pointer sequence — the
+    /// link-time fallback the paper describes for programs with more
+    /// types than the unused bits can name (§6.1).
+    ///
+    /// # Panics
+    /// Panics if the registry is empty or `tag_capacity_bytes` collides
+    /// with the [`NO_TAG`] sentinel.
+    pub fn with_tag_budget(
+        mem: &mut DeviceMemory,
+        registry: &TypeRegistry,
+        strategy: Strategy,
+        tag_mode: TagMode,
+        tag_capacity_bytes: u64,
+    ) -> Self {
+        assert!(registry.num_types() > 0, "empty type registry");
+        assert!(
+            tag_capacity_bytes == u64::MAX || tag_capacity_bytes < NO_TAG as u64,
+            "tag capacity must stay below the NO_TAG sentinel"
+        );
+        let max_slots = registry
+            .type_ids()
+            .map(|t| registry.num_slots(t))
+            .max()
+            .expect("non-empty registry") as u64;
+        let padded_vtable_bytes = max_slots * 8;
+
+        // Per-type vTable offsets within the contiguous region.
+        let mut vtable_offsets = Vec::with_capacity(registry.num_types());
+        let mut cursor = 0u64;
+        for t in registry.type_ids() {
+            match tag_mode {
+                TagMode::Offset => {
+                    vtable_offsets.push(cursor);
+                    cursor += registry.num_slots(t) as u64 * 8;
+                }
+                TagMode::Index => {
+                    vtable_offsets.push(t.0 as u64 * padded_vtable_bytes);
+                    cursor = (t.0 as u64 + 1) * padded_vtable_bytes;
+                }
+            }
+        }
+        let vtable_base = mem.reserve(cursor.max(8), 256);
+
+        // Fill vTables (global memory). A vTable entry holds a byte
+        // offset into constant memory; the per-kernel constant table
+        // holds the function's address in that kernel's instruction
+        // memory (§2).
+        let mut vtable_to_type = HashMap::new();
+        let mut g = 0u64;
+        for t in registry.type_ids() {
+            let voff = vtable_offsets[t.0 as usize];
+            vtable_to_type.insert(vtable_base.offset(voff).raw(), t);
+            for slot in 0..registry.num_slots(t) {
+                mem.write_u64(vtable_base.offset(voff + slot as u64 * 8), g * 8)
+                    .expect("vtable write");
+                g += 1;
+            }
+        }
+
+        let table0 = materialize_const_table(mem, registry, 0);
+        DeviceProgram {
+            strategy,
+            registry: registry.clone(),
+            tag_mode,
+            vtable_base,
+            vtable_offsets,
+            padded_vtable_bytes,
+            vtable_to_type,
+            tree: None,
+            linear: None,
+            lookup_kind: LookupKind::default(),
+            const_tables: vec![table0],
+            current_kernel: 0,
+            tag_capacity: tag_capacity_bytes,
+        }
+    }
+
+    /// Declares the launch of a new kernel: materializes its
+    /// constant-memory function table (every kernel embeds its own copy
+    /// of the virtual-function code, so the code addresses differ, §2)
+    /// and routes subsequent dispatch through it. Returns the kernel
+    /// index.
+    pub fn begin_kernel(&mut self, mem: &mut DeviceMemory) -> usize {
+        let k = self.const_tables.len();
+        self.const_tables.push(materialize_const_table(mem, &self.registry, k));
+        self.current_kernel = k;
+        k
+    }
+
+    /// Index of the kernel whose constant table dispatch currently uses.
+    pub fn current_kernel(&self) -> usize {
+        self.current_kernel
+    }
+
+    /// The strategy this program was compiled for.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The type registry snapshot.
+    pub fn registry(&self) -> &TypeRegistry {
+        &self.registry
+    }
+
+    /// The TypePointer tag mode.
+    pub fn tag_mode(&self) -> TagMode {
+        self.tag_mode
+    }
+
+    /// Per-object header size under this strategy.
+    pub fn header_bytes(&self) -> u64 {
+        self.strategy.header_bytes()
+    }
+
+    /// Gross object size (header + fields, 8-byte aligned).
+    pub fn obj_size(&self, t: TypeId) -> u64 {
+        let raw = self.header_bytes() + self.registry.field_bytes(t);
+        raw.div_ceil(8) * 8
+    }
+
+    /// Device address of `t`'s vTable.
+    pub fn vtable_addr(&self, t: TypeId) -> VirtAddr {
+        self.vtable_base.offset(self.vtable_offsets[t.0 as usize])
+    }
+
+    /// The 15-bit TypePointer tag for `t`, or [`NO_TAG`] when the type
+    /// fell outside the tag budget and uses the classic fallback path.
+    pub fn type_tag(&self, t: TypeId) -> u16 {
+        let raw = match self.tag_mode {
+            TagMode::Offset => self.vtable_offsets[t.0 as usize],
+            TagMode::Index => t.0 as u64,
+        };
+        if raw >= self.tag_capacity.min(NO_TAG as u64) {
+            NO_TAG
+        } else {
+            raw as u16
+        }
+    }
+
+    /// Bytes of vTable padding waste under [`TagMode::Index`] (the
+    /// space-accounting of §6.2); zero in offset mode.
+    pub fn vtable_padding_bytes(&self) -> u64 {
+        match self.tag_mode {
+            TagMode::Offset => 0,
+            TagMode::Index => self
+                .registry
+                .type_ids()
+                .map(|t| self.padded_vtable_bytes - self.registry.num_slots(t) as u64 * 8)
+                .sum(),
+        }
+    }
+
+    /// Declares every type's gross size to `alloc`.
+    pub fn register_types(&self, alloc: &mut dyn DeviceAllocator) {
+        for t in self.registry.type_ids() {
+            alloc.register_type(TypeKey(t.0), self.obj_size(t));
+        }
+    }
+
+    /// Allocates and initializes one object of `t`, returning the
+    /// pointer a program would hold — tagged under TypePointer.
+    ///
+    /// # Panics
+    /// Panics on allocator or memory errors.
+    pub fn construct(
+        &self,
+        mem: &mut DeviceMemory,
+        alloc: &mut dyn DeviceAllocator,
+        t: TypeId,
+    ) -> VirtAddr {
+        let p = alloc.alloc(mem, TypeKey(t.0));
+        match self.strategy {
+            Strategy::Cuda => {
+                mem.write_ptr(p, self.vtable_addr(t)).expect("vptr write");
+            }
+            Strategy::Concord => {
+                mem.write_u32(p, t.0).expect("type tag write");
+            }
+            Strategy::Branch => {}
+            _ => {
+                // sharedNew layout: CPU vptr then GPU vptr (§4).
+                mem.write_u64(p, CPU_VTABLE_MARK + t.0 as u64).expect("cpu vptr write");
+                mem.write_ptr(p.offset(8), self.vtable_addr(t)).expect("gpu vptr write");
+            }
+        }
+        if self.strategy.uses_tagged_pointers() {
+            p.with_tag(self.type_tag(t))
+        } else {
+            p
+        }
+    }
+
+    /// Snapshots the allocator's virtual range table and builds the COAL
+    /// segment tree. Required before [`vcall`](Self::vcall) under
+    /// [`Strategy::Coal`]; a no-op otherwise.
+    ///
+    /// # Panics
+    /// Panics if the strategy is COAL and the allocator keeps no ranges
+    /// (COAL requires SharedOA, §5).
+    pub fn finalize_ranges(&mut self, mem: &mut DeviceMemory, alloc: &dyn DeviceAllocator) {
+        if self.strategy != Strategy::Coal {
+            return;
+        }
+        let ranges: Vec<ResolvedRange> = alloc
+            .ranges()
+            .into_iter()
+            .map(|r| ResolvedRange {
+                lo: r.base.canonical(),
+                hi: r.base.canonical() + r.len,
+                vtable: self.vtable_addr(TypeId(r.ty.0)),
+            })
+            .collect();
+        assert!(
+            !ranges.is_empty(),
+            "COAL requires a type-based allocator with a virtual range table (SharedOA)"
+        );
+        self.tree = Some(SegmentTree::build(mem, &ranges));
+        self.linear = Some(LinearRangeTable::build(mem, &ranges));
+    }
+
+    /// The COAL segment tree, if built.
+    pub fn segment_tree(&self) -> Option<&SegmentTree> {
+        self.tree.as_ref()
+    }
+
+    /// Selects COAL's lookup structure (§5 ablation: segment tree vs
+    /// linear scan). Default is the paper's segment tree.
+    pub fn set_lookup_kind(&mut self, kind: LookupKind) {
+        self.lookup_kind = kind;
+    }
+
+    /// The lookup structure COAL dispatch currently uses.
+    pub fn lookup_kind(&self) -> LookupKind {
+        self.lookup_kind
+    }
+
+    /// Host-side type query for a constructed object (testing aid).
+    pub fn type_of(&self, mem: &mut DeviceMemory, obj: VirtAddr) -> Option<TypeId> {
+        match self.strategy {
+            Strategy::Concord => {
+                let tag = mem.read_u32(obj.strip_tag()).ok()?;
+                (tag < self.registry.num_types() as u32).then_some(TypeId(tag))
+            }
+            Strategy::Branch => None,
+            _ if self.strategy.uses_tagged_pointers() => {
+                if obj.tag() == NO_TAG {
+                    // Fallback type: resolve through the embedded vptr.
+                    let v = mem.read_u64(obj.strip_tag().offset(8)).ok()?;
+                    self.vtable_to_type.get(&v).copied()
+                } else {
+                    self.type_from_tag(obj.tag())
+                }
+            }
+            _ => {
+                let voff = self.strategy.gpu_vptr_offset()?;
+                let v = mem.read_u64(obj.strip_tag().offset(voff)).ok()?;
+                self.vtable_to_type.get(&v).copied()
+            }
+        }
+    }
+
+    fn type_from_tag(&self, tag: u16) -> Option<TypeId> {
+        match self.tag_mode {
+            TagMode::Offset => self
+                .vtable_offsets
+                .iter()
+                .position(|&o| o == tag as u64)
+                .map(|i| TypeId(i as u32)),
+            TagMode::Index => {
+                ((tag as usize) < self.registry.num_types()).then_some(TypeId(tag as u32))
+            }
+        }
+    }
+
+    /// Per-lane member address computation: strips TypePointer tags
+    /// (emitting the prototype's mask instruction when required, §6.3)
+    /// and applies the header offset.
+    pub fn field_addrs(
+        &self,
+        ctx: &mut WarpCtx<'_>,
+        objs: &Lanes<VirtAddr>,
+        field_off: u64,
+    ) -> Lanes<VirtAddr> {
+        let mask_alu = self.strategy.member_mask_alu();
+        if mask_alu > 0 {
+            ctx.alu(mask_alu);
+        }
+        let hdr = self.header_bytes();
+        lanes_from_fn(|i| objs[i].map(|o| o.strip_tag().offset(hdr + field_off)))
+    }
+
+    /// Loads a member field (`width` bytes) from each lane's object.
+    ///
+    /// # Panics
+    /// Panics on a device memory fault.
+    pub fn ld_field(
+        &self,
+        ctx: &mut WarpCtx<'_>,
+        objs: &Lanes<VirtAddr>,
+        field_off: u64,
+        width: u8,
+    ) -> Lanes<u64> {
+        let addrs = self.field_addrs(ctx, objs, field_off);
+        ctx.ld(AccessTag::Field, width, &addrs)
+    }
+
+    /// Stores a member field on each lane's object.
+    ///
+    /// # Panics
+    /// Panics on a device memory fault.
+    pub fn st_field(
+        &self,
+        ctx: &mut WarpCtx<'_>,
+        objs: &Lanes<VirtAddr>,
+        field_off: u64,
+        width: u8,
+        values: &Lanes<u64>,
+    ) {
+        let addrs = self.field_addrs(ctx, objs, field_off);
+        ctx.st(AccessTag::Field, width, &addrs, values);
+    }
+
+    /// Estimated *static* instructions the compiler emits at one virtual
+    /// call site, given the body's static size. Captures the code-size
+    /// trade-off the paper notes for Concord (§8.1): the switch lowering
+    /// duplicates the (inlined) body into every candidate arm, so its
+    /// footprint grows with the candidate set, while every other scheme
+    /// shares one out-of-line body behind a call.
+    pub fn static_callsite_instrs(&self, site: &CallSite, body_instrs: u32) -> u32 {
+        let candidates = site
+            .candidates
+            .as_ref()
+            .map(|c| c.len())
+            .unwrap_or_else(|| self.registry.candidates_for_slot(site.slot).len())
+            as u32;
+        match self.strategy {
+            // LDG vTable*; LDG vFunc*; LDC; CALL (+ shared body).
+            Strategy::Cuda | Strategy::SharedOa => 4,
+            // Tag load + per-candidate compare/branch + inlined body.
+            Strategy::Concord => 1 + candidates * (2 + body_instrs),
+            // The predefined lookup loop (constant size: it iterates at
+            // runtime) + vFunc/const/call tail.
+            Strategy::Coal => {
+                if site.statically_converged {
+                    4
+                } else {
+                    12
+                }
+            }
+            // SHR; ADD/IMAD; LDG; LDC; CALL.
+            Strategy::TypePointerProto | Strategy::TypePointerHw => 5,
+            // Register compare chain + direct calls.
+            Strategy::Branch => candidates * 3,
+        }
+    }
+
+    /// Dispatches a virtual call: emits this strategy's exact dispatch
+    /// instruction sequence, resolves each lane's callee *through the
+    /// materialized tables in simulated memory*, then runs `body` once
+    /// per distinct callee with the lane mask narrowed to that group —
+    /// the SIMT serialization of divergent indirect branches.
+    ///
+    /// Lanes that are inactive or hold no object do not participate.
+    ///
+    /// # Panics
+    /// Panics if dispatch reads corrupt tables (wrong construction
+    /// order), or under [`Strategy::Branch`] (use
+    /// [`branch_call`](Self::branch_call)).
+    pub fn vcall(
+        &self,
+        ctx: &mut WarpCtx<'_>,
+        site: &CallSite,
+        objs: &Lanes<VirtAddr>,
+        mut body: impl FnMut(&mut WarpCtx<'_>, FuncId),
+    ) {
+        assert!(
+            self.strategy != Strategy::Branch,
+            "BRANCH has no objects; use branch_call"
+        );
+        ctx.note_vfunc_call();
+        let slot = site.slot;
+
+        // COAL's heuristic: statically converged sites keep the plain
+        // CUDA sequence (§5).
+        let coal_active = self.strategy == Strategy::Coal && !site.statically_converged;
+
+        match self.strategy {
+            Strategy::Concord => self.concord_call(ctx, site, objs, body),
+            Strategy::TypePointerProto | Strategy::TypePointerHw => {
+                // Lanes whose type overflowed the tag budget carry the
+                // NO_TAG sentinel and take the classic path (§6.1).
+                let mut fallback: u32 = 0;
+                for i in 0..WARP_SIZE {
+                    if ctx.is_active(i) && objs[i].map(|o| o.tag()) == Some(NO_TAG) {
+                        fallback |= 1 << i;
+                    }
+                }
+                let mut fids = gvf_sim::lanes_none();
+                if fallback != 0 {
+                    ctx.alu(1); // sentinel test
+                    ctx.branch();
+                }
+                ctx.with_mask(!fallback, |ctx| {
+                    // Fig. 5b: SHR to extract the tag, ADD (offset mode)
+                    // or IMAD (index mode) to form the vTable address.
+                    ctx.alu(2);
+                    let slot_addrs = lanes_from_fn(|i| {
+                        objs[i].map(|o| {
+                            let tag = o.tag() as u64;
+                            let voff = match self.tag_mode {
+                                TagMode::Offset => tag,
+                                TagMode::Index => tag * self.padded_vtable_bytes,
+                            };
+                            self.vtable_base.offset(voff + slot as u64 * 8)
+                        })
+                    });
+                    let part = self.load_and_decode(ctx, &slot_addrs);
+                    for i in 0..WARP_SIZE {
+                        if part[i].is_some() {
+                            fids[i] = part[i];
+                        }
+                    }
+                });
+                ctx.with_mask(fallback, |ctx| {
+                    // Classic sequence through the sharedNew GPU vptr.
+                    let vaddr =
+                        lanes_from_fn(|i| objs[i].map(|o| o.strip_tag().offset(8)));
+                    let vptrs = ctx.ld_ptr(AccessTag::VtablePtr, &vaddr);
+                    let slot_addrs =
+                        lanes_from_fn(|i| vptrs[i].map(|v| v.offset(slot as u64 * 8)));
+                    let part = self.load_and_decode(ctx, &slot_addrs);
+                    for i in 0..WARP_SIZE {
+                        if part[i].is_some() {
+                            fids[i] = part[i];
+                        }
+                    }
+                });
+                self.indirect_groups(ctx, &fids, &mut body);
+            }
+            _ if coal_active => {
+                let vptrs = match self.lookup_kind {
+                    LookupKind::SegmentTree => self
+                        .tree
+                        .as_ref()
+                        .expect("finalize_ranges must run before COAL dispatch")
+                        .emit_walk(ctx, objs),
+                    LookupKind::LinearScan => self
+                        .linear
+                        .as_ref()
+                        .expect("finalize_ranges must run before COAL dispatch")
+                        .emit_scan(ctx, objs),
+                };
+                let slot_addrs =
+                    lanes_from_fn(|i| vptrs[i].map(|v| v.offset(slot as u64 * 8)));
+                let fids = self.load_and_decode(ctx, &slot_addrs);
+                self.indirect_groups(ctx, &fids, &mut body);
+            }
+            _ => {
+                // CUDA / SharedOA / COAL-fallback: LDG vTable*, LDG
+                // vFunc*, LDC, CALL (Fig. 1a).
+                let voff = self
+                    .strategy
+                    .gpu_vptr_offset()
+                    .or(Some(8)) // COAL fallback uses the sharedNew layout
+                    .expect("vptr offset");
+                let vaddr = lanes_from_fn(|i| objs[i].map(|o| o.strip_tag().offset(voff)));
+                let vptrs = ctx.ld_ptr(AccessTag::VtablePtr, &vaddr);
+                let slot_addrs =
+                    lanes_from_fn(|i| vptrs[i].map(|v| v.offset(slot as u64 * 8)));
+                let fids = self.load_and_decode(ctx, &slot_addrs);
+                self.indirect_groups(ctx, &fids, &mut body);
+            }
+        }
+    }
+
+    /// Loads vTable entries at `slot_addrs` (operation **B**), follows
+    /// the constant-memory indirection, and decodes per-lane callees.
+    fn load_and_decode(
+        &self,
+        ctx: &mut WarpCtx<'_>,
+        slot_addrs: &Lanes<VirtAddr>,
+    ) -> Lanes<FuncId> {
+        let centries = ctx.ld(AccessTag::VfuncPtr, 8, slot_addrs);
+        let table = self.const_tables[self.current_kernel];
+        let caddrs = lanes_from_fn(|i| centries[i].map(|off| table.offset(off)));
+        let codes = ctx.ldc(AccessTag::ConstIndirection, 8, &caddrs);
+        lanes_from_fn(|i| codes[i].map(decode_code_addr))
+    }
+
+    /// Serializes the warp over distinct callees: one indirect call,
+    /// body, and return per target subgroup.
+    fn indirect_groups(
+        &self,
+        ctx: &mut WarpCtx<'_>,
+        fids: &Lanes<FuncId>,
+        body: &mut impl FnMut(&mut WarpCtx<'_>, FuncId),
+    ) {
+        for (fid, mask) in group_lanes(ctx, fids) {
+            ctx.with_mask(mask, |ctx| {
+                ctx.indirect_call();
+                body(ctx, fid);
+                ctx.ret();
+            });
+        }
+    }
+
+    /// Concord's switch lowering: a diverged type-tag load followed by a
+    /// compare/branch chain with inlined, statically-known bodies.
+    fn concord_call(
+        &self,
+        ctx: &mut WarpCtx<'_>,
+        site: &CallSite,
+        objs: &Lanes<VirtAddr>,
+        mut body: impl FnMut(&mut WarpCtx<'_>, FuncId),
+    ) {
+        let tag_addrs = lanes_from_fn(|i| objs[i].map(VirtAddr::strip_tag));
+        let tags = ctx.ld(AccessTag::TypeTag, 4, &tag_addrs);
+        let candidates = match &site.candidates {
+            Some(c) => c.clone(),
+            None => self.registry.candidates_for_slot(site.slot),
+        };
+        let mut remaining: u32 = 0;
+        for i in 0..WARP_SIZE {
+            if ctx.is_active(i) && tags[i].is_some() {
+                remaining |= 1 << i;
+            }
+        }
+        for t in candidates {
+            if remaining == 0 {
+                break;
+            }
+            ctx.alu(1); // tag compare
+            ctx.branch();
+            let mut m = 0u32;
+            for i in 0..WARP_SIZE {
+                if (remaining >> i) & 1 == 1 && tags[i] == Some(t.0 as u64) {
+                    m |= 1 << i;
+                }
+            }
+            if m != 0 {
+                let fid = self.registry.vfunc(t, site.slot);
+                ctx.with_mask(m, |ctx| body(ctx, fid));
+                remaining &= !m;
+            }
+        }
+        assert_eq!(remaining, 0, "Concord switch missed a type (bad candidate set)");
+    }
+
+    /// The BRANCH microbenchmark dispatch (§8.3): per-lane types live in
+    /// registers, so arbitration is a pure compare/branch chain with a
+    /// direct call per group — no memory at all.
+    ///
+    /// # Panics
+    /// Panics if a lane's type is outside the registry.
+    pub fn branch_call(
+        &self,
+        ctx: &mut WarpCtx<'_>,
+        slot: usize,
+        types: &Lanes<TypeId>,
+        mut body: impl FnMut(&mut WarpCtx<'_>, FuncId),
+    ) {
+        ctx.note_vfunc_call();
+        let mut remaining: u32 = 0;
+        for i in 0..WARP_SIZE {
+            if ctx.is_active(i) && types[i].is_some() {
+                remaining |= 1 << i;
+            }
+        }
+        for t in self.registry.type_ids() {
+            if remaining == 0 {
+                break;
+            }
+            ctx.alu(1);
+            ctx.branch();
+            let mut m = 0u32;
+            for i in 0..WARP_SIZE {
+                if (remaining >> i) & 1 == 1 && types[i] == Some(t) {
+                    m |= 1 << i;
+                }
+            }
+            if m != 0 {
+                let fid = self.registry.vfunc(t, slot);
+                ctx.with_mask(m, |ctx| {
+                    ctx.direct_call();
+                    body(ctx, fid);
+                    ctx.ret();
+                });
+                remaining &= !m;
+            }
+        }
+        assert_eq!(remaining, 0, "lane with unregistered type in branch_call");
+    }
+}
+
+/// Writes kernel `k`'s constant-memory function table and returns its
+/// base address.
+fn materialize_const_table(
+    mem: &mut DeviceMemory,
+    registry: &TypeRegistry,
+    kernel: usize,
+) -> VirtAddr {
+    let total_slots: u64 = registry.type_ids().map(|t| registry.num_slots(t) as u64).sum();
+    let base = mem.reserve(total_slots * 8, 256);
+    let mut g = 0u64;
+    for t in registry.type_ids() {
+        for slot in 0..registry.num_slots(t) {
+            let fid = registry.vfunc(t, slot);
+            mem.write_u64(base.offset(g * 8), code_addr(fid, kernel).raw())
+                .expect("const table write");
+            g += 1;
+        }
+    }
+    base
+}
+
+/// Synthetic instruction-memory address of a function body inside
+/// `kernel`'s embedded code.
+fn code_addr(fid: FuncId, kernel: usize) -> VirtAddr {
+    VirtAddr::new(
+        CODE_BASE + ((kernel as u64) << CODE_KERNEL_SHIFT) + fid.0 as u64 * CODE_STRIDE,
+    )
+}
+
+/// Inverse of [`code_addr`], ignoring which kernel's copy was called.
+///
+/// # Panics
+/// Panics if `code` is not a valid code address (corrupt tables).
+fn decode_code_addr(code: u64) -> FuncId {
+    let off = code.wrapping_sub(CODE_BASE) & ((1 << CODE_KERNEL_SHIFT) - 1);
+    assert!(
+        code >= CODE_BASE && off % CODE_STRIDE == 0,
+        "indirect call to non-code address {code:#x}"
+    );
+    FuncId((off / CODE_STRIDE) as u32)
+}
+
+/// Groups currently-active lanes by resolved callee — the SIMT stack's
+/// partition of a divergent indirect branch, ascending by [`FuncId`].
+fn group_lanes(ctx: &WarpCtx<'_>, fids: &Lanes<FuncId>) -> Vec<(FuncId, u32)> {
+    gvf_sim::simt::partition_by(ctx.mask(), fids)
+}

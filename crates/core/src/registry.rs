@@ -1,0 +1,173 @@
+//! Type registry: the class hierarchy metadata the "compiler" knows.
+
+use std::fmt;
+
+/// Identifier of a registered object type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeId(pub u32);
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a virtual-function *implementation* (what an entry in a
+/// vTable ultimately names). Workloads give their function bodies stable
+/// `FuncId`s and match on them when a dispatched call lands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct TypeInfo {
+    pub name: String,
+    pub field_bytes: u64,
+    pub vfuncs: Vec<FuncId>,
+}
+
+/// Registry of all concrete object types in a program, with their field
+/// footprints and vTable contents.
+///
+/// This plays the role of the C++ front-end: it knows, for every concrete
+/// type, which implementation each virtual slot binds to. Abstract base
+/// classes do not appear — only instantiable types do, exactly the set a
+/// vTable exists for.
+///
+/// ```
+/// use gvf_core::{FuncId, TypeRegistry};
+/// let mut reg = TypeRegistry::new();
+/// let sphere = reg.add_type("Sphere", 32, &[FuncId(0), FuncId(2)]);
+/// let plane = reg.add_type("Plane", 24, &[FuncId(1), FuncId(2)]);
+/// assert_eq!(reg.vfunc(sphere, 0), FuncId(0));
+/// assert_eq!(reg.vfunc(plane, 0), FuncId(1));
+/// assert_eq!(reg.num_types(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TypeRegistry {
+    types: Vec<TypeInfo>,
+}
+
+impl TypeRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        TypeRegistry::default()
+    }
+
+    /// Registers a concrete type with `field_bytes` of member data
+    /// (headers excluded) and one [`FuncId`] per virtual slot.
+    ///
+    /// # Panics
+    /// Panics if `vfuncs` is empty — a type with no virtual functions
+    /// has no business in a vTable study.
+    pub fn add_type(&mut self, name: &str, field_bytes: u64, vfuncs: &[FuncId]) -> TypeId {
+        assert!(!vfuncs.is_empty(), "type {name} has no virtual functions");
+        let id = TypeId(self.types.len() as u32);
+        self.types.push(TypeInfo {
+            name: name.to_owned(),
+            field_bytes,
+            vfuncs: vfuncs.to_vec(),
+        });
+        id
+    }
+
+    /// Number of registered types (Table 2's `# Types` counts these plus
+    /// abstract bases; we report concrete types).
+    pub fn num_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// All type ids in registration order.
+    pub fn type_ids(&self) -> impl Iterator<Item = TypeId> {
+        (0..self.types.len() as u32).map(TypeId)
+    }
+
+    /// The type's name.
+    ///
+    /// # Panics
+    /// Panics if `t` is not from this registry.
+    pub fn name(&self, t: TypeId) -> &str {
+        &self.info(t).name
+    }
+
+    /// Member-data size in bytes (headers excluded).
+    ///
+    /// # Panics
+    /// Panics if `t` is not from this registry.
+    pub fn field_bytes(&self, t: TypeId) -> u64 {
+        self.info(t).field_bytes
+    }
+
+    /// Number of virtual slots in `t`'s vTable.
+    ///
+    /// # Panics
+    /// Panics if `t` is not from this registry.
+    pub fn num_slots(&self, t: TypeId) -> usize {
+        self.info(t).vfuncs.len()
+    }
+
+    /// The implementation bound to virtual slot `slot` of type `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` or `slot` is out of range.
+    pub fn vfunc(&self, t: TypeId, slot: usize) -> FuncId {
+        self.info(t).vfuncs[slot]
+    }
+
+    /// Total virtual-function pointers across all vTables (Table 2's
+    /// `# vFuncs` analogue for our ports).
+    pub fn total_vfunc_entries(&self) -> usize {
+        self.types.iter().map(|t| t.vfuncs.len()).sum()
+    }
+
+    /// Types that implement `slot` (candidates for a Concord switch at a
+    /// call site with no static narrowing).
+    pub fn candidates_for_slot(&self, slot: usize) -> Vec<TypeId> {
+        self.type_ids()
+            .filter(|&t| slot < self.num_slots(t))
+            .collect()
+    }
+
+    pub(crate) fn info(&self, t: TypeId) -> &TypeInfo {
+        &self.types[t.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_and_lookup() {
+        let mut r = TypeRegistry::new();
+        let a = r.add_type("A", 16, &[FuncId(0), FuncId(1)]);
+        let b = r.add_type("B", 24, &[FuncId(2)]);
+        assert_eq!(r.num_types(), 2);
+        assert_eq!(r.name(a), "A");
+        assert_eq!(r.field_bytes(b), 24);
+        assert_eq!(r.num_slots(a), 2);
+        assert_eq!(r.vfunc(a, 1), FuncId(1));
+        assert_eq!(r.total_vfunc_entries(), 3);
+    }
+
+    #[test]
+    fn candidates_respect_slot_count() {
+        let mut r = TypeRegistry::new();
+        let a = r.add_type("A", 8, &[FuncId(0), FuncId(1)]);
+        let b = r.add_type("B", 8, &[FuncId(2)]);
+        assert_eq!(r.candidates_for_slot(0), vec![a, b]);
+        assert_eq!(r.candidates_for_slot(1), vec![a]);
+        assert!(r.candidates_for_slot(2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no virtual functions")]
+    fn empty_vtable_rejected() {
+        TypeRegistry::new().add_type("Bad", 8, &[]);
+    }
+}

@@ -1,0 +1,203 @@
+//! The dispatch strategies compared in the paper.
+
+use gvf_alloc::AllocatorKind;
+use std::fmt;
+
+/// A virtual-function dispatch strategy (the bars of Fig. 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Strategy {
+    /// Contemporary CUDA: embedded vTable pointer per object, dispatched
+    /// with `LDG vTable*; LDG vFunc*; LDC; CALL`, objects placed by the
+    /// default device heap.
+    Cuda,
+    /// Intel Concord's type-tag + switch-statement lowering: a tag field
+    /// embedded in each object selects a compare/branch chain with
+    /// statically-known targets (no true dynamic dispatch).
+    Concord,
+    /// CUDA dispatch over the type-based SharedOA allocator — isolates
+    /// the allocator's packing benefit (§8.2).
+    SharedOa,
+    /// **COAL** (§5): SharedOA placement plus a compiler-inserted segment
+    /// tree walk that maps the object *address* to its vTable without
+    /// touching the object.
+    Coal,
+    /// **TypePointer**, software prototype (§6.3): the vTable offset
+    /// rides in the pointer's unused upper 15 bits; extra mask
+    /// instructions strip it at each member access so a stock MMU never
+    /// sees tag bits. This is what the paper runs on silicon.
+    TypePointerProto,
+    /// **TypePointer** with the proposed MMU change (§6.3): tag bits are
+    /// ignored by hardware, so member accesses carry no masking overhead.
+    /// This is what the paper runs in simulation (Fig. 11).
+    TypePointerHw,
+    /// The idealized microbenchmark baseline of §8.3: per-lane "types"
+    /// live in registers and dispatch is a pure compare/branch chain with
+    /// no objects and no memory.
+    Branch,
+}
+
+impl Strategy {
+    /// All strategies, in the paper's presentation order.
+    pub const ALL: [Strategy; 7] = [
+        Strategy::Cuda,
+        Strategy::Concord,
+        Strategy::SharedOa,
+        Strategy::Coal,
+        Strategy::TypePointerProto,
+        Strategy::TypePointerHw,
+        Strategy::Branch,
+    ];
+
+    /// The five strategies of the main evaluation (Figs. 6–9), in bar
+    /// order: CUDA, Concord, SharedOA, COAL, TypePointer.
+    pub const EVALUATED: [Strategy; 5] = [
+        Strategy::Cuda,
+        Strategy::Concord,
+        Strategy::SharedOa,
+        Strategy::Coal,
+        Strategy::TypePointerProto,
+    ];
+
+    /// The allocator this strategy uses by default. TypePointer is
+    /// allocator-independent (§6.1); its default pairs it with SharedOA
+    /// as in §8.1, and Fig. 11 overrides it with the CUDA heap.
+    pub fn default_allocator(self) -> AllocatorKind {
+        match self {
+            Strategy::Cuda | Strategy::Concord => AllocatorKind::Cuda,
+            _ => AllocatorKind::SharedOa,
+        }
+    }
+
+    /// Bytes of per-object header this strategy's object model needs.
+    ///
+    /// - CUDA C++: one embedded vTable pointer;
+    /// - Concord: a 4-byte type tag (padded to 8 for alignment);
+    /// - SharedOA-family (`sharedNew`, §4): a CPU vTable pointer *and* a
+    ///   GPU vTable pointer.
+    pub fn header_bytes(self) -> u64 {
+        match self {
+            Strategy::Cuda => 8,
+            Strategy::Concord => 8,
+            Strategy::Branch => 0,
+            _ => 16,
+        }
+    }
+
+    /// Byte offset of the GPU vTable pointer within the object header,
+    /// for the strategies that embed one.
+    pub fn gpu_vptr_offset(self) -> Option<u64> {
+        match self {
+            Strategy::Cuda => Some(0),
+            Strategy::Concord | Strategy::Branch => None,
+            // sharedNew stores the CPU vptr first, the GPU vptr second.
+            _ => Some(8),
+        }
+    }
+
+    /// Whether object pointers carry a TypePointer tag.
+    pub fn uses_tagged_pointers(self) -> bool {
+        matches!(self, Strategy::TypePointerProto | Strategy::TypePointerHw)
+    }
+
+    /// Whether member accesses must mask tag bits in software (the
+    /// prototype overhead of §6.3).
+    pub fn member_mask_alu(self) -> u16 {
+        match self {
+            Strategy::TypePointerProto => 1,
+            _ => 0,
+        }
+    }
+
+    /// Short name used in harness output (matches the paper's labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Cuda => "CUDA",
+            Strategy::Concord => "Concord",
+            Strategy::SharedOa => "SharedOA",
+            Strategy::Coal => "COAL",
+            Strategy::TypePointerProto => "TypePointer",
+            Strategy::TypePointerHw => "TypePointer(HW)",
+            Strategy::Branch => "BRANCH",
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = ParseStrategyError;
+
+    /// Parses a strategy label, case-insensitively; accepts the paper's
+    /// names plus the shorthands `tp` (prototype) and `tphw`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        Strategy::ALL
+            .into_iter()
+            .find(|x| x.label().eq_ignore_ascii_case(s))
+            .or(match lower.as_str() {
+                "tp" | "typepointer" => Some(Strategy::TypePointerProto),
+                "tphw" | "typepointer(hw)" => Some(Strategy::TypePointerHw),
+                "sharedoa" | "shared" => Some(Strategy::SharedOa),
+                _ => None,
+            })
+            .ok_or(ParseStrategyError)
+    }
+}
+
+/// Error returned when a strategy label cannot be parsed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseStrategyError;
+
+impl fmt::Display for ParseStrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("unknown dispatch strategy name")
+    }
+}
+
+impl std::error::Error for ParseStrategyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_allocators() {
+        assert_eq!(Strategy::Cuda.default_allocator(), AllocatorKind::Cuda);
+        assert_eq!(Strategy::Concord.default_allocator(), AllocatorKind::Cuda);
+        assert_eq!(Strategy::SharedOa.default_allocator(), AllocatorKind::SharedOa);
+        assert_eq!(Strategy::Coal.default_allocator(), AllocatorKind::SharedOa);
+        assert_eq!(Strategy::TypePointerHw.default_allocator(), AllocatorKind::SharedOa);
+    }
+
+    #[test]
+    fn headers() {
+        assert_eq!(Strategy::Cuda.header_bytes(), 8);
+        assert_eq!(Strategy::Concord.header_bytes(), 8);
+        assert_eq!(Strategy::Coal.header_bytes(), 16);
+        assert_eq!(Strategy::Cuda.gpu_vptr_offset(), Some(0));
+        assert_eq!(Strategy::SharedOa.gpu_vptr_offset(), Some(8));
+        assert_eq!(Strategy::Concord.gpu_vptr_offset(), None);
+    }
+
+    #[test]
+    fn parse_labels_round_trip() {
+        for s in Strategy::ALL {
+            assert_eq!(s.label().parse::<Strategy>().unwrap(), s);
+        }
+        assert_eq!("tp".parse::<Strategy>().unwrap(), Strategy::TypePointerProto);
+        assert_eq!("coal".parse::<Strategy>().unwrap(), Strategy::Coal);
+        assert!("warp-drive".parse::<Strategy>().is_err());
+    }
+
+    #[test]
+    fn proto_masks_members() {
+        assert_eq!(Strategy::TypePointerProto.member_mask_alu(), 1);
+        assert_eq!(Strategy::TypePointerHw.member_mask_alu(), 0);
+        assert!(Strategy::TypePointerProto.uses_tagged_pointers());
+        assert!(!Strategy::Coal.uses_tagged_pointers());
+    }
+}

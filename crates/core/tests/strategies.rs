@@ -1,0 +1,336 @@
+//! Cross-strategy integration tests: every dispatch strategy must
+//! resolve the same callees (the paper's functional validation, §8), and
+//! their memory profiles must have the shapes of Table 1.
+
+use gvf_alloc::{AllocatorKind, CudaHeapAllocator, DeviceAllocator, SharedOa};
+use gvf_core::{CallSite, DeviceProgram, FuncId, Strategy, TagMode, TypeId, TypeRegistry};
+use gvf_mem::DeviceMemory;
+use gvf_sim::{lanes_from_fn, run_kernel, AccessTag, Gpu, GpuConfig, Stats};
+
+const MEOW: FuncId = FuncId(10);
+const BARK: FuncId = FuncId(11);
+const HISS: FuncId = FuncId(12);
+const EAT: FuncId = FuncId(20);
+
+fn registry() -> (TypeRegistry, [TypeId; 3]) {
+    let mut reg = TypeRegistry::new();
+    let cat = reg.add_type("Cat", 24, &[MEOW, EAT]);
+    let dog = reg.add_type("Dog", 32, &[BARK, EAT]);
+    let snake = reg.add_type("Snake", 16, &[HISS, EAT]);
+    (reg, [cat, dog, snake])
+}
+
+fn allocator_for(strategy: Strategy) -> Box<dyn DeviceAllocator> {
+    match strategy.default_allocator() {
+        AllocatorKind::Cuda => Box::new(CudaHeapAllocator::new()),
+        AllocatorKind::SharedOa => Box::new(SharedOa::new()),
+    }
+}
+
+/// Builds N objects with a type pattern, dispatches slot `slot` for all
+/// of them, and returns (per-object callee log, stats).
+fn run(strategy: Strategy, n: usize, slot: usize) -> (Vec<FuncId>, Stats) {
+    let (reg, tys) = registry();
+    let mut mem = DeviceMemory::with_capacity(256 << 20);
+    let mut prog = DeviceProgram::new(&mut mem, &reg, strategy);
+    let mut alloc = allocator_for(strategy);
+    prog.register_types(alloc.as_mut());
+
+    let objs: Vec<_> = (0..n)
+        .map(|i| prog.construct(&mut mem, alloc.as_mut(), tys[i % 3]))
+        .collect();
+    prog.finalize_ranges(&mut mem, alloc.as_ref());
+
+    let mut log = vec![FuncId(u32::MAX); n];
+    let kernel = run_kernel(&mut mem, n, |w| {
+        let ptrs = lanes_from_fn(|l| objs.get(w.thread_id(l)).copied());
+        let site = CallSite::new(slot);
+        prog.vcall(w, &site, &ptrs, |w, fid| {
+            for l in w.active_lanes() {
+                log[w.warp_id() * 32 + l] = fid;
+            }
+            w.alu(2);
+        });
+    });
+    let stats = Gpu::new(GpuConfig::small()).execute(&kernel);
+    (log, stats)
+}
+
+#[test]
+fn all_strategies_resolve_identical_callees() {
+    let n = 200;
+    let (reference, _) = run(Strategy::Cuda, n, 0);
+    for strategy in [
+        Strategy::Concord,
+        Strategy::SharedOa,
+        Strategy::Coal,
+        Strategy::TypePointerProto,
+        Strategy::TypePointerHw,
+    ] {
+        let (log, _) = run(strategy, n, 0);
+        assert_eq!(log, reference, "{strategy} diverged from CUDA resolution");
+    }
+}
+
+#[test]
+fn slot_one_resolves_shared_override() {
+    // Slot 1 is EAT for every type: a fully converged callee.
+    for strategy in [Strategy::Cuda, Strategy::Coal, Strategy::TypePointerHw] {
+        let (log, _) = run(strategy, 100, 1);
+        assert!(log.iter().all(|&f| f == EAT), "{strategy}");
+    }
+}
+
+#[test]
+fn cuda_vtable_load_is_diverged_coal_is_not() {
+    let n = 512;
+    let (_, cuda) = run(Strategy::Cuda, n, 0);
+    let (_, coal) = run(Strategy::Coal, n, 0);
+    let (_, tp) = run(Strategy::TypePointerHw, n, 0);
+    // Table 1: CUDA's A-step traffic ∝ objects; COAL replaces it with a
+    // converged walk; TypePointer eliminates it.
+    assert!(cuda.stall(AccessTag::VtablePtr) > 0);
+    assert_eq!(coal.stall(AccessTag::VtablePtr), 0);
+    assert_eq!(tp.stall(AccessTag::VtablePtr), 0);
+    assert!(coal.stall(AccessTag::RangeWalk) > 0);
+    assert_eq!(tp.stall(AccessTag::RangeWalk), 0);
+    assert!(tp.global_load_transactions < cuda.global_load_transactions);
+}
+
+#[test]
+fn concord_has_no_indirect_calls() {
+    let (_, con) = run(Strategy::Concord, 256, 0);
+    assert_eq!(con.stall_by_tag[gvf_sim::STALL_INDIRECT_CALL], 0);
+    assert!(con.stall(AccessTag::TypeTag) > 0);
+    assert_eq!(con.stall(AccessTag::VfuncPtr), 0);
+}
+
+#[test]
+fn coal_instruction_inflation_exceeds_typepointer() {
+    let n = 512;
+    let (_, shared) = run(Strategy::SharedOa, n, 0);
+    let (_, coal) = run(Strategy::Coal, n, 0);
+    let (_, tp) = run(Strategy::TypePointerProto, n, 0);
+    // Fig. 7: COAL adds far more instructions than TypePointer.
+    assert!(coal.total_instrs() > tp.total_instrs());
+    assert!(tp.total_instrs() >= shared.total_instrs());
+}
+
+#[test]
+fn coal_heuristic_skips_converged_sites() {
+    let (reg, tys) = registry();
+    let mut mem = DeviceMemory::with_capacity(64 << 20);
+    let mut prog = DeviceProgram::new(&mut mem, &reg, Strategy::Coal);
+    let mut alloc = SharedOa::new();
+    prog.register_types(&mut alloc);
+    let obj = prog.construct(&mut mem, &mut alloc, tys[0]);
+    prog.finalize_ranges(&mut mem, &alloc);
+
+    // Every lane calls through the SAME object: the compiler marks the
+    // site converged and COAL emits the plain CUDA sequence instead.
+    let kernel = run_kernel(&mut mem, 32, |w| {
+        let ptrs = lanes_from_fn(|_| Some(obj));
+        prog.vcall(w, &CallSite::new(0).converged(), &ptrs, |w, fid| {
+            assert_eq!(fid, MEOW);
+            w.alu(1);
+        });
+    });
+    let stats = Gpu::new(GpuConfig::small()).execute(&kernel);
+    assert!(stats.stall(AccessTag::VtablePtr) > 0, "fallback path reads the vptr");
+    assert_eq!(stats.stall(AccessTag::RangeWalk), 0, "no range walk at converged site");
+}
+
+#[test]
+fn typepointer_works_on_cuda_allocator() {
+    // Fig. 11: TypePointer is allocator-independent.
+    let (reg, tys) = registry();
+    let mut mem = DeviceMemory::with_capacity(64 << 20);
+    let prog = DeviceProgram::new(&mut mem, &reg, Strategy::TypePointerHw);
+    let mut alloc = CudaHeapAllocator::new();
+    prog.register_types(&mut alloc);
+    let objs: Vec<_> = (0..64).map(|i| prog.construct(&mut mem, &mut alloc, tys[i % 3])).collect();
+
+    let mut calls = 0u32;
+    run_kernel(&mut mem, 64, |w| {
+        let ptrs = lanes_from_fn(|l| objs.get(w.thread_id(l)).copied());
+        prog.vcall(w, &CallSite::new(0), &ptrs, |w, _| calls += w.mask().count_ones());
+    });
+    assert_eq!(calls, 64);
+}
+
+#[test]
+fn tag_modes_agree() {
+    let (reg, tys) = registry();
+    for mode in [TagMode::Offset, TagMode::Index] {
+        let mut mem = DeviceMemory::with_capacity(64 << 20);
+        let prog =
+            DeviceProgram::with_tag_mode(&mut mem, &reg, Strategy::TypePointerHw, mode);
+        let mut alloc = SharedOa::new();
+        prog.register_types(&mut alloc);
+        let objs: Vec<_> =
+            (0..96).map(|i| prog.construct(&mut mem, &mut alloc, tys[i % 3])).collect();
+        let mut log = Vec::new();
+        run_kernel(&mut mem, 96, |w| {
+            let ptrs = lanes_from_fn(|l| objs.get(w.thread_id(l)).copied());
+            prog.vcall(w, &CallSite::new(0), &ptrs, |w, fid| {
+                for _ in w.active_lanes() {
+                    log.push(fid);
+                }
+            });
+        });
+        assert_eq!(log.len(), 96);
+        // Offset mode has no padding waste; index mode may.
+        if mode == TagMode::Offset {
+            assert_eq!(prog.vtable_padding_bytes(), 0);
+        }
+    }
+}
+
+#[test]
+fn constructed_objects_report_their_type() {
+    let (reg, tys) = registry();
+    for strategy in [
+        Strategy::Cuda,
+        Strategy::Concord,
+        Strategy::SharedOa,
+        Strategy::Coal,
+        Strategy::TypePointerProto,
+        Strategy::TypePointerHw,
+    ] {
+        let mut mem = DeviceMemory::with_capacity(64 << 20);
+        let prog = DeviceProgram::new(&mut mem, &reg, strategy);
+        let mut alloc = allocator_for(strategy);
+        prog.register_types(alloc.as_mut());
+        for &t in &tys {
+            let p = prog.construct(&mut mem, alloc.as_mut(), t);
+            assert_eq!(prog.type_of(&mut mem, p), Some(t), "{strategy}");
+            if strategy.uses_tagged_pointers() {
+                assert_eq!(p.tag(), prog.type_tag(t), "{strategy} must tag pointers");
+            } else {
+                assert!(p.is_canonical(), "{strategy} must not tag pointers");
+            }
+        }
+    }
+}
+
+#[test]
+fn proto_member_access_pays_masking_alu() {
+    let (reg, tys) = registry();
+    let count_compute = |strategy: Strategy| {
+        let mut mem = DeviceMemory::with_capacity(64 << 20);
+        let prog = DeviceProgram::new(&mut mem, &reg, strategy);
+        let mut alloc = SharedOa::new();
+        prog.register_types(&mut alloc);
+        let objs: Vec<_> =
+            (0..32).map(|_| prog.construct(&mut mem, &mut alloc, tys[0])).collect();
+        let k = run_kernel(&mut mem, 32, |w| {
+            let ptrs = lanes_from_fn(|l| objs.get(w.thread_id(l)).copied());
+            prog.ld_field(w, &ptrs, 0, 8);
+        });
+        k.warps[0].dyn_instrs_of(gvf_sim::InstrClass::Compute)
+    };
+    assert_eq!(count_compute(Strategy::TypePointerHw), 0);
+    assert_eq!(count_compute(Strategy::TypePointerProto), 1);
+}
+
+#[test]
+fn branch_call_dispatches_by_register_type() {
+    let (reg, tys) = registry();
+    let mut mem = DeviceMemory::with_capacity(1 << 20);
+    let prog = DeviceProgram::new(&mut mem, &reg, Strategy::Branch);
+    let mut hits = [0u32; 3];
+    let kernel = run_kernel(&mut mem, 64, |w| {
+        let types = lanes_from_fn(|l| Some(tys[w.thread_id(l) % 3]));
+        prog.branch_call(w, 0, &types, |w, fid| {
+            let idx = match fid {
+                MEOW => 0,
+                BARK => 1,
+                HISS => 2,
+                other => panic!("unexpected callee {other}"),
+            };
+            hits[idx] += w.mask().count_ones();
+            w.alu(1);
+        });
+    });
+    assert_eq!(hits.iter().sum::<u32>(), 64);
+    assert!(hits.iter().all(|&h| h >= 21));
+    let stats = Gpu::new(GpuConfig::small()).execute(&kernel);
+    assert_eq!(stats.global_load_transactions, 0, "BRANCH touches no memory");
+}
+
+#[test]
+fn tag_budget_fallback_mixes_paths_correctly() {
+    // Six single-slot types = 48 bytes of vTables; a 24-byte budget tags
+    // the first three and sends the rest down the classic path (§6.1).
+    let mut reg = TypeRegistry::new();
+    let tys: Vec<_> =
+        (0..6).map(|t| reg.add_type(&format!("T{t}"), 16, &[FuncId(50 + t)])).collect();
+    let mut mem = gvf_mem::DeviceMemory::with_capacity(64 << 20);
+    let prog = DeviceProgram::with_tag_budget(
+        &mut mem,
+        &reg,
+        Strategy::TypePointerHw,
+        TagMode::Offset,
+        24,
+    );
+    let mut alloc = SharedOa::new();
+    prog.register_types(&mut alloc);
+    let objs: Vec<_> =
+        (0..192).map(|i| prog.construct(&mut mem, &mut alloc, tys[i % 6])).collect();
+
+    // Tag assignment: first three types fit, the rest carry NO_TAG.
+    for (i, &t) in tys.iter().enumerate() {
+        if i < 3 {
+            assert_eq!(prog.type_tag(t) as u64, (i * 8) as u64);
+        } else {
+            assert_eq!(prog.type_tag(t), gvf_core::NO_TAG);
+        }
+        let obj = prog.construct(&mut mem, &mut alloc, t);
+        assert_eq!(prog.type_of(&mut mem, obj), Some(t), "type_of through both paths");
+    }
+
+    let mut log = vec![0u32; objs.len()];
+    let kernel = run_kernel(&mut mem, objs.len(), |w| {
+        let ptrs = lanes_from_fn(|l| objs.get(w.thread_id(l)).copied());
+        prog.vcall(w, &CallSite::new(0), &ptrs, |w, fid| {
+            for l in w.active_lanes().collect::<Vec<_>>() {
+                log[w.warp_id() * 32 + l] = fid.0;
+            }
+        });
+    });
+    for (i, &f) in log.iter().enumerate() {
+        assert_eq!(f, 50 + (i % 6) as u32, "object {i} dispatched wrongly");
+    }
+    // The fallback lanes read embedded vTable pointers; the tagged lanes
+    // did not.
+    let stats = Gpu::new(GpuConfig::small()).execute(&kernel);
+    assert!(stats.stall(AccessTag::VtablePtr) > 0, "fallback path must load vptrs");
+}
+
+#[test]
+fn concord_code_size_grows_with_candidates() {
+    // §8.1: Concord trades code size for dispatch speed — the switch
+    // duplicates the body per candidate arm.
+    let mut reg = TypeRegistry::new();
+    let tys: Vec<_> =
+        (0..8u32).map(|t| reg.add_type(&format!("T{t}"), 8, &[FuncId(t)])).collect();
+    let mut mem = DeviceMemory::with_capacity(8 << 20);
+    let concord = DeviceProgram::new(&mut mem, &reg, Strategy::Concord);
+    let cuda = DeviceProgram::new(&mut mem, &reg, Strategy::Cuda);
+    let tp = DeviceProgram::new(&mut mem, &reg, Strategy::TypePointerHw);
+
+    let body = 20;
+    let narrow = CallSite::new(0).with_candidates(tys[..2].to_vec());
+    let wide = CallSite::new(0);
+    assert!(
+        concord.static_callsite_instrs(&wide, body)
+            > concord.static_callsite_instrs(&narrow, body) * 3
+    );
+    // The call-based schemes share one body: constant-size call sites.
+    assert_eq!(
+        cuda.static_callsite_instrs(&wide, body),
+        cuda.static_callsite_instrs(&narrow, body)
+    );
+    assert!(tp.static_callsite_instrs(&wide, body) <= 5);
+    assert!(concord.static_callsite_instrs(&wide, body) > 8 * body);
+}

@@ -1,0 +1,105 @@
+//! The TypePointer corner cases of paper §6.4: programs that manipulate
+//! pointer bits, abuse casts, or mix allocators can break TypePointer —
+//! exactly as the paper warns. These tests pin down the failure modes
+//! (and the ones that *stay* correct).
+
+use gvf_alloc::{CudaHeapAllocator, DeviceAllocator, SharedOa};
+use gvf_core::{CallSite, DeviceProgram, FuncId, Strategy, TypeRegistry};
+use gvf_mem::{DeviceMemory, MmuMode, VirtAddr};
+use gvf_sim::{lanes_from_fn, run_kernel};
+
+fn setup(strategy: Strategy) -> (DeviceMemory, DeviceProgram, SharedOa, Vec<VirtAddr>) {
+    let mut mem = DeviceMemory::with_capacity(32 << 20);
+    let mut reg = TypeRegistry::new();
+    let a = reg.add_type("A", 16, &[FuncId(1)]);
+    let b = reg.add_type("B", 16, &[FuncId(2)]);
+    let prog = DeviceProgram::new(&mut mem, &reg, strategy);
+    let mut alloc = SharedOa::new();
+    prog.register_types(&mut alloc);
+    let objs: Vec<_> = (0..64)
+        .map(|i| prog.construct(&mut mem, &mut alloc, if i % 2 == 0 { a } else { b }))
+        .collect();
+    (mem, prog, alloc, objs)
+}
+
+/// §6.4 case (1): clobbering the upper 15 bits of the pointer re-types
+/// the object — dispatch silently calls the wrong function.
+#[test]
+fn clobbered_tag_bits_dispatch_wrong_function() {
+    let (mut mem, prog, _alloc, objs) = setup(Strategy::TypePointerHw);
+    let a_obj = objs[0]; // type A, FuncId(1)
+    let b_obj = objs[1]; // type B
+    // "Undefined behaviour in C": copy B's tag onto A's pointer.
+    let forged = a_obj.strip_tag().with_tag(b_obj.tag());
+
+    let mut called = None;
+    run_kernel(&mut mem, 1, |w| {
+        let ptrs = lanes_from_fn(|l| (l == 0).then_some(forged));
+        prog.vcall(w, &CallSite::new(0), &ptrs, |_, fid| called = Some(fid));
+    });
+    assert_eq!(called, Some(FuncId(2)), "forged tag dispatches as type B — the §6.4 hazard");
+}
+
+/// The same clobbering is *harmless* under COAL: the type comes from the
+/// address range, which the forgery did not change.
+#[test]
+fn coal_is_immune_to_tag_clobbering() {
+    let (mut mem, mut prog, alloc, objs) = setup(Strategy::Coal);
+    prog.finalize_ranges(&mut mem, &alloc);
+    let forged = objs[0].strip_tag().with_tag(0x1abc);
+    let mut called = None;
+    run_kernel(&mut mem, 1, |w| {
+        let ptrs = lanes_from_fn(|l| (l == 0).then_some(forged));
+        prog.vcall(w, &CallSite::new(0), &ptrs, |_, fid| called = Some(fid));
+    });
+    assert_eq!(called, Some(FuncId(1)), "COAL keys on the address, not the tag");
+}
+
+/// §6.4 case (3): an object from a TypePointer-unaware allocator carries
+/// no tag, so TypePointer dispatch reads the wrong vTable slot — here it
+/// resolves as the type whose vTable sits at offset 0.
+#[test]
+fn foreign_allocator_objects_mistype() {
+    let (mut mem, prog, _alloc, _objs) = setup(Strategy::TypePointerHw);
+    let mut foreign = CudaHeapAllocator::new();
+    prog.register_types(&mut foreign);
+    // Construct "by hand" through the unaware allocator: no tag.
+    let raw = foreign.alloc(&mut mem, gvf_alloc::TypeKey(1)); // a B object
+    assert!(raw.is_canonical(), "unaware allocator returns untagged pointers");
+
+    let mut called = None;
+    run_kernel(&mut mem, 1, |w| {
+        let ptrs = lanes_from_fn(|l| (l == 0).then_some(raw));
+        prog.vcall(w, &CallSite::new(0), &ptrs, |_, fid| called = Some(fid));
+    });
+    // Tag 0 = vTable offset 0 = type A: the B object quacks like an A.
+    assert_eq!(called, Some(FuncId(1)), "mixing allocators mistypes objects (§6.4)");
+}
+
+/// A strict MMU (no TypePointer hardware) faults the moment a tagged
+/// pointer is dereferenced — the reason the software prototype masks
+/// bits at member accesses (§6.3).
+#[test]
+fn strict_mmu_faults_on_tagged_dereference() {
+    let (mut mem, _prog, _alloc, objs) = setup(Strategy::TypePointerHw);
+    assert_eq!(mem.mmu().mode(), MmuMode::Strict);
+    let tagged = objs[1];
+    assert_ne!(tagged.tag(), 0);
+    assert!(mem.read_u64(tagged).is_err(), "raw dereference of a tagged pointer traps");
+    // The proto's masking (strip_tag) is exactly what avoids the trap.
+    assert!(mem.read_u64(tagged.strip_tag()).is_ok());
+}
+
+/// Valid programs — no bit games, one allocator — are unaffected: both
+/// TypePointer variants agree with the range-based and vptr-based
+/// resolutions for every object.
+#[test]
+fn well_behaved_programs_are_safe() {
+    for strategy in [Strategy::TypePointerProto, Strategy::TypePointerHw] {
+        let (mut mem, prog, _alloc, objs) = setup(strategy);
+        for (i, &o) in objs.iter().enumerate() {
+            let t = prog.type_of(&mut mem, o).expect("typed object");
+            assert_eq!(t.0 as usize, i % 2);
+        }
+    }
+}

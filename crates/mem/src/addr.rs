@@ -1,0 +1,235 @@
+//! Virtual and physical address newtypes.
+//!
+//! GPU unified memory uses a **49-bit** virtual address space inside 64-bit
+//! pointers (paper §1, §6). The upper [`TAG_BITS`] bits are architecturally
+//! unused; TypePointer repurposes them to carry the object's type.
+
+use std::fmt;
+
+/// Number of meaningful bits in a GPU virtual address.
+pub const VA_BITS: u32 = 49;
+/// Number of unused upper bits in a 64-bit GPU pointer (`64 - VA_BITS`).
+pub const TAG_BITS: u32 = 64 - VA_BITS;
+/// Mask selecting the 49 canonical address bits.
+pub const VA_MASK: u64 = (1u64 << VA_BITS) - 1;
+/// Maximum tag value representable in the unused bits (`2^15 - 1`).
+pub const MAX_TAG: u16 = ((1u32 << TAG_BITS) - 1) as u16;
+/// Page size used by the simulated device (bytes).
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A 64-bit GPU virtual address.
+///
+/// The low [`VA_BITS`] bits address memory; the high [`TAG_BITS`] bits are
+/// the *TypePointer tag*. A `VirtAddr` with a zero tag is *canonical*.
+///
+/// ```
+/// use gvf_mem::VirtAddr;
+/// let a = VirtAddr::new(0x1000);
+/// assert!(a.is_canonical());
+/// let tagged = a.with_tag(7);
+/// assert_eq!(tagged.tag(), 7);
+/// assert_eq!(tagged.strip_tag(), a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// The null address.
+    pub const NULL: VirtAddr = VirtAddr(0);
+
+    /// Creates a virtual address from a raw 64-bit value (tag preserved).
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// Raw 64-bit value, including any tag bits.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The canonical 49-bit address portion.
+    #[inline]
+    pub const fn canonical(self) -> u64 {
+        self.0 & VA_MASK
+    }
+
+    /// The 15-bit tag stored in the unused upper bits.
+    #[inline]
+    pub const fn tag(self) -> u16 {
+        (self.0 >> VA_BITS) as u16
+    }
+
+    /// `true` when the tag bits are all zero.
+    #[inline]
+    pub const fn is_canonical(self) -> bool {
+        self.tag() == 0
+    }
+
+    /// `true` when this is the null address (tag ignored).
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.canonical() == 0
+    }
+
+    /// Returns the same address with `tag` written into the upper bits.
+    #[inline]
+    pub const fn with_tag(self, tag: u16) -> Self {
+        VirtAddr(self.canonical() | ((tag as u64) << VA_BITS))
+    }
+
+    /// Returns the canonical (tag-free) version of this address.
+    #[inline]
+    pub const fn strip_tag(self) -> Self {
+        VirtAddr(self.canonical())
+    }
+
+    /// Virtual page number of the canonical address.
+    #[inline]
+    pub const fn vpn(self) -> u64 {
+        self.canonical() >> PAGE_SHIFT
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.canonical() & (PAGE_SIZE - 1)
+    }
+
+    /// Address advanced by `bytes` (tag preserved).
+    ///
+    /// # Panics
+    /// Panics in debug builds if the canonical part overflows 49 bits.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> Self {
+        let next = self.canonical() + bytes;
+        debug_assert!(next <= VA_MASK, "virtual address overflow");
+        VirtAddr((next & VA_MASK) | (self.0 & !VA_MASK))
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_canonical() {
+            write!(f, "VirtAddr({:#x})", self.0)
+        } else {
+            write!(f, "VirtAddr({:#x} tag={})", self.canonical(), self.tag())
+        }
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        VirtAddr::new(raw)
+    }
+}
+
+impl From<VirtAddr> for u64 {
+    fn from(a: VirtAddr) -> u64 {
+        a.raw()
+    }
+}
+
+/// A physical address in simulated device DRAM.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// Raw value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Physical frame number.
+    #[inline]
+    pub const fn pfn(self) -> u64 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Byte offset within the frame.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+}
+
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PhysAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        let a = VirtAddr::new(0xdead_beef);
+        for tag in [0u16, 1, 0x7fff] {
+            let t = a.with_tag(tag);
+            assert_eq!(t.tag(), tag);
+            assert_eq!(t.canonical(), 0xdead_beef);
+            assert_eq!(t.strip_tag(), a);
+        }
+    }
+
+    #[test]
+    fn canonical_detection() {
+        assert!(VirtAddr::new(VA_MASK).is_canonical());
+        assert!(!VirtAddr::new(VA_MASK + 1).is_canonical());
+        assert!(VirtAddr::new(0).is_null());
+        assert!(!VirtAddr::new(5).with_tag(3).is_canonical());
+    }
+
+    #[test]
+    fn page_arithmetic() {
+        let a = VirtAddr::new(3 * PAGE_SIZE + 17);
+        assert_eq!(a.vpn(), 3);
+        assert_eq!(a.page_offset(), 17);
+        assert_eq!(a.offset(PAGE_SIZE).vpn(), 4);
+    }
+
+    #[test]
+    fn offset_preserves_tag() {
+        let a = VirtAddr::new(0x1000).with_tag(9);
+        let b = a.offset(8);
+        assert_eq!(b.tag(), 9);
+        assert_eq!(b.canonical(), 0x1008);
+    }
+
+    #[test]
+    fn max_tag_matches_bits() {
+        assert_eq!(MAX_TAG, 0x7fff);
+        assert_eq!(TAG_BITS, 15);
+        assert_eq!(VA_BITS, 49);
+    }
+}

@@ -1,0 +1,51 @@
+//! Memory fault model.
+
+use crate::addr::VirtAddr;
+use std::fmt;
+
+/// A fault raised by the simulated MMU or backing store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemFault {
+    /// The pointer carried non-zero tag bits while the MMU was in
+    /// [`strict`](crate::MmuMode::Strict) mode — exactly the exception a
+    /// production GPU raises when software clobbers the unused upper bits
+    /// of the virtual address (paper §6.3).
+    NonCanonical {
+        /// Faulting address (tag included).
+        addr: VirtAddr,
+    },
+    /// Access to a virtual page with no mapping and demand paging disabled.
+    Unmapped {
+        /// Faulting address.
+        addr: VirtAddr,
+    },
+    /// An access crossed the end of the reserved virtual address range.
+    OutOfRange {
+        /// Faulting address.
+        addr: VirtAddr,
+        /// Access width in bytes.
+        len: u64,
+    },
+    /// The device ran out of physical frames.
+    OutOfMemory,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::NonCanonical { addr } => {
+                write!(f, "non-canonical virtual address {addr:#x} (tag bits set in strict mode)")
+            }
+            MemFault::Unmapped { addr } => write!(f, "access to unmapped page at {addr:#x}"),
+            MemFault::OutOfRange { addr, len } => {
+                write!(f, "{len}-byte access at {addr:#x} crosses reserved range")
+            }
+            MemFault::OutOfMemory => write!(f, "out of simulated device memory"),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Convenience alias for fallible memory operations.
+pub type MemResult<T> = Result<T, MemFault>;

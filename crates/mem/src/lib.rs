@@ -1,0 +1,41 @@
+//! # gvf-mem — simulated GPU unified memory
+//!
+//! The memory substrate for the `gvf` reproduction of *"Judging a Type by
+//! Its Pointer"* (ASPLOS 2021): a 49-bit GPU virtual address space with
+//! 15 unused upper bits per 64-bit pointer, a single-level page table with
+//! demand paging, an MMU with the paper's **TypePointer** tag-bit mode,
+//! and a byte-addressable paged backing store shared by the simulated CPU
+//! and GPU.
+//!
+//! ```
+//! use gvf_mem::{DeviceMemory, MmuMode, VirtAddr};
+//!
+//! let mut mem = DeviceMemory::with_capacity(1 << 20);
+//! let obj = mem.reserve(32, 16);
+//! mem.write_u64(obj, 7).unwrap();
+//!
+//! // TypePointer: stash a vTable offset in the unused bits...
+//! let tagged = obj.with_tag(0x120);
+//! // ...which faults on a stock MMU,
+//! assert!(mem.read_u64(tagged).is_err());
+//! // but is transparent once the MMU ignores tag bits (paper §6.3).
+//! mem.mmu_mut().set_mode(MmuMode::IgnoreTagBits);
+//! assert_eq!(mem.read_u64(tagged).unwrap(), 7);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod error;
+mod memory;
+mod mmu;
+mod page;
+
+pub use addr::{
+    PhysAddr, VirtAddr, MAX_TAG, PAGE_SHIFT, PAGE_SIZE, TAG_BITS, VA_BITS, VA_MASK,
+};
+pub use error::{MemFault, MemResult};
+pub use memory::DeviceMemory;
+pub use mmu::{Mmu, MmuMode};
+pub use page::PageTable;

@@ -1,0 +1,268 @@
+//! Byte-addressable simulated device memory behind the MMU.
+
+use crate::addr::{VirtAddr, PAGE_SIZE};
+use crate::error::MemResult;
+use crate::mmu::{Mmu, MmuMode};
+
+const FRAME_BYTES: usize = PAGE_SIZE as usize;
+
+/// The CPU–GPU shared memory space: an [`Mmu`] plus physical frames.
+///
+/// All workload data — object images, vTables, range tables — lives here,
+/// so every functional access can also be observed by the timing model.
+///
+/// ```
+/// use gvf_mem::{DeviceMemory, VirtAddr};
+/// let mut mem = DeviceMemory::with_capacity(1 << 20);
+/// let p = mem.reserve(64, 8);
+/// mem.write_u64(p, 0xfeed).unwrap();
+/// assert_eq!(mem.read_u64(p).unwrap(), 0xfeed);
+/// ```
+#[derive(Debug)]
+pub struct DeviceMemory {
+    mmu: Mmu,
+    frames: Vec<Box<[u8; FRAME_BYTES]>>,
+    brk: u64,
+}
+
+impl DeviceMemory {
+    /// Default simulated DRAM capacity (4 GiB, the heap limit the paper
+    /// sets via `cudaLimitMallocHeapSize`, §7).
+    pub const DEFAULT_CAPACITY: u64 = 4 << 30;
+
+    /// Creates a memory with [`DEFAULT_CAPACITY`](Self::DEFAULT_CAPACITY)
+    /// and a strict MMU.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a memory with an explicit physical capacity in bytes.
+    pub fn with_capacity(phys_bytes: u64) -> Self {
+        DeviceMemory {
+            mmu: Mmu::new(phys_bytes, MmuMode::Strict),
+            frames: Vec::new(),
+            // Skip the zero page so that null pointers stay invalid.
+            brk: PAGE_SIZE,
+        }
+    }
+
+    /// Access to the MMU (for mode switches and counters).
+    pub fn mmu(&self) -> &Mmu {
+        &self.mmu
+    }
+
+    /// Mutable access to the MMU.
+    pub fn mmu_mut(&mut self) -> &mut Mmu {
+        &mut self.mmu
+    }
+
+    /// Reserves `len` bytes of fresh virtual address space aligned to
+    /// `align` (power of two) and returns the base address. No pages are
+    /// mapped until first touch (demand paging).
+    ///
+    /// # Panics
+    /// Panics if `align` is not a power of two.
+    pub fn reserve(&mut self, len: u64, align: u64) -> VirtAddr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.brk + align - 1) & !(align - 1);
+        self.brk = base + len.max(1);
+        VirtAddr::new(base)
+    }
+
+    /// Current top of the reserved virtual address space.
+    pub fn brk(&self) -> VirtAddr {
+        VirtAddr::new(self.brk)
+    }
+
+    fn frame_mut(&mut self, pfn: u64) -> &mut [u8; FRAME_BYTES] {
+        let idx = pfn as usize;
+        while self.frames.len() <= idx {
+            self.frames.push(Box::new([0u8; FRAME_BYTES]));
+        }
+        &mut self.frames[idx]
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    /// Propagates MMU faults ([`MemFault`](crate::MemFault)).
+    pub fn read_bytes(&mut self, addr: VirtAddr, buf: &mut [u8]) -> MemResult<()> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = addr.offset(done as u64);
+            let pa = self.mmu.translate(cur)?;
+            let in_page = (FRAME_BYTES as u64 - pa.page_offset()) as usize;
+            let n = in_page.min(buf.len() - done);
+            let frame = self.frame_mut(pa.pfn());
+            let off = pa.page_offset() as usize;
+            buf[done..done + n].copy_from_slice(&frame[off..off + n]);
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr`.
+    ///
+    /// # Errors
+    /// Propagates MMU faults.
+    pub fn write_bytes(&mut self, addr: VirtAddr, buf: &[u8]) -> MemResult<()> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = addr.offset(done as u64);
+            let pa = self.mmu.translate(cur)?;
+            let in_page = (FRAME_BYTES as u64 - pa.page_offset()) as usize;
+            let n = in_page.min(buf.len() - done);
+            let frame = self.frame_mut(pa.pfn());
+            let off = pa.page_offset() as usize;
+            frame[off..off + n].copy_from_slice(&buf[done..done + n]);
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `addr` with `value`.
+    ///
+    /// # Errors
+    /// Propagates MMU faults.
+    pub fn fill(&mut self, addr: VirtAddr, len: u64, value: u8) -> MemResult<()> {
+        const CHUNK: usize = 4096;
+        let chunk = [value; CHUNK];
+        let mut done = 0u64;
+        while done < len {
+            let n = (len - done).min(CHUNK as u64) as usize;
+            self.write_bytes(addr.offset(done), &chunk[..n])?;
+            done += n as u64;
+        }
+        Ok(())
+    }
+}
+
+impl Default for DeviceMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+macro_rules! typed_access {
+    ($read:ident, $write:ident, $ty:ty) => {
+        impl DeviceMemory {
+            #[doc = concat!("Reads a little-endian `", stringify!($ty), "` at `addr`.")]
+            ///
+            /// # Errors
+            /// Propagates MMU faults.
+            pub fn $read(&mut self, addr: VirtAddr) -> MemResult<$ty> {
+                let mut buf = [0u8; std::mem::size_of::<$ty>()];
+                self.read_bytes(addr, &mut buf)?;
+                Ok(<$ty>::from_le_bytes(buf))
+            }
+
+            #[doc = concat!("Writes a little-endian `", stringify!($ty), "` at `addr`.")]
+            ///
+            /// # Errors
+            /// Propagates MMU faults.
+            pub fn $write(&mut self, addr: VirtAddr, value: $ty) -> MemResult<()> {
+                self.write_bytes(addr, &value.to_le_bytes())
+            }
+        }
+    };
+}
+
+typed_access!(read_u8, write_u8, u8);
+typed_access!(read_u16, write_u16, u16);
+typed_access!(read_u32, write_u32, u32);
+typed_access!(read_u64, write_u64, u64);
+typed_access!(read_i32, write_i32, i32);
+typed_access!(read_i64, write_i64, i64);
+typed_access!(read_f32, write_f32, f32);
+typed_access!(read_f64, write_f64, f64);
+
+impl DeviceMemory {
+    /// Reads a pointer-sized value as a [`VirtAddr`].
+    ///
+    /// # Errors
+    /// Propagates MMU faults.
+    pub fn read_ptr(&mut self, addr: VirtAddr) -> MemResult<VirtAddr> {
+        Ok(VirtAddr::new(self.read_u64(addr)?))
+    }
+
+    /// Writes a [`VirtAddr`] as a pointer-sized value.
+    ///
+    /// # Errors
+    /// Propagates MMU faults.
+    pub fn write_ptr(&mut self, addr: VirtAddr, value: VirtAddr) -> MemResult<()> {
+        self.write_u64(addr, value.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::MemFault;
+
+    #[test]
+    fn reserve_respects_alignment() {
+        let mut mem = DeviceMemory::with_capacity(1 << 20);
+        let a = mem.reserve(10, 1);
+        let b = mem.reserve(16, 256);
+        assert_eq!(b.raw() % 256, 0);
+        assert!(b.raw() >= a.raw() + 10);
+    }
+
+    #[test]
+    fn null_page_never_reserved() {
+        let mut mem = DeviceMemory::with_capacity(1 << 20);
+        let a = mem.reserve(8, 8);
+        assert!(a.raw() >= PAGE_SIZE);
+    }
+
+    #[test]
+    fn rw_roundtrip_typed() {
+        let mut mem = DeviceMemory::with_capacity(1 << 20);
+        let p = mem.reserve(64, 8);
+        mem.write_u32(p, 0xdead_beef).unwrap();
+        mem.write_f64(p.offset(8), 3.25).unwrap();
+        mem.write_i32(p.offset(16), -7).unwrap();
+        assert_eq!(mem.read_u32(p).unwrap(), 0xdead_beef);
+        assert_eq!(mem.read_f64(p.offset(8)).unwrap(), 3.25);
+        assert_eq!(mem.read_i32(p.offset(16)).unwrap(), -7);
+    }
+
+    #[test]
+    fn rw_across_page_boundary() {
+        let mut mem = DeviceMemory::with_capacity(1 << 20);
+        let p = VirtAddr::new(2 * PAGE_SIZE - 4);
+        mem.write_u64(p, 0x0123_4567_89ab_cdef).unwrap();
+        assert_eq!(mem.read_u64(p).unwrap(), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn tagged_pointer_faults_then_works_in_ignore_mode() {
+        let mut mem = DeviceMemory::with_capacity(1 << 20);
+        let p = mem.reserve(8, 8);
+        mem.write_u64(p, 42).unwrap();
+        let tagged = p.with_tag(5);
+        assert!(matches!(
+            mem.read_u64(tagged),
+            Err(MemFault::NonCanonical { .. })
+        ));
+        mem.mmu_mut().set_mode(MmuMode::IgnoreTagBits);
+        assert_eq!(mem.read_u64(tagged).unwrap(), 42);
+    }
+
+    #[test]
+    fn fill_and_read_back() {
+        let mut mem = DeviceMemory::with_capacity(1 << 20);
+        let p = mem.reserve(10_000, 8);
+        mem.fill(p, 10_000, 0xab).unwrap();
+        let mut buf = vec![0u8; 10_000];
+        mem.read_bytes(p, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xab));
+    }
+
+    #[test]
+    fn fresh_memory_is_zeroed() {
+        let mut mem = DeviceMemory::with_capacity(1 << 20);
+        let p = mem.reserve(128, 8);
+        assert_eq!(mem.read_u64(p.offset(64)).unwrap(), 0);
+    }
+}

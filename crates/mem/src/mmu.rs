@@ -1,0 +1,150 @@
+//! The simulated memory management unit.
+
+use crate::addr::{PhysAddr, VirtAddr};
+use crate::error::{MemFault, MemResult};
+use crate::page::PageTable;
+
+/// Tag-bit policy of the MMU (paper §6.3).
+///
+/// A stock GPU raises an exception when the unused upper 15 bits of a
+/// virtual address are non-zero ([`Strict`](MmuMode::Strict)). TypePointer's
+/// proposed hardware change makes the MMU ignore those bits
+/// ([`IgnoreTagBits`](MmuMode::IgnoreTagBits)); the paper notes this can be
+/// guarded by an enable flag, which is what selecting the mode models.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MmuMode {
+    /// Fault on any non-canonical address — today's hardware.
+    #[default]
+    Strict,
+    /// Mask the tag bits before translation — the TypePointer MMU change.
+    IgnoreTagBits,
+}
+
+/// The memory management unit: page table + tag policy + demand paging.
+#[derive(Debug, Clone)]
+pub struct Mmu {
+    page_table: PageTable,
+    mode: MmuMode,
+    demand_paging: bool,
+    non_canonical_faults: u64,
+    translations: u64,
+}
+
+impl Mmu {
+    /// Creates an MMU over `phys_bytes` of simulated DRAM.
+    ///
+    /// Demand paging is enabled by default, matching CUDA 9+ unified
+    /// memory with GPU page-fault support (paper Fig. 2).
+    pub fn new(phys_bytes: u64, mode: MmuMode) -> Self {
+        Mmu {
+            page_table: PageTable::new(phys_bytes),
+            mode,
+            demand_paging: true,
+            non_canonical_faults: 0,
+            translations: 0,
+        }
+    }
+
+    /// Current tag policy.
+    pub fn mode(&self) -> MmuMode {
+        self.mode
+    }
+
+    /// Switches the tag policy (the TypePointer "enable flag").
+    pub fn set_mode(&mut self, mode: MmuMode) {
+        self.mode = mode;
+    }
+
+    /// Enables or disables demand paging.
+    pub fn set_demand_paging(&mut self, on: bool) {
+        self.demand_paging = on;
+    }
+
+    /// Translates `addr`, enforcing the tag policy and serving demand
+    /// faults if enabled.
+    ///
+    /// # Errors
+    /// [`MemFault::NonCanonical`] in strict mode with tag bits set;
+    /// [`MemFault::Unmapped`] when the page is absent and demand paging is
+    /// off; [`MemFault::OutOfMemory`] when no frame is available.
+    pub fn translate(&mut self, addr: VirtAddr) -> MemResult<PhysAddr> {
+        self.translations += 1;
+        let canonical = match self.mode {
+            MmuMode::Strict => {
+                if !addr.is_canonical() {
+                    self.non_canonical_faults += 1;
+                    return Err(MemFault::NonCanonical { addr });
+                }
+                addr
+            }
+            MmuMode::IgnoreTagBits => addr.strip_tag(),
+        };
+        match self.page_table.translate(canonical) {
+            Ok(pa) => Ok(pa),
+            Err(MemFault::Unmapped { .. }) if self.demand_paging => {
+                self.page_table.map_page(canonical)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Pre-maps every page overlapping `[base, base + len)`.
+    pub fn map_range(&mut self, base: VirtAddr, len: u64) -> MemResult<()> {
+        self.page_table.map_range(base.strip_tag(), len)
+    }
+
+    /// Read access to the underlying page table.
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Number of non-canonical faults raised so far.
+    pub fn non_canonical_faults(&self) -> u64 {
+        self.non_canonical_faults
+    }
+
+    /// Total translations performed.
+    pub fn translations(&self) -> u64 {
+        self.translations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_mode_faults_on_tag() {
+        let mut mmu = Mmu::new(1 << 20, MmuMode::Strict);
+        let tagged = VirtAddr::new(0x1000).with_tag(3);
+        let err = mmu.translate(tagged).unwrap_err();
+        assert!(matches!(err, MemFault::NonCanonical { .. }));
+        assert_eq!(mmu.non_canonical_faults(), 1);
+    }
+
+    #[test]
+    fn ignore_mode_masks_tag() {
+        let mut mmu = Mmu::new(1 << 20, MmuMode::IgnoreTagBits);
+        let plain = mmu.translate(VirtAddr::new(0x1000)).unwrap();
+        let tagged = mmu.translate(VirtAddr::new(0x1000).with_tag(0x7fff)).unwrap();
+        assert_eq!(plain, tagged);
+    }
+
+    #[test]
+    fn demand_paging_toggles() {
+        let mut mmu = Mmu::new(1 << 20, MmuMode::Strict);
+        mmu.set_demand_paging(false);
+        assert!(matches!(
+            mmu.translate(VirtAddr::new(0x2000)),
+            Err(MemFault::Unmapped { .. })
+        ));
+        mmu.set_demand_paging(true);
+        assert!(mmu.translate(VirtAddr::new(0x2000)).is_ok());
+    }
+
+    #[test]
+    fn strict_accepts_canonical() {
+        let mut mmu = Mmu::new(1 << 20, MmuMode::Strict);
+        assert!(mmu.translate(VirtAddr::new(0x3000)).is_ok());
+    }
+}

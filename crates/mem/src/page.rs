@@ -1,0 +1,145 @@
+//! Single-level page table mapping virtual pages to physical frames.
+
+use crate::addr::{PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
+use crate::error::{MemFault, MemResult};
+use std::collections::HashMap;
+
+/// Page table for the simulated unified address space.
+///
+/// The table is a flat `vpn → pfn` map; frames are handed out sequentially
+/// by an internal frame allocator, capped at the configured physical
+/// memory size.
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    map: HashMap<u64, u64>,
+    next_frame: u64,
+    max_frames: u64,
+    faults_served: u64,
+}
+
+impl PageTable {
+    /// Creates a page table backed by `phys_bytes` of simulated DRAM.
+    pub fn new(phys_bytes: u64) -> Self {
+        PageTable {
+            map: HashMap::new(),
+            next_frame: 0,
+            max_frames: phys_bytes / PAGE_SIZE,
+            faults_served: 0,
+        }
+    }
+
+    /// Translates a canonical virtual address. Does **not** inspect tag
+    /// bits — callers (the [`Mmu`](crate::Mmu)) decide tag policy.
+    pub fn translate(&self, addr: VirtAddr) -> MemResult<PhysAddr> {
+        match self.map.get(&addr.vpn()) {
+            Some(&pfn) => Ok(PhysAddr::new((pfn << PAGE_SHIFT) | addr.page_offset())),
+            None => Err(MemFault::Unmapped { addr }),
+        }
+    }
+
+    /// Returns `true` if the page containing `addr` is mapped.
+    pub fn is_mapped(&self, addr: VirtAddr) -> bool {
+        self.map.contains_key(&addr.vpn())
+    }
+
+    /// Maps the page containing `addr`, allocating a fresh frame.
+    /// Idempotent for already-mapped pages.
+    pub fn map_page(&mut self, addr: VirtAddr) -> MemResult<PhysAddr> {
+        let vpn = addr.vpn();
+        if let Some(&pfn) = self.map.get(&vpn) {
+            return Ok(PhysAddr::new((pfn << PAGE_SHIFT) | addr.page_offset()));
+        }
+        if self.next_frame >= self.max_frames {
+            return Err(MemFault::OutOfMemory);
+        }
+        let pfn = self.next_frame;
+        self.next_frame += 1;
+        self.map.insert(vpn, pfn);
+        self.faults_served += 1;
+        Ok(PhysAddr::new((pfn << PAGE_SHIFT) | addr.page_offset()))
+    }
+
+    /// Maps every page overlapping `[base, base + len)`.
+    pub fn map_range(&mut self, base: VirtAddr, len: u64) -> MemResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let first = base.vpn();
+        let last = base.offset(len - 1).vpn();
+        for vpn in first..=last {
+            self.map_page(VirtAddr::new(vpn << PAGE_SHIFT))?;
+        }
+        Ok(())
+    }
+
+    /// Number of pages currently mapped.
+    pub fn mapped_pages(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of demand-paging faults served so far (page populations).
+    pub fn faults_served(&self) -> u64 {
+        self.faults_served
+    }
+
+    /// Bytes of physical memory in use.
+    pub fn phys_bytes_used(&self) -> u64 {
+        self.next_frame * PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_unmapped_faults() {
+        let pt = PageTable::new(1 << 20);
+        let err = pt.translate(VirtAddr::new(0x5000)).unwrap_err();
+        assert!(matches!(err, MemFault::Unmapped { .. }));
+    }
+
+    #[test]
+    fn map_then_translate() {
+        let mut pt = PageTable::new(1 << 20);
+        let pa = pt.map_page(VirtAddr::new(0x5123)).unwrap();
+        assert_eq!(pa.page_offset(), 0x123);
+        let pa2 = pt.translate(VirtAddr::new(0x5fff)).unwrap();
+        assert_eq!(pa2.pfn(), pa.pfn());
+    }
+
+    #[test]
+    fn map_page_idempotent() {
+        let mut pt = PageTable::new(1 << 20);
+        let a = pt.map_page(VirtAddr::new(0x7000)).unwrap();
+        let b = pt.map_page(VirtAddr::new(0x7800)).unwrap();
+        assert_eq!(a.pfn(), b.pfn());
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn map_range_covers_partial_pages() {
+        let mut pt = PageTable::new(1 << 20);
+        pt.map_range(VirtAddr::new(PAGE_SIZE - 1), 2).unwrap();
+        assert_eq!(pt.mapped_pages(), 2);
+        pt.map_range(VirtAddr::new(0x100000), 0).unwrap();
+        assert_eq!(pt.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn oom_when_frames_exhausted() {
+        let mut pt = PageTable::new(2 * PAGE_SIZE);
+        pt.map_page(VirtAddr::new(0)).unwrap();
+        pt.map_page(VirtAddr::new(PAGE_SIZE)).unwrap();
+        let err = pt.map_page(VirtAddr::new(2 * PAGE_SIZE)).unwrap_err();
+        assert_eq!(err, MemFault::OutOfMemory);
+    }
+
+    #[test]
+    fn distinct_pages_get_distinct_frames() {
+        let mut pt = PageTable::new(1 << 20);
+        let a = pt.map_page(VirtAddr::new(0)).unwrap();
+        let b = pt.map_page(VirtAddr::new(PAGE_SIZE)).unwrap();
+        assert_ne!(a.pfn(), b.pfn());
+    }
+}

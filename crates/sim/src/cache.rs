@@ -1,0 +1,227 @@
+//! Set-associative, sectored cache model.
+//!
+//! Volta caches use 128-byte lines split into four 32-byte sectors: a tag
+//! match with a missing sector is a *sector miss* that fills only 32 bytes.
+//! Both L1 and L2 are modelled this way; the coalescer in
+//! [`engine`](crate::Gpu) already works at sector granularity, so the
+//! cache is probed once per transaction.
+
+/// Result of a cache probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    /// Tag and sector present.
+    Hit,
+    /// Tag present but sector absent (32-byte fill).
+    SectorMiss,
+    /// Tag absent (line allocation + 32-byte fill).
+    LineMiss,
+}
+
+impl Probe {
+    /// Whether the probe found the requested data.
+    pub fn is_hit(self) -> bool {
+        matches!(self, Probe::Hit)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Line {
+    tag: u64,
+    valid_sectors: u8,
+    last_used: u64,
+}
+
+/// A sectored, set-associative cache with LRU replacement.
+#[derive(Clone, Debug)]
+pub struct SectoredCache {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    line_bytes: u64,
+    sector_bytes: u64,
+    set_count: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SectoredCache {
+    /// Builds a cache of `total_bytes` with `ways`-way associativity,
+    /// `line_bytes` lines and `sector_bytes` sectors.
+    ///
+    /// # Panics
+    /// Panics if the geometry does not divide evenly or is zero-sized.
+    pub fn new(total_bytes: u64, ways: u32, line_bytes: u64, sector_bytes: u64) -> Self {
+        assert!(total_bytes > 0 && ways > 0 && line_bytes > 0 && sector_bytes > 0);
+        assert_eq!(line_bytes % sector_bytes, 0);
+        let lines = total_bytes / line_bytes;
+        assert!(lines >= ways as u64, "cache smaller than one set");
+        let set_count = (lines / ways as u64).max(1);
+        SectoredCache {
+            sets: vec![Vec::with_capacity(ways as usize); set_count as usize],
+            ways: ways as usize,
+            line_bytes,
+            sector_bytes,
+            set_count,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn locate(&self, addr: u64) -> (usize, u64, u8) {
+        let line_addr = addr / self.line_bytes;
+        let set = (line_addr % self.set_count) as usize;
+        let tag = line_addr / self.set_count;
+        let sector = ((addr % self.line_bytes) / self.sector_bytes) as u8;
+        (set, tag, sector)
+    }
+
+    /// Probes (and fills on miss) the sector containing `addr`.
+    pub fn access(&mut self, addr: u64) -> Probe {
+        self.tick += 1;
+        let (set_idx, tag, sector) = self.locate(addr);
+        let tick = self.tick;
+        let ways = self.ways;
+        let set = &mut self.sets[set_idx];
+        let sector_bit = 1u8 << sector;
+
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.last_used = tick;
+            if line.valid_sectors & sector_bit != 0 {
+                self.hits += 1;
+                return Probe::Hit;
+            }
+            line.valid_sectors |= sector_bit;
+            self.misses += 1;
+            return Probe::SectorMiss;
+        }
+
+        self.misses += 1;
+        if set.len() < ways {
+            set.push(Line { tag, valid_sectors: sector_bit, last_used: tick });
+        } else {
+            let victim = set
+                .iter_mut()
+                .min_by_key(|l| l.last_used)
+                .expect("non-empty set");
+            victim.tag = tag;
+            victim.valid_sectors = sector_bit;
+            victim.last_used = tick;
+        }
+        Probe::LineMiss
+    }
+
+    /// Probes without filling (used for stores in a write-through,
+    /// no-write-allocate L1).
+    pub fn probe_only(&mut self, addr: u64) -> Probe {
+        let (set_idx, tag, sector) = self.locate(addr);
+        let sector_bit = 1u8 << sector;
+        match self.sets[set_idx].iter().find(|l| l.tag == tag) {
+            Some(line) if line.valid_sectors & sector_bit != 0 => Probe::Hit,
+            Some(_) => Probe::SectorMiss,
+            None => Probe::LineMiss,
+        }
+    }
+
+    /// Invalidates everything (kernel boundary).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Demand accesses that hit.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand accesses that missed (line or sector).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; `0` when never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Clears the hit/miss counters but keeps contents.
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SectoredCache {
+        // 2 sets x 2 ways x 128B lines = 512B.
+        SectoredCache::new(512, 2, 128, 32)
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x100), Probe::LineMiss);
+        assert_eq!(c.access(0x100), Probe::Hit);
+        assert_eq!(c.access(0x104), Probe::Hit); // same sector
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn sector_miss_within_resident_line() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x100), Probe::LineMiss);
+        assert_eq!(c.access(0x120), Probe::SectorMiss); // sector 1 of same line
+        assert_eq!(c.access(0x120), Probe::Hit);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = tiny();
+        // Set index = (addr/128) % 2. Lines 0, 2, 4 all map to set 0.
+        let (line0, line2, line4) = (0u64, 2 * 128, 4 * 128);
+        c.access(line0);
+        c.access(line2);
+        c.access(line0); // refresh line 0
+        c.access(line4); // evicts line 2 (LRU)
+        assert_eq!(c.access(line0), Probe::Hit);
+        assert_eq!(c.access(line2), Probe::LineMiss);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = tiny();
+        c.access(0x100);
+        c.flush();
+        assert_eq!(c.access(0x100), Probe::LineMiss);
+    }
+
+    #[test]
+    fn probe_only_does_not_fill() {
+        let mut c = tiny();
+        assert_eq!(c.probe_only(0x100), Probe::LineMiss);
+        assert_eq!(c.probe_only(0x100), Probe::LineMiss);
+        c.access(0x100);
+        assert_eq!(c.probe_only(0x100), Probe::Hit);
+        assert_eq!(c.probe_only(0x120), Probe::SectorMiss);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let mut c = tiny();
+        assert_eq!(c.hit_rate(), 0.0);
+        c.access(0x0);
+        c.access(0x0);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,264 @@
+//! GPU configuration.
+
+/// Parameters of the simulated GPU.
+///
+/// Defaults ([`GpuConfig::v100`]) approximate an NVIDIA Volta V100, the
+/// machine the paper evaluates on: 80 SMs, 64 resident warps per SM,
+/// 4 warp schedulers per SM, a 128 KiB sectored L1 per SM, a 6 MiB shared
+/// L2, and a high-latency, high-bandwidth DRAM. The simulator is
+/// cycle-approximate; these knobs set relative costs, and the reproduction
+/// compares *ratios* between dispatch strategies, not absolute cycles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Maximum resident warps per SM (occupancy limit).
+    pub max_warps_per_sm: u32,
+    /// Warp schedulers per SM (each issues ≤ 1 instruction per cycle).
+    pub schedulers_per_sm: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+
+    /// Dependent-ALU latency in cycles.
+    pub alu_latency: u64,
+    /// Extra cycles per additional ALU op in a fused [`Op::Alu`] run.
+    ///
+    /// [`Op::Alu`]: crate::Op::Alu
+    pub alu_chain_latency: u64,
+    /// Taken/direct branch latency.
+    pub branch_latency: u64,
+    /// Indirect call latency (SIMT stack push + target fetch).
+    pub indirect_call_latency: u64,
+    /// Return latency.
+    pub ret_latency: u64,
+
+    /// L1 hit latency.
+    pub l1_latency: u64,
+    /// L1 data cache size in bytes (per SM).
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: u32,
+    /// L2 hit latency (beyond L1).
+    pub l2_latency: u64,
+    /// L2 size in bytes (device-wide).
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// Number of L2 slices (address-interleaved ports).
+    pub l2_slices: u32,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Sector size in bytes (memory transaction granularity).
+    pub sector_bytes: u64,
+
+    /// DRAM access latency (beyond L2).
+    pub dram_latency: u64,
+    /// Number of DRAM channels (address-interleaved).
+    pub dram_channels: u32,
+    /// Cycles a channel is busy per 32-byte sector transferred.
+    pub dram_sector_cycles: u64,
+
+    /// Maximum outstanding loads per warp before issue back-pressures
+    /// (per-warp memory-level parallelism, as the LSU scoreboard allows).
+    pub max_pending_loads: usize,
+    /// Maximum outstanding L1 miss sectors per SM (MSHR capacity).
+    /// Bounds how deep the memory system can be flooded, keeping
+    /// individual miss latencies realistic under load.
+    pub mshr_per_sm: usize,
+    /// Depth of the SM's LSU input queue, in sectors. A load defers when
+    /// the L1 port is booked more than this far ahead — the issue-side
+    /// back-pressure that keeps the port causal under bursts.
+    pub l1_queue_cap: u64,
+
+    /// Constant-cache hit latency.
+    pub const_latency: u64,
+    /// Constant-cache miss latency (fill from L2/DRAM path).
+    pub const_miss_latency: u64,
+    /// Constant cache size in bytes (per SM).
+    pub const_bytes: u64,
+}
+
+impl GpuConfig {
+    /// A V100-like configuration (the paper's silicon testbed).
+    pub fn v100() -> Self {
+        GpuConfig {
+            num_sms: 80,
+            max_warps_per_sm: 64,
+            schedulers_per_sm: 4,
+            warp_size: 32,
+            alu_latency: 4,
+            alu_chain_latency: 1,
+            branch_latency: 8,
+            indirect_call_latency: 22,
+            ret_latency: 8,
+            l1_latency: 28,
+            l1_bytes: 128 << 10,
+            l1_ways: 4,
+            l2_latency: 190,
+            l2_bytes: 6 << 20,
+            l2_ways: 16,
+            l2_slices: 32,
+            line_bytes: 128,
+            sector_bytes: 32,
+            dram_latency: 460,
+            dram_channels: 32,
+            dram_sector_cycles: 2,
+            max_pending_loads: 24,
+            mshr_per_sm: 64,
+            l1_queue_cap: 64,
+            const_latency: 8,
+            const_miss_latency: 220,
+            const_bytes: 2 << 10,
+        }
+    }
+
+    /// A Pascal P100-like configuration (the generation before Volta;
+    /// the paper notes it "examined code from several different GPU
+    /// generations and observe[d] similar behavior").
+    pub fn p100() -> Self {
+        GpuConfig {
+            num_sms: 56,
+            max_warps_per_sm: 64,
+            l1_bytes: 24 << 10,
+            l1_ways: 4,
+            l2_bytes: 4 << 20,
+            dram_latency: 500,
+            dram_channels: 32,
+            ..Self::v100()
+        }
+    }
+
+    /// An Ampere A100-like configuration (the generation after Volta).
+    pub fn a100() -> Self {
+        GpuConfig {
+            num_sms: 108,
+            max_warps_per_sm: 64,
+            l1_bytes: 192 << 10,
+            l2_bytes: 40 << 20,
+            l2_slices: 40,
+            dram_latency: 420,
+            dram_channels: 40,
+            dram_sector_cycles: 1,
+            ..Self::v100()
+        }
+    }
+
+    /// Scales this configuration's *shared* bandwidth resources down to
+    /// `num_sms` SMs, like [`v100_scaled`](Self::v100_scaled) but from an
+    /// arbitrary base machine.
+    ///
+    /// # Panics
+    /// Panics if `num_sms` is zero.
+    pub fn scaled_to(&self, num_sms: u32) -> Self {
+        assert!(num_sms > 0, "at least one SM");
+        let scale = |v: u64| (v * num_sms as u64 / self.num_sms as u64).max(1);
+        GpuConfig {
+            num_sms,
+            l2_bytes: scale(self.l2_bytes).max(128 << 10),
+            l2_slices: (scale(self.l2_slices as u64) as u32).max(2),
+            dram_channels: (scale(self.dram_channels as u64) as u32).max(2),
+            ..self.clone()
+        }
+    }
+
+    /// A V100 scaled down to `num_sms` SMs, shrinking the *shared*
+    /// bandwidth resources (L2 capacity and slices, DRAM channels)
+    /// proportionally while keeping per-SM resources and latencies.
+    ///
+    /// Simulator methodology: the evaluation runs workloads ~16× smaller
+    /// than the paper's, so the machine shrinks with them — otherwise a
+    /// small kernel leaves 80 SMs at one warp each and *no latency
+    /// hiding*, which distorts every memory-system effect the paper
+    /// measures.
+    ///
+    /// # Panics
+    /// Panics if `num_sms` is zero.
+    pub fn v100_scaled(num_sms: u32) -> Self {
+        Self::v100().scaled_to(num_sms)
+    }
+
+    /// A deliberately tiny configuration for fast unit tests: 2 SMs,
+    /// small caches, short latencies. Cache pressure appears with only a
+    /// few KiB of data.
+    pub fn small() -> Self {
+        GpuConfig {
+            num_sms: 2,
+            max_warps_per_sm: 8,
+            schedulers_per_sm: 2,
+            warp_size: 32,
+            alu_latency: 4,
+            alu_chain_latency: 1,
+            branch_latency: 8,
+            indirect_call_latency: 22,
+            ret_latency: 8,
+            l1_latency: 20,
+            l1_bytes: 4 << 10,
+            l1_ways: 4,
+            l2_latency: 100,
+            l2_bytes: 32 << 10,
+            l2_ways: 8,
+            l2_slices: 4,
+            line_bytes: 128,
+            sector_bytes: 32,
+            dram_latency: 300,
+            dram_channels: 4,
+            dram_sector_cycles: 2,
+            max_pending_loads: 8,
+            mshr_per_sm: 48,
+            l1_queue_cap: 32,
+            const_latency: 8,
+            const_miss_latency: 120,
+            const_bytes: 1 << 10,
+        }
+    }
+
+    /// Number of 32-byte sectors per cache line.
+    pub fn sectors_per_line(&self) -> u64 {
+        self.line_bytes / self.sector_bytes
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::v100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_shape() {
+        let c = GpuConfig::v100();
+        assert_eq!(c.num_sms, 80);
+        assert_eq!(c.warp_size, 32);
+        assert_eq!(c.sectors_per_line(), 4);
+        assert!(c.dram_latency > c.l2_latency && c.l2_latency > c.l1_latency);
+    }
+
+    #[test]
+    fn default_is_v100() {
+        assert_eq!(GpuConfig::default(), GpuConfig::v100());
+    }
+
+    #[test]
+    fn scaled_machine_shrinks_shared_resources() {
+        let full = GpuConfig::v100();
+        let small = GpuConfig::v100_scaled(8);
+        assert_eq!(small.num_sms, 8);
+        assert!(small.l2_bytes < full.l2_bytes);
+        assert!(small.dram_channels < full.dram_channels);
+        // Per-SM resources are untouched.
+        assert_eq!(small.l1_bytes, full.l1_bytes);
+        assert_eq!(small.l1_latency, full.l1_latency);
+    }
+
+    #[test]
+    fn generations_differ_sensibly() {
+        let (p, v, a) = (GpuConfig::p100(), GpuConfig::v100(), GpuConfig::a100());
+        assert!(p.l1_bytes < v.l1_bytes && v.l1_bytes < a.l1_bytes);
+        assert!(p.l2_bytes < v.l2_bytes && v.l2_bytes < a.l2_bytes);
+        assert!(p.num_sms < v.num_sms && v.num_sms < a.num_sms);
+    }
+}

@@ -1,0 +1,820 @@
+//! The cycle-approximate SIMT timing engine.
+//!
+//! Warps replay their traces in order. Loads do **not** stall the warp at
+//! issue — like a real GPU's scoreboard, they enter a per-warp
+//! outstanding-load queue so misses from different reconvergence
+//! subgroups overlap. A warp waits only when
+//!
+//! - an instruction *consumes* an outstanding load, encoded through
+//!   access tags: the vFunc-pointer load waits on the vTable-pointer load
+//!   or range walk that produced its address, the constant indirection on
+//!   the vFunc load, the indirect call on the constant load, and segment
+//!   tree levels on each other (the serial chain of paper Fig. 1 /
+//!   Algorithm 1); or
+//! - the queue exceeds the configured per-warp MLP
+//!   ([`GpuConfig::max_pending_loads`]).
+//!
+//! Memory instructions are coalesced into 32-byte sector transactions
+//! that probe a per-SM sectored L1, an address-sliced shared L2, and
+//! channel-interleaved DRAM with both latency and bandwidth (service
+//! time) costs — so heavily diverged access, cache thrash and bandwidth
+//! saturation behave as on hardware, which is where the paper's effects
+//! live.
+
+use crate::cache::SectoredCache;
+use crate::config::GpuConfig;
+use crate::instr::{AccessTag, MemOp, Op, Space};
+use crate::stats::{Stats, STALL_INDIRECT_CALL};
+use crate::trace::KernelTrace;
+
+/// The simulated GPU. Construct once, [`execute`](Gpu::execute) many
+/// kernels; caches are cold at each kernel boundary.
+#[derive(Clone, Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+}
+
+/// The tag-encoded dependence chains of virtual dispatch (paper Fig. 1):
+/// the vFunc load's address comes from the vTable-pointer load (or the
+/// COAL range walk), the constant indirection's from the vFunc load, and
+/// the indirect call's target from the constant load. Tree-walk levels
+/// chain on each other. Everything else (fields, workload arrays) is
+/// overlappable address-independent traffic.
+fn dep_tags(tag: AccessTag) -> &'static [AccessTag] {
+    match tag {
+        AccessTag::VfuncPtr => &[AccessTag::VtablePtr, AccessTag::RangeWalk],
+        AccessTag::ConstIndirection => &[AccessTag::VfuncPtr],
+        AccessTag::RangeWalk => &[AccessTag::RangeWalk],
+        _ => &[],
+    }
+}
+
+struct WarpState {
+    trace_idx: usize,
+    pc: usize,
+    ready_at: u64,
+    done: bool,
+    /// Outstanding loads: (completion cycle, tag index).
+    pending: Vec<(u64, usize)>,
+}
+
+impl WarpState {
+    fn fresh(trace_idx: usize, ready_at: u64) -> Self {
+        WarpState { trace_idx, pc: 0, ready_at, done: false, pending: Vec::new() }
+    }
+
+    /// Latest completion among pending loads whose tag is in `tags`.
+    fn dep_ready(&self, tags: &[AccessTag]) -> u64 {
+        self.pending
+            .iter()
+            .filter(|(_, t)| tags.iter().any(|x| x.index() == *t))
+            .map(|(c, _)| *c)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn prune(&mut self, now: u64) {
+        self.pending.retain(|(c, _)| *c > now);
+    }
+
+    fn drain_all(&mut self) -> u64 {
+        let max = self.pending.iter().map(|(c, _)| *c).max().unwrap_or(0);
+        self.pending.clear();
+        max
+    }
+}
+
+struct SmState {
+    l1: SectoredCache,
+    cmem: SectoredCache,
+    l1_free_at: u64,
+    /// Completion times of outstanding L1 miss sectors (MSHR model):
+    /// when full, new misses wait for the earliest outstanding one.
+    mshr: Vec<u64>,
+    resident: Vec<WarpState>,
+    pending_warps: Vec<usize>,
+    rr: usize,
+    /// Per-scheduler cache of the earliest cycle any of its warps can
+    /// issue; `0` forces a rescan. Purely a simulation speed-up.
+    sched_next: Vec<u64>,
+}
+
+/// Reserves an MSHR slot for a miss starting at `t`, returning the
+/// (possibly delayed) time the miss may enter the memory system.
+fn mshr_acquire(mshr: &mut Vec<u64>, cap: usize, t: u64) -> u64 {
+    mshr.retain(|&c| c > t);
+    if mshr.len() < cap {
+        return t;
+    }
+    let earliest = mshr.iter().copied().min().expect("full mshr");
+    mshr.retain(|&c| c > earliest);
+    t.max(earliest)
+}
+
+struct MemSystem {
+    l2: SectoredCache,
+    l2_free_at: Vec<u64>,
+    dram_free_at: Vec<u64>,
+}
+
+impl Gpu {
+    /// Creates a GPU with the given configuration.
+    pub fn new(cfg: GpuConfig) -> Self {
+        Gpu { cfg }
+    }
+
+    /// Creates a V100-like GPU.
+    pub fn v100() -> Self {
+        Gpu::new(GpuConfig::v100())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Replays `kernel` through the timing model and returns the counters.
+    pub fn execute(&self, kernel: &KernelTrace) -> Stats {
+        let cfg = &self.cfg;
+        let mut stats = Stats::new();
+        stats.warps = kernel.warps.len() as u64;
+        stats.vfunc_calls = kernel.vfunc_calls();
+
+        if kernel.warps.is_empty() {
+            return stats;
+        }
+
+        for w in &kernel.warps {
+            for op in w.ops() {
+                stats.count_instrs(op.class(), op.dyn_count());
+            }
+        }
+
+        let num_sms = cfg.num_sms as usize;
+        let mut sms: Vec<SmState> = (0..num_sms)
+            .map(|_| SmState {
+                l1: SectoredCache::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes, cfg.sector_bytes),
+                cmem: SectoredCache::new(cfg.const_bytes, 4, 64, 64),
+                l1_free_at: 0,
+                mshr: Vec::new(),
+                resident: Vec::new(),
+                pending_warps: Vec::new(),
+                rr: 0,
+                sched_next: vec![0; cfg.schedulers_per_sm as usize],
+            })
+            .collect();
+
+        // Round-robin warp → SM assignment. Empty traces never occupy a
+        // slot.
+        for (i, w) in kernel.warps.iter().enumerate() {
+            if !w.is_empty() {
+                sms[i % num_sms].pending_warps.push(i);
+            }
+        }
+        for sm in &mut sms {
+            sm.pending_warps.reverse(); // pop() yields lowest warp id first
+            let take = (cfg.max_warps_per_sm as usize).min(sm.pending_warps.len());
+            for _ in 0..take {
+                let idx = sm.pending_warps.pop().expect("pending warp");
+                sm.resident.push(WarpState::fresh(idx, 0));
+            }
+        }
+
+        let mut memsys = MemSystem {
+            l2: SectoredCache::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes, cfg.sector_bytes),
+            l2_free_at: vec![0; cfg.l2_slices as usize],
+            dram_free_at: vec![0; cfg.dram_channels as usize],
+        };
+
+        let mut cycle: u64 = 0;
+        let mut scratch: Vec<u64> = Vec::with_capacity(cfg.warp_size as usize);
+        loop {
+            let mut live = false;
+            let mut min_next = u64::MAX;
+            let mut issued_any = false;
+
+            for sm in &mut sms {
+                for sched in 0..cfg.schedulers_per_sm as usize {
+                    let n = sm.resident.len();
+                    if n == 0 {
+                        continue;
+                    }
+                    // Fast path: nothing on this scheduler can issue yet.
+                    let cached = sm.sched_next[sched];
+                    if cached > cycle {
+                        if cached != u64::MAX {
+                            live = true;
+                            min_next = min_next.min(cached);
+                        }
+                        continue;
+                    }
+                    let mut chosen: Option<usize> = None;
+                    let mut sched_min = u64::MAX;
+                    for k in 0..n {
+                        let wi = (sm.rr + k) % n;
+                        let w = &sm.resident[wi];
+                        if w.done || wi % cfg.schedulers_per_sm as usize != sched {
+                            continue;
+                        }
+                        live = true;
+                        if w.ready_at <= cycle {
+                            chosen = Some(wi);
+                            break;
+                        }
+                        sched_min = sched_min.min(w.ready_at);
+                    }
+                    let Some(wi) = chosen else {
+                        sm.sched_next[sched] = sched_min;
+                        if sched_min != u64::MAX {
+                            min_next = min_next.min(sched_min);
+                        }
+                        continue;
+                    };
+                    // Issued: the picture changes, rescan next cycle.
+                    sm.sched_next[sched] = 0;
+                    sm.rr = (wi + 1) % n;
+
+                    let trace_idx = sm.resident[wi].trace_idx;
+                    let pc = sm.resident[wi].pc;
+                    let op = &kernel.warps[trace_idx].ops()[pc];
+
+                    // Scoreboard check: an op whose operands are still in
+                    // flight (or a load with the MLP queue full) does not
+                    // issue now — the warp retries once ready, keeping
+                    // resource reservations causal.
+                    let defer_until = match op {
+                        Op::IndirectCall => sm.resident[wi].dep_ready(&[
+                            AccessTag::ConstIndirection,
+                            AccessTag::VfuncPtr,
+                        ]),
+                        Op::Mem(m) if !m.is_store => {
+                            let w = &mut sm.resident[wi];
+                            w.prune(cycle);
+                            let mut until = w.dep_ready(dep_tags(m.tag));
+                            if w.pending.len() >= cfg.max_pending_loads {
+                                let oldest = w
+                                    .pending
+                                    .iter()
+                                    .map(|(c, _)| *c)
+                                    .min()
+                                    .expect("non-empty pending");
+                                until = until.max(oldest);
+                            }
+                            // LSU queue back-pressure.
+                            if sm.l1_free_at > cycle + cfg.l1_queue_cap {
+                                until = until.max(sm.l1_free_at - cfg.l1_queue_cap);
+                            }
+                            // MSHR back-pressure: leave room for a full
+                            // warp's worth of miss sectors before issuing
+                            // (an empty MSHR file always admits a load).
+                            sm.mshr.retain(|&c| c > cycle);
+                            if !sm.mshr.is_empty()
+                                && sm.mshr.len() + cfg.warp_size as usize > cfg.mshr_per_sm
+                            {
+                                let earliest = sm
+                                    .mshr
+                                    .iter()
+                                    .copied()
+                                    .min()
+                                    .expect("mshr checked non-empty");
+                                until = until.max(earliest);
+                            }
+                            until
+                        }
+                        _ => 0,
+                    };
+                    if defer_until > cycle {
+                        sm.resident[wi].ready_at = defer_until;
+                        min_next = min_next.min(defer_until);
+                        continue;
+                    }
+                    issued_any = true;
+
+                    let ready_at = match op {
+                        Op::Alu(nn) => {
+                            cycle + (*nn as u64) * cfg.alu_chain_latency + cfg.alu_latency
+                        }
+                        Op::Branch | Op::DirectCall => cycle + cfg.branch_latency,
+                        Op::Ret => cycle + cfg.ret_latency,
+                        Op::IndirectCall => {
+                            stats.stall_by_tag[STALL_INDIRECT_CALL] +=
+                                cfg.indirect_call_latency;
+                            cycle + cfg.indirect_call_latency
+                        }
+                        Op::Mem(m) if m.is_store => issue_store(
+                            cfg, cycle, m, &mut memsys, &mut stats, &mut scratch,
+                        ),
+                        Op::Mem(m) => {
+                            let completion = issue_load(
+                                cfg,
+                                cycle,
+                                m,
+                                &mut sm.l1,
+                                &mut sm.cmem,
+                                &mut sm.l1_free_at,
+                                &mut sm.mshr,
+                                &mut memsys,
+                                &mut stats,
+                                &mut scratch,
+                            );
+                            stats.stall_by_tag[m.tag.index()] +=
+                                completion.saturating_sub(cycle);
+                            sm.resident[wi].pending.push((completion, m.tag.index()));
+                            // A diverged access is replayed one sector per
+                            // cycle through the LSU: the warp owns the
+                            // issue pipe for the duration. This is the
+                            // direct issue-side price of divergence.
+                            cycle + scratch.len() as u64
+                        }
+                    };
+
+                    let w = &mut sm.resident[wi];
+                    w.ready_at = ready_at;
+                    w.pc += 1;
+                    if w.pc >= kernel.warps[w.trace_idx].ops().len() {
+                        // Drain outstanding loads before retiring.
+                        let drain = w.drain_all();
+                        w.ready_at = w.ready_at.max(drain);
+                        w.done = true;
+                        let final_ready = w.ready_at;
+                        if let Some(next) = sm.pending_warps.pop() {
+                            *w = WarpState::fresh(next, final_ready.max(cycle + 1));
+                        } else {
+                            w.ready_at = final_ready;
+                        }
+                    }
+                }
+            }
+
+            if !live && sms.iter().all(|s| s.pending_warps.is_empty()) {
+                break;
+            }
+            cycle = if issued_any {
+                cycle + 1
+            } else {
+                (cycle + 1).max(min_next)
+            };
+        }
+
+        let last = sms
+            .iter()
+            .flat_map(|s| s.resident.iter().map(|w| w.ready_at))
+            .max()
+            .unwrap_or(cycle);
+        stats.cycles = last.max(cycle);
+
+        for sm in &sms {
+            stats.l1_accesses += sm.l1.hits() + sm.l1.misses();
+            stats.l1_hits += sm.l1.hits();
+            stats.const_accesses += sm.cmem.hits() + sm.cmem.misses();
+            stats.const_hits += sm.cmem.hits();
+        }
+        stats.l2_accesses = memsys.l2.hits() + memsys.l2.misses();
+        stats.l2_hits = memsys.l2.hits();
+        stats
+    }
+}
+
+fn coalesce(scratch: &mut Vec<u64>, m: &MemOp, sector_bytes: u64) {
+    scratch.clear();
+    for &a in m.addrs.iter() {
+        scratch.push(a / sector_bytes);
+    }
+    scratch.sort_unstable();
+    scratch.dedup();
+}
+
+/// A store: count transactions, consume L2/DRAM bandwidth; the warp
+/// continues through the store buffer almost immediately.
+fn issue_store(
+    cfg: &GpuConfig,
+    cycle: u64,
+    m: &MemOp,
+    memsys: &mut MemSystem,
+    stats: &mut Stats,
+    scratch: &mut Vec<u64>,
+) -> u64 {
+    coalesce(scratch, m, cfg.sector_bytes);
+    stats.global_store_transactions += scratch.len() as u64;
+    for &s in scratch.iter() {
+        let addr = s * cfg.sector_bytes;
+        let slice = (s % memsys.l2_free_at.len() as u64) as usize;
+        let t = memsys.l2_free_at[slice].max(cycle);
+        memsys.l2_free_at[slice] = t + 1;
+        if !memsys.l2.access(addr).is_hit() {
+            let chan = ((addr >> 8) % memsys.dram_free_at.len() as u64) as usize;
+            let td = memsys.dram_free_at[chan].max(t);
+            memsys.dram_free_at[chan] = td + cfg.dram_sector_cycles;
+            stats.dram_accesses += 1;
+        }
+    }
+    cycle + cfg.alu_latency
+}
+
+/// A load: coalesce into sectors, walk L1 → L2 → DRAM per sector with
+/// port/slice/channel service costs; returns the completion cycle.
+#[allow(clippy::too_many_arguments)]
+fn issue_load(
+    cfg: &GpuConfig,
+    cycle: u64,
+    m: &MemOp,
+    l1: &mut SectoredCache,
+    cmem: &mut SectoredCache,
+    l1_free_at: &mut u64,
+    mshr: &mut Vec<u64>,
+    memsys: &mut MemSystem,
+    stats: &mut Stats,
+    scratch: &mut Vec<u64>,
+) -> u64 {
+    coalesce(scratch, m, cfg.sector_bytes);
+    match m.space {
+        Space::Const => {
+            let mut done = cycle;
+            for &s in scratch.iter() {
+                let addr = s * cfg.sector_bytes;
+                let lat = if cmem.access(addr).is_hit() {
+                    cfg.const_latency
+                } else {
+                    cfg.const_miss_latency
+                };
+                done = done.max(cycle + lat);
+            }
+            done
+        }
+        Space::Global => {
+            stats.global_load_transactions += scratch.len() as u64;
+            stats.load_transactions_by_tag[m.tag.index()] += scratch.len() as u64;
+            let mut done = cycle;
+            for &s in scratch.iter() {
+                let addr = s * cfg.sector_bytes;
+                // One sector per cycle through the SM's LSU port.
+                let t1 = (*l1_free_at).max(cycle);
+                *l1_free_at = t1 + 1;
+                let sector_done = if l1.access(addr).is_hit() {
+                    t1 + cfg.l1_latency
+                } else {
+                    // A miss needs an MSHR slot before entering L2/DRAM.
+                    let tm = mshr_acquire(mshr, cfg.mshr_per_sm, t1 + cfg.l1_latency);
+                    let slice = (s % memsys.l2_free_at.len() as u64) as usize;
+                    let t2 = memsys.l2_free_at[slice].max(tm);
+                    memsys.l2_free_at[slice] = t2 + 1;
+                    let filled = if memsys.l2.access(addr).is_hit() {
+                        t2 + cfg.l2_latency
+                    } else {
+                        let chan = ((addr >> 8) % memsys.dram_free_at.len() as u64) as usize;
+                        let td = memsys.dram_free_at[chan].max(t2 + cfg.l2_latency);
+                        memsys.dram_free_at[chan] = td + cfg.dram_sector_cycles;
+                        stats.dram_accesses += 1;
+                        td + cfg.dram_latency
+                    };
+                    mshr.push(filled);
+                    filled
+                };
+                done = done.max(sector_done);
+            }
+            done
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AccessTag, MemOp};
+    use crate::trace::WarpTrace;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuConfig::small())
+    }
+
+    fn load(addrs: Vec<u64>, tag: AccessTag) -> Op {
+        let mask = (1u64 << addrs.len()).wrapping_sub(1) as u32;
+        Op::Mem(MemOp {
+            space: Space::Global,
+            is_store: false,
+            width: 8,
+            mask,
+            addrs: addrs.into_boxed_slice(),
+            tag,
+        })
+    }
+
+    fn one_warp(ops: Vec<Op>) -> KernelTrace {
+        let mut w = WarpTrace::new();
+        for op in ops {
+            w.push(op);
+        }
+        KernelTrace { warps: vec![w] }
+    }
+
+    #[test]
+    fn empty_kernel() {
+        let s = gpu().execute(&KernelTrace::new());
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.total_instrs(), 0);
+    }
+
+    #[test]
+    fn alu_only_kernel_is_cheap() {
+        let s = gpu().execute(&one_warp(vec![Op::Alu(10)]));
+        assert!(s.cycles >= 10);
+        assert!(s.cycles < 100);
+        assert_eq!(s.instrs_compute, 10);
+    }
+
+    #[test]
+    fn diverged_load_generates_many_transactions() {
+        // 32 lanes, each to a different 128B-separated address.
+        let addrs: Vec<u64> = (0..32).map(|i| 0x1_0000 + i * 128).collect();
+        let s = gpu().execute(&one_warp(vec![load(addrs, AccessTag::VtablePtr)]));
+        assert_eq!(s.global_load_transactions, 32);
+        assert_eq!(s.l1_accesses, 32);
+        assert_eq!(s.l1_hits, 0);
+    }
+
+    #[test]
+    fn converged_load_is_one_transaction() {
+        let addrs: Vec<u64> = vec![0x2_0000; 32];
+        let s = gpu().execute(&one_warp(vec![load(addrs, AccessTag::RangeWalk)]));
+        assert_eq!(s.global_load_transactions, 1);
+    }
+
+    #[test]
+    fn adjacent_loads_coalesce() {
+        // 32 lanes x 8B consecutive = 256B = 8 sectors.
+        let addrs: Vec<u64> = (0..32).map(|i| 0x3_0000 + i * 8).collect();
+        let s = gpu().execute(&one_warp(vec![load(addrs, AccessTag::Field)]));
+        assert_eq!(s.global_load_transactions, 8);
+    }
+
+    #[test]
+    fn second_load_hits_l1() {
+        let addrs: Vec<u64> = vec![0x4_0000; 32];
+        let s = gpu().execute(&one_warp(vec![
+            load(addrs.clone(), AccessTag::Field),
+            load(addrs, AccessTag::Field),
+        ]));
+        assert_eq!(s.l1_hits, 1);
+        assert!((s.l1_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diverged_load_slower_than_converged() {
+        let diverged: Vec<u64> = (0..32).map(|i| 0x1_0000 + i * 256).collect();
+        let converged: Vec<u64> = vec![0x1_0000; 32];
+        let sd = gpu().execute(&one_warp(vec![load(diverged, AccessTag::VtablePtr)]));
+        let sc = gpu().execute(&one_warp(vec![load(converged, AccessTag::VtablePtr)]));
+        assert!(
+            sd.cycles > sc.cycles,
+            "diverged {} !> converged {}",
+            sd.cycles,
+            sc.cycles
+        );
+    }
+
+    #[test]
+    fn multithreading_hides_latency() {
+        // One warp doing a cold load vs. 8 warps doing cold loads: the
+        // 8-warp version must be far cheaper than 8x the single warp.
+        let mk = |i: u64| {
+            let mut w = WarpTrace::new();
+            w.push(load(
+                (0..32).map(|l| 0x10_0000 + i * 0x1000 + l * 32).collect(),
+                AccessTag::Field,
+            ));
+            w
+        };
+        let one = gpu().execute(&KernelTrace { warps: vec![mk(0)] });
+        let eight = gpu().execute(&KernelTrace { warps: (0..8).map(mk).collect() });
+        assert!(eight.cycles < one.cycles * 4);
+    }
+
+    #[test]
+    fn stall_attribution_recorded() {
+        let addrs: Vec<u64> = (0..32).map(|i| 0x5_0000 + i * 128).collect();
+        let s = gpu().execute(&one_warp(vec![
+            load(addrs, AccessTag::VtablePtr),
+            Op::IndirectCall,
+        ]));
+        assert!(s.stall(AccessTag::VtablePtr) > 0);
+        assert!(s.stall_by_tag[STALL_INDIRECT_CALL] > 0);
+        let (a, _b, c) = s.dispatch_latency_breakdown();
+        assert!(a > c);
+    }
+
+    #[test]
+    fn stores_do_not_stall_much() {
+        let addrs: Vec<u64> = (0..32).map(|i| 0x6_0000 + i * 32).collect();
+        let st = Op::Mem(MemOp {
+            space: Space::Global,
+            is_store: true,
+            width: 8,
+            mask: u32::MAX,
+            addrs: addrs.into_boxed_slice(),
+            tag: AccessTag::Other,
+        });
+        let s = gpu().execute(&one_warp(vec![st]));
+        assert_eq!(s.global_store_transactions, 32);
+        assert!(s.cycles < 50);
+    }
+
+    #[test]
+    fn const_cache_hits_after_first() {
+        let ldc = |tag| {
+            Op::Mem(MemOp {
+                space: Space::Const,
+                is_store: false,
+                width: 8,
+                mask: u32::MAX,
+                addrs: vec![0x100; 32].into_boxed_slice(),
+                tag,
+            })
+        };
+        let s = gpu().execute(&one_warp(vec![
+            ldc(AccessTag::ConstIndirection),
+            ldc(AccessTag::ConstIndirection),
+        ]));
+        assert_eq!(s.const_accesses, 2);
+        assert_eq!(s.const_hits, 1);
+    }
+
+    #[test]
+    fn more_warps_than_residency_all_complete() {
+        let cfg = GpuConfig::small(); // 2 SMs x 8 warps resident
+        let warps: Vec<WarpTrace> = (0..64)
+            .map(|i| {
+                let mut w = WarpTrace::new();
+                w.push(Op::Alu(3));
+                w.push(load(vec![0x7_0000 + i * 64; 32], AccessTag::Field));
+                w
+            })
+            .collect();
+        let s = Gpu::new(cfg).execute(&KernelTrace { warps });
+        assert_eq!(s.warps, 64);
+        assert_eq!(s.instrs_compute, 64 * 3);
+        assert_eq!(s.instrs_mem, 64);
+    }
+
+    #[test]
+    fn cache_thrash_increases_miss_rate() {
+        // Working set far beyond the small L1 (4 KiB): re-touching a big
+        // footprint twice should still miss, while a tiny footprint hits.
+        let big: Vec<Op> = (0..2)
+            .flat_map(|_| {
+                (0..64u64).map(|i| load(vec![0x20_0000 + i * 4096; 32], AccessTag::Field))
+            })
+            .collect();
+        let small_ops: Vec<Op> = (0..2)
+            .flat_map(|_| (0..4u64).map(|i| load(vec![0x30_0000 + i * 32; 32], AccessTag::Field)))
+            .collect();
+        let sb = gpu().execute(&one_warp(big));
+        let ss = gpu().execute(&one_warp(small_ops));
+        assert!(sb.l1_hit_rate() < 0.2);
+        assert!(ss.l1_hit_rate() >= 0.5);
+    }
+}
+
+#[cfg(test)]
+mod scoreboard_tests {
+    use super::*;
+    use crate::instr::MemOp;
+    use crate::trace::WarpTrace;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuConfig::small())
+    }
+
+    fn ld(addrs: Vec<u64>, tag: AccessTag) -> Op {
+        let mask = if addrs.len() >= 32 { u32::MAX } else { (1u32 << addrs.len()) - 1 };
+        Op::Mem(MemOp {
+            space: Space::Global,
+            is_store: false,
+            width: 8,
+            mask,
+            addrs: addrs.into_boxed_slice(),
+            tag,
+        })
+    }
+
+    fn one(ops: Vec<Op>) -> KernelTrace {
+        let mut w = WarpTrace::new();
+        for op in ops {
+            w.push(op);
+        }
+        KernelTrace { warps: vec![w] }
+    }
+
+    #[test]
+    fn independent_loads_overlap() {
+        // Two independent cold loads from different lines should cost
+        // barely more than one; a dependent A->B chain costs ~двa misses.
+        let a = (0..8).map(|i| 0x10_0000 + i * 128).collect::<Vec<_>>();
+        let b = (0..8).map(|i| 0x20_0000 + i * 128).collect::<Vec<_>>();
+        let both_independent =
+            gpu().execute(&one(vec![ld(a.clone(), AccessTag::Field), ld(b.clone(), AccessTag::Field)]));
+        let chained = gpu().execute(&one(vec![
+            ld(a, AccessTag::VtablePtr),
+            ld(b, AccessTag::VfuncPtr), // waits for the vtable load
+        ]));
+        assert!(
+            chained.cycles > both_independent.cycles + 50,
+            "dependent chain {} must far exceed overlapped pair {}",
+            chained.cycles,
+            both_independent.cycles
+        );
+    }
+
+    #[test]
+    fn range_walk_levels_serialize() {
+        let lvl = |a: u64| ld(vec![a; 32], AccessTag::RangeWalk);
+        let serial = gpu().execute(&one(vec![lvl(0x1000), lvl(0x2000), lvl(0x3000)]));
+        let free = gpu().execute(&one(vec![
+            ld(vec![0x1000; 32], AccessTag::Field),
+            ld(vec![0x2000; 32], AccessTag::Field),
+            ld(vec![0x3000; 32], AccessTag::Field),
+        ]));
+        assert!(serial.cycles > free.cycles, "walk levels must chain");
+    }
+
+    #[test]
+    fn indirect_call_waits_for_const_indirection() {
+        let cold_const = Op::Mem(MemOp {
+            space: Space::Const,
+            is_store: false,
+            width: 8,
+            mask: u32::MAX,
+            addrs: vec![0x9000; 32].into_boxed_slice(),
+            tag: AccessTag::ConstIndirection,
+        });
+        let with_wait = gpu().execute(&one(vec![cold_const.clone(), Op::IndirectCall]));
+        let call_only = gpu().execute(&one(vec![Op::IndirectCall]));
+        let cfg = GpuConfig::small();
+        assert!(
+            with_wait.cycles >= call_only.cycles + cfg.const_miss_latency / 2,
+            "call must wait for its target: {} vs {}",
+            with_wait.cycles,
+            call_only.cycles
+        );
+    }
+
+    #[test]
+    fn mlp_queue_cap_backpressures() {
+        // Far more outstanding loads than the small config's cap (8):
+        // issue must throttle, so cycles grow superlinearly past the cap.
+        let mk = |n: usize| {
+            let ops = (0..n)
+                .map(|i| ld(vec![0x40_0000 + i as u64 * 4096], AccessTag::Other))
+                .collect();
+            gpu().execute(&one(ops)).cycles
+        };
+        let under = mk(4);
+        let over = mk(32);
+        assert!(over > under * 3, "cap must throttle: {over} vs {under}");
+    }
+
+    #[test]
+    fn trace_end_drains_outstanding_loads() {
+        // A single cold load as the LAST op: the kernel cannot finish
+        // before the load lands.
+        let s = gpu().execute(&one(vec![ld(vec![0x50_0000], AccessTag::Other)]));
+        let cfg = GpuConfig::small();
+        assert!(s.cycles >= cfg.l1_latency + cfg.l2_latency);
+    }
+
+    #[test]
+    fn mshr_limits_concurrent_misses() {
+        // Many warps each firing one diverged miss burst: with a tiny
+        // MSHR file the kernel must take longer than with a huge one.
+        let warps: Vec<WarpTrace> = (0..16)
+            .map(|wi| {
+                let mut w = WarpTrace::new();
+                w.push(ld(
+                    (0..32).map(|l| 0x80_0000 + (wi * 32 + l) * 128).collect(),
+                    AccessTag::Field,
+                ));
+                w.push(Op::Alu(1));
+                w
+            })
+            .collect();
+        let mut small_mshr = GpuConfig::small();
+        small_mshr.num_sms = 1;
+        small_mshr.mshr_per_sm = 33;
+        let mut big_mshr = small_mshr.clone();
+        big_mshr.mshr_per_sm = 4096;
+        let slow = Gpu::new(small_mshr).execute(&KernelTrace { warps: warps.clone() });
+        let fast = Gpu::new(big_mshr).execute(&KernelTrace { warps });
+        assert!(slow.cycles > fast.cycles, "{} !> {}", slow.cycles, fast.cycles);
+    }
+
+    #[test]
+    fn load_transactions_attributed_to_tags() {
+        let s = gpu().execute(&one(vec![
+            ld((0..32).map(|i| 0x100_0000 + i * 64).collect(), AccessTag::VtablePtr),
+            ld(vec![0x200_0000; 32], AccessTag::RangeWalk),
+        ]));
+        assert_eq!(s.load_transactions(AccessTag::VtablePtr), 32);
+        assert_eq!(s.load_transactions(AccessTag::RangeWalk), 1);
+        assert_eq!(s.load_transactions(AccessTag::Field), 0);
+        assert_eq!(s.global_load_transactions, 33);
+    }
+}

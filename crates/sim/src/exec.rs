@@ -1,0 +1,446 @@
+//! Functional SIMT execution layer.
+//!
+//! Workload kernels are written against [`WarpCtx`]: warp-granular code
+//! that performs *functional* loads/stores on the simulated
+//! [`DeviceMemory`] while simultaneously recording the warp-level
+//! instruction trace consumed by the timing engine. Control-flow
+//! divergence is expressed with explicit lane masks ([`WarpCtx::with_mask`],
+//! [`WarpCtx::branch_if`]), mirroring SIMT reconvergence-stack semantics.
+
+use crate::instr::{AccessTag, MemOp, Op, Space};
+use crate::trace::{KernelTrace, WarpTrace};
+use gvf_mem::{DeviceMemory, VirtAddr};
+
+/// Threads per warp (fixed at 32, as on every NVIDIA GPU).
+pub const WARP_SIZE: usize = 32;
+
+/// A per-lane value vector: one optional value per warp lane.
+/// `None` marks lanes that do not participate in an operation.
+pub type Lanes<T> = [Option<T>; WARP_SIZE];
+
+/// Creates a [`Lanes`] array from a function of the lane index.
+pub fn lanes_from_fn<T: Copy>(f: impl FnMut(usize) -> Option<T>) -> Lanes<T> {
+    std::array::from_fn(f)
+}
+
+/// A [`Lanes`] with every lane empty.
+pub fn lanes_none<T: Copy>() -> Lanes<T> {
+    [None; WARP_SIZE]
+}
+
+/// Execution context for one warp inside a kernel.
+///
+/// Every method that touches memory both performs the access on the
+/// backing [`DeviceMemory`] *and* appends the corresponding warp
+/// instruction to the trace, so the timing model sees exactly the
+/// addresses the functional run used.
+#[derive(Debug)]
+pub struct WarpCtx<'m> {
+    mem: &'m mut DeviceMemory,
+    trace: WarpTrace,
+    mask: u32,
+    warp_id: usize,
+}
+
+impl<'m> WarpCtx<'m> {
+    /// Creates a context for warp `warp_id` with initial active `mask`.
+    pub fn new(mem: &'m mut DeviceMemory, warp_id: usize, mask: u32) -> Self {
+        WarpCtx { mem, trace: WarpTrace::new(), warp_id, mask }
+    }
+
+    /// This warp's index within the kernel launch.
+    pub fn warp_id(&self) -> usize {
+        self.warp_id
+    }
+
+    /// Global thread id of `lane`.
+    pub fn thread_id(&self, lane: usize) -> usize {
+        self.warp_id * WARP_SIZE + lane
+    }
+
+    /// Current active-lane mask.
+    pub fn mask(&self) -> u32 {
+        self.mask
+    }
+
+    /// Whether `lane` is currently active.
+    pub fn is_active(&self, lane: usize) -> bool {
+        lane < WARP_SIZE && (self.mask >> lane) & 1 == 1
+    }
+
+    /// Iterator over currently active lane indices.
+    pub fn active_lanes(&self) -> impl Iterator<Item = usize> + '_ {
+        let mask = self.mask;
+        (0..WARP_SIZE).filter(move |&i| (mask >> i) & 1 == 1)
+    }
+
+    /// Direct access to the device memory (for host-side setup code that
+    /// should not be traced).
+    pub fn mem_untraced(&mut self) -> &mut DeviceMemory {
+        self.mem
+    }
+
+    /// Finishes the warp, returning its trace.
+    pub fn into_trace(self) -> WarpTrace {
+        self.trace
+    }
+
+    /// Records `n` back-to-back arithmetic instructions.
+    pub fn alu(&mut self, n: u16) {
+        if self.mask != 0 && n > 0 {
+            self.trace.push(Op::Alu(n));
+        }
+    }
+
+    /// Records a direct branch / predicate op.
+    pub fn branch(&mut self) {
+        if self.mask != 0 {
+            self.trace.push(Op::Branch);
+        }
+    }
+
+    /// Records an indirect call (operation **C**).
+    pub fn indirect_call(&mut self) {
+        if self.mask != 0 {
+            self.trace.push(Op::IndirectCall);
+        }
+    }
+
+    /// Records a direct call.
+    pub fn direct_call(&mut self) {
+        if self.mask != 0 {
+            self.trace.push(Op::DirectCall);
+        }
+    }
+
+    /// Records a return.
+    pub fn ret(&mut self) {
+        if self.mask != 0 {
+            self.trace.push(Op::Ret);
+        }
+    }
+
+    /// Notes one dynamic virtual-function call site (Table 2 accounting).
+    pub fn note_vfunc_call(&mut self) {
+        if self.mask != 0 {
+            self.trace.note_vfunc_call();
+        }
+    }
+
+    /// Runs `f` with the active mask narrowed to `mask & self.mask()`
+    /// (SIMT nested predication), restoring the previous mask afterwards.
+    /// `f` is skipped entirely when the narrowed mask is empty.
+    pub fn with_mask<R: Default>(&mut self, mask: u32, f: impl FnOnce(&mut Self) -> R) -> R {
+        let narrowed = self.mask & mask;
+        if narrowed == 0 {
+            return R::default();
+        }
+        let saved = self.mask;
+        self.mask = narrowed;
+        let r = f(self);
+        self.mask = saved;
+        r
+    }
+
+    /// SIMT if/else: emits one branch instruction, then runs `then_f`
+    /// with the lanes in `pred` and `else_f` with the rest. Either side
+    /// is skipped if no lane takes it (branch-not-diverged fast path).
+    pub fn branch_if(
+        &mut self,
+        pred: u32,
+        then_f: impl FnOnce(&mut Self),
+        else_f: impl FnOnce(&mut Self),
+    ) {
+        self.branch();
+        self.with_mask(pred, then_f);
+        self.with_mask(!pred, else_f);
+    }
+
+    fn emit_mem(
+        &mut self,
+        space: Space,
+        is_store: bool,
+        width: u8,
+        tag: AccessTag,
+        addrs: &Lanes<VirtAddr>,
+    ) -> u32 {
+        let mut dense = Vec::new();
+        let mut mask = 0u32;
+        for lane in 0..WARP_SIZE {
+            if !self.is_active(lane) {
+                continue;
+            }
+            if let Some(a) = addrs[lane] {
+                mask |= 1 << lane;
+                dense.push(a.canonical());
+            }
+        }
+        if mask != 0 {
+            self.trace.push(Op::Mem(MemOp {
+                space,
+                is_store,
+                width,
+                mask,
+                addrs: dense.into_boxed_slice(),
+                tag,
+            }));
+        }
+        mask
+    }
+
+    /// Per-lane load of `width` (1–8) bytes, zero-extended to `u64`.
+    ///
+    /// Inactive lanes and `None` addresses yield `None`.
+    ///
+    /// # Panics
+    /// Panics on an MMU fault — the simulated equivalent of a device-side
+    /// trap (e.g. dereferencing a TypePointer-tagged address on a strict
+    /// MMU).
+    pub fn ld(&mut self, tag: AccessTag, width: u8, addrs: &Lanes<VirtAddr>) -> Lanes<u64> {
+        self.ld_in(Space::Global, tag, width, addrs)
+    }
+
+    /// Like [`ld`](Self::ld) but from constant memory (the per-kernel
+    /// virtual-function tables of paper §2 live there).
+    pub fn ldc(&mut self, tag: AccessTag, width: u8, addrs: &Lanes<VirtAddr>) -> Lanes<u64> {
+        self.ld_in(Space::Const, tag, width, addrs)
+    }
+
+    fn ld_in(
+        &mut self,
+        space: Space,
+        tag: AccessTag,
+        width: u8,
+        addrs: &Lanes<VirtAddr>,
+    ) -> Lanes<u64> {
+        assert!((1..=8).contains(&width), "load width must be 1..=8 bytes");
+        let mask = self.emit_mem(space, false, width, tag, addrs);
+        let mut out = lanes_none();
+        for lane in 0..WARP_SIZE {
+            if (mask >> lane) & 1 == 0 {
+                continue;
+            }
+            let addr = addrs[lane].expect("masked lane has address");
+            let mut buf = [0u8; 8];
+            self.mem
+                .read_bytes(addr, &mut buf[..width as usize])
+                .unwrap_or_else(|e| panic!("device trap on load at lane {lane}: {e}"));
+            out[lane] = Some(u64::from_le_bytes(buf));
+        }
+        out
+    }
+
+    /// Per-lane store of the low `width` bytes of each value.
+    ///
+    /// # Panics
+    /// Panics on an MMU fault, like [`ld`](Self::ld).
+    pub fn st(
+        &mut self,
+        tag: AccessTag,
+        width: u8,
+        addrs: &Lanes<VirtAddr>,
+        values: &Lanes<u64>,
+    ) {
+        assert!((1..=8).contains(&width), "store width must be 1..=8 bytes");
+        let mask = self.emit_mem(Space::Global, true, width, tag, addrs);
+        for lane in 0..WARP_SIZE {
+            if (mask >> lane) & 1 == 0 {
+                continue;
+            }
+            let addr = addrs[lane].expect("masked lane has address");
+            let v = values[lane].expect("store value for active lane");
+            let buf = v.to_le_bytes();
+            self.mem
+                .write_bytes(addr, &buf[..width as usize])
+                .unwrap_or_else(|e| panic!("device trap on store at lane {lane}: {e}"));
+        }
+    }
+
+    /// Convenience: 8-byte loads returning pointers.
+    ///
+    /// # Panics
+    /// Panics on an MMU fault.
+    pub fn ld_ptr(&mut self, tag: AccessTag, addrs: &Lanes<VirtAddr>) -> Lanes<VirtAddr> {
+        let raw = self.ld(tag, 8, addrs);
+        lanes_from_fn(|i| raw[i].map(VirtAddr::new))
+    }
+
+    /// Convenience: 4-byte loads reinterpreted as `f32`.
+    ///
+    /// # Panics
+    /// Panics on an MMU fault.
+    pub fn ld_f32(&mut self, tag: AccessTag, addrs: &Lanes<VirtAddr>) -> Lanes<f32> {
+        let raw = self.ld(tag, 4, addrs);
+        lanes_from_fn(|i| raw[i].map(|v| f32::from_bits(v as u32)))
+    }
+
+    /// Convenience: 4-byte stores of `f32` values.
+    ///
+    /// # Panics
+    /// Panics on an MMU fault.
+    pub fn st_f32(&mut self, tag: AccessTag, addrs: &Lanes<VirtAddr>, values: &Lanes<f32>) {
+        let raw = lanes_from_fn(|i| values[i].map(|v| v.to_bits() as u64));
+        self.st(tag, 4, addrs, &raw);
+    }
+}
+
+/// Runs a kernel of `n_threads` threads, executing `body` once per warp,
+/// and returns the recorded trace.
+///
+/// The final partial warp (if `n_threads` is not a multiple of 32) starts
+/// with only its valid lanes active, exactly like a guard
+/// `if (tid < n) return;` in CUDA.
+pub fn run_kernel(
+    mem: &mut DeviceMemory,
+    n_threads: usize,
+    mut body: impl FnMut(&mut WarpCtx<'_>),
+) -> KernelTrace {
+    let n_warps = n_threads.div_ceil(WARP_SIZE);
+    let mut kernel = KernelTrace::new();
+    for w in 0..n_warps {
+        let remaining = n_threads - w * WARP_SIZE;
+        let mask = if remaining >= WARP_SIZE {
+            u32::MAX
+        } else {
+            (1u32 << remaining) - 1
+        };
+        let mut ctx = WarpCtx::new(mem, w, mask);
+        body(&mut ctx);
+        kernel.warps.push(ctx.into_trace());
+    }
+    kernel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::InstrClass;
+
+    fn mem() -> DeviceMemory {
+        DeviceMemory::with_capacity(1 << 20)
+    }
+
+    #[test]
+    fn partial_warp_mask() {
+        let mut m = mem();
+        let k = run_kernel(&mut m, 40, |w| {
+            if w.warp_id() == 0 {
+                assert_eq!(w.mask(), u32::MAX);
+            } else {
+                assert_eq!(w.mask().count_ones(), 8);
+            }
+            w.alu(1);
+        });
+        assert_eq!(k.warps.len(), 2);
+    }
+
+    #[test]
+    fn load_store_roundtrip_with_trace() {
+        let mut m = mem();
+        let base = m.reserve(256, 8);
+        let mut k = run_kernel(&mut m, 32, |w| {
+            let addrs = lanes_from_fn(|i| Some(base.offset(i as u64 * 8)));
+            let vals = lanes_from_fn(|i| Some(i as u64 * 3));
+            w.st(AccessTag::Other, 8, &addrs, &vals);
+            let got = w.ld(AccessTag::Other, 8, &addrs);
+            for i in 0..WARP_SIZE {
+                assert_eq!(got[i], Some(i as u64 * 3));
+            }
+        });
+        let w = k.warps.pop().unwrap();
+        assert_eq!(w.dyn_instrs_of(InstrClass::Mem), 2);
+    }
+
+    #[test]
+    fn inactive_lanes_do_not_access() {
+        let mut m = mem();
+        let base = m.reserve(256, 8);
+        run_kernel(&mut m, 32, |w| {
+            let addrs = lanes_from_fn(|i| Some(base.offset(i as u64 * 8)));
+            w.with_mask(0b1, |w| {
+                let got = w.ld(AccessTag::Other, 8, &addrs);
+                assert!(got[0].is_some());
+                assert!(got[1].is_none());
+            });
+        });
+    }
+
+    #[test]
+    fn with_mask_restores() {
+        let mut m = mem();
+        run_kernel(&mut m, 32, |w| {
+            assert_eq!(w.mask(), u32::MAX);
+            w.with_mask(0xff, |w| {
+                assert_eq!(w.mask(), 0xff);
+                w.with_mask(0xf0f, |w| assert_eq!(w.mask(), 0x0f));
+            });
+            assert_eq!(w.mask(), u32::MAX);
+        });
+    }
+
+    #[test]
+    fn empty_mask_skips_closure() {
+        let mut m = mem();
+        run_kernel(&mut m, 32, |w| {
+            let mut ran = false;
+            w.with_mask(0, |_| ran = true);
+            assert!(!ran);
+        });
+    }
+
+    #[test]
+    fn branch_if_covers_both_sides() {
+        let mut m = mem();
+        let base = m.reserve(256, 8);
+        run_kernel(&mut m, 32, |w| {
+            let addrs = lanes_from_fn(|i| Some(base.offset(i as u64 * 8)));
+            let pred = 0x0000_ffff;
+            w.branch_if(
+                pred,
+                |w| {
+                    let ones = lanes_from_fn(|_| Some(1u64));
+                    w.st(AccessTag::Other, 8, &addrs, &ones)
+                },
+                |w| {
+                    let twos = lanes_from_fn(|_| Some(2u64));
+                    w.st(AccessTag::Other, 8, &addrs, &twos)
+                },
+            );
+        });
+        assert_eq!(m.read_u64(base).unwrap(), 1);
+        assert_eq!(m.read_u64(base.offset(31 * 8)).unwrap(), 2);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let mut m = mem();
+        let base = m.reserve(128, 4);
+        run_kernel(&mut m, 32, |w| {
+            let addrs = lanes_from_fn(|i| Some(base.offset(i as u64 * 4)));
+            let vals = lanes_from_fn(|i| Some(i as f32 * 0.5));
+            w.st_f32(AccessTag::Field, &addrs, &vals);
+            let got = w.ld_f32(AccessTag::Field, &addrs);
+            assert_eq!(got[7], Some(3.5));
+        });
+    }
+
+    #[test]
+    fn alu_zero_or_masked_is_silent() {
+        let mut m = mem();
+        let k = run_kernel(&mut m, 32, |w| {
+            w.alu(0);
+            w.with_mask(0, |w| w.alu(5));
+        });
+        assert_eq!(k.dyn_instrs(), 0);
+    }
+
+    #[test]
+    fn thread_ids() {
+        let mut m = mem();
+        run_kernel(&mut m, 96, |w| {
+            if w.warp_id() == 2 {
+                assert_eq!(w.thread_id(5), 69);
+            }
+        });
+    }
+}

@@ -1,0 +1,188 @@
+//! Warp-level instruction events consumed by the timing model.
+
+use std::fmt;
+
+/// Memory space of an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// Global (device) memory, cached in L1/L2.
+    Global,
+    /// Constant memory, served by the per-SM constant cache (the paper's
+    /// per-kernel virtual-function tables live here, §2).
+    Const,
+}
+
+/// Semantic tag identifying *why* an access happens, used for the
+/// Fig. 1b-style latency attribution and Table 1 accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessTag {
+    /// Operation **A**: load of the object's embedded vTable pointer
+    /// (CUDA dispatch) — the diverged, per-object load.
+    VtablePtr,
+    /// Operation **B**: load of the virtual function pointer from the
+    /// vTable (converged per type).
+    VfuncPtr,
+    /// The per-kernel constant-memory indirection between B and C (§2).
+    ConstIndirection,
+    /// Concord's load of the type tag embedded in the object.
+    TypeTag,
+    /// COAL's walk of the virtual range table / segment tree.
+    RangeWalk,
+    /// Ordinary object member access from workload code.
+    Field,
+    /// Anything else (workload arrays, outputs, ...).
+    Other,
+}
+
+impl AccessTag {
+    /// All tags, in display order.
+    pub const ALL: [AccessTag; 7] = [
+        AccessTag::VtablePtr,
+        AccessTag::VfuncPtr,
+        AccessTag::ConstIndirection,
+        AccessTag::TypeTag,
+        AccessTag::RangeWalk,
+        AccessTag::Field,
+        AccessTag::Other,
+    ];
+
+    /// Compact index for counter arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            AccessTag::VtablePtr => 0,
+            AccessTag::VfuncPtr => 1,
+            AccessTag::ConstIndirection => 2,
+            AccessTag::TypeTag => 3,
+            AccessTag::RangeWalk => 4,
+            AccessTag::Field => 5,
+            AccessTag::Other => 6,
+        }
+    }
+}
+
+impl fmt::Display for AccessTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessTag::VtablePtr => "vtable-ptr (A)",
+            AccessTag::VfuncPtr => "vfunc-ptr (B)",
+            AccessTag::ConstIndirection => "const-indirection",
+            AccessTag::TypeTag => "type-tag",
+            AccessTag::RangeWalk => "range-walk",
+            AccessTag::Field => "field",
+            AccessTag::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Instruction class, matching the paper's Fig. 7 breakdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Loads and stores (global + constant).
+    Mem,
+    /// Arithmetic / logic.
+    Compute,
+    /// Branches, calls, returns.
+    Ctrl,
+}
+
+/// A memory operation by one warp: up to 32 lane addresses.
+///
+/// Addresses are stored densely; `mask` says which lanes participate.
+/// Bit `i` of `mask` set means lane `i` issued the `k`-th address in
+/// `addrs`, where `k` is the rank of bit `i` among set bits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemOp {
+    /// Memory space.
+    pub space: Space,
+    /// `true` for stores.
+    pub is_store: bool,
+    /// Access width in bytes (1–8).
+    pub width: u8,
+    /// Active-lane mask.
+    pub mask: u32,
+    /// Canonical per-lane byte addresses (dense, one per set mask bit).
+    pub addrs: Box<[u64]>,
+    /// Attribution tag.
+    pub tag: AccessTag,
+}
+
+impl MemOp {
+    /// Number of participating lanes.
+    pub fn lane_count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
+/// One warp-level instruction event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `n` back-to-back arithmetic instructions (fused for trace
+    /// compactness; counts as `n` dynamic instructions).
+    Alu(u16),
+    /// A load or store.
+    Mem(MemOp),
+    /// A direct branch / predicate evaluation / reconvergence point.
+    Branch,
+    /// An indirect call through a register (operation **C**).
+    IndirectCall,
+    /// A direct call (Concord's statically-known targets).
+    DirectCall,
+    /// Return from a (virtual) function body.
+    Ret,
+}
+
+impl Op {
+    /// Instruction class of this op.
+    pub fn class(&self) -> InstrClass {
+        match self {
+            Op::Alu(_) => InstrClass::Compute,
+            Op::Mem(_) => InstrClass::Mem,
+            Op::Branch | Op::IndirectCall | Op::DirectCall | Op::Ret => InstrClass::Ctrl,
+        }
+    }
+
+    /// Number of dynamic instructions this event represents.
+    pub fn dyn_count(&self) -> u64 {
+        match self {
+            Op::Alu(n) => *n as u64,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes() {
+        assert_eq!(Op::Alu(3).class(), InstrClass::Compute);
+        assert_eq!(Op::Branch.class(), InstrClass::Ctrl);
+        assert_eq!(Op::IndirectCall.class(), InstrClass::Ctrl);
+        let m = MemOp {
+            space: Space::Global,
+            is_store: false,
+            width: 8,
+            mask: 0b101,
+            addrs: vec![0, 64].into_boxed_slice(),
+            tag: AccessTag::Field,
+        };
+        assert_eq!(m.lane_count(), 2);
+        assert_eq!(Op::Mem(m).class(), InstrClass::Mem);
+    }
+
+    #[test]
+    fn dyn_counts() {
+        assert_eq!(Op::Alu(5).dyn_count(), 5);
+        assert_eq!(Op::Ret.dyn_count(), 1);
+    }
+
+    #[test]
+    fn tag_indices_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for t in AccessTag::ALL {
+            assert!(seen.insert(t.index()));
+        }
+    }
+}

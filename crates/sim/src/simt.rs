@@ -1,0 +1,171 @@
+//! SIMT reconvergence-stack model.
+//!
+//! GPUs serialize divergent control flow with a per-warp stack of
+//! `(active mask, target)` entries (the mechanism NVIDIA patented for
+//! indirect branches — paper §9, reference 15). A divergent indirect call
+//! partitions the active lanes by branch target, pushes one entry per
+//! distinct target, and executes them one at a time; popping the last
+//! entry reconverges the warp.
+//!
+//! [`WarpCtx`](crate::WarpCtx) expresses structured divergence with
+//! scoped masks; this module is the explicit model used wherever lanes
+//! must be grouped by a runtime value — most importantly virtual-call
+//! targets.
+
+use crate::exec::{Lanes, WARP_SIZE};
+
+/// Partitions the active lanes of `mask` by a per-lane key, returning
+/// `(key, submask)` pairs ordered by key — the deterministic order in
+/// which a SIMT stack would execute the groups.
+///
+/// Lanes with `None` keys (inactive / no value) are dropped.
+///
+/// ```
+/// use gvf_sim::{lanes_from_fn, simt::partition_by};
+/// let keys = lanes_from_fn(|l| Some(l as u32 % 2));
+/// let groups = partition_by(u32::MAX, &keys);
+/// assert_eq!(groups.len(), 2);
+/// assert_eq!(groups[0].0, 0);
+/// assert_eq!((groups[0].1 | groups[1].1), u32::MAX);
+/// ```
+pub fn partition_by<T: Copy + Ord>(mask: u32, keys: &Lanes<T>) -> Vec<(T, u32)> {
+    let mut groups: Vec<(T, u32)> = Vec::new();
+    for lane in 0..WARP_SIZE {
+        if (mask >> lane) & 1 == 0 {
+            continue;
+        }
+        let Some(k) = keys[lane] else { continue };
+        match groups.iter_mut().find(|(g, _)| *g == k) {
+            Some((_, m)) => *m |= 1 << lane,
+            None => groups.push((k, 1 << lane)),
+        }
+    }
+    groups.sort_by_key(|(k, _)| *k);
+    groups
+}
+
+/// An explicit per-warp reconvergence stack.
+///
+/// Entries are execution groups still to run at the current divergence
+/// point; [`push_divergence`](SimtStack::push_divergence) splits the
+/// current mask, [`next_group`](SimtStack::next_group) pops the next
+/// group to execute, and the warp has reconverged when the stack returns
+/// to its pre-divergence depth.
+#[derive(Clone, Debug)]
+pub struct SimtStack<T> {
+    stack: Vec<(T, u32)>,
+    reconverge_mask: u32,
+}
+
+impl<T: Copy + Ord> SimtStack<T> {
+    /// A stack for a warp whose full active mask is `mask`.
+    pub fn new(mask: u32) -> Self {
+        SimtStack { stack: Vec::new(), reconverge_mask: mask }
+    }
+
+    /// The mask the warp returns to once every group has executed.
+    pub fn reconvergence_mask(&self) -> u32 {
+        self.reconverge_mask
+    }
+
+    /// Splits the currently active lanes by key, pushing one entry per
+    /// distinct target in *reverse* key order so that groups pop in
+    /// ascending key order. Returns the number of groups.
+    pub fn push_divergence(&mut self, mask: u32, keys: &Lanes<T>) -> usize {
+        let groups = partition_by(mask & self.reconverge_mask, keys);
+        let n = groups.len();
+        for g in groups.into_iter().rev() {
+            self.stack.push(g);
+        }
+        n
+    }
+
+    /// Pops the next `(target, mask)` group to execute, or `None` once
+    /// the warp has reconverged.
+    pub fn next_group(&mut self) -> Option<(T, u32)> {
+        self.stack.pop()
+    }
+
+    /// Whether the warp is currently diverged.
+    pub fn is_diverged(&self) -> bool {
+        !self.stack.is_empty()
+    }
+
+    /// Outstanding groups (divergence depth at this level).
+    pub fn pending_groups(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::lanes_from_fn;
+
+    #[test]
+    fn partition_groups_cover_mask_disjointly() {
+        let keys = lanes_from_fn(|l| Some((l % 3) as u8));
+        let groups = partition_by(u32::MAX, &keys);
+        assert_eq!(groups.len(), 3);
+        let mut union = 0u32;
+        for (_, m) in &groups {
+            assert_eq!(union & m, 0, "groups must be disjoint");
+            union |= m;
+        }
+        assert_eq!(union, u32::MAX);
+    }
+
+    #[test]
+    fn partition_respects_mask_and_none() {
+        let keys = lanes_from_fn(|l| (l != 3).then_some(7u8));
+        let groups = partition_by(0b1111, &keys);
+        assert_eq!(groups, vec![(7u8, 0b0111)]);
+    }
+
+    #[test]
+    fn partition_orders_by_key() {
+        let keys = lanes_from_fn(|l| Some(if l < 16 { 9u32 } else { 2 }));
+        let groups = partition_by(u32::MAX, &keys);
+        assert_eq!(groups[0].0, 2);
+        assert_eq!(groups[1].0, 9);
+    }
+
+    #[test]
+    fn converged_warp_is_one_group() {
+        let keys = lanes_from_fn(|_| Some(42u32));
+        assert_eq!(partition_by(u32::MAX, &keys).len(), 1);
+    }
+
+    #[test]
+    fn stack_executes_groups_in_key_order_then_reconverges() {
+        let mut st = SimtStack::new(u32::MAX);
+        let keys = lanes_from_fn(|l| Some((l % 2) as u8));
+        assert_eq!(st.push_divergence(u32::MAX, &keys), 2);
+        assert!(st.is_diverged());
+        let (k0, m0) = st.next_group().unwrap();
+        let (k1, m1) = st.next_group().unwrap();
+        assert!(k0 < k1);
+        assert_eq!(m0 | m1, u32::MAX);
+        assert_eq!(st.next_group(), None);
+        assert!(!st.is_diverged());
+        assert_eq!(st.reconvergence_mask(), u32::MAX);
+    }
+
+    #[test]
+    fn nested_divergence_depth() {
+        let mut st = SimtStack::new(u32::MAX);
+        let keys = lanes_from_fn(|l| Some((l % 4) as u8));
+        st.push_divergence(u32::MAX, &keys);
+        assert_eq!(st.pending_groups(), 4);
+        let (_, first) = st.next_group().unwrap();
+        // Diverge again within the first group.
+        let inner = lanes_from_fn(|l| Some((l % 2) as u8));
+        st.push_divergence(first, &inner);
+        // Inner groups are subsets of the outer group.
+        while st.pending_groups() > 3 {
+            let (_, m) = st.next_group().unwrap();
+            assert_eq!(m & !first, 0);
+        }
+        assert_eq!(st.pending_groups(), 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! Kernel traces: the interface between functional execution and timing.
+
+use crate::instr::{InstrClass, Op};
+
+/// The instruction stream of a single warp.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WarpTrace {
+    ops: Vec<Op>,
+    vfunc_calls: u64,
+}
+
+impl WarpTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        WarpTrace::default()
+    }
+
+    /// Appends an op, fusing consecutive ALU runs.
+    pub fn push(&mut self, op: Op) {
+        if let (Some(Op::Alu(prev)), Op::Alu(n)) = (self.ops.last_mut(), &op) {
+            if let Some(sum) = prev.checked_add(*n) {
+                *prev = sum;
+                return;
+            }
+        }
+        self.ops.push(op);
+    }
+
+    /// Records that one dynamic virtual-function call site executed
+    /// (for Table 2's `vFuncPKI`).
+    pub fn note_vfunc_call(&mut self) {
+        self.vfunc_calls += 1;
+    }
+
+    /// Virtual-function calls noted on this warp.
+    pub fn vfunc_calls(&self) -> u64 {
+        self.vfunc_calls
+    }
+
+    /// The ops in program order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Total dynamic instructions (ALU runs expanded).
+    pub fn dyn_instrs(&self) -> u64 {
+        self.ops.iter().map(Op::dyn_count).sum()
+    }
+
+    /// Dynamic instructions of one class.
+    pub fn dyn_instrs_of(&self, class: InstrClass) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| o.class() == class)
+            .map(Op::dyn_count)
+            .sum()
+    }
+
+    /// `true` when no ops were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// A whole kernel: one trace per warp, in warp-id order.
+#[derive(Clone, Debug, Default)]
+pub struct KernelTrace {
+    /// Per-warp instruction streams.
+    pub warps: Vec<WarpTrace>,
+}
+
+impl KernelTrace {
+    /// A kernel with no warps.
+    pub fn new() -> Self {
+        KernelTrace::default()
+    }
+
+    /// Total dynamic warp instructions across all warps.
+    pub fn dyn_instrs(&self) -> u64 {
+        self.warps.iter().map(WarpTrace::dyn_instrs).sum()
+    }
+
+    /// Total dynamic virtual-function calls across all warps.
+    pub fn vfunc_calls(&self) -> u64 {
+        self.warps.iter().map(WarpTrace::vfunc_calls).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AccessTag, MemOp, Space};
+
+    #[test]
+    fn alu_fusion() {
+        let mut t = WarpTrace::new();
+        t.push(Op::Alu(2));
+        t.push(Op::Alu(3));
+        assert_eq!(t.ops().len(), 1);
+        assert_eq!(t.dyn_instrs(), 5);
+        t.push(Op::Branch);
+        t.push(Op::Alu(1));
+        assert_eq!(t.ops().len(), 3);
+        assert_eq!(t.dyn_instrs(), 7);
+    }
+
+    #[test]
+    fn alu_fusion_saturates() {
+        let mut t = WarpTrace::new();
+        t.push(Op::Alu(u16::MAX));
+        t.push(Op::Alu(1));
+        assert_eq!(t.ops().len(), 2);
+        assert_eq!(t.dyn_instrs(), u16::MAX as u64 + 1);
+    }
+
+    #[test]
+    fn class_counting() {
+        let mut t = WarpTrace::new();
+        t.push(Op::Alu(4));
+        t.push(Op::Mem(MemOp {
+            space: Space::Global,
+            is_store: false,
+            width: 8,
+            mask: 1,
+            addrs: vec![0].into_boxed_slice(),
+            tag: AccessTag::Field,
+        }));
+        t.push(Op::IndirectCall);
+        t.push(Op::Ret);
+        assert_eq!(t.dyn_instrs_of(InstrClass::Compute), 4);
+        assert_eq!(t.dyn_instrs_of(InstrClass::Mem), 1);
+        assert_eq!(t.dyn_instrs_of(InstrClass::Ctrl), 2);
+    }
+
+    #[test]
+    fn kernel_totals() {
+        let mut k = KernelTrace::new();
+        let mut w = WarpTrace::new();
+        w.push(Op::Alu(10));
+        w.note_vfunc_call();
+        k.warps.push(w.clone());
+        k.warps.push(w);
+        assert_eq!(k.dyn_instrs(), 20);
+        assert_eq!(k.vfunc_calls(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the simulator's structural invariants.
+
+use gvf_mem::DeviceMemory;
+use gvf_sim::{
+    lanes_from_fn, run_kernel, AccessTag, Gpu, GpuConfig, KernelTrace, MemOp, Op, Space,
+    SectoredCache, WarpTrace,
+};
+use proptest::prelude::*;
+
+fn mem_op(addrs: Vec<u64>, tag: AccessTag) -> Op {
+    let mask = if addrs.len() >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << addrs.len()) - 1
+    };
+    Op::Mem(MemOp {
+        space: Space::Global,
+        is_store: false,
+        width: 8,
+        mask,
+        addrs: addrs.into_boxed_slice(),
+        tag,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Coalescing: transactions per load are between 1 and the lane
+    /// count, and equal the number of distinct sectors.
+    #[test]
+    fn coalescer_counts_distinct_sectors(addrs in proptest::collection::vec(0u64..1_000_000, 1..32)) {
+        let mut distinct: Vec<u64> = addrs.iter().map(|a| a / 32).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut w = WarpTrace::new();
+        w.push(mem_op(addrs.clone(), AccessTag::Field));
+        let s = Gpu::new(GpuConfig::small()).execute(&KernelTrace { warps: vec![w] });
+        prop_assert_eq!(s.global_load_transactions, distinct.len() as u64);
+        prop_assert!(s.global_load_transactions >= 1);
+        prop_assert!(s.global_load_transactions <= addrs.len() as u64);
+    }
+
+    /// Monotonicity: appending work never reduces simulated cycles, and
+    /// cycles are always positive for non-empty kernels.
+    #[test]
+    fn more_work_never_faster(n_alu in 1u16..200, extra in 1u16..200) {
+        let mk = |n: u16| {
+            let mut w = WarpTrace::new();
+            w.push(Op::Alu(n));
+            Gpu::new(GpuConfig::small()).execute(&KernelTrace { warps: vec![w] }).cycles
+        };
+        let a = mk(n_alu);
+        let b = mk(n_alu + extra);
+        prop_assert!(a > 0);
+        prop_assert!(b >= a);
+    }
+
+    /// Instruction accounting: the engine reports exactly the dynamic
+    /// instructions present in the trace, for any op mix.
+    #[test]
+    fn instruction_accounting_exact(ops in proptest::collection::vec(0usize..5, 1..64)) {
+        let mut w = WarpTrace::new();
+        let mut expect = 0u64;
+        for (i, k) in ops.iter().enumerate() {
+            match k {
+                0 => { w.push(Op::Alu(3)); expect += 3; }
+                1 => { w.push(Op::Branch); expect += 1; }
+                2 => { w.push(mem_op(vec![i as u64 * 64], AccessTag::Other)); expect += 1; }
+                3 => { w.push(Op::IndirectCall); expect += 1; }
+                _ => { w.push(Op::Ret); expect += 1; }
+            }
+        }
+        let s = Gpu::new(GpuConfig::small()).execute(&KernelTrace { warps: vec![w.clone()] });
+        prop_assert_eq!(s.total_instrs(), expect);
+        prop_assert_eq!(s.total_instrs(), w.dyn_instrs());
+    }
+
+    /// The cache never reports more hits than accesses, regardless of
+    /// the access stream.
+    #[test]
+    fn cache_hits_bounded(stream in proptest::collection::vec(0u64..4096, 1..512)) {
+        let mut c = SectoredCache::new(1024, 2, 128, 32);
+        for a in stream {
+            c.access(a);
+        }
+        prop_assert!(c.hits() + c.misses() > 0);
+        prop_assert!(c.hit_rate() <= 1.0);
+        // Re-touching the same address immediately must hit.
+        c.access(12345);
+        let h = c.hits();
+        c.access(12345);
+        prop_assert_eq!(c.hits(), h + 1);
+    }
+
+    /// Functional layer: masked stores only write active lanes,
+    /// whatever the mask.
+    #[test]
+    fn masked_stores_respect_mask(mask in 1u32..=u32::MAX) {
+        let mut mem = DeviceMemory::with_capacity(1 << 20);
+        let base = mem.reserve(256, 8);
+        run_kernel(&mut mem, 32, |w| {
+            let addrs = lanes_from_fn(|i| Some(base.offset(i as u64 * 8)));
+            let vals = lanes_from_fn(|_| Some(7u64));
+            w.with_mask(mask, |w| w.st(AccessTag::Other, 8, &addrs, &vals));
+        });
+        for i in 0..32 {
+            let v = mem.read_u64(base.offset(i as u64 * 8)).unwrap();
+            let expect = if (mask >> i) & 1 == 1 { 7 } else { 0 };
+            prop_assert_eq!(v, expect, "lane {}", i);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! GOL — Conway's Game of Life (DynaSOAr).
+//!
+//! Four concrete types (two cell classes under the abstract `Cell`, two
+//! agent classes under the abstract `Agent`, matching the paper's
+//! description of the benchmark's hierarchy).
+
+use crate::config::{RunResult, WorkloadConfig};
+use crate::dynasoar::grid::{self, GridSpec};
+use gvf_core::Strategy;
+
+fn init(draw: u64) -> u32 {
+    u32::from(draw < 35)
+}
+
+fn rule(state: u32, live: u32) -> u32 {
+    match (state, live) {
+        (1, 2) | (1, 3) => 1,
+        (0, 3) => 1,
+        _ => 0,
+    }
+}
+
+fn is_live(state: u32) -> bool {
+    state == 1
+}
+
+/// Runs GOL under `strategy`.
+pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
+    let spec = GridSpec {
+        type_names: ["InnerCell", "BorderCell", "AliveAgent", "DeadAgent"],
+        filler_vfuncs: 6, // paper: 29 vFuncs in GOL
+        init,
+        rule,
+        is_live,
+    };
+    grid::run(&spec, strategy, cfg)
+}

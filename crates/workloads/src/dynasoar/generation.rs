@@ -1,0 +1,49 @@
+//! GEN — a Generations automaton (DynaSOAr).
+//!
+//! The paper describes GEN as "an extension of gol" whose cells "have
+//! more intermediate states which lead to more complicated scenarios".
+//! We use a classic 4-state Generations rule (born on 3, survive on
+//! 2/3, then two decay states before death).
+
+use crate::config::{RunResult, WorkloadConfig};
+use crate::dynasoar::grid::{self, GridSpec};
+use gvf_core::Strategy;
+
+fn init(draw: u64) -> u32 {
+    match draw {
+        0..=29 => 1,
+        30..=39 => 2,
+        _ => 0,
+    }
+}
+
+fn rule(state: u32, live: u32) -> u32 {
+    match state {
+        0 => u32::from(live == 3),
+        1 => {
+            if live == 2 || live == 3 {
+                1
+            } else {
+                2
+            }
+        }
+        2 => 3,
+        _ => 0,
+    }
+}
+
+fn is_live(state: u32) -> bool {
+    state == 1
+}
+
+/// Runs GEN under `strategy`.
+pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
+    let spec = GridSpec {
+        type_names: ["LiveZone", "EdgeZone", "ActiveAgent", "DecayAgent"],
+        filler_vfuncs: 7, // paper: 33 vFuncs in GEN
+        init,
+        rule,
+        is_live,
+    };
+    grid::run(&spec, strategy, cfg)
+}

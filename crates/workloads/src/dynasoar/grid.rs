@@ -1,0 +1,178 @@
+//! Shared cellular-automaton skeleton for GOL and GEN.
+//!
+//! A `W × H` grid of cell objects, each owning an agent object. Per
+//! iteration: a *decide* kernel (virtual call on the mixed inner/border
+//! cell types) counts live neighbours and writes the agent's next state,
+//! then a *commit* kernel (virtual call on the mixed agent types)
+//! publishes it. Two-phase update keeps the result independent of lane
+//! grouping, so every dispatch strategy computes the same grid.
+
+use crate::config::{RunResult, WorkloadConfig};
+use crate::rig::{Checksum, Rig};
+use crate::util::{lanes_ptrs, splitmix64};
+use gvf_core::{CallSite, FuncId, Strategy, TypeRegistry};
+use gvf_mem::VirtAddr;
+use gvf_sim::{lanes_from_fn, AccessTag};
+
+const F_INNER_DECIDE: FuncId = FuncId(0);
+const F_BORDER_DECIDE: FuncId = FuncId(1);
+const F_AGENT_A_COMMIT: FuncId = FuncId(2);
+const F_AGENT_B_COMMIT: FuncId = FuncId(3);
+
+// Cell fields: agent_ptr u64 @0, state u32 @8.
+const C_AGENT: u64 = 0;
+const C_STATE: u64 = 8;
+// Agent fields: state u32 @0, next u32 @4, cell_ptr u64 @8.
+const A_STATE: u64 = 0;
+const A_NEXT: u64 = 4;
+const A_CELL: u64 = 8;
+
+/// Parameters distinguishing GOL from GEN.
+pub struct GridSpec {
+    /// Type names: `[inner cell, border cell, agent A, agent B]`.
+    pub type_names: [&'static str; 4],
+    /// Cold vTable entries per type (Table 2 code-size fidelity).
+    pub filler_vfuncs: usize,
+    /// Initial state from a hash draw in `[0, 100)`.
+    pub init: fn(u64) -> u32,
+    /// Transition: `(state, live_neighbour_count) -> next state`.
+    pub rule: fn(u32, u32) -> u32,
+    /// States counted as "live" when neighbours look at this cell.
+    pub is_live: fn(u32) -> bool,
+}
+
+const NEIGHBOURS: [(i64, i64); 8] =
+    [(-1, -1), (0, -1), (1, -1), (-1, 0), (1, 0), (-1, 1), (0, 1), (1, 1)];
+
+/// Runs a grid automaton under `strategy`.
+pub fn run(spec: &GridSpec, strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
+    let mut reg = TypeRegistry::new();
+    let mut filler = 100u32;
+    let fill = spec.filler_vfuncs;
+    let t_inner = reg.add_type(
+        spec.type_names[0],
+        16,
+        &crate::util::vfuncs_with_fillers(&[F_INNER_DECIDE], fill, &mut filler),
+    );
+    let t_border = reg.add_type(
+        spec.type_names[1],
+        16,
+        &crate::util::vfuncs_with_fillers(&[F_BORDER_DECIDE], fill, &mut filler),
+    );
+    let t_agent_a = reg.add_type(
+        spec.type_names[2],
+        16,
+        &crate::util::vfuncs_with_fillers(&[F_AGENT_A_COMMIT], fill, &mut filler),
+    );
+    let t_agent_b = reg.add_type(
+        spec.type_names[3],
+        16,
+        &crate::util::vfuncs_with_fillers(&[F_AGENT_B_COMMIT], fill, &mut filler),
+    );
+
+    let mut rig = Rig::new(&reg, strategy, cfg);
+    let w_dim = 128usize;
+    let h_dim = 96 * cfg.scale as usize;
+    let n = w_dim * h_dim;
+
+    // Interleaved construction: cell then its agent, row-major.
+    let mut cells = Vec::with_capacity(n);
+    let mut agents = Vec::with_capacity(n);
+    for i in 0..n {
+        let (x, y) = (i % w_dim, i / w_dim);
+        let border = x == 0 || y == 0 || x == w_dim - 1 || y == h_dim - 1;
+        let cell = rig.construct(if border { t_border } else { t_inner });
+        let state = (spec.init)(splitmix64(cfg.seed ^ i as u64) % 100);
+        let agent =
+            rig.construct(if (spec.is_live)(state) { t_agent_a } else { t_agent_b });
+        let hdr = rig.prog.header_bytes();
+        rig.mem.write_u64(cell.strip_tag().offset(hdr + C_AGENT), agent.raw()).unwrap();
+        rig.mem.write_u32(cell.strip_tag().offset(hdr + C_STATE), state).unwrap();
+        rig.mem.write_u32(agent.strip_tag().offset(hdr + A_STATE), state).unwrap();
+        rig.mem.write_u64(agent.strip_tag().offset(hdr + A_CELL), cell.raw()).unwrap();
+        cells.push(cell);
+        agents.push(agent);
+    }
+    rig.finalize();
+
+    // Device-side grid of cell pointers for neighbour lookups.
+    let grid = rig.reserve(n as u64 * 8, 256);
+    for (i, c) in cells.iter().enumerate() {
+        rig.mem.write_ptr(grid.offset(i as u64 * 8), *c).unwrap();
+    }
+
+    for _iter in 0..cfg.iterations {
+        // K1: decide. One thread per cell.
+        rig.run_kernel(n, |prog, w| {
+            let objs = lanes_ptrs(w, &cells);
+            prog.vcall(w, &CallSite::new(0), &objs, |w, fid| {
+                let border_body = fid == F_BORDER_DECIDE;
+                let state = prog.ld_field(w, &objs, C_STATE, 4);
+                let mut count = [0u32; 32];
+                for (dx, dy) in NEIGHBOURS {
+                    if border_body {
+                        w.alu(1); // bounds guard
+                    }
+                    let naddrs = lanes_from_fn(|l| {
+                        if !w.is_active(l) || objs[l].is_none() {
+                            return None;
+                        }
+                        let i = w.thread_id(l);
+                        let (x, y) = ((i % w_dim) as i64, (i / w_dim) as i64);
+                        let (nx, ny) = (x + dx, y + dy);
+                        (nx >= 0 && ny >= 0 && nx < w_dim as i64 && ny < h_dim as i64)
+                            .then(|| grid.offset((ny as u64 * w_dim as u64 + nx as u64) * 8))
+                    });
+                    let nptr_bits = w.ld(AccessTag::Other, 8, &naddrs);
+                    let nptrs = lanes_from_fn(|l| nptr_bits[l].map(VirtAddr::new));
+                    let nstate = prog.ld_field(w, &nptrs, C_STATE, 4);
+                    w.alu(1); // accumulate
+                    for l in 0..32 {
+                        if let Some(s) = nstate[l] {
+                            if (spec.is_live)(s as u32) {
+                                count[l] += 1;
+                            }
+                        }
+                    }
+                }
+                w.alu(4); // rule evaluation
+                let next = lanes_from_fn(|l| {
+                    state[l].map(|s| (spec.rule)(s as u32, count[l]) as u64)
+                });
+                // Write the agent's next state through the cell's pointer.
+                let aptr_bits = prog.ld_field(w, &objs, C_AGENT, 8);
+                let aptrs = lanes_from_fn(|l| aptr_bits[l].map(VirtAddr::new));
+                prog.st_field(w, &aptrs, A_NEXT, 4, &next);
+            });
+        });
+
+        // K2: commit. One thread per agent.
+        rig.run_kernel(n, |prog, w| {
+            let objs = lanes_ptrs(w, &agents);
+            prog.vcall(w, &CallSite::new(0), &objs, |w, fid| {
+                let next = prog.ld_field(w, &objs, A_NEXT, 4);
+                prog.st_field(w, &objs, A_STATE, 4, &next);
+                // Mirror into the cell so neighbours read it next round.
+                let cptr_bits = prog.ld_field(w, &objs, A_CELL, 8);
+                let cptrs = lanes_from_fn(|l| cptr_bits[l].map(VirtAddr::new));
+                prog.st_field(w, &cptrs, C_STATE, 4, &next);
+                w.alu(if fid == F_AGENT_A_COMMIT { 1 } else { 2 });
+            });
+        });
+    }
+
+    let mut ck = Checksum::new();
+    let hdr = rig.prog.header_bytes();
+    let mut alive = 0u64;
+    let mut state_sum = 0u64;
+    for a in &agents {
+        let v = rig.mem.read_u32(a.strip_tag().offset(hdr + A_STATE)).unwrap();
+        ck.push(v as u64);
+        state_sum += v as u64;
+        if (spec.is_live)(v) {
+            alive += 1;
+        }
+    }
+    let metrics = vec![("alive", alive as f64), ("state_sum", state_sum as f64)];
+    crate::util::collect_with_metrics(rig, &reg, ck, metrics)
+}

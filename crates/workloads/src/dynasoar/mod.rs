@@ -1,0 +1,7 @@
+//! The four DynaSOAr-derived workloads: TRAF, GOL, STUT, GEN.
+
+pub mod game_of_life;
+pub mod generation;
+pub(crate) mod grid;
+pub mod structure;
+pub mod traffic;

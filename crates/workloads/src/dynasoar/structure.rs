@@ -1,0 +1,290 @@
+//! STUT — finite-element fracture simulation (DynaSOAr "structure").
+//!
+//! Chains of nodes connected by springs; a spring kernel computes Hooke
+//! forces (with optional damping — two spring types) into per-spring
+//! endpoint slots, and a node kernel integrates them (anchored nodes
+//! stay put — two node types). Springs fracture when over-stretched,
+//! matching the benchmark's material-failure behaviour.
+
+use crate::config::{RunResult, WorkloadConfig};
+use crate::rig::{Checksum, Rig};
+use crate::util::{fold_f32_field, lanes_ptrs, splitmix64};
+use gvf_core::{CallSite, FuncId, Strategy, TypeRegistry};
+use gvf_mem::VirtAddr;
+use gvf_sim::lanes_from_fn;
+
+const F_FREE_INTEGRATE: FuncId = FuncId(0);
+const F_ANCHOR_INTEGRATE: FuncId = FuncId(1);
+const F_ELASTIC_APPLY: FuncId = FuncId(2);
+const F_DAMPED_APPLY: FuncId = FuncId(3);
+
+// Node fields: x @0, y @4, vx @8, vy @12 (f32 each).
+const N_X: u64 = 0;
+const N_Y: u64 = 4;
+const N_VX: u64 = 8;
+const N_VY: u64 = 12;
+// Spring fields: a_ptr @0, b_ptr @8, rest @16, k @20, broken @24,
+// force on a: fax @28, fay @32; force on b: fbx @36, fby @40.
+const S_A: u64 = 0;
+const S_B: u64 = 8;
+const S_REST: u64 = 16;
+const S_K: u64 = 20;
+const S_BROKEN: u64 = 24;
+const S_FAX: u64 = 28;
+const S_FAY: u64 = 32;
+const S_FBX: u64 = 36;
+const S_FBY: u64 = 40;
+
+const DT: f32 = 0.05;
+
+/// Runs STUT under `strategy`.
+pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
+    // Paper Table 2: STUT carries 40 vFuncs in compiled code.
+    let mut reg = TypeRegistry::new();
+    let mut filler = 100u32;
+    let t_free = reg.add_type(
+        "FreeNode",
+        16,
+        &crate::util::vfuncs_with_fillers(&[F_FREE_INTEGRATE], 9, &mut filler),
+    );
+    let t_anchor = reg.add_type(
+        "AnchorNode",
+        16,
+        &crate::util::vfuncs_with_fillers(&[F_ANCHOR_INTEGRATE], 9, &mut filler),
+    );
+    let t_elastic = reg.add_type(
+        "ElasticSpring",
+        44,
+        &crate::util::vfuncs_with_fillers(&[F_ELASTIC_APPLY], 9, &mut filler),
+    );
+    let t_damped = reg.add_type(
+        "DampedSpring",
+        44,
+        &crate::util::vfuncs_with_fillers(&[F_DAMPED_APPLY], 9, &mut filler),
+    );
+
+    let mut rig = Rig::new(&reg, strategy, cfg);
+    let chain_len = 64usize;
+    let n_chains = 48 * cfg.scale as usize;
+    let n_nodes = chain_len * n_chains;
+
+    // Per chain: anchor, free...free, anchor; springs between neighbours.
+    let mut nodes = Vec::with_capacity(n_nodes);
+    let mut springs = Vec::with_capacity(n_nodes - n_chains);
+    let hdr_of = |rig: &Rig| rig.prog.header_bytes();
+    for c in 0..n_chains {
+        let mut prev: Option<VirtAddr> = None;
+        for i in 0..chain_len {
+            let anchor = i == 0 || i == chain_len - 1;
+            let node = rig.construct(if anchor { t_anchor } else { t_free });
+            let hdr = hdr_of(&rig);
+            let p = node.strip_tag();
+            let jitter =
+                (splitmix64(cfg.seed ^ (c * chain_len + i) as u64) % 100) as f32 / 500.0;
+            rig.mem.write_f32(p.offset(hdr + N_X), i as f32 + jitter).unwrap();
+            rig.mem.write_f32(p.offset(hdr + N_Y), c as f32).unwrap();
+            nodes.push(node);
+            if let Some(prev) = prev {
+                let h = splitmix64(cfg.seed ^ 0xda0 ^ (c * chain_len + i) as u64);
+                let spring = rig.construct(if h % 4 == 0 { t_damped } else { t_elastic });
+                let sp = spring.strip_tag();
+                rig.mem.write_u64(sp.offset(hdr + S_A), prev.raw()).unwrap();
+                rig.mem.write_u64(sp.offset(hdr + S_B), node.raw()).unwrap();
+                rig.mem.write_f32(sp.offset(hdr + S_REST), 0.9).unwrap();
+                rig.mem
+                    .write_f32(sp.offset(hdr + S_K), 0.8 + (h % 5) as f32 * 0.1)
+                    .unwrap();
+                springs.push(spring);
+            }
+            prev = Some(node);
+        }
+    }
+    rig.finalize();
+
+    // Device array mapping each free node to its two adjacent springs.
+    // (-1 sentinel for chain boundaries.)
+    let adj = rig.reserve(n_nodes as u64 * 16, 256);
+    for (i, _) in nodes.iter().enumerate() {
+        let c = i / chain_len;
+        let k = i % chain_len;
+        let springs_per_chain = chain_len - 1;
+        let left =
+            if k == 0 { u64::MAX } else { (c * springs_per_chain + k - 1) as u64 };
+        let right = if k == chain_len - 1 {
+            u64::MAX
+        } else {
+            (c * springs_per_chain + k) as u64
+        };
+        rig.mem.write_u64(adj.offset(i as u64 * 16), left).unwrap();
+        rig.mem.write_u64(adj.offset(i as u64 * 16 + 8), right).unwrap();
+    }
+
+    let ld_f32 = |prog: &gvf_core::DeviceProgram,
+                  w: &mut gvf_sim::WarpCtx<'_>,
+                  objs: &gvf_sim::Lanes<VirtAddr>,
+                  off: u64| {
+        let raw = prog.ld_field(w, objs, off, 4);
+        lanes_from_fn(|l| raw[l].map(|v| f32::from_bits(v as u32)))
+    };
+    let st_f32 = |prog: &gvf_core::DeviceProgram,
+                  w: &mut gvf_sim::WarpCtx<'_>,
+                  objs: &gvf_sim::Lanes<VirtAddr>,
+                  off: u64,
+                  vals: &gvf_sim::Lanes<f32>| {
+        let raw = lanes_from_fn(|l| vals[l].map(|v| v.to_bits() as u64));
+        prog.st_field(w, objs, off, 4, &raw);
+    };
+
+    for _iter in 0..cfg.iterations {
+        // K1: springs compute endpoint forces into their own slots.
+        rig.run_kernel(springs.len(), |prog, w| {
+            let objs = lanes_ptrs(w, &springs);
+            prog.vcall(w, &CallSite::new(0), &objs, |w, fid| {
+                let damped = fid == F_DAMPED_APPLY;
+                let a_bits = prog.ld_field(w, &objs, S_A, 8);
+                let b_bits = prog.ld_field(w, &objs, S_B, 8);
+                let aptr = lanes_from_fn(|l| a_bits[l].map(VirtAddr::new));
+                let bptr = lanes_from_fn(|l| b_bits[l].map(VirtAddr::new));
+                let ax = ld_f32(prog, w, &aptr, N_X);
+                let ay = ld_f32(prog, w, &aptr, N_Y);
+                let bx = ld_f32(prog, w, &bptr, N_X);
+                let by = ld_f32(prog, w, &bptr, N_Y);
+                let rest = ld_f32(prog, w, &objs, S_REST);
+                let k = ld_f32(prog, w, &objs, S_K);
+                let broken = prog.ld_field(w, &objs, S_BROKEN, 4);
+                w.alu(12); // distance, normalization, Hooke
+                let mut fx = gvf_sim::lanes_none::<f32>();
+                let mut fy = gvf_sim::lanes_none::<f32>();
+                let mut now_broken = gvf_sim::lanes_none::<u64>();
+                for l in 0..32 {
+                    let (Some(ax), Some(ay), Some(bx), Some(by), Some(r), Some(k)) =
+                        (ax[l], ay[l], bx[l], by[l], rest[l], k[l])
+                    else {
+                        continue;
+                    };
+                    let (dx, dy) = (bx - ax, by - ay);
+                    let dist = (dx * dx + dy * dy).sqrt().max(1e-6);
+                    let already_broken = broken[l].unwrap_or(0) != 0;
+                    let breaks = dist > 3.0 * r;
+                    let mag = if already_broken || breaks {
+                        0.0
+                    } else {
+                        k * (dist - r) / dist
+                    };
+                    fx[l] = Some(mag * dx);
+                    fy[l] = Some(mag * dy);
+                    now_broken[l] = Some(u64::from(already_broken || breaks));
+                }
+                if damped {
+                    // Damping term against relative velocity.
+                    let avx = ld_f32(prog, w, &aptr, N_VX);
+                    let bvx = ld_f32(prog, w, &bptr, N_VX);
+                    let avy = ld_f32(prog, w, &aptr, N_VY);
+                    let bvy = ld_f32(prog, w, &bptr, N_VY);
+                    w.alu(6);
+                    for l in 0..32 {
+                        if let (Some(f), Some(av), Some(bv)) = (fx[l], avx[l], bvx[l]) {
+                            fx[l] = Some(f + 0.1 * (bv - av));
+                        }
+                        if let (Some(f), Some(av), Some(bv)) = (fy[l], avy[l], bvy[l]) {
+                            fy[l] = Some(f + 0.1 * (bv - av));
+                        }
+                    }
+                }
+                st_f32(prog, w, &objs, S_FAX, &fx);
+                st_f32(prog, w, &objs, S_FAY, &fy);
+                let nfx = lanes_from_fn(|l| fx[l].map(|v| -v));
+                let nfy = lanes_from_fn(|l| fy[l].map(|v| -v));
+                st_f32(prog, w, &objs, S_FBX, &nfx);
+                st_f32(prog, w, &objs, S_FBY, &nfy);
+                prog.st_field(w, &objs, S_BROKEN, 4, &now_broken);
+            });
+        });
+
+        // K2: nodes gather adjacent spring forces and integrate.
+        rig.run_kernel(nodes.len(), |prog, w| {
+            let objs = lanes_ptrs(w, &nodes);
+            prog.vcall(w, &CallSite::new(0), &objs, |w, fid| {
+                if fid == F_ANCHOR_INTEGRATE {
+                    w.alu(1); // anchors hold position
+                    return;
+                }
+                // Read spring indices from the adjacency array, then the
+                // springs' stored endpoint forces.
+                let idx_addrs = lanes_from_fn(|l| {
+                    (w.is_active(l) && objs[l].is_some())
+                        .then(|| adj.offset(w.thread_id(l) as u64 * 16))
+                });
+                let left = w.ld(gvf_sim::AccessTag::Other, 8, &idx_addrs);
+                let right_addrs = lanes_from_fn(|l| idx_addrs[l].map(|a| a.offset(8)));
+                let right = w.ld(gvf_sim::AccessTag::Other, 8, &right_addrs);
+                let lptr = lanes_from_fn(|l| {
+                    left[l].and_then(|i| (i != u64::MAX).then(|| springs[i as usize]))
+                });
+                let rptr = lanes_from_fn(|l| {
+                    right[l].and_then(|i| (i != u64::MAX).then(|| springs[i as usize]))
+                });
+                // Force from the left spring acts on its B endpoint (us),
+                // from the right spring on its A endpoint.
+                let lfx = ld_f32(prog, w, &lptr, S_FBX);
+                let lfy = ld_f32(prog, w, &lptr, S_FBY);
+                let rfx = ld_f32(prog, w, &rptr, S_FAX);
+                let rfy = ld_f32(prog, w, &rptr, S_FAY);
+                let x = ld_f32(prog, w, &objs, N_X);
+                let y = ld_f32(prog, w, &objs, N_Y);
+                let vx = ld_f32(prog, w, &objs, N_VX);
+                let vy = ld_f32(prog, w, &objs, N_VY);
+                w.alu(10); // integration
+                let nvx = lanes_from_fn(|l| {
+                    vx[l].map(|v| {
+                        0.995 * (v + DT * (lfx[l].unwrap_or(0.0) + rfx[l].unwrap_or(0.0)))
+                    })
+                });
+                let nvy = lanes_from_fn(|l| {
+                    vy[l].map(|v| {
+                        0.995 * (v + DT * (lfy[l].unwrap_or(0.0) + rfy[l].unwrap_or(0.0)))
+                    })
+                });
+                let nx = lanes_from_fn(|l| x[l].zip(nvx[l]).map(|(p, v)| p + DT * v));
+                let ny = lanes_from_fn(|l| y[l].zip(nvy[l]).map(|(p, v)| p + DT * v));
+                st_f32(prog, w, &objs, N_VX, &nvx);
+                st_f32(prog, w, &objs, N_VY, &nvy);
+                st_f32(prog, w, &objs, N_X, &nx);
+                st_f32(prog, w, &objs, N_Y, &ny);
+            });
+        });
+    }
+
+    let mut ck = Checksum::new();
+    fold_f32_field(&mut rig, &nodes, N_X, &mut ck);
+    fold_f32_field(&mut rig, &nodes, N_Y, &mut ck);
+    fold_u32_broken(&mut rig, &springs, &mut ck);
+
+    // Domain metrics: anchors must not drift; fracture count is bounded.
+    let hdr = rig.prog.header_bytes();
+    let mut anchor_drift = 0.0f64;
+    for (i, node) in nodes.iter().enumerate() {
+        let k = i % chain_len;
+        if k == 0 || k == chain_len - 1 {
+            let c = i / chain_len;
+            let jitter = (splitmix64(cfg.seed ^ i as u64) % 100) as f32 / 500.0;
+            let x = rig.mem.read_f32(node.strip_tag().offset(hdr + N_X)).unwrap();
+            let y = rig.mem.read_f32(node.strip_tag().offset(hdr + N_Y)).unwrap();
+            anchor_drift += ((x - (k as f32 + jitter)).abs() + (y - c as f32).abs()) as f64;
+        }
+    }
+    let mut broken = 0u64;
+    for s in &springs {
+        broken += rig.mem.read_u32(s.strip_tag().offset(hdr + S_BROKEN)).unwrap() as u64;
+    }
+    let metrics = vec![("anchor_drift", anchor_drift), ("broken", broken as f64)];
+    crate::util::collect_with_metrics(rig, &reg, ck, metrics)
+}
+
+fn fold_u32_broken(rig: &mut Rig, springs: &[VirtAddr], ck: &mut Checksum) {
+    let hdr = rig.prog.header_bytes();
+    for s in springs {
+        let v = rig.mem.read_u32(s.strip_tag().offset(hdr + S_BROKEN)).unwrap();
+        ck.push(v as u64);
+    }
+}

@@ -1,0 +1,307 @@
+//! TRAF — Nagel–Schreckenberg traffic simulation (DynaSOAr).
+//!
+//! Streets are rings of cells; vehicles advance with the classic NS
+//! rules (accelerate, brake to gap, random slowdown, move); traffic
+//! lights block cells periodically. Six concrete types exercise
+//! dispatch: two cell types, two vehicle types, and two kinds of street
+//! furniture, matching the paper's six-type TRAF port.
+
+use crate::config::{RunResult, WorkloadConfig};
+use crate::rig::{Checksum, Rig};
+use crate::util::{fold_u32_field, lanes_ptrs, splitmix64};
+use gvf_core::{CallSite, FuncId, Strategy, TypeRegistry};
+use gvf_mem::VirtAddr;
+use gvf_sim::{lanes_from_fn, AccessTag};
+
+// Virtual function ids.
+const F_CELL_RESET: FuncId = FuncId(0);
+const F_PRODUCER_RESET: FuncId = FuncId(1);
+const F_CAR_STEP: FuncId = FuncId(2);
+const F_BUS_STEP: FuncId = FuncId(3);
+const F_LIGHT_STEP: FuncId = FuncId(4);
+const F_SIGN_STEP: FuncId = FuncId(5);
+const F_CAR_COMMIT: FuncId = FuncId(6);
+const F_BUS_COMMIT: FuncId = FuncId(7);
+
+// Cell fields: occupied u32 @0, blocked u32 @4.
+const CELL_OCC: u64 = 0;
+const CELL_BLK: u64 = 4;
+// Vehicle fields: pos u32 @0, vel u32 @4, next_pos @8, next_vel @12,
+// ring_base @16, ring_len @20.
+const V_POS: u64 = 0;
+const V_VEL: u64 = 4;
+const V_NPOS: u64 = 8;
+const V_NVEL: u64 = 12;
+const V_BASE: u64 = 16;
+const V_LEN: u64 = 20;
+// Light fields: phase @0, period @4, cell @8. Sign: limit @0, cell @4.
+const L_PHASE: u64 = 0;
+const L_PERIOD: u64 = 4;
+const L_CELL: u64 = 8;
+const S_LIMIT: u64 = 0;
+const S_CELL: u64 = 4;
+
+const CAR_VMAX: u64 = 5;
+const BUS_VMAX: u64 = 3;
+
+/// Runs TRAF under `strategy`.
+pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
+    // Hot entry points plus the cold virtual functions real DynaSOAr
+    // builds carry (paper Table 2: TRAF has 74 vFuncs in compiled code).
+    let mut reg = TypeRegistry::new();
+    let mut filler = 100u32;
+    let t_cell = reg.add_type(
+        "StandardCell",
+        8,
+        &crate::util::vfuncs_with_fillers(&[F_CELL_RESET], 11, &mut filler),
+    );
+    let t_prod = reg.add_type(
+        "ProducerCell",
+        8,
+        &crate::util::vfuncs_with_fillers(&[F_PRODUCER_RESET], 11, &mut filler),
+    );
+    let t_car = reg.add_type(
+        "Car",
+        24,
+        &crate::util::vfuncs_with_fillers(&[F_CAR_STEP, F_CAR_COMMIT], 10, &mut filler),
+    );
+    let t_bus = reg.add_type(
+        "Bus",
+        24,
+        &crate::util::vfuncs_with_fillers(&[F_BUS_STEP, F_BUS_COMMIT], 10, &mut filler),
+    );
+    let t_light = reg.add_type(
+        "TrafficLight",
+        12,
+        &crate::util::vfuncs_with_fillers(&[F_LIGHT_STEP], 11, &mut filler),
+    );
+    let t_sign = reg.add_type(
+        "SpeedSign",
+        8,
+        &crate::util::vfuncs_with_fillers(&[F_SIGN_STEP], 11, &mut filler),
+    );
+
+    let mut rig = Rig::new(&reg, strategy, cfg);
+    let s = cfg.scale as usize;
+    let ring_len = 512usize;
+    let n_rings = 24 * s;
+    let n_cells = ring_len * n_rings;
+    let n_vehicles = n_cells / 4;
+    let n_lights = n_cells / 128;
+    let n_signs = n_cells / 256;
+
+    // Construction interleaves types, as real initialization would.
+    let mut cells: Vec<VirtAddr> = Vec::with_capacity(n_cells);
+    let mut vehicles: Vec<VirtAddr> = Vec::with_capacity(n_vehicles);
+    let mut infra: Vec<VirtAddr> = Vec::with_capacity(n_lights + n_signs);
+    for i in 0..n_cells {
+        let h = splitmix64(cfg.seed ^ i as u64);
+        let ty = if h % 10 == 0 { t_prod } else { t_cell };
+        cells.push(rig.construct(ty));
+        if i % 4 == 0 {
+            let vi = i / 4;
+            let h2 = splitmix64(cfg.seed ^ 0xbeef ^ vi as u64);
+            let ty = if h2 % 5 == 0 { t_bus } else { t_car };
+            let v = rig.construct(ty);
+            vehicles.push(v);
+            let ring = (i / ring_len) as u32;
+            let pos = (i % ring_len) as u32;
+            let base = rig.prog.header_bytes();
+            let p = v.strip_tag();
+            rig.mem.write_u32(p.offset(base + V_POS), pos).unwrap();
+            rig.mem.write_u32(p.offset(base + V_VEL), (h2 % 3) as u32).unwrap();
+            rig.mem.write_u32(p.offset(base + V_BASE), ring * ring_len as u32).unwrap();
+            rig.mem.write_u32(p.offset(base + V_LEN), ring_len as u32).unwrap();
+        }
+        if i % 128 == 0 && infra.len() < n_lights {
+            let l = rig.construct(t_light);
+            let base = rig.prog.header_bytes();
+            let p = l.strip_tag();
+            rig.mem.write_u32(p.offset(base + L_PHASE), (i % 7) as u32).unwrap();
+            rig.mem.write_u32(p.offset(base + L_PERIOD), 6 + (i % 5) as u32).unwrap();
+            rig.mem.write_u32(p.offset(base + L_CELL), i as u32).unwrap();
+            infra.push(l);
+        }
+        if i % 256 == 17 && infra.len() < n_lights + n_signs {
+            let g = rig.construct(t_sign);
+            let base = rig.prog.header_bytes();
+            let p = g.strip_tag();
+            rig.mem.write_u32(p.offset(base + S_LIMIT), 2 + (i % 3) as u32).unwrap();
+            rig.mem.write_u32(p.offset(base + S_CELL), i as u32).unwrap();
+            infra.push(g);
+        }
+    }
+    rig.finalize();
+
+    // Device-side road array: cell pointers by position.
+    let road = rig.reserve(n_cells as u64 * 8, 256);
+    for (i, c) in cells.iter().enumerate() {
+        rig.mem.write_ptr(road.offset(i as u64 * 8), *c).unwrap();
+    }
+    // Initial occupancy.
+    for v in &vehicles {
+        let hdr = rig.prog.header_bytes();
+        let p = v.strip_tag();
+        let pos = rig.mem.read_u32(p.offset(hdr + V_POS)).unwrap() as u64;
+        let base = rig.mem.read_u32(p.offset(hdr + V_BASE)).unwrap() as u64;
+        let cell = cells[(base + pos) as usize].strip_tag();
+        rig.mem.write_u32(cell.offset(hdr + CELL_OCC), 1).unwrap();
+    }
+
+    for iter in 0..cfg.iterations {
+        // K1: street furniture steps (lights toggle blocking, signs no-op
+        // beyond bookkeeping). Mixed light/sign types in one array.
+        rig.run_kernel(infra.len(), |prog, w| {
+            let objs = lanes_ptrs(w, &infra);
+            prog.vcall(w, &CallSite::new(0), &objs, |w, fid| {
+                if fid == F_LIGHT_STEP {
+                    let phase = prog.ld_field(w, &objs, L_PHASE, 4);
+                    let period = prog.ld_field(w, &objs, L_PERIOD, 4);
+                    let cell_idx = prog.ld_field(w, &objs, L_CELL, 4);
+                    w.alu(3);
+                    let next = lanes_from_fn(|i| {
+                        phase[i].zip(period[i]).map(|(p, q)| (p + 1) % q.max(1))
+                    });
+                    prog.st_field(w, &objs, L_PHASE, 4, &next);
+                    // Block the cell while phase < period/2.
+                    let cell_ptrs = lanes_from_fn(|i| {
+                        cell_idx[i].map(|c| cells[c as usize])
+                    });
+                    let blocked = lanes_from_fn(|i| {
+                        next[i].zip(period[i]).map(|(p, q)| u64::from(p < q.max(1) / 2))
+                    });
+                    prog.st_field(w, &cell_ptrs, CELL_BLK, 4, &blocked);
+                } else {
+                    debug_assert_eq!(fid, F_SIGN_STEP);
+                    prog.ld_field(w, &objs, S_LIMIT, 4);
+                    w.alu(2);
+                }
+            });
+        });
+
+        // K2: vehicles decide (NS accelerate/brake/random slowdown).
+        rig.run_kernel(vehicles.len(), |prog, w| {
+            let objs = lanes_ptrs(w, &vehicles);
+            prog.vcall(w, &CallSite::new(0), &objs, |w, fid| {
+                let vmax = if fid == F_CAR_STEP { CAR_VMAX } else { BUS_VMAX };
+                let pos = prog.ld_field(w, &objs, V_POS, 4);
+                let vel = prog.ld_field(w, &objs, V_VEL, 4);
+                let base = prog.ld_field(w, &objs, V_BASE, 4);
+                let len = prog.ld_field(w, &objs, V_LEN, 4);
+                w.alu(2); // accelerate + clamp
+                // Gap scan: probe up to vmax cells ahead through the road
+                // array and the (diverged) cell objects.
+                let mut gap = lanes_from_fn(|i| pos[i].map(|_| vmax));
+                let mut open = w.mask();
+                for d in 1..=vmax {
+                    if open == 0 {
+                        break;
+                    }
+                    w.branch();
+                    let probe_addrs = lanes_from_fn(|i| {
+                        ((open >> i) & 1 == 1)
+                            .then(|| {
+                                pos[i].zip(base[i]).zip(len[i]).map(|((p, b), l)| {
+                                    let idx = b + (p + d) % l.max(1);
+                                    road.offset(idx * 8)
+                                })
+                            })
+                            .flatten()
+                    });
+                    let cell_ptr_bits = w.ld(AccessTag::Other, 8, &probe_addrs);
+                    let cell_ptrs =
+                        lanes_from_fn(|i| cell_ptr_bits[i].map(VirtAddr::new));
+                    let occ = prog.ld_field(w, &cell_ptrs, CELL_OCC, 4);
+                    let blk = prog.ld_field(w, &cell_ptrs, CELL_BLK, 4);
+                    w.alu(2);
+                    for i in 0..32 {
+                        if (open >> i) & 1 == 0 {
+                            continue;
+                        }
+                        let stop = occ[i].unwrap_or(0) != 0 || blk[i].unwrap_or(0) != 0;
+                        if stop {
+                            gap[i] = Some(d - 1);
+                            open &= !(1 << i);
+                        }
+                    }
+                }
+                // v' = min(v+1, vmax, gap), then random slowdown.
+                w.alu(3);
+                let nvel = lanes_from_fn(|i| {
+                    vel[i].zip(gap[i]).map(|(v, g)| {
+                        let tid = w.thread_id(i) as u64;
+                        let mut nv = (v + 1).min(vmax).min(g);
+                        if splitmix64(cfg.seed ^ (iter as u64) << 32 ^ tid) % 10 < 2 {
+                            nv = nv.saturating_sub(1);
+                        }
+                        nv
+                    })
+                });
+                let npos = lanes_from_fn(|i| {
+                    pos[i].zip(nvel[i]).zip(len[i]).map(|((p, v), l)| (p + v) % l.max(1))
+                });
+                prog.st_field(w, &objs, V_NVEL, 4, &nvel);
+                prog.st_field(w, &objs, V_NPOS, 4, &npos);
+            });
+        });
+
+        // K3: cells reset occupancy (standard vs producer bodies).
+        rig.run_kernel(cells.len(), |prog, w| {
+            let objs = lanes_ptrs(w, &cells);
+            prog.vcall(w, &CallSite::new(0), &objs, |w, fid| {
+                let zero = lanes_from_fn(|i| objs[i].map(|_| 0u64));
+                prog.st_field(w, &objs, CELL_OCC, 4, &zero);
+                if fid == F_PRODUCER_RESET {
+                    w.alu(4); // producer bookkeeping (spawn throttling)
+                } else {
+                    w.alu(1);
+                }
+            });
+        });
+
+        // K4: vehicles commit their move and claim the new cell.
+        rig.run_kernel(vehicles.len(), |prog, w| {
+            let objs = lanes_ptrs(w, &vehicles);
+            prog.vcall(w, &CallSite::new(1), &objs, |w, fid| {
+                let npos = prog.ld_field(w, &objs, V_NPOS, 4);
+                let nvel = prog.ld_field(w, &objs, V_NVEL, 4);
+                let base = prog.ld_field(w, &objs, V_BASE, 4);
+                prog.st_field(w, &objs, V_POS, 4, &npos);
+                prog.st_field(w, &objs, V_VEL, 4, &nvel);
+                w.alu(if fid == F_BUS_COMMIT { 3 } else { 1 });
+                let cell_ptrs = lanes_from_fn(|i| {
+                    npos[i].zip(base[i]).map(|(p, b)| cells[(b + p) as usize])
+                });
+                let one = lanes_from_fn(|i| cell_ptrs[i].map(|_| 1u64));
+                prog.st_field(w, &cell_ptrs, CELL_OCC, 4, &one);
+            });
+        });
+    }
+
+    // Checksum over final vehicle state + conservation metrics.
+    let mut ck = Checksum::new();
+    fold_u32_field(&mut rig, &vehicles, V_POS, &mut ck);
+    fold_u32_field(&mut rig, &vehicles, V_VEL, &mut ck);
+    let hdr = rig.prog.header_bytes();
+    let mut occupied = 0u64;
+    for c in &cells {
+        occupied += rig.mem.read_u32(c.strip_tag().offset(hdr + CELL_OCC)).unwrap() as u64;
+    }
+    let mut pos_sum = 0u64;
+    let mut vel_sum = 0u64;
+    for v in &vehicles {
+        let p = v.strip_tag();
+        let pos = rig.mem.read_u32(p.offset(hdr + V_POS)).unwrap() as u64;
+        let len = rig.mem.read_u32(p.offset(hdr + V_LEN)).unwrap() as u64;
+        assert!(pos < len, "vehicle drove off its ring");
+        pos_sum += pos;
+        vel_sum += rig.mem.read_u32(p.offset(hdr + V_VEL)).unwrap() as u64;
+    }
+    let metrics = vec![
+        ("occupied_cells", occupied as f64),
+        ("vehicles", vehicles.len() as f64),
+        ("pos_sum", pos_sum as f64),
+        ("vel_sum", vel_sum as f64),
+    ];
+    crate::util::collect_with_metrics(rig, &reg, ck, metrics)
+}

@@ -1,0 +1,235 @@
+//! GraphChi-derived graph analytics: BFS, CC, PageRank over graphs with
+//! virtual edges (vE) and virtual edges + nodes (vEN).
+//!
+//! The paper runs GraphChi's example apps; we generate a deterministic
+//! synthetic graph (no external datasets) with a skewed degree
+//! distribution and a Hamiltonian ring for connectivity.
+
+pub mod ve;
+pub mod ven;
+
+use crate::util::splitmix64;
+
+/// The three graph algorithms of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GraphAlgo {
+    /// Breadth-first search: level relaxation from vertex 0.
+    Bfs,
+    /// Connected components by min-label propagation.
+    Cc,
+    /// PageRank with damping 0.85.
+    Pr,
+}
+
+/// A directed graph in CSR form (out-edges) plus its transpose.
+#[derive(Clone, Debug)]
+pub struct SynthGraph {
+    /// Vertex count.
+    pub n: usize,
+    /// Out-CSR row offsets (`n + 1` entries).
+    pub out_row: Vec<u32>,
+    /// Out-edge destinations.
+    pub out_dst: Vec<u32>,
+    /// In-CSR row offsets (`n + 1` entries) of the transpose.
+    pub in_row: Vec<u32>,
+    /// For each in-edge: the *original* out-edge index (→ edge object).
+    pub in_edge_idx: Vec<u32>,
+}
+
+impl SynthGraph {
+    /// Edge count.
+    pub fn m(&self) -> usize {
+        self.out_dst.len()
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_deg(&self, v: usize) -> u32 {
+        self.out_row[v + 1] - self.out_row[v]
+    }
+
+    /// In-degree of `v`.
+    pub fn in_deg(&self, v: usize) -> u32 {
+        self.in_row[v + 1] - self.in_row[v]
+    }
+}
+
+/// Generates the evaluation graph: every vertex gets a ring edge
+/// (`v → v+1 mod n`) plus 1–8 hash-drawn extra edges, skewed toward a
+/// few hub targets.
+pub fn generate(n: usize, seed: u64) -> SynthGraph {
+    assert!(n >= 2, "graph needs at least two vertices");
+    let mut out_row = Vec::with_capacity(n + 1);
+    let mut out_dst = Vec::new();
+    out_row.push(0u32);
+    for v in 0..n {
+        out_dst.push(((v + 1) % n) as u32);
+        let extra = 1 + (splitmix64(seed ^ v as u64) % 8) as usize;
+        for e in 0..extra {
+            let h = splitmix64(seed ^ ((v as u64) << 20) ^ e as u64);
+            // 25% of edges point at the hub set (first n/64 vertices).
+            let dst = if h % 4 == 0 {
+                (h >> 8) as usize % (n / 64).max(1)
+            } else {
+                (h >> 8) as usize % n
+            };
+            out_dst.push(dst as u32);
+        }
+        out_row.push(out_dst.len() as u32);
+    }
+    build_csr(n, out_row, out_dst)
+}
+
+/// Builds a graph from explicit `(src, dst)` edges (any order).
+///
+/// For running the graph workloads on real inputs instead of the
+/// synthetic generator. Vertex count is `n`; edges referencing vertices
+/// `>= n` are rejected.
+///
+/// # Panics
+/// Panics if `n < 2` or an edge endpoint is out of range.
+pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> SynthGraph {
+    assert!(n >= 2, "graph needs at least two vertices");
+    let mut by_src: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (s, d) in edges {
+        assert!((s as usize) < n && (d as usize) < n, "edge ({s},{d}) out of range");
+        by_src[s as usize].push(d);
+    }
+    let mut out_row = Vec::with_capacity(n + 1);
+    let mut out_dst = Vec::new();
+    out_row.push(0u32);
+    for dsts in &by_src {
+        out_dst.extend_from_slice(dsts);
+        out_row.push(out_dst.len() as u32);
+    }
+    build_csr(n, out_row, out_dst)
+}
+
+/// Parses a whitespace-separated edge list (`src dst` per line; `#` and
+/// `%` lines are comments), inferring the vertex count.
+///
+/// # Errors
+/// Returns a message naming the offending line on malformed input.
+pub fn parse_edge_list(text: &str) -> Result<SynthGraph, String> {
+    let mut edges = Vec::new();
+    let mut max_v = 1u32;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u32, String> {
+            tok.ok_or_else(|| format!("line {}: missing field", lineno + 1))?
+                .parse::<u32>()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))
+        };
+        let s = parse(it.next())?;
+        let d = parse(it.next())?;
+        max_v = max_v.max(s).max(d);
+        edges.push((s, d));
+    }
+    if edges.is_empty() {
+        return Err("edge list contains no edges".to_owned());
+    }
+    Ok(from_edges(max_v as usize + 1, edges))
+}
+
+fn build_csr(n: usize, out_row: Vec<u32>, out_dst: Vec<u32>) -> SynthGraph {
+    // Transpose.
+    let m = out_dst.len();
+    let mut in_count = vec![0u32; n];
+    for &d in &out_dst {
+        in_count[d as usize] += 1;
+    }
+    let mut in_row = Vec::with_capacity(n + 1);
+    in_row.push(0u32);
+    for v in 0..n {
+        in_row.push(in_row[v] + in_count[v]);
+    }
+    let mut cursor: Vec<u32> = in_row[..n].to_vec();
+    let mut in_edge_idx = vec![0u32; m];
+    for v in 0..n {
+        for e in out_row[v]..out_row[v + 1] {
+            let d = out_dst[e as usize] as usize;
+            in_edge_idx[cursor[d] as usize] = e;
+            cursor[d] += 1;
+        }
+    }
+
+    SynthGraph { n, out_row, out_dst, in_row, in_edge_idx }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = generate(500, 42);
+        let b = generate(500, 42);
+        assert_eq!(a.out_dst, b.out_dst);
+        assert_ne!(a.out_dst, generate(500, 43).out_dst);
+    }
+
+    #[test]
+    fn csr_is_well_formed() {
+        let g = generate(300, 1);
+        assert_eq!(g.out_row.len(), 301);
+        assert_eq!(g.in_row.len(), 301);
+        assert_eq!(*g.out_row.last().unwrap() as usize, g.m());
+        assert_eq!(*g.in_row.last().unwrap() as usize, g.m());
+        assert!(g.out_dst.iter().all(|&d| (d as usize) < g.n));
+    }
+
+    #[test]
+    fn transpose_is_consistent() {
+        let g = generate(200, 9);
+        // Every in-edge index points at an out-edge whose dst is the
+        // vertex owning that in-slot.
+        for v in 0..g.n {
+            for k in g.in_row[v]..g.in_row[v + 1] {
+                let e = g.in_edge_idx[k as usize] as usize;
+                assert_eq!(g.out_dst[e] as usize, v);
+            }
+        }
+    }
+
+    #[test]
+    fn from_edges_and_parser_agree() {
+        let text = "# comment\n0 1\n1 2\n2 0\n% another comment\n2 1\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.n, 3);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.out_deg(2), 2);
+        assert_eq!(g.in_deg(1), 2);
+        // Transpose consistency holds for loaded graphs too.
+        for v in 0..g.n {
+            for k in g.in_row[v]..g.in_row[v + 1] {
+                let e = g.in_edge_idx[k as usize] as usize;
+                assert_eq!(g.out_dst[e] as usize, v);
+            }
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_edge_list("0 x\n").is_err());
+        assert!(parse_edge_list("0\n").is_err());
+        assert!(parse_edge_list("# only comments\n").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_bounds_checked() {
+        from_edges(2, [(0u32, 5u32)]);
+    }
+
+    #[test]
+    fn ring_guarantees_reachability() {
+        let g = generate(100, 3);
+        for v in 0..g.n {
+            let row = &g.out_dst[g.out_row[v] as usize..g.out_row[v + 1] as usize];
+            assert!(row.contains(&(((v + 1) % g.n) as u32)));
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! GraphChi-vE: BFS / CC / PageRank with **virtual edges**.
+//!
+//! Edges are polymorphic objects (`ChiEdge` hierarchy in the original);
+//! vertex state lives in flat device arrays. Every per-edge operation is
+//! a virtual call through a (diverged) edge pointer — the access pattern
+//! whose dispatch cost Figs. 6–9 measure.
+
+use crate::config::{RunResult, WorkloadConfig};
+use crate::graphchi::{generate, GraphAlgo, SynthGraph};
+use crate::rig::{Checksum, Rig};
+use crate::util::splitmix64;
+use gvf_core::{CallSite, FuncId, Strategy, TypeRegistry};
+use gvf_mem::VirtAddr;
+use gvf_sim::{lanes_from_fn, lanes_none, AccessTag, Lanes, WARP_SIZE};
+
+const F_PLAIN: FuncId = FuncId(0);
+const F_WEIGHTED: FuncId = FuncId(1);
+const F_FLAGGED: FuncId = FuncId(2);
+const F_STAMPED: FuncId = FuncId(3);
+
+// Edge fields: src u32 @0, dst u32 @4, weight f32 @8, flags u32 @12.
+const E_SRC: u64 = 0;
+const E_WEIGHT: u64 = 8;
+
+const INF: u64 = u32::MAX as u64;
+
+/// Runs a GraphChi-vE algorithm under `strategy`.
+pub fn run(algo: GraphAlgo, strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
+    let mut reg = TypeRegistry::new();
+    let t_plain = reg.add_type("PlainEdge", 16, &[F_PLAIN]);
+    let t_weighted = reg.add_type("WeightedEdge", 16, &[F_WEIGHTED]);
+    let t_flagged = reg.add_type("FlaggedEdge", 16, &[F_FLAGGED]);
+    let t_stamped = reg.add_type("StampedEdge", 16, &[F_STAMPED]);
+
+    let mut rig = Rig::new(&reg, strategy, cfg);
+    let g = generate(2048 * cfg.scale as usize, cfg.seed);
+
+    // Edge objects in out-edge order, types hash-interleaved.
+    let mut edges = Vec::with_capacity(g.m());
+    for v in 0..g.n {
+        for e in g.out_row[v]..g.out_row[v + 1] {
+            let h = splitmix64(cfg.seed ^ 0xed9e ^ e as u64);
+            let t = match h % 20 {
+                0..=9 => t_plain,
+                10..=15 => t_weighted,
+                16..=18 => t_flagged,
+                _ => t_stamped,
+            };
+            let obj = rig.construct(t);
+            let hdr = rig.prog.header_bytes();
+            let p = obj.strip_tag();
+            rig.mem.write_u32(p.offset(hdr + E_SRC), v as u32).unwrap();
+            rig.mem.write_u32(p.offset(hdr + 4), g.out_dst[e as usize]).unwrap();
+            let wgt = 0.25 + (h % 100) as f32 / 100.0;
+            rig.mem.write_f32(p.offset(hdr + E_WEIGHT), wgt).unwrap();
+            edges.push(obj);
+        }
+    }
+    rig.finalize();
+
+    let arrays = DeviceArrays::build(&mut rig, &g, &edges, algo);
+    let mut cur = 0usize; // which of the ping-pong value arrays is current
+    for round in 0..cfg.iterations {
+        let (val_cur, val_next) = (arrays.val[cur], arrays.val[1 - cur]);
+        relax_round(&mut rig, &g, &edges, &arrays, algo, round, val_cur, val_next);
+        cur = 1 - cur;
+    }
+
+    let mut ck = Checksum::new();
+    let mut value_sum = 0.0f64;
+    let mut reached = 0u64;
+    for v in 0..g.n {
+        let bits = rig.mem.read_u32(arrays.val[cur].offset(v as u64 * 4)).unwrap();
+        match algo {
+            GraphAlgo::Pr => {
+                ck.push_f32_quantized(f32::from_bits(bits));
+                value_sum += f32::from_bits(bits) as f64;
+            }
+            _ => {
+                ck.push(bits as u64);
+                if bits != INF as u32 {
+                    value_sum += bits as f64;
+                    reached += 1;
+                }
+            }
+        }
+    }
+    let metrics = vec![("value_sum", value_sum), ("reached", reached as f64)];
+    crate::util::collect_with_metrics(rig, &reg, ck, metrics)
+}
+
+pub(crate) struct DeviceArrays {
+    /// Ping-pong per-vertex value arrays (level / label / rank bits).
+    pub val: [VirtAddr; 2],
+    /// In-CSR row offsets (u32).
+    pub in_row: VirtAddr,
+    /// In-edge object pointers (u64), in-CSR order.
+    pub in_ptrs: VirtAddr,
+    /// Per-vertex out-degree (u32), for PageRank.
+    pub out_deg: VirtAddr,
+}
+
+impl DeviceArrays {
+    pub(crate) fn build(
+        rig: &mut Rig,
+        g: &SynthGraph,
+        edges: &[VirtAddr],
+        algo: GraphAlgo,
+    ) -> Self {
+        let n = g.n as u64;
+        let val = [rig.reserve(n * 4, 256), rig.reserve(n * 4, 256)];
+        let in_row = rig.reserve((n + 1) * 4, 256);
+        let in_ptrs = rig.reserve(g.m() as u64 * 8, 256);
+        let out_deg = rig.reserve(n * 4, 256);
+        for v in 0..g.n {
+            let init = match algo {
+                GraphAlgo::Bfs => {
+                    if v == 0 {
+                        0
+                    } else {
+                        INF as u32
+                    }
+                }
+                GraphAlgo::Cc => v as u32,
+                GraphAlgo::Pr => 1.0f32.to_bits(),
+            };
+            rig.mem.write_u32(val[0].offset(v as u64 * 4), init).unwrap();
+            rig.mem.write_u32(val[1].offset(v as u64 * 4), init).unwrap();
+            rig.mem.write_u32(out_deg.offset(v as u64 * 4), g.out_deg(v)).unwrap();
+        }
+        for v in 0..=g.n {
+            rig.mem.write_u32(in_row.offset(v as u64 * 4), g.in_row[v]).unwrap();
+        }
+        for (k, &e) in g.in_edge_idx.iter().enumerate() {
+            rig.mem.write_ptr(in_ptrs.offset(k as u64 * 8), edges[e as usize]).unwrap();
+        }
+        DeviceArrays { val, in_row, in_ptrs, out_deg }
+    }
+}
+
+/// The edge-visit virtual call: loads the edge's `src` (all types) and
+/// `weight` (weighted/stamped types), with per-type extra arithmetic.
+/// Returns per-lane `(src, weight)`.
+pub(crate) fn edge_visit(
+    prog: &gvf_core::DeviceProgram,
+    w: &mut gvf_sim::WarpCtx<'_>,
+    eptrs: &Lanes<VirtAddr>,
+) -> (Lanes<u64>, Lanes<f32>) {
+    let mut srcs = lanes_none();
+    let mut weights: Lanes<f32> = lanes_from_fn(|l| eptrs[l].map(|_| 1.0f32));
+    prog.vcall(w, &CallSite::new(0), eptrs, |w, fid| {
+        let s = prog.ld_field(w, eptrs, E_SRC, 4);
+        for l in w.active_lanes().collect::<Vec<_>>() {
+            srcs[l] = s[l];
+        }
+        match fid {
+            F_PLAIN => w.alu(1),
+            F_WEIGHTED | F_STAMPED => {
+                let raw = prog.ld_field(w, eptrs, E_WEIGHT, 4);
+                w.alu(2);
+                for l in w.active_lanes().collect::<Vec<_>>() {
+                    if let Some(bits) = raw[l] {
+                        weights[l] = Some(f32::from_bits(bits as u32));
+                    }
+                }
+            }
+            F_FLAGGED => w.alu(3),
+            other => panic!("unexpected edge callee {other}"),
+        }
+    });
+    (srcs, weights)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn relax_round(
+    rig: &mut Rig,
+    g: &SynthGraph,
+    _edges: &[VirtAddr],
+    arrays: &DeviceArrays,
+    algo: GraphAlgo,
+    round: u32,
+    val_cur: VirtAddr,
+    val_next: VirtAddr,
+) {
+    let in_row = &g.in_row;
+    let arrays_in_row = arrays.in_row;
+    let in_ptrs = arrays.in_ptrs;
+    let out_deg_arr = arrays.out_deg;
+    let n = g.n;
+    rig.run_kernel(n, |prog, w| {
+        // CSR row bounds (two converging loads) + own value.
+        let row_addrs = lanes_from_fn(|l| {
+            (w.thread_id(l) < n).then(|| arrays_in_row.offset(w.thread_id(l) as u64 * 4))
+        });
+        w.ld(AccessTag::Other, 4, &row_addrs);
+        w.ld(AccessTag::Other, 4, &lanes_from_fn(|l| row_addrs[l].map(|a| a.offset(4))));
+        let own_addrs = lanes_from_fn(|l| {
+            (w.thread_id(l) < n).then(|| val_cur.offset(w.thread_id(l) as u64 * 4))
+        });
+        let own = w.ld(AccessTag::Other, 4, &own_addrs);
+        w.alu(2); // degree math
+
+        let deg: Vec<u32> = (0..WARP_SIZE)
+            .map(|l| {
+                let v = w.thread_id(l);
+                if v < n {
+                    in_row[v + 1] - in_row[v]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let max_deg = (0..WARP_SIZE)
+            .filter(|&l| w.is_active(l))
+            .map(|l| deg[l])
+            .max()
+            .unwrap_or(0);
+
+        // Per-lane accumulators.
+        let mut best: Vec<u64> = (0..WARP_SIZE).map(|l| own[l].unwrap_or(0)).collect();
+        let mut sum = [0.0f32; WARP_SIZE];
+        let mut found = [false; WARP_SIZE];
+
+        for d in 0..max_deg {
+            w.branch(); // loop trip
+            let lane_on = |l: usize| {
+                w.is_active(l) && w.thread_id(l) < n && d < deg[l] && {
+                    // BFS only pulls for unvisited vertices.
+                    algo != GraphAlgo::Bfs || own[l] == Some(INF)
+                }
+            };
+            let any = (0..WARP_SIZE).any(&lane_on);
+            if !any {
+                continue;
+            }
+            // Edge pointer from the in-CSR pointer array (diverged).
+            let ptr_addrs = lanes_from_fn(|l| {
+                lane_on(l).then(|| {
+                    in_ptrs.offset((in_row[w.thread_id(l)] + d) as u64 * 8)
+                })
+            });
+            let bits = w.ld(AccessTag::Other, 8, &ptr_addrs);
+            let eptrs = lanes_from_fn(|l| bits[l].map(VirtAddr::new));
+            let (srcs, weights) = edge_visit(prog, w, &eptrs);
+
+            // Neighbour value.
+            let src_val_addrs =
+                lanes_from_fn(|l| srcs[l].map(|s| val_cur.offset(s * 4)));
+            let sval = w.ld(AccessTag::Other, 4, &src_val_addrs);
+            match algo {
+                GraphAlgo::Bfs => {
+                    w.alu(1);
+                    for l in 0..WARP_SIZE {
+                        if let Some(sv) = sval[l] {
+                            if sv == round as u64 {
+                                found[l] = true;
+                            }
+                        }
+                    }
+                }
+                GraphAlgo::Cc => {
+                    w.alu(1);
+                    for l in 0..WARP_SIZE {
+                        if let Some(sv) = sval[l] {
+                            best[l] = best[l].min(sv);
+                        }
+                    }
+                }
+                GraphAlgo::Pr => {
+                    let deg_addrs =
+                        lanes_from_fn(|l| srcs[l].map(|s| out_deg_arr.offset(s * 4)));
+                    let sdeg = w.ld(AccessTag::Other, 4, &deg_addrs);
+                    w.alu(3);
+                    for l in 0..WARP_SIZE {
+                        if let (Some(sv), Some(dg), Some(wt)) =
+                            (sval[l], sdeg[l], weights[l])
+                        {
+                            sum[l] +=
+                                f32::from_bits(sv as u32) * wt / (dg.max(1) as f32);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Publish into the next-round array (unique per vertex).
+        w.alu(2);
+        let next = lanes_from_fn(|l| {
+            if !w.is_active(l) || w.thread_id(l) >= n {
+                return None;
+            }
+            Some(match algo {
+                GraphAlgo::Bfs => {
+                    let cur = own[l].unwrap_or(INF);
+                    if cur == INF && found[l] {
+                        round as u64 + 1
+                    } else {
+                        cur
+                    }
+                }
+                GraphAlgo::Cc => best[l],
+                GraphAlgo::Pr => {
+                    // Normalize the weight skew so ranks stay bounded.
+                    (0.15 + 0.85 * (sum[l] / 1.75)).to_bits() as u64
+                }
+            })
+        });
+        let next_addrs = lanes_from_fn(|l| {
+            (w.thread_id(l) < n).then(|| val_next.offset(w.thread_id(l) as u64 * 4))
+        });
+        w.st(AccessTag::Other, 4, &next_addrs, &next);
+    });
+}

@@ -1,0 +1,296 @@
+//! GraphChi-vEN: BFS / CC / PageRank with **virtual edges and nodes**.
+//!
+//! Vertices are polymorphic objects too (`ChiVertex` hierarchy): the
+//! per-vertex update is itself a virtual call whose body runs the edge
+//! loop with nested edge dispatches, plus a second virtual `commit`
+//! phase — hence the higher vFuncPKI the paper reports for vEN.
+
+use crate::config::{RunResult, WorkloadConfig};
+use crate::graphchi::{generate, GraphAlgo, SynthGraph};
+use crate::rig::{Checksum, Rig};
+use crate::util::{lanes_ptrs, splitmix64};
+use gvf_core::{CallSite, FuncId, Strategy, TypeRegistry};
+use gvf_mem::VirtAddr;
+use gvf_sim::{lanes_from_fn, lanes_none, AccessTag, Lanes, WARP_SIZE};
+
+const F_HUB_UPDATE: FuncId = FuncId(0);
+const F_LEAF_UPDATE: FuncId = FuncId(1);
+const F_PLAIN_VISIT: FuncId = FuncId(2);
+const F_WEIGHTED_VISIT: FuncId = FuncId(3);
+const F_HUB_COMMIT: FuncId = FuncId(4);
+const F_LEAF_COMMIT: FuncId = FuncId(5);
+
+// Vertex fields: val u32 @0, next u32 @4, in_deg u32 @8, row_start u32 @12.
+const V_VAL: u64 = 0;
+const V_NEXT: u64 = 4;
+const V_DEG: u64 = 8;
+const V_ROW: u64 = 12;
+// Edge fields: src u32 @0, dst u32 @4, weight f32 @8.
+const E_SRC: u64 = 0;
+const E_WEIGHT: u64 = 8;
+
+const INF: u64 = u32::MAX as u64;
+
+/// Runs a GraphChi-vEN algorithm under `strategy`.
+pub fn run(algo: GraphAlgo, strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
+    // Paper Table 2: vEN apps carry 10-15 vFuncs in compiled code.
+    let mut reg = TypeRegistry::new();
+    let mut filler = 100u32;
+    let t_hub = reg.add_type(
+        "HubVertex",
+        16,
+        &crate::util::vfuncs_with_fillers(&[F_HUB_UPDATE, F_HUB_COMMIT], 2, &mut filler),
+    );
+    let t_leaf = reg.add_type(
+        "LeafVertex",
+        16,
+        &crate::util::vfuncs_with_fillers(&[F_LEAF_UPDATE, F_LEAF_COMMIT], 2, &mut filler),
+    );
+    let t_plain = reg.add_type(
+        "PlainEdge",
+        16,
+        &crate::util::vfuncs_with_fillers(&[F_PLAIN_VISIT], 2, &mut filler),
+    );
+    let t_weighted = reg.add_type(
+        "WeightedEdge",
+        16,
+        &crate::util::vfuncs_with_fillers(&[F_WEIGHTED_VISIT], 2, &mut filler),
+    );
+
+    let mut rig = Rig::new(&reg, strategy, cfg);
+    let g = generate(2048 * cfg.scale as usize, cfg.seed ^ 0x7e4);
+
+    // Vertices and their out-edges constructed interleaved, as GraphChi's
+    // loader would build them.
+    let mut verts = Vec::with_capacity(g.n);
+    let mut edges = Vec::with_capacity(g.m());
+    for v in 0..g.n {
+        let ty = if g.in_deg(v) >= 16 { t_hub } else { t_leaf };
+        let obj = rig.construct(ty);
+        verts.push(obj);
+        for e in g.out_row[v]..g.out_row[v + 1] {
+            let h = splitmix64(cfg.seed ^ 0xeeee ^ e as u64);
+            let t = if h % 3 == 0 { t_weighted } else { t_plain };
+            let eo = rig.construct(t);
+            let hdr = rig.prog.header_bytes();
+            let p = eo.strip_tag();
+            rig.mem.write_u32(p.offset(hdr + E_SRC), v as u32).unwrap();
+            rig.mem.write_u32(p.offset(hdr + 4), g.out_dst[e as usize]).unwrap();
+            rig.mem
+                .write_f32(p.offset(hdr + E_WEIGHT), 0.5 + (h % 64) as f32 / 64.0)
+                .unwrap();
+            edges.push(eo);
+        }
+    }
+    // Vertex field init.
+    for v in 0..g.n {
+        let hdr = rig.prog.header_bytes();
+        let p = verts[v].strip_tag();
+        let init = match algo {
+            GraphAlgo::Bfs => {
+                if v == 0 {
+                    0
+                } else {
+                    INF as u32
+                }
+            }
+            GraphAlgo::Cc => v as u32,
+            GraphAlgo::Pr => 1.0f32.to_bits(),
+        };
+        rig.mem.write_u32(p.offset(hdr + V_VAL), init).unwrap();
+        rig.mem.write_u32(p.offset(hdr + V_NEXT), init).unwrap();
+        rig.mem.write_u32(p.offset(hdr + V_DEG), g.in_deg(v)).unwrap();
+        rig.mem.write_u32(p.offset(hdr + V_ROW), g.in_row[v]).unwrap();
+    }
+    rig.finalize();
+
+    // Device arrays: in-edge object pointers, vertex object pointers
+    // (for neighbour access), per-vertex out-degree.
+    let in_ptrs = rig.reserve(g.m() as u64 * 8, 256);
+    for (k, &e) in g.in_edge_idx.iter().enumerate() {
+        rig.mem.write_ptr(in_ptrs.offset(k as u64 * 8), edges[e as usize]).unwrap();
+    }
+    let vert_ptrs = rig.reserve(g.n as u64 * 8, 256);
+    for (v, p) in verts.iter().enumerate() {
+        rig.mem.write_ptr(vert_ptrs.offset(v as u64 * 8), *p).unwrap();
+    }
+    let out_deg = rig.reserve(g.n as u64 * 4, 256);
+    for v in 0..g.n {
+        rig.mem.write_u32(out_deg.offset(v as u64 * 4), g.out_deg(v)).unwrap();
+    }
+
+    for round in 0..cfg.iterations {
+        update_round(&mut rig, &g, &verts, algo, round, in_ptrs, vert_ptrs, out_deg);
+        // Commit phase: val = next, via the second virtual slot.
+        rig.run_kernel(g.n, |prog, w| {
+            let objs = lanes_ptrs(w, &verts);
+            prog.vcall(w, &CallSite::new(1), &objs, |w, fid| {
+                let next = prog.ld_field(w, &objs, V_NEXT, 4);
+                prog.st_field(w, &objs, V_VAL, 4, &next);
+                w.alu(if fid == F_HUB_COMMIT { 2 } else { 1 });
+            });
+        });
+        let _ = round;
+    }
+
+    let mut ck = Checksum::new();
+    let hdr = rig.prog.header_bytes();
+    let mut value_sum = 0.0f64;
+    let mut reached = 0u64;
+    for p in &verts {
+        let bits = rig.mem.read_u32(p.strip_tag().offset(hdr + V_VAL)).unwrap();
+        match algo {
+            GraphAlgo::Pr => {
+                ck.push_f32_quantized(f32::from_bits(bits));
+                value_sum += f32::from_bits(bits) as f64;
+            }
+            _ => {
+                ck.push(bits as u64);
+                if bits != INF as u32 {
+                    value_sum += bits as f64;
+                    reached += 1;
+                }
+            }
+        }
+    }
+    let metrics = vec![("value_sum", value_sum), ("reached", reached as f64)];
+    crate::util::collect_with_metrics(rig, &reg, ck, metrics)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn update_round(
+    rig: &mut Rig,
+    g: &SynthGraph,
+    verts: &[VirtAddr],
+    algo: GraphAlgo,
+    round: u32,
+    in_ptrs: VirtAddr,
+    vert_ptrs: VirtAddr,
+    out_deg: VirtAddr,
+) {
+    let n = g.n;
+    let in_row = &g.in_row;
+    rig.run_kernel(n, |prog, w| {
+        let objs = lanes_ptrs(w, verts);
+        prog.vcall(w, &CallSite::new(0), &objs, |w, vfid| {
+            // Hub bodies do an extra bookkeeping step.
+            w.alu(if vfid == F_HUB_UPDATE { 3 } else { 1 });
+            let own = prog.ld_field(w, &objs, V_VAL, 4);
+            let degf = prog.ld_field(w, &objs, V_DEG, 4);
+            prog.ld_field(w, &objs, V_ROW, 4);
+
+            let deg: Vec<u32> = (0..WARP_SIZE)
+                .map(|l| degf[l].map(|d| d as u32).unwrap_or(0))
+                .collect();
+            let max_deg = (0..WARP_SIZE)
+                .filter(|&l| w.is_active(l))
+                .map(|l| deg[l])
+                .max()
+                .unwrap_or(0);
+
+            let mut best: Vec<u64> = (0..WARP_SIZE).map(|l| own[l].unwrap_or(0)).collect();
+            let mut sum = [0.0f32; WARP_SIZE];
+            let mut found = [false; WARP_SIZE];
+
+            for d in 0..max_deg {
+                w.branch();
+                let outer = w.mask();
+                let lane_on = |l: usize| {
+                    (outer >> l) & 1 == 1 && w.thread_id(l) < n && d < deg[l] && {
+                        algo != GraphAlgo::Bfs || own[l] == Some(INF)
+                    }
+                };
+                if !(0..WARP_SIZE).any(&lane_on) {
+                    continue;
+                }
+                let ptr_addrs = lanes_from_fn(|l| {
+                    lane_on(l)
+                        .then(|| in_ptrs.offset((in_row[w.thread_id(l)] + d) as u64 * 8))
+                });
+                let bits = w.ld(AccessTag::Other, 8, &ptr_addrs);
+                let eptrs = lanes_from_fn(|l| bits[l].map(VirtAddr::new));
+
+                // Nested edge dispatch.
+                let mut srcs = lanes_none();
+                let mut weights: Lanes<f32> = lanes_from_fn(|l| eptrs[l].map(|_| 1.0f32));
+                prog.vcall(w, &CallSite::new(0), &eptrs, |w, efid| {
+                    let s = prog.ld_field(w, &eptrs, E_SRC, 4);
+                    for l in w.active_lanes().collect::<Vec<_>>() {
+                        srcs[l] = s[l];
+                    }
+                    if efid == F_WEIGHTED_VISIT {
+                        let raw = prog.ld_field(w, &eptrs, E_WEIGHT, 4);
+                        w.alu(2);
+                        for l in w.active_lanes().collect::<Vec<_>>() {
+                            if let Some(b) = raw[l] {
+                                weights[l] = Some(f32::from_bits(b as u32));
+                            }
+                        }
+                    } else {
+                        w.alu(1);
+                    }
+                });
+
+                // Neighbour vertex object → its current value (Field).
+                let sv_addr =
+                    lanes_from_fn(|l| srcs[l].map(|s| vert_ptrs.offset(s * 8)));
+                let sp_bits = w.ld(AccessTag::Other, 8, &sv_addr);
+                let sptrs = lanes_from_fn(|l| sp_bits[l].map(VirtAddr::new));
+                let sval = prog.ld_field(w, &sptrs, V_VAL, 4);
+
+                match algo {
+                    GraphAlgo::Bfs => {
+                        w.alu(1);
+                        for l in 0..WARP_SIZE {
+                            if sval[l] == Some(round as u64) {
+                                found[l] = true;
+                            }
+                        }
+                    }
+                    GraphAlgo::Cc => {
+                        w.alu(1);
+                        for l in 0..WARP_SIZE {
+                            if let Some(sv) = sval[l] {
+                                best[l] = best[l].min(sv);
+                            }
+                        }
+                    }
+                    GraphAlgo::Pr => {
+                        let da =
+                            lanes_from_fn(|l| srcs[l].map(|s| out_deg.offset(s * 4)));
+                        let sdeg = w.ld(AccessTag::Other, 4, &da);
+                        w.alu(3);
+                        for l in 0..WARP_SIZE {
+                            if let (Some(sv), Some(dg), Some(wt)) =
+                                (sval[l], sdeg[l], weights[l])
+                            {
+                                sum[l] +=
+                                    f32::from_bits(sv as u32) * wt / (dg.max(1) as f32);
+                            }
+                        }
+                    }
+                }
+            }
+
+            w.alu(2);
+            let next = lanes_from_fn(|l| {
+                if !w.is_active(l) || w.thread_id(l) >= n {
+                    return None;
+                }
+                Some(match algo {
+                    GraphAlgo::Bfs => {
+                        let cur = own[l].unwrap_or(INF);
+                        if cur == INF && found[l] {
+                            round as u64 + 1
+                        } else {
+                            cur
+                        }
+                    }
+                    GraphAlgo::Cc => best[l],
+                    GraphAlgo::Pr => (0.15 + 0.85 * (sum[l] / 2.0)).to_bits() as u64,
+                })
+            });
+            prog.st_field(w, &objs, V_NEXT, 4, &next);
+        });
+    });
+}

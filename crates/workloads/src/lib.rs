@@ -1,0 +1,70 @@
+//! # gvf-workloads — the object-oriented GPU workloads of the evaluation
+//!
+//! Rust ports of the eleven applications in the paper's Table 2 —
+//! four DynaSOAr model simulations (TRAF, GOL, STUT, GEN), six
+//! GraphChi graph-analytics kernels (vE/vEN × BFS/CC/PR), and a ray
+//! tracer (RAY) — plus the §8.3 scalability microbenchmarks. All inputs
+//! are synthetic and deterministic; every workload produces a checksum
+//! that is identical under every dispatch [`Strategy`], mirroring the
+//! paper's functional validation.
+//!
+//! ```
+//! use gvf_core::Strategy;
+//! use gvf_workloads::{run_workload, WorkloadConfig, WorkloadKind};
+//!
+//! let cfg = WorkloadConfig::tiny();
+//! let a = run_workload(WorkloadKind::GameOfLife, Strategy::SharedOa, &cfg);
+//! let b = run_workload(WorkloadKind::GameOfLife, Strategy::TypePointerHw, &cfg);
+//! assert_eq!(a.checksum, b.checksum);
+//! ```
+
+// Lane-indexed loops over parallel per-lane arrays are the natural way
+// to write SIMT-style code; iterator adaptors obscure the lane index.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+#![warn(missing_docs)]
+
+pub mod dynasoar;
+pub mod graphchi;
+pub mod micro;
+pub mod ray;
+
+mod config;
+mod rig;
+pub mod util;
+
+pub use config::{ParseWorkloadError, RunResult, Table2Row, WorkloadConfig, WorkloadKind};
+pub use graphchi::GraphAlgo;
+pub use micro::MicroParams;
+pub use rig::{Checksum, Rig};
+
+use gvf_core::Strategy;
+
+/// Runs one of the eleven evaluated workloads under `strategy`.
+///
+/// # Panics
+/// Panics if `kind` is [`WorkloadKind::Micro`] (use [`micro::run`] with
+/// explicit [`MicroParams`]) or if `strategy` is [`Strategy::Branch`]
+/// (BRANCH exists only for the microbenchmarks, §8.3).
+pub fn run_workload(kind: WorkloadKind, strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
+    assert!(
+        strategy != Strategy::Branch,
+        "BRANCH is a microbenchmark-only baseline; use gvf_workloads::micro"
+    );
+    match kind {
+        WorkloadKind::Traffic => dynasoar::traffic::run(strategy, cfg),
+        WorkloadKind::GameOfLife => dynasoar::game_of_life::run(strategy, cfg),
+        WorkloadKind::Structure => dynasoar::structure::run(strategy, cfg),
+        WorkloadKind::Generation => dynasoar::generation::run(strategy, cfg),
+        WorkloadKind::VeBfs => graphchi::ve::run(GraphAlgo::Bfs, strategy, cfg),
+        WorkloadKind::VeCc => graphchi::ve::run(GraphAlgo::Cc, strategy, cfg),
+        WorkloadKind::VePr => graphchi::ve::run(GraphAlgo::Pr, strategy, cfg),
+        WorkloadKind::VenBfs => graphchi::ven::run(GraphAlgo::Bfs, strategy, cfg),
+        WorkloadKind::VenCc => graphchi::ven::run(GraphAlgo::Cc, strategy, cfg),
+        WorkloadKind::VenPr => graphchi::ven::run(GraphAlgo::Pr, strategy, cfg),
+        WorkloadKind::Raytrace => ray::run(strategy, cfg),
+        WorkloadKind::Micro => {
+            panic!("use gvf_workloads::micro::run with explicit MicroParams")
+        }
+    }
+}

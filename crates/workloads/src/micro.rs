@@ -1,0 +1,130 @@
+//! The §8.3 scalability microbenchmarks (Fig. 12): high-vFuncPKI
+//! kernels sweeping object count and types-per-warp, with the BRANCH
+//! register-dispatch ideal as the baseline.
+//!
+//! Every thread makes one virtual call per iteration whose body performs
+//! "a simple addition" (§8.3): it reads a per-thread input, adds a
+//! callee-specific constant, and stores the result. Under the object
+//! strategies the input is an object field; under BRANCH — which "does
+//! not access memory for the function call" and has no objects — it is a
+//! flat input array. Both hold the same values, so every strategy
+//! produces the same output array.
+
+use crate::config::{RunResult, WorkloadConfig};
+use crate::rig::{Checksum, Rig};
+use crate::util::{collect_with_metrics, lanes_ptrs};
+use gvf_core::{CallSite, DeviceProgram, FuncId, Strategy, TypeId, TypeRegistry};
+use gvf_mem::VirtAddr;
+use gvf_sim::{lanes_from_fn, AccessTag, WarpCtx};
+
+/// Parameters of one microbenchmark point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MicroParams {
+    /// Number of objects (= threads).
+    pub n_objects: usize,
+    /// Number of types; lane `i` gets type `tid % n_types`, so this is
+    /// also the number of distinct types touched by one warp (§8.3).
+    pub n_types: usize,
+}
+
+impl MicroParams {
+    /// The Fig. 12a sweep point: `x` million-ish objects at 4 types
+    /// (scaled by `cfg.scale` relative to the paper's absolute counts).
+    pub fn objects_sweep(x: usize) -> Self {
+        MicroParams { n_objects: x, n_types: 4 }
+    }
+}
+
+// Object field: input value u32 @0.
+const F_VAL: u64 = 0;
+
+fn registry(n_types: usize) -> (TypeRegistry, Vec<TypeId>) {
+    let mut reg = TypeRegistry::new();
+    let tys = (0..n_types)
+        .map(|t| reg.add_type(&format!("MicroType{t}"), 8, &[FuncId(t as u32)]))
+        .collect();
+    (reg, tys)
+}
+
+/// The callee body: add the callee's constant to the loaded input and
+/// store the result (`out[tid] = in + fid + iter`).
+fn body_store(
+    prog: &DeviceProgram,
+    w: &mut WarpCtx<'_>,
+    out: VirtAddr,
+    inputs: &gvf_sim::Lanes<u64>,
+    fid: FuncId,
+    iter: u32,
+    n: usize,
+) {
+    w.alu(1); // the simple addition
+    let addrs = lanes_from_fn(|l| {
+        (w.is_active(l) && w.thread_id(l) < n).then(|| out.offset(w.thread_id(l) as u64 * 4))
+    });
+    let vals = lanes_from_fn(|l| {
+        inputs[l].map(|v| (v + fid.0 as u64 + iter as u64) & 0xffff_ffff)
+    });
+    w.st(AccessTag::Other, 4, &addrs, &vals);
+    let _ = prog;
+}
+
+/// Runs the microbenchmark under `strategy`.
+pub fn run(strategy: Strategy, params: MicroParams, cfg: &WorkloadConfig) -> RunResult {
+    let (reg, tys) = registry(params.n_types);
+    let mut rig = Rig::new(&reg, strategy, cfg);
+    let n = params.n_objects;
+
+    // Objects (with their input field), or a flat input array for BRANCH.
+    let mut objs: Vec<VirtAddr> = Vec::new();
+    let input_array = if strategy == Strategy::Branch {
+        let a = rig.reserve(n as u64 * 4, 256);
+        for i in 0..n {
+            rig.mem.write_u32(a.offset(i as u64 * 4), i as u32).unwrap();
+        }
+        Some(a)
+    } else {
+        objs = (0..n).map(|i| rig.construct(tys[i % params.n_types])).collect();
+        let hdr = rig.prog.header_bytes();
+        for (i, o) in objs.iter().enumerate() {
+            rig.mem.write_u32(o.strip_tag().offset(hdr + F_VAL), i as u32).unwrap();
+        }
+        None
+    };
+    rig.finalize();
+    let out = rig.reserve(n as u64 * 4, 256);
+
+    for iter in 0..cfg.iterations {
+        rig.run_kernel(n, |prog, w| {
+            if let Some(input) = input_array {
+                // BRANCH: register-based arbitration, array input. The
+                // load sits inside the callee body like the adds do, so
+                // divergence serializes it per group.
+                let types = lanes_from_fn(|l| Some(tys[w.thread_id(l) % params.n_types]));
+                prog.branch_call(w, 0, &types, |w, fid| {
+                    let in_addrs = lanes_from_fn(|l| {
+                        (w.is_active(l) && w.thread_id(l) < n)
+                            .then(|| input.offset(w.thread_id(l) as u64 * 4))
+                    });
+                    let inputs = w.ld(AccessTag::Other, 4, &in_addrs);
+                    body_store(prog, w, out, &inputs, fid, iter, n);
+                });
+            } else {
+                let ptrs = lanes_ptrs(w, &objs);
+                prog.vcall(w, &CallSite::new(0), &ptrs, |w, fid| {
+                    let inputs = prog.ld_field(w, &ptrs, F_VAL, 4);
+                    body_store(prog, w, out, &inputs, fid, iter, n);
+                });
+            }
+        });
+    }
+
+    let mut ck = Checksum::new();
+    let mut out_sum = 0u64;
+    for i in 0..n {
+        let v = rig.mem.read_u32(out.offset(i as u64 * 4)).unwrap();
+        ck.push(v as u64);
+        out_sum += v as u64;
+    }
+    let metrics = vec![("out_sum", out_sum as f64)];
+    collect_with_metrics(rig, &reg, ck, metrics)
+}

@@ -1,0 +1,184 @@
+//! RAY — a Shirley-style ray tracer over polymorphic renderables.
+//!
+//! Each thread shades one pixel and loops over the whole object list
+//! testing `hit()` — so every lane calls the virtual function on the
+//! *same* object instance. The compiler marks these call sites
+//! statically converged; COAL's heuristic therefore leaves them
+//! uninstrumented (§5), which is why RAY behaves differently from the
+//! other ten apps in Figs. 6–9.
+
+use crate::config::{RunResult, WorkloadConfig};
+use crate::rig::{Checksum, Rig};
+use crate::util::splitmix64;
+use gvf_core::{CallSite, FuncId, Strategy, TypeRegistry};
+use gvf_sim::{lanes_from_fn, AccessTag, WARP_SIZE};
+
+const F_SPHERE_HIT: FuncId = FuncId(0);
+const F_PLANE_HIT: FuncId = FuncId(1);
+const F_DISC_HIT: FuncId = FuncId(2);
+
+// Sphere fields: cx, cy, cz, r (f32). Plane: nx, ny, nz, d.
+// Disc: cx, cy, cz, r, nz-implied.
+const G_A: u64 = 0;
+const G_B: u64 = 4;
+const G_C: u64 = 8;
+const G_D: u64 = 12;
+
+/// Runs RAY under `strategy`.
+pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
+    let mut reg = TypeRegistry::new();
+    let t_sphere = reg.add_type("Sphere", 16, &[F_SPHERE_HIT]);
+    let t_plane = reg.add_type("Plane", 16, &[F_PLANE_HIT]);
+    let t_disc = reg.add_type("Disc", 16, &[F_DISC_HIT]);
+
+    let mut rig = Rig::new(&reg, strategy, cfg);
+    let n_objects = 125 * cfg.scale as usize;
+    let n_pixels = 2048 * cfg.scale as usize;
+
+    let mut scene = Vec::with_capacity(n_objects);
+    for i in 0..n_objects {
+        let h = splitmix64(cfg.seed ^ 0x5ce0 ^ i as u64);
+        let t = match h % 10 {
+            0..=5 => t_sphere,
+            6..=8 => t_plane,
+            _ => t_disc,
+        };
+        let obj = rig.construct(t);
+        let hdr = rig.prog.header_bytes();
+        let p = obj.strip_tag();
+        let f = |k: u64| ((splitmix64(h ^ k) % 2000) as f32 - 1000.0) / 100.0;
+        rig.mem.write_f32(p.offset(hdr + G_A), f(1)).unwrap();
+        rig.mem.write_f32(p.offset(hdr + G_B), f(2)).unwrap();
+        rig.mem.write_f32(p.offset(hdr + G_C), f(3).abs() + 3.0).unwrap();
+        rig.mem.write_f32(p.offset(hdr + G_D), f(4).abs() * 0.2 + 0.4).unwrap();
+        scene.push(obj);
+    }
+    rig.finalize();
+
+    let fb = rig.reserve(n_pixels as u64 * 4, 256);
+
+    for _sample in 0..cfg.iterations {
+        rig.run_kernel(n_pixels, |prog, w| {
+            // Primary ray from the pixel index.
+            w.alu(6);
+            let mut nearest = [f32::INFINITY; WARP_SIZE];
+            let mut hit_kind = [0u32; WARP_SIZE];
+            let dirs: Vec<(f32, f32, f32)> = (0..WARP_SIZE)
+                .map(|l| {
+                    let t = w.thread_id(l);
+                    let x = (t % 64) as f32 / 32.0 - 1.0;
+                    let y = (t / 64) as f32 / 32.0 - 1.0;
+                    let inv = 1.0 / (x * x + y * y + 1.0).sqrt();
+                    (x * inv, y * inv, inv)
+                })
+                .collect();
+
+            // The object loop: every lane tests the SAME object, so the
+            // call site is statically converged.
+            let site = CallSite::new(0).converged();
+            for (oi, &obj) in scene.iter().enumerate() {
+                w.branch(); // loop trip
+                let objs = lanes_from_fn(|_| Some(obj));
+                prog.vcall(w, &site, &objs, |w, fid| {
+                    let a = prog.ld_field(w, &objs, G_A, 4);
+                    let b = prog.ld_field(w, &objs, G_B, 4);
+                    let c = prog.ld_field(w, &objs, G_C, 4);
+                    let d = prog.ld_field(w, &objs, G_D, 4);
+                    let (Some(a), Some(b), Some(c), Some(d)) = (
+                        a.iter().flatten().next().copied(),
+                        b.iter().flatten().next().copied(),
+                        c.iter().flatten().next().copied(),
+                        d.iter().flatten().next().copied(),
+                    ) else {
+                        return;
+                    };
+                    let (a, b, c, d) = (
+                        f32::from_bits(a as u32),
+                        f32::from_bits(b as u32),
+                        f32::from_bits(c as u32),
+                        f32::from_bits(d as u32),
+                    );
+                    match fid {
+                        F_SPHERE_HIT => {
+                            w.alu(16); // quadratic intersection
+                            for l in w.active_lanes().collect::<Vec<_>>() {
+                                let (dx, dy, dz) = dirs[l];
+                                // Ray from origin: project centre on dir.
+                                let tproj = a * dx + b * dy + c * dz;
+                                if tproj <= 0.0 {
+                                    continue;
+                                }
+                                let px = tproj * dx - a;
+                                let py = tproj * dy - b;
+                                let pz = tproj * dz - c;
+                                let dist2 = px * px + py * py + pz * pz;
+                                if dist2 < d * d && tproj < nearest[l] {
+                                    nearest[l] = tproj;
+                                    hit_kind[l] = 1 + (oi as u32 % 7);
+                                }
+                            }
+                        }
+                        F_PLANE_HIT => {
+                            w.alu(8); // plane intersection
+                            for l in w.active_lanes().collect::<Vec<_>>() {
+                                let (dx, dy, dz) = dirs[l];
+                                let denom = a * dx + b * dy + c * dz;
+                                if denom.abs() < 1e-5 {
+                                    continue;
+                                }
+                                let t = d.abs() * 8.0 / denom.abs();
+                                if t > 0.0 && t < nearest[l] {
+                                    nearest[l] = t;
+                                    hit_kind[l] = 8 + (oi as u32 % 5);
+                                }
+                            }
+                        }
+                        F_DISC_HIT => {
+                            w.alu(12);
+                            for l in w.active_lanes().collect::<Vec<_>>() {
+                                let (dx, dy, dz) = dirs[l];
+                                let t = (c + 2.0) / dz.max(1e-5);
+                                let px = t * dx - a;
+                                let py = t * dy - b;
+                                if px * px + py * py < d * d && t > 0.0 && t < nearest[l]
+                                {
+                                    nearest[l] = t;
+                                    hit_kind[l] = 16 + (oi as u32 % 3);
+                                }
+                            }
+                        }
+                        other => panic!("unexpected hit callee {other}"),
+                    }
+                });
+            }
+
+            // Shade and write the framebuffer.
+            w.alu(5);
+            let color = lanes_from_fn(|l| {
+                w.is_active(l).then(|| {
+                    if nearest[l].is_finite() {
+                        (hit_kind[l] as u64) << 8 | ((nearest[l] * 16.0) as u64 & 0xff)
+                    } else {
+                        0x20 // sky
+                    }
+                })
+            });
+            let fb_addrs = lanes_from_fn(|l| {
+                (w.thread_id(l) < n_pixels).then(|| fb.offset(w.thread_id(l) as u64 * 4))
+            });
+            w.st(AccessTag::Other, 4, &fb_addrs, &color);
+        });
+    }
+
+    let mut ck = Checksum::new();
+    let mut lit = 0u64;
+    for px in 0..n_pixels {
+        let c = rig.mem.read_u32(fb.offset(px as u64 * 4)).unwrap();
+        ck.push(c as u64);
+        if c != 0x20 {
+            lit += 1;
+        }
+    }
+    let metrics = vec![("lit_pixels", lit as f64), ("pixels", n_pixels as f64)];
+    crate::util::collect_with_metrics(rig, &reg, ck, metrics)
+}

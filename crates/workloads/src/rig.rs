@@ -1,0 +1,144 @@
+//! Shared experiment rig: memory + program + allocator + GPU plumbing.
+
+use crate::config::WorkloadConfig;
+use gvf_alloc::{AllocatorKind, CudaHeapAllocator, DeviceAllocator, SharedOa};
+use gvf_core::{DeviceProgram, Strategy, TypeId, TypeRegistry};
+use gvf_mem::{DeviceMemory, VirtAddr};
+use gvf_sim::{Gpu, KernelTrace, Stats, WarpCtx};
+
+/// Everything a workload needs to build objects and run kernels.
+#[derive(Debug)]
+pub struct Rig {
+    /// The CPU–GPU shared memory space.
+    pub mem: DeviceMemory,
+    /// The materialized program (vTables, tags, dispatch).
+    pub prog: DeviceProgram,
+    /// The object allocator in use.
+    pub alloc: Box<dyn DeviceAllocator>,
+    gpu: Gpu,
+    stats: Stats,
+    objects_built: u64,
+}
+
+impl Rig {
+    /// Builds a rig for `strategy` under `cfg`: chooses the allocator
+    /// (honouring [`WorkloadConfig::allocator_override`], the Fig. 11
+    /// knob), materializes the program, and registers object sizes.
+    pub fn new(registry: &TypeRegistry, strategy: Strategy, cfg: &WorkloadConfig) -> Self {
+        let mut mem = DeviceMemory::with_capacity(cfg.device_memory_bytes);
+        let mut prog = match cfg.tag_budget {
+            Some(budget) => DeviceProgram::with_tag_budget(
+                &mut mem,
+                registry,
+                strategy,
+                cfg.tag_mode,
+                budget,
+            ),
+            None => DeviceProgram::with_tag_mode(&mut mem, registry, strategy, cfg.tag_mode),
+        };
+        prog.set_lookup_kind(cfg.coal_lookup);
+        let kind = cfg.allocator_override.unwrap_or_else(|| strategy.default_allocator());
+        let mut alloc: Box<dyn DeviceAllocator> = match kind {
+            AllocatorKind::Cuda => Box::new(CudaHeapAllocator::new()),
+            AllocatorKind::SharedOa => {
+                Box::new(SharedOa::with_initial_chunk(cfg.initial_chunk_objs))
+            }
+        };
+        prog.register_types(alloc.as_mut());
+        Rig {
+            mem,
+            prog,
+            alloc,
+            gpu: Gpu::new(cfg.gpu.clone()),
+            stats: Stats::new(),
+            objects_built: 0,
+        }
+    }
+
+    /// Constructs one object of `t` (tagged pointer under TypePointer).
+    pub fn construct(&mut self, t: TypeId) -> VirtAddr {
+        self.objects_built += 1;
+        self.prog.construct(&mut self.mem, self.alloc.as_mut(), t)
+    }
+
+    /// Snapshots the range table into COAL's segment tree. Call after
+    /// the allocation phase, before the first kernel.
+    pub fn finalize(&mut self) {
+        self.prog.finalize_ranges(&mut self.mem, self.alloc.as_ref());
+    }
+
+    /// Reserves raw device memory outside any object (arrays, frame
+    /// buffers, CSR offsets...).
+    pub fn reserve(&mut self, len: u64, align: u64) -> VirtAddr {
+        self.mem.reserve(len, align)
+    }
+
+    /// Runs one compute kernel of `n_threads`, accumulating its timing
+    /// into the rig's statistics, and returns the raw trace.
+    ///
+    /// Each launch gets its own constant-memory function table
+    /// ([`DeviceProgram::begin_kernel`]): virtual-function code lives at
+    /// different addresses in every kernel, as on real CUDA (§2).
+    pub fn run_kernel(
+        &mut self,
+        n_threads: usize,
+        mut body: impl FnMut(&DeviceProgram, &mut WarpCtx<'_>),
+    ) -> KernelTrace {
+        self.prog.begin_kernel(&mut self.mem);
+        let prog = &self.prog;
+        let trace = gvf_sim::run_kernel(&mut self.mem, n_threads, |w| body(prog, w));
+        let s = self.gpu.execute(&trace);
+        self.stats += &s;
+        trace
+    }
+
+    /// Accumulated statistics over every kernel run so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Number of objects constructed.
+    pub fn objects_built(&self) -> u64 {
+        self.objects_built
+    }
+
+    /// Modeled object-initialization cost (the §8.2 "80×" comparison):
+    /// objects × the allocator's per-object init cycles.
+    pub fn init_cycles_model(&self) -> u64 {
+        self.objects_built * self.alloc.kind().init_cycles_per_object()
+    }
+}
+
+/// Order-insensitive FNV-1a style folding for functional checksums.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Checksum(u64);
+
+impl Checksum {
+    /// Fresh checksum.
+    pub fn new() -> Self {
+        Checksum(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one value in (order-sensitive).
+    pub fn push(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+    }
+
+    /// Folds a float in via its bit pattern, quantized to survive the
+    /// associativity differences of per-strategy execution order.
+    pub fn push_f32_quantized(&mut self, v: f32) {
+        self.push((v as f64 * 1024.0).round() as i64 as u64);
+    }
+
+    /// The digest.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Self::new()
+    }
+}

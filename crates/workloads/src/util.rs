@@ -1,0 +1,104 @@
+//! Small shared helpers for workload kernels.
+
+use crate::config::{RunResult, Table2Row};
+use crate::rig::{Checksum, Rig};
+use gvf_core::TypeRegistry;
+use gvf_mem::VirtAddr;
+use gvf_sim::{lanes_from_fn, Lanes, WarpCtx};
+
+/// Builds a vTable slot list: the hot entry points in `main` followed by
+/// `fillers` cold virtual functions with ids from `next_id` upward.
+///
+/// Real object-oriented GPU programs carry many virtual functions the
+/// hot kernels never call (paper Table 2 counts 3–74 per app); the cold
+/// entries matter because they size the vTables — and therefore the
+/// TypePointer tag space and the stride of vFunc-pointer loads.
+pub fn vfuncs_with_fillers(
+    main: &[gvf_core::FuncId],
+    fillers: usize,
+    next_id: &mut u32,
+) -> Vec<gvf_core::FuncId> {
+    let mut v = main.to_vec();
+    for _ in 0..fillers {
+        v.push(gvf_core::FuncId(*next_id));
+        *next_id += 1;
+    }
+    v
+}
+
+/// SplitMix64: the deterministic hash all workloads derive their
+/// pseudo-random inputs from (no RNG state to thread through kernels).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Per-lane object pointers for the classic "thread i handles object i"
+/// mapping: lane `l` of warp `w` gets `arr[w*32 + l]`, `None` past the
+/// end.
+pub fn lanes_ptrs(w: &WarpCtx<'_>, arr: &[VirtAddr]) -> Lanes<VirtAddr> {
+    lanes_from_fn(|l| arr.get(w.thread_id(l)).copied())
+}
+
+/// Host-side fold of a u32 field over `objs` into `ck` (checksum of the
+/// final device state; not traced).
+pub fn fold_u32_field(rig: &mut Rig, objs: &[VirtAddr], field_off: u64, ck: &mut Checksum) {
+    let hdr = rig.prog.header_bytes();
+    for o in objs {
+        let v = rig.mem.read_u32(o.strip_tag().offset(hdr + field_off)).expect("field read");
+        ck.push(v as u64);
+    }
+}
+
+/// Host-side fold of an f32 field (quantized) over `objs` into `ck`.
+pub fn fold_f32_field(rig: &mut Rig, objs: &[VirtAddr], field_off: u64, ck: &mut Checksum) {
+    let hdr = rig.prog.header_bytes();
+    for o in objs {
+        let v = rig.mem.read_f32(o.strip_tag().offset(hdr + field_off)).expect("field read");
+        ck.push_f32_quantized(v);
+    }
+}
+
+/// Finishes a run: packages stats, allocator state, the init-cost model
+/// and Table 2 characteristics.
+pub fn collect_table2(rig: Rig, reg: &TypeRegistry, ck: Checksum) -> RunResult {
+    collect_with_metrics(rig, reg, ck, Vec::new())
+}
+
+/// Like [`collect_table2`] with domain validation metrics attached.
+pub fn collect_with_metrics(
+    rig: Rig,
+    reg: &TypeRegistry,
+    ck: Checksum,
+    metrics: Vec<(&'static str, f64)>,
+) -> RunResult {
+    let stats = rig.stats().clone();
+    RunResult {
+        checksum: ck.value(),
+        alloc_stats: rig.alloc.stats(),
+        init_cycles: rig.init_cycles_model(),
+        table2: Table2Row {
+            objects: rig.objects_built(),
+            types: reg.num_types() as u32,
+            vfunc_entries: reg.total_vfunc_entries() as u32,
+            vfunc_pki: stats.vfunc_pki(),
+        },
+        stats,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        let evens = (0..1000).filter(|&i| splitmix64(i) % 2 == 0).count();
+        assert!((400..600).contains(&evens));
+    }
+}

@@ -1,0 +1,146 @@
+//! Functional validation across dispatch strategies (paper §8: "We
+//! perform functional validation on all the implementations to
+//! guarantee they produce the same results.").
+
+use gvf_core::Strategy;
+use gvf_workloads::{run_workload, WorkloadConfig, WorkloadKind};
+
+const STRATEGIES: [Strategy; 6] = [
+    Strategy::Cuda,
+    Strategy::Concord,
+    Strategy::SharedOa,
+    Strategy::Coal,
+    Strategy::TypePointerProto,
+    Strategy::TypePointerHw,
+];
+
+fn assert_equivalent(kind: WorkloadKind) {
+    let cfg = WorkloadConfig::tiny();
+    let reference = run_workload(kind, Strategy::Cuda, &cfg);
+    assert!(reference.table2.objects > 0, "{kind}: no objects built");
+    assert!(reference.stats.vfunc_calls > 0, "{kind}: no virtual calls");
+    for s in STRATEGIES.into_iter().skip(1) {
+        let r = run_workload(kind, s, &cfg);
+        assert_eq!(
+            r.checksum, reference.checksum,
+            "{kind}: {s} produced a different result than CUDA"
+        );
+        assert_eq!(r.table2.objects, reference.table2.objects, "{kind}/{s}");
+    }
+}
+
+#[test]
+fn traffic_equivalence() {
+    assert_equivalent(WorkloadKind::Traffic);
+}
+
+#[test]
+fn game_of_life_equivalence() {
+    assert_equivalent(WorkloadKind::GameOfLife);
+}
+
+#[test]
+fn structure_equivalence() {
+    assert_equivalent(WorkloadKind::Structure);
+}
+
+#[test]
+fn generation_equivalence() {
+    assert_equivalent(WorkloadKind::Generation);
+}
+
+#[test]
+fn ve_bfs_equivalence() {
+    assert_equivalent(WorkloadKind::VeBfs);
+}
+
+#[test]
+fn ve_cc_equivalence() {
+    assert_equivalent(WorkloadKind::VeCc);
+}
+
+#[test]
+fn ve_pr_equivalence() {
+    assert_equivalent(WorkloadKind::VePr);
+}
+
+#[test]
+fn ven_bfs_equivalence() {
+    assert_equivalent(WorkloadKind::VenBfs);
+}
+
+#[test]
+fn ven_cc_equivalence() {
+    assert_equivalent(WorkloadKind::VenCc);
+}
+
+#[test]
+fn ven_pr_equivalence() {
+    assert_equivalent(WorkloadKind::VenPr);
+}
+
+#[test]
+fn raytrace_equivalence() {
+    assert_equivalent(WorkloadKind::Raytrace);
+}
+
+#[test]
+fn micro_equivalence_including_branch() {
+    let cfg = WorkloadConfig::tiny();
+    let params = gvf_workloads::MicroParams { n_objects: 4096, n_types: 4 };
+    let reference = gvf_workloads::micro::run(Strategy::Cuda, params, &cfg);
+    for s in [
+        Strategy::Concord,
+        Strategy::SharedOa,
+        Strategy::Coal,
+        Strategy::TypePointerProto,
+        Strategy::TypePointerHw,
+        Strategy::Branch,
+    ] {
+        let r = gvf_workloads::micro::run(s, params, &cfg);
+        assert_eq!(r.checksum, reference.checksum, "micro: {s} diverged");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut cfg = WorkloadConfig::tiny();
+    let a = run_workload(WorkloadKind::GameOfLife, Strategy::SharedOa, &cfg);
+    cfg.seed ^= 0xffff;
+    let b = run_workload(WorkloadKind::GameOfLife, Strategy::SharedOa, &cfg);
+    assert_ne!(a.checksum, b.checksum, "seed must affect the input");
+}
+
+#[test]
+fn iterations_change_results() {
+    let mut cfg = WorkloadConfig::tiny();
+    cfg.iterations = 1;
+    let a = run_workload(WorkloadKind::Structure, Strategy::SharedOa, &cfg);
+    cfg.iterations = 3;
+    let b = run_workload(WorkloadKind::Structure, Strategy::SharedOa, &cfg);
+    assert_ne!(a.checksum, b.checksum);
+    assert!(b.stats.cycles > a.stats.cycles);
+}
+
+#[test]
+fn coal_linear_scan_equivalent() {
+    // §5 ablation: the linear-scan lookup must resolve identically.
+    let mut cfg = WorkloadConfig::tiny();
+    let tree = run_workload(WorkloadKind::Structure, Strategy::Coal, &cfg);
+    cfg.coal_lookup = gvf_core::LookupKind::LinearScan;
+    let linear = run_workload(WorkloadKind::Structure, Strategy::Coal, &cfg);
+    assert_eq!(tree.checksum, linear.checksum);
+}
+
+#[test]
+fn tag_budget_fallback_equivalent() {
+    // §6.1 fallback: with only some types tagged, results are unchanged
+    // but classic vTable loads reappear.
+    let mut cfg = WorkloadConfig::tiny();
+    let full = run_workload(WorkloadKind::VeBfs, Strategy::TypePointerHw, &cfg);
+    cfg.tag_budget = Some(16); // 2 of vE's 4 edge types fit
+    let capped = run_workload(WorkloadKind::VeBfs, Strategy::TypePointerHw, &cfg);
+    assert_eq!(full.checksum, capped.checksum);
+    assert_eq!(full.stats.stall(gvf_sim::AccessTag::VtablePtr), 0);
+    assert!(capped.stats.stall(gvf_sim::AccessTag::VtablePtr) > 0);
+}

@@ -1,0 +1,286 @@
+//! Host-reference validation: each workload's device result is checked
+//! against an independent CPU implementation of the same algorithm on
+//! the same deterministic input. This catches dispatch or memory bugs
+//! that cross-strategy checksum comparison alone would miss (all
+//! strategies could be wrong *together*).
+
+#![allow(clippy::needless_range_loop)]
+
+use gvf_core::Strategy;
+use gvf_workloads::graphchi::generate;
+use gvf_workloads::util::splitmix64;
+use gvf_workloads::{run_workload, WorkloadConfig, WorkloadKind};
+
+const INF: u32 = u32::MAX;
+
+fn metric(r: &gvf_workloads::RunResult, name: &str) -> f64 {
+    r.metrics
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+        .1
+}
+
+/// Reference BFS with the kernel's exact round semantics: in round `r`,
+/// every unvisited vertex with an in-neighbour at level `r` moves to
+/// `r + 1`.
+fn host_bfs(n: usize, seed: u64, rounds: u32) -> (f64, f64) {
+    let g = generate(n, seed);
+    let mut level = vec![INF; g.n];
+    level[0] = 0;
+    for r in 0..rounds {
+        let prev = level.clone();
+        for v in 0..g.n {
+            if prev[v] != INF {
+                continue;
+            }
+            for k in g.in_row[v]..g.in_row[v + 1] {
+                let e = g.in_edge_idx[k as usize] as usize;
+                // The edge object's src field holds the original source.
+                let src = edge_src(&g, e);
+                if prev[src] == r {
+                    level[v] = r + 1;
+                    break;
+                }
+            }
+        }
+    }
+    summarize(&level)
+}
+
+/// Source vertex of out-edge `e` (by construction order).
+fn edge_src(g: &gvf_workloads::graphchi::SynthGraph, e: usize) -> usize {
+    // Binary search the out-CSR row containing e.
+    let mut lo = 0usize;
+    let mut hi = g.n;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if (g.out_row[mid] as usize) <= e {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn host_cc(n: usize, seed: u64, rounds: u32) -> (f64, f64) {
+    let g = generate(n, seed);
+    let mut label: Vec<u32> = (0..g.n as u32).collect();
+    for _ in 0..rounds {
+        let prev = label.clone();
+        for v in 0..g.n {
+            let mut best = prev[v];
+            for k in g.in_row[v]..g.in_row[v + 1] {
+                let e = g.in_edge_idx[k as usize] as usize;
+                best = best.min(prev[edge_src(&g, e)]);
+            }
+            label[v] = best;
+        }
+    }
+    summarize(&label)
+}
+
+fn summarize(vals: &[u32]) -> (f64, f64) {
+    let mut sum = 0.0;
+    let mut reached = 0.0;
+    for &v in vals {
+        if v != INF {
+            sum += v as f64;
+            reached += 1.0;
+        }
+    }
+    (sum, reached)
+}
+
+fn host_pr_ve(n: usize, seed: u64, rounds: u32) -> f64 {
+    let g = generate(n, seed);
+    // Per-edge weights as ve.rs assigns them: only Weighted (10..=15)
+    // and Stamped (19) edge types read their weight field; the rest
+    // contribute 1.0.
+    let weight = |e: u64| -> f32 {
+        let h = splitmix64(seed ^ 0xed9e ^ e);
+        match h % 20 {
+            10..=15 | 19 => 0.25 + (h % 100) as f32 / 100.0,
+            _ => 1.0,
+        }
+    };
+    let mut rank = vec![1.0f32; g.n];
+    for _ in 0..rounds {
+        let prev = rank.clone();
+        for v in 0..g.n {
+            let mut sum = 0.0f32;
+            for k in g.in_row[v]..g.in_row[v + 1] {
+                let e = g.in_edge_idx[k as usize] as usize;
+                let src = edge_src(&g, e);
+                let outdeg = (g.out_row[src + 1] - g.out_row[src]).max(1) as f32;
+                sum += prev[src] * weight(e as u64) / outdeg;
+            }
+            rank[v] = 0.15 + 0.85 * (sum / 1.75);
+        }
+    }
+    rank.iter().map(|&r| r as f64).sum()
+}
+
+fn host_grid(
+    init: impl Fn(u64) -> u32,
+    rule: impl Fn(u32, u32) -> u32,
+    is_live: impl Fn(u32) -> bool,
+    w: usize,
+    h: usize,
+    seed: u64,
+    iters: u32,
+) -> (f64, f64) {
+    let mut state: Vec<u32> =
+        (0..w * h).map(|i| init(splitmix64(seed ^ i as u64) % 100)).collect();
+    for _ in 0..iters {
+        let prev = state.clone();
+        for y in 0..h as i64 {
+            for x in 0..w as i64 {
+                let mut live = 0;
+                for (dx, dy) in
+                    [(-1, -1), (0, -1), (1, -1), (-1, 0), (1, 0), (-1, 1), (0, 1), (1, 1)]
+                {
+                    let (nx, ny) = (x + dx, y + dy);
+                    if (0..w as i64).contains(&nx)
+                        && (0..h as i64).contains(&ny)
+                        && is_live(prev[ny as usize * w + nx as usize])
+                    {
+                        live += 1;
+                    }
+                }
+                let i = y as usize * w + x as usize;
+                state[i] = rule(prev[i], live);
+            }
+        }
+    }
+    let alive = state.iter().filter(|&&s| is_live(s)).count() as f64;
+    let sum = state.iter().map(|&s| s as f64).sum();
+    (alive, sum)
+}
+
+#[test]
+fn bfs_matches_host_reference() {
+    let cfg = WorkloadConfig::tiny();
+    let n = 2048 * cfg.scale as usize;
+    let (sum, reached) = host_bfs(n, cfg.seed, cfg.iterations);
+    let r = run_workload(WorkloadKind::VeBfs, Strategy::SharedOa, &cfg);
+    assert_eq!(metric(&r, "value_sum"), sum, "vE-BFS level sum");
+    assert_eq!(metric(&r, "reached"), reached, "vE-BFS reached count");
+    // vEN uses a different seed mix; just assert progress.
+    let r = run_workload(WorkloadKind::VenBfs, Strategy::SharedOa, &cfg);
+    assert!(metric(&r, "reached") > 1.0);
+}
+
+#[test]
+fn cc_matches_host_reference() {
+    let cfg = WorkloadConfig::tiny();
+    let n = 2048 * cfg.scale as usize;
+    let (sum, reached) = host_cc(n, cfg.seed, cfg.iterations);
+    let r = run_workload(WorkloadKind::VeCc, Strategy::SharedOa, &cfg);
+    assert_eq!(metric(&r, "value_sum"), sum);
+    assert_eq!(metric(&r, "reached"), reached);
+}
+
+#[test]
+fn pr_matches_host_reference() {
+    let cfg = WorkloadConfig::tiny();
+    let n = 2048 * cfg.scale as usize;
+    let expected = host_pr_ve(n, cfg.seed, cfg.iterations);
+    let r = run_workload(WorkloadKind::VePr, Strategy::SharedOa, &cfg);
+    let got = metric(&r, "value_sum");
+    let rel = (got - expected).abs() / expected.abs();
+    assert!(rel < 1e-4, "PageRank sum {got} vs host {expected} (rel {rel:.2e})");
+}
+
+#[test]
+fn gol_matches_host_reference() {
+    let cfg = WorkloadConfig::tiny();
+    let (alive, sum) = host_grid(
+        |d| u32::from(d < 35),
+        |s, l| match (s, l) {
+            (1, 2) | (1, 3) => 1,
+            (0, 3) => 1,
+            _ => 0,
+        },
+        |s| s == 1,
+        128,
+        96 * cfg.scale as usize,
+        cfg.seed,
+        cfg.iterations,
+    );
+    let r = run_workload(WorkloadKind::GameOfLife, Strategy::SharedOa, &cfg);
+    assert_eq!(metric(&r, "alive"), alive);
+    assert_eq!(metric(&r, "state_sum"), sum);
+}
+
+#[test]
+fn generation_matches_host_reference() {
+    let cfg = WorkloadConfig::tiny();
+    let (alive, sum) = host_grid(
+        |d| match d {
+            0..=29 => 1,
+            30..=39 => 2,
+            _ => 0,
+        },
+        |s, l| match s {
+            0 => u32::from(l == 3),
+            1 => {
+                if l == 2 || l == 3 {
+                    1
+                } else {
+                    2
+                }
+            }
+            2 => 3,
+            _ => 0,
+        },
+        |s| s == 1,
+        128,
+        96 * cfg.scale as usize,
+        cfg.seed,
+        cfg.iterations,
+    );
+    let r = run_workload(WorkloadKind::Generation, Strategy::SharedOa, &cfg);
+    assert_eq!(metric(&r, "alive"), alive);
+    assert_eq!(metric(&r, "state_sum"), sum);
+}
+
+#[test]
+fn traffic_conserves_vehicles() {
+    let cfg = WorkloadConfig::tiny();
+    let r = run_workload(WorkloadKind::Traffic, Strategy::SharedOa, &cfg);
+    // Every vehicle occupies exactly one cell after commit.
+    assert_eq!(metric(&r, "occupied_cells"), metric(&r, "vehicles"));
+    assert!(metric(&r, "vel_sum") > 0.0, "traffic must be moving");
+}
+
+#[test]
+fn structure_anchors_do_not_drift() {
+    let mut cfg = WorkloadConfig::tiny();
+    cfg.iterations = 4;
+    let r = run_workload(WorkloadKind::Structure, Strategy::SharedOa, &cfg);
+    assert_eq!(metric(&r, "anchor_drift"), 0.0);
+}
+
+#[test]
+fn raytrace_hits_something_but_not_everything() {
+    let cfg = WorkloadConfig::tiny();
+    let r = run_workload(WorkloadKind::Raytrace, Strategy::SharedOa, &cfg);
+    let lit = metric(&r, "lit_pixels");
+    let pixels = metric(&r, "pixels");
+    assert!(lit > 0.0, "scene must be visible");
+    // With scene-spanning planes every ray can legitimately hit
+    // something; lit is bounded by the frame.
+    assert!(lit <= pixels);
+}
+
+#[test]
+fn bfs_reached_grows_with_rounds() {
+    let mut cfg = WorkloadConfig::tiny();
+    cfg.iterations = 1;
+    let one = run_workload(WorkloadKind::VeBfs, Strategy::SharedOa, &cfg);
+    cfg.iterations = 3;
+    let three = run_workload(WorkloadKind::VeBfs, Strategy::SharedOa, &cfg);
+    assert!(metric(&three, "reached") > metric(&one, "reached"));
+}

@@ -1,0 +1,72 @@
+//! Quickstart: build a tiny polymorphic program, run it under every
+//! dispatch strategy, and watch where the memory traffic goes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gvf::prelude::*;
+
+fn main() {
+    // A little zoo: two concrete types behind one virtual slot.
+    let mut reg = TypeRegistry::new();
+    let cat = reg.add_type("Cat", 24, &[FuncId(0)]);
+    let dog = reg.add_type("Dog", 24, &[FuncId(1)]);
+
+    println!("strategy        cycles  ld-transactions  L1-hit   meows  barks");
+    println!("----------------------------------------------------------------");
+    for strategy in [
+        Strategy::Cuda,
+        Strategy::Concord,
+        Strategy::SharedOa,
+        Strategy::Coal,
+        Strategy::TypePointerProto,
+        Strategy::TypePointerHw,
+    ] {
+        let mut mem = DeviceMemory::with_capacity(64 << 20);
+        let mut prog = DeviceProgram::new(&mut mem, &reg, strategy);
+
+        // Pick the allocator the paper pairs with each strategy.
+        let mut alloc: Box<dyn DeviceAllocator> = match strategy.default_allocator() {
+            AllocatorKind::Cuda => Box::new(CudaHeapAllocator::new()),
+            AllocatorKind::SharedOa => Box::new(SharedOa::new()),
+        };
+        prog.register_types(alloc.as_mut());
+
+        // 4096 pets, types interleaved as a real program would build them.
+        let pets: Vec<VirtAddr> = (0..4096)
+            .map(|i| prog.construct(&mut mem, alloc.as_mut(), if i % 3 == 0 { dog } else { cat }))
+            .collect();
+        prog.finalize_ranges(&mut mem, alloc.as_ref());
+
+        // One kernel: every thread makes its pet speak.
+        let mut meows = 0u64;
+        let mut barks = 0u64;
+        let kernel = run_kernel(&mut mem, pets.len(), |w| {
+            let objs = lanes_from_fn(|l| pets.get(w.thread_id(l)).copied());
+            prog.vcall(w, &CallSite::new(0), &objs, |w, fid| {
+                let n = w.mask().count_ones() as u64;
+                if fid == FuncId(0) {
+                    meows += n;
+                } else {
+                    barks += n;
+                }
+                w.alu(2); // the function body
+            });
+        });
+
+        let stats = Gpu::new(GpuConfig::v100_scaled(4)).execute(&kernel);
+        println!(
+            "{:<14} {:>7} {:>16} {:>7.1}% {:>7} {:>6}",
+            strategy.label(),
+            stats.cycles,
+            stats.global_load_transactions,
+            stats.l1_hit_rate() * 100.0,
+            meows,
+            barks
+        );
+        assert_eq!(meows + barks, 4096);
+    }
+    println!("\nEvery strategy dispatched the same 4096 calls; they differ only");
+    println!("in how they learned each object's type (paper Fig. 1 / Table 1).");
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+set -x
+cd /root/repo
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt
+{
+  cargo bench --workspace 2>&1
+  echo
+  echo "================================================================"
+  echo "  PAPER FIGURE / TABLE HARNESS (cargo run -p gvf-bench --bin <x>)"
+  echo "================================================================"
+  for b in fig1b table1 table2 fig6 fig7 fig8 fig9 fig11 fig12 alloc_init fig10 ablation_lookup generations; do
+    echo; echo "########## $b ##########"
+    cargo run --release -p gvf-bench --bin $b 2>/dev/null
+  done
+} 2>&1 | tee /root/repo/bench_output.txt
+echo ALL_DONE

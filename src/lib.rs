@@ -1,0 +1,51 @@
+//! # gvf — GPU Virtual Function optimization, reproduced in Rust
+//!
+//! This crate is the umbrella API for a full reproduction of
+//! *"Judging a Type by Its Pointer: Optimizing GPU Virtual Functions"*
+//! (Zhang, Alawneh & Rogers, ASPLOS 2021). It re-exports the component
+//! crates:
+//!
+//! - [`mem`] — 49-bit GPU virtual address space, paged backing store and
+//!   MMU (including the TypePointer tag-masking mode);
+//! - [`sim`] — a cycle-approximate SIMT GPU timing simulator (warps,
+//!   coalescer, L1/L2/DRAM, constant cache, hardware counters);
+//! - [`alloc`] — device allocators: a CUDA-like baseline heap and the
+//!   type-based **SharedOA** allocator;
+//! - [`core`] — the paper's contribution: type registry, vTables, and
+//!   the dispatch strategies (**CUDA**, **Concord**, **COAL**,
+//!   **TypePointer**, **BRANCH**);
+//! - [`workloads`] — the eleven object-oriented workloads from the
+//!   paper's evaluation plus the scalability microbenchmarks.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gvf::prelude::*;
+//!
+//! // Run Game of Life under two dispatch strategies and compare
+//! // simulated kernel cycles. Functional results are identical.
+//! let cfg = WorkloadConfig::tiny();
+//! let base = run_workload(WorkloadKind::GameOfLife, Strategy::SharedOa, &cfg);
+//! let tp = run_workload(WorkloadKind::GameOfLife, Strategy::TypePointerHw, &cfg);
+//! assert_eq!(base.checksum, tp.checksum);
+//! assert!(tp.stats.cycles > 0 && base.stats.cycles > 0);
+//! ```
+
+pub use gvf_alloc as alloc;
+pub use gvf_core as core;
+pub use gvf_mem as mem;
+pub use gvf_sim as sim;
+pub use gvf_workloads as workloads;
+
+/// Commonly used items, re-exported for one-line imports.
+pub mod prelude {
+    pub use gvf_alloc::{AllocatorKind, CudaHeapAllocator, DeviceAllocator, SharedOa, TypeKey};
+    pub use gvf_core::{CallSite, DeviceProgram, FuncId, Strategy, TagMode, TypeId, TypeRegistry};
+    pub use gvf_mem::{DeviceMemory, MmuMode, VirtAddr};
+    pub use gvf_sim::{
+        lanes_from_fn, run_kernel, AccessTag, Gpu, GpuConfig, Stats, WarpCtx, WARP_SIZE,
+    };
+    pub use gvf_workloads::{
+        run_workload, GraphAlgo, MicroParams, RunResult, WorkloadConfig, WorkloadKind,
+    };
+}

@@ -1,0 +1,89 @@
+//! `gvf` CLI: run any evaluated workload under any dispatch strategy on
+//! the simulated GPU and print its hardware counters.
+//!
+//! ```sh
+//! gvf --workload gol --strategy coal --scale 4 --iters 3
+//! gvf --list
+//! ```
+
+use gvf::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gvf --workload <name> [--strategy <name>] [--scale N] [--iters N] \
+         [--seed N] [--cuda-alloc]\n       gvf --list"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("workloads:");
+        for k in WorkloadKind::EVALUATED {
+            println!("  {:<8} ({})", k.label(), k.suite());
+        }
+        println!("strategies:");
+        for s in [
+            Strategy::Cuda,
+            Strategy::Concord,
+            Strategy::SharedOa,
+            Strategy::Coal,
+            Strategy::TypePointerProto,
+            Strategy::TypePointerHw,
+        ] {
+            println!("  {}", s.label());
+        }
+        return;
+    }
+
+    let mut workload = None;
+    let mut strategy = Strategy::SharedOa;
+    let mut cfg = WorkloadConfig::eval();
+    let mut i = 0;
+    while i < args.len() {
+        let val = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--workload" | "-w" => {
+                workload = Some(val(i).parse::<WorkloadKind>().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--strategy" | "-s" => {
+                strategy = val(i).parse::<Strategy>().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--scale" => {
+                cfg.scale = val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--iters" => {
+                cfg.iterations = val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--cuda-alloc" => {
+                cfg.allocator_override = Some(AllocatorKind::Cuda);
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(kind) = workload else { usage() };
+
+    let r = run_workload(kind, strategy, &cfg);
+    println!("{} under {} (scale {}, {} iterations)", kind, strategy, cfg.scale, cfg.iterations);
+    println!("{}", r.stats);
+    println!("objects:               {}", r.table2.objects);
+    println!("checksum:              {:#018x}", r.checksum);
+    println!(
+        "allocator:             {} regions, {:.1}% external fragmentation",
+        r.alloc_stats.regions,
+        r.alloc_stats.external_fragmentation() * 100.0
+    );
+    for (name, v) in &r.metrics {
+        println!("{:<22} {v}", format!("{name}:"));
+    }
+}

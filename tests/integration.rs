@@ -1,0 +1,112 @@
+//! Workspace-level integration tests: the full stack (mem → alloc →
+//! core → sim → workloads) exercised through the public `gvf` API.
+
+use gvf::prelude::*;
+
+#[test]
+fn end_to_end_quickstart_flow() {
+    let mut mem = DeviceMemory::with_capacity(32 << 20);
+    let mut reg = TypeRegistry::new();
+    let a = reg.add_type("A", 16, &[FuncId(1)]);
+    let b = reg.add_type("B", 16, &[FuncId(2)]);
+
+    let mut prog = DeviceProgram::new(&mut mem, &reg, Strategy::Coal);
+    let mut alloc = SharedOa::new();
+    prog.register_types(&mut alloc);
+    let objs: Vec<VirtAddr> =
+        (0..256).map(|i| prog.construct(&mut mem, &mut alloc, if i % 2 == 0 { a } else { b })).collect();
+    prog.finalize_ranges(&mut mem, &alloc);
+
+    let mut calls = [0u32; 3];
+    let kernel = run_kernel(&mut mem, objs.len(), |w| {
+        let ptrs = lanes_from_fn(|l| objs.get(w.thread_id(l)).copied());
+        prog.vcall(w, &CallSite::new(0), &ptrs, |w, fid| {
+            calls[fid.0 as usize] += w.mask().count_ones();
+            w.alu(1);
+        });
+    });
+    assert_eq!(calls[1], 128);
+    assert_eq!(calls[2], 128);
+
+    let stats = Gpu::new(GpuConfig::small()).execute(&kernel);
+    assert!(stats.cycles > 0);
+    assert!(stats.vfunc_calls > 0);
+    assert_eq!(stats.stall(AccessTag::VtablePtr), 0, "COAL never reads the vptr");
+}
+
+#[test]
+fn strategies_differ_in_traffic_not_results() {
+    let cfg = WorkloadConfig::tiny();
+    let cuda = run_workload(WorkloadKind::Structure, Strategy::Cuda, &cfg);
+    let tp = run_workload(WorkloadKind::Structure, Strategy::TypePointerHw, &cfg);
+    assert_eq!(cuda.checksum, tp.checksum);
+    assert!(
+        tp.stats.global_load_transactions < cuda.stats.global_load_transactions,
+        "TypePointer must generate less load traffic than CUDA"
+    );
+}
+
+#[test]
+fn sharedoa_packs_tighter_than_cuda_heap() {
+    let cfg = WorkloadConfig::tiny();
+    let cuda = run_workload(WorkloadKind::GameOfLife, Strategy::Cuda, &cfg);
+    let soa = run_workload(WorkloadKind::GameOfLife, Strategy::SharedOa, &cfg);
+    assert!(soa.alloc_stats.reserved_bytes < cuda.alloc_stats.reserved_bytes);
+    assert_eq!(soa.alloc_stats.objects, cuda.alloc_stats.objects);
+}
+
+#[test]
+fn init_cost_model_matches_paper_magnitude() {
+    let cfg = WorkloadConfig::tiny();
+    let cuda = run_workload(WorkloadKind::VeCc, Strategy::Cuda, &cfg);
+    let soa = run_workload(WorkloadKind::VeCc, Strategy::SharedOa, &cfg);
+    let speedup = cuda.init_cycles as f64 / soa.init_cycles as f64;
+    assert!((50.0..150.0).contains(&speedup), "paper reports ~80x, got {speedup:.0}x");
+}
+
+#[test]
+fn mmu_tag_mode_round_trip_through_prelude() {
+    let mut mem = DeviceMemory::with_capacity(1 << 20);
+    let p = mem.reserve(8, 8);
+    mem.write_u64(p, 99).unwrap();
+    assert!(mem.read_u64(p.with_tag(3)).is_err());
+    mem.mmu_mut().set_mode(MmuMode::IgnoreTagBits);
+    assert_eq!(mem.read_u64(p.with_tag(3)).unwrap(), 99);
+}
+
+#[test]
+fn fig1b_shape_vtable_load_dominates() {
+    // The paper's headline measurement: ~87% of CUDA dispatch latency is
+    // the vTable-pointer load. Check A > 60% on a representative app.
+    let cfg = WorkloadConfig::tiny();
+    let r = run_workload(WorkloadKind::VenPr, Strategy::Cuda, &cfg);
+    let (a, b, c) = r.stats.dispatch_latency_breakdown();
+    assert!(a > 0.6, "A = {a:.2} should dominate (paper: 0.87)");
+    assert!(a > b && a > c);
+}
+
+#[test]
+fn fig11_shape_typepointer_helps_on_cuda_allocator() {
+    let mut cfg = WorkloadConfig::tiny();
+    cfg.scale = 2;
+    let cuda = run_workload(WorkloadKind::VeBfs, Strategy::Cuda, &cfg);
+    cfg.allocator_override = Some(AllocatorKind::Cuda);
+    let tp = run_workload(WorkloadKind::VeBfs, Strategy::TypePointerHw, &cfg);
+    assert_eq!(cuda.checksum, tp.checksum);
+    assert!(
+        tp.stats.cycles < cuda.stats.cycles,
+        "TypePointer on the CUDA allocator must beat CUDA (paper: +18%)"
+    );
+}
+
+#[test]
+fn micro_branch_is_fastest_cuda_slowest() {
+    let mut cfg = WorkloadConfig::tiny();
+    cfg.iterations = 1;
+    let params = MicroParams { n_objects: 16384, n_types: 4 };
+    let branch = gvf::workloads::micro::run(Strategy::Branch, params, &cfg);
+    let cuda = gvf::workloads::micro::run(Strategy::Cuda, params, &cfg);
+    let tp = gvf::workloads::micro::run(Strategy::TypePointerProto, params, &cfg);
+    assert!(branch.stats.cycles < tp.stats.cycles, "BRANCH is the ideal");
+    assert!(tp.stats.cycles < cuda.stats.cycles, "TypePointer beats CUDA");
+}
