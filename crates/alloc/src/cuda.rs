@@ -33,7 +33,10 @@ impl CudaHeapAllocator {
 
     /// Creates an empty heap.
     pub fn new() -> Self {
-        CudaHeapAllocator { sizes: HashMap::new(), stats: AllocStats::default() }
+        CudaHeapAllocator {
+            sizes: HashMap::new(),
+            stats: AllocStats::default(),
+        }
     }
 
     /// The gross block size for an object of `obj_size` bytes.
@@ -59,7 +62,10 @@ impl DeviceAllocator for CudaHeapAllocator {
     }
 
     fn alloc(&mut self, mem: &mut DeviceMemory, ty: TypeKey) -> VirtAddr {
-        let size = *self.sizes.get(&ty).unwrap_or_else(|| panic!("{ty} not registered"));
+        let size = *self
+            .sizes
+            .get(&ty)
+            .unwrap_or_else(|| panic!("{ty} not registered"));
         let block = Self::block_size(size);
         let base = mem.reserve(block, Self::GRANULE_BYTES);
         self.stats.objects += 1;

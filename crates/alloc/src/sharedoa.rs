@@ -83,8 +83,15 @@ impl SharedOa {
     /// # Panics
     /// Panics if `initial_chunk_objs` is zero.
     pub fn with_initial_chunk(initial_chunk_objs: u64) -> Self {
-        assert!(initial_chunk_objs > 0, "initial chunk must hold at least one object");
-        SharedOa { types: HashMap::new(), initial_chunk_objs, merges: 0 }
+        assert!(
+            initial_chunk_objs > 0,
+            "initial chunk must hold at least one object"
+        );
+        SharedOa {
+            types: HashMap::new(),
+            initial_chunk_objs,
+            merges: 0,
+        }
     }
 
     /// The configured initial chunk size, in objects.
@@ -130,11 +137,17 @@ impl DeviceAllocator for SharedOa {
             arena_next: 0,
             arena_end: 0,
         });
-        assert_eq!(st.obj_size, obj_size, "{ty} re-registered with a different size");
+        assert_eq!(
+            st.obj_size, obj_size,
+            "{ty} re-registered with a different size"
+        );
     }
 
     fn alloc(&mut self, mem: &mut DeviceMemory, ty: TypeKey) -> VirtAddr {
-        let st = self.types.get_mut(&ty).unwrap_or_else(|| panic!("{ty} not registered"));
+        let st = self
+            .types
+            .get_mut(&ty)
+            .unwrap_or_else(|| panic!("{ty} not registered"));
         let need_new = match st.regions.last() {
             Some(r) => r.used_objs == r.capacity_objs,
             None => true,
@@ -162,7 +175,11 @@ impl DeviceAllocator for SharedOa {
                     prev.capacity_objs += capacity;
                     self.merges += 1;
                 }
-                _ => st.regions.push(Region { base, capacity_objs: capacity, used_objs: 0 }),
+                _ => st.regions.push(Region {
+                    base,
+                    capacity_objs: capacity,
+                    used_objs: 0,
+                }),
             }
         }
         let r = st.regions.last_mut().expect("region exists after growth");
@@ -238,7 +255,11 @@ mod tests {
                 soa.alloc(&mut m, TypeKey(1));
             }
         }
-        let ranges: Vec<_> = soa.ranges().into_iter().filter(|r| r.ty == TypeKey(0)).collect();
+        let ranges: Vec<_> = soa
+            .ranges()
+            .into_iter()
+            .filter(|r| r.ty == TypeKey(0))
+            .collect();
         assert_eq!(ranges.len(), 1, "chunks in one arena merge");
         assert_eq!(ranges[0].len / 16, 4 + 8 + 16);
         assert!(soa.merges() >= 2, "type 0's doubled chunks must merge");

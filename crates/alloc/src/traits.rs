@@ -145,7 +145,11 @@ mod tests {
 
     #[test]
     fn range_contains() {
-        let r = TypeRange { ty: TypeKey(1), base: VirtAddr::new(0x1000), len: 0x100 };
+        let r = TypeRange {
+            ty: TypeKey(1),
+            base: VirtAddr::new(0x1000),
+            len: 0x100,
+        };
         assert!(r.contains(VirtAddr::new(0x1000)));
         assert!(r.contains(VirtAddr::new(0x10ff)));
         assert!(!r.contains(VirtAddr::new(0x1100)));
@@ -156,7 +160,12 @@ mod tests {
 
     #[test]
     fn fragmentation_math() {
-        let s = AllocStats { objects: 10, used_bytes: 750, reserved_bytes: 1000, regions: 1 };
+        let s = AllocStats {
+            objects: 10,
+            used_bytes: 750,
+            reserved_bytes: 1000,
+            regions: 1,
+        };
         assert!((s.external_fragmentation() - 0.25).abs() < 1e-9);
         assert_eq!(AllocStats::default().external_fragmentation(), 0.0);
     }

@@ -1,28 +1,27 @@
 //! Property tests for the allocators: the invariants COAL's correctness
-//! rests on.
+//! rests on (on the in-repo `gvf-prop` harness; the workspace builds
+//! offline).
 
 use gvf_alloc::{CudaHeapAllocator, DeviceAllocator, SharedOa, TypeKey};
 use gvf_mem::DeviceMemory;
-use proptest::prelude::*;
+use gvf_prop::{gen, props, Rng};
 
-fn type_sizes() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(8u64..128, 1..6).prop_map(|v| {
-        // 8-byte aligned object sizes, as gvf-core produces.
-        v.into_iter().map(|s| s.div_ceil(8) * 8).collect()
-    })
+/// 8-byte aligned object sizes, as gvf-core produces.
+fn type_sizes(rng: &mut Rng) -> Vec<u64> {
+    gen::vec(gen::range_u64(8, 128), 1..6)(rng)
+        .into_iter()
+        .map(|s| s.div_ceil(8) * 8)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every pointer SharedOA hands out lies inside exactly one range of
-    /// the virtual range table, and that range belongs to its type.
-    #[test]
-    fn sharedoa_ranges_cover_and_type_objects(
-        sizes in type_sizes(),
-        seq in proptest::collection::vec(0usize..6, 1..400),
-        chunk in prop_oneof![Just(4u64), Just(16), Just(64), Just(1024)],
-    ) {
+/// Every pointer SharedOA hands out lies inside exactly one range of
+/// the virtual range table, and that range belongs to its type.
+#[test]
+fn sharedoa_ranges_cover_and_type_objects() {
+    props!(48, |rng| {
+        let sizes = type_sizes(rng);
+        let seq = gen::vec(gen::range_usize(0, 6), 1..400)(rng);
+        let chunk = *rng.pick(&[4u64, 16, 64, 1024]);
         let mut mem = DeviceMemory::with_capacity(1 << 28);
         let mut soa = SharedOa::with_initial_chunk(chunk);
         for (i, &s) in sizes.iter().enumerate() {
@@ -36,21 +35,24 @@ proptest! {
         let ranges = soa.ranges();
         // Ranges are disjoint and sorted.
         for w in ranges.windows(2) {
-            prop_assert!(w[0].end().canonical() <= w[1].base.canonical());
+            assert!(w[0].end().canonical() <= w[1].base.canonical());
         }
         for (t, p) in ptrs {
             let hits: Vec<_> = ranges.iter().filter(|r| r.contains(p)).collect();
-            prop_assert_eq!(hits.len(), 1, "pointer covered by exactly one range");
-            prop_assert_eq!(hits[0].ty, t);
-            prop_assert_eq!(soa.type_of(p), Some(t));
+            assert_eq!(hits.len(), 1, "pointer covered by exactly one range");
+            assert_eq!(hits[0].ty, t);
+            assert_eq!(soa.type_of(p), Some(t));
         }
-    }
+    });
+}
 
-    /// Same-type consecutive allocations are exactly obj_size apart
-    /// (packing — SharedOA has no internal fragmentation).
-    #[test]
-    fn sharedoa_packs_contiguously(size in 8u64..256, n in 2usize..200) {
-        let size = size.div_ceil(8) * 8;
+/// Same-type consecutive allocations are exactly obj_size apart
+/// (packing — SharedOA has no internal fragmentation).
+#[test]
+fn sharedoa_packs_contiguously() {
+    props!(48, |rng| {
+        let size = rng.range_u64(8, 256).div_ceil(8) * 8;
+        let n = rng.range_usize(2, 200);
         let mut mem = DeviceMemory::with_capacity(1 << 28);
         // Chunk sized to the demand: zero external fragmentation, and
         // (always) zero internal fragmentation.
@@ -58,17 +60,18 @@ proptest! {
         soa.register_type(TypeKey(0), size);
         let ptrs: Vec<_> = (0..n).map(|_| soa.alloc(&mut mem, TypeKey(0))).collect();
         for w in ptrs.windows(2) {
-            prop_assert_eq!(w[1].canonical() - w[0].canonical(), size);
+            assert_eq!(w[1].canonical() - w[0].canonical(), size);
         }
-        prop_assert_eq!(soa.stats().external_fragmentation(), 0.0);
-    }
+        assert_eq!(soa.stats().external_fragmentation(), 0.0);
+    });
+}
 
-    /// Allocation stats are conserved: used ≤ reserved, objects counted.
-    #[test]
-    fn stats_conservation(
-        sizes in type_sizes(),
-        seq in proptest::collection::vec(0usize..6, 1..200),
-    ) {
+/// Allocation stats are conserved: used ≤ reserved, objects counted.
+#[test]
+fn stats_conservation() {
+    props!(48, |rng| {
+        let sizes = type_sizes(rng);
+        let seq = gen::vec(gen::range_usize(0, 6), 1..200)(rng);
         let mut mem = DeviceMemory::with_capacity(1 << 28);
         let mut soa = SharedOa::with_initial_chunk(32);
         let mut cuda = CudaHeapAllocator::new();
@@ -84,18 +87,21 @@ proptest! {
             expected_used += sizes[pick % sizes.len()];
         }
         for stats in [soa.stats(), cuda.stats()] {
-            prop_assert_eq!(stats.objects, seq.len() as u64);
-            prop_assert!(stats.used_bytes <= stats.reserved_bytes);
-            prop_assert!((0.0..=1.0).contains(&stats.external_fragmentation()));
+            assert_eq!(stats.objects, seq.len() as u64);
+            assert!(stats.used_bytes <= stats.reserved_bytes);
+            assert!((0.0..=1.0).contains(&stats.external_fragmentation()));
         }
-        prop_assert_eq!(soa.stats().used_bytes, expected_used);
-    }
+        assert_eq!(soa.stats().used_bytes, expected_used);
+    });
+}
 
-    /// The CUDA heap never hands out overlapping blocks, and no SharedOA
-    /// range ever contains a CUDA-heap pointer (different address space
-    /// slices of the same brk).
-    #[test]
-    fn cuda_blocks_disjoint(seq in proptest::collection::vec(0usize..3, 1..200)) {
+/// The CUDA heap never hands out overlapping blocks, and no SharedOA
+/// range ever contains a CUDA-heap pointer (different address space
+/// slices of the same brk).
+#[test]
+fn cuda_blocks_disjoint() {
+    props!(48, |rng| {
+        let seq = gen::vec(gen::range_usize(0, 3), 1..200)(rng);
         let mut mem = DeviceMemory::with_capacity(1 << 28);
         let mut cuda = CudaHeapAllocator::new();
         for t in 0..3u32 {
@@ -108,7 +114,7 @@ proptest! {
         }
         ptrs.sort_by_key(|(p, _)| *p);
         for w in ptrs.windows(2) {
-            prop_assert!(w[0].0.canonical() + w[0].1 <= w[1].0.canonical());
+            assert!(w[0].0.canonical() + w[0].1 <= w[1].0.canonical());
         }
-    }
+    });
 }

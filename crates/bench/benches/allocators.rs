@@ -2,8 +2,9 @@
 //! (the §8.2 comparison's host-side component), plus the chunk-size
 //! sensitivity that drives Fig. 10.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gvf_alloc::{CudaHeapAllocator, DeviceAllocator, SharedOa, TypeKey};
+use gvf_bench::harness::{BenchmarkId, Criterion};
+use gvf_bench::{criterion_group, criterion_main};
 use gvf_mem::DeviceMemory;
 
 const N: u32 = 20_000;

@@ -4,14 +4,18 @@
 //! interesting one — see the `fig6`/`fig12` harness binaries for the
 //! paper-format numbers).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gvf_bench::harness::{BenchmarkId, Criterion};
+use gvf_bench::{criterion_group, criterion_main};
 use gvf_core::Strategy;
 use gvf_workloads::{micro, MicroParams, WorkloadConfig};
 
 fn bench_dispatch(c: &mut Criterion) {
     let mut cfg = WorkloadConfig::tiny();
     cfg.iterations = 1;
-    let params = MicroParams { n_objects: 8192, n_types: 4 };
+    let params = MicroParams {
+        n_objects: 8192,
+        n_types: 4,
+    };
 
     let mut group = c.benchmark_group("dispatch");
     group.sample_size(10);
@@ -34,7 +38,12 @@ fn bench_dispatch(c: &mut Criterion) {
 
     // Print the simulated-cycle comparison once, for the record.
     println!("\nsimulated cycles per 8192 calls (4 types):");
-    for strategy in [Strategy::Branch, Strategy::Cuda, Strategy::Coal, Strategy::TypePointerHw] {
+    for strategy in [
+        Strategy::Branch,
+        Strategy::Cuda,
+        Strategy::Coal,
+        Strategy::TypePointerHw,
+    ] {
         let r = micro::run(strategy, params, &cfg);
         println!("  {:<16} {:>9}", strategy.label(), r.stats.cycles);
     }

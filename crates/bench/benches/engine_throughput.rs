@@ -2,7 +2,8 @@
 //! traces (host instructions per simulated warp instruction). Useful
 //! when judging how large a `--scale` is affordable.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gvf_bench::harness::{BenchmarkId, Criterion, Throughput};
+use gvf_bench::{criterion_group, criterion_main};
 use gvf_sim::{AccessTag, Gpu, GpuConfig, KernelTrace, MemOp, Op, Space, WarpTrace};
 
 fn synthetic_kernel(warps: usize, ops_per_warp: usize) -> KernelTrace {
@@ -12,8 +13,9 @@ fn synthetic_kernel(warps: usize, ops_per_warp: usize) -> KernelTrace {
             match k % 4 {
                 0 => w.push(Op::Alu(3)),
                 1 => {
-                    let addrs: Vec<u64> =
-                        (0..32).map(|l| ((wi * ops_per_warp + k) * 32 + l) as u64 * 32).collect();
+                    let addrs: Vec<u64> = (0..32)
+                        .map(|l| ((wi * ops_per_warp + k) * 32 + l) as u64 * 32)
+                        .collect();
                     w.push(Op::Mem(MemOp {
                         space: Space::Global,
                         is_store: false,
@@ -36,7 +38,9 @@ fn synthetic_kernel(warps: usize, ops_per_warp: usize) -> KernelTrace {
         }
         w
     };
-    KernelTrace { warps: (0..warps).map(mk_warp).collect() }
+    KernelTrace {
+        warps: (0..warps).map(mk_warp).collect(),
+    }
 }
 
 fn bench_engine(c: &mut Criterion) {

@@ -1,7 +1,8 @@
 //! Criterion mirror of Fig. 12a at reduced size: microbenchmark object
 //! scaling for BRANCH / CUDA / COAL / TypePointer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gvf_bench::harness::{BenchmarkId, Criterion};
+use gvf_bench::{criterion_group, criterion_main};
 use gvf_core::Strategy;
 use gvf_workloads::{micro, MicroParams, WorkloadConfig};
 
@@ -12,10 +13,16 @@ fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12a");
     group.sample_size(10);
     for objects in [4096usize, 16384, 65536] {
-        for strategy in
-            [Strategy::Branch, Strategy::Cuda, Strategy::Coal, Strategy::TypePointerProto]
-        {
-            let params = MicroParams { n_objects: objects, n_types: 4 };
+        for strategy in [
+            Strategy::Branch,
+            Strategy::Cuda,
+            Strategy::Coal,
+            Strategy::TypePointerProto,
+        ] {
+            let params = MicroParams {
+                n_objects: objects,
+                n_types: 4,
+            };
             group.bench_with_input(
                 BenchmarkId::new(strategy.label(), objects),
                 &(strategy, params),
@@ -27,14 +34,24 @@ fn bench_scaling(c: &mut Criterion) {
 
     println!("\nsimulated cycles, normalized to BRANCH at each size:");
     for objects in [4096usize, 16384, 65536] {
-        let params = MicroParams { n_objects: objects, n_types: 4 };
+        let params = MicroParams {
+            n_objects: objects,
+            n_types: 4,
+        };
         let base = micro::run(Strategy::Branch, params, &cfg).stats.cycles as f64;
         print!("  {objects:>6} objs:");
-        for strategy in
-            [Strategy::Branch, Strategy::Cuda, Strategy::Coal, Strategy::TypePointerProto]
-        {
+        for strategy in [
+            Strategy::Branch,
+            Strategy::Cuda,
+            Strategy::Coal,
+            Strategy::TypePointerProto,
+        ] {
             let r = micro::run(strategy, params, &cfg);
-            print!("  {}={:.1}x", strategy.label(), r.stats.cycles as f64 / base);
+            print!(
+                "  {}={:.1}x",
+                strategy.label(),
+                r.stats.cycles as f64 / base
+            );
         }
         println!();
     }

@@ -3,7 +3,8 @@
 //! Measures both host-side lookup throughput and the emitted device
 //! instruction counts as the range count grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gvf_bench::harness::{BenchmarkId, Criterion};
+use gvf_bench::{criterion_group, criterion_main};
 use gvf_core::{LinearRangeTable, ResolvedRange, SegmentTree};
 use gvf_mem::{DeviceMemory, VirtAddr};
 use gvf_sim::{lanes_from_fn, run_kernel};
@@ -25,14 +26,27 @@ fn bench_lookup(c: &mut Criterion) {
         let mut mem = DeviceMemory::with_capacity(16 << 20);
         let tree = SegmentTree::build(&mut mem, &rs);
         let linear = LinearRangeTable::build(&mut mem, &rs);
-        let probes: Vec<VirtAddr> =
-            (0..1024).map(|i| VirtAddr::new((i % k as u64 + 1) * 0x10000 + (i * 8) % 0x8000)).collect();
+        let probes: Vec<VirtAddr> = (0..1024)
+            .map(|i| VirtAddr::new((i % k as u64 + 1) * 0x10000 + (i * 8) % 0x8000))
+            .collect();
 
         group.bench_with_input(BenchmarkId::new("segment_tree", k), &k, |b, _| {
-            b.iter(|| probes.iter().map(|&p| tree.lookup(p)).filter(Option::is_some).count())
+            b.iter(|| {
+                probes
+                    .iter()
+                    .map(|&p| tree.lookup(p))
+                    .filter(Option::is_some)
+                    .count()
+            })
         });
         group.bench_with_input(BenchmarkId::new("linear_scan", k), &k, |b, _| {
-            b.iter(|| probes.iter().map(|&p| linear.lookup(p)).filter(Option::is_some).count())
+            b.iter(|| {
+                probes
+                    .iter()
+                    .map(|&p| linear.lookup(p))
+                    .filter(Option::is_some)
+                    .count()
+            })
         });
     }
     group.finish();

@@ -2,7 +2,8 @@
 //! workload simulation per strategy (GOL and vE-BFS as representatives
 //! of the model-simulation and graph-analytics suites).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gvf_bench::harness::{BenchmarkId, Criterion};
+use gvf_bench::{criterion_group, criterion_main};
 use gvf_core::Strategy;
 use gvf_workloads::{run_workload, WorkloadConfig, WorkloadKind};
 

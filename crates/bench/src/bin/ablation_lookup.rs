@@ -50,7 +50,16 @@ fn main() {
     ]);
     println!("\nAblation — COAL lookup: segment tree (paper Algorithm 1) vs linear scan");
     println!("(performance normalized to SharedOA; instrs = dynamic warp instructions)\n");
-    print_table(&["Workload", "tree perf", "linear perf", "tree instrs", "linear instrs"], &rows);
+    print_table(
+        &[
+            "Workload",
+            "tree perf",
+            "linear perf",
+            "tree instrs",
+            "linear instrs",
+        ],
+        &rows,
+    );
 
     // Part 2: TypePointer tag-budget sweep. vE has four single-slot
     // edge types = 32 bytes of vTables; shrinking the budget pushes

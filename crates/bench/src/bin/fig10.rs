@@ -10,6 +10,7 @@
 
 use gvf_bench::cli::HarnessOpts;
 use gvf_bench::report::print_table;
+use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
 use gvf_workloads::{run_workload, WorkloadKind};
 
@@ -22,18 +23,30 @@ fn main() {
         .map(|c| c.max(64))
         .collect();
 
+    // Grid per workload: one CUDA baseline, then COAL per chunk size.
+    let mut cells: Vec<(WorkloadKind, Strategy, u64)> = Vec::new();
+    for kind in WorkloadKind::EVALUATED {
+        cells.push((kind, Strategy::Cuda, opts.cfg.initial_chunk_objs));
+        for &chunk in &chunk_sizes {
+            cells.push((kind, Strategy::Coal, chunk));
+        }
+    }
+    let results = run_cells("fig10", opts.jobs, &cells, |&(k, s, chunk)| {
+        let mut cfg = opts.cfg.clone();
+        cfg.initial_chunk_objs = chunk;
+        run_workload(k, s, &cfg)
+    });
+
+    let stride = 1 + chunk_sizes.len();
     let mut perf_rows = Vec::new();
     let mut frag_rows = Vec::new();
     let mut frag_sums = vec![0.0f64; chunk_sizes.len()];
-
-    for kind in WorkloadKind::EVALUATED {
-        let mut cfg = opts.cfg.clone();
-        let cuda = run_workload(kind, Strategy::Cuda, &cfg);
+    for (ki, kind) in WorkloadKind::EVALUATED.into_iter().enumerate() {
+        let cuda = &results[ki * stride];
         let mut prow = vec![kind.label().to_string()];
         let mut frow = vec![kind.label().to_string()];
-        for (ci, &chunk) in chunk_sizes.iter().enumerate() {
-            cfg.initial_chunk_objs = chunk;
-            let r = run_workload(kind, Strategy::Coal, &cfg);
+        for ci in 0..chunk_sizes.len() {
+            let r = &results[ki * stride + 1 + ci];
             prow.push(format!(
                 "{:.2}",
                 cuda.stats.cycles as f64 / r.stats.cycles as f64

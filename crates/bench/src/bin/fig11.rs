@@ -4,30 +4,50 @@
 //! Paper geomean: 1.18 — TypePointer helps even without SharedOA,
 //! demonstrating allocator independence (§6.1).
 
+use gvf_alloc::AllocatorKind;
 use gvf_bench::cli::HarnessOpts;
 use gvf_bench::report::{geomean, print_table};
-use gvf_alloc::AllocatorKind;
+use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
 use gvf_workloads::{run_workload, WorkloadKind};
 
 fn main() {
     let opts = HarnessOpts::from_args();
+
+    // The hardware variant: Fig. 11 is an Accel-Sim experiment with the
+    // MMU change, so no software masking overhead; both cells pin the
+    // CUDA heap allocator via the override.
+    let cells: Vec<(WorkloadKind, Strategy)> = WorkloadKind::EVALUATED
+        .into_iter()
+        .flat_map(|k| [(k, Strategy::Cuda), (k, Strategy::TypePointerHw)])
+        .collect();
+    let results = run_cells("fig11", opts.jobs, &cells, |&(k, s)| {
+        let mut cfg = opts.cfg.clone();
+        if s == Strategy::TypePointerHw {
+            cfg.allocator_override = Some(AllocatorKind::Cuda);
+        }
+        run_workload(k, s, &cfg)
+    });
+
     let mut rows = Vec::new();
     let mut norms = Vec::new();
-
-    for kind in WorkloadKind::EVALUATED {
-        let cuda = run_workload(kind, Strategy::Cuda, &opts.cfg);
-        let mut cfg = opts.cfg.clone();
-        cfg.allocator_override = Some(AllocatorKind::Cuda);
-        // The hardware variant: Fig. 11 is an Accel-Sim experiment with
-        // the MMU change, so no software masking overhead.
-        let tp = run_workload(kind, Strategy::TypePointerHw, &cfg);
+    for (ki, kind) in WorkloadKind::EVALUATED.into_iter().enumerate() {
+        let cuda = &results[ki * 2];
+        let tp = &results[ki * 2 + 1];
         assert_eq!(tp.checksum, cuda.checksum, "{kind}: functional mismatch");
         let norm = cuda.stats.cycles as f64 / tp.stats.cycles as f64;
         norms.push(norm);
-        rows.push(vec![kind.label().to_string(), "1.00".to_string(), format!("{norm:.2}")]);
+        rows.push(vec![
+            kind.label().to_string(),
+            "1.00".to_string(),
+            format!("{norm:.2}"),
+        ]);
     }
-    rows.push(vec!["GM".to_string(), "1.00".to_string(), format!("{:.2}", geomean(&norms))]);
+    rows.push(vec![
+        "GM".to_string(),
+        "1.00".to_string(),
+        format!("{:.2}", geomean(&norms)),
+    ]);
 
     println!("\nFig. 11 — TypePointer on the CUDA allocator (simulation), normalized to CUDA");
     println!("paper GM: 1.18\n");

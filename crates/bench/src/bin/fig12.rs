@@ -11,55 +11,75 @@
 
 use gvf_bench::cli::HarnessOpts;
 use gvf_bench::report::print_table;
+use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
 use gvf_workloads::{micro, MicroParams};
 
-const STRATEGIES: [Strategy; 4] =
-    [Strategy::Branch, Strategy::Cuda, Strategy::Coal, Strategy::TypePointerProto];
+const STRATEGIES: [Strategy; 4] = [
+    Strategy::Branch,
+    Strategy::Cuda,
+    Strategy::Coal,
+    Strategy::TypePointerProto,
+];
+
+const STEPS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let unit = 8192 * opts.cfg.scale as usize; // "1M" at paper scale 128
 
-    // (a) objects sweep at 4 types.
-    let mut rows = Vec::new();
-    let mut baseline = None;
-    for step in [1usize, 2, 4, 8, 16, 32] {
-        let params = MicroParams { n_objects: unit * step, n_types: 4 };
-        let mut row = vec![format!("{}x", step)];
-        for s in STRATEGIES {
-            let r = micro::run(s, params, &opts.cfg);
-            if s == Strategy::Branch && baseline.is_none() {
-                baseline = Some(r.stats.cycles as f64);
-            }
-            row.push(format!("{:.1}", r.stats.cycles as f64 / baseline.unwrap()));
-        }
-        rows.push(row);
+    // Both sweeps form one flat grid so a single pool keeps every core
+    // busy across the (a)/(b) boundary.
+    let mut cells: Vec<(MicroParams, Strategy)> = Vec::new();
+    for step in STEPS {
+        let params = MicroParams {
+            n_objects: unit * step,
+            n_types: 4,
+        };
+        cells.extend(STRATEGIES.map(|s| (params, s)));
     }
-    println!("\nFig. 12a — Execution time vs object count (4 types), normalized to");
-    println!("BRANCH at 1x. paper @32x: CUDA 5.6x, COAL 3.3x, TypePointer 2.0x of BRANCH\n");
-    let headers: Vec<&str> =
-        std::iter::once("objects").chain(STRATEGIES.iter().map(|s| s.label())).collect();
-    print_table(&headers, &rows);
+    for types in STEPS {
+        let params = MicroParams {
+            n_objects: unit * 16,
+            n_types: types,
+        };
+        cells.extend(STRATEGIES.map(|s| (params, s)));
+    }
+    let results = run_cells("fig12", opts.jobs, &cells, |&(p, s)| {
+        micro::run(s, p, &opts.cfg)
+    });
 
-    // (b) types sweep at 16x objects.
-    let mut rows = Vec::new();
-    let mut baseline = None;
-    for types in [1usize, 2, 4, 8, 16, 32] {
-        let params = MicroParams { n_objects: unit * 16, n_types: types };
-        let mut row = vec![format!("{types}")];
-        for s in STRATEGIES {
-            let r = micro::run(s, params, &opts.cfg);
-            if s == Strategy::Branch && baseline.is_none() {
-                baseline = Some(r.stats.cycles as f64);
+    let stride = STRATEGIES.len();
+    let report = |title: &str, note: &str, col: &str, offset: usize| {
+        // Normalize to BRANCH in the sweep's first row.
+        let baseline = results[offset * stride].stats.cycles as f64;
+        let mut rows = Vec::new();
+        for (row_i, &step) in STEPS.iter().enumerate() {
+            let mut row = vec![format!("{step}{}", if col == "objects" { "x" } else { "" })];
+            for si in 0..stride {
+                let r = &results[(offset + row_i) * stride + si];
+                row.push(format!("{:.1}", r.stats.cycles as f64 / baseline));
             }
-            row.push(format!("{:.1}", r.stats.cycles as f64 / baseline.unwrap()));
+            rows.push(row);
         }
-        rows.push(row);
-    }
-    println!("\nFig. 12b — Execution time vs types-per-warp (16x objects), normalized");
-    println!("to BRANCH at 1 type. paper: gaps shrink as divergence dominates\n");
-    let headers: Vec<&str> =
-        std::iter::once("types").chain(STRATEGIES.iter().map(|s| s.label())).collect();
-    print_table(&headers, &rows);
+        println!("\n{title}");
+        println!("{note}\n");
+        let headers: Vec<&str> = std::iter::once(col)
+            .chain(STRATEGIES.iter().map(|s| s.label()))
+            .collect();
+        print_table(&headers, &rows);
+    };
+
+    report(
+        "Fig. 12a — Execution time vs object count (4 types), normalized to BRANCH at 1x.",
+        "paper @32x: CUDA 5.6x, COAL 3.3x, TypePointer 2.0x of BRANCH",
+        "objects",
+        0,
+    );
+    report(
+        "Fig. 12b — Execution time vs types-per-warp (16x objects), normalized to BRANCH at 1 type.",
+        "paper: gaps shrink as divergence dominates",
+        "types",
+        STEPS.len(),
+    );
 }

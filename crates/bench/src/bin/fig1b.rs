@@ -37,5 +37,13 @@ fn main() {
 
     println!("\nFig. 1b — Virtual-function direct-cost latency breakdown (CUDA)");
     println!("paper AVG: A (load vTable*) ~87%, remainder split between B and C\n");
-    print_table(&["Workload", "A: load vTable*", "B: load vFunc*", "C: indirect call"], &rows);
+    print_table(
+        &[
+            "Workload",
+            "A: load vTable*",
+            "B: load vFunc*",
+            "C: indirect call",
+        ],
+        &rows,
+    );
 }

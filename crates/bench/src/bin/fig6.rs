@@ -6,24 +6,33 @@
 
 use gvf_bench::cli::HarnessOpts;
 use gvf_bench::report::{geomean, print_table};
+use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
 use gvf_workloads::{run_workload, WorkloadKind};
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let strategies = Strategy::EVALUATED;
+    let base_idx = strategies
+        .iter()
+        .position(|&s| s == Strategy::SharedOa)
+        .expect("SharedOA is evaluated");
+
+    let cells: Vec<(WorkloadKind, Strategy)> = WorkloadKind::EVALUATED
+        .into_iter()
+        .flat_map(|k| strategies.into_iter().map(move |s| (k, s)))
+        .collect();
+    let results = run_cells("fig6", opts.jobs, &cells, |&(k, s)| {
+        run_workload(k, s, &opts.cfg)
+    });
+
     let mut rows = Vec::new();
     let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
-
-    for kind in WorkloadKind::EVALUATED {
-        let base = run_workload(kind, Strategy::SharedOa, &opts.cfg);
+    for (ki, kind) in WorkloadKind::EVALUATED.into_iter().enumerate() {
+        let base = &results[ki * strategies.len() + base_idx];
         let mut row = vec![format!("{} {}", kind.suite(), kind)];
         for (si, s) in strategies.into_iter().enumerate() {
-            let r = if s == Strategy::SharedOa {
-                base.clone()
-            } else {
-                run_workload(kind, s, &opts.cfg)
-            };
+            let r = &results[ki * strategies.len() + si];
             assert_eq!(r.checksum, base.checksum, "{kind}: {s} functional mismatch");
             let norm = base.stats.cycles as f64 / r.stats.cycles as f64;
             per_strategy[si].push(norm);
@@ -40,7 +49,8 @@ fn main() {
 
     println!("\nFig. 6 — Performance normalized to SharedOA (higher is better)");
     println!("paper GM: CUDA 0.59, Concord 0.72, SharedOA 1.00, COAL 1.06, TypePointer 1.12\n");
-    let headers: Vec<&str> =
-        std::iter::once("Workload").chain(strategies.iter().map(|s| s.label())).collect();
+    let headers: Vec<&str> = std::iter::once("Workload")
+        .chain(strategies.iter().map(|s| s.label()))
+        .collect();
     print_table(&headers, &rows);
 }

@@ -6,25 +6,35 @@
 
 use gvf_bench::cli::HarnessOpts;
 use gvf_bench::report::print_table;
+use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
 use gvf_workloads::{run_workload, WorkloadKind};
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let strategies = Strategy::EVALUATED;
+    let base_idx = strategies
+        .iter()
+        .position(|&s| s == Strategy::SharedOa)
+        .expect("SharedOA is evaluated");
+
+    let cells: Vec<(WorkloadKind, Strategy)> = WorkloadKind::EVALUATED
+        .into_iter()
+        .flat_map(|k| strategies.into_iter().map(move |s| (k, s)))
+        .collect();
+    let results = run_cells("fig7", opts.jobs, &cells, |&(k, s)| {
+        run_workload(k, s, &opts.cfg)
+    });
+
     let mut rows = Vec::new();
     // Unweighted per-app ratios, as the paper averages them.
     let mut sums = vec![(0.0f64, 0.0f64, 0.0f64, 0.0f64); strategies.len()];
-
-    for kind in WorkloadKind::EVALUATED {
-        let base = run_workload(kind, Strategy::SharedOa, &opts.cfg);
-        let base_total = base.stats.total_instrs() as f64;
+    for (ki, kind) in WorkloadKind::EVALUATED.into_iter().enumerate() {
+        let base_total = results[ki * strategies.len() + base_idx]
+            .stats
+            .total_instrs() as f64;
         for (si, s) in strategies.into_iter().enumerate() {
-            let r = if s == Strategy::SharedOa {
-                base.clone()
-            } else {
-                run_workload(kind, s, &opts.cfg)
-            };
+            let r = &results[ki * strategies.len() + si];
             let (m, c, x) = (
                 r.stats.instrs_mem as f64 / base_total,
                 r.stats.instrs_compute as f64 / base_total,
@@ -57,5 +67,8 @@ fn main() {
 
     println!("\nFig. 7 — Dynamic warp instructions normalized to SharedOA");
     println!("paper AVG totals: Concord 1.28, COAL 1.83, TypePointer 1.19\n");
-    print_table(&["Workload/Strategy", "MEM", "COMPUTE", "CTRL", "TOTAL"], &rows);
+    print_table(
+        &["Workload/Strategy", "MEM", "COMPUTE", "CTRL", "TOTAL"],
+        &rows,
+    );
 }

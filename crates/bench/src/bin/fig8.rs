@@ -4,24 +4,33 @@
 
 use gvf_bench::cli::HarnessOpts;
 use gvf_bench::report::{geomean, print_table};
+use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
 use gvf_workloads::{run_workload, WorkloadKind};
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let strategies = Strategy::EVALUATED;
+    let base_idx = strategies
+        .iter()
+        .position(|&s| s == Strategy::SharedOa)
+        .expect("SharedOA is evaluated");
+
+    let cells: Vec<(WorkloadKind, Strategy)> = WorkloadKind::EVALUATED
+        .into_iter()
+        .flat_map(|k| strategies.into_iter().map(move |s| (k, s)))
+        .collect();
+    let results = run_cells("fig8", opts.jobs, &cells, |&(k, s)| {
+        run_workload(k, s, &opts.cfg)
+    });
+
     let mut rows = Vec::new();
     let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
-
-    for kind in WorkloadKind::EVALUATED {
-        let base = run_workload(kind, Strategy::SharedOa, &opts.cfg);
+    for (ki, kind) in WorkloadKind::EVALUATED.into_iter().enumerate() {
+        let base = &results[ki * strategies.len() + base_idx];
         let mut row = vec![kind.label().to_string()];
-        for (si, s) in strategies.into_iter().enumerate() {
-            let r = if s == Strategy::SharedOa {
-                base.clone()
-            } else {
-                run_workload(kind, s, &opts.cfg)
-            };
+        for (si, _) in strategies.into_iter().enumerate() {
+            let r = &results[ki * strategies.len() + si];
             let norm = r.stats.global_load_transactions as f64
                 / base.stats.global_load_transactions.max(1) as f64;
             per_strategy[si].push(norm);
@@ -37,7 +46,8 @@ fn main() {
 
     println!("\nFig. 8 — Global load transactions normalized to SharedOA (lower is better)");
     println!("paper GM: CUDA 1.00, Concord 0.82, SharedOA 1.00, COAL 0.86, TypePointer 0.81\n");
-    let headers: Vec<&str> =
-        std::iter::once("Workload").chain(strategies.iter().map(|s| s.label())).collect();
+    let headers: Vec<&str> = std::iter::once("Workload")
+        .chain(strategies.iter().map(|s| s.label()))
+        .collect();
     print_table(&headers, &rows);
 }

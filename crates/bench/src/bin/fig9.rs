@@ -6,20 +6,28 @@
 
 use gvf_bench::cli::HarnessOpts;
 use gvf_bench::report::print_table;
+use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
 use gvf_workloads::{run_workload, WorkloadKind};
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let strategies = Strategy::EVALUATED;
+
+    let cells: Vec<(WorkloadKind, Strategy)> = WorkloadKind::EVALUATED
+        .into_iter()
+        .flat_map(|k| strategies.into_iter().map(move |s| (k, s)))
+        .collect();
+    let results = run_cells("fig9", opts.jobs, &cells, |&(k, s)| {
+        run_workload(k, s, &opts.cfg)
+    });
+
     let mut rows = Vec::new();
     let mut sums = vec![0.0f64; strategies.len()];
-
-    for kind in WorkloadKind::EVALUATED {
+    for (ki, kind) in WorkloadKind::EVALUATED.into_iter().enumerate() {
         let mut row = vec![kind.label().to_string()];
-        for (si, s) in strategies.into_iter().enumerate() {
-            let r = run_workload(kind, s, &opts.cfg);
-            let hr = r.stats.l1_hit_rate();
+        for (si, _) in strategies.into_iter().enumerate() {
+            let hr = results[ki * strategies.len() + si].stats.l1_hit_rate();
             sums[si] += hr;
             row.push(format!("{:.1}%", hr * 100.0));
         }
@@ -34,7 +42,8 @@ fn main() {
 
     println!("\nFig. 9 — L1 hit rate per strategy");
     println!("paper AVG: CUDA 31%, Concord 31%, SharedOA 44%, COAL 47%, TypePointer 45%\n");
-    let headers: Vec<&str> =
-        std::iter::once("Workload").chain(strategies.iter().map(|s| s.label())).collect();
+    let headers: Vec<&str> = std::iter::once("Workload")
+        .chain(strategies.iter().map(|s| s.label()))
+        .collect();
     print_table(&headers, &rows);
 }

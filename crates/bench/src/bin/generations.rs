@@ -25,7 +25,10 @@ fn main() {
             let mut row = vec![format!("{} {}", kind.label(), name)];
             for s in [Strategy::Cuda, Strategy::Coal, Strategy::TypePointerProto] {
                 let r = run_workload(kind, s, &cfg);
-                row.push(format!("{:.2}", base.stats.cycles as f64 / r.stats.cycles as f64));
+                row.push(format!(
+                    "{:.2}",
+                    base.stats.cycles as f64 / r.stats.cycles as f64
+                ));
             }
             rows.push(row);
         }

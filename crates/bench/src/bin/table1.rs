@@ -15,39 +15,59 @@
 
 use gvf_bench::cli::HarnessOpts;
 use gvf_bench::report::print_table;
+use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
 use gvf_sim::AccessTag;
 use gvf_workloads::{micro, MicroParams};
+
+const STRATEGIES: [Strategy; 3] = [Strategy::SharedOa, Strategy::Coal, Strategy::TypePointerHw];
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let mut cfg = opts.cfg;
     cfg.iterations = 1;
 
+    let cells: Vec<(MicroParams, Strategy)> =
+        [(16384usize, 2usize), (16384, 8), (65536, 2), (65536, 8)]
+            .into_iter()
+            .flat_map(|(n_objects, n_types)| {
+                STRATEGIES.map(|s| (MicroParams { n_objects, n_types }, s))
+            })
+            .collect();
+    let results = run_cells("table1", opts.jobs, &cells, |&(p, s)| {
+        micro::run(s, p, &cfg)
+    });
+
     let mut rows = Vec::new();
-    for (n_objects, n_types) in [(16384usize, 2usize), (16384, 8), (65536, 2), (65536, 8)] {
-        let params = MicroParams { n_objects, n_types };
-        for s in [Strategy::SharedOa, Strategy::Coal, Strategy::TypePointerHw] {
-            let r = micro::run(s, params, &cfg);
-            let calls = r.stats.vfunc_calls.max(1) as f64;
-            let a = r.stats.load_transactions(AccessTag::VtablePtr) as f64 / calls;
-            let walk = r.stats.load_transactions(AccessTag::RangeWalk) as f64 / calls;
-            let b = r.stats.load_transactions(AccessTag::VfuncPtr) as f64 / calls;
-            rows.push(vec![
-                format!("{}k objs, {} types", n_objects / 1024, n_types),
-                s.label().to_string(),
-                format!("{a:.1}"),
-                format!("{walk:.1}"),
-                format!("{b:.1}"),
-            ]);
-        }
+    for (&(params, s), r) in cells.iter().zip(&results) {
+        let calls = r.stats.vfunc_calls.max(1) as f64;
+        let a = r.stats.load_transactions(AccessTag::VtablePtr) as f64 / calls;
+        let walk = r.stats.load_transactions(AccessTag::RangeWalk) as f64 / calls;
+        let b = r.stats.load_transactions(AccessTag::VfuncPtr) as f64 / calls;
+        rows.push(vec![
+            format!(
+                "{}k objs, {} types",
+                params.n_objects / 1024,
+                params.n_types
+            ),
+            s.label().to_string(),
+            format!("{a:.1}"),
+            format!("{walk:.1}"),
+            format!("{b:.1}"),
+        ]);
     }
 
     println!("\nTable 1 — measured 32B transactions per virtual call");
     println!("CUDA-style A grows with objects-per-warp; COAL replaces it with a");
     println!("small converged walk; TypePointer eliminates it entirely.\n");
     print_table(
-        &["Configuration", "Strategy", "A: vTable* tx", "walk tx", "B: vFunc* tx"],
+        &[
+            "Configuration",
+            "Strategy",
+            "A: vTable* tx",
+            "walk tx",
+            "B: vFunc* tx",
+        ],
         &rows,
     );
 }

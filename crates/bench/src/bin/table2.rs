@@ -8,14 +8,19 @@
 
 use gvf_bench::cli::HarnessOpts;
 use gvf_bench::report::print_table;
+use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
 use gvf_workloads::{run_workload, WorkloadKind};
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let cells: Vec<WorkloadKind> = WorkloadKind::EVALUATED.to_vec();
+    let results = run_cells("table2", opts.jobs, &cells, |&k| {
+        run_workload(k, Strategy::SharedOa, &opts.cfg)
+    });
+
     let mut rows = Vec::new();
-    for kind in WorkloadKind::EVALUATED {
-        let r = run_workload(kind, Strategy::SharedOa, &opts.cfg);
+    for (kind, r) in cells.iter().zip(&results) {
         rows.push(vec![
             format!("{} {}", kind.suite(), kind.label()),
             format!("{}", r.table2.objects),
@@ -24,7 +29,13 @@ fn main() {
             format!("{:.1}", r.table2.vfunc_pki),
         ]);
     }
-    println!("\nTable 2 — workload characteristics (at --scale {})", opts.cfg.scale);
+    println!(
+        "\nTable 2 — workload characteristics (at --scale {})",
+        opts.cfg.scale
+    );
     println!("paper: 0.5-5.6M objects, 3-6 types, 3-74 vFuncs, vFuncPKI 15-54\n");
-    print_table(&["Workload", "# Objects", "# Types", "# vFuncs", "vFuncPKI"], &rows);
+    print_table(
+        &["Workload", "# Objects", "# Types", "# vFuncs", "vFuncPKI"],
+        &rows,
+    );
 }

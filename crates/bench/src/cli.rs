@@ -2,47 +2,91 @@
 
 use gvf_workloads::WorkloadConfig;
 
-/// Common harness options: `--scale N`, `--iters N`, `--seed N`.
+/// Common harness options: `--scale N`, `--iters N`, `--seed N`,
+/// `--jobs N`, `--engine-threads N`, `--smoke`.
 #[derive(Clone, Debug)]
 pub struct HarnessOpts {
     /// Workload configuration assembled from the flags.
     pub cfg: WorkloadConfig,
+    /// Concurrent (workload × strategy) simulations (`--jobs`, default
+    /// 1; `0` = all cores). Feeds [`gvf_sim::SimPool`]; results are
+    /// bit-identical for any value.
+    pub jobs: usize,
+    /// CI smoke mode (`--smoke`): shrink to the test-sized config so
+    /// the binary finishes in seconds while still exercising the full
+    /// pipeline.
+    pub smoke: bool,
+}
+
+/// Prints a usage error and exits with status 2.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg} (try --help)");
+    std::process::exit(2);
 }
 
 impl HarnessOpts {
     /// Parses `std::env::args`, starting from the evaluation defaults.
-    ///
-    /// # Panics
-    /// Panics with a usage message on malformed flags.
+    /// Exits with status 2 and a usage message on malformed flags.
     pub fn from_args() -> Self {
         let mut cfg = WorkloadConfig::eval();
+        let mut jobs = 1usize;
+        let mut smoke = false;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
             let need = |i: usize| {
                 args.get(i + 1)
-                    .unwrap_or_else(|| panic!("flag {} needs a value", args[i]))
+                    .unwrap_or_else(|| usage_error(&format!("flag {} needs a value", args[i])))
+            };
+            let int = |i: usize, what: &str| -> usize {
+                need(i)
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("{what} takes an integer")))
             };
             match args[i].as_str() {
                 "--scale" => {
-                    cfg.scale = need(i).parse().expect("--scale takes an integer");
+                    cfg.scale = int(i, "--scale") as u32;
                     i += 2;
                 }
                 "--iters" => {
-                    cfg.iterations = need(i).parse().expect("--iters takes an integer");
+                    cfg.iterations = int(i, "--iters") as u32;
                     i += 2;
                 }
                 "--seed" => {
-                    cfg.seed = need(i).parse().expect("--seed takes an integer");
+                    cfg.seed = int(i, "--seed") as u64;
                     i += 2;
                 }
+                "--jobs" => {
+                    jobs = int(i, "--jobs (0 = all cores)");
+                    i += 2;
+                }
+                "--engine-threads" => {
+                    cfg.engine_threads = int(i, "--engine-threads (0 = auto)");
+                    i += 2;
+                }
+                "--smoke" => {
+                    smoke = true;
+                    i += 1;
+                }
                 "--help" | "-h" => {
-                    println!("options: --scale N (default 8)  --iters N  --seed N");
+                    println!(
+                        "options: --scale N (default 8)  --iters N  --seed N  \
+                         --jobs N (0 = all cores)  --engine-threads N (0 = auto)  --smoke"
+                    );
                     std::process::exit(0);
                 }
-                other => panic!("unknown flag {other} (try --help)"),
+                other => usage_error(&format!("unknown flag {other}")),
             }
         }
-        HarnessOpts { cfg }
+        if smoke {
+            // Keep the smoke config derived from tiny() in one place so
+            // CI and local `--smoke` runs agree.
+            let seed = cfg.seed;
+            let engine_threads = cfg.engine_threads;
+            cfg = WorkloadConfig::tiny();
+            cfg.seed = seed;
+            cfg.engine_threads = engine_threads;
+        }
+        HarnessOpts { cfg, jobs, smoke }
     }
 }

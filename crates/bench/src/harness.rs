@@ -1,0 +1,243 @@
+//! A minimal, zero-dependency stand-in for the slice of the Criterion
+//! API the benches use (`cargo bench` harnesses must still work from a
+//! cold checkout with no registry access).
+//!
+//! Semantics: each benchmark warms up once, then runs adaptively-sized
+//! batches until it has a stable per-iteration time, and prints
+//! `name/id  <ns>/iter`. Under `cargo test` (which builds bench targets
+//! with `--test`) every benchmark runs exactly once, as Criterion does,
+//! so the suite stays fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver; one per process, threaded through the
+/// `criterion_group!`-generated functions.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments. Like Criterion, the
+    /// harness only measures when invoked by `cargo bench` (which
+    /// passes `--bench`); under `cargo test` each benchmark runs once
+    /// as a smoke test. Other arguments are ignored.
+    pub fn from_args() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            test_mode: !bench_mode,
+        }
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            test_mode: self.test_mode,
+            name: name.into(),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Throughput annotation: when set, results include an elements/second
+/// rate alongside ns/iter.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    test_mode: bool,
+    name: String,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for Criterion compatibility; the adaptive timer ignores
+    /// it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput annotation for subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs `f` as the benchmark body for `id`.
+    pub fn bench_function(&mut self, id: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(&self.name, &id.to_string(), self.throughput);
+    }
+
+    /// Runs `f` with `input` as the benchmark body for `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        b.report(&self.name, &id.to_string(), self.throughput);
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Hands the benchmark body a timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    total: Duration,
+    iters: u64,
+}
+
+/// Wall-clock budget per benchmark once warm (adaptive batching stops
+/// after this much measured time).
+const TARGET_TIME: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    /// Times `f`, adaptively choosing the iteration count.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.iters = 1;
+            self.total = Duration::from_nanos(1);
+            return;
+        }
+        std::hint::black_box(f()); // warmup, untimed
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.total += start.elapsed();
+            self.iters += batch;
+            if self.total >= TARGET_TIME {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            return;
+        }
+        let ns = self.total.as_nanos() as f64 / self.iters as f64;
+        let mut line = format!("{group}/{id}: {ns:>14.0} ns/iter ({} iters)", self.iters);
+        if let (Some(Throughput::Elements(n)), false) = (throughput, self.test_mode) {
+            let rate = n as f64 / (ns * 1e-9);
+            line.push_str(&format!(", {rate:.3e} elem/s"));
+        }
+        println!("{line}");
+    }
+}
+
+/// Groups bench functions under one driver entry point, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $($f(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher {
+            test_mode: false,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert!(b.iters >= 1);
+        assert!(n >= b.iters); // warmup adds at least one extra call
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(n, 1);
+        assert_eq!(b.iters, 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -3,7 +3,11 @@
 //! One binary per table and figure of the paper's evaluation; see
 //! `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md` for
 //! paper-vs-measured results. The library part hosts shared report
-//! formatting used by the binaries and the Criterion benches.
+//! formatting used by the binaries plus [`harness`], the in-repo
+//! micro-benchmark driver the `benches/` targets run on (the workspace
+//! builds offline, so Criterion is not a dependency).
 
 pub mod cli;
+pub mod harness;
 pub mod report;
+pub mod sweep;

@@ -1,0 +1,32 @@
+//! Pooled execution of a figure's simulation grid.
+//!
+//! Every figure binary boils down to a grid of independent cells
+//! (workload × strategy × knob). [`run_cells`] pushes the grid through a
+//! [`SimPool`] and returns the results in grid order, so the reporting
+//! code stays a plain in-order loop and the output is byte-identical
+//! for any `--jobs` value.
+
+use gvf_sim::SimPool;
+use std::time::Instant;
+
+/// Runs `f` over `cells` on `jobs` threads (`0` = all cores), returning
+/// results in input order. Prints a wall-clock line to stderr so stdout
+/// stays a clean report.
+pub fn run_cells<I, T, F>(label: &str, jobs: usize, cells: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let pool = SimPool::new(jobs);
+    let start = Instant::now();
+    let out = pool.run(cells, f);
+    eprintln!(
+        "[{label}] {} simulations in {:.2}s ({} job{})",
+        cells.len(),
+        start.elapsed().as_secs_f64(),
+        pool.jobs(),
+        if pool.jobs() == 1 { "" } else { "s" },
+    );
+    out
+}

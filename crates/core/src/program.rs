@@ -74,7 +74,11 @@ pub struct CallSite {
 impl CallSite {
     /// A site invoking `slot` with no static knowledge.
     pub fn new(slot: usize) -> Self {
-        CallSite { slot, candidates: None, statically_converged: false }
+        CallSite {
+            slot,
+            candidates: None,
+            statically_converged: false,
+        }
     }
 
     /// Restricts the candidate types (class-hierarchy analysis).
@@ -246,7 +250,8 @@ impl DeviceProgram {
     /// index.
     pub fn begin_kernel(&mut self, mem: &mut DeviceMemory) -> usize {
         let k = self.const_tables.len();
-        self.const_tables.push(materialize_const_table(mem, &self.registry, k));
+        self.const_tables
+            .push(materialize_const_table(mem, &self.registry, k));
         self.current_kernel = k;
         k
     }
@@ -343,8 +348,10 @@ impl DeviceProgram {
             Strategy::Branch => {}
             _ => {
                 // sharedNew layout: CPU vptr then GPU vptr (§4).
-                mem.write_u64(p, CPU_VTABLE_MARK + t.0 as u64).expect("cpu vptr write");
-                mem.write_ptr(p.offset(8), self.vtable_addr(t)).expect("gpu vptr write");
+                mem.write_u64(p, CPU_VTABLE_MARK + t.0 as u64)
+                    .expect("cpu vptr write");
+                mem.write_ptr(p.offset(8), self.vtable_addr(t))
+                    .expect("gpu vptr write");
             }
         }
         if self.strategy.uses_tagged_pointers() {
@@ -587,11 +594,9 @@ impl DeviceProgram {
                 });
                 ctx.with_mask(fallback, |ctx| {
                     // Classic sequence through the sharedNew GPU vptr.
-                    let vaddr =
-                        lanes_from_fn(|i| objs[i].map(|o| o.strip_tag().offset(8)));
+                    let vaddr = lanes_from_fn(|i| objs[i].map(|o| o.strip_tag().offset(8)));
                     let vptrs = ctx.ld_ptr(AccessTag::VtablePtr, &vaddr);
-                    let slot_addrs =
-                        lanes_from_fn(|i| vptrs[i].map(|v| v.offset(slot as u64 * 8)));
+                    let slot_addrs = lanes_from_fn(|i| vptrs[i].map(|v| v.offset(slot as u64 * 8)));
                     let part = self.load_and_decode(ctx, &slot_addrs);
                     for i in 0..WARP_SIZE {
                         if part[i].is_some() {
@@ -614,8 +619,7 @@ impl DeviceProgram {
                         .expect("finalize_ranges must run before COAL dispatch")
                         .emit_scan(ctx, objs),
                 };
-                let slot_addrs =
-                    lanes_from_fn(|i| vptrs[i].map(|v| v.offset(slot as u64 * 8)));
+                let slot_addrs = lanes_from_fn(|i| vptrs[i].map(|v| v.offset(slot as u64 * 8)));
                 let fids = self.load_and_decode(ctx, &slot_addrs);
                 self.indirect_groups(ctx, &fids, &mut body);
             }
@@ -629,8 +633,7 @@ impl DeviceProgram {
                     .expect("vptr offset");
                 let vaddr = lanes_from_fn(|i| objs[i].map(|o| o.strip_tag().offset(voff)));
                 let vptrs = ctx.ld_ptr(AccessTag::VtablePtr, &vaddr);
-                let slot_addrs =
-                    lanes_from_fn(|i| vptrs[i].map(|v| v.offset(slot as u64 * 8)));
+                let slot_addrs = lanes_from_fn(|i| vptrs[i].map(|v| v.offset(slot as u64 * 8)));
                 let fids = self.load_and_decode(ctx, &slot_addrs);
                 self.indirect_groups(ctx, &fids, &mut body);
             }
@@ -707,7 +710,10 @@ impl DeviceProgram {
                 remaining &= !m;
             }
         }
-        assert_eq!(remaining, 0, "Concord switch missed a type (bad candidate set)");
+        assert_eq!(
+            remaining, 0,
+            "Concord switch missed a type (bad candidate set)"
+        );
     }
 
     /// The BRANCH microbenchmark dispatch (§8.3): per-lane types live in
@@ -763,7 +769,10 @@ fn materialize_const_table(
     registry: &TypeRegistry,
     kernel: usize,
 ) -> VirtAddr {
-    let total_slots: u64 = registry.type_ids().map(|t| registry.num_slots(t) as u64).sum();
+    let total_slots: u64 = registry
+        .type_ids()
+        .map(|t| registry.num_slots(t) as u64)
+        .sum();
     let base = mem.reserve(total_slots * 8, 256);
     let mut g = 0u64;
     for t in registry.type_ids() {
@@ -780,9 +789,7 @@ fn materialize_const_table(
 /// Synthetic instruction-memory address of a function body inside
 /// `kernel`'s embedded code.
 fn code_addr(fid: FuncId, kernel: usize) -> VirtAddr {
-    VirtAddr::new(
-        CODE_BASE + ((kernel as u64) << CODE_KERNEL_SHIFT) + fid.0 as u64 * CODE_STRIDE,
-    )
+    VirtAddr::new(CODE_BASE + ((kernel as u64) << CODE_KERNEL_SHIFT) + fid.0 as u64 * CODE_STRIDE)
 }
 
 /// Inverse of [`code_addr`], ignoring which kernel's copy was called.

@@ -55,7 +55,12 @@ impl SegmentTree {
         let mut sorted = ranges.to_vec();
         sorted.sort_by_key(|r| r.lo);
         for w in sorted.windows(2) {
-            assert!(w[0].hi <= w[1].lo, "overlapping ranges {:?} / {:?}", w[0], w[1]);
+            assert!(
+                w[0].hi <= w[1].lo,
+                "overlapping ranges {:?} / {:?}",
+                w[0],
+                w[1]
+            );
         }
 
         let leaf_count = sorted.len().next_power_of_two();
@@ -92,7 +97,8 @@ impl SegmentTree {
         for (i, n) in host_nodes.iter().enumerate() {
             let a = node_base.offset(i as u64 * Self::NODE_BYTES);
             for (j, v) in n.iter().enumerate() {
-                mem.write_u64(a.offset(j as u64 * 8), *v).expect("tree node write");
+                mem.write_u64(a.offset(j as u64 * 8), *v)
+                    .expect("tree node write");
             }
         }
         for (k, v) in host_leaves.iter().enumerate() {
@@ -193,7 +199,11 @@ impl SegmentTree {
         // Leaf fetch: the range's vTable pointer.
         let leaf_addrs = lanes_from_fn(|i| {
             (ctx.is_active(i) && objs[i].is_some()).then(|| {
-                let leaf = if self.internal_count == 0 { 0 } else { node[i] - self.internal_count };
+                let leaf = if self.internal_count == 0 {
+                    0
+                } else {
+                    node[i] - self.internal_count
+                };
                 self.leaf_base.offset(leaf as u64 * Self::LEAF_BYTES)
             })
         });
@@ -233,9 +243,13 @@ impl LinearRangeTable {
             let a = entry_base.offset(k as u64 * Self::ENTRY_BYTES);
             mem.write_u64(a, r.lo).expect("entry write");
             mem.write_u64(a.offset(8), r.hi).expect("entry write");
-            mem.write_u64(a.offset(16), r.vtable.raw()).expect("entry write");
+            mem.write_u64(a.offset(16), r.vtable.raw())
+                .expect("entry write");
         }
-        LinearRangeTable { entry_base, host_ranges: sorted }
+        LinearRangeTable {
+            entry_base,
+            host_ranges: sorted,
+        }
     }
 
     /// Host-side lookup.
@@ -267,7 +281,11 @@ impl LinearRangeTable {
             let a = self.entry_base.offset(k as u64 * Self::ENTRY_BYTES);
             let addrs = lanes_from_fn(|i| ((remaining >> i) & 1 == 1).then_some(a));
             ctx.ld(AccessTag::RangeWalk, 8, &addrs);
-            ctx.ld(AccessTag::RangeWalk, 8, &lanes_from_fn(|i| addrs[i].map(|x| x.offset(8))));
+            ctx.ld(
+                AccessTag::RangeWalk,
+                8,
+                &lanes_from_fn(|i| addrs[i].map(|x| x.offset(8))),
+            );
             ctx.alu(2);
             ctx.branch();
             for i in 0..WARP_SIZE {
@@ -293,9 +311,21 @@ mod tests {
 
     fn ranges() -> Vec<ResolvedRange> {
         vec![
-            ResolvedRange { lo: 0x1000, hi: 0x2000, vtable: VirtAddr::new(0xa0) },
-            ResolvedRange { lo: 0x3000, hi: 0x3800, vtable: VirtAddr::new(0xb0) },
-            ResolvedRange { lo: 0x5000, hi: 0x9000, vtable: VirtAddr::new(0xc0) },
+            ResolvedRange {
+                lo: 0x1000,
+                hi: 0x2000,
+                vtable: VirtAddr::new(0xa0),
+            },
+            ResolvedRange {
+                lo: 0x3000,
+                hi: 0x3800,
+                vtable: VirtAddr::new(0xb0),
+            },
+            ResolvedRange {
+                lo: 0x5000,
+                hi: 0x9000,
+                vtable: VirtAddr::new(0xc0),
+            },
         ]
     }
 
@@ -314,7 +344,11 @@ mod tests {
     #[test]
     fn single_range_tree() {
         let mut mem = DeviceMemory::with_capacity(1 << 20);
-        let only = vec![ResolvedRange { lo: 0x100, hi: 0x200, vtable: VirtAddr::new(0x42) }];
+        let only = vec![ResolvedRange {
+            lo: 0x100,
+            hi: 0x200,
+            vtable: VirtAddr::new(0x42),
+        }];
         let t = SegmentTree::build(&mut mem, &only);
         assert_eq!(t.depth(), 0);
         assert_eq!(t.lookup(VirtAddr::new(0x150)), Some(VirtAddr::new(0x42)));
@@ -340,8 +374,9 @@ mod tests {
     fn emitted_walk_matches_host_lookup() {
         let mut mem = DeviceMemory::with_capacity(1 << 20);
         let t = SegmentTree::build(&mut mem, &ranges());
-        let probe: Vec<u64> =
-            (0..32).map(|i| [0x1100, 0x3100, 0x5100, 0x1e00][i % 4] + (i as u64) * 8).collect();
+        let probe: Vec<u64> = (0..32)
+            .map(|i| [0x1100, 0x3100, 0x5100, 0x1e00][i % 4] + (i as u64) * 8)
+            .collect();
         let expected: Vec<Option<VirtAddr>> =
             probe.iter().map(|&a| t.lookup(VirtAddr::new(a))).collect();
         assert!(expected.iter().all(|e| e.is_some()));
@@ -382,8 +417,16 @@ mod tests {
     fn overlapping_ranges_rejected() {
         let mut mem = DeviceMemory::with_capacity(1 << 20);
         let bad = vec![
-            ResolvedRange { lo: 0x1000, hi: 0x2000, vtable: VirtAddr::new(1) },
-            ResolvedRange { lo: 0x1800, hi: 0x2800, vtable: VirtAddr::new(2) },
+            ResolvedRange {
+                lo: 0x1000,
+                hi: 0x2000,
+                vtable: VirtAddr::new(1),
+            },
+            ResolvedRange {
+                lo: 0x1800,
+                hi: 0x2800,
+                vtable: VirtAddr::new(2),
+            },
         ];
         SegmentTree::build(&mut mem, &bad);
     }
@@ -394,7 +437,11 @@ mod tests {
         let t = SegmentTree::build(&mut mem, &ranges());
         let l = LinearRangeTable::build(&mut mem, &ranges());
         for a in [0x1000u64, 0x1abc, 0x3400, 0x37ff, 0x5000, 0x8123] {
-            assert_eq!(t.lookup(VirtAddr::new(a)), l.lookup(VirtAddr::new(a)), "{a:#x}");
+            assert_eq!(
+                t.lookup(VirtAddr::new(a)),
+                l.lookup(VirtAddr::new(a)),
+                "{a:#x}"
+            );
         }
         run_kernel(&mut mem, 32, |w| {
             let objs = lanes_from_fn(|i| Some(VirtAddr::new(0x5000 + i as u64 * 16)));

@@ -168,9 +168,15 @@ mod tests {
     fn default_allocators() {
         assert_eq!(Strategy::Cuda.default_allocator(), AllocatorKind::Cuda);
         assert_eq!(Strategy::Concord.default_allocator(), AllocatorKind::Cuda);
-        assert_eq!(Strategy::SharedOa.default_allocator(), AllocatorKind::SharedOa);
+        assert_eq!(
+            Strategy::SharedOa.default_allocator(),
+            AllocatorKind::SharedOa
+        );
         assert_eq!(Strategy::Coal.default_allocator(), AllocatorKind::SharedOa);
-        assert_eq!(Strategy::TypePointerHw.default_allocator(), AllocatorKind::SharedOa);
+        assert_eq!(
+            Strategy::TypePointerHw.default_allocator(),
+            AllocatorKind::SharedOa
+        );
     }
 
     #[test]
@@ -188,7 +194,10 @@ mod tests {
         for s in Strategy::ALL {
             assert_eq!(s.label().parse::<Strategy>().unwrap(), s);
         }
-        assert_eq!("tp".parse::<Strategy>().unwrap(), Strategy::TypePointerProto);
+        assert_eq!(
+            "tp".parse::<Strategy>().unwrap(),
+            Strategy::TypePointerProto
+        );
         assert_eq!("coal".parse::<Strategy>().unwrap(), Strategy::Coal);
         assert!("warp-drive".parse::<Strategy>().is_err());
     }

@@ -1,6 +1,7 @@
 //! Property tests for the dispatch core: the segment tree agrees with a
 //! linear reference on arbitrary disjoint range sets, and every dispatch
-//! strategy resolves arbitrary type assignments identically.
+//! strategy resolves arbitrary type assignments identically (on the
+//! in-repo `gvf-prop` harness; the workspace builds offline).
 
 use gvf_alloc::SharedOa;
 use gvf_core::{
@@ -8,46 +9,53 @@ use gvf_core::{
     Strategy as Dispatch, TypeRegistry,
 };
 use gvf_mem::{DeviceMemory, VirtAddr};
+use gvf_prop::{gen, props, Rng};
 use gvf_sim::{lanes_from_fn, run_kernel};
-use proptest::prelude::*;
 
 /// Arbitrary disjoint, sorted ranges built from positive gaps/lengths.
-fn disjoint_ranges() -> impl Strategy<Value = Vec<ResolvedRange>> {
-    proptest::collection::vec((1u64..5000, 64u64..5000), 1..24).prop_map(|parts| {
-        let mut out = Vec::new();
-        let mut cursor = 0x1000u64;
-        for (k, (gap, len)) in parts.into_iter().enumerate() {
-            let lo = cursor + gap;
-            out.push(ResolvedRange {
-                lo,
-                hi: lo + len,
-                vtable: VirtAddr::new(0x10_000 + k as u64 * 8),
-            });
-            cursor = lo + len;
-        }
-        out
-    })
+fn disjoint_ranges(rng: &mut Rng) -> Vec<ResolvedRange> {
+    let parts: Vec<(u64, u64)> = gen::vec(
+        |r: &mut Rng| (r.range_u64(1, 5000), r.range_u64(64, 5000)),
+        1..24,
+    )(rng);
+    let mut out = Vec::new();
+    let mut cursor = 0x1000u64;
+    for (k, (gap, len)) in parts.into_iter().enumerate() {
+        let lo = cursor + gap;
+        out.push(ResolvedRange {
+            lo,
+            hi: lo + len,
+            vtable: VirtAddr::new(0x10_000 + k as u64 * 8),
+        });
+        cursor = lo + len;
+    }
+    out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Tree lookup == linear lookup for arbitrary probes.
-    #[test]
-    fn tree_matches_linear(ranges in disjoint_ranges(), probes in proptest::collection::vec(0u64..60_000, 32)) {
+/// Tree lookup == linear lookup for arbitrary probes.
+#[test]
+fn tree_matches_linear() {
+    props!(48, |rng| {
+        let ranges = disjoint_ranges(rng);
+        let probes = gen::vec(gen::range_u64(0, 60_000), 32..33)(rng);
         let mut mem = DeviceMemory::with_capacity(1 << 22);
         let tree = SegmentTree::build(&mut mem, &ranges);
         let linear = LinearRangeTable::build(&mut mem, &ranges);
         for p in probes {
             let a = VirtAddr::new(p + 0x1000);
-            prop_assert_eq!(tree.lookup(a), linear.lookup(a), "probe {:#x}", p);
+            assert_eq!(tree.lookup(a), linear.lookup(a), "probe {p:#x}");
         }
-    }
+    });
+}
 
-    /// The emitted device walk agrees with the host lookup for in-range
-    /// probes.
-    #[test]
-    fn device_walk_matches_host(ranges in disjoint_ranges(), picks in proptest::collection::vec((0usize..24, 0u64..u64::MAX), 32)) {
+/// The emitted device walk agrees with the host lookup for in-range
+/// probes.
+#[test]
+fn device_walk_matches_host() {
+    props!(48, |rng| {
+        let ranges = disjoint_ranges(rng);
+        let picks: Vec<(usize, u64)> =
+            gen::vec(|r: &mut Rng| (r.range_usize(0, 24), r.next_u64()), 32..33)(rng);
         let mut mem = DeviceMemory::with_capacity(1 << 22);
         let tree = SegmentTree::build(&mut mem, &ranges);
         let probes: Vec<VirtAddr> = picks
@@ -64,20 +72,25 @@ proptest! {
             got_all.copy_from_slice(&got[..32]);
         });
         for l in 0..32 {
-            prop_assert_eq!(got_all[l], tree.lookup(probes[l]), "lane {}", l);
+            assert_eq!(got_all[l], tree.lookup(probes[l]), "lane {l}");
         }
-    }
+    });
+}
 
-    /// All object-based strategies dispatch arbitrary type sequences to
-    /// the same callees.
-    #[test]
-    fn strategies_agree_on_arbitrary_hierarchies(
-        n_types in 1usize..8,
-        assignment in proptest::collection::vec(0u32..8, 32..128),
-    ) {
+/// All object-based strategies dispatch arbitrary type sequences to the
+/// same callees.
+#[test]
+fn strategies_agree_on_arbitrary_hierarchies() {
+    props!(48, |rng| {
+        let n_types = rng.range_usize(1, 8);
+        let assignment = gen::vec(gen::range_u32(0, 8), 32..128)(rng);
         let mut reg = TypeRegistry::new();
         for t in 0..n_types {
-            reg.add_type(&format!("T{t}"), 8 + t as u64 * 8, &[FuncId(100 + t as u32)]);
+            reg.add_type(
+                &format!("T{t}"),
+                8 + t as u64 * 8,
+                &[FuncId(100 + t as u32)],
+            );
         }
         let resolve = |strategy: Dispatch| -> Vec<u32> {
             let mut mem = DeviceMemory::with_capacity(1 << 24);
@@ -86,7 +99,9 @@ proptest! {
             prog.register_types(&mut alloc);
             let objs: Vec<_> = assignment
                 .iter()
-                .map(|&t| prog.construct(&mut mem, &mut alloc, gvf_core::TypeId(t % n_types as u32)))
+                .map(|&t| {
+                    prog.construct(&mut mem, &mut alloc, gvf_core::TypeId(t % n_types as u32))
+                })
                 .collect();
             prog.finalize_ranges(&mut mem, &alloc);
             let mut out = vec![0u32; objs.len()];
@@ -101,8 +116,13 @@ proptest! {
             out
         };
         let reference = resolve(Dispatch::SharedOa);
-        for s in [Dispatch::Concord, Dispatch::Coal, Dispatch::TypePointerProto, Dispatch::TypePointerHw] {
-            prop_assert_eq!(resolve(s), reference.clone(), "{} diverged", s);
+        for s in [
+            Dispatch::Concord,
+            Dispatch::Coal,
+            Dispatch::TypePointerProto,
+            Dispatch::TypePointerHw,
+        ] {
+            assert_eq!(resolve(s), reference, "{s} diverged");
         }
-    }
+    });
 }

@@ -136,8 +136,15 @@ fn coal_heuristic_skips_converged_sites() {
         });
     });
     let stats = Gpu::new(GpuConfig::small()).execute(&kernel);
-    assert!(stats.stall(AccessTag::VtablePtr) > 0, "fallback path reads the vptr");
-    assert_eq!(stats.stall(AccessTag::RangeWalk), 0, "no range walk at converged site");
+    assert!(
+        stats.stall(AccessTag::VtablePtr) > 0,
+        "fallback path reads the vptr"
+    );
+    assert_eq!(
+        stats.stall(AccessTag::RangeWalk),
+        0,
+        "no range walk at converged site"
+    );
 }
 
 #[test]
@@ -148,12 +155,16 @@ fn typepointer_works_on_cuda_allocator() {
     let prog = DeviceProgram::new(&mut mem, &reg, Strategy::TypePointerHw);
     let mut alloc = CudaHeapAllocator::new();
     prog.register_types(&mut alloc);
-    let objs: Vec<_> = (0..64).map(|i| prog.construct(&mut mem, &mut alloc, tys[i % 3])).collect();
+    let objs: Vec<_> = (0..64)
+        .map(|i| prog.construct(&mut mem, &mut alloc, tys[i % 3]))
+        .collect();
 
     let mut calls = 0u32;
     run_kernel(&mut mem, 64, |w| {
         let ptrs = lanes_from_fn(|l| objs.get(w.thread_id(l)).copied());
-        prog.vcall(w, &CallSite::new(0), &ptrs, |w, _| calls += w.mask().count_ones());
+        prog.vcall(w, &CallSite::new(0), &ptrs, |w, _| {
+            calls += w.mask().count_ones()
+        });
     });
     assert_eq!(calls, 64);
 }
@@ -163,12 +174,12 @@ fn tag_modes_agree() {
     let (reg, tys) = registry();
     for mode in [TagMode::Offset, TagMode::Index] {
         let mut mem = DeviceMemory::with_capacity(64 << 20);
-        let prog =
-            DeviceProgram::with_tag_mode(&mut mem, &reg, Strategy::TypePointerHw, mode);
+        let prog = DeviceProgram::with_tag_mode(&mut mem, &reg, Strategy::TypePointerHw, mode);
         let mut alloc = SharedOa::new();
         prog.register_types(&mut alloc);
-        let objs: Vec<_> =
-            (0..96).map(|i| prog.construct(&mut mem, &mut alloc, tys[i % 3])).collect();
+        let objs: Vec<_> = (0..96)
+            .map(|i| prog.construct(&mut mem, &mut alloc, tys[i % 3]))
+            .collect();
         let mut log = Vec::new();
         run_kernel(&mut mem, 96, |w| {
             let ptrs = lanes_from_fn(|l| objs.get(w.thread_id(l)).copied());
@@ -221,8 +232,9 @@ fn proto_member_access_pays_masking_alu() {
         let prog = DeviceProgram::new(&mut mem, &reg, strategy);
         let mut alloc = SharedOa::new();
         prog.register_types(&mut alloc);
-        let objs: Vec<_> =
-            (0..32).map(|_| prog.construct(&mut mem, &mut alloc, tys[0])).collect();
+        let objs: Vec<_> = (0..32)
+            .map(|_| prog.construct(&mut mem, &mut alloc, tys[0]))
+            .collect();
         let k = run_kernel(&mut mem, 32, |w| {
             let ptrs = lanes_from_fn(|l| objs.get(w.thread_id(l)).copied());
             prog.ld_field(w, &ptrs, 0, 8);
@@ -255,7 +267,10 @@ fn branch_call_dispatches_by_register_type() {
     assert_eq!(hits.iter().sum::<u32>(), 64);
     assert!(hits.iter().all(|&h| h >= 21));
     let stats = Gpu::new(GpuConfig::small()).execute(&kernel);
-    assert_eq!(stats.global_load_transactions, 0, "BRANCH touches no memory");
+    assert_eq!(
+        stats.global_load_transactions, 0,
+        "BRANCH touches no memory"
+    );
 }
 
 #[test]
@@ -263,8 +278,9 @@ fn tag_budget_fallback_mixes_paths_correctly() {
     // Six single-slot types = 48 bytes of vTables; a 24-byte budget tags
     // the first three and sends the rest down the classic path (§6.1).
     let mut reg = TypeRegistry::new();
-    let tys: Vec<_> =
-        (0..6).map(|t| reg.add_type(&format!("T{t}"), 16, &[FuncId(50 + t)])).collect();
+    let tys: Vec<_> = (0..6)
+        .map(|t| reg.add_type(&format!("T{t}"), 16, &[FuncId(50 + t)]))
+        .collect();
     let mut mem = gvf_mem::DeviceMemory::with_capacity(64 << 20);
     let prog = DeviceProgram::with_tag_budget(
         &mut mem,
@@ -275,8 +291,9 @@ fn tag_budget_fallback_mixes_paths_correctly() {
     );
     let mut alloc = SharedOa::new();
     prog.register_types(&mut alloc);
-    let objs: Vec<_> =
-        (0..192).map(|i| prog.construct(&mut mem, &mut alloc, tys[i % 6])).collect();
+    let objs: Vec<_> = (0..192)
+        .map(|i| prog.construct(&mut mem, &mut alloc, tys[i % 6]))
+        .collect();
 
     // Tag assignment: first three types fit, the rest carry NO_TAG.
     for (i, &t) in tys.iter().enumerate() {
@@ -286,7 +303,11 @@ fn tag_budget_fallback_mixes_paths_correctly() {
             assert_eq!(prog.type_tag(t), gvf_core::NO_TAG);
         }
         let obj = prog.construct(&mut mem, &mut alloc, t);
-        assert_eq!(prog.type_of(&mut mem, obj), Some(t), "type_of through both paths");
+        assert_eq!(
+            prog.type_of(&mut mem, obj),
+            Some(t),
+            "type_of through both paths"
+        );
     }
 
     let mut log = vec![0u32; objs.len()];
@@ -304,7 +325,10 @@ fn tag_budget_fallback_mixes_paths_correctly() {
     // The fallback lanes read embedded vTable pointers; the tagged lanes
     // did not.
     let stats = Gpu::new(GpuConfig::small()).execute(&kernel);
-    assert!(stats.stall(AccessTag::VtablePtr) > 0, "fallback path must load vptrs");
+    assert!(
+        stats.stall(AccessTag::VtablePtr) > 0,
+        "fallback path must load vptrs"
+    );
 }
 
 #[test]
@@ -312,8 +336,9 @@ fn concord_code_size_grows_with_candidates() {
     // §8.1: Concord trades code size for dispatch speed — the switch
     // duplicates the body per candidate arm.
     let mut reg = TypeRegistry::new();
-    let tys: Vec<_> =
-        (0..8u32).map(|t| reg.add_type(&format!("T{t}"), 8, &[FuncId(t)])).collect();
+    let tys: Vec<_> = (0..8u32)
+        .map(|t| reg.add_type(&format!("T{t}"), 8, &[FuncId(t)]))
+        .collect();
     let mut mem = DeviceMemory::with_capacity(8 << 20);
     let concord = DeviceProgram::new(&mut mem, &reg, Strategy::Concord);
     let cuda = DeviceProgram::new(&mut mem, &reg, Strategy::Cuda);

@@ -29,7 +29,7 @@ fn clobbered_tag_bits_dispatch_wrong_function() {
     let (mut mem, prog, _alloc, objs) = setup(Strategy::TypePointerHw);
     let a_obj = objs[0]; // type A, FuncId(1)
     let b_obj = objs[1]; // type B
-    // "Undefined behaviour in C": copy B's tag onto A's pointer.
+                         // "Undefined behaviour in C": copy B's tag onto A's pointer.
     let forged = a_obj.strip_tag().with_tag(b_obj.tag());
 
     let mut called = None;
@@ -37,7 +37,11 @@ fn clobbered_tag_bits_dispatch_wrong_function() {
         let ptrs = lanes_from_fn(|l| (l == 0).then_some(forged));
         prog.vcall(w, &CallSite::new(0), &ptrs, |_, fid| called = Some(fid));
     });
-    assert_eq!(called, Some(FuncId(2)), "forged tag dispatches as type B — the §6.4 hazard");
+    assert_eq!(
+        called,
+        Some(FuncId(2)),
+        "forged tag dispatches as type B — the §6.4 hazard"
+    );
 }
 
 /// The same clobbering is *harmless* under COAL: the type comes from the
@@ -52,7 +56,11 @@ fn coal_is_immune_to_tag_clobbering() {
         let ptrs = lanes_from_fn(|l| (l == 0).then_some(forged));
         prog.vcall(w, &CallSite::new(0), &ptrs, |_, fid| called = Some(fid));
     });
-    assert_eq!(called, Some(FuncId(1)), "COAL keys on the address, not the tag");
+    assert_eq!(
+        called,
+        Some(FuncId(1)),
+        "COAL keys on the address, not the tag"
+    );
 }
 
 /// §6.4 case (3): an object from a TypePointer-unaware allocator carries
@@ -65,7 +73,10 @@ fn foreign_allocator_objects_mistype() {
     prog.register_types(&mut foreign);
     // Construct "by hand" through the unaware allocator: no tag.
     let raw = foreign.alloc(&mut mem, gvf_alloc::TypeKey(1)); // a B object
-    assert!(raw.is_canonical(), "unaware allocator returns untagged pointers");
+    assert!(
+        raw.is_canonical(),
+        "unaware allocator returns untagged pointers"
+    );
 
     let mut called = None;
     run_kernel(&mut mem, 1, |w| {
@@ -73,7 +84,11 @@ fn foreign_allocator_objects_mistype() {
         prog.vcall(w, &CallSite::new(0), &ptrs, |_, fid| called = Some(fid));
     });
     // Tag 0 = vTable offset 0 = type A: the B object quacks like an A.
-    assert_eq!(called, Some(FuncId(1)), "mixing allocators mistypes objects (§6.4)");
+    assert_eq!(
+        called,
+        Some(FuncId(1)),
+        "mixing allocators mistypes objects (§6.4)"
+    );
 }
 
 /// A strict MMU (no TypePointer hardware) faults the moment a tagged
@@ -85,7 +100,10 @@ fn strict_mmu_faults_on_tagged_dereference() {
     assert_eq!(mem.mmu().mode(), MmuMode::Strict);
     let tagged = objs[1];
     assert_ne!(tagged.tag(), 0);
-    assert!(mem.read_u64(tagged).is_err(), "raw dereference of a tagged pointer traps");
+    assert!(
+        mem.read_u64(tagged).is_err(),
+        "raw dereference of a tagged pointer traps"
+    );
     // The proto's masking (strip_tag) is exactly what avoids the trap.
     assert!(mem.read_u64(tagged.strip_tag()).is_ok());
 }

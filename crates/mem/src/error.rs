@@ -34,7 +34,10 @@ impl fmt::Display for MemFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemFault::NonCanonical { addr } => {
-                write!(f, "non-canonical virtual address {addr:#x} (tag bits set in strict mode)")
+                write!(
+                    f,
+                    "non-canonical virtual address {addr:#x} (tag bits set in strict mode)"
+                )
             }
             MemFault::Unmapped { addr } => write!(f, "access to unmapped page at {addr:#x}"),
             MemFault::OutOfRange { addr, len } => {

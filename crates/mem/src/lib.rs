@@ -32,9 +32,7 @@ mod memory;
 mod mmu;
 mod page;
 
-pub use addr::{
-    PhysAddr, VirtAddr, MAX_TAG, PAGE_SHIFT, PAGE_SIZE, TAG_BITS, VA_BITS, VA_MASK,
-};
+pub use addr::{PhysAddr, VirtAddr, MAX_TAG, PAGE_SHIFT, PAGE_SIZE, TAG_BITS, VA_BITS, VA_MASK};
 pub use error::{MemFault, MemResult};
 pub use memory::DeviceMemory;
 pub use mmu::{Mmu, MmuMode};

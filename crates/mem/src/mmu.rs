@@ -126,7 +126,9 @@ mod tests {
     fn ignore_mode_masks_tag() {
         let mut mmu = Mmu::new(1 << 20, MmuMode::IgnoreTagBits);
         let plain = mmu.translate(VirtAddr::new(0x1000)).unwrap();
-        let tagged = mmu.translate(VirtAddr::new(0x1000).with_tag(0x7fff)).unwrap();
+        let tagged = mmu
+            .translate(VirtAddr::new(0x1000).with_tag(0x7fff))
+            .unwrap();
         assert_eq!(plain, tagged);
     }
 

@@ -1,84 +1,98 @@
-//! Property tests for the memory substrate.
+//! Property tests for the memory substrate (on the in-repo `gvf-prop`
+//! harness; the workspace builds offline with no registry access).
 
 use gvf_mem::{DeviceMemory, MmuMode, PageTable, VirtAddr, MAX_TAG, PAGE_SIZE, VA_MASK};
-use proptest::prelude::*;
+use gvf_prop::{gen, props};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any canonical address + tag survives a with_tag/strip_tag trip.
-    #[test]
-    fn tag_roundtrip(addr in 0u64..=VA_MASK, tag in 0u16..=MAX_TAG) {
+/// Any canonical address + tag survives a with_tag/strip_tag trip.
+#[test]
+fn tag_roundtrip() {
+    props!(64, |rng| {
+        let addr = rng.range_u64(0, VA_MASK + 1);
+        let tag = rng.range_u64(0, MAX_TAG as u64 + 1) as u16;
         let a = VirtAddr::new(addr);
         let t = a.with_tag(tag);
-        prop_assert_eq!(t.tag(), tag);
-        prop_assert_eq!(t.canonical(), addr);
-        prop_assert_eq!(t.strip_tag(), a);
-    }
+        assert_eq!(t.tag(), tag);
+        assert_eq!(t.canonical(), addr);
+        assert_eq!(t.strip_tag(), a);
+    });
+}
 
-    /// Writes followed by reads return the data, for any offset/length
-    /// (including page-straddling accesses).
-    #[test]
-    fn write_read_roundtrip(
-        offset in 0u64..3 * PAGE_SIZE,
-        data in proptest::collection::vec(any::<u8>(), 1..256),
-    ) {
+/// Writes followed by reads return the data, for any offset/length
+/// (including page-straddling accesses).
+#[test]
+fn write_read_roundtrip() {
+    props!(64, |rng| {
+        let offset = rng.range_u64(0, 3 * PAGE_SIZE);
+        let data = gen::vec(gen::any_u8(), 1..256)(rng);
         let mut mem = DeviceMemory::with_capacity(1 << 22);
         let base = mem.reserve(4 * PAGE_SIZE, 8);
         let at = base.offset(offset);
         mem.write_bytes(at, &data).unwrap();
         let mut back = vec![0u8; data.len()];
         mem.read_bytes(at, &mut back).unwrap();
-        prop_assert_eq!(back, data);
-    }
+        assert_eq!(back, data);
+    });
+}
 
-    /// Disjoint writes do not interfere.
-    #[test]
-    fn disjoint_writes_independent(
-        a in 0u64..1000,
-        b in 2000u64..3000,
-        va in any::<u64>(),
-        vb in any::<u64>(),
-    ) {
+/// Disjoint writes do not interfere.
+#[test]
+fn disjoint_writes_independent() {
+    props!(64, |rng| {
+        let a = rng.range_u64(0, 1000);
+        let b = rng.range_u64(2000, 3000);
+        let va = rng.next_u64();
+        let vb = rng.next_u64();
         let mut mem = DeviceMemory::with_capacity(1 << 22);
         let base = mem.reserve(PAGE_SIZE, 8);
         mem.write_u64(base.offset(a), va).unwrap();
         mem.write_u64(base.offset(b), vb).unwrap();
-        prop_assert_eq!(mem.read_u64(base.offset(a)).unwrap(), va);
-        prop_assert_eq!(mem.read_u64(base.offset(b)).unwrap(), vb);
-    }
+        assert_eq!(mem.read_u64(base.offset(a)).unwrap(), va);
+        assert_eq!(mem.read_u64(base.offset(b)).unwrap(), vb);
+    });
+}
 
-    /// The MMU in ignore-tag mode translates any tagged alias of a
-    /// mapped address to the same frame.
-    #[test]
-    fn ignore_mode_aliases(addr in PAGE_SIZE..(1u64 << 30), tag in 1u16..=MAX_TAG) {
+/// The MMU in ignore-tag mode translates any tagged alias of a mapped
+/// address to the same frame.
+#[test]
+fn ignore_mode_aliases() {
+    props!(64, |rng| {
+        let addr = rng.range_u64(PAGE_SIZE, 1u64 << 30);
+        let tag = rng.range_u64(1, MAX_TAG as u64 + 1) as u16;
         let mut mem = DeviceMemory::with_capacity(1 << 22);
         mem.mmu_mut().set_mode(MmuMode::IgnoreTagBits);
         let p = VirtAddr::new(addr);
         mem.write_u32(p, 0xabcd).unwrap();
-        prop_assert_eq!(mem.read_u32(p.with_tag(tag)).unwrap(), 0xabcd);
-    }
+        assert_eq!(mem.read_u32(p.with_tag(tag)).unwrap(), 0xabcd);
+    });
+}
 
-    /// Page-table translation preserves page offsets and is stable.
-    #[test]
-    fn translation_preserves_offset(vpn in 0u64..4096, off in 0u64..PAGE_SIZE) {
+/// Page-table translation preserves page offsets and is stable.
+#[test]
+fn translation_preserves_offset() {
+    props!(64, |rng| {
+        let vpn = rng.range_u64(0, 4096);
+        let off = rng.range_u64(0, PAGE_SIZE);
         let mut pt = PageTable::new(64 << 20);
         let va = VirtAddr::new(vpn * PAGE_SIZE + off);
         let pa1 = pt.map_page(va).unwrap();
         let pa2 = pt.translate(va).unwrap();
-        prop_assert_eq!(pa1, pa2);
-        prop_assert_eq!(pa1.page_offset(), off);
-    }
+        assert_eq!(pa1, pa2);
+        assert_eq!(pa1.page_offset(), off);
+    });
+}
 
-    /// Reserve never hands out overlapping ranges.
-    #[test]
-    fn reserve_never_overlaps(sizes in proptest::collection::vec(1u64..10_000, 2..20)) {
+/// Reserve never hands out overlapping ranges.
+#[test]
+fn reserve_never_overlaps() {
+    props!(64, |rng| {
+        let sizes = gen::vec(gen::range_u64(1, 10_000), 2..20)(rng);
         let mut mem = DeviceMemory::with_capacity(1 << 22);
         let mut prev_end = 0u64;
         for s in sizes {
             let base = mem.reserve(s, 16);
-            prop_assert!(base.raw() >= prev_end, "overlap at {base}");
+            assert!(base.raw() >= prev_end, "overlap at {base}");
             prev_end = base.raw() + s;
         }
-    }
+    });
 }

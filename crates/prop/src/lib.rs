@@ -1,0 +1,241 @@
+//! # gvf-prop — zero-dependency property testing for the gvf workspace
+//!
+//! A small, deterministic stand-in for `proptest`. The workspace must
+//! build from a cold checkout with **no registry access** (offline CI,
+//! air-gapped machines), so randomized tests run on this in-repo harness
+//! instead of an external crate.
+//!
+//! The moving parts:
+//!
+//! - [`Rng`] — a SplitMix64 generator: tiny, fast, and with a fixed,
+//!   documented stream so failures reproduce across machines;
+//! - [`Gen`] — a generator is any `Fn(&mut Rng) -> T` closure; the
+//!   combinators in [`gen`] build vectors, ranges and mapped values the
+//!   way `proptest::strategy` does;
+//! - [`run`] / [`props!`] — drive a property over N generated cases and
+//!   panic with the seed and case index on the first failure, so a
+//!   failing case can be replayed exactly.
+//!
+//! ```
+//! use gvf_prop::{gen, props};
+//!
+//! props!(64, |rng| {
+//!     let xs = gen::vec(gen::range_u64(0, 100), 1..20)(rng);
+//!     let sum: u64 = xs.iter().sum();
+//!     assert!(sum <= 100 * xs.len() as u64);
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+/// Default number of cases run by [`props!`] when not specified.
+pub const DEFAULT_CASES: u32 = 48;
+
+/// The base seed of every property run. Change it locally to explore a
+/// different slice of the input space; CI keeps it fixed so failures
+/// reproduce.
+pub const BASE_SEED: u64 = 0x5eed_cafe_f00d_0001;
+
+/// A SplitMix64 pseudo-random generator.
+///
+/// Deterministic, seedable, and `Copy`-cheap. Not cryptographic — it
+/// only has to cover input spaces well.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Multiply-shift rejection-free mapping: bias is < 2^-64 per
+        // draw, irrelevant for test-case generation.
+        lo + ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi)` as `usize`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.range_usize(0, xs.len())]
+    }
+}
+
+/// Generator combinators mirroring the `proptest` strategies the
+/// workspace uses: ranges, collections, and mapped values.
+pub mod gen {
+    use super::Rng;
+    use std::ops::Range;
+
+    /// Uniform `u64` in `range`.
+    pub fn range_u64(lo: u64, hi: u64) -> impl Fn(&mut Rng) -> u64 {
+        move |rng| rng.range_u64(lo, hi)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn range_u32(lo: u32, hi: u32) -> impl Fn(&mut Rng) -> u32 {
+        move |rng| rng.range_u64(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `u16` in `[lo, hi)`.
+    pub fn range_u16(lo: u16, hi: u16) -> impl Fn(&mut Rng) -> u16 {
+        move |rng| rng.range_u64(lo as u64, hi as u64) as u16
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(lo: usize, hi: usize) -> impl Fn(&mut Rng) -> usize {
+        move |rng| rng.range_usize(lo, hi)
+    }
+
+    /// Arbitrary `u64` (full domain).
+    pub fn any_u64() -> impl Fn(&mut Rng) -> u64 {
+        |rng| rng.next_u64()
+    }
+
+    /// Arbitrary `u8`.
+    pub fn any_u8() -> impl Fn(&mut Rng) -> u8 {
+        |rng| rng.next_u64() as u8
+    }
+
+    /// A vector of `inner`-generated values with length drawn from
+    /// `len` (half-open, like `proptest::collection::vec`).
+    pub fn vec<T>(inner: impl Fn(&mut Rng) -> T, len: Range<usize>) -> impl Fn(&mut Rng) -> Vec<T> {
+        move |rng| {
+            let n = rng.range_usize(len.start, len.end);
+            (0..n).map(|_| inner(rng)).collect()
+        }
+    }
+
+    /// Maps a generator's output (like `Strategy::prop_map`).
+    pub fn map<A, B>(inner: impl Fn(&mut Rng) -> A, f: impl Fn(A) -> B) -> impl Fn(&mut Rng) -> B {
+        move |rng| f(inner(rng))
+    }
+
+    /// Picks uniformly from a fixed list (like `prop_oneof!` over
+    /// `Just` values).
+    pub fn one_of<T: Clone>(choices: Vec<T>) -> impl Fn(&mut Rng) -> T {
+        move |rng| rng.pick(&choices).clone()
+    }
+}
+
+/// Runs `prop` over `cases` generated inputs. On panic, re-raises with
+/// the case index and RNG seed so the failure replays exactly: seed the
+/// RNG with `BASE_SEED + case` and call the property once.
+pub fn run(cases: u32, mut prop: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let seed = BASE_SEED.wrapping_add(case as u64);
+        let mut rng = Rng::new(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            prop(&mut rng);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "gvf-prop: property failed at case {case}/{cases} \
+                 (rng seed {seed:#x}); replay with Rng::new({seed:#x})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// `props!(N, |rng| { ... })` — run the closure over `N` deterministic
+/// cases; `props!(|rng| { ... })` uses [`DEFAULT_CASES`].
+#[macro_export]
+macro_rules! props {
+    ($cases:expr, $prop:expr) => {
+        $crate::run($cases, $prop)
+    };
+    ($prop:expr) => {
+        $crate::run($crate::DEFAULT_CASES, $prop)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = Rng::new(43).next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = Rng::new(1);
+        for _ in 0..10_000 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_in_bounds() {
+        let mut r = Rng::new(2);
+        let g = gen::vec(gen::range_u64(0, 5), 1..4);
+        for _ in 0..1000 {
+            let v = g(&mut r);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn props_runs_all_cases() {
+        let mut hits = 0u32;
+        run(16, |_| hits += 1);
+        assert_eq!(hits, 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn props_propagates_failure() {
+        run(4, |rng| {
+            assert!(rng.range_u64(0, 10) < 100, "always true");
+            panic!("expected");
+        });
+    }
+}

@@ -99,7 +99,11 @@ impl SectoredCache {
 
         self.misses += 1;
         if set.len() < ways {
-            set.push(Line { tag, valid_sectors: sector_bit, last_used: tick });
+            set.push(Line {
+                tag,
+                valid_sectors: sector_bit,
+                last_used: tick,
+            });
         } else {
             let victim = set
                 .iter_mut()

@@ -20,6 +20,30 @@
 //! time) costs — so heavily diverged access, cache thrash and bandwidth
 //! saturation behave as on hardware, which is where the paper's effects
 //! live.
+//!
+//! # Execution model: epochs and the determinism contract
+//!
+//! The engine advances in *epochs* (one simulated cycle each, with idle
+//! stretches skipped). Every epoch has two phases:
+//!
+//! 1. **Phase A (per-SM, independent):** each SM runs its warp
+//!    schedulers, issues instructions, probes its private L1/constant
+//!    caches and MSHR file, and *queues* any traffic that must leave the
+//!    SM (L1 miss sectors, stores) instead of touching the shared memory
+//!    system. Phase A reads and writes only that SM's state, so SMs can
+//!    run in any order — or concurrently.
+//! 2. **Phase B (shared, canonical order):** the [`MemSystem`] (L2
+//!    slices + DRAM channels) services the queued requests in ascending
+//!    `(cycle, sm_id, issue order within the SM)` order, computes each
+//!    load's completion time, and posts it back to the issuing warp's
+//!    scoreboard.
+//!
+//! Because phase A is SM-local and phase B consumes requests in a fixed
+//! canonical order, the simulation is **bit-identical for any host
+//! thread count** — [`Gpu::execute_serial`] is the reference oracle and
+//! the `parallel`-feature thread pool must match it exactly. All future
+//! performance work must preserve this contract (see DESIGN.md,
+//! "Determinism contract").
 
 use crate::cache::SectoredCache;
 use crate::config::GpuConfig;
@@ -29,9 +53,14 @@ use crate::trace::KernelTrace;
 
 /// The simulated GPU. Construct once, [`execute`](Gpu::execute) many
 /// kernels; caches are cold at each kernel boundary.
+///
+/// Host-side parallelism ([`with_threads`](Gpu::with_threads)) changes
+/// wall-clock time only — simulated results are bit-identical for any
+/// thread count (see the module docs for the determinism contract).
 #[derive(Clone, Debug)]
 pub struct Gpu {
     cfg: GpuConfig,
+    threads: usize,
 }
 
 /// The tag-encoded dependence chains of virtual dispatch (paper Fig. 1):
@@ -60,7 +89,13 @@ struct WarpState {
 
 impl WarpState {
     fn fresh(trace_idx: usize, ready_at: u64) -> Self {
-        WarpState { trace_idx, pc: 0, ready_at, done: false, pending: Vec::new() }
+        WarpState {
+            trace_idx,
+            pc: 0,
+            ready_at,
+            done: false,
+            pending: Vec::new(),
+        }
     }
 
     /// Latest completion among pending loads whose tag is in `tags`.
@@ -84,12 +119,43 @@ impl WarpState {
     }
 }
 
+/// One sector of shared-memory-system traffic queued by phase A.
+#[derive(Clone, Copy)]
+struct SectorReq {
+    sector: u64,
+    /// Cycle the sector may enter the L2 (post L1 latency + MSHR wait);
+    /// for stores, the issue cycle.
+    ready: u64,
+    /// Index of the placeholder MSHR entry to overwrite with the real
+    /// fill time (`usize::MAX` for stores, which allocate no MSHR).
+    mshr_slot: usize,
+}
+
+/// One load or store batch queued by phase A for canonical phase-B
+/// servicing. Sector payloads live in `SmState::sectors`
+/// (`sec_start..sec_start + sec_len`).
+#[derive(Clone, Copy)]
+struct MemRequest {
+    is_store: bool,
+    /// Issuing warp slot (loads only).
+    wi: usize,
+    /// [`AccessTag::index`] of the access (loads only).
+    tag_idx: usize,
+    /// Completion lower bound from L1-hit sectors (loads only).
+    known_done: u64,
+    issue_cycle: u64,
+    sec_start: usize,
+    sec_len: usize,
+}
+
 struct SmState {
     l1: SectoredCache,
     cmem: SectoredCache,
     l1_free_at: u64,
     /// Completion times of outstanding L1 miss sectors (MSHR model):
     /// when full, new misses wait for the earliest outstanding one.
+    /// Misses queued this epoch hold a lower-bound placeholder until
+    /// phase B computes the real fill time.
     mshr: Vec<u64>,
     resident: Vec<WarpState>,
     pending_warps: Vec<usize>,
@@ -97,18 +163,34 @@ struct SmState {
     /// Per-scheduler cache of the earliest cycle any of its warps can
     /// issue; `0` forces a rescan. Purely a simulation speed-up.
     sched_next: Vec<u64>,
+    /// Per-SM partial counters, merged deterministically at the end.
+    stats: Stats,
+    /// Warps whose trace ended this epoch: `(slot, retire cycle)`.
+    /// Finalized at the next epoch's prologue, once phase B has posted
+    /// the completion of any load issued in the retire cycle.
+    retiring: Vec<(usize, u64)>,
+    /// Coalescing scratch (reused across epochs).
+    scratch: Vec<u64>,
+    /// Phase-A → phase-B queues (reused across epochs).
+    reqs: Vec<MemRequest>,
+    sectors: Vec<SectorReq>,
 }
 
-/// Reserves an MSHR slot for a miss starting at `t`, returning the
-/// (possibly delayed) time the miss may enter the memory system.
-fn mshr_acquire(mshr: &mut Vec<u64>, cap: usize, t: u64) -> u64 {
-    mshr.retain(|&c| c > t);
-    if mshr.len() < cap {
-        return t;
+/// Non-destructive MSHR reservation: the time a miss starting at `t`
+/// may enter the memory system, given the outstanding entries. The
+/// caller pushes the new entry itself; completed entries are garbage
+/// collected once per epoch in the prologue.
+fn mshr_acquire(mshr: &[u64], cap: usize, t: u64) -> u64 {
+    let outstanding = mshr.iter().filter(|&&c| c > t).count();
+    if outstanding < cap {
+        t
+    } else {
+        mshr.iter()
+            .copied()
+            .filter(|&c| c > t)
+            .min()
+            .expect("full mshr has outstanding entries")
     }
-    let earliest = mshr.iter().copied().min().expect("full mshr");
-    mshr.retain(|&c| c > earliest);
-    t.max(earliest)
 }
 
 struct MemSystem {
@@ -117,10 +199,18 @@ struct MemSystem {
     dram_free_at: Vec<u64>,
 }
 
+/// Phase-A outcome for one SM and one epoch.
+struct EpochOut {
+    live: bool,
+    issued: bool,
+    min_next: u64,
+}
+
 impl Gpu {
-    /// Creates a GPU with the given configuration.
+    /// Creates a GPU with the given configuration (serial host
+    /// execution).
     pub fn new(cfg: GpuConfig) -> Self {
-        Gpu { cfg }
+        Gpu { cfg, threads: 1 }
     }
 
     /// Creates a V100-like GPU.
@@ -128,251 +218,458 @@ impl Gpu {
         Gpu::new(GpuConfig::v100())
     }
 
+    /// Sets the host thread count used for the per-SM phase of
+    /// [`execute`](Gpu::execute): `1` is serial, `0` picks the machine's
+    /// available parallelism, anything else is used as-is (clamped to
+    /// the SM count). Simulated results are identical regardless.
+    ///
+    /// Without the `parallel` crate feature the engine always runs
+    /// serially and this is a wall-clock no-op.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured host thread count (see [`with_threads`](Gpu::with_threads)).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
     }
 
-    /// Replays `kernel` through the timing model and returns the counters.
-    pub fn execute(&self, kernel: &KernelTrace) -> Stats {
-        let cfg = &self.cfg;
-        let mut stats = Stats::new();
-        stats.warps = kernel.warps.len() as u64;
-        stats.vfunc_calls = kernel.vfunc_calls();
-
-        if kernel.warps.is_empty() {
-            return stats;
-        }
-
-        for w in &kernel.warps {
-            for op in w.ops() {
-                stats.count_instrs(op.class(), op.dyn_count());
-            }
-        }
-
-        let num_sms = cfg.num_sms as usize;
-        let mut sms: Vec<SmState> = (0..num_sms)
-            .map(|_| SmState {
-                l1: SectoredCache::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes, cfg.sector_bytes),
-                cmem: SectoredCache::new(cfg.const_bytes, 4, 64, 64),
-                l1_free_at: 0,
-                mshr: Vec::new(),
-                resident: Vec::new(),
-                pending_warps: Vec::new(),
-                rr: 0,
-                sched_next: vec![0; cfg.schedulers_per_sm as usize],
-            })
-            .collect();
-
-        // Round-robin warp → SM assignment. Empty traces never occupy a
-        // slot.
-        for (i, w) in kernel.warps.iter().enumerate() {
-            if !w.is_empty() {
-                sms[i % num_sms].pending_warps.push(i);
-            }
-        }
-        for sm in &mut sms {
-            sm.pending_warps.reverse(); // pop() yields lowest warp id first
-            let take = (cfg.max_warps_per_sm as usize).min(sm.pending_warps.len());
-            for _ in 0..take {
-                let idx = sm.pending_warps.pop().expect("pending warp");
-                sm.resident.push(WarpState::fresh(idx, 0));
-            }
-        }
-
-        let mut memsys = MemSystem {
-            l2: SectoredCache::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes, cfg.sector_bytes),
-            l2_free_at: vec![0; cfg.l2_slices as usize],
-            dram_free_at: vec![0; cfg.dram_channels as usize],
+    fn effective_threads(&self) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
         };
+        requested.clamp(1, self.cfg.num_sms as usize)
+    }
 
+    /// Replays `kernel` through the timing model and returns the
+    /// counters, using the configured host thread count.
+    pub fn execute(&self, kernel: &KernelTrace) -> Stats {
+        #[cfg(feature = "parallel")]
+        {
+            let threads = self.effective_threads();
+            if threads > 1 {
+                return self.execute_parallel(kernel, threads);
+            }
+        }
+        self.execute_serial(kernel)
+    }
+
+    /// The serial reference oracle: phase A runs SM-by-SM in ascending
+    /// order on the calling thread. [`execute`](Gpu::execute) with any
+    /// thread count must produce bit-identical [`Stats`].
+    pub fn execute_serial(&self, kernel: &KernelTrace) -> Stats {
+        let cfg = &self.cfg;
+        let Some((mut sms, mut memsys, base)) = setup(cfg, kernel) else {
+            return empty_stats(kernel);
+        };
+        let mut memstats = Stats::new();
         let mut cycle: u64 = 0;
-        let mut scratch: Vec<u64> = Vec::with_capacity(cfg.warp_size as usize);
         loop {
             let mut live = false;
+            let mut issued = false;
             let mut min_next = u64::MAX;
-            let mut issued_any = false;
-
-            for sm in &mut sms {
-                for sched in 0..cfg.schedulers_per_sm as usize {
-                    let n = sm.resident.len();
-                    if n == 0 {
-                        continue;
-                    }
-                    // Fast path: nothing on this scheduler can issue yet.
-                    let cached = sm.sched_next[sched];
-                    if cached > cycle {
-                        if cached != u64::MAX {
-                            live = true;
-                            min_next = min_next.min(cached);
-                        }
-                        continue;
-                    }
-                    let mut chosen: Option<usize> = None;
-                    let mut sched_min = u64::MAX;
-                    for k in 0..n {
-                        let wi = (sm.rr + k) % n;
-                        let w = &sm.resident[wi];
-                        if w.done || wi % cfg.schedulers_per_sm as usize != sched {
-                            continue;
-                        }
-                        live = true;
-                        if w.ready_at <= cycle {
-                            chosen = Some(wi);
-                            break;
-                        }
-                        sched_min = sched_min.min(w.ready_at);
-                    }
-                    let Some(wi) = chosen else {
-                        sm.sched_next[sched] = sched_min;
-                        if sched_min != u64::MAX {
-                            min_next = min_next.min(sched_min);
-                        }
-                        continue;
-                    };
-                    // Issued: the picture changes, rescan next cycle.
-                    sm.sched_next[sched] = 0;
-                    sm.rr = (wi + 1) % n;
-
-                    let trace_idx = sm.resident[wi].trace_idx;
-                    let pc = sm.resident[wi].pc;
-                    let op = &kernel.warps[trace_idx].ops()[pc];
-
-                    // Scoreboard check: an op whose operands are still in
-                    // flight (or a load with the MLP queue full) does not
-                    // issue now — the warp retries once ready, keeping
-                    // resource reservations causal.
-                    let defer_until = match op {
-                        Op::IndirectCall => sm.resident[wi].dep_ready(&[
-                            AccessTag::ConstIndirection,
-                            AccessTag::VfuncPtr,
-                        ]),
-                        Op::Mem(m) if !m.is_store => {
-                            let w = &mut sm.resident[wi];
-                            w.prune(cycle);
-                            let mut until = w.dep_ready(dep_tags(m.tag));
-                            if w.pending.len() >= cfg.max_pending_loads {
-                                let oldest = w
-                                    .pending
-                                    .iter()
-                                    .map(|(c, _)| *c)
-                                    .min()
-                                    .expect("non-empty pending");
-                                until = until.max(oldest);
-                            }
-                            // LSU queue back-pressure.
-                            if sm.l1_free_at > cycle + cfg.l1_queue_cap {
-                                until = until.max(sm.l1_free_at - cfg.l1_queue_cap);
-                            }
-                            // MSHR back-pressure: leave room for a full
-                            // warp's worth of miss sectors before issuing
-                            // (an empty MSHR file always admits a load).
-                            sm.mshr.retain(|&c| c > cycle);
-                            if !sm.mshr.is_empty()
-                                && sm.mshr.len() + cfg.warp_size as usize > cfg.mshr_per_sm
-                            {
-                                let earliest = sm
-                                    .mshr
-                                    .iter()
-                                    .copied()
-                                    .min()
-                                    .expect("mshr checked non-empty");
-                                until = until.max(earliest);
-                            }
-                            until
-                        }
-                        _ => 0,
-                    };
-                    if defer_until > cycle {
-                        sm.resident[wi].ready_at = defer_until;
-                        min_next = min_next.min(defer_until);
-                        continue;
-                    }
-                    issued_any = true;
-
-                    let ready_at = match op {
-                        Op::Alu(nn) => {
-                            cycle + (*nn as u64) * cfg.alu_chain_latency + cfg.alu_latency
-                        }
-                        Op::Branch | Op::DirectCall => cycle + cfg.branch_latency,
-                        Op::Ret => cycle + cfg.ret_latency,
-                        Op::IndirectCall => {
-                            stats.stall_by_tag[STALL_INDIRECT_CALL] +=
-                                cfg.indirect_call_latency;
-                            cycle + cfg.indirect_call_latency
-                        }
-                        Op::Mem(m) if m.is_store => issue_store(
-                            cfg, cycle, m, &mut memsys, &mut stats, &mut scratch,
-                        ),
-                        Op::Mem(m) => {
-                            let completion = issue_load(
-                                cfg,
-                                cycle,
-                                m,
-                                &mut sm.l1,
-                                &mut sm.cmem,
-                                &mut sm.l1_free_at,
-                                &mut sm.mshr,
-                                &mut memsys,
-                                &mut stats,
-                                &mut scratch,
-                            );
-                            stats.stall_by_tag[m.tag.index()] +=
-                                completion.saturating_sub(cycle);
-                            sm.resident[wi].pending.push((completion, m.tag.index()));
-                            // A diverged access is replayed one sector per
-                            // cycle through the LSU: the warp owns the
-                            // issue pipe for the duration. This is the
-                            // direct issue-side price of divergence.
-                            cycle + scratch.len() as u64
-                        }
-                    };
-
-                    let w = &mut sm.resident[wi];
-                    w.ready_at = ready_at;
-                    w.pc += 1;
-                    if w.pc >= kernel.warps[w.trace_idx].ops().len() {
-                        // Drain outstanding loads before retiring.
-                        let drain = w.drain_all();
-                        w.ready_at = w.ready_at.max(drain);
-                        w.done = true;
-                        let final_ready = w.ready_at;
-                        if let Some(next) = sm.pending_warps.pop() {
-                            *w = WarpState::fresh(next, final_ready.max(cycle + 1));
-                        } else {
-                            w.ready_at = final_ready;
-                        }
-                    }
+            for sm in sms.iter_mut() {
+                let out = sm_epoch(cfg, kernel, sm, cycle);
+                live |= out.live;
+                issued |= out.issued;
+                min_next = min_next.min(out.min_next);
+            }
+            for sm in sms.iter_mut() {
+                if !sm.reqs.is_empty() {
+                    mem_phase_b(cfg, &mut memsys, &mut memstats, sm);
                 }
             }
-
-            if !live && sms.iter().all(|s| s.pending_warps.is_empty()) {
+            if !live {
                 break;
             }
-            cycle = if issued_any {
-                cycle + 1
-            } else {
-                (cycle + 1).max(min_next)
-            };
+            cycle = next_cycle(cycle, issued, min_next);
         }
-
-        let last = sms
-            .iter()
-            .flat_map(|s| s.resident.iter().map(|w| w.ready_at))
-            .max()
-            .unwrap_or(cycle);
-        stats.cycles = last.max(cycle);
-
-        for sm in &sms {
-            stats.l1_accesses += sm.l1.hits() + sm.l1.misses();
-            stats.l1_hits += sm.l1.hits();
-            stats.const_accesses += sm.cmem.hits() + sm.cmem.misses();
-            stats.const_hits += sm.cmem.hits();
-        }
-        stats.l2_accesses = memsys.l2.hits() + memsys.l2.misses();
-        stats.l2_hits = memsys.l2.hits();
-        stats
+        finish(base, &mut sms, &memsys, &memstats, cycle)
     }
+
+    /// Runs phase A on `threads` worker threads, phase B on the calling
+    /// thread. Exposed for determinism tests; [`execute`](Gpu::execute)
+    /// dispatches here when [`with_threads`](Gpu::with_threads) asks for
+    /// parallelism.
+    #[cfg(feature = "parallel")]
+    pub fn execute_parallel(&self, kernel: &KernelTrace, threads: usize) -> Stats {
+        use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        let cfg = &self.cfg;
+        let threads = threads.clamp(1, cfg.num_sms as usize);
+        let Some((sms, mut memsys, base)) = setup(cfg, kernel) else {
+            return empty_stats(kernel);
+        };
+        if threads == 1 {
+            // One worker would only add synchronization overhead.
+            drop(sms);
+            return self.execute_serial(kernel);
+        }
+        let mut memstats = Stats::new();
+
+        // Workers own disjoint SM index ranges; the mutexes are never
+        // contended (phases alternate through the epoch gate below) —
+        // they exist to let the main thread service phase B between the
+        // workers' phase-A turns.
+        let sms: Vec<Mutex<SmState>> = sms.into_iter().map(Mutex::new).collect();
+        let num_sms = sms.len();
+
+        // Epoch gate: main publishes (cycle, epoch), workers run phase A
+        // for their SMs, fold their outputs into the shared accumulators
+        // and count themselves done; main waits for all of them, runs
+        // phase B, and opens the next epoch.
+        let epoch = AtomicU64::new(0);
+        let cycle_slot = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        let done = AtomicUsize::new(0);
+        let acc_live = AtomicBool::new(false);
+        let acc_issued = AtomicBool::new(false);
+        let acc_min_next = AtomicU64::new(u64::MAX);
+
+        let spin_wait = |current: &AtomicU64, seen: u64| {
+            let mut spins = 0u32;
+            loop {
+                let e = current.load(Ordering::Acquire);
+                if e != seen {
+                    return e;
+                }
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        };
+
+        let chunk = num_sms.div_ceil(threads);
+        let mut final_cycle = 0u64;
+        std::thread::scope(|scope| {
+            for w in 0..threads {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(num_sms);
+                let (sms, epoch, cycle_slot, stop, done) =
+                    (&sms, &epoch, &cycle_slot, &stop, &done);
+                let (acc_live, acc_issued, acc_min_next) = (&acc_live, &acc_issued, &acc_min_next);
+                scope.spawn(move || {
+                    let mut seen = 0u64;
+                    loop {
+                        seen = spin_wait(epoch, seen);
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let cycle = cycle_slot.load(Ordering::Relaxed);
+                        let mut live = false;
+                        let mut issued = false;
+                        let mut min_next = u64::MAX;
+                        for sm in sms.iter().take(hi).skip(lo) {
+                            let sm = &mut *sm.lock().expect("sm mutex");
+                            let out = sm_epoch(cfg, kernel, sm, cycle);
+                            live |= out.live;
+                            issued |= out.issued;
+                            min_next = min_next.min(out.min_next);
+                        }
+                        if live {
+                            acc_live.store(true, Ordering::Relaxed);
+                        }
+                        if issued {
+                            acc_issued.store(true, Ordering::Relaxed);
+                        }
+                        acc_min_next.fetch_min(min_next, Ordering::Relaxed);
+                        done.fetch_add(1, Ordering::Release);
+                    }
+                });
+            }
+
+            let mut cycle = 0u64;
+            let mut worker_epoch = 0u64;
+            loop {
+                acc_live.store(false, Ordering::Relaxed);
+                acc_issued.store(false, Ordering::Relaxed);
+                acc_min_next.store(u64::MAX, Ordering::Relaxed);
+                done.store(0, Ordering::Relaxed);
+                cycle_slot.store(cycle, Ordering::Relaxed);
+                worker_epoch += 1;
+                epoch.store(worker_epoch, Ordering::Release);
+
+                let mut spins = 0u32;
+                while done.load(Ordering::Acquire) != threads {
+                    spins += 1;
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+
+                // Phase B — canonical ascending-SM order, regardless of
+                // which worker simulated which SM.
+                for sm in sms.iter() {
+                    let sm = &mut *sm.lock().expect("sm mutex");
+                    if !sm.reqs.is_empty() {
+                        mem_phase_b(cfg, &mut memsys, &mut memstats, sm);
+                    }
+                }
+
+                if !acc_live.load(Ordering::Relaxed) {
+                    break;
+                }
+                cycle = next_cycle(
+                    cycle,
+                    acc_issued.load(Ordering::Relaxed),
+                    acc_min_next.load(Ordering::Relaxed),
+                );
+            }
+            final_cycle = cycle;
+            stop.store(true, Ordering::Release);
+            epoch.store(worker_epoch + 1, Ordering::Release);
+        });
+
+        let mut sms: Vec<SmState> = sms
+            .into_iter()
+            .map(|m| m.into_inner().expect("sm mutex"))
+            .collect();
+        finish(base, &mut sms, &memsys, &memstats, final_cycle)
+    }
+}
+
+/// Builds the initial machine state and pre-counts the trace-derived
+/// statistics; `None` for an empty kernel.
+fn setup(cfg: &GpuConfig, kernel: &KernelTrace) -> Option<(Vec<SmState>, MemSystem, Stats)> {
+    if kernel.warps.is_empty() {
+        return None;
+    }
+    let mut base = Stats::new();
+    base.warps = kernel.warps.len() as u64;
+    base.vfunc_calls = kernel.vfunc_calls();
+    for w in &kernel.warps {
+        for op in w.ops() {
+            base.count_instrs(op.class(), op.dyn_count());
+        }
+    }
+
+    let num_sms = cfg.num_sms as usize;
+    let mut sms: Vec<SmState> = (0..num_sms)
+        .map(|_| SmState {
+            l1: SectoredCache::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes, cfg.sector_bytes),
+            cmem: SectoredCache::new(cfg.const_bytes, 4, 64, 64),
+            l1_free_at: 0,
+            mshr: Vec::new(),
+            resident: Vec::new(),
+            pending_warps: Vec::new(),
+            rr: 0,
+            sched_next: vec![0; cfg.schedulers_per_sm as usize],
+            stats: Stats::new(),
+            retiring: Vec::new(),
+            scratch: Vec::with_capacity(cfg.warp_size as usize),
+            reqs: Vec::new(),
+            sectors: Vec::new(),
+        })
+        .collect();
+
+    // Round-robin warp → SM assignment. Empty traces never occupy a
+    // slot.
+    for (i, w) in kernel.warps.iter().enumerate() {
+        if !w.is_empty() {
+            sms[i % num_sms].pending_warps.push(i);
+        }
+    }
+    for sm in &mut sms {
+        sm.pending_warps.reverse(); // pop() yields lowest warp id first
+        let take = (cfg.max_warps_per_sm as usize).min(sm.pending_warps.len());
+        for _ in 0..take {
+            let idx = sm.pending_warps.pop().expect("pending warp");
+            sm.resident.push(WarpState::fresh(idx, 0));
+        }
+    }
+
+    let memsys = MemSystem {
+        l2: SectoredCache::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes, cfg.sector_bytes),
+        l2_free_at: vec![0; cfg.l2_slices as usize],
+        dram_free_at: vec![0; cfg.dram_channels as usize],
+    };
+    Some((sms, memsys, base))
+}
+
+fn empty_stats(kernel: &KernelTrace) -> Stats {
+    let mut stats = Stats::new();
+    stats.warps = kernel.warps.len() as u64;
+    stats.vfunc_calls = kernel.vfunc_calls();
+    stats
+}
+
+fn next_cycle(cycle: u64, issued: bool, min_next: u64) -> u64 {
+    if issued || min_next == u64::MAX {
+        cycle + 1
+    } else {
+        (cycle + 1).max(min_next)
+    }
+}
+
+/// Epoch prologue for one SM: finalize warps whose trace ended last
+/// epoch (their final load completions were posted by phase B since),
+/// then garbage-collect completed MSHR entries.
+fn sm_prologue(sm: &mut SmState, cycle: u64) {
+    for k in 0..sm.retiring.len() {
+        let (wi, retire_cycle) = sm.retiring[k];
+        let w = &mut sm.resident[wi];
+        let drain = w.drain_all();
+        let final_ready = w.ready_at.max(drain);
+        w.ready_at = final_ready;
+        w.done = true;
+        if let Some(next) = sm.pending_warps.pop() {
+            *w = WarpState::fresh(next, final_ready.max(retire_cycle + 1));
+        }
+    }
+    sm.retiring.clear();
+    sm.mshr.retain(|&c| c > cycle);
+}
+
+/// Phase A for one SM and one cycle: the warp schedulers. SM-local by
+/// construction — shared-memory traffic is queued for phase B.
+fn sm_epoch(cfg: &GpuConfig, kernel: &KernelTrace, sm: &mut SmState, cycle: u64) -> EpochOut {
+    sm_prologue(sm, cycle);
+    let mut out = EpochOut {
+        live: false,
+        issued: false,
+        min_next: u64::MAX,
+    };
+
+    for sched in 0..cfg.schedulers_per_sm as usize {
+        let n = sm.resident.len();
+        if n == 0 {
+            continue;
+        }
+        // Fast path: nothing on this scheduler can issue yet.
+        let cached = sm.sched_next[sched];
+        if cached > cycle {
+            if cached != u64::MAX {
+                out.live = true;
+                out.min_next = out.min_next.min(cached);
+            }
+            continue;
+        }
+        let mut chosen: Option<usize> = None;
+        let mut sched_min = u64::MAX;
+        for k in 0..n {
+            let wi = (sm.rr + k) % n;
+            let w = &sm.resident[wi];
+            if w.done || wi % cfg.schedulers_per_sm as usize != sched {
+                continue;
+            }
+            out.live = true;
+            if w.ready_at <= cycle {
+                chosen = Some(wi);
+                break;
+            }
+            sched_min = sched_min.min(w.ready_at);
+        }
+        let Some(wi) = chosen else {
+            sm.sched_next[sched] = sched_min;
+            if sched_min != u64::MAX {
+                out.min_next = out.min_next.min(sched_min);
+            }
+            continue;
+        };
+        // Issued: the picture changes, rescan next cycle.
+        sm.sched_next[sched] = 0;
+        sm.rr = (wi + 1) % n;
+
+        let trace_idx = sm.resident[wi].trace_idx;
+        let pc = sm.resident[wi].pc;
+        let op = &kernel.warps[trace_idx].ops()[pc];
+
+        // Scoreboard check: an op whose operands are still in flight
+        // (or a load with the MLP queue full) does not issue now — the
+        // warp retries once ready, keeping resource reservations
+        // causal.
+        let defer_until = match op {
+            Op::IndirectCall => {
+                sm.resident[wi].dep_ready(&[AccessTag::ConstIndirection, AccessTag::VfuncPtr])
+            }
+            Op::Mem(m) if !m.is_store => {
+                let w = &mut sm.resident[wi];
+                w.prune(cycle);
+                let mut until = w.dep_ready(dep_tags(m.tag));
+                if w.pending.len() >= cfg.max_pending_loads {
+                    let oldest = w
+                        .pending
+                        .iter()
+                        .map(|(c, _)| *c)
+                        .min()
+                        .expect("non-empty pending");
+                    until = until.max(oldest);
+                }
+                // LSU queue back-pressure.
+                if sm.l1_free_at > cycle + cfg.l1_queue_cap {
+                    until = until.max(sm.l1_free_at - cfg.l1_queue_cap);
+                }
+                // MSHR back-pressure: leave room for a full warp's
+                // worth of miss sectors before issuing (an empty MSHR
+                // file always admits a load).
+                let outstanding = sm.mshr.iter().filter(|&&c| c > cycle).count();
+                if outstanding > 0 && outstanding + cfg.warp_size as usize > cfg.mshr_per_sm {
+                    let earliest = sm
+                        .mshr
+                        .iter()
+                        .copied()
+                        .filter(|&c| c > cycle)
+                        .min()
+                        .expect("mshr checked non-empty");
+                    until = until.max(earliest);
+                }
+                until
+            }
+            _ => 0,
+        };
+        if defer_until > cycle {
+            sm.resident[wi].ready_at = defer_until;
+            out.min_next = out.min_next.min(defer_until);
+            continue;
+        }
+        out.issued = true;
+
+        let ready_at = match op {
+            Op::Alu(nn) => cycle + (*nn as u64) * cfg.alu_chain_latency + cfg.alu_latency,
+            Op::Branch | Op::DirectCall => cycle + cfg.branch_latency,
+            Op::Ret => cycle + cfg.ret_latency,
+            Op::IndirectCall => {
+                sm.stats.stall_by_tag[STALL_INDIRECT_CALL] += cfg.indirect_call_latency;
+                cycle + cfg.indirect_call_latency
+            }
+            Op::Mem(m) if m.is_store => issue_store_phase_a(cfg, cycle, m, sm),
+            Op::Mem(m) => issue_load_phase_a(cfg, cycle, m, sm, wi),
+        };
+
+        let w = &mut sm.resident[wi];
+        w.ready_at = ready_at;
+        w.pc += 1;
+        if w.pc >= kernel.warps[w.trace_idx].ops().len() {
+            // Trace ended. Finalization (outstanding-load drain, slot
+            // reuse) waits for the next epoch's prologue, after phase B
+            // posts the completion of a load issued this very cycle.
+            sm.retiring.push((wi, cycle));
+        }
+    }
+
+    if !sm.pending_warps.is_empty() || !sm.retiring.is_empty() {
+        out.live = true;
+    }
+    for &(_, retire_cycle) in &sm.retiring {
+        out.min_next = out.min_next.min(retire_cycle + 1);
+    }
+    out
 }
 
 fn coalesce(scratch: &mut Vec<u64>, m: &MemOp, sector_bytes: u64) {
@@ -384,97 +681,191 @@ fn coalesce(scratch: &mut Vec<u64>, m: &MemOp, sector_bytes: u64) {
     scratch.dedup();
 }
 
-/// A store: count transactions, consume L2/DRAM bandwidth; the warp
-/// continues through the store buffer almost immediately.
-fn issue_store(
-    cfg: &GpuConfig,
-    cycle: u64,
-    m: &MemOp,
-    memsys: &mut MemSystem,
-    stats: &mut Stats,
-    scratch: &mut Vec<u64>,
-) -> u64 {
-    coalesce(scratch, m, cfg.sector_bytes);
-    stats.global_store_transactions += scratch.len() as u64;
-    for &s in scratch.iter() {
-        let addr = s * cfg.sector_bytes;
-        let slice = (s % memsys.l2_free_at.len() as u64) as usize;
-        let t = memsys.l2_free_at[slice].max(cycle);
-        memsys.l2_free_at[slice] = t + 1;
-        if !memsys.l2.access(addr).is_hit() {
-            let chan = ((addr >> 8) % memsys.dram_free_at.len() as u64) as usize;
-            let td = memsys.dram_free_at[chan].max(t);
-            memsys.dram_free_at[chan] = td + cfg.dram_sector_cycles;
-            stats.dram_accesses += 1;
-        }
+/// Phase A of a store: count transactions and queue the sectors for the
+/// shared system; the warp continues through the store buffer almost
+/// immediately.
+fn issue_store_phase_a(cfg: &GpuConfig, cycle: u64, m: &MemOp, sm: &mut SmState) -> u64 {
+    coalesce(&mut sm.scratch, m, cfg.sector_bytes);
+    sm.stats.global_store_transactions += sm.scratch.len() as u64;
+    let sec_start = sm.sectors.len();
+    for k in 0..sm.scratch.len() {
+        sm.sectors.push(SectorReq {
+            sector: sm.scratch[k],
+            ready: cycle,
+            mshr_slot: usize::MAX,
+        });
     }
+    sm.reqs.push(MemRequest {
+        is_store: true,
+        wi: 0,
+        tag_idx: 0,
+        known_done: 0,
+        issue_cycle: cycle,
+        sec_start,
+        sec_len: sm.scratch.len(),
+    });
     cycle + cfg.alu_latency
 }
 
-/// A load: coalesce into sectors, walk L1 → L2 → DRAM per sector with
-/// port/slice/channel service costs; returns the completion cycle.
-#[allow(clippy::too_many_arguments)]
-fn issue_load(
-    cfg: &GpuConfig,
-    cycle: u64,
-    m: &MemOp,
-    l1: &mut SectoredCache,
-    cmem: &mut SectoredCache,
-    l1_free_at: &mut u64,
-    mshr: &mut Vec<u64>,
-    memsys: &mut MemSystem,
-    stats: &mut Stats,
-    scratch: &mut Vec<u64>,
-) -> u64 {
-    coalesce(scratch, m, cfg.sector_bytes);
+/// Phase A of a load: coalesce into sectors and walk the SM-local
+/// hierarchy (constant cache, L1 port, L1, MSHR file). Sectors that
+/// miss are queued for phase B with an MSHR placeholder; pure-hit loads
+/// complete immediately. Returns the warp's issue-pipe busy time — a
+/// diverged access is replayed one sector per cycle through the LSU, the
+/// direct issue-side price of divergence.
+fn issue_load_phase_a(cfg: &GpuConfig, cycle: u64, m: &MemOp, sm: &mut SmState, wi: usize) -> u64 {
+    coalesce(&mut sm.scratch, m, cfg.sector_bytes);
+    let tag_idx = m.tag.index();
     match m.space {
         Space::Const => {
             let mut done = cycle;
-            for &s in scratch.iter() {
-                let addr = s * cfg.sector_bytes;
-                let lat = if cmem.access(addr).is_hit() {
+            for k in 0..sm.scratch.len() {
+                let addr = sm.scratch[k] * cfg.sector_bytes;
+                let lat = if sm.cmem.access(addr).is_hit() {
                     cfg.const_latency
                 } else {
                     cfg.const_miss_latency
                 };
                 done = done.max(cycle + lat);
             }
-            done
+            sm.stats.stall_by_tag[tag_idx] += done - cycle;
+            sm.resident[wi].pending.push((done, tag_idx));
         }
         Space::Global => {
-            stats.global_load_transactions += scratch.len() as u64;
-            stats.load_transactions_by_tag[m.tag.index()] += scratch.len() as u64;
-            let mut done = cycle;
-            for &s in scratch.iter() {
+            sm.stats.global_load_transactions += sm.scratch.len() as u64;
+            sm.stats.load_transactions_by_tag[tag_idx] += sm.scratch.len() as u64;
+            let mut known_done = cycle;
+            let sec_start = sm.sectors.len();
+            for k in 0..sm.scratch.len() {
+                let s = sm.scratch[k];
                 let addr = s * cfg.sector_bytes;
                 // One sector per cycle through the SM's LSU port.
-                let t1 = (*l1_free_at).max(cycle);
-                *l1_free_at = t1 + 1;
-                let sector_done = if l1.access(addr).is_hit() {
-                    t1 + cfg.l1_latency
+                let t1 = sm.l1_free_at.max(cycle);
+                sm.l1_free_at = t1 + 1;
+                if sm.l1.access(addr).is_hit() {
+                    known_done = known_done.max(t1 + cfg.l1_latency);
                 } else {
                     // A miss needs an MSHR slot before entering L2/DRAM.
-                    let tm = mshr_acquire(mshr, cfg.mshr_per_sm, t1 + cfg.l1_latency);
-                    let slice = (s % memsys.l2_free_at.len() as u64) as usize;
-                    let t2 = memsys.l2_free_at[slice].max(tm);
-                    memsys.l2_free_at[slice] = t2 + 1;
-                    let filled = if memsys.l2.access(addr).is_hit() {
-                        t2 + cfg.l2_latency
-                    } else {
-                        let chan = ((addr >> 8) % memsys.dram_free_at.len() as u64) as usize;
-                        let td = memsys.dram_free_at[chan].max(t2 + cfg.l2_latency);
-                        memsys.dram_free_at[chan] = td + cfg.dram_sector_cycles;
-                        stats.dram_accesses += 1;
-                        td + cfg.dram_latency
-                    };
-                    mshr.push(filled);
-                    filled
-                };
-                done = done.max(sector_done);
+                    let tm = mshr_acquire(&sm.mshr, cfg.mshr_per_sm, t1 + cfg.l1_latency);
+                    let slot = sm.mshr.len();
+                    // Lower-bound placeholder; phase B writes the real
+                    // fill time before any later epoch reads it.
+                    sm.mshr.push(tm + cfg.l2_latency);
+                    sm.sectors.push(SectorReq {
+                        sector: s,
+                        ready: tm,
+                        mshr_slot: slot,
+                    });
+                }
             }
-            done
+            let sec_len = sm.sectors.len() - sec_start;
+            if sec_len == 0 {
+                // Every sector hit L1: the completion is known now.
+                sm.stats.stall_by_tag[tag_idx] += known_done - cycle;
+                sm.resident[wi].pending.push((known_done, tag_idx));
+            } else {
+                sm.reqs.push(MemRequest {
+                    is_store: false,
+                    wi,
+                    tag_idx,
+                    known_done,
+                    issue_cycle: cycle,
+                    sec_start,
+                    sec_len,
+                });
+            }
         }
     }
+    cycle + sm.scratch.len() as u64
+}
+
+/// Phase B for one SM's queued requests: the shared L2 slices and DRAM
+/// channels service sectors in issue order, then post load completions
+/// back to the issuing warps. Callers must invoke this in ascending
+/// `sm_id` order every epoch — that, plus phase A's issue ordering, is
+/// the canonical arbitration order of the determinism contract.
+fn mem_phase_b(cfg: &GpuConfig, memsys: &mut MemSystem, memstats: &mut Stats, sm: &mut SmState) {
+    for ri in 0..sm.reqs.len() {
+        let req = sm.reqs[ri];
+        if req.is_store {
+            for k in req.sec_start..req.sec_start + req.sec_len {
+                let s = sm.sectors[k].sector;
+                let addr = s * cfg.sector_bytes;
+                let slice = (s % memsys.l2_free_at.len() as u64) as usize;
+                let t = memsys.l2_free_at[slice].max(req.issue_cycle);
+                memsys.l2_free_at[slice] = t + 1;
+                if !memsys.l2.access(addr).is_hit() {
+                    let chan = ((addr >> 8) % memsys.dram_free_at.len() as u64) as usize;
+                    let td = memsys.dram_free_at[chan].max(t);
+                    memsys.dram_free_at[chan] = td + cfg.dram_sector_cycles;
+                    memstats.dram_accesses += 1;
+                }
+            }
+        } else {
+            let mut done = req.known_done;
+            for k in req.sec_start..req.sec_start + req.sec_len {
+                let SectorReq {
+                    sector,
+                    ready,
+                    mshr_slot,
+                } = sm.sectors[k];
+                let addr = sector * cfg.sector_bytes;
+                let slice = (sector % memsys.l2_free_at.len() as u64) as usize;
+                let t2 = memsys.l2_free_at[slice].max(ready);
+                memsys.l2_free_at[slice] = t2 + 1;
+                let filled = if memsys.l2.access(addr).is_hit() {
+                    t2 + cfg.l2_latency
+                } else {
+                    let chan = ((addr >> 8) % memsys.dram_free_at.len() as u64) as usize;
+                    let td = memsys.dram_free_at[chan].max(t2 + cfg.l2_latency);
+                    memsys.dram_free_at[chan] = td + cfg.dram_sector_cycles;
+                    memstats.dram_accesses += 1;
+                    td + cfg.dram_latency
+                };
+                sm.mshr[mshr_slot] = filled;
+                done = done.max(filled);
+            }
+            memstats.stall_by_tag[req.tag_idx] += done.saturating_sub(req.issue_cycle);
+            sm.resident[req.wi].pending.push((done, req.tag_idx));
+        }
+    }
+    sm.reqs.clear();
+    sm.sectors.clear();
+}
+
+/// Merges the per-SM partial stats, memory-system stats and cache
+/// counters into the final [`Stats`] — ascending SM order, though every
+/// counter is an exact integer sum, so the merge is order-independent.
+fn finish(
+    base: Stats,
+    sms: &mut [SmState],
+    memsys: &MemSystem,
+    memstats: &Stats,
+    cycle: u64,
+) -> Stats {
+    // Finalize any retirement left from the last epoch (its phase-B
+    // completions have been posted) so drain times reach `ready_at`.
+    for sm in sms.iter_mut() {
+        sm_prologue(sm, cycle);
+    }
+    let mut stats = base;
+    for sm in sms.iter() {
+        stats += &sm.stats;
+        stats.l1_accesses += sm.l1.hits() + sm.l1.misses();
+        stats.l1_hits += sm.l1.hits();
+        stats.const_accesses += sm.cmem.hits() + sm.cmem.misses();
+        stats.const_hits += sm.cmem.hits();
+    }
+    stats += memstats;
+    stats.l2_accesses = memsys.l2.hits() + memsys.l2.misses();
+    stats.l2_hits = memsys.l2.hits();
+    let last = sms
+        .iter()
+        .flat_map(|s| s.resident.iter().map(|w| w.ready_at))
+        .max()
+        .unwrap_or(cycle);
+    stats.cycles = last.max(cycle);
+    stats
 }
 
 #[cfg(test)]
@@ -585,7 +976,9 @@ mod tests {
             w
         };
         let one = gpu().execute(&KernelTrace { warps: vec![mk(0)] });
-        let eight = gpu().execute(&KernelTrace { warps: (0..8).map(mk).collect() });
+        let eight = gpu().execute(&KernelTrace {
+            warps: (0..8).map(mk).collect(),
+        });
         assert!(eight.cycles < one.cycles * 4);
     }
 
@@ -685,7 +1078,11 @@ mod scoreboard_tests {
     }
 
     fn ld(addrs: Vec<u64>, tag: AccessTag) -> Op {
-        let mask = if addrs.len() >= 32 { u32::MAX } else { (1u32 << addrs.len()) - 1 };
+        let mask = if addrs.len() >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << addrs.len()) - 1
+        };
         Op::Mem(MemOp {
             space: Space::Global,
             is_store: false,
@@ -707,11 +1104,13 @@ mod scoreboard_tests {
     #[test]
     fn independent_loads_overlap() {
         // Two independent cold loads from different lines should cost
-        // barely more than one; a dependent A->B chain costs ~двa misses.
+        // barely more than one; a dependent A->B chain costs two misses.
         let a = (0..8).map(|i| 0x10_0000 + i * 128).collect::<Vec<_>>();
         let b = (0..8).map(|i| 0x20_0000 + i * 128).collect::<Vec<_>>();
-        let both_independent =
-            gpu().execute(&one(vec![ld(a.clone(), AccessTag::Field), ld(b.clone(), AccessTag::Field)]));
+        let both_independent = gpu().execute(&one(vec![
+            ld(a.clone(), AccessTag::Field),
+            ld(b.clone(), AccessTag::Field),
+        ]));
         let chained = gpu().execute(&one(vec![
             ld(a, AccessTag::VtablePtr),
             ld(b, AccessTag::VfuncPtr), // waits for the vtable load
@@ -801,20 +1200,123 @@ mod scoreboard_tests {
         small_mshr.mshr_per_sm = 33;
         let mut big_mshr = small_mshr.clone();
         big_mshr.mshr_per_sm = 4096;
-        let slow = Gpu::new(small_mshr).execute(&KernelTrace { warps: warps.clone() });
+        let slow = Gpu::new(small_mshr).execute(&KernelTrace {
+            warps: warps.clone(),
+        });
         let fast = Gpu::new(big_mshr).execute(&KernelTrace { warps });
-        assert!(slow.cycles > fast.cycles, "{} !> {}", slow.cycles, fast.cycles);
+        assert!(
+            slow.cycles > fast.cycles,
+            "{} !> {}",
+            slow.cycles,
+            fast.cycles
+        );
     }
 
     #[test]
     fn load_transactions_attributed_to_tags() {
         let s = gpu().execute(&one(vec![
-            ld((0..32).map(|i| 0x100_0000 + i * 64).collect(), AccessTag::VtablePtr),
+            ld(
+                (0..32).map(|i| 0x100_0000 + i * 64).collect(),
+                AccessTag::VtablePtr,
+            ),
             ld(vec![0x200_0000; 32], AccessTag::RangeWalk),
         ]));
         assert_eq!(s.load_transactions(AccessTag::VtablePtr), 32);
         assert_eq!(s.load_transactions(AccessTag::RangeWalk), 1);
         assert_eq!(s.load_transactions(AccessTag::Field), 0);
         assert_eq!(s.global_load_transactions, 33);
+    }
+}
+
+#[cfg(test)]
+mod epoch_tests {
+    use super::*;
+    use crate::instr::MemOp;
+    use crate::trace::WarpTrace;
+
+    /// A mixed kernel exercising every op class, cache level and the
+    /// warp-replacement path (more warps than residency).
+    fn mixed_kernel(warps: usize) -> KernelTrace {
+        let mk = |wi: usize| {
+            let mut w = WarpTrace::new();
+            for k in 0..12 {
+                match (wi + k) % 5 {
+                    0 => w.push(Op::Alu(2 + (k as u16 % 3))),
+                    1 => {
+                        let addrs: Vec<u64> = (0..32)
+                            .map(|l| ((wi * 64 + k * 8 + l) as u64) * 32)
+                            .collect();
+                        w.push(Op::Mem(MemOp {
+                            space: Space::Global,
+                            is_store: false,
+                            width: 8,
+                            mask: u32::MAX,
+                            addrs: addrs.into_boxed_slice(),
+                            tag: AccessTag::VtablePtr,
+                        }));
+                    }
+                    2 => w.push(Op::IndirectCall),
+                    3 => w.push(Op::Mem(MemOp {
+                        space: Space::Global,
+                        is_store: true,
+                        width: 4,
+                        mask: u32::MAX,
+                        addrs: (0..32u64)
+                            .map(|l| 0x40_0000 + (wi as u64 * 32 + l) * 4)
+                            .collect(),
+                        tag: AccessTag::Other,
+                    })),
+                    _ => w.push(Op::Mem(MemOp {
+                        space: Space::Const,
+                        is_store: false,
+                        width: 8,
+                        mask: u32::MAX,
+                        addrs: vec![0x100 + (k as u64 % 4) * 64; 32].into_boxed_slice(),
+                        tag: AccessTag::ConstIndirection,
+                    })),
+                }
+            }
+            w
+        };
+        KernelTrace {
+            warps: (0..warps).map(mk).collect(),
+        }
+    }
+
+    #[test]
+    fn serial_path_is_deterministic() {
+        let k = mixed_kernel(40);
+        let a = Gpu::new(GpuConfig::small()).execute_serial(&k);
+        let b = Gpu::new(GpuConfig::small()).execute_serial(&k);
+        assert_eq!(a, b);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let k = mixed_kernel(64);
+        let gpu = Gpu::new(GpuConfig::small());
+        let serial = gpu.execute_serial(&k);
+        for threads in [2, 3, 8] {
+            let par = gpu.execute_parallel(&k, threads);
+            assert_eq!(par, serial, "threads={threads} diverged from serial oracle");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_is_self_deterministic() {
+        let k = mixed_kernel(48);
+        let gpu = Gpu::new(GpuConfig::small()).with_threads(2);
+        assert_eq!(gpu.execute(&k), gpu.execute(&k));
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn with_threads_dispatches_to_identical_results() {
+        let k = mixed_kernel(32);
+        let serial = Gpu::new(GpuConfig::small()).execute(&k);
+        let auto = Gpu::new(GpuConfig::small()).with_threads(0).execute(&k);
+        assert_eq!(serial, auto);
     }
 }

@@ -45,7 +45,12 @@ pub struct WarpCtx<'m> {
 impl<'m> WarpCtx<'m> {
     /// Creates a context for warp `warp_id` with initial active `mask`.
     pub fn new(mem: &'m mut DeviceMemory, warp_id: usize, mask: u32) -> Self {
-        WarpCtx { mem, trace: WarpTrace::new(), warp_id, mask }
+        WarpCtx {
+            mem,
+            trace: WarpTrace::new(),
+            warp_id,
+            mask,
+        }
     }
 
     /// This warp's index within the kernel launch.
@@ -234,13 +239,7 @@ impl<'m> WarpCtx<'m> {
     ///
     /// # Panics
     /// Panics on an MMU fault, like [`ld`](Self::ld).
-    pub fn st(
-        &mut self,
-        tag: AccessTag,
-        width: u8,
-        addrs: &Lanes<VirtAddr>,
-        values: &Lanes<u64>,
-    ) {
+    pub fn st(&mut self, tag: AccessTag, width: u8, addrs: &Lanes<VirtAddr>, values: &Lanes<u64>) {
         assert!((1..=8).contains(&width), "store width must be 1..=8 bytes");
         let mask = self.emit_mem(Space::Global, true, width, tag, addrs);
         for lane in 0..WARP_SIZE {

@@ -47,6 +47,7 @@ mod config;
 mod engine;
 mod exec;
 mod instr;
+mod pool;
 pub mod simt;
 mod stats;
 mod trace;
@@ -56,5 +57,6 @@ pub use config::GpuConfig;
 pub use engine::Gpu;
 pub use exec::{lanes_from_fn, lanes_none, run_kernel, Lanes, WarpCtx, WARP_SIZE};
 pub use instr::{AccessTag, InstrClass, MemOp, Op, Space};
+pub use pool::SimPool;
 pub use stats::{Stats, STALL_INDIRECT_CALL};
 pub use trace::{KernelTrace, WarpTrace};

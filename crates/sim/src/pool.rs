@@ -1,0 +1,134 @@
+//! Inter-kernel fan-out: run independent simulations concurrently.
+//!
+//! A figure sweep is embarrassingly parallel — every (workload,
+//! strategy, configuration) cell owns its [`crate::Gpu`], device memory
+//! and RNG stream, so cells share nothing. [`SimPool::run`] distributes
+//! the cells over host threads and returns results **in input order**,
+//! which together with each cell's own determinism (see the engine's
+//! determinism contract) makes a parallel sweep bit-identical to a
+//! serial one.
+//!
+//! Without the `parallel` crate feature (or with one job) the pool
+//! degenerates to a plain in-order loop on the calling thread.
+
+/// A fixed-size host thread pool for independent simulation jobs.
+///
+/// ```
+/// use gvf_sim::SimPool;
+///
+/// let squares = SimPool::new(4).run(&[1u64, 2, 3, 4, 5], |&n| n * n);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SimPool {
+    jobs: usize,
+}
+
+impl SimPool {
+    /// Creates a pool running up to `jobs` simulations at once; `0`
+    /// picks the machine's available parallelism.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        SimPool { jobs }
+    }
+
+    /// The resolved job count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every input and returns the outputs in input
+    /// order. `f` must be self-contained per input — results are
+    /// identical for any job count.
+    pub fn run<I, T, F>(&self, inputs: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        #[cfg(feature = "parallel")]
+        {
+            let jobs = self.jobs.min(inputs.len()).max(1);
+            if jobs > 1 {
+                return run_parallel(inputs, &f, jobs);
+            }
+        }
+        inputs.iter().map(f).collect()
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn run_parallel<I, T, F>(inputs: &[I], f: &F, jobs: usize) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    // Work-stealing by atomic cursor: job runtimes vary wildly across a
+    // sweep (scaled configs vs. tiny ones), so static chunking would
+    // leave threads idle.
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(input) = inputs.get(i) else { return };
+                let out = f(input);
+                *slots[i].lock().expect("slot mutex") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot mutex").expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let inputs: Vec<usize> = (0..100).collect();
+        let out = SimPool::new(4).run(&inputs, |&i| i * 3);
+        assert_eq!(out, inputs.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_means_auto() {
+        assert!(SimPool::new(0).jobs() >= 1);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let inputs: Vec<u64> = (0..37).collect();
+        let f = |&n: &u64| n.wrapping_mul(0x9e37_79b9).rotate_left(13);
+        assert_eq!(
+            SimPool::new(1).run(&inputs, f),
+            SimPool::new(8).run(&inputs, f)
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = SimPool::new(4).run(&[], |&n: &u64| n);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_jobs_than_inputs() {
+        let out = SimPool::new(64).run(&[1, 2], |&n: &i32| n + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+}

@@ -60,7 +60,10 @@ pub struct SimtStack<T> {
 impl<T: Copy + Ord> SimtStack<T> {
     /// A stack for a warp whose full active mask is `mask`.
     pub fn new(mask: u32) -> Self {
-        SimtStack { stack: Vec::new(), reconverge_mask: mask }
+        SimtStack {
+            stack: Vec::new(),
+            reconverge_mask: mask,
+        }
     }
 
     /// The mask the warp returns to once every group has executed.

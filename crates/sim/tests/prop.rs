@@ -1,11 +1,12 @@
-//! Property tests for the simulator's structural invariants.
+//! Property tests for the simulator's structural invariants (on the
+//! in-repo `gvf-prop` harness; the workspace builds offline).
 
 use gvf_mem::DeviceMemory;
+use gvf_prop::{gen, props, Rng};
 use gvf_sim::{
-    lanes_from_fn, run_kernel, AccessTag, Gpu, GpuConfig, KernelTrace, MemOp, Op, Space,
-    SectoredCache, WarpTrace,
+    lanes_from_fn, run_kernel, AccessTag, Gpu, GpuConfig, KernelTrace, MemOp, Op, SectoredCache,
+    SimPool, Space, Stats, WarpTrace,
 };
-use proptest::prelude::*;
 
 fn mem_op(addrs: Vec<u64>, tag: AccessTag) -> Op {
     let mask = if addrs.len() >= 32 {
@@ -23,80 +24,198 @@ fn mem_op(addrs: Vec<u64>, tag: AccessTag) -> Op {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Coalescing: transactions per load are between 1 and the lane
-    /// count, and equal the number of distinct sectors.
-    #[test]
-    fn coalescer_counts_distinct_sectors(addrs in proptest::collection::vec(0u64..1_000_000, 1..32)) {
+/// Coalescing: transactions per load are between 1 and the lane count,
+/// and equal the number of distinct sectors.
+#[test]
+fn coalescer_counts_distinct_sectors() {
+    props!(48, |rng| {
+        let addrs = gen::vec(gen::range_u64(0, 1_000_000), 1..32)(rng);
         let mut distinct: Vec<u64> = addrs.iter().map(|a| a / 32).collect();
         distinct.sort_unstable();
         distinct.dedup();
         let mut w = WarpTrace::new();
         w.push(mem_op(addrs.clone(), AccessTag::Field));
         let s = Gpu::new(GpuConfig::small()).execute(&KernelTrace { warps: vec![w] });
-        prop_assert_eq!(s.global_load_transactions, distinct.len() as u64);
-        prop_assert!(s.global_load_transactions >= 1);
-        prop_assert!(s.global_load_transactions <= addrs.len() as u64);
-    }
+        assert_eq!(s.global_load_transactions, distinct.len() as u64);
+        assert!(s.global_load_transactions >= 1);
+        assert!(s.global_load_transactions <= addrs.len() as u64);
+    });
+}
 
-    /// Monotonicity: appending work never reduces simulated cycles, and
-    /// cycles are always positive for non-empty kernels.
-    #[test]
-    fn more_work_never_faster(n_alu in 1u16..200, extra in 1u16..200) {
+/// Monotonicity: appending work never reduces simulated cycles, and
+/// cycles are always positive for non-empty kernels.
+#[test]
+fn more_work_never_faster() {
+    props!(48, |rng| {
+        let n_alu = rng.range_u64(1, 200) as u16;
+        let extra = rng.range_u64(1, 200) as u16;
         let mk = |n: u16| {
             let mut w = WarpTrace::new();
             w.push(Op::Alu(n));
-            Gpu::new(GpuConfig::small()).execute(&KernelTrace { warps: vec![w] }).cycles
+            Gpu::new(GpuConfig::small())
+                .execute(&KernelTrace { warps: vec![w] })
+                .cycles
         };
         let a = mk(n_alu);
         let b = mk(n_alu + extra);
-        prop_assert!(a > 0);
-        prop_assert!(b >= a);
-    }
+        assert!(a > 0);
+        assert!(b >= a);
+    });
+}
 
-    /// Instruction accounting: the engine reports exactly the dynamic
-    /// instructions present in the trace, for any op mix.
-    #[test]
-    fn instruction_accounting_exact(ops in proptest::collection::vec(0usize..5, 1..64)) {
+/// Instruction accounting: the engine reports exactly the dynamic
+/// instructions present in the trace, for any op mix.
+#[test]
+fn instruction_accounting_exact() {
+    props!(48, |rng| {
+        let ops = gen::vec(gen::range_usize(0, 5), 1..64)(rng);
         let mut w = WarpTrace::new();
         let mut expect = 0u64;
         for (i, k) in ops.iter().enumerate() {
             match k {
-                0 => { w.push(Op::Alu(3)); expect += 3; }
-                1 => { w.push(Op::Branch); expect += 1; }
-                2 => { w.push(mem_op(vec![i as u64 * 64], AccessTag::Other)); expect += 1; }
-                3 => { w.push(Op::IndirectCall); expect += 1; }
-                _ => { w.push(Op::Ret); expect += 1; }
+                0 => {
+                    w.push(Op::Alu(3));
+                    expect += 3;
+                }
+                1 => {
+                    w.push(Op::Branch);
+                    expect += 1;
+                }
+                2 => {
+                    w.push(mem_op(vec![i as u64 * 64], AccessTag::Other));
+                    expect += 1;
+                }
+                3 => {
+                    w.push(Op::IndirectCall);
+                    expect += 1;
+                }
+                _ => {
+                    w.push(Op::Ret);
+                    expect += 1;
+                }
             }
         }
-        let s = Gpu::new(GpuConfig::small()).execute(&KernelTrace { warps: vec![w.clone()] });
-        prop_assert_eq!(s.total_instrs(), expect);
-        prop_assert_eq!(s.total_instrs(), w.dyn_instrs());
-    }
+        let s = Gpu::new(GpuConfig::small()).execute(&KernelTrace {
+            warps: vec![w.clone()],
+        });
+        assert_eq!(s.total_instrs(), expect);
+        assert_eq!(s.total_instrs(), w.dyn_instrs());
+    });
+}
 
-    /// The cache never reports more hits than accesses, regardless of
-    /// the access stream.
-    #[test]
-    fn cache_hits_bounded(stream in proptest::collection::vec(0u64..4096, 1..512)) {
+/// The cache never reports more hits than accesses, regardless of the
+/// access stream.
+#[test]
+fn cache_hits_bounded() {
+    props!(48, |rng| {
+        let stream = gen::vec(gen::range_u64(0, 4096), 1..512)(rng);
         let mut c = SectoredCache::new(1024, 2, 128, 32);
         for a in stream {
             c.access(a);
         }
-        prop_assert!(c.hits() + c.misses() > 0);
-        prop_assert!(c.hit_rate() <= 1.0);
+        assert!(c.hits() + c.misses() > 0);
+        assert!(c.hit_rate() <= 1.0);
         // Re-touching the same address immediately must hit.
         c.access(12345);
         let h = c.hits();
         c.access(12345);
-        prop_assert_eq!(c.hits(), h + 1);
-    }
+        assert_eq!(c.hits(), h + 1);
+    });
+}
 
-    /// Functional layer: masked stores only write active lanes,
-    /// whatever the mask.
-    #[test]
-    fn masked_stores_respect_mask(mask in 1u32..=u32::MAX) {
+/// An arbitrary counter set, every field populated.
+fn arb_stats(rng: &mut Rng) -> Stats {
+    let mut s = Stats::new();
+    s.cycles = rng.range_u64(0, 1 << 40);
+    s.instrs_mem = rng.next_u64() >> 20;
+    s.instrs_compute = rng.next_u64() >> 20;
+    s.instrs_ctrl = rng.next_u64() >> 20;
+    s.global_load_transactions = rng.next_u64() >> 20;
+    s.global_store_transactions = rng.next_u64() >> 20;
+    s.l1_accesses = rng.next_u64() >> 20;
+    s.l1_hits = rng.next_u64() >> 20;
+    s.l2_accesses = rng.next_u64() >> 20;
+    s.l2_hits = rng.next_u64() >> 20;
+    s.dram_accesses = rng.next_u64() >> 20;
+    s.const_accesses = rng.next_u64() >> 20;
+    s.const_hits = rng.next_u64() >> 20;
+    for slot in s.stall_by_tag.iter_mut() {
+        *slot = rng.next_u64() >> 20;
+    }
+    for slot in s.load_transactions_by_tag.iter_mut() {
+        *slot = rng.next_u64() >> 20;
+    }
+    s.warps = rng.range_u64(0, 1 << 20);
+    s.vfunc_calls = rng.next_u64() >> 20;
+    s
+}
+
+/// `Stats::merged` is order-independent and associative — the property
+/// the deterministic parallel merge rests on.
+#[test]
+fn stats_merge_order_independent() {
+    props!(48, |rng| {
+        let parts: Vec<Stats> = gen::vec(arb_stats, 1..12)(rng);
+        let merged = Stats::merged(&parts);
+        let mut reversed: Vec<Stats> = parts.clone();
+        reversed.reverse();
+        assert_eq!(merged, Stats::merged(&reversed));
+        // Associativity: fold a random split pairwise.
+        let cut = rng.range_usize(0, parts.len());
+        let left = Stats::merged(&parts[..cut]);
+        let right = Stats::merged(&parts[cut..]);
+        assert_eq!(merged, Stats::merged([&left, &right]));
+        // Merging matches sequential AddAssign accumulation.
+        let mut acc = Stats::new();
+        for p in &parts {
+            acc += p;
+        }
+        assert_eq!(merged, acc);
+    });
+}
+
+/// Merging with zeroed counters is the identity, and per-field totals
+/// are exact sums.
+#[test]
+fn stats_merge_identity_and_sums() {
+    props!(48, |rng| {
+        let parts: Vec<Stats> = gen::vec(arb_stats, 1..8)(rng);
+        let merged = Stats::merged(&parts);
+        let mut with_zero = parts.clone();
+        with_zero.push(Stats::new());
+        assert_eq!(merged, Stats::merged(&with_zero));
+        let total: u64 = parts.iter().map(|p| p.cycles).sum();
+        assert_eq!(merged.cycles, total);
+        let l1: u64 = parts.iter().map(|p| p.l1_hits).sum();
+        assert_eq!(merged.l1_hits, l1);
+    });
+}
+
+/// A `SimPool` sweep merges to the same totals for any job count.
+#[test]
+fn pool_sweep_merge_deterministic() {
+    props!(8, |rng| {
+        let seeds = gen::vec(gen::any_u64(), 2..6)(rng);
+        let sweep = |jobs: usize| -> Stats {
+            let results = SimPool::new(jobs).run(&seeds, |&seed| {
+                let mut w = WarpTrace::new();
+                let addrs: Vec<u64> = (0..32).map(|l| (seed % 4096) * 64 + l * 40).collect();
+                w.push(mem_op(addrs, AccessTag::VtablePtr));
+                w.push(Op::Alu((seed % 7) as u16 + 1));
+                Gpu::new(GpuConfig::small()).execute(&KernelTrace { warps: vec![w] })
+            });
+            Stats::merged(&results)
+        };
+        assert_eq!(sweep(1), sweep(4));
+    });
+}
+
+/// Functional layer: masked stores only write active lanes, whatever
+/// the mask.
+#[test]
+fn masked_stores_respect_mask() {
+    props!(48, |rng| {
+        let mask = rng.range_u64(1, u32::MAX as u64 + 1) as u32;
         let mut mem = DeviceMemory::with_capacity(1 << 20);
         let base = mem.reserve(256, 8);
         run_kernel(&mut mem, 32, |w| {
@@ -107,7 +226,7 @@ proptest! {
         for i in 0..32 {
             let v = mem.read_u64(base.offset(i as u64 * 8)).unwrap();
             let expect = if (mask >> i) & 1 == 1 { 7 } else { 0 };
-            prop_assert_eq!(v, expect, "lane {}", i);
+            assert_eq!(v, expect, "lane {i}");
         }
-    }
+    });
 }

@@ -154,6 +154,10 @@ pub struct WorkloadConfig {
     pub tag_budget: Option<u64>,
     /// Simulated DRAM capacity in bytes.
     pub device_memory_bytes: u64,
+    /// Host threads for the timing engine's per-SM phase (`1` = serial,
+    /// `0` = auto). Purely a wall-clock knob: simulated results are
+    /// bit-identical for any value (the engine's determinism contract).
+    pub engine_threads: usize,
 }
 
 impl WorkloadConfig {
@@ -172,6 +176,7 @@ impl WorkloadConfig {
             coal_lookup: LookupKind::SegmentTree,
             tag_budget: None,
             device_memory_bytes: 4 << 30,
+            engine_threads: 1,
         }
     }
 
@@ -189,6 +194,7 @@ impl WorkloadConfig {
             coal_lookup: LookupKind::SegmentTree,
             tag_budget: None,
             device_memory_bytes: 512 << 20,
+            engine_threads: 1,
         }
     }
 }

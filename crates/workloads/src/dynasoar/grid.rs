@@ -41,8 +41,16 @@ pub struct GridSpec {
     pub is_live: fn(u32) -> bool,
 }
 
-const NEIGHBOURS: [(i64, i64); 8] =
-    [(-1, -1), (0, -1), (1, -1), (-1, 0), (1, 0), (-1, 1), (0, 1), (1, 1)];
+const NEIGHBOURS: [(i64, i64); 8] = [
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+    (-1, 0),
+    (1, 0),
+    (-1, 1),
+    (0, 1),
+    (1, 1),
+];
 
 /// Runs a grid automaton under `strategy`.
 pub fn run(spec: &GridSpec, strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
@@ -83,13 +91,24 @@ pub fn run(spec: &GridSpec, strategy: Strategy, cfg: &WorkloadConfig) -> RunResu
         let border = x == 0 || y == 0 || x == w_dim - 1 || y == h_dim - 1;
         let cell = rig.construct(if border { t_border } else { t_inner });
         let state = (spec.init)(splitmix64(cfg.seed ^ i as u64) % 100);
-        let agent =
-            rig.construct(if (spec.is_live)(state) { t_agent_a } else { t_agent_b });
+        let agent = rig.construct(if (spec.is_live)(state) {
+            t_agent_a
+        } else {
+            t_agent_b
+        });
         let hdr = rig.prog.header_bytes();
-        rig.mem.write_u64(cell.strip_tag().offset(hdr + C_AGENT), agent.raw()).unwrap();
-        rig.mem.write_u32(cell.strip_tag().offset(hdr + C_STATE), state).unwrap();
-        rig.mem.write_u32(agent.strip_tag().offset(hdr + A_STATE), state).unwrap();
-        rig.mem.write_u64(agent.strip_tag().offset(hdr + A_CELL), cell.raw()).unwrap();
+        rig.mem
+            .write_u64(cell.strip_tag().offset(hdr + C_AGENT), agent.raw())
+            .unwrap();
+        rig.mem
+            .write_u32(cell.strip_tag().offset(hdr + C_STATE), state)
+            .unwrap();
+        rig.mem
+            .write_u32(agent.strip_tag().offset(hdr + A_STATE), state)
+            .unwrap();
+        rig.mem
+            .write_u64(agent.strip_tag().offset(hdr + A_CELL), cell.raw())
+            .unwrap();
         cells.push(cell);
         agents.push(agent);
     }
@@ -136,9 +155,8 @@ pub fn run(spec: &GridSpec, strategy: Strategy, cfg: &WorkloadConfig) -> RunResu
                     }
                 }
                 w.alu(4); // rule evaluation
-                let next = lanes_from_fn(|l| {
-                    state[l].map(|s| (spec.rule)(s as u32, count[l]) as u64)
-                });
+                let next =
+                    lanes_from_fn(|l| state[l].map(|s| (spec.rule)(s as u32, count[l]) as u64));
                 // Write the agent's next state through the cell's pointer.
                 let aptr_bits = prog.ld_field(w, &objs, C_AGENT, 8);
                 let aptrs = lanes_from_fn(|l| aptr_bits[l].map(VirtAddr::new));
@@ -166,7 +184,10 @@ pub fn run(spec: &GridSpec, strategy: Strategy, cfg: &WorkloadConfig) -> RunResu
     let mut alive = 0u64;
     let mut state_sum = 0u64;
     for a in &agents {
-        let v = rig.mem.read_u32(a.strip_tag().offset(hdr + A_STATE)).unwrap();
+        let v = rig
+            .mem
+            .read_u32(a.strip_tag().offset(hdr + A_STATE))
+            .unwrap();
         ck.push(v as u64);
         state_sum += v as u64;
         if (spec.is_live)(v) {

@@ -79,9 +79,10 @@ pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
             let node = rig.construct(if anchor { t_anchor } else { t_free });
             let hdr = hdr_of(&rig);
             let p = node.strip_tag();
-            let jitter =
-                (splitmix64(cfg.seed ^ (c * chain_len + i) as u64) % 100) as f32 / 500.0;
-            rig.mem.write_f32(p.offset(hdr + N_X), i as f32 + jitter).unwrap();
+            let jitter = (splitmix64(cfg.seed ^ (c * chain_len + i) as u64) % 100) as f32 / 500.0;
+            rig.mem
+                .write_f32(p.offset(hdr + N_X), i as f32 + jitter)
+                .unwrap();
             rig.mem.write_f32(p.offset(hdr + N_Y), c as f32).unwrap();
             nodes.push(node);
             if let Some(prev) = prev {
@@ -108,15 +109,20 @@ pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
         let c = i / chain_len;
         let k = i % chain_len;
         let springs_per_chain = chain_len - 1;
-        let left =
-            if k == 0 { u64::MAX } else { (c * springs_per_chain + k - 1) as u64 };
+        let left = if k == 0 {
+            u64::MAX
+        } else {
+            (c * springs_per_chain + k - 1) as u64
+        };
         let right = if k == chain_len - 1 {
             u64::MAX
         } else {
             (c * springs_per_chain + k) as u64
         };
         rig.mem.write_u64(adj.offset(i as u64 * 16), left).unwrap();
-        rig.mem.write_u64(adj.offset(i as u64 * 16 + 8), right).unwrap();
+        rig.mem
+            .write_u64(adj.offset(i as u64 * 16 + 8), right)
+            .unwrap();
     }
 
     let ld_f32 = |prog: &gvf_core::DeviceProgram,
@@ -236,14 +242,12 @@ pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
                 let vy = ld_f32(prog, w, &objs, N_VY);
                 w.alu(10); // integration
                 let nvx = lanes_from_fn(|l| {
-                    vx[l].map(|v| {
-                        0.995 * (v + DT * (lfx[l].unwrap_or(0.0) + rfx[l].unwrap_or(0.0)))
-                    })
+                    vx[l]
+                        .map(|v| 0.995 * (v + DT * (lfx[l].unwrap_or(0.0) + rfx[l].unwrap_or(0.0))))
                 });
                 let nvy = lanes_from_fn(|l| {
-                    vy[l].map(|v| {
-                        0.995 * (v + DT * (lfy[l].unwrap_or(0.0) + rfy[l].unwrap_or(0.0)))
-                    })
+                    vy[l]
+                        .map(|v| 0.995 * (v + DT * (lfy[l].unwrap_or(0.0) + rfy[l].unwrap_or(0.0))))
                 });
                 let nx = lanes_from_fn(|l| x[l].zip(nvx[l]).map(|(p, v)| p + DT * v));
                 let ny = lanes_from_fn(|l| y[l].zip(nvy[l]).map(|(p, v)| p + DT * v));
@@ -268,14 +272,23 @@ pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
         if k == 0 || k == chain_len - 1 {
             let c = i / chain_len;
             let jitter = (splitmix64(cfg.seed ^ i as u64) % 100) as f32 / 500.0;
-            let x = rig.mem.read_f32(node.strip_tag().offset(hdr + N_X)).unwrap();
-            let y = rig.mem.read_f32(node.strip_tag().offset(hdr + N_Y)).unwrap();
+            let x = rig
+                .mem
+                .read_f32(node.strip_tag().offset(hdr + N_X))
+                .unwrap();
+            let y = rig
+                .mem
+                .read_f32(node.strip_tag().offset(hdr + N_Y))
+                .unwrap();
             anchor_drift += ((x - (k as f32 + jitter)).abs() + (y - c as f32).abs()) as f64;
         }
     }
     let mut broken = 0u64;
     for s in &springs {
-        broken += rig.mem.read_u32(s.strip_tag().offset(hdr + S_BROKEN)).unwrap() as u64;
+        broken += rig
+            .mem
+            .read_u32(s.strip_tag().offset(hdr + S_BROKEN))
+            .unwrap() as u64;
     }
     let metrics = vec![("anchor_drift", anchor_drift), ("broken", broken as f64)];
     crate::util::collect_with_metrics(rig, &reg, ck, metrics)
@@ -284,7 +297,10 @@ pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
 fn fold_u32_broken(rig: &mut Rig, springs: &[VirtAddr], ck: &mut Checksum) {
     let hdr = rig.prog.header_bytes();
     for s in springs {
-        let v = rig.mem.read_u32(s.strip_tag().offset(hdr + S_BROKEN)).unwrap();
+        let v = rig
+            .mem
+            .read_u32(s.strip_tag().offset(hdr + S_BROKEN))
+            .unwrap();
         ck.push(v as u64);
     }
 }

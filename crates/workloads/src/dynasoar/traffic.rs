@@ -109,25 +109,41 @@ pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
             let base = rig.prog.header_bytes();
             let p = v.strip_tag();
             rig.mem.write_u32(p.offset(base + V_POS), pos).unwrap();
-            rig.mem.write_u32(p.offset(base + V_VEL), (h2 % 3) as u32).unwrap();
-            rig.mem.write_u32(p.offset(base + V_BASE), ring * ring_len as u32).unwrap();
-            rig.mem.write_u32(p.offset(base + V_LEN), ring_len as u32).unwrap();
+            rig.mem
+                .write_u32(p.offset(base + V_VEL), (h2 % 3) as u32)
+                .unwrap();
+            rig.mem
+                .write_u32(p.offset(base + V_BASE), ring * ring_len as u32)
+                .unwrap();
+            rig.mem
+                .write_u32(p.offset(base + V_LEN), ring_len as u32)
+                .unwrap();
         }
         if i % 128 == 0 && infra.len() < n_lights {
             let l = rig.construct(t_light);
             let base = rig.prog.header_bytes();
             let p = l.strip_tag();
-            rig.mem.write_u32(p.offset(base + L_PHASE), (i % 7) as u32).unwrap();
-            rig.mem.write_u32(p.offset(base + L_PERIOD), 6 + (i % 5) as u32).unwrap();
-            rig.mem.write_u32(p.offset(base + L_CELL), i as u32).unwrap();
+            rig.mem
+                .write_u32(p.offset(base + L_PHASE), (i % 7) as u32)
+                .unwrap();
+            rig.mem
+                .write_u32(p.offset(base + L_PERIOD), 6 + (i % 5) as u32)
+                .unwrap();
+            rig.mem
+                .write_u32(p.offset(base + L_CELL), i as u32)
+                .unwrap();
             infra.push(l);
         }
         if i % 256 == 17 && infra.len() < n_lights + n_signs {
             let g = rig.construct(t_sign);
             let base = rig.prog.header_bytes();
             let p = g.strip_tag();
-            rig.mem.write_u32(p.offset(base + S_LIMIT), 2 + (i % 3) as u32).unwrap();
-            rig.mem.write_u32(p.offset(base + S_CELL), i as u32).unwrap();
+            rig.mem
+                .write_u32(p.offset(base + S_LIMIT), 2 + (i % 3) as u32)
+                .unwrap();
+            rig.mem
+                .write_u32(p.offset(base + S_CELL), i as u32)
+                .unwrap();
             infra.push(g);
         }
     }
@@ -159,16 +175,15 @@ pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
                     let period = prog.ld_field(w, &objs, L_PERIOD, 4);
                     let cell_idx = prog.ld_field(w, &objs, L_CELL, 4);
                     w.alu(3);
-                    let next = lanes_from_fn(|i| {
-                        phase[i].zip(period[i]).map(|(p, q)| (p + 1) % q.max(1))
-                    });
+                    let next =
+                        lanes_from_fn(|i| phase[i].zip(period[i]).map(|(p, q)| (p + 1) % q.max(1)));
                     prog.st_field(w, &objs, L_PHASE, 4, &next);
                     // Block the cell while phase < period/2.
-                    let cell_ptrs = lanes_from_fn(|i| {
-                        cell_idx[i].map(|c| cells[c as usize])
-                    });
+                    let cell_ptrs = lanes_from_fn(|i| cell_idx[i].map(|c| cells[c as usize]));
                     let blocked = lanes_from_fn(|i| {
-                        next[i].zip(period[i]).map(|(p, q)| u64::from(p < q.max(1) / 2))
+                        next[i]
+                            .zip(period[i])
+                            .map(|(p, q)| u64::from(p < q.max(1) / 2))
                     });
                     prog.st_field(w, &cell_ptrs, CELL_BLK, 4, &blocked);
                 } else {
@@ -183,14 +198,18 @@ pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
         rig.run_kernel(vehicles.len(), |prog, w| {
             let objs = lanes_ptrs(w, &vehicles);
             prog.vcall(w, &CallSite::new(0), &objs, |w, fid| {
-                let vmax = if fid == F_CAR_STEP { CAR_VMAX } else { BUS_VMAX };
+                let vmax = if fid == F_CAR_STEP {
+                    CAR_VMAX
+                } else {
+                    BUS_VMAX
+                };
                 let pos = prog.ld_field(w, &objs, V_POS, 4);
                 let vel = prog.ld_field(w, &objs, V_VEL, 4);
                 let base = prog.ld_field(w, &objs, V_BASE, 4);
                 let len = prog.ld_field(w, &objs, V_LEN, 4);
                 w.alu(2); // accelerate + clamp
-                // Gap scan: probe up to vmax cells ahead through the road
-                // array and the (diverged) cell objects.
+                          // Gap scan: probe up to vmax cells ahead through the road
+                          // array and the (diverged) cell objects.
                 let mut gap = lanes_from_fn(|i| pos[i].map(|_| vmax));
                 let mut open = w.mask();
                 for d in 1..=vmax {
@@ -209,8 +228,7 @@ pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
                             .flatten()
                     });
                     let cell_ptr_bits = w.ld(AccessTag::Other, 8, &probe_addrs);
-                    let cell_ptrs =
-                        lanes_from_fn(|i| cell_ptr_bits[i].map(VirtAddr::new));
+                    let cell_ptrs = lanes_from_fn(|i| cell_ptr_bits[i].map(VirtAddr::new));
                     let occ = prog.ld_field(w, &cell_ptrs, CELL_OCC, 4);
                     let blk = prog.ld_field(w, &cell_ptrs, CELL_BLK, 4);
                     w.alu(2);
@@ -238,7 +256,10 @@ pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
                     })
                 });
                 let npos = lanes_from_fn(|i| {
-                    pos[i].zip(nvel[i]).zip(len[i]).map(|((p, v), l)| (p + v) % l.max(1))
+                    pos[i]
+                        .zip(nvel[i])
+                        .zip(len[i])
+                        .map(|((p, v), l)| (p + v) % l.max(1))
                 });
                 prog.st_field(w, &objs, V_NVEL, 4, &nvel);
                 prog.st_field(w, &objs, V_NPOS, 4, &npos);
@@ -269,9 +290,8 @@ pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
                 prog.st_field(w, &objs, V_POS, 4, &npos);
                 prog.st_field(w, &objs, V_VEL, 4, &nvel);
                 w.alu(if fid == F_BUS_COMMIT { 3 } else { 1 });
-                let cell_ptrs = lanes_from_fn(|i| {
-                    npos[i].zip(base[i]).map(|(p, b)| cells[(b + p) as usize])
-                });
+                let cell_ptrs =
+                    lanes_from_fn(|i| npos[i].zip(base[i]).map(|(p, b)| cells[(b + p) as usize]));
                 let one = lanes_from_fn(|i| cell_ptrs[i].map(|_| 1u64));
                 prog.st_field(w, &cell_ptrs, CELL_OCC, 4, &one);
             });
@@ -285,7 +305,10 @@ pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
     let hdr = rig.prog.header_bytes();
     let mut occupied = 0u64;
     for c in &cells {
-        occupied += rig.mem.read_u32(c.strip_tag().offset(hdr + CELL_OCC)).unwrap() as u64;
+        occupied += rig
+            .mem
+            .read_u32(c.strip_tag().offset(hdr + CELL_OCC))
+            .unwrap() as u64;
     }
     let mut pos_sum = 0u64;
     let mut vel_sum = 0u64;

@@ -91,7 +91,10 @@ pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Synt
     assert!(n >= 2, "graph needs at least two vertices");
     let mut by_src: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (s, d) in edges {
-        assert!((s as usize) < n && (d as usize) < n, "edge ({s},{d}) out of range");
+        assert!(
+            (s as usize) < n && (d as usize) < n,
+            "edge ({s},{d}) out of range"
+        );
         by_src[s as usize].push(d);
     }
     let mut out_row = Vec::with_capacity(n + 1);
@@ -156,7 +159,13 @@ fn build_csr(n: usize, out_row: Vec<u32>, out_dst: Vec<u32>) -> SynthGraph {
         }
     }
 
-    SynthGraph { n, out_row, out_dst, in_row, in_edge_idx }
+    SynthGraph {
+        n,
+        out_row,
+        out_dst,
+        in_row,
+        in_edge_idx,
+    }
 }
 
 #[cfg(test)]

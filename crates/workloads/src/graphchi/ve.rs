@@ -50,7 +50,9 @@ pub fn run(algo: GraphAlgo, strategy: Strategy, cfg: &WorkloadConfig) -> RunResu
             let hdr = rig.prog.header_bytes();
             let p = obj.strip_tag();
             rig.mem.write_u32(p.offset(hdr + E_SRC), v as u32).unwrap();
-            rig.mem.write_u32(p.offset(hdr + 4), g.out_dst[e as usize]).unwrap();
+            rig.mem
+                .write_u32(p.offset(hdr + 4), g.out_dst[e as usize])
+                .unwrap();
             let wgt = 0.25 + (h % 100) as f32 / 100.0;
             rig.mem.write_f32(p.offset(hdr + E_WEIGHT), wgt).unwrap();
             edges.push(obj);
@@ -62,7 +64,9 @@ pub fn run(algo: GraphAlgo, strategy: Strategy, cfg: &WorkloadConfig) -> RunResu
     let mut cur = 0usize; // which of the ping-pong value arrays is current
     for round in 0..cfg.iterations {
         let (val_cur, val_next) = (arrays.val[cur], arrays.val[1 - cur]);
-        relax_round(&mut rig, &g, &edges, &arrays, algo, round, val_cur, val_next);
+        relax_round(
+            &mut rig, &g, &edges, &arrays, algo, round, val_cur, val_next,
+        );
         cur = 1 - cur;
     }
 
@@ -70,7 +74,10 @@ pub fn run(algo: GraphAlgo, strategy: Strategy, cfg: &WorkloadConfig) -> RunResu
     let mut value_sum = 0.0f64;
     let mut reached = 0u64;
     for v in 0..g.n {
-        let bits = rig.mem.read_u32(arrays.val[cur].offset(v as u64 * 4)).unwrap();
+        let bits = rig
+            .mem
+            .read_u32(arrays.val[cur].offset(v as u64 * 4))
+            .unwrap();
         match algo {
             GraphAlgo::Pr => {
                 ck.push_f32_quantized(f32::from_bits(bits));
@@ -124,17 +131,32 @@ impl DeviceArrays {
                 GraphAlgo::Cc => v as u32,
                 GraphAlgo::Pr => 1.0f32.to_bits(),
             };
-            rig.mem.write_u32(val[0].offset(v as u64 * 4), init).unwrap();
-            rig.mem.write_u32(val[1].offset(v as u64 * 4), init).unwrap();
-            rig.mem.write_u32(out_deg.offset(v as u64 * 4), g.out_deg(v)).unwrap();
+            rig.mem
+                .write_u32(val[0].offset(v as u64 * 4), init)
+                .unwrap();
+            rig.mem
+                .write_u32(val[1].offset(v as u64 * 4), init)
+                .unwrap();
+            rig.mem
+                .write_u32(out_deg.offset(v as u64 * 4), g.out_deg(v))
+                .unwrap();
         }
         for v in 0..=g.n {
-            rig.mem.write_u32(in_row.offset(v as u64 * 4), g.in_row[v]).unwrap();
+            rig.mem
+                .write_u32(in_row.offset(v as u64 * 4), g.in_row[v])
+                .unwrap();
         }
         for (k, &e) in g.in_edge_idx.iter().enumerate() {
-            rig.mem.write_ptr(in_ptrs.offset(k as u64 * 8), edges[e as usize]).unwrap();
+            rig.mem
+                .write_ptr(in_ptrs.offset(k as u64 * 8), edges[e as usize])
+                .unwrap();
         }
-        DeviceArrays { val, in_row, in_ptrs, out_deg }
+        DeviceArrays {
+            val,
+            in_row,
+            in_ptrs,
+            out_deg,
+        }
     }
 }
 
@@ -193,7 +215,11 @@ fn relax_round(
             (w.thread_id(l) < n).then(|| arrays_in_row.offset(w.thread_id(l) as u64 * 4))
         });
         w.ld(AccessTag::Other, 4, &row_addrs);
-        w.ld(AccessTag::Other, 4, &lanes_from_fn(|l| row_addrs[l].map(|a| a.offset(4))));
+        w.ld(
+            AccessTag::Other,
+            4,
+            &lanes_from_fn(|l| row_addrs[l].map(|a| a.offset(4))),
+        );
         let own_addrs = lanes_from_fn(|l| {
             (w.thread_id(l) < n).then(|| val_cur.offset(w.thread_id(l) as u64 * 4))
         });
@@ -235,17 +261,14 @@ fn relax_round(
             }
             // Edge pointer from the in-CSR pointer array (diverged).
             let ptr_addrs = lanes_from_fn(|l| {
-                lane_on(l).then(|| {
-                    in_ptrs.offset((in_row[w.thread_id(l)] + d) as u64 * 8)
-                })
+                lane_on(l).then(|| in_ptrs.offset((in_row[w.thread_id(l)] + d) as u64 * 8))
             });
             let bits = w.ld(AccessTag::Other, 8, &ptr_addrs);
             let eptrs = lanes_from_fn(|l| bits[l].map(VirtAddr::new));
             let (srcs, weights) = edge_visit(prog, w, &eptrs);
 
             // Neighbour value.
-            let src_val_addrs =
-                lanes_from_fn(|l| srcs[l].map(|s| val_cur.offset(s * 4)));
+            let src_val_addrs = lanes_from_fn(|l| srcs[l].map(|s| val_cur.offset(s * 4)));
             let sval = w.ld(AccessTag::Other, 4, &src_val_addrs);
             match algo {
                 GraphAlgo::Bfs => {
@@ -267,16 +290,12 @@ fn relax_round(
                     }
                 }
                 GraphAlgo::Pr => {
-                    let deg_addrs =
-                        lanes_from_fn(|l| srcs[l].map(|s| out_deg_arr.offset(s * 4)));
+                    let deg_addrs = lanes_from_fn(|l| srcs[l].map(|s| out_deg_arr.offset(s * 4)));
                     let sdeg = w.ld(AccessTag::Other, 4, &deg_addrs);
                     w.alu(3);
                     for l in 0..WARP_SIZE {
-                        if let (Some(sv), Some(dg), Some(wt)) =
-                            (sval[l], sdeg[l], weights[l])
-                        {
-                            sum[l] +=
-                                f32::from_bits(sv as u32) * wt / (dg.max(1) as f32);
+                        if let (Some(sv), Some(dg), Some(wt)) = (sval[l], sdeg[l], weights[l]) {
+                            sum[l] += f32::from_bits(sv as u32) * wt / (dg.max(1) as f32);
                         }
                     }
                 }

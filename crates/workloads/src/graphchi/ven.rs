@@ -75,7 +75,9 @@ pub fn run(algo: GraphAlgo, strategy: Strategy, cfg: &WorkloadConfig) -> RunResu
             let hdr = rig.prog.header_bytes();
             let p = eo.strip_tag();
             rig.mem.write_u32(p.offset(hdr + E_SRC), v as u32).unwrap();
-            rig.mem.write_u32(p.offset(hdr + 4), g.out_dst[e as usize]).unwrap();
+            rig.mem
+                .write_u32(p.offset(hdr + 4), g.out_dst[e as usize])
+                .unwrap();
             rig.mem
                 .write_f32(p.offset(hdr + E_WEIGHT), 0.5 + (h % 64) as f32 / 64.0)
                 .unwrap();
@@ -99,8 +101,12 @@ pub fn run(algo: GraphAlgo, strategy: Strategy, cfg: &WorkloadConfig) -> RunResu
         };
         rig.mem.write_u32(p.offset(hdr + V_VAL), init).unwrap();
         rig.mem.write_u32(p.offset(hdr + V_NEXT), init).unwrap();
-        rig.mem.write_u32(p.offset(hdr + V_DEG), g.in_deg(v)).unwrap();
-        rig.mem.write_u32(p.offset(hdr + V_ROW), g.in_row[v]).unwrap();
+        rig.mem
+            .write_u32(p.offset(hdr + V_DEG), g.in_deg(v))
+            .unwrap();
+        rig.mem
+            .write_u32(p.offset(hdr + V_ROW), g.in_row[v])
+            .unwrap();
     }
     rig.finalize();
 
@@ -108,19 +114,27 @@ pub fn run(algo: GraphAlgo, strategy: Strategy, cfg: &WorkloadConfig) -> RunResu
     // (for neighbour access), per-vertex out-degree.
     let in_ptrs = rig.reserve(g.m() as u64 * 8, 256);
     for (k, &e) in g.in_edge_idx.iter().enumerate() {
-        rig.mem.write_ptr(in_ptrs.offset(k as u64 * 8), edges[e as usize]).unwrap();
+        rig.mem
+            .write_ptr(in_ptrs.offset(k as u64 * 8), edges[e as usize])
+            .unwrap();
     }
     let vert_ptrs = rig.reserve(g.n as u64 * 8, 256);
     for (v, p) in verts.iter().enumerate() {
-        rig.mem.write_ptr(vert_ptrs.offset(v as u64 * 8), *p).unwrap();
+        rig.mem
+            .write_ptr(vert_ptrs.offset(v as u64 * 8), *p)
+            .unwrap();
     }
     let out_deg = rig.reserve(g.n as u64 * 4, 256);
     for v in 0..g.n {
-        rig.mem.write_u32(out_deg.offset(v as u64 * 4), g.out_deg(v)).unwrap();
+        rig.mem
+            .write_u32(out_deg.offset(v as u64 * 4), g.out_deg(v))
+            .unwrap();
     }
 
     for round in 0..cfg.iterations {
-        update_round(&mut rig, &g, &verts, algo, round, in_ptrs, vert_ptrs, out_deg);
+        update_round(
+            &mut rig, &g, &verts, algo, round, in_ptrs, vert_ptrs, out_deg,
+        );
         // Commit phase: val = next, via the second virtual slot.
         rig.run_kernel(g.n, |prog, w| {
             let objs = lanes_ptrs(w, &verts);
@@ -204,8 +218,7 @@ fn update_round(
                     continue;
                 }
                 let ptr_addrs = lanes_from_fn(|l| {
-                    lane_on(l)
-                        .then(|| in_ptrs.offset((in_row[w.thread_id(l)] + d) as u64 * 8))
+                    lane_on(l).then(|| in_ptrs.offset((in_row[w.thread_id(l)] + d) as u64 * 8))
                 });
                 let bits = w.ld(AccessTag::Other, 8, &ptr_addrs);
                 let eptrs = lanes_from_fn(|l| bits[l].map(VirtAddr::new));
@@ -232,8 +245,7 @@ fn update_round(
                 });
 
                 // Neighbour vertex object → its current value (Field).
-                let sv_addr =
-                    lanes_from_fn(|l| srcs[l].map(|s| vert_ptrs.offset(s * 8)));
+                let sv_addr = lanes_from_fn(|l| srcs[l].map(|s| vert_ptrs.offset(s * 8)));
                 let sp_bits = w.ld(AccessTag::Other, 8, &sv_addr);
                 let sptrs = lanes_from_fn(|l| sp_bits[l].map(VirtAddr::new));
                 let sval = prog.ld_field(w, &sptrs, V_VAL, 4);
@@ -256,16 +268,12 @@ fn update_round(
                         }
                     }
                     GraphAlgo::Pr => {
-                        let da =
-                            lanes_from_fn(|l| srcs[l].map(|s| out_deg.offset(s * 4)));
+                        let da = lanes_from_fn(|l| srcs[l].map(|s| out_deg.offset(s * 4)));
                         let sdeg = w.ld(AccessTag::Other, 4, &da);
                         w.alu(3);
                         for l in 0..WARP_SIZE {
-                            if let (Some(sv), Some(dg), Some(wt)) =
-                                (sval[l], sdeg[l], weights[l])
-                            {
-                                sum[l] +=
-                                    f32::from_bits(sv as u32) * wt / (dg.max(1) as f32);
+                            if let (Some(sv), Some(dg), Some(wt)) = (sval[l], sdeg[l], weights[l]) {
+                                sum[l] += f32::from_bits(sv as u32) * wt / (dg.max(1) as f32);
                             }
                         }
                     }

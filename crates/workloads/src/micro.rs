@@ -31,7 +31,10 @@ impl MicroParams {
     /// The Fig. 12a sweep point: `x` million-ish objects at 4 types
     /// (scaled by `cfg.scale` relative to the paper's absolute counts).
     pub fn objects_sweep(x: usize) -> Self {
-        MicroParams { n_objects: x, n_types: 4 }
+        MicroParams {
+            n_objects: x,
+            n_types: 4,
+        }
     }
 }
 
@@ -61,9 +64,7 @@ fn body_store(
     let addrs = lanes_from_fn(|l| {
         (w.is_active(l) && w.thread_id(l) < n).then(|| out.offset(w.thread_id(l) as u64 * 4))
     });
-    let vals = lanes_from_fn(|l| {
-        inputs[l].map(|v| (v + fid.0 as u64 + iter as u64) & 0xffff_ffff)
-    });
+    let vals = lanes_from_fn(|l| inputs[l].map(|v| (v + fid.0 as u64 + iter as u64) & 0xffff_ffff));
     w.st(AccessTag::Other, 4, &addrs, &vals);
     let _ = prog;
 }
@@ -83,10 +84,14 @@ pub fn run(strategy: Strategy, params: MicroParams, cfg: &WorkloadConfig) -> Run
         }
         Some(a)
     } else {
-        objs = (0..n).map(|i| rig.construct(tys[i % params.n_types])).collect();
+        objs = (0..n)
+            .map(|i| rig.construct(tys[i % params.n_types]))
+            .collect();
         let hdr = rig.prog.header_bytes();
         for (i, o) in objs.iter().enumerate() {
-            rig.mem.write_u32(o.strip_tag().offset(hdr + F_VAL), i as u32).unwrap();
+            rig.mem
+                .write_u32(o.strip_tag().offset(hdr + F_VAL), i as u32)
+                .unwrap();
         }
         None
     };

@@ -49,8 +49,12 @@ pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
         let f = |k: u64| ((splitmix64(h ^ k) % 2000) as f32 - 1000.0) / 100.0;
         rig.mem.write_f32(p.offset(hdr + G_A), f(1)).unwrap();
         rig.mem.write_f32(p.offset(hdr + G_B), f(2)).unwrap();
-        rig.mem.write_f32(p.offset(hdr + G_C), f(3).abs() + 3.0).unwrap();
-        rig.mem.write_f32(p.offset(hdr + G_D), f(4).abs() * 0.2 + 0.4).unwrap();
+        rig.mem
+            .write_f32(p.offset(hdr + G_C), f(3).abs() + 3.0)
+            .unwrap();
+        rig.mem
+            .write_f32(p.offset(hdr + G_D), f(4).abs() * 0.2 + 0.4)
+            .unwrap();
         scene.push(obj);
     }
     rig.finalize();
@@ -140,8 +144,7 @@ pub fn run(strategy: Strategy, cfg: &WorkloadConfig) -> RunResult {
                                 let t = (c + 2.0) / dz.max(1e-5);
                                 let px = t * dx - a;
                                 let py = t * dy - b;
-                                if px * px + py * py < d * d && t > 0.0 && t < nearest[l]
-                                {
+                                if px * px + py * py < d * d && t > 0.0 && t < nearest[l] {
                                     nearest[l] = t;
                                     hit_kind[l] = 16 + (oi as u32 % 3);
                                 }

@@ -27,17 +27,15 @@ impl Rig {
     pub fn new(registry: &TypeRegistry, strategy: Strategy, cfg: &WorkloadConfig) -> Self {
         let mut mem = DeviceMemory::with_capacity(cfg.device_memory_bytes);
         let mut prog = match cfg.tag_budget {
-            Some(budget) => DeviceProgram::with_tag_budget(
-                &mut mem,
-                registry,
-                strategy,
-                cfg.tag_mode,
-                budget,
-            ),
+            Some(budget) => {
+                DeviceProgram::with_tag_budget(&mut mem, registry, strategy, cfg.tag_mode, budget)
+            }
             None => DeviceProgram::with_tag_mode(&mut mem, registry, strategy, cfg.tag_mode),
         };
         prog.set_lookup_kind(cfg.coal_lookup);
-        let kind = cfg.allocator_override.unwrap_or_else(|| strategy.default_allocator());
+        let kind = cfg
+            .allocator_override
+            .unwrap_or_else(|| strategy.default_allocator());
         let mut alloc: Box<dyn DeviceAllocator> = match kind {
             AllocatorKind::Cuda => Box::new(CudaHeapAllocator::new()),
             AllocatorKind::SharedOa => {
@@ -49,7 +47,7 @@ impl Rig {
             mem,
             prog,
             alloc,
-            gpu: Gpu::new(cfg.gpu.clone()),
+            gpu: Gpu::new(cfg.gpu.clone()).with_threads(cfg.engine_threads),
             stats: Stats::new(),
             objects_built: 0,
         }
@@ -64,7 +62,8 @@ impl Rig {
     /// Snapshots the range table into COAL's segment tree. Call after
     /// the allocation phase, before the first kernel.
     pub fn finalize(&mut self) {
-        self.prog.finalize_ranges(&mut self.mem, self.alloc.as_ref());
+        self.prog
+            .finalize_ranges(&mut self.mem, self.alloc.as_ref());
     }
 
     /// Reserves raw device memory outside any object (arrays, frame

@@ -47,7 +47,10 @@ pub fn lanes_ptrs(w: &WarpCtx<'_>, arr: &[VirtAddr]) -> Lanes<VirtAddr> {
 pub fn fold_u32_field(rig: &mut Rig, objs: &[VirtAddr], field_off: u64, ck: &mut Checksum) {
     let hdr = rig.prog.header_bytes();
     for o in objs {
-        let v = rig.mem.read_u32(o.strip_tag().offset(hdr + field_off)).expect("field read");
+        let v = rig
+            .mem
+            .read_u32(o.strip_tag().offset(hdr + field_off))
+            .expect("field read");
         ck.push(v as u64);
     }
 }
@@ -56,7 +59,10 @@ pub fn fold_u32_field(rig: &mut Rig, objs: &[VirtAddr], field_off: u64, ck: &mut
 pub fn fold_f32_field(rig: &mut Rig, objs: &[VirtAddr], field_off: u64, ck: &mut Checksum) {
     let hdr = rig.prog.header_bytes();
     for o in objs {
-        let v = rig.mem.read_f32(o.strip_tag().offset(hdr + field_off)).expect("field read");
+        let v = rig
+            .mem
+            .read_f32(o.strip_tag().offset(hdr + field_off))
+            .expect("field read");
         ck.push_f32_quantized(v);
     }
 }

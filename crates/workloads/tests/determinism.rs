@@ -1,0 +1,79 @@
+//! The determinism gate CI relies on: every evaluated workload produces
+//! bit-identical [`Stats`] whether the timing engine runs serially or on
+//! multiple host threads, and repeated parallel runs agree with each
+//! other. This is the engine's determinism contract (DESIGN.md) checked
+//! end-to-end through real workloads rather than synthetic traces.
+
+use gvf_core::Strategy;
+use gvf_workloads::{run_workload, WorkloadConfig, WorkloadKind};
+
+fn cfg_with_threads(threads: usize) -> WorkloadConfig {
+    let mut cfg = WorkloadConfig::tiny();
+    cfg.engine_threads = threads;
+    cfg
+}
+
+/// All eleven evaluated workloads: serial and 2-thread engines agree
+/// bit-for-bit on counters, checksum and domain metrics.
+#[test]
+fn all_workloads_serial_vs_parallel_identical() {
+    for kind in WorkloadKind::EVALUATED {
+        let serial = run_workload(kind, Strategy::SharedOa, &cfg_with_threads(1));
+        let parallel = run_workload(kind, Strategy::SharedOa, &cfg_with_threads(2));
+        assert_eq!(serial.stats, parallel.stats, "{kind}: stats diverged");
+        assert_eq!(
+            serial.checksum, parallel.checksum,
+            "{kind}: checksum diverged"
+        );
+        assert_eq!(serial.metrics, parallel.metrics, "{kind}: metrics diverged");
+        assert_eq!(
+            serial.init_cycles, parallel.init_cycles,
+            "{kind}: init diverged"
+        );
+    }
+}
+
+/// The strategy under study must not affect the contract: spot-check the
+/// non-baseline dispatch paths (COAL's range walk, TypePointer's tagged
+/// loads) on a representative workload each.
+#[test]
+fn strategies_serial_vs_parallel_identical() {
+    for (kind, strategy) in [
+        (WorkloadKind::Traffic, Strategy::Cuda),
+        (WorkloadKind::VeBfs, Strategy::Coal),
+        (WorkloadKind::Raytrace, Strategy::TypePointerProto),
+        (WorkloadKind::GameOfLife, Strategy::TypePointerHw),
+        (WorkloadKind::VenPr, Strategy::Concord),
+    ] {
+        let serial = run_workload(kind, strategy, &cfg_with_threads(1));
+        let parallel = run_workload(kind, strategy, &cfg_with_threads(2));
+        assert_eq!(
+            serial.stats, parallel.stats,
+            "{kind}/{strategy}: stats diverged"
+        );
+        assert_eq!(
+            serial.checksum, parallel.checksum,
+            "{kind}/{strategy}: checksum diverged"
+        );
+    }
+}
+
+/// Two parallel runs agree with each other (no hidden scheduling or
+/// iteration-order dependence), including with auto thread count.
+#[test]
+fn parallel_runs_repeatable() {
+    for threads in [2, 0] {
+        let a = run_workload(
+            WorkloadKind::Structure,
+            Strategy::Coal,
+            &cfg_with_threads(threads),
+        );
+        let b = run_workload(
+            WorkloadKind::Structure,
+            Strategy::Coal,
+            &cfg_with_threads(threads),
+        );
+        assert_eq!(a.stats, b.stats, "threads={threads}");
+        assert_eq!(a.checksum, b.checksum, "threads={threads}");
+    }
+}

@@ -87,7 +87,10 @@ fn raytrace_equivalence() {
 #[test]
 fn micro_equivalence_including_branch() {
     let cfg = WorkloadConfig::tiny();
-    let params = gvf_workloads::MicroParams { n_objects: 4096, n_types: 4 };
+    let params = gvf_workloads::MicroParams {
+        n_objects: 4096,
+        n_types: 4,
+    };
     let reference = gvf_workloads::micro::run(Strategy::Cuda, params, &cfg);
     for s in [
         Strategy::Concord,

@@ -131,16 +131,24 @@ fn host_grid(
     seed: u64,
     iters: u32,
 ) -> (f64, f64) {
-    let mut state: Vec<u32> =
-        (0..w * h).map(|i| init(splitmix64(seed ^ i as u64) % 100)).collect();
+    let mut state: Vec<u32> = (0..w * h)
+        .map(|i| init(splitmix64(seed ^ i as u64) % 100))
+        .collect();
     for _ in 0..iters {
         let prev = state.clone();
         for y in 0..h as i64 {
             for x in 0..w as i64 {
                 let mut live = 0;
-                for (dx, dy) in
-                    [(-1, -1), (0, -1), (1, -1), (-1, 0), (1, 0), (-1, 1), (0, 1), (1, 1)]
-                {
+                for (dx, dy) in [
+                    (-1, -1),
+                    (0, -1),
+                    (1, -1),
+                    (-1, 0),
+                    (1, 0),
+                    (-1, 1),
+                    (0, 1),
+                    (1, 1),
+                ] {
                     let (nx, ny) = (x + dx, y + dy);
                     if (0..w as i64).contains(&nx)
                         && (0..h as i64).contains(&ny)
@@ -190,7 +198,10 @@ fn pr_matches_host_reference() {
     let r = run_workload(WorkloadKind::VePr, Strategy::SharedOa, &cfg);
     let got = metric(&r, "value_sum");
     let rel = (got - expected).abs() / expected.abs();
-    assert!(rel < 1e-4, "PageRank sum {got} vs host {expected} (rel {rel:.2e})");
+    assert!(
+        rel < 1e-4,
+        "PageRank sum {got} vs host {expected} (rel {rel:.2e})"
+    );
 }
 
 #[test]

@@ -29,7 +29,8 @@ fn main() {
     for (e, &dst) in g.out_dst.iter().enumerate() {
         let t = if e % 3 == 0 { weighted } else { plain };
         let obj = prog.construct(&mut mem, &mut alloc, t);
-        mem.write_u32(obj.strip_tag().offset(prog.header_bytes()), dst).unwrap();
+        mem.write_u32(obj.strip_tag().offset(prog.header_bytes()), dst)
+            .unwrap();
         edge_objs.push(obj);
     }
     prog.finalize_ranges(&mut mem, &alloc);
@@ -51,9 +52,9 @@ fn main() {
             }
             w.alu(1);
         });
-        for l in 0..WARP_SIZE {
+        for (l, dst) in dsts.iter().enumerate() {
             let tid = w.thread_id(l);
-            if let Some(d) = dsts[l] {
+            if let Some(d) = *dst {
                 if tid < src_of.len() && src_of[tid] == 0 {
                     reachable[d as usize] = true;
                 }
@@ -62,8 +63,7 @@ fn main() {
     });
 
     let stats = Gpu::new(GpuConfig::small()).execute(&kernel);
-    let frontier: Vec<usize> =
-        (0..g.n).filter(|&v| reachable[v]).collect();
+    let frontier: Vec<usize> = (0..g.n).filter(|&v| reachable[v]).collect();
     println!("vertices reachable from 0 in one hop: {frontier:?}");
     println!(
         "kernel: {} cycles, {} virtual calls, {} load transactions",

@@ -21,7 +21,10 @@ fn main() {
         WorkloadKind::VenPr,
     ] {
         let base = run_workload(kind, Strategy::SharedOa, &cfg);
-        println!("\n{kind}: {} objects, vFuncPKI {:.1}", base.table2.objects, base.table2.vfunc_pki);
+        println!(
+            "\n{kind}: {} objects, vFuncPKI {:.1}",
+            base.table2.objects, base.table2.vfunc_pki
+        );
         println!("  strategy        norm-perf  ld-transactions  L1-hit");
         for strategy in [
             Strategy::Cuda,

@@ -14,7 +14,12 @@ fn main() {
     cfg.scale = 2;
     cfg.iterations = 1;
 
-    println!("Rendering {}x{} rays over {} polymorphic objects...\n", 64, 16 * cfg.scale, 250);
+    println!(
+        "Rendering {}x{} rays over {} polymorphic objects...\n",
+        64,
+        16 * cfg.scale,
+        250
+    );
     let mut results = Vec::new();
     for strategy in [
         Strategy::Cuda,
@@ -46,7 +51,10 @@ fn main() {
         );
     }
     let first = results[0].1.checksum;
-    assert!(results.iter().all(|(_, r)| r.checksum == first), "images must match");
+    assert!(
+        results.iter().all(|(_, r)| r.checksum == first),
+        "images must match"
+    );
 
     println!("\nAll five strategies rendered bit-identical images. Because every");
     println!("lane tests the SAME object per loop iteration, the vTable-pointer");

@@ -1,16 +1,57 @@
 #!/bin/bash
-set -x
-cd /root/repo
-cargo test --workspace 2>&1 | tee /root/repo/test_output.txt
+# Regenerate every paper figure/table plus the test and bench suites.
+#
+#   ./run_all.sh [--jobs N]
+#
+# --jobs N is passed through to every harness binary that sweeps a
+# simulation grid (fig6..fig12, table1, table2): N concurrent
+# simulations, 0 = all cores, default = all cores. Results are
+# bit-identical for any value (the engine's determinism contract); only
+# wall-clock changes.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --jobs)
+      [ $# -ge 2 ] || { echo "error: --jobs needs a value" >&2; exit 2; }
+      JOBS="$2"; shift 2 ;;
+    *)
+      echo "error: unknown argument '$1' (usage: $0 [--jobs N])" >&2; exit 2 ;;
+  esac
+done
+
+fail() {
+  echo >&2
+  echo "run_all.sh: FAILED at step '$1' — see output above." >&2
+  echo "Re-run just that step with: $2" >&2
+  exit 1
+}
+
+run_step() {
+  local name="$1"; shift
+  echo; echo "########## $name ##########"
+  "$@" || fail "$name" "$*"
+}
+
+run_step "cargo test" cargo test --workspace 2>&1 | tee test_output.txt
+
 {
-  cargo bench --workspace 2>&1
+  run_step "cargo bench" cargo bench --workspace
   echo
   echo "================================================================"
   echo "  PAPER FIGURE / TABLE HARNESS (cargo run -p gvf-bench --bin <x>)"
   echo "================================================================"
+  # Grid binaries take --jobs; the single-run ones (fig1b, alloc_init,
+  # ablation_lookup, generations, counters) do not sweep and run as-is.
   for b in fig1b table1 table2 fig6 fig7 fig8 fig9 fig11 fig12 alloc_init fig10 ablation_lookup generations; do
-    echo; echo "########## $b ##########"
-    cargo run --release -p gvf-bench --bin $b 2>/dev/null
+    case "$b" in
+      table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12)
+        run_step "$b" cargo run --release -p gvf-bench --bin "$b" -- --jobs "$JOBS" ;;
+      *)
+        run_step "$b" cargo run --release -p gvf-bench --bin "$b" ;;
+    esac
   done
-} 2>&1 | tee /root/repo/bench_output.txt
+} 2>&1 | tee bench_output.txt
 echo ALL_DONE

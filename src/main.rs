@@ -74,7 +74,10 @@ fn main() {
     let Some(kind) = workload else { usage() };
 
     let r = run_workload(kind, strategy, &cfg);
-    println!("{} under {} (scale {}, {} iterations)", kind, strategy, cfg.scale, cfg.iterations);
+    println!(
+        "{} under {} (scale {}, {} iterations)",
+        kind, strategy, cfg.scale, cfg.iterations
+    );
     println!("{}", r.stats);
     println!("objects:               {}", r.table2.objects);
     println!("checksum:              {:#018x}", r.checksum);

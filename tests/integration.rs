@@ -13,8 +13,9 @@ fn end_to_end_quickstart_flow() {
     let mut prog = DeviceProgram::new(&mut mem, &reg, Strategy::Coal);
     let mut alloc = SharedOa::new();
     prog.register_types(&mut alloc);
-    let objs: Vec<VirtAddr> =
-        (0..256).map(|i| prog.construct(&mut mem, &mut alloc, if i % 2 == 0 { a } else { b })).collect();
+    let objs: Vec<VirtAddr> = (0..256)
+        .map(|i| prog.construct(&mut mem, &mut alloc, if i % 2 == 0 { a } else { b }))
+        .collect();
     prog.finalize_ranges(&mut mem, &alloc);
 
     let mut calls = [0u32; 3];
@@ -31,7 +32,11 @@ fn end_to_end_quickstart_flow() {
     let stats = Gpu::new(GpuConfig::small()).execute(&kernel);
     assert!(stats.cycles > 0);
     assert!(stats.vfunc_calls > 0);
-    assert_eq!(stats.stall(AccessTag::VtablePtr), 0, "COAL never reads the vptr");
+    assert_eq!(
+        stats.stall(AccessTag::VtablePtr),
+        0,
+        "COAL never reads the vptr"
+    );
 }
 
 #[test]
@@ -61,7 +66,10 @@ fn init_cost_model_matches_paper_magnitude() {
     let cuda = run_workload(WorkloadKind::VeCc, Strategy::Cuda, &cfg);
     let soa = run_workload(WorkloadKind::VeCc, Strategy::SharedOa, &cfg);
     let speedup = cuda.init_cycles as f64 / soa.init_cycles as f64;
-    assert!((50.0..150.0).contains(&speedup), "paper reports ~80x, got {speedup:.0}x");
+    assert!(
+        (50.0..150.0).contains(&speedup),
+        "paper reports ~80x, got {speedup:.0}x"
+    );
 }
 
 #[test]
@@ -103,10 +111,16 @@ fn fig11_shape_typepointer_helps_on_cuda_allocator() {
 fn micro_branch_is_fastest_cuda_slowest() {
     let mut cfg = WorkloadConfig::tiny();
     cfg.iterations = 1;
-    let params = MicroParams { n_objects: 16384, n_types: 4 };
+    let params = MicroParams {
+        n_objects: 16384,
+        n_types: 4,
+    };
     let branch = gvf::workloads::micro::run(Strategy::Branch, params, &cfg);
     let cuda = gvf::workloads::micro::run(Strategy::Cuda, params, &cfg);
     let tp = gvf::workloads::micro::run(Strategy::TypePointerProto, params, &cfg);
     assert!(branch.stats.cycles < tp.stats.cycles, "BRANCH is the ideal");
-    assert!(tp.stats.cycles < cuda.stats.cycles, "TypePointer beats CUDA");
+    assert!(
+        tp.stats.cycles < cuda.stats.cycles,
+        "TypePointer beats CUDA"
+    );
 }
