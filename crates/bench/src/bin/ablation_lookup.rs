@@ -6,31 +6,64 @@
 //! the ranges as a tree and for the overflow fallback being viable.
 
 use gvf_bench::cli::HarnessOpts;
+use gvf_bench::json::Json;
+use gvf_bench::manifest::{self, CellRecord};
 use gvf_bench::report::{geomean, print_table};
+use gvf_bench::sweep::run_cells;
 use gvf_core::{LookupKind, Strategy};
 use gvf_workloads::{run_workload, WorkloadKind};
+
+/// Part-1 grid variants per workload, in grid order.
+#[derive(Clone, Copy, PartialEq)]
+enum Variant {
+    /// SharedOA baseline.
+    Base,
+    /// COAL with the paper's segment tree.
+    Tree,
+    /// COAL with a linear range scan.
+    Linear,
+}
+
+const KINDS: [WorkloadKind; 4] = [
+    WorkloadKind::GameOfLife,
+    WorkloadKind::Structure,
+    WorkloadKind::VeBfs,
+    WorkloadKind::VenPr,
+];
 
 fn main() {
     let opts = HarnessOpts::from_args();
 
     // Part 1: COAL lookup structure, normalized to SharedOA.
+    let cells: Vec<(WorkloadKind, Variant)> = KINDS
+        .into_iter()
+        .flat_map(|k| [(k, Variant::Base), (k, Variant::Tree), (k, Variant::Linear)])
+        .collect();
+    let mut results = run_cells("ablation_lookup", opts.jobs, &cells, |i, &(k, v)| {
+        let mut cfg = opts.cfg_for_cell(i);
+        let s = match v {
+            Variant::Base => Strategy::SharedOa,
+            Variant::Tree => Strategy::Coal,
+            Variant::Linear => {
+                cfg.coal_lookup = LookupKind::LinearScan;
+                Strategy::Coal
+            }
+        };
+        run_workload(k, s, &cfg)
+    });
+    let obs = results.first_mut().and_then(|r| r.obs.take());
+
+    let mut records = Vec::new();
     let mut rows = Vec::new();
     let mut tree_norm = Vec::new();
     let mut lin_norm = Vec::new();
-    for kind in [
-        WorkloadKind::GameOfLife,
-        WorkloadKind::Structure,
-        WorkloadKind::VeBfs,
-        WorkloadKind::VenPr,
-    ] {
-        let base = run_workload(kind, Strategy::SharedOa, &opts.cfg);
-        let tree = run_workload(kind, Strategy::Coal, &opts.cfg);
-        let mut cfg = opts.cfg.clone();
-        cfg.coal_lookup = LookupKind::LinearScan;
-        let lin = run_workload(kind, Strategy::Coal, &cfg);
+    for (ki, kind) in KINDS.into_iter().enumerate() {
+        let base = &results[ki * 3];
+        let tree = &results[ki * 3 + 1];
+        let lin = &results[ki * 3 + 2];
         assert_eq!(tree.checksum, lin.checksum, "{kind}: lookup kinds disagree");
-        let t = base.stats.cycles as f64 / tree.stats.cycles as f64;
-        let l = base.stats.cycles as f64 / lin.stats.cycles as f64;
+        let t = tree.stats.speedup_vs(&base.stats);
+        let l = lin.stats.speedup_vs(&base.stats);
         tree_norm.push(t);
         lin_norm.push(l);
         rows.push(vec![
@@ -40,6 +73,15 @@ fn main() {
             format!("{}", tree.stats.total_instrs()),
             format!("{}", lin.stats.total_instrs()),
         ]);
+        records.push(CellRecord::new(kind.label(), "sharedoa", &base.stats));
+        records.push(
+            CellRecord::new(kind.label(), "coal-tree", &tree.stats)
+                .with("norm_vs_sharedoa", Json::Num(t)),
+        );
+        records.push(
+            CellRecord::new(kind.label(), "coal-linear", &lin.stats)
+                .with("norm_vs_sharedoa", Json::Num(l)),
+        );
     }
     rows.push(vec![
         "GM".to_string(),
@@ -67,23 +109,37 @@ fn main() {
     // SharedOA-like behaviour.
     println!("\nExtension — TypePointer §6.1 fallback: shrinking tag budget (vE-BFS)");
     println!("(normalized to unbounded-budget TypePointer)\n");
-    let full = run_workload(WorkloadKind::VeBfs, Strategy::TypePointerHw, &opts.cfg);
+    let budgets: [(Option<u64>, u32); 4] = [(None, 4), (Some(24), 3), (Some(16), 2), (Some(8), 1)];
+    let sweep = run_cells("ablation_budget", opts.jobs, &budgets, |_, &(budget, _)| {
+        let mut cfg = opts.cfg.clone();
+        cfg.tag_budget = budget;
+        run_workload(WorkloadKind::VeBfs, Strategy::TypePointerHw, &cfg)
+    });
+    let full = &sweep[0];
     let mut rows = vec![vec![
         "unbounded (4/4 tagged)".to_string(),
         "1.00".to_string(),
         format!("{}", full.stats.global_load_transactions),
     ]];
-    for (budget, tagged) in [(24u64, 3), (16, 2), (8, 1)] {
-        let mut cfg = opts.cfg.clone();
-        cfg.tag_budget = Some(budget);
-        let r = run_workload(WorkloadKind::VeBfs, Strategy::TypePointerHw, &cfg);
+    records.push(
+        CellRecord::new(WorkloadKind::VeBfs.label(), "typepointer-hw", &full.stats)
+            .with("tag_budget", Json::Null),
+    );
+    for (&(budget, tagged), r) in budgets.iter().zip(&sweep).skip(1) {
+        let budget = budget.expect("swept budgets are bounded");
         assert_eq!(r.checksum, full.checksum, "fallback changed results");
         rows.push(vec![
             format!("{budget} B ({tagged}/4 tagged)"),
-            format!("{:.2}", full.stats.cycles as f64 / r.stats.cycles as f64),
+            format!("{:.2}", r.stats.speedup_vs(&full.stats)),
             format!("{}", r.stats.global_load_transactions),
         ]);
+        records.push(
+            CellRecord::new(WorkloadKind::VeBfs.label(), "typepointer-hw", &r.stats)
+                .with("tag_budget", Json::num_u64(budget)),
+        );
     }
     print_table(&["tag budget", "norm perf", "ld transactions"], &rows);
     println!("(fewer tagged types ⇒ more classic vTable loads ⇒ more transactions)");
+
+    manifest::emit(&opts, "ablation_lookup", &records, obs.as_ref());
 }

@@ -9,17 +9,30 @@
 //! speedups plus the measured packing statistics.
 
 use gvf_bench::cli::HarnessOpts;
+use gvf_bench::json::Json;
+use gvf_bench::manifest::{self, CellRecord};
 use gvf_bench::report::{geomean, print_table};
+use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
 use gvf_workloads::{run_workload, WorkloadKind};
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let cells: Vec<(WorkloadKind, Strategy)> = WorkloadKind::EVALUATED
+        .into_iter()
+        .flat_map(|k| [(k, Strategy::Cuda), (k, Strategy::SharedOa)])
+        .collect();
+    let mut results = run_cells("alloc_init", opts.jobs, &cells, |i, &(k, s)| {
+        run_workload(k, s, &opts.cfg_for_cell(i))
+    });
+    let obs = results.first_mut().and_then(|r| r.obs.take());
+
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     let mut speedups = Vec::new();
-    for kind in WorkloadKind::EVALUATED {
-        let cuda = run_workload(kind, Strategy::Cuda, &opts.cfg);
-        let soa = run_workload(kind, Strategy::SharedOa, &opts.cfg);
+    for (ki, kind) in WorkloadKind::EVALUATED.into_iter().enumerate() {
+        let cuda = &results[ki * 2];
+        let soa = &results[ki * 2 + 1];
         let speedup = cuda.init_cycles as f64 / soa.init_cycles.max(1) as f64;
         speedups.push(speedup);
         rows.push(vec![
@@ -31,6 +44,16 @@ fn main() {
             format!("{:.0}%", cuda.alloc_stats.external_fragmentation() * 100.0),
             format!("{:.0}%", soa.alloc_stats.external_fragmentation() * 100.0),
         ]);
+        for (s, r) in [(Strategy::Cuda, cuda), (Strategy::SharedOa, soa)] {
+            records.push(
+                CellRecord::new(kind.label(), s.label(), &r.stats)
+                    .with("init_cycles", Json::num_u64(r.init_cycles))
+                    .with(
+                        "external_fragmentation",
+                        Json::Num(r.alloc_stats.external_fragmentation()),
+                    ),
+            );
+        }
     }
     rows.push(vec![
         "GM".to_string(),
@@ -56,4 +79,6 @@ fn main() {
         ],
         &rows,
     );
+
+    manifest::emit(&opts, "alloc_init", &records, obs.as_ref());
 }

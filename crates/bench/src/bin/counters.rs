@@ -4,16 +4,31 @@
 //! model; not itself a paper figure.
 
 use gvf_bench::cli::HarnessOpts;
+use gvf_bench::manifest::{self, CellRecord};
+use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
 use gvf_sim::AccessTag;
 use gvf_workloads::{run_workload, WorkloadKind};
 
+const KINDS: [WorkloadKind; 2] = [WorkloadKind::VeBfs, WorkloadKind::GameOfLife];
+
 fn main() {
     let opts = HarnessOpts::from_args();
-    for kind in [WorkloadKind::VeBfs, WorkloadKind::GameOfLife] {
+    let cells: Vec<(WorkloadKind, Strategy)> = KINDS
+        .into_iter()
+        .flat_map(|k| Strategy::EVALUATED.into_iter().map(move |s| (k, s)))
+        .collect();
+    let mut results = run_cells("counters", opts.jobs, &cells, |i, &(k, s)| {
+        run_workload(k, s, &opts.cfg_for_cell(i))
+    });
+    let obs = results.first_mut().and_then(|r| r.obs.take());
+
+    let stride = Strategy::EVALUATED.len();
+    let mut records = Vec::new();
+    for (ki, kind) in KINDS.into_iter().enumerate() {
         println!("\n== {kind} ==");
-        for s in Strategy::EVALUATED {
-            let r = run_workload(kind, s, &opts.cfg);
+        for (si, s) in Strategy::EVALUATED.into_iter().enumerate() {
+            let r = &results[ki * stride + si];
             println!(
                 "{:>12}: cyc={:>9} M/C/X={}/{}/{} ldtx={} l1={:.2} l2={:.2} dram={} A={} B={} walk={}",
                 s.label(),
@@ -29,6 +44,9 @@ fn main() {
                 r.stats.stall(AccessTag::VfuncPtr),
                 r.stats.stall(AccessTag::RangeWalk),
             );
+            records.push(CellRecord::new(kind.label(), s.label(), &r.stats));
         }
     }
+
+    manifest::emit(&opts, "counters", &records, obs.as_ref());
 }

@@ -9,6 +9,8 @@
 //! chunk sizes, since default workload populations are ~16× smaller.
 
 use gvf_bench::cli::HarnessOpts;
+use gvf_bench::json::Json;
+use gvf_bench::manifest::{self, CellRecord};
 use gvf_bench::report::print_table;
 use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
@@ -31,29 +33,37 @@ fn main() {
             cells.push((kind, Strategy::Coal, chunk));
         }
     }
-    let results = run_cells("fig10", opts.jobs, &cells, |&(k, s, chunk)| {
-        let mut cfg = opts.cfg.clone();
+    let mut results = run_cells("fig10", opts.jobs, &cells, |i, &(k, s, chunk)| {
+        let mut cfg = opts.cfg_for_cell(i);
         cfg.initial_chunk_objs = chunk;
         run_workload(k, s, &cfg)
     });
+    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let stride = 1 + chunk_sizes.len();
+    let mut records = Vec::new();
     let mut perf_rows = Vec::new();
     let mut frag_rows = Vec::new();
     let mut frag_sums = vec![0.0f64; chunk_sizes.len()];
     for (ki, kind) in WorkloadKind::EVALUATED.into_iter().enumerate() {
         let cuda = &results[ki * stride];
+        records.push(
+            CellRecord::new(kind.label(), Strategy::Cuda.label(), &cuda.stats)
+                .with("chunk_objs", Json::num_u64(opts.cfg.initial_chunk_objs)),
+        );
         let mut prow = vec![kind.label().to_string()];
         let mut frow = vec![kind.label().to_string()];
         for ci in 0..chunk_sizes.len() {
             let r = &results[ki * stride + 1 + ci];
-            prow.push(format!(
-                "{:.2}",
-                cuda.stats.cycles as f64 / r.stats.cycles as f64
-            ));
+            prow.push(format!("{:.2}", r.stats.speedup_vs(&cuda.stats)));
             let frag = r.alloc_stats.external_fragmentation();
             frag_sums[ci] += frag;
             frow.push(format!("{:.0}%", frag * 100.0));
+            records.push(
+                CellRecord::new(kind.label(), Strategy::Coal.label(), &r.stats)
+                    .with("chunk_objs", Json::num_u64(chunk_sizes[ci]))
+                    .with("external_fragmentation", Json::Num(frag)),
+            );
         }
         perf_rows.push(prow);
         frag_rows.push(frow);
@@ -77,4 +87,6 @@ fn main() {
     println!("\nFig. 10b — SharedOA external fragmentation vs initial chunk size");
     println!("paper AVG: 17% (small chunks) -> 27% (4M-object chunks)\n");
     print_table(&headers_ref, &frag_rows);
+
+    manifest::emit(&opts, "fig10", &records, obs.as_ref());
 }

@@ -6,6 +6,8 @@
 
 use gvf_alloc::AllocatorKind;
 use gvf_bench::cli::HarnessOpts;
+use gvf_bench::json::Json;
+use gvf_bench::manifest::{self, CellRecord};
 use gvf_bench::report::{geomean, print_table};
 use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
@@ -21,27 +23,38 @@ fn main() {
         .into_iter()
         .flat_map(|k| [(k, Strategy::Cuda), (k, Strategy::TypePointerHw)])
         .collect();
-    let results = run_cells("fig11", opts.jobs, &cells, |&(k, s)| {
-        let mut cfg = opts.cfg.clone();
+    let mut results = run_cells("fig11", opts.jobs, &cells, |i, &(k, s)| {
+        let mut cfg = opts.cfg_for_cell(i);
         if s == Strategy::TypePointerHw {
             cfg.allocator_override = Some(AllocatorKind::Cuda);
         }
         run_workload(k, s, &cfg)
     });
+    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     let mut norms = Vec::new();
     for (ki, kind) in WorkloadKind::EVALUATED.into_iter().enumerate() {
         let cuda = &results[ki * 2];
         let tp = &results[ki * 2 + 1];
         assert_eq!(tp.checksum, cuda.checksum, "{kind}: functional mismatch");
-        let norm = cuda.stats.cycles as f64 / tp.stats.cycles as f64;
+        let norm = tp.stats.speedup_vs(&cuda.stats);
         norms.push(norm);
         rows.push(vec![
             kind.label().to_string(),
             "1.00".to_string(),
             format!("{norm:.2}"),
         ]);
+        records.push(CellRecord::new(
+            kind.label(),
+            Strategy::Cuda.label(),
+            &cuda.stats,
+        ));
+        records.push(
+            CellRecord::new(kind.label(), Strategy::TypePointerHw.label(), &tp.stats)
+                .with("norm_vs_cuda", Json::Num(norm)),
+        );
     }
     rows.push(vec![
         "GM".to_string(),
@@ -52,4 +65,6 @@ fn main() {
     println!("\nFig. 11 — TypePointer on the CUDA allocator (simulation), normalized to CUDA");
     println!("paper GM: 1.18\n");
     print_table(&["Workload", "CUDA", "TypePointer on CUDA"], &rows);
+
+    manifest::emit(&opts, "fig11", &records, obs.as_ref());
 }

@@ -10,6 +10,8 @@
 //! Counts scale with `--scale` (paper's 1M–32M at scale 128).
 
 use gvf_bench::cli::HarnessOpts;
+use gvf_bench::json::Json;
+use gvf_bench::manifest::{self, CellRecord};
 use gvf_bench::report::print_table;
 use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
@@ -45,9 +47,20 @@ fn main() {
         };
         cells.extend(STRATEGIES.map(|s| (params, s)));
     }
-    let results = run_cells("fig12", opts.jobs, &cells, |&(p, s)| {
-        micro::run(s, p, &opts.cfg)
+    let mut results = run_cells("fig12", opts.jobs, &cells, |i, &(p, s)| {
+        micro::run(s, p, &opts.cfg_for_cell(i))
     });
+    let obs = results.first_mut().and_then(|r| r.obs.take());
+
+    let records: Vec<CellRecord> = cells
+        .iter()
+        .zip(&results)
+        .map(|(&(p, s), r)| {
+            CellRecord::new("micro", s.label(), &r.stats)
+                .with("n_objects", Json::num_u64(p.n_objects as u64))
+                .with("n_types", Json::num_u64(p.n_types as u64))
+        })
+        .collect();
 
     let stride = STRATEGIES.len();
     let report = |title: &str, note: &str, col: &str, offset: usize| {
@@ -82,4 +95,6 @@ fn main() {
         "types",
         STEPS.len(),
     );
+
+    manifest::emit(&opts, "fig12", &records, obs.as_ref());
 }

@@ -6,16 +6,25 @@
 //! (B) and the indirect call (C).
 
 use gvf_bench::cli::HarnessOpts;
+use gvf_bench::json::Json;
+use gvf_bench::manifest::{self, CellRecord};
 use gvf_bench::report::print_table;
+use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
 use gvf_workloads::{run_workload, WorkloadKind};
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let cells: Vec<WorkloadKind> = WorkloadKind::EVALUATED.to_vec();
+    let mut results = run_cells("fig1b", opts.jobs, &cells, |i, &k| {
+        run_workload(k, Strategy::Cuda, &opts.cfg_for_cell(i))
+    });
+    let obs = results.first_mut().and_then(|r| r.obs.take());
+
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     let (mut sa, mut sb, mut sc) = (0.0, 0.0, 0.0);
-    for kind in WorkloadKind::EVALUATED {
-        let r = run_workload(kind, Strategy::Cuda, &opts.cfg);
+    for (kind, r) in cells.iter().zip(&results) {
         let (a, b, c) = r.stats.dispatch_latency_breakdown();
         sa += a;
         sb += b;
@@ -26,6 +35,12 @@ fn main() {
             format!("{:.1}%", b * 100.0),
             format!("{:.1}%", c * 100.0),
         ]);
+        records.push(
+            CellRecord::new(kind.label(), Strategy::Cuda.label(), &r.stats)
+                .with("vtable_load_share", Json::Num(a))
+                .with("vfunc_load_share", Json::Num(b))
+                .with("indirect_call_share", Json::Num(c)),
+        );
     }
     let n = WorkloadKind::EVALUATED.len() as f64;
     rows.push(vec![
@@ -46,4 +61,6 @@ fn main() {
         ],
         &rows,
     );
+
+    manifest::emit(&opts, "fig1b", &records, obs.as_ref());
 }

@@ -5,6 +5,8 @@
 //! COAL 1.06, TypePointer 1.12.
 
 use gvf_bench::cli::HarnessOpts;
+use gvf_bench::json::Json;
+use gvf_bench::manifest::{self, CellRecord};
 use gvf_bench::report::{geomean, print_table};
 use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
@@ -22,11 +24,13 @@ fn main() {
         .into_iter()
         .flat_map(|k| strategies.into_iter().map(move |s| (k, s)))
         .collect();
-    let results = run_cells("fig6", opts.jobs, &cells, |&(k, s)| {
-        run_workload(k, s, &opts.cfg)
+    let mut results = run_cells("fig6", opts.jobs, &cells, |i, &(k, s)| {
+        run_workload(k, s, &opts.cfg_for_cell(i))
     });
+    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
     for (ki, kind) in WorkloadKind::EVALUATED.into_iter().enumerate() {
         let base = &results[ki * strategies.len() + base_idx];
@@ -34,9 +38,13 @@ fn main() {
         for (si, s) in strategies.into_iter().enumerate() {
             let r = &results[ki * strategies.len() + si];
             assert_eq!(r.checksum, base.checksum, "{kind}: {s} functional mismatch");
-            let norm = base.stats.cycles as f64 / r.stats.cycles as f64;
+            let norm = r.stats.speedup_vs(&base.stats);
             per_strategy[si].push(norm);
             row.push(format!("{norm:.2}"));
+            records.push(
+                CellRecord::new(kind.label(), s.label(), &r.stats)
+                    .with("norm_vs_sharedoa", Json::Num(norm)),
+            );
         }
         rows.push(row);
     }
@@ -53,4 +61,6 @@ fn main() {
         .chain(strategies.iter().map(|s| s.label()))
         .collect();
     print_table(&headers, &rows);
+
+    manifest::emit(&opts, "fig6", &records, obs.as_ref());
 }

@@ -5,6 +5,8 @@
 //! 28%, 83% and 19% respectively; Concord halves memory instructions.
 
 use gvf_bench::cli::HarnessOpts;
+use gvf_bench::json::Json;
+use gvf_bench::manifest::{self, CellRecord};
 use gvf_bench::report::print_table;
 use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
@@ -22,11 +24,13 @@ fn main() {
         .into_iter()
         .flat_map(|k| strategies.into_iter().map(move |s| (k, s)))
         .collect();
-    let results = run_cells("fig7", opts.jobs, &cells, |&(k, s)| {
-        run_workload(k, s, &opts.cfg)
+    let mut results = run_cells("fig7", opts.jobs, &cells, |i, &(k, s)| {
+        run_workload(k, s, &opts.cfg_for_cell(i))
     });
+    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     // Unweighted per-app ratios, as the paper averages them.
     let mut sums = vec![(0.0f64, 0.0f64, 0.0f64, 0.0f64); strategies.len()];
     for (ki, kind) in WorkloadKind::EVALUATED.into_iter().enumerate() {
@@ -51,6 +55,10 @@ fn main() {
                 format!("{x:.2}"),
                 format!("{:.2}", m + c + x),
             ]);
+            records.push(
+                CellRecord::new(kind.label(), s.label(), &r.stats)
+                    .with("instrs_vs_sharedoa", Json::Num(m + c + x)),
+            );
         }
     }
     let n = WorkloadKind::EVALUATED.len() as f64;
@@ -71,4 +79,6 @@ fn main() {
         &["Workload/Strategy", "MEM", "COMPUTE", "CTRL", "TOTAL"],
         &rows,
     );
+
+    manifest::emit(&opts, "fig7", &records, obs.as_ref());
 }

@@ -3,6 +3,8 @@
 //! Paper geomeans: CUDA 1.00, Concord 0.82, COAL 0.86, TypePointer 0.81.
 
 use gvf_bench::cli::HarnessOpts;
+use gvf_bench::json::Json;
+use gvf_bench::manifest::{self, CellRecord};
 use gvf_bench::report::{geomean, print_table};
 use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
@@ -20,21 +22,26 @@ fn main() {
         .into_iter()
         .flat_map(|k| strategies.into_iter().map(move |s| (k, s)))
         .collect();
-    let results = run_cells("fig8", opts.jobs, &cells, |&(k, s)| {
-        run_workload(k, s, &opts.cfg)
+    let mut results = run_cells("fig8", opts.jobs, &cells, |i, &(k, s)| {
+        run_workload(k, s, &opts.cfg_for_cell(i))
     });
+    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
     for (ki, kind) in WorkloadKind::EVALUATED.into_iter().enumerate() {
         let base = &results[ki * strategies.len() + base_idx];
         let mut row = vec![kind.label().to_string()];
-        for (si, _) in strategies.into_iter().enumerate() {
+        for (si, s) in strategies.into_iter().enumerate() {
             let r = &results[ki * strategies.len() + si];
-            let norm = r.stats.global_load_transactions as f64
-                / base.stats.global_load_transactions.max(1) as f64;
+            let norm = r.stats.load_transactions_vs(&base.stats);
             per_strategy[si].push(norm);
             row.push(format!("{norm:.2}"));
+            records.push(
+                CellRecord::new(kind.label(), s.label(), &r.stats)
+                    .with("load_tx_vs_sharedoa", Json::Num(norm)),
+            );
         }
         rows.push(row);
     }
@@ -50,4 +57,6 @@ fn main() {
         .chain(strategies.iter().map(|s| s.label()))
         .collect();
     print_table(&headers, &rows);
+
+    manifest::emit(&opts, "fig8", &records, obs.as_ref());
 }

@@ -5,6 +5,7 @@
 //! crux of why its extra loads are cheap.
 
 use gvf_bench::cli::HarnessOpts;
+use gvf_bench::manifest::{self, CellRecord};
 use gvf_bench::report::print_table;
 use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
@@ -18,18 +19,22 @@ fn main() {
         .into_iter()
         .flat_map(|k| strategies.into_iter().map(move |s| (k, s)))
         .collect();
-    let results = run_cells("fig9", opts.jobs, &cells, |&(k, s)| {
-        run_workload(k, s, &opts.cfg)
+    let mut results = run_cells("fig9", opts.jobs, &cells, |i, &(k, s)| {
+        run_workload(k, s, &opts.cfg_for_cell(i))
     });
+    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     let mut sums = vec![0.0f64; strategies.len()];
     for (ki, kind) in WorkloadKind::EVALUATED.into_iter().enumerate() {
         let mut row = vec![kind.label().to_string()];
-        for (si, _) in strategies.into_iter().enumerate() {
-            let hr = results[ki * strategies.len() + si].stats.l1_hit_rate();
+        for (si, s) in strategies.into_iter().enumerate() {
+            let r = &results[ki * strategies.len() + si];
+            let hr = r.stats.l1_hit_rate();
             sums[si] += hr;
             row.push(format!("{:.1}%", hr * 100.0));
+            records.push(CellRecord::new(kind.label(), s.label(), &r.stats));
         }
         rows.push(row);
     }
@@ -46,4 +51,6 @@ fn main() {
         .chain(strategies.iter().map(|s| s.label()))
         .collect();
     print_table(&headers, &rows);
+
+    manifest::emit(&opts, "fig9", &records, obs.as_ref());
 }

@@ -4,10 +4,20 @@
 //! V100- and A100-like machines, each scaled to the workload size.
 
 use gvf_bench::cli::HarnessOpts;
+use gvf_bench::json::Json;
+use gvf_bench::manifest::{self, CellRecord};
 use gvf_bench::report::print_table;
+use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
 use gvf_sim::GpuConfig;
 use gvf_workloads::{run_workload, WorkloadKind};
+
+const STRATEGIES: [Strategy; 4] = [
+    Strategy::SharedOa,
+    Strategy::Cuda,
+    Strategy::Coal,
+    Strategy::TypePointerProto,
+];
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -16,24 +26,49 @@ fn main() {
         ("V100", GpuConfig::v100().scaled_to(8)),
         ("A100", GpuConfig::a100().scaled_to(8)),
     ];
-    let mut rows = Vec::new();
+
+    // Grid: workload × machine × strategy, SharedOA first as baseline.
+    let mut cells: Vec<(WorkloadKind, usize, Strategy)> = Vec::new();
     for kind in [WorkloadKind::GameOfLife, WorkloadKind::VeBfs] {
-        for (name, gpu) in &machines {
-            let mut cfg = opts.cfg.clone();
-            cfg.gpu = gpu.clone();
-            let base = run_workload(kind, Strategy::SharedOa, &cfg);
-            let mut row = vec![format!("{} {}", kind.label(), name)];
-            for s in [Strategy::Cuda, Strategy::Coal, Strategy::TypePointerProto] {
-                let r = run_workload(kind, s, &cfg);
-                row.push(format!(
-                    "{:.2}",
-                    base.stats.cycles as f64 / r.stats.cycles as f64
-                ));
+        for mi in 0..machines.len() {
+            for s in STRATEGIES {
+                cells.push((kind, mi, s));
             }
-            rows.push(row);
         }
+    }
+    let mut results = run_cells("generations", opts.jobs, &cells, |i, &(k, mi, s)| {
+        let mut cfg = opts.cfg_for_cell(i);
+        cfg.gpu = machines[mi].1.clone();
+        run_workload(k, s, &cfg)
+    });
+    let obs = results.first_mut().and_then(|r| r.obs.take());
+
+    let stride = STRATEGIES.len();
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for (gi, &(kind, mi, _)) in cells.iter().enumerate().step_by(stride) {
+        let name = machines[mi].0;
+        let base = &results[gi];
+        records.push(
+            CellRecord::new(kind.label(), Strategy::SharedOa.label(), &base.stats)
+                .with("gpu", Json::str(name)),
+        );
+        let mut row = vec![format!("{} {}", kind.label(), name)];
+        for si in 1..stride {
+            let r = &results[gi + si];
+            let norm = r.stats.speedup_vs(&base.stats);
+            row.push(format!("{norm:.2}"));
+            records.push(
+                CellRecord::new(kind.label(), STRATEGIES[si].label(), &r.stats)
+                    .with("gpu", Json::str(name))
+                    .with("norm_vs_sharedoa", Json::Num(norm)),
+            );
+        }
+        rows.push(row);
     }
     println!("\nRobustness — Fig. 6 ordering across GPU generations");
     println!("(normalized to SharedOA on each machine; expect CUDA < 1 < COAL ≤ TP everywhere)\n");
     print_table(&["Workload/GPU", "CUDA", "COAL", "TypePointer"], &rows);
+
+    manifest::emit(&opts, "generations", &records, obs.as_ref());
 }

@@ -14,6 +14,8 @@
 //! cost under COAL, and is exactly zero under TypePointer.
 
 use gvf_bench::cli::HarnessOpts;
+use gvf_bench::json::Json;
+use gvf_bench::manifest::{self, CellRecord};
 use gvf_bench::report::print_table;
 use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
@@ -23,9 +25,8 @@ use gvf_workloads::{micro, MicroParams};
 const STRATEGIES: [Strategy; 3] = [Strategy::SharedOa, Strategy::Coal, Strategy::TypePointerHw];
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let mut cfg = opts.cfg;
-    cfg.iterations = 1;
+    let mut opts = HarnessOpts::from_args();
+    opts.cfg.iterations = 1;
 
     let cells: Vec<(MicroParams, Strategy)> =
         [(16384usize, 2usize), (16384, 8), (65536, 2), (65536, 8)]
@@ -34,16 +35,17 @@ fn main() {
                 STRATEGIES.map(|s| (MicroParams { n_objects, n_types }, s))
             })
             .collect();
-    let results = run_cells("table1", opts.jobs, &cells, |&(p, s)| {
-        micro::run(s, p, &cfg)
+    let mut results = run_cells("table1", opts.jobs, &cells, |i, &(p, s)| {
+        micro::run(s, p, &opts.cfg_for_cell(i))
     });
+    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for (&(params, s), r) in cells.iter().zip(&results) {
-        let calls = r.stats.vfunc_calls.max(1) as f64;
-        let a = r.stats.load_transactions(AccessTag::VtablePtr) as f64 / calls;
-        let walk = r.stats.load_transactions(AccessTag::RangeWalk) as f64 / calls;
-        let b = r.stats.load_transactions(AccessTag::VfuncPtr) as f64 / calls;
+        let a = r.stats.load_transactions_per_call(AccessTag::VtablePtr);
+        let walk = r.stats.load_transactions_per_call(AccessTag::RangeWalk);
+        let b = r.stats.load_transactions_per_call(AccessTag::VfuncPtr);
         rows.push(vec![
             format!(
                 "{}k objs, {} types",
@@ -55,6 +57,14 @@ fn main() {
             format!("{walk:.1}"),
             format!("{b:.1}"),
         ]);
+        records.push(
+            CellRecord::new("micro", s.label(), &r.stats)
+                .with("n_objects", Json::num_u64(params.n_objects as u64))
+                .with("n_types", Json::num_u64(params.n_types as u64))
+                .with("vtable_tx_per_call", Json::Num(a))
+                .with("walk_tx_per_call", Json::Num(walk))
+                .with("vfunc_tx_per_call", Json::Num(b)),
+        );
     }
 
     println!("\nTable 1 — measured 32B transactions per virtual call");
@@ -70,4 +80,6 @@ fn main() {
         ],
         &rows,
     );
+
+    manifest::emit(&opts, "table1", &records, obs.as_ref());
 }

@@ -7,6 +7,8 @@
 //! the same ballpark.
 
 use gvf_bench::cli::HarnessOpts;
+use gvf_bench::json::Json;
+use gvf_bench::manifest::{self, CellRecord};
 use gvf_bench::report::print_table;
 use gvf_bench::sweep::run_cells;
 use gvf_core::Strategy;
@@ -15,11 +17,13 @@ use gvf_workloads::{run_workload, WorkloadKind};
 fn main() {
     let opts = HarnessOpts::from_args();
     let cells: Vec<WorkloadKind> = WorkloadKind::EVALUATED.to_vec();
-    let results = run_cells("table2", opts.jobs, &cells, |&k| {
-        run_workload(k, Strategy::SharedOa, &opts.cfg)
+    let mut results = run_cells("table2", opts.jobs, &cells, |i, &k| {
+        run_workload(k, Strategy::SharedOa, &opts.cfg_for_cell(i))
     });
+    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for (kind, r) in cells.iter().zip(&results) {
         rows.push(vec![
             format!("{} {}", kind.suite(), kind.label()),
@@ -28,6 +32,16 @@ fn main() {
             format!("{}", r.table2.vfunc_entries),
             format!("{:.1}", r.table2.vfunc_pki),
         ]);
+        records.push(
+            CellRecord::new(kind.label(), Strategy::SharedOa.label(), &r.stats)
+                .with("objects", Json::num_u64(r.table2.objects))
+                .with("types", Json::num_u64(r.table2.types as u64))
+                .with(
+                    "vfunc_entries",
+                    Json::num_u64(r.table2.vfunc_entries as u64),
+                )
+                .with("vfunc_pki", Json::Num(r.table2.vfunc_pki)),
+        );
     }
     println!(
         "\nTable 2 — workload characteristics (at --scale {})",
@@ -38,4 +52,6 @@ fn main() {
         &["Workload", "# Objects", "# Types", "# vFuncs", "vFuncPKI"],
         &rows,
     );
+
+    manifest::emit(&opts, "table2", &records, obs.as_ref());
 }

@@ -1,0 +1,76 @@
+//! Artifact validator: parses each given file with the in-repo JSON
+//! reader and checks its schema header, so CI (and `run_all.sh`) can
+//! prove every emitted artifact round-trips through the same parser a
+//! downstream consumer would use.
+//!
+//! Usage: `validate_json FILE...` — exits non-zero on the first file
+//! that fails to parse or carries an unknown/missing schema. Chrome
+//! traces (`gvf.timeline`) keep their schema under `otherData`, the
+//! manifest and metrics documents at top level.
+
+use gvf_bench::json::Json;
+use gvf_bench::manifest::{MANIFEST_SCHEMA, METRICS_SCHEMA};
+use gvf_sim::TIMELINE_SCHEMA;
+
+/// Returns the document's schema identifier, looking both at the top
+/// level (manifest, metrics) and under `otherData` (Chrome trace).
+fn schema_of(doc: &Json) -> Option<&str> {
+    doc.get("schema")
+        .or_else(|| doc.get("otherData").and_then(|o| o.get("schema")))
+        .and_then(Json::as_str)
+}
+
+/// Structural spot-checks per schema, beyond "it parses".
+fn check(doc: &Json, schema: &str) -> Result<(), String> {
+    let arr_len = |key: &str| doc.get(key).and_then(Json::as_arr).map(<[_]>::len);
+    match schema {
+        MANIFEST_SCHEMA => {
+            let cells = arr_len("cells").ok_or("manifest without a cells array")?;
+            if cells == 0 {
+                return Err("manifest with zero cells".into());
+            }
+            doc.get("config")
+                .ok_or("manifest without a config section")?;
+            Ok(())
+        }
+        METRICS_SCHEMA => {
+            arr_len("kernels").ok_or("metrics without a kernels array")?;
+            Ok(())
+        }
+        TIMELINE_SCHEMA => {
+            arr_len("traceEvents").ok_or("trace without a traceEvents array")?;
+            Ok(())
+        }
+        other => Err(format!("unknown schema {other:?}")),
+    }
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_json FILE...");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        let fail = |msg: &str| -> ! {
+            eprintln!("{path}: INVALID — {msg}");
+            std::process::exit(1);
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => fail(&format!("unreadable: {e}")),
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => fail(&format!("parse error: {e}")),
+        };
+        let schema = match schema_of(&doc) {
+            Some(s) => s.to_string(),
+            None => fail("no schema header"),
+        };
+        if let Err(msg) = check(&doc, &schema) {
+            fail(&msg);
+        }
+        println!("{path}: ok ({schema})");
+    }
+}

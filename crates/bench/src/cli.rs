@@ -1,9 +1,16 @@
 //! Minimal flag parsing shared by the harness binaries.
 
+use gvf_sim::ProbeSpec;
 use gvf_workloads::WorkloadConfig;
 
+/// Default timeline event cap per SM when `--trace-out` is given.
+pub const DEFAULT_TRACE_EVENTS_PER_SM: usize = 4096;
+/// Default metrics bucket width when `--metrics-out` is given.
+pub const DEFAULT_METRICS_BUCKET_CYCLES: u64 = 256;
+
 /// Common harness options: `--scale N`, `--iters N`, `--seed N`,
-/// `--jobs N`, `--engine-threads N`, `--smoke`.
+/// `--jobs N`, `--engine-threads N`, `--smoke`, plus the observability
+/// outputs `--json-out PATH`, `--trace-out PATH`, `--metrics-out PATH`.
 #[derive(Clone, Debug)]
 pub struct HarnessOpts {
     /// Workload configuration assembled from the flags.
@@ -16,6 +23,14 @@ pub struct HarnessOpts {
     /// the binary finishes in seconds while still exercising the full
     /// pipeline.
     pub smoke: bool,
+    /// Write the versioned run manifest here (`--json-out`).
+    pub json_out: Option<String>,
+    /// Write a Chrome trace-event timeline of the grid's first cell
+    /// here (`--trace-out`).
+    pub trace_out: Option<String>,
+    /// Write the first cell's per-epoch metrics series here
+    /// (`--metrics-out`).
+    pub metrics_out: Option<String>,
 }
 
 /// Prints a usage error and exits with status 2.
@@ -31,6 +46,9 @@ impl HarnessOpts {
         let mut cfg = WorkloadConfig::eval();
         let mut jobs = 1usize;
         let mut smoke = false;
+        let mut json_out = None;
+        let mut trace_out = None;
+        let mut metrics_out = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -68,10 +86,23 @@ impl HarnessOpts {
                     smoke = true;
                     i += 1;
                 }
+                "--json-out" => {
+                    json_out = Some(need(i).clone());
+                    i += 2;
+                }
+                "--trace-out" => {
+                    trace_out = Some(need(i).clone());
+                    i += 2;
+                }
+                "--metrics-out" => {
+                    metrics_out = Some(need(i).clone());
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     println!(
                         "options: --scale N (default 8)  --iters N  --seed N  \
-                         --jobs N (0 = all cores)  --engine-threads N (0 = auto)  --smoke"
+                         --jobs N (0 = all cores)  --engine-threads N (0 = auto)  --smoke  \
+                         --json-out PATH  --trace-out PATH  --metrics-out PATH"
                     );
                     std::process::exit(0);
                 }
@@ -87,6 +118,38 @@ impl HarnessOpts {
             cfg.seed = seed;
             cfg.engine_threads = engine_threads;
         }
-        HarnessOpts { cfg, jobs, smoke }
+        HarnessOpts {
+            cfg,
+            jobs,
+            smoke,
+            json_out,
+            trace_out,
+            metrics_out,
+        }
+    }
+
+    /// The configuration for grid cell `i`. Timeline/metrics recording
+    /// is enabled on the **first cell only** — one probed cell keeps
+    /// artifact sizes bounded (a full grid's timeline would be tens of
+    /// MB) while the manifest still covers every cell. Probes never
+    /// change timing, so probed and unprobed cells report identical
+    /// [`gvf_sim::Stats`].
+    pub fn cfg_for_cell(&self, i: usize) -> WorkloadConfig {
+        let mut cfg = self.cfg.clone();
+        if i == 0 {
+            cfg.probe = ProbeSpec {
+                timeline_events_per_sm: if self.trace_out.is_some() {
+                    DEFAULT_TRACE_EVENTS_PER_SM
+                } else {
+                    0
+                },
+                metrics_bucket_cycles: if self.metrics_out.is_some() {
+                    DEFAULT_METRICS_BUCKET_CYCLES
+                } else {
+                    0
+                },
+            };
+        }
+        cfg
     }
 }

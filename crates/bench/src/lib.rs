@@ -9,5 +9,7 @@
 
 pub mod cli;
 pub mod harness;
+pub mod json;
+pub mod manifest;
 pub mod report;
 pub mod sweep;

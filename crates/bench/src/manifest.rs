@@ -1,0 +1,283 @@
+//! Versioned, machine-readable run manifests for the figure binaries.
+//!
+//! Every grid binary can emit three artifacts next to its stdout table
+//! (see [`crate::cli::HarnessOpts`]):
+//!
+//! - `--json-out` — the **run manifest** (`gvf.run-manifest` v1):
+//!   generator name, the simulation-relevant config, and one record per
+//!   grid cell with its raw [`Stats`] counters plus derived metrics.
+//!   The config section deliberately excludes host-side knobs
+//!   (`--jobs`, `--engine-threads`) and wall-clock times, so a serial
+//!   and a parallel run of the same grid produce **byte-identical**
+//!   manifests — the CI determinism diff relies on this.
+//! - `--trace-out` — a Chrome trace-event / Perfetto timeline
+//!   ([`gvf_sim::timeline`]) recorded from the grid's first cell.
+//! - `--metrics-out` — the per-epoch metrics time series
+//!   (`gvf.metrics` v1) from the first cell: per-bucket IPC, hit rates
+//!   and stall mix.
+//!
+//! Schema versioning: the `schema`/`version` header is bumped on any
+//! breaking field change; consumers must check it (DESIGN.md
+//! "Observability").
+
+use crate::cli::HarnessOpts;
+use crate::json::Json;
+use gvf_sim::{write_chrome_trace, EpochSeries, ObsReport, StallCause, Stats};
+use std::io::{self, Write};
+
+/// Manifest schema identifier.
+pub const MANIFEST_SCHEMA: &str = "gvf.run-manifest";
+/// Manifest schema version; bump on breaking changes.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+/// Metrics-series schema identifier.
+pub const METRICS_SCHEMA: &str = "gvf.metrics";
+/// Metrics-series schema version; bump on breaking changes.
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// One grid cell of a figure run: identifying coordinates (workload,
+/// strategy, knob values...) plus the measured counters.
+#[derive(Clone, Debug)]
+pub struct CellRecord {
+    /// Cell coordinates and per-cell extras, in display order.
+    pub meta: Vec<(String, Json)>,
+    /// The cell's raw counters.
+    pub stats: Stats,
+}
+
+impl CellRecord {
+    /// A record with the two coordinates every figure grid has.
+    pub fn new(workload: &str, strategy: &str, stats: &Stats) -> Self {
+        CellRecord {
+            meta: vec![
+                ("workload".to_string(), Json::str(workload)),
+                ("strategy".to_string(), Json::str(strategy)),
+            ],
+            stats: stats.clone(),
+        }
+    }
+
+    /// Appends an extra coordinate / measurement (builder style).
+    pub fn with(mut self, key: &str, value: Json) -> Self {
+        self.meta.push((key.to_string(), value));
+        self
+    }
+}
+
+/// Serializes every raw counter of [`Stats`]. Tagged arrays become
+/// objects keyed by cause label, so the manifest stays readable without
+/// the enum definition.
+pub fn stats_json(s: &Stats) -> Json {
+    let mut stalls = Json::obj();
+    let mut loads = Json::obj();
+    for cause in StallCause::all() {
+        stalls.set(cause.label(), Json::num_u64(s.stall_by_tag[cause.index()]));
+        if let StallCause::Access(tag) = cause {
+            loads.set(cause.label(), Json::num_u64(s.load_transactions(tag)));
+        }
+    }
+    Json::obj()
+        .with("cycles", Json::num_u64(s.cycles))
+        .with("instrs_mem", Json::num_u64(s.instrs_mem))
+        .with("instrs_compute", Json::num_u64(s.instrs_compute))
+        .with("instrs_ctrl", Json::num_u64(s.instrs_ctrl))
+        .with(
+            "global_load_transactions",
+            Json::num_u64(s.global_load_transactions),
+        )
+        .with(
+            "global_store_transactions",
+            Json::num_u64(s.global_store_transactions),
+        )
+        .with("l1_accesses", Json::num_u64(s.l1_accesses))
+        .with("l1_hits", Json::num_u64(s.l1_hits))
+        .with("l2_accesses", Json::num_u64(s.l2_accesses))
+        .with("l2_hits", Json::num_u64(s.l2_hits))
+        .with("dram_accesses", Json::num_u64(s.dram_accesses))
+        .with("const_accesses", Json::num_u64(s.const_accesses))
+        .with("const_hits", Json::num_u64(s.const_hits))
+        .with("warps", Json::num_u64(s.warps))
+        .with("vfunc_calls", Json::num_u64(s.vfunc_calls))
+        .with("stall_by_cause", stalls)
+        .with("load_transactions_by_tag", loads)
+}
+
+/// The derived metrics the paper's figures plot, computed through the
+/// canonical [`Stats`] helpers so manifest and stdout can never
+/// disagree.
+pub fn derived_json(s: &Stats) -> Json {
+    let (a, b, c) = s.dispatch_latency_breakdown();
+    Json::obj()
+        .with("ipc", Json::Num(s.ipc()))
+        .with("l1_hit_rate", Json::Num(s.l1_hit_rate()))
+        .with("l2_hit_rate", Json::Num(s.l2_hit_rate()))
+        .with("vfunc_pki", Json::Num(s.vfunc_pki()))
+        .with(
+            "dispatch_latency_breakdown",
+            Json::obj()
+                .with("vtable_load", Json::Num(a))
+                .with("vfunc_load", Json::Num(b))
+                .with("indirect_call", Json::Num(c)),
+        )
+}
+
+/// Builds the `gvf.run-manifest` document. The config section contains
+/// only simulation-relevant knobs (see the module docs for why).
+pub fn manifest(generator: &str, opts: &HarnessOpts, cells: &[CellRecord]) -> Json {
+    let config = Json::obj()
+        .with("scale", Json::num_u64(opts.cfg.scale as u64))
+        .with("iterations", Json::num_u64(opts.cfg.iterations as u64))
+        .with("seed", Json::num_u64(opts.cfg.seed))
+        .with("smoke", Json::Bool(opts.smoke));
+    let records: Vec<Json> = cells
+        .iter()
+        .map(|cell| {
+            let mut rec = Json::obj();
+            for (k, v) in &cell.meta {
+                rec.set(k, v.clone());
+            }
+            rec.with("stats", stats_json(&cell.stats))
+                .with("derived", derived_json(&cell.stats))
+        })
+        .collect();
+    Json::obj()
+        .with("schema", Json::str(MANIFEST_SCHEMA))
+        .with("version", Json::num_u64(MANIFEST_SCHEMA_VERSION as u64))
+        .with("generator", Json::str(generator))
+        .with("config", config)
+        .with("cells", Json::Arr(records))
+}
+
+fn series_json(series: &EpochSeries) -> Json {
+    let buckets: Vec<Json> = series
+        .buckets()
+        .iter()
+        .map(|b| {
+            let width = series.bucket_cycles();
+            let mut stalls = Json::obj();
+            for cause in StallCause::all() {
+                stalls.set(
+                    cause.label(),
+                    Json::num_u64(b.stall_by_cause[cause.index()]),
+                );
+            }
+            Json::obj()
+                .with("instrs", Json::num_u64(b.instrs))
+                .with("ipc", Json::Num(b.instrs as f64 / width as f64))
+                .with("l1_accesses", Json::num_u64(b.l1_accesses))
+                .with("l1_hits", Json::num_u64(b.l1_hits))
+                .with("l2_accesses", Json::num_u64(b.l2_accesses))
+                .with("l2_hits", Json::num_u64(b.l2_hits))
+                .with("dram_accesses", Json::num_u64(b.dram_accesses))
+                .with("stall_by_cause", stalls)
+        })
+        .collect();
+    Json::obj()
+        .with("bucket_cycles", Json::num_u64(series.bucket_cycles()))
+        .with("buckets", Json::Arr(buckets))
+}
+
+/// Builds the `gvf.metrics` document from a recorded [`ObsReport`].
+pub fn metrics_doc(generator: &str, obs: &ObsReport) -> Json {
+    Json::obj()
+        .with("schema", Json::str(METRICS_SCHEMA))
+        .with("version", Json::num_u64(METRICS_SCHEMA_VERSION as u64))
+        .with("generator", Json::str(generator))
+        .with(
+            "kernels",
+            Json::Arr(obs.kernel_series.iter().map(series_json).collect()),
+        )
+}
+
+fn write_file(path: &str, contents: &[u8]) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(contents)?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+/// Emits whatever artifacts the flags asked for: the manifest to
+/// `--json-out`, the first probed cell's timeline to `--trace-out`, and
+/// its metrics series to `--metrics-out`. `obs` is the report taken
+/// from the probed cell (`None` when recording was off or nothing
+/// fired — the timeline/metrics files are still written, empty, so a
+/// pipeline consuming them never sees a missing file). Exits the
+/// process with an error on I/O failure: an unwritable artifact path is
+/// a fatal misuse, not a degraded run.
+pub fn emit(opts: &HarnessOpts, generator: &str, cells: &[CellRecord], obs: Option<&ObsReport>) {
+    let run = || -> io::Result<()> {
+        if let Some(path) = &opts.json_out {
+            write_file(path, manifest(generator, opts, cells).render().as_bytes())?;
+        }
+        let empty = ObsReport::default();
+        let obs = obs.unwrap_or(&empty);
+        if let Some(path) = &opts.trace_out {
+            let mut buf = Vec::new();
+            write_chrome_trace(&mut buf, &obs.events, obs.events_dropped)?;
+            write_file(path, &buf)?;
+        }
+        if let Some(path) = &opts.metrics_out {
+            write_file(path, metrics_doc(generator, obs).render().as_bytes())?;
+        }
+        Ok(())
+    };
+    if let Err(e) = run() {
+        eprintln!("error: failed to write artifact: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> Stats {
+        let mut s = Stats::new();
+        s.cycles = 1000;
+        s.instrs_mem = 100;
+        s.instrs_compute = 400;
+        s.l1_accesses = 64;
+        s.l1_hits = 32;
+        s.vfunc_calls = 10;
+        s.stall_by_tag[0] = 77;
+        s.load_transactions_by_tag[0] = 12;
+        s
+    }
+
+    #[test]
+    fn stats_round_trip_through_parser() {
+        let doc = stats_json(&sample_stats());
+        let parsed = Json::parse(&doc.render()).expect("parse");
+        assert_eq!(parsed, doc);
+        assert_eq!(
+            parsed
+                .get("stall_by_cause")
+                .and_then(|s| s.get("vtable-ptr"))
+                .and_then(Json::as_num),
+            Some(77.0)
+        );
+    }
+
+    #[test]
+    fn derived_uses_canonical_helpers() {
+        let s = sample_stats();
+        let doc = derived_json(&s);
+        assert_eq!(doc.get("ipc").and_then(Json::as_num), Some(s.ipc()));
+        assert_eq!(
+            doc.get("l1_hit_rate").and_then(Json::as_num),
+            Some(s.l1_hit_rate())
+        );
+    }
+
+    #[test]
+    fn metrics_doc_has_schema_header() {
+        let doc = metrics_doc("test", &ObsReport::default());
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(METRICS_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("kernels").and_then(Json::as_arr).map(<[_]>::len),
+            Some(0)
+        );
+    }
+}

@@ -3,24 +3,46 @@
 //! Every figure binary boils down to a grid of independent cells
 //! (workload × strategy × knob). [`run_cells`] pushes the grid through a
 //! [`SimPool`] and returns the results in grid order, so the reporting
-//! code stays a plain in-order loop and the output is byte-identical
-//! for any `--jobs` value.
+//! code stays a plain in-order loop and stdout is byte-identical for
+//! any `--jobs` value. All operator feedback — progress heartbeats and
+//! the wall-clock summary — goes to **stderr only** (the CI determinism
+//! diff compares stdout between serial and parallel runs).
 
 use gvf_sim::SimPool;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+/// Minimum milliseconds between progress heartbeats.
+const HEARTBEAT_MS: u64 = 1000;
+
 /// Runs `f` over `cells` on `jobs` threads (`0` = all cores), returning
-/// results in input order. Prints a wall-clock line to stderr so stdout
-/// stays a clean report.
+/// results in input order; `f` also receives the cell's grid index
+/// (feeding [`crate::cli::HarnessOpts::cfg_for_cell`]). Long sweeps get
+/// throttled `k/N cells, ETA` heartbeats on stderr; a final wall-clock
+/// line always prints to stderr so stdout stays a clean report.
 pub fn run_cells<I, T, F>(label: &str, jobs: usize, cells: &[I], f: F) -> Vec<T>
 where
     I: Sync,
     T: Send,
-    F: Fn(&I) -> T + Sync,
+    F: Fn(usize, &I) -> T + Sync,
 {
     let pool = SimPool::new(jobs);
     let start = Instant::now();
-    let out = pool.run(cells, f);
+    let last_beat = AtomicU64::new(0);
+    let out = pool.run_indexed(cells, f, |done, total| {
+        let elapsed_ms = start.elapsed().as_millis() as u64;
+        let prev = last_beat.load(Ordering::Relaxed);
+        // One thread wins the CAS per heartbeat window; the rest skip.
+        if done < total
+            && elapsed_ms >= prev + HEARTBEAT_MS
+            && last_beat
+                .compare_exchange(prev, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            let eta = start.elapsed().as_secs_f64() / done as f64 * (total - done) as f64;
+            eprintln!("[{label}] {done}/{total} cells, ETA {eta:.0}s");
+        }
+    });
     eprintln!(
         "[{label}] {} simulations in {:.2}s ({} job{})",
         cells.len(),

@@ -8,7 +8,7 @@
 
 /// Result of a cache probe.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Probe {
+pub enum CacheProbe {
     /// Tag and sector present.
     Hit,
     /// Tag present but sector absent (32-byte fill).
@@ -17,10 +17,10 @@ pub enum Probe {
     LineMiss,
 }
 
-impl Probe {
+impl CacheProbe {
     /// Whether the probe found the requested data.
     pub fn is_hit(self) -> bool {
-        matches!(self, Probe::Hit)
+        matches!(self, CacheProbe::Hit)
     }
 }
 
@@ -78,7 +78,7 @@ impl SectoredCache {
     }
 
     /// Probes (and fills on miss) the sector containing `addr`.
-    pub fn access(&mut self, addr: u64) -> Probe {
+    pub fn access(&mut self, addr: u64) -> CacheProbe {
         self.tick += 1;
         let (set_idx, tag, sector) = self.locate(addr);
         let tick = self.tick;
@@ -90,11 +90,11 @@ impl SectoredCache {
             line.last_used = tick;
             if line.valid_sectors & sector_bit != 0 {
                 self.hits += 1;
-                return Probe::Hit;
+                return CacheProbe::Hit;
             }
             line.valid_sectors |= sector_bit;
             self.misses += 1;
-            return Probe::SectorMiss;
+            return CacheProbe::SectorMiss;
         }
 
         self.misses += 1;
@@ -113,18 +113,18 @@ impl SectoredCache {
             victim.valid_sectors = sector_bit;
             victim.last_used = tick;
         }
-        Probe::LineMiss
+        CacheProbe::LineMiss
     }
 
     /// Probes without filling (used for stores in a write-through,
     /// no-write-allocate L1).
-    pub fn probe_only(&mut self, addr: u64) -> Probe {
+    pub fn probe_only(&mut self, addr: u64) -> CacheProbe {
         let (set_idx, tag, sector) = self.locate(addr);
         let sector_bit = 1u8 << sector;
         match self.sets[set_idx].iter().find(|l| l.tag == tag) {
-            Some(line) if line.valid_sectors & sector_bit != 0 => Probe::Hit,
-            Some(_) => Probe::SectorMiss,
-            None => Probe::LineMiss,
+            Some(line) if line.valid_sectors & sector_bit != 0 => CacheProbe::Hit,
+            Some(_) => CacheProbe::SectorMiss,
+            None => CacheProbe::LineMiss,
         }
     }
 
@@ -174,9 +174,9 @@ mod tests {
     #[test]
     fn first_touch_misses_then_hits() {
         let mut c = tiny();
-        assert_eq!(c.access(0x100), Probe::LineMiss);
-        assert_eq!(c.access(0x100), Probe::Hit);
-        assert_eq!(c.access(0x104), Probe::Hit); // same sector
+        assert_eq!(c.access(0x100), CacheProbe::LineMiss);
+        assert_eq!(c.access(0x100), CacheProbe::Hit);
+        assert_eq!(c.access(0x104), CacheProbe::Hit); // same sector
         assert_eq!(c.hits(), 2);
         assert_eq!(c.misses(), 1);
     }
@@ -184,9 +184,9 @@ mod tests {
     #[test]
     fn sector_miss_within_resident_line() {
         let mut c = tiny();
-        assert_eq!(c.access(0x100), Probe::LineMiss);
-        assert_eq!(c.access(0x120), Probe::SectorMiss); // sector 1 of same line
-        assert_eq!(c.access(0x120), Probe::Hit);
+        assert_eq!(c.access(0x100), CacheProbe::LineMiss);
+        assert_eq!(c.access(0x120), CacheProbe::SectorMiss); // sector 1 of same line
+        assert_eq!(c.access(0x120), CacheProbe::Hit);
     }
 
     #[test]
@@ -198,8 +198,8 @@ mod tests {
         c.access(line2);
         c.access(line0); // refresh line 0
         c.access(line4); // evicts line 2 (LRU)
-        assert_eq!(c.access(line0), Probe::Hit);
-        assert_eq!(c.access(line2), Probe::LineMiss);
+        assert_eq!(c.access(line0), CacheProbe::Hit);
+        assert_eq!(c.access(line2), CacheProbe::LineMiss);
     }
 
     #[test]
@@ -207,17 +207,17 @@ mod tests {
         let mut c = tiny();
         c.access(0x100);
         c.flush();
-        assert_eq!(c.access(0x100), Probe::LineMiss);
+        assert_eq!(c.access(0x100), CacheProbe::LineMiss);
     }
 
     #[test]
     fn probe_only_does_not_fill() {
         let mut c = tiny();
-        assert_eq!(c.probe_only(0x100), Probe::LineMiss);
-        assert_eq!(c.probe_only(0x100), Probe::LineMiss);
+        assert_eq!(c.probe_only(0x100), CacheProbe::LineMiss);
+        assert_eq!(c.probe_only(0x100), CacheProbe::LineMiss);
         c.access(0x100);
-        assert_eq!(c.probe_only(0x100), Probe::Hit);
-        assert_eq!(c.probe_only(0x120), Probe::SectorMiss);
+        assert_eq!(c.probe_only(0x100), CacheProbe::Hit);
+        assert_eq!(c.probe_only(0x120), CacheProbe::SectorMiss);
     }
 
     #[test]

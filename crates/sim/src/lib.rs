@@ -48,15 +48,25 @@ mod engine;
 mod exec;
 mod instr;
 mod pool;
+pub mod probe;
 pub mod simt;
 mod stats;
+pub mod timeline;
 mod trace;
 
-pub use cache::{Probe, SectoredCache};
+pub use cache::{CacheProbe, SectoredCache};
 pub use config::GpuConfig;
 pub use engine::Gpu;
 pub use exec::{lanes_from_fn, lanes_none, run_kernel, Lanes, WarpCtx, WARP_SIZE};
 pub use instr::{AccessTag, InstrClass, MemOp, Op, Space};
 pub use pool::SimPool;
+pub use probe::{
+    recording_probe, CountingProbe, EpochMetricsProbe, EpochSeries, MetricsBucket, NopProbe,
+    ObsReport, Probe, ProbeSpec, RecordingProbe, StallCause, STALL_CAUSES,
+};
 pub use stats::{Stats, STALL_INDIRECT_CALL};
+pub use timeline::{
+    write_chrome_trace, TimelineProbe, TraceEvent, TraceEventKind, TIMELINE_SCHEMA,
+    TIMELINE_SCHEMA_VERSION,
+};
 pub use trace::{KernelTrace, WarpTrace};

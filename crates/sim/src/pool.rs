@@ -52,23 +52,50 @@ impl SimPool {
         T: Send,
         F: Fn(&I) -> T + Sync,
     {
+        self.run_indexed(inputs, |_, input| f(input), |_, _| {})
+    }
+
+    /// [`run`](SimPool::run) with the cell index passed to `f` and a
+    /// completion callback: `on_done(done, total)` fires after each
+    /// cell finishes, with the number completed so far. Completion
+    /// order (and hence the `done` sequence) depends on scheduling, so
+    /// the callback is for stderr progress reporting only — outputs are
+    /// still returned in input order and bit-identical for any job
+    /// count.
+    pub fn run_indexed<I, T, F, D>(&self, inputs: &[I], f: F, on_done: D) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+        D: Fn(usize, usize) + Sync,
+    {
         #[cfg(feature = "parallel")]
         {
             let jobs = self.jobs.min(inputs.len()).max(1);
             if jobs > 1 {
-                return run_parallel(inputs, &f, jobs);
+                return run_parallel(inputs, &f, &on_done, jobs);
             }
         }
-        inputs.iter().map(f).collect()
+        let total = inputs.len();
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| {
+                let out = f(i, input);
+                on_done(i + 1, total);
+                out
+            })
+            .collect()
     }
 }
 
 #[cfg(feature = "parallel")]
-fn run_parallel<I, T, F>(inputs: &[I], f: &F, jobs: usize) -> Vec<T>
+fn run_parallel<I, T, F, D>(inputs: &[I], f: &F, on_done: &D, jobs: usize) -> Vec<T>
 where
     I: Sync,
     T: Send,
-    F: Fn(&I) -> T + Sync,
+    F: Fn(usize, &I) -> T + Sync,
+    D: Fn(usize, usize) + Sync,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
@@ -77,14 +104,18 @@ where
     // sweep (scaled configs vs. tiny ones), so static chunking would
     // leave threads idle.
     let cursor = AtomicUsize::new(0);
+    let finished = AtomicUsize::new(0);
+    let total = inputs.len();
     let slots: Vec<Mutex<Option<T>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(input) = inputs.get(i) else { return };
-                let out = f(input);
+                let out = f(i, input);
                 *slots[i].lock().expect("slot mutex") = Some(out);
+                let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
+                on_done(done, total);
             });
         }
     });
@@ -130,5 +161,26 @@ mod tests {
     fn more_jobs_than_inputs() {
         let out = SimPool::new(64).run(&[1, 2], |&n: &i32| n + 1);
         assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn run_indexed_passes_indices_and_reports_progress() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for jobs in [1, 4] {
+            let inputs: Vec<u64> = (0..23).collect();
+            let calls = AtomicUsize::new(0);
+            let out = SimPool::new(jobs).run_indexed(
+                &inputs,
+                |i, &n| (i as u64) * 100 + n,
+                |done, total| {
+                    assert!(done >= 1 && done <= total);
+                    assert_eq!(total, 23);
+                    calls.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(calls.load(Ordering::Relaxed), 23);
+            let expect: Vec<u64> = (0..23).map(|i| i * 100 + i).collect();
+            assert_eq!(out, expect);
+        }
     }
 }

@@ -1,0 +1,680 @@
+//! Zero-overhead observability hooks for the timing engine.
+//!
+//! The engine's hot loops are generic over a [`Probe`]: every
+//! simulation-visible event — warp issue, stall attribution, cache and
+//! DRAM traffic, MSHR pressure, epoch boundaries, warp retirement —
+//! calls the matching hook on the issuing SM's probe instance. The
+//! default [`NopProbe`] has empty inline hooks, so the un-probed paths
+//! monomorphize to exactly the pre-probe machine code: no branches, no
+//! buffers, no cycle drift. Probes **observe** and never feed back into
+//! timing, so a probed run produces bit-identical [`Stats`] to an
+//! un-probed one (property-tested in `tests/prop.rs`).
+//!
+//! Probes are **per SM**: [`crate::Gpu::execute_probed`] builds one
+//! instance per SM from a factory closure, and every hook fires on the
+//! SM that owns the event (phase-B memory events are attributed to the
+//! *requesting* SM). Phase A only touches SM-local state and phase B
+//! runs in canonical order, so each probe records an identical event
+//! stream for any host thread count — observability inherits the
+//! engine's determinism contract for free.
+//!
+//! Shipped probes:
+//!
+//! - [`NopProbe`] — the zero-cost default;
+//! - [`CountingProbe`] — rebuilds the event-derived slice of [`Stats`]
+//!   purely from hooks (the cross-check used by the property suite);
+//! - [`EpochMetricsProbe`] — a bounded, auto-coarsening time series of
+//!   per-bucket counter deltas (IPC, hit rates, stall mix over time);
+//! - [`crate::TimelineProbe`] — bounded per-SM event buffers exported
+//!   as Chrome trace-event / Perfetto JSON (see [`crate::timeline`]).
+//!
+//! Composition: `(A, B)` and `Option<P>` are probes themselves, so a
+//! run can record a timeline and a metrics series at once without a
+//! bespoke combined type.
+
+use crate::instr::{AccessTag, Op};
+use crate::stats::{Stats, STALL_INDIRECT_CALL};
+use crate::timeline::{TimelineProbe, TraceEvent};
+
+/// Why a warp stalled, mirroring the indexing of
+/// [`Stats::stall_by_tag`]: one slot per [`AccessTag`] plus the
+/// indirect call (operation **C** of the paper's Fig. 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// Waiting on a memory access with this attribution tag.
+    Access(AccessTag),
+    /// The indirect-call issue latency itself.
+    IndirectCall,
+}
+
+/// Number of distinct [`StallCause`] values (array sizing).
+pub const STALL_CAUSES: usize = AccessTag::ALL.len() + 1;
+
+impl StallCause {
+    /// Compact index, compatible with [`Stats::stall_by_tag`].
+    pub const fn index(self) -> usize {
+        match self {
+            StallCause::Access(tag) => tag.index(),
+            StallCause::IndirectCall => STALL_INDIRECT_CALL,
+        }
+    }
+
+    /// Every cause, in [`index`](StallCause::index) order.
+    pub fn all() -> [StallCause; STALL_CAUSES] {
+        let mut out = [StallCause::IndirectCall; STALL_CAUSES];
+        let mut i = 0;
+        while i < AccessTag::ALL.len() {
+            out[i] = StallCause::Access(AccessTag::ALL[i]);
+            i += 1;
+        }
+        out
+    }
+
+    /// Short machine-readable label (trace/metrics schema field).
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::Access(AccessTag::VtablePtr) => "vtable-ptr",
+            StallCause::Access(AccessTag::VfuncPtr) => "vfunc-ptr",
+            StallCause::Access(AccessTag::ConstIndirection) => "const-indirection",
+            StallCause::Access(AccessTag::TypeTag) => "type-tag",
+            StallCause::Access(AccessTag::RangeWalk) => "range-walk",
+            StallCause::Access(AccessTag::Field) => "field",
+            StallCause::Access(AccessTag::Other) => "other",
+            StallCause::IndirectCall => "indirect-call",
+        }
+    }
+}
+
+/// Observability hooks called from the engine's hot loops.
+///
+/// Every method has an empty default body, so an implementation only
+/// pays for (and only writes) the events it cares about. Implementors
+/// are per-SM — see the module docs for the determinism argument.
+/// Hooks mirror the counter updates of [`Stats`] exactly: summing a
+/// hook's payloads over a run reproduces the corresponding counter
+/// bit-for-bit (this is what [`CountingProbe`] does).
+pub trait Probe: Send {
+    /// A new epoch begins on this SM at `cycle` (idle stretches are
+    /// skipped, so consecutive calls may jump forward).
+    #[inline(always)]
+    fn epoch(&mut self, _cycle: u64) {}
+
+    /// Warp `warp` issued `op` (its `pc`-th trace entry) at `cycle`.
+    #[inline(always)]
+    fn issue(&mut self, _cycle: u64, _warp: usize, _pc: usize, _op: &Op) {}
+
+    /// A stall interval `[from, until)` charged to `cause`, incurred by
+    /// `warp` at trace position `pc` — the generalized Fig. 1b event.
+    #[inline(always)]
+    fn stall(&mut self, _warp: usize, _pc: usize, _cause: StallCause, _from: u64, _until: u64) {}
+
+    /// One L1 sector probe (a global-load transaction) tagged `tag`.
+    #[inline(always)]
+    fn l1_access(&mut self, _cycle: u64, _tag: AccessTag, _hit: bool) {}
+
+    /// One constant-cache sector probe tagged `tag`.
+    #[inline(always)]
+    fn const_access(&mut self, _cycle: u64, _tag: AccessTag, _hit: bool) {}
+
+    /// One L2 sector probe (attributed to the requesting SM).
+    #[inline(always)]
+    fn l2_access(&mut self, _cycle: u64, _hit: bool) {}
+
+    /// One DRAM sector access (attributed to the requesting SM).
+    #[inline(always)]
+    fn dram_access(&mut self, _cycle: u64) {}
+
+    /// A miss wanted an MSHR entry at `cycle` but the file was full;
+    /// it enters the memory system at `until`.
+    #[inline(always)]
+    fn mshr_wait(&mut self, _cycle: u64, _until: u64) {}
+
+    /// A store issued `sectors` coalesced store transactions.
+    #[inline(always)]
+    fn store_sectors(&mut self, _cycle: u64, _sectors: u64) {}
+
+    /// Warp `warp` retired (its last outstanding load drained) at
+    /// `cycle`.
+    #[inline(always)]
+    fn warp_retire(&mut self, _cycle: u64, _warp: usize) {}
+}
+
+/// The default probe: every hook is an empty `#[inline(always)]` body,
+/// so `execute::<NopProbe>` compiles to the same machine code as an
+/// engine without hooks. This is the "zero" in zero-overhead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NopProbe;
+
+impl Probe for NopProbe {}
+
+/// `Option<P>` is a probe that forwards when `Some` — the building
+/// block for runtime-configurable probe stacks.
+impl<P: Probe> Probe for Option<P> {
+    #[inline(always)]
+    fn epoch(&mut self, cycle: u64) {
+        if let Some(p) = self {
+            p.epoch(cycle);
+        }
+    }
+    #[inline(always)]
+    fn issue(&mut self, cycle: u64, warp: usize, pc: usize, op: &Op) {
+        if let Some(p) = self {
+            p.issue(cycle, warp, pc, op);
+        }
+    }
+    #[inline(always)]
+    fn stall(&mut self, warp: usize, pc: usize, cause: StallCause, from: u64, until: u64) {
+        if let Some(p) = self {
+            p.stall(warp, pc, cause, from, until);
+        }
+    }
+    #[inline(always)]
+    fn l1_access(&mut self, cycle: u64, tag: AccessTag, hit: bool) {
+        if let Some(p) = self {
+            p.l1_access(cycle, tag, hit);
+        }
+    }
+    #[inline(always)]
+    fn const_access(&mut self, cycle: u64, tag: AccessTag, hit: bool) {
+        if let Some(p) = self {
+            p.const_access(cycle, tag, hit);
+        }
+    }
+    #[inline(always)]
+    fn l2_access(&mut self, cycle: u64, hit: bool) {
+        if let Some(p) = self {
+            p.l2_access(cycle, hit);
+        }
+    }
+    #[inline(always)]
+    fn dram_access(&mut self, cycle: u64) {
+        if let Some(p) = self {
+            p.dram_access(cycle);
+        }
+    }
+    #[inline(always)]
+    fn mshr_wait(&mut self, cycle: u64, until: u64) {
+        if let Some(p) = self {
+            p.mshr_wait(cycle, until);
+        }
+    }
+    #[inline(always)]
+    fn store_sectors(&mut self, cycle: u64, sectors: u64) {
+        if let Some(p) = self {
+            p.store_sectors(cycle, sectors);
+        }
+    }
+    #[inline(always)]
+    fn warp_retire(&mut self, cycle: u64, warp: usize) {
+        if let Some(p) = self {
+            p.warp_retire(cycle, warp);
+        }
+    }
+}
+
+/// A pair of probes fires both halves, in order — composition without a
+/// bespoke combined type.
+impl<A: Probe, B: Probe> Probe for (A, B) {
+    #[inline(always)]
+    fn epoch(&mut self, cycle: u64) {
+        self.0.epoch(cycle);
+        self.1.epoch(cycle);
+    }
+    #[inline(always)]
+    fn issue(&mut self, cycle: u64, warp: usize, pc: usize, op: &Op) {
+        self.0.issue(cycle, warp, pc, op);
+        self.1.issue(cycle, warp, pc, op);
+    }
+    #[inline(always)]
+    fn stall(&mut self, warp: usize, pc: usize, cause: StallCause, from: u64, until: u64) {
+        self.0.stall(warp, pc, cause, from, until);
+        self.1.stall(warp, pc, cause, from, until);
+    }
+    #[inline(always)]
+    fn l1_access(&mut self, cycle: u64, tag: AccessTag, hit: bool) {
+        self.0.l1_access(cycle, tag, hit);
+        self.1.l1_access(cycle, tag, hit);
+    }
+    #[inline(always)]
+    fn const_access(&mut self, cycle: u64, tag: AccessTag, hit: bool) {
+        self.0.const_access(cycle, tag, hit);
+        self.1.const_access(cycle, tag, hit);
+    }
+    #[inline(always)]
+    fn l2_access(&mut self, cycle: u64, hit: bool) {
+        self.0.l2_access(cycle, hit);
+        self.1.l2_access(cycle, hit);
+    }
+    #[inline(always)]
+    fn dram_access(&mut self, cycle: u64) {
+        self.0.dram_access(cycle);
+        self.1.dram_access(cycle);
+    }
+    #[inline(always)]
+    fn mshr_wait(&mut self, cycle: u64, until: u64) {
+        self.0.mshr_wait(cycle, until);
+        self.1.mshr_wait(cycle, until);
+    }
+    #[inline(always)]
+    fn store_sectors(&mut self, cycle: u64, sectors: u64) {
+        self.0.store_sectors(cycle, sectors);
+        self.1.store_sectors(cycle, sectors);
+    }
+    #[inline(always)]
+    fn warp_retire(&mut self, cycle: u64, warp: usize) {
+        self.0.warp_retire(cycle, warp);
+        self.1.warp_retire(cycle, warp);
+    }
+}
+
+/// Rebuilds the event-derived slice of [`Stats`] purely from probe
+/// hooks. Used by the property suite to prove the hook stream is
+/// complete and exact; [`view`](CountingProbe::view) leaves the
+/// trace-derived fields (`cycles`, `warps`, `vfunc_calls`) at zero
+/// because no event carries them.
+#[derive(Clone, Debug, Default)]
+pub struct CountingProbe {
+    view: Stats,
+}
+
+impl CountingProbe {
+    /// A fresh, zeroed counting probe.
+    pub fn new() -> Self {
+        CountingProbe::default()
+    }
+
+    /// The counters reconstructed so far.
+    pub fn view(&self) -> &Stats {
+        &self.view
+    }
+
+    /// Sums the views of a set of per-SM counting probes.
+    pub fn merged<'a>(probes: impl IntoIterator<Item = &'a CountingProbe>) -> Stats {
+        Stats::merged(probes.into_iter().map(|p| &p.view))
+    }
+}
+
+impl Probe for CountingProbe {
+    fn issue(&mut self, _cycle: u64, _warp: usize, _pc: usize, op: &Op) {
+        self.view.count_instrs(op.class(), op.dyn_count());
+    }
+    fn stall(&mut self, _warp: usize, _pc: usize, cause: StallCause, from: u64, until: u64) {
+        self.view.stall_by_tag[cause.index()] += until.saturating_sub(from);
+    }
+    fn l1_access(&mut self, _cycle: u64, tag: AccessTag, hit: bool) {
+        self.view.l1_accesses += 1;
+        self.view.l1_hits += hit as u64;
+        self.view.global_load_transactions += 1;
+        self.view.load_transactions_by_tag[tag.index()] += 1;
+    }
+    fn const_access(&mut self, _cycle: u64, _tag: AccessTag, hit: bool) {
+        self.view.const_accesses += 1;
+        self.view.const_hits += hit as u64;
+    }
+    fn l2_access(&mut self, _cycle: u64, hit: bool) {
+        self.view.l2_accesses += 1;
+        self.view.l2_hits += hit as u64;
+    }
+    fn dram_access(&mut self, _cycle: u64) {
+        self.view.dram_accesses += 1;
+    }
+    fn store_sectors(&mut self, _cycle: u64, sectors: u64) {
+        self.view.global_store_transactions += sectors;
+    }
+}
+
+/// One bucket of the [`EpochMetricsProbe`] time series: counter deltas
+/// over a span of `bucket_cycles` simulated cycles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsBucket {
+    /// Dynamic warp instructions issued (IPC = `instrs / bucket_cycles`).
+    pub instrs: u64,
+    /// L1 sector probes.
+    pub l1_accesses: u64,
+    /// L1 sector hits.
+    pub l1_hits: u64,
+    /// L2 sector probes.
+    pub l2_accesses: u64,
+    /// L2 sector hits.
+    pub l2_hits: u64,
+    /// DRAM sector accesses.
+    pub dram_accesses: u64,
+    /// Stall cycles charged per [`StallCause::index`].
+    pub stall_by_cause: [u64; STALL_CAUSES],
+}
+
+impl MetricsBucket {
+    fn absorb(&mut self, other: &MetricsBucket) {
+        self.instrs += other.instrs;
+        self.l1_accesses += other.l1_accesses;
+        self.l1_hits += other.l1_hits;
+        self.l2_accesses += other.l2_accesses;
+        self.l2_hits += other.l2_hits;
+        self.dram_accesses += other.dram_accesses;
+        for (d, s) in self
+            .stall_by_cause
+            .iter_mut()
+            .zip(other.stall_by_cause.iter())
+        {
+            *d += *s;
+        }
+    }
+
+    /// `true` when every counter is zero.
+    pub fn is_empty(&self) -> bool {
+        *self == MetricsBucket::default()
+    }
+}
+
+/// A bounded time series of [`MetricsBucket`]s indexed by simulated
+/// cycle. When the series would exceed its bucket cap, adjacent pairs
+/// are coalesced and the bucket width doubles — memory stays bounded
+/// for any kernel length while early buckets keep their (coarsened)
+/// history, like a streaming histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EpochSeries {
+    bucket_cycles: u64,
+    max_buckets: usize,
+    buckets: Vec<MetricsBucket>,
+}
+
+impl EpochSeries {
+    /// A series with `bucket_cycles`-wide buckets, holding at most
+    /// `max_buckets` before coarsening. Both are clamped to ≥ 1 (≥ 2
+    /// for the cap, so coalescing can always make progress).
+    pub fn new(bucket_cycles: u64, max_buckets: usize) -> Self {
+        EpochSeries {
+            bucket_cycles: bucket_cycles.max(1),
+            max_buckets: max_buckets.max(2),
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Current bucket width in cycles (grows by doubling).
+    pub fn bucket_cycles(&self) -> u64 {
+        self.bucket_cycles
+    }
+
+    /// The buckets, oldest first.
+    pub fn buckets(&self) -> &[MetricsBucket] {
+        &self.buckets
+    }
+
+    fn at(&mut self, cycle: u64) -> &mut MetricsBucket {
+        let mut idx = (cycle / self.bucket_cycles) as usize;
+        while idx >= self.max_buckets {
+            // Coalesce pairs and double the width.
+            let halved = self.buckets.len().div_ceil(2);
+            for i in 0..halved {
+                let mut merged = self.buckets[2 * i];
+                if let Some(b) = self.buckets.get(2 * i + 1) {
+                    merged.absorb(b);
+                }
+                self.buckets[i] = merged;
+            }
+            self.buckets.truncate(halved);
+            self.bucket_cycles *= 2;
+            idx = (cycle / self.bucket_cycles) as usize;
+        }
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, MetricsBucket::default());
+        }
+        &mut self.buckets[idx]
+    }
+
+    /// Folds `other` in. If widths differ, the narrower side is
+    /// coarsened to the wider one first, so merging per-SM series with
+    /// different coalescing histories is well-defined.
+    pub fn merge(&mut self, other: &EpochSeries) {
+        let width = self.bucket_cycles.max(other.bucket_cycles);
+        self.rescale_to(width);
+        let mut rhs = other.clone();
+        rhs.rescale_to(width);
+        if rhs.buckets.len() > self.buckets.len() {
+            self.buckets
+                .resize(rhs.buckets.len(), MetricsBucket::default());
+        }
+        for (d, s) in self.buckets.iter_mut().zip(rhs.buckets.iter()) {
+            d.absorb(s);
+        }
+    }
+
+    fn rescale_to(&mut self, width: u64) {
+        while self.bucket_cycles < width {
+            let halved = self.buckets.len().div_ceil(2);
+            for i in 0..halved {
+                let mut merged = self.buckets[2 * i];
+                if let Some(b) = self.buckets.get(2 * i + 1) {
+                    merged.absorb(b);
+                }
+                self.buckets[i] = merged;
+            }
+            self.buckets.truncate(halved);
+            self.bucket_cycles *= 2;
+        }
+    }
+}
+
+/// Records per-bucket [`Stats`] deltas over simulated time — IPC, hit
+/// rates and the stall mix as a time series rather than one end-of-run
+/// aggregate. One instance per SM; merge with
+/// [`EpochSeries::merge`] for a whole-GPU view.
+#[derive(Clone, Debug)]
+pub struct EpochMetricsProbe {
+    series: EpochSeries,
+}
+
+/// Default metrics bucket width in cycles.
+pub const DEFAULT_METRICS_BUCKET_CYCLES: u64 = 256;
+
+/// Default cap on buckets per SM before coarsening.
+pub const DEFAULT_METRICS_MAX_BUCKETS: usize = 512;
+
+impl EpochMetricsProbe {
+    /// A probe bucketing at `bucket_cycles` with the default cap.
+    pub fn new(bucket_cycles: u64) -> Self {
+        EpochMetricsProbe {
+            series: EpochSeries::new(bucket_cycles, DEFAULT_METRICS_MAX_BUCKETS),
+        }
+    }
+
+    /// The recorded series.
+    pub fn series(&self) -> &EpochSeries {
+        &self.series
+    }
+
+    /// Consumes the probe, returning its series.
+    pub fn into_series(self) -> EpochSeries {
+        self.series
+    }
+}
+
+impl Probe for EpochMetricsProbe {
+    fn issue(&mut self, cycle: u64, _warp: usize, _pc: usize, op: &Op) {
+        self.series.at(cycle).instrs += op.dyn_count();
+    }
+    fn stall(&mut self, _warp: usize, _pc: usize, cause: StallCause, from: u64, until: u64) {
+        self.series.at(from).stall_by_cause[cause.index()] += until.saturating_sub(from);
+    }
+    fn l1_access(&mut self, cycle: u64, _tag: AccessTag, hit: bool) {
+        let b = self.series.at(cycle);
+        b.l1_accesses += 1;
+        b.l1_hits += hit as u64;
+    }
+    fn l2_access(&mut self, cycle: u64, hit: bool) {
+        let b = self.series.at(cycle);
+        b.l2_accesses += 1;
+        b.l2_hits += hit as u64;
+    }
+    fn dram_access(&mut self, cycle: u64) {
+        self.series.at(cycle).dram_accesses += 1;
+    }
+}
+
+/// What a [`crate::Gpu`] run should record. `OFF` (the default) keeps
+/// the engine on the [`NopProbe`] fast path; any enabled field routes
+/// execution through [`recording_probe`].
+///
+/// Lives in the simulator so workload configuration can carry it
+/// without the harness depending on probe internals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeSpec {
+    /// Timeline event cap per SM per kernel (`0` = no timeline).
+    pub timeline_events_per_sm: usize,
+    /// Metrics bucket width in cycles (`0` = no metrics series).
+    pub metrics_bucket_cycles: u64,
+}
+
+impl ProbeSpec {
+    /// Record nothing (the zero-overhead default).
+    pub const OFF: ProbeSpec = ProbeSpec {
+        timeline_events_per_sm: 0,
+        metrics_bucket_cycles: 0,
+    };
+
+    /// `true` when no probe is requested.
+    pub fn is_off(&self) -> bool {
+        *self == ProbeSpec::OFF
+    }
+}
+
+/// The concrete probe stack built from a [`ProbeSpec`]: an optional
+/// timeline and an optional metrics series, composed through the
+/// `Option` / tuple [`Probe`] impls.
+pub type RecordingProbe = (Option<TimelineProbe>, Option<EpochMetricsProbe>);
+
+/// Builds the [`RecordingProbe`] for SM `sm` according to `spec`.
+pub fn recording_probe(sm: usize, spec: ProbeSpec) -> RecordingProbe {
+    let timeline = (spec.timeline_events_per_sm > 0)
+        .then(|| TimelineProbe::new(sm, spec.timeline_events_per_sm));
+    let metrics = (spec.metrics_bucket_cycles > 0)
+        .then(|| EpochMetricsProbe::new(spec.metrics_bucket_cycles));
+    (timeline, metrics)
+}
+
+/// Observability artifacts accumulated over one or more kernel
+/// launches: a flattened timeline (timestamps offset so launches read
+/// as one continuous run) and one merged metrics series per kernel.
+#[derive(Clone, Debug, Default)]
+pub struct ObsReport {
+    /// Timeline events across all launches, absolute timestamps.
+    pub events: Vec<TraceEvent>,
+    /// Events discarded by the per-SM buffer caps.
+    pub events_dropped: u64,
+    /// One whole-GPU metrics series per kernel launch.
+    pub kernel_series: Vec<EpochSeries>,
+}
+
+impl ObsReport {
+    /// Folds the per-SM probes of one kernel launch in. `cycle_base` is
+    /// the cumulative simulated-cycle offset of this launch (the sum of
+    /// all previous launches' cycles), applied to timeline timestamps.
+    pub fn absorb(&mut self, cycle_base: u64, probes: Vec<RecordingProbe>) {
+        let mut merged: Option<EpochSeries> = None;
+        for (timeline, metrics) in probes {
+            if let Some(t) = timeline {
+                self.events_dropped += t.dropped();
+                self.events.extend(t.into_events().into_iter().map(|mut e| {
+                    e.start += cycle_base;
+                    e
+                }));
+            }
+            if let Some(m) = metrics {
+                match &mut merged {
+                    Some(acc) => acc.merge(m.series()),
+                    None => merged = Some(m.into_series()),
+                }
+            }
+        }
+        if let Some(series) = merged {
+            self.kernel_series.push(series);
+        }
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.kernel_series.is_empty() && self.events_dropped == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_cause_indices_cover_stats_slots() {
+        let mut seen = std::collections::HashSet::new();
+        for c in StallCause::all() {
+            assert!(c.index() < STALL_CAUSES);
+            assert!(seen.insert(c.index()));
+        }
+        assert_eq!(seen.len(), STALL_CAUSES);
+        assert_eq!(StallCause::IndirectCall.index(), STALL_INDIRECT_CALL);
+    }
+
+    #[test]
+    fn counting_probe_accumulates() {
+        let mut p = CountingProbe::new();
+        p.l1_access(0, AccessTag::VtablePtr, false);
+        p.l1_access(1, AccessTag::VtablePtr, true);
+        p.stall(0, 0, StallCause::Access(AccessTag::VtablePtr), 10, 25);
+        p.store_sectors(2, 4);
+        let v = p.view();
+        assert_eq!(v.l1_accesses, 2);
+        assert_eq!(v.l1_hits, 1);
+        assert_eq!(v.global_load_transactions, 2);
+        assert_eq!(v.load_transactions_by_tag[AccessTag::VtablePtr.index()], 2);
+        assert_eq!(v.stall_by_tag[AccessTag::VtablePtr.index()], 15);
+        assert_eq!(v.global_store_transactions, 4);
+    }
+
+    #[test]
+    fn epoch_series_coarsens_under_cap() {
+        let mut s = EpochSeries::new(1, 4);
+        for cycle in 0..64 {
+            s.at(cycle).instrs += 1;
+        }
+        assert!(s.buckets().len() <= 4);
+        assert!(s.bucket_cycles() >= 16);
+        let total: u64 = s.buckets().iter().map(|b| b.instrs).sum();
+        assert_eq!(total, 64, "coarsening must not lose counts");
+    }
+
+    #[test]
+    fn epoch_series_merges_mismatched_widths() {
+        let mut a = EpochSeries::new(1, 4);
+        for cycle in 0..40 {
+            a.at(cycle).instrs += 2;
+        }
+        let mut b = EpochSeries::new(1, 1024);
+        b.at(0).instrs = 5;
+        a.merge(&b);
+        let total: u64 = a.buckets().iter().map(|x| x.instrs).sum();
+        assert_eq!(total, 85);
+    }
+
+    #[test]
+    fn probe_spec_off_by_default() {
+        assert!(ProbeSpec::default().is_off());
+        let (t, m) = recording_probe(0, ProbeSpec::OFF);
+        assert!(t.is_none() && m.is_none());
+        let (t, m) = recording_probe(
+            1,
+            ProbeSpec {
+                timeline_events_per_sm: 8,
+                metrics_bucket_cycles: 16,
+            },
+        );
+        assert!(t.is_some() && m.is_some());
+    }
+
+    #[test]
+    fn option_and_tuple_probes_forward() {
+        let mut p: (Option<CountingProbe>, Option<CountingProbe>) =
+            (Some(CountingProbe::new()), None);
+        p.dram_access(3);
+        p.l2_access(3, true);
+        assert_eq!(p.0.as_ref().unwrap().view().dram_accesses, 1);
+        assert_eq!(p.0.as_ref().unwrap().view().l2_hits, 1);
+    }
+}

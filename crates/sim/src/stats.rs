@@ -114,6 +114,40 @@ impl Stats {
         }
     }
 
+    /// Warp instructions per cycle (0 when no cycles elapsed).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_instrs() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run over `baseline` (> 1 means faster), the
+    /// ratio every cycles figure (6, 10, 11, 12) plots. 0 when this
+    /// run recorded no cycles.
+    pub fn speedup_vs(&self, baseline: &Stats) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// This run's global-load transactions relative to `baseline`'s —
+    /// the normalized traffic of Fig. 8. A zero-traffic baseline is
+    /// clamped to 1 so the ratio stays finite.
+    pub fn load_transactions_vs(&self, baseline: &Stats) -> f64 {
+        self.global_load_transactions as f64 / baseline.global_load_transactions.max(1) as f64
+    }
+
+    /// Global load transactions tagged `tag` per virtual-function call
+    /// (Table 1's measured per-call access cost). Zero calls clamp
+    /// to 1.
+    pub fn load_transactions_per_call(&self, tag: AccessTag) -> f64 {
+        self.load_transactions(tag) as f64 / self.vfunc_calls.max(1) as f64
+    }
+
     /// Stall cycles charged to `tag`.
     pub fn stall(&self, tag: AccessTag) -> u64 {
         self.stall_by_tag[tag.index()]
@@ -236,6 +270,35 @@ mod tests {
         assert_eq!(s.l1_hit_rate(), 0.0);
         assert_eq!(s.l2_hit_rate(), 0.0);
         assert_eq!(s.vfunc_pki(), 0.0);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.speedup_vs(&Stats::new()), 0.0);
+    }
+
+    #[test]
+    fn derived_ratio_helpers() {
+        let mut s = Stats::new();
+        s.cycles = 200;
+        s.instrs_mem = 100;
+        s.instrs_compute = 250;
+        s.instrs_ctrl = 50;
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+
+        let mut base = Stats::new();
+        base.cycles = 600;
+        assert!((s.speedup_vs(&base) - 3.0).abs() < 1e-12);
+
+        s.global_load_transactions = 90;
+        base.global_load_transactions = 30;
+        assert!((s.load_transactions_vs(&base) - 3.0).abs() < 1e-12);
+        // Zero-traffic baseline clamps to 1 instead of dividing by 0.
+        base.global_load_transactions = 0;
+        assert!((s.load_transactions_vs(&base) - 90.0).abs() < 1e-12);
+
+        s.vfunc_calls = 30;
+        s.load_transactions_by_tag[AccessTag::VtablePtr.index()] = 90;
+        assert!((s.load_transactions_per_call(AccessTag::VtablePtr) - 3.0).abs() < 1e-12);
+        s.vfunc_calls = 0;
+        assert!((s.load_transactions_per_call(AccessTag::VtablePtr) - 90.0).abs() < 1e-12);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use gvf_alloc::{AllocStats, AllocatorKind, SharedOa};
 use gvf_core::{LookupKind, TagMode};
-use gvf_sim::{GpuConfig, Stats};
+use gvf_sim::{GpuConfig, ObsReport, ProbeSpec, Stats};
 use std::fmt;
 
 /// The eleven evaluated applications (paper Table 2) plus the §8.3
@@ -158,6 +158,11 @@ pub struct WorkloadConfig {
     /// `0` = auto). Purely a wall-clock knob: simulated results are
     /// bit-identical for any value (the engine's determinism contract).
     pub engine_threads: usize,
+    /// Observability recording for this run ([`ProbeSpec::OFF`] by
+    /// default, which keeps the engine on the zero-overhead
+    /// `NopProbe` path). Probes observe without feeding back into
+    /// timing, so enabling them never changes [`Stats`] or stdout.
+    pub probe: ProbeSpec,
 }
 
 impl WorkloadConfig {
@@ -177,6 +182,7 @@ impl WorkloadConfig {
             tag_budget: None,
             device_memory_bytes: 4 << 30,
             engine_threads: 1,
+            probe: ProbeSpec::OFF,
         }
     }
 
@@ -195,6 +201,7 @@ impl WorkloadConfig {
             tag_budget: None,
             device_memory_bytes: 512 << 20,
             engine_threads: 1,
+            probe: ProbeSpec::OFF,
         }
     }
 }
@@ -235,4 +242,8 @@ pub struct RunResult {
     /// implementations (e.g. `("alive", …)` for GOL, `("level_sum", …)`
     /// for BFS). Exact integers are representable losslessly below 2^53.
     pub metrics: Vec<(&'static str, f64)>,
+    /// Observability artifacts (timeline events, per-kernel metrics
+    /// series) when [`WorkloadConfig::probe`] requested recording;
+    /// `None` on the default zero-overhead path.
+    pub obs: Option<ObsReport>,
 }

@@ -4,7 +4,7 @@ use crate::config::WorkloadConfig;
 use gvf_alloc::{AllocatorKind, CudaHeapAllocator, DeviceAllocator, SharedOa};
 use gvf_core::{DeviceProgram, Strategy, TypeId, TypeRegistry};
 use gvf_mem::{DeviceMemory, VirtAddr};
-use gvf_sim::{Gpu, KernelTrace, Stats, WarpCtx};
+use gvf_sim::{recording_probe, Gpu, KernelTrace, ObsReport, ProbeSpec, Stats, WarpCtx};
 
 /// Everything a workload needs to build objects and run kernels.
 #[derive(Debug)]
@@ -18,6 +18,8 @@ pub struct Rig {
     gpu: Gpu,
     stats: Stats,
     objects_built: u64,
+    probe_spec: ProbeSpec,
+    obs: ObsReport,
 }
 
 impl Rig {
@@ -50,6 +52,8 @@ impl Rig {
             gpu: Gpu::new(cfg.gpu.clone()).with_threads(cfg.engine_threads),
             stats: Stats::new(),
             objects_built: 0,
+            probe_spec: cfg.probe,
+            obs: ObsReport::default(),
         }
     }
 
@@ -86,7 +90,19 @@ impl Rig {
         self.prog.begin_kernel(&mut self.mem);
         let prog = &self.prog;
         let trace = gvf_sim::run_kernel(&mut self.mem, n_threads, |w| body(prog, w));
-        let s = self.gpu.execute(&trace);
+        let s = if self.probe_spec.is_off() {
+            // Zero-overhead default: the NopProbe monomorphization.
+            self.gpu.execute(&trace)
+        } else {
+            let spec = self.probe_spec;
+            let (s, probes) = self
+                .gpu
+                .execute_probed(&trace, |sm| recording_probe(sm, spec));
+            // Offset this launch's timeline by the cycles already
+            // simulated, so back-to-back kernels read as one run.
+            self.obs.absorb(self.stats.cycles, probes);
+            s
+        };
         self.stats += &s;
         trace
     }
@@ -94,6 +110,17 @@ impl Rig {
     /// Accumulated statistics over every kernel run so far.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Takes the observability artifacts recorded so far; `None` when
+    /// probes were off (or nothing fired). Leaves the rig's report
+    /// empty.
+    pub fn take_obs(&mut self) -> Option<ObsReport> {
+        if self.obs.is_empty() {
+            None
+        } else {
+            Some(std::mem::take(&mut self.obs))
+        }
     }
 
     /// Number of objects constructed.

@@ -75,7 +75,7 @@ pub fn collect_table2(rig: Rig, reg: &TypeRegistry, ck: Checksum) -> RunResult {
 
 /// Like [`collect_table2`] with domain validation metrics attached.
 pub fn collect_with_metrics(
-    rig: Rig,
+    mut rig: Rig,
     reg: &TypeRegistry,
     ck: Checksum,
     metrics: Vec<(&'static str, f64)>,
@@ -91,6 +91,7 @@ pub fn collect_with_metrics(
             vfunc_entries: reg.total_vfunc_entries() as u32,
             vfunc_pki: stats.vfunc_pki(),
         },
+        obs: rig.take_obs(),
         stats,
         metrics,
     }

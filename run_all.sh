@@ -1,13 +1,19 @@
 #!/bin/bash
-# Regenerate every paper figure/table plus the test and bench suites.
+# Regenerate every paper figure/table plus the test and bench suites,
+# collecting a machine-readable artifact tree under results/.
 #
 #   ./run_all.sh [--jobs N]
 #
-# --jobs N is passed through to every harness binary that sweeps a
-# simulation grid (fig6..fig12, table1, table2): N concurrent
+# --jobs N is passed through to every harness binary: N concurrent
 # simulations, 0 = all cores, default = all cores. Results are
 # bit-identical for any value (the engine's determinism contract); only
 # wall-clock changes.
+#
+# Artifacts: results/<bin>.json is each binary's gvf.run-manifest; fig6
+# additionally records results/fig6.trace.json (Chrome trace-event /
+# Perfetto timeline) and results/fig6.metrics.json (per-epoch metrics).
+# Every artifact is re-parsed by the in-repo validator before the run
+# counts as green.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -35,6 +41,8 @@ run_step() {
   "$@" || fail "$name" "$*"
 }
 
+mkdir -p results
+
 run_step "cargo test" cargo test --workspace 2>&1 | tee test_output.txt
 
 {
@@ -43,15 +51,17 @@ run_step "cargo test" cargo test --workspace 2>&1 | tee test_output.txt
   echo "================================================================"
   echo "  PAPER FIGURE / TABLE HARNESS (cargo run -p gvf-bench --bin <x>)"
   echo "================================================================"
-  # Grid binaries take --jobs; the single-run ones (fig1b, alloc_init,
-  # ablation_lookup, generations, counters) do not sweep and run as-is.
-  for b in fig1b table1 table2 fig6 fig7 fig8 fig9 fig11 fig12 alloc_init fig10 ablation_lookup generations; do
-    case "$b" in
-      table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12)
-        run_step "$b" cargo run --release -p gvf-bench --bin "$b" -- --jobs "$JOBS" ;;
-      *)
-        run_step "$b" cargo run --release -p gvf-bench --bin "$b" ;;
-    esac
+  # Every binary sweeps its grid on --jobs threads and drops its run
+  # manifest into results/; fig6 also records the observability
+  # artifacts from its first grid cell.
+  for b in fig1b table1 table2 fig6 fig7 fig8 fig9 fig11 fig12 alloc_init fig10 ablation_lookup generations counters; do
+    extra=()
+    if [ "$b" = fig6 ]; then
+      extra=(--trace-out results/fig6.trace.json --metrics-out results/fig6.metrics.json)
+    fi
+    run_step "$b" cargo run --release -p gvf-bench --bin "$b" -- \
+      --jobs "$JOBS" --json-out "results/$b.json" "${extra[@]}"
   done
+  run_step "validate artifacts" cargo run --release -p gvf-bench --bin validate_json -- results/*.json
 } 2>&1 | tee bench_output.txt
 echo ALL_DONE
