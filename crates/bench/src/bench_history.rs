@@ -1,0 +1,681 @@
+//! `gvf.bench-trajectory` v1 — the repo's performance history.
+//!
+//! The ROADMAP demands a simulator that runs "as fast as the hardware
+//! allows", but until this module the repo had no memory of how fast
+//! that ever was: a perf PR could neither prove it helped nor detect
+//! that it regressed. `BENCH_gvf.json` at the repo root fixes that —
+//! an append-only trajectory of host-throughput samples, one entry per
+//! (figure binary × configuration) per recording, written by the
+//! `perf_record` binary and checked by `perf_gate`:
+//!
+//! ```json
+//! {
+//!   "schema": "gvf.bench-trajectory", "version": 1,
+//!   "entries": [{
+//!     "bin": "fig6", "rev": "0511809", "date": "2026-08-05",
+//!     "samples": 3,
+//!     "config": {"smoke": false, "scale": 8, "iterations": 3},
+//!     "wall_s": 41.2, "cells": 55, "cells_per_sec": 1.33,
+//!     "sim_cycles": 180555444, "sim_cycles_per_sec": 4.4e6,
+//!     "total_instrs": 52000000, "mean_ipc": 0.61
+//!   }]
+//! }
+//! ```
+//!
+//! Design points:
+//!
+//! - **Samples come from run manifests.** Every figure binary already
+//!   embeds a `hostPerf` section; [`sample_from_manifest`] extracts the
+//!   throughput sample from it, so recording needs no re-run.
+//! - **Median-of-N.** [`record`] groups manifests by (bin, config) and
+//!   stores the *median* of each measure — one slow outlier (a noisy
+//!   neighbour, a cold cache) cannot poison the trajectory.
+//! - **Config-keyed baselines.** Entries carry the simulation config
+//!   (smoke/scale/iterations); [`gate`] only compares runs with
+//!   matching configs, so a smoke run can never be judged against a
+//!   full evaluation.
+//! - **Noise-aware gate.** The allowed slowdown is the larger of a
+//!   fixed relative floor and a multiple of the baseline's own relative
+//!   MAD (median absolute deviation): a naturally noisy baseline
+//!   widens its own tolerance instead of crying wolf. A minimum-sample
+//!   rule skips (never fails) bins with too little history.
+//! - **Timestamps are provenance, not identity.** `rev` and `date`
+//!   describe an entry; they take no part in baseline matching or the
+//!   gate's arithmetic, and the determinism suite pins that down.
+//!
+//! The gate judges **simulated-cycles-per-second**, not wall seconds:
+//! it is invariant to how many cells a figure sweeps and degrades
+//! gracefully when a config's workload mix changes. What the gate does
+//! *not* promise: catching regressions smaller than the noise floor,
+//! or comparing across machines — the trajectory is per-checkout
+//! history, not a cross-hardware database (DESIGN.md "Host performance
+//! & trajectory").
+
+use crate::json::Json;
+use crate::manifest::MANIFEST_SCHEMA;
+use std::io;
+
+/// Trajectory schema identifier.
+pub const TRAJECTORY_SCHEMA: &str = "gvf.bench-trajectory";
+/// Trajectory schema version; bump on breaking changes.
+pub const TRAJECTORY_SCHEMA_VERSION: u32 = 1;
+/// Where the trajectory lives, relative to the repo root.
+pub const DEFAULT_HISTORY_PATH: &str = "BENCH_gvf.json";
+
+/// The simulation-relevant configuration a sample was measured under.
+/// Baselines only form between equal configs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunConfig {
+    /// CI smoke mode (tiny grid)?
+    pub smoke: bool,
+    /// Workload scale multiplier.
+    pub scale: u64,
+    /// Measured kernel iterations.
+    pub iterations: u64,
+}
+
+/// One throughput measurement extracted from a run manifest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Generator (figure binary) name.
+    pub bin: String,
+    /// Config the run used.
+    pub config: RunConfig,
+    /// Host wall seconds of the whole run.
+    pub wall_s: f64,
+    /// Grid cells simulated.
+    pub cells: u64,
+    /// Cells per host second.
+    pub cells_per_sec: f64,
+    /// Simulated cycles summed over all cells.
+    pub sim_cycles: u64,
+    /// Simulated cycles per host second — the gate's metric.
+    pub sim_cycles_per_sec: f64,
+    /// Dynamic warp instructions summed over all cells.
+    pub total_instrs: u64,
+    /// Mean per-cell IPC (simulated headline, for the trend plot).
+    pub mean_ipc: f64,
+}
+
+/// One recorded point of the trajectory: a [`Sample`] (median over
+/// `samples` manifests) plus provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrajectoryEntry {
+    /// Git revision the sample was taken at (provenance only).
+    pub rev: String,
+    /// UTC date the sample was taken (provenance only).
+    pub date: String,
+    /// How many manifests the medians were taken over.
+    pub samples: u64,
+    /// The recorded measurement.
+    pub sample: Sample,
+}
+
+fn get<'a>(doc: &'a Json, key: &str, what: &str) -> Result<&'a Json, String> {
+    doc.get(key)
+        .ok_or_else(|| format!("{what}: missing {key:?}"))
+}
+
+fn num(doc: &Json, key: &str, what: &str) -> Result<f64, String> {
+    get(doc, key, what)?
+        .as_num()
+        .ok_or_else(|| format!("{what}: {key:?} is not a number"))
+}
+
+fn num_u64(doc: &Json, key: &str, what: &str) -> Result<u64, String> {
+    Ok(num(doc, key, what)? as u64)
+}
+
+fn string(doc: &Json, key: &str, what: &str) -> Result<String, String> {
+    Ok(get(doc, key, what)?
+        .as_str()
+        .ok_or_else(|| format!("{what}: {key:?} is not a string"))?
+        .to_string())
+}
+
+impl RunConfig {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("smoke", Json::Bool(self.smoke))
+            .with("scale", Json::num_u64(self.scale))
+            .with("iterations", Json::num_u64(self.iterations))
+    }
+
+    fn from_json(doc: &Json) -> Result<RunConfig, String> {
+        Ok(RunConfig {
+            smoke: get(doc, "smoke", "config")?
+                .as_bool()
+                .ok_or("config: \"smoke\" is not a bool")?,
+            scale: num_u64(doc, "scale", "config")?,
+            iterations: num_u64(doc, "iterations", "config")?,
+        })
+    }
+}
+
+impl TrajectoryEntry {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("bin", Json::str(&self.sample.bin))
+            .with("rev", Json::str(&self.rev))
+            .with("date", Json::str(&self.date))
+            .with("samples", Json::num_u64(self.samples))
+            .with("config", self.sample.config.to_json())
+            .with("wall_s", Json::Num(self.sample.wall_s))
+            .with("cells", Json::num_u64(self.sample.cells))
+            .with("cells_per_sec", Json::Num(self.sample.cells_per_sec))
+            .with("sim_cycles", Json::num_u64(self.sample.sim_cycles))
+            .with(
+                "sim_cycles_per_sec",
+                Json::Num(self.sample.sim_cycles_per_sec),
+            )
+            .with("total_instrs", Json::num_u64(self.sample.total_instrs))
+            .with("mean_ipc", Json::Num(self.sample.mean_ipc))
+    }
+
+    fn from_json(doc: &Json) -> Result<TrajectoryEntry, String> {
+        Ok(TrajectoryEntry {
+            rev: string(doc, "rev", "entry")?,
+            date: string(doc, "date", "entry")?,
+            samples: num_u64(doc, "samples", "entry")?,
+            sample: Sample {
+                bin: string(doc, "bin", "entry")?,
+                config: RunConfig::from_json(get(doc, "config", "entry")?)?,
+                wall_s: num(doc, "wall_s", "entry")?,
+                cells: num_u64(doc, "cells", "entry")?,
+                cells_per_sec: num(doc, "cells_per_sec", "entry")?,
+                sim_cycles: num_u64(doc, "sim_cycles", "entry")?,
+                sim_cycles_per_sec: num(doc, "sim_cycles_per_sec", "entry")?,
+                total_instrs: num_u64(doc, "total_instrs", "entry")?,
+                mean_ipc: num(doc, "mean_ipc", "entry")?,
+            },
+        })
+    }
+}
+
+/// The whole trajectory file: an append-only list of entries.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct History {
+    /// Entries in recording order (oldest first).
+    pub entries: Vec<TrajectoryEntry>,
+}
+
+impl History {
+    /// Serializes to the versioned `gvf.bench-trajectory` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("schema", Json::str(TRAJECTORY_SCHEMA))
+            .with("version", Json::num_u64(TRAJECTORY_SCHEMA_VERSION as u64))
+            .with(
+                "entries",
+                Json::Arr(self.entries.iter().map(TrajectoryEntry::to_json).collect()),
+            )
+    }
+
+    /// Parses a `gvf.bench-trajectory` document, checking the header.
+    pub fn from_json(doc: &Json) -> Result<History, String> {
+        let schema = string(doc, "schema", "trajectory")?;
+        if schema != TRAJECTORY_SCHEMA {
+            return Err(format!("trajectory: unexpected schema {schema:?}"));
+        }
+        let version = num_u64(doc, "version", "trajectory")?;
+        if version != TRAJECTORY_SCHEMA_VERSION as u64 {
+            return Err(format!("trajectory: unsupported version {version}"));
+        }
+        let entries = get(doc, "entries", "trajectory")?
+            .as_arr()
+            .ok_or("trajectory: \"entries\" is not an array")?;
+        Ok(History {
+            entries: entries
+                .iter()
+                .map(TrajectoryEntry::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Loads a trajectory file; a missing file is an empty history (the
+    /// first recording bootstraps it), any other failure is an error.
+    pub fn load(path: &str) -> Result<History, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(History::default()),
+            Err(e) => return Err(format!("{path}: {e}")),
+        };
+        let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        History::from_json(&doc).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Writes the trajectory back (pretty-rendered, diff-friendly).
+    pub fn save(&self, path: &str) -> io::Result<()> {
+        std::fs::write(path, self.to_json().render())
+    }
+
+    /// The baseline for a sample: every recorded entry of the same bin
+    /// under the same config, oldest first. Provenance fields play no
+    /// part in the match.
+    pub fn baseline(&self, sample: &Sample) -> Vec<&TrajectoryEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.sample.bin == sample.bin && e.sample.config == sample.config)
+            .collect()
+    }
+}
+
+/// Extracts the throughput [`Sample`] from a `gvf.run-manifest`
+/// document (requires the `hostPerf` section every binary now embeds).
+pub fn sample_from_manifest(doc: &Json) -> Result<Sample, String> {
+    let schema = string(doc, "schema", "manifest")?;
+    if schema != MANIFEST_SCHEMA {
+        return Err(format!("not a run manifest (schema {schema:?})"));
+    }
+    let bin = string(doc, "generator", "manifest")?;
+    let config = get(doc, "config", "manifest")?;
+    let config = RunConfig {
+        smoke: get(config, "smoke", "manifest config")?
+            .as_bool()
+            .ok_or("manifest config: \"smoke\" is not a bool")?,
+        scale: num_u64(config, "scale", "manifest config")?,
+        iterations: num_u64(config, "iterations", "manifest config")?,
+    };
+    let host = get(doc, "hostPerf", "manifest")
+        .map_err(|_| "manifest has no hostPerf section (pre-telemetry build?)".to_string())?;
+    let throughput = get(host, "throughput", "hostPerf")?;
+    let cells_records = get(doc, "cells", "manifest")?
+        .as_arr()
+        .ok_or("manifest: \"cells\" is not an array")?;
+    let mut total_instrs = 0u64;
+    let mut ipc_sum = 0.0;
+    for cell in cells_records {
+        if let Some(stats) = cell.get("stats") {
+            for key in ["instrs_mem", "instrs_compute", "instrs_ctrl"] {
+                total_instrs += num_u64(stats, key, "cell stats")?;
+            }
+        }
+        if let Some(ipc) = cell.get("derived").and_then(|d| d.get("ipc")) {
+            ipc_sum += ipc.as_num().unwrap_or(0.0);
+        }
+    }
+    let n_cells = cells_records.len().max(1) as f64;
+    Ok(Sample {
+        bin,
+        config,
+        wall_s: num(host, "wall_s", "hostPerf")?,
+        cells: num_u64(throughput, "cells", "throughput")?,
+        cells_per_sec: num(throughput, "cells_per_sec", "throughput")?,
+        sim_cycles: num_u64(throughput, "sim_cycles", "throughput")?,
+        sim_cycles_per_sec: num(throughput, "sim_cycles_per_sec", "throughput")?,
+        total_instrs,
+        mean_ipc: ipc_sum / n_cells,
+    })
+}
+
+/// Median of `xs`; `0` on empty input. Even-length inputs average the
+/// middle pair.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation — the robust spread estimate behind the
+/// gate's noise model.
+pub fn mad(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let med = median(xs);
+    let deviations: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median(&deviations)
+}
+
+/// Folds `samples` into `history`: manifests are grouped by
+/// (bin, config) in first-seen order, each group becomes one entry
+/// holding the **median** of every measure over its N samples. Returns
+/// the entries appended.
+pub fn record(
+    history: &mut History,
+    samples: &[Sample],
+    rev: &str,
+    date: &str,
+) -> Vec<TrajectoryEntry> {
+    let mut groups: Vec<(&Sample, Vec<&Sample>)> = Vec::new();
+    for s in samples {
+        match groups
+            .iter_mut()
+            .find(|(head, _)| head.bin == s.bin && head.config == s.config)
+        {
+            Some((_, members)) => members.push(s),
+            None => groups.push((s, vec![s])),
+        }
+    }
+    let mut appended = Vec::new();
+    for (head, members) in groups {
+        let med = |f: fn(&Sample) -> f64| median(&members.iter().map(|s| f(s)).collect::<Vec<_>>());
+        let entry = TrajectoryEntry {
+            rev: rev.to_string(),
+            date: date.to_string(),
+            samples: members.len() as u64,
+            sample: Sample {
+                bin: head.bin.clone(),
+                config: head.config.clone(),
+                wall_s: med(|s| s.wall_s),
+                cells: med(|s| s.cells as f64) as u64,
+                cells_per_sec: med(|s| s.cells_per_sec),
+                sim_cycles: med(|s| s.sim_cycles as f64) as u64,
+                sim_cycles_per_sec: med(|s| s.sim_cycles_per_sec),
+                total_instrs: med(|s| s.total_instrs as f64) as u64,
+                mean_ipc: med(|s| s.mean_ipc),
+            },
+        };
+        appended.push(entry.clone());
+        history.entries.push(entry);
+    }
+    appended
+}
+
+/// Gate thresholds. The allowed relative slowdown is
+/// `max(max_regress, noise_mult × MAD/median)` of the baseline.
+#[derive(Clone, Debug)]
+pub struct GateConfig {
+    /// Fixed relative floor on the allowed slowdown (`0.35` = 35%).
+    pub max_regress: f64,
+    /// How many baseline-MADs of slowdown to tolerate.
+    pub noise_mult: f64,
+    /// Baselines with fewer entries than this are skipped, not failed.
+    pub min_samples: usize,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            // Wide floor by default: single-machine wall-clock noise
+            // easily reaches tens of percent, and a missed minor
+            // regression costs less than a flaky CI gate.
+            max_regress: 0.35,
+            noise_mult: 4.0,
+            min_samples: 1,
+        }
+    }
+}
+
+/// What the gate concluded for one sample.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GateVerdict {
+    /// Throughput within tolerance of the baseline median.
+    Pass {
+        /// Current simulated cycles per host second.
+        current: f64,
+        /// Baseline median of the same measure.
+        baseline: f64,
+        /// Relative slowdown that would have been tolerated.
+        allowed_drop: f64,
+    },
+    /// Throughput regressed beyond the allowed drop.
+    Fail {
+        /// Current simulated cycles per host second.
+        current: f64,
+        /// Baseline median of the same measure.
+        baseline: f64,
+        /// Relative slowdown that was tolerated.
+        allowed_drop: f64,
+    },
+    /// No comparable baseline (new bin, new config, or below the
+    /// minimum-sample rule) — never a failure.
+    Skip {
+        /// Why the sample was not judged.
+        reason: String,
+    },
+}
+
+/// Judges `sample` against its baseline in `history`.
+pub fn gate(history: &History, sample: &Sample, cfg: &GateConfig) -> GateVerdict {
+    let baseline = history.baseline(sample);
+    if baseline.len() < cfg.min_samples.max(1) {
+        return GateVerdict::Skip {
+            reason: format!(
+                "{}: {} baseline entr{} for this config (minimum {})",
+                sample.bin,
+                baseline.len(),
+                if baseline.len() == 1 { "y" } else { "ies" },
+                cfg.min_samples.max(1)
+            ),
+        };
+    }
+    let rates: Vec<f64> = baseline
+        .iter()
+        .map(|e| e.sample.sim_cycles_per_sec)
+        .collect();
+    let base_median = median(&rates);
+    if base_median <= 0.0 || sample.sim_cycles_per_sec <= 0.0 {
+        return GateVerdict::Skip {
+            reason: format!("{}: degenerate throughput (zero rate)", sample.bin),
+        };
+    }
+    let noise = mad(&rates) / base_median;
+    let allowed_drop = cfg.max_regress.max(cfg.noise_mult * noise);
+    let current = sample.sim_cycles_per_sec;
+    if current < base_median * (1.0 - allowed_drop) {
+        GateVerdict::Fail {
+            current,
+            baseline: base_median,
+            allowed_drop,
+        }
+    } else {
+        GateVerdict::Pass {
+            current,
+            baseline: base_median,
+            allowed_drop,
+        }
+    }
+}
+
+/// `YYYY-MM-DD` (UTC) for an epoch timestamp — Howard Hinnant's
+/// civil-from-days, so the workspace stays dependency-free.
+pub fn utc_date_from_epoch(epoch_secs: u64) -> String {
+    let days = (epoch_secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+/// Short git revision of the working tree, `"unknown"` when git is
+/// unavailable (provenance only — never load-bearing, see [`gate`]).
+pub fn git_short_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Today's UTC date as `YYYY-MM-DD`.
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    utc_date_from_epoch(secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(bin: &str, rate: f64) -> Sample {
+        Sample {
+            bin: bin.to_string(),
+            config: RunConfig {
+                smoke: true,
+                scale: 1,
+                iterations: 2,
+            },
+            wall_s: 2.0,
+            cells: 10,
+            cells_per_sec: 5.0,
+            sim_cycles: 1_000_000,
+            sim_cycles_per_sec: rate,
+            total_instrs: 500_000,
+            mean_ipc: 0.5,
+        }
+    }
+
+    fn entry(bin: &str, rate: f64, rev: &str, date: &str) -> TrajectoryEntry {
+        TrajectoryEntry {
+            rev: rev.to_string(),
+            date: date.to_string(),
+            samples: 1,
+            sample: sample(bin, rate),
+        }
+    }
+
+    #[test]
+    fn median_and_mad_basics() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 9.0]), 5.0);
+        assert_eq!(median(&[9.0, 1.0, 5.0]), 5.0);
+        assert_eq!(mad(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(mad(&[1.0, 5.0, 9.0]), 4.0);
+    }
+
+    #[test]
+    fn record_takes_group_medians() {
+        let mut h = History::default();
+        let samples = vec![
+            sample("fig6", 100.0),
+            sample("fig6", 300.0),
+            sample("fig6", 200.0),
+            sample("fig7", 50.0),
+        ];
+        let appended = record(&mut h, &samples, "abc", "2026-08-05");
+        assert_eq!(appended.len(), 2);
+        assert_eq!(appended[0].sample.bin, "fig6");
+        assert_eq!(appended[0].samples, 3);
+        assert_eq!(appended[0].sample.sim_cycles_per_sec, 200.0);
+        assert_eq!(appended[1].sample.bin, "fig7");
+        assert_eq!(h.entries.len(), 2);
+    }
+
+    #[test]
+    fn gate_passes_fresh_baseline_and_fails_synthetic_slowdown() {
+        let mut h = History::default();
+        record(&mut h, &[sample("fig6", 1000.0)], "abc", "2026-08-05");
+        let cfg = GateConfig::default();
+        // The very sample just recorded must pass against itself.
+        assert!(matches!(
+            gate(&h, &sample("fig6", 1000.0), &cfg),
+            GateVerdict::Pass { .. }
+        ));
+        // A synthetic 10× slowdown must fail.
+        assert!(matches!(
+            gate(&h, &sample("fig6", 100.0), &cfg),
+            GateVerdict::Fail { .. }
+        ));
+        // Slightly slower than the floor allows: still a pass.
+        assert!(matches!(
+            gate(&h, &sample("fig6", 700.0), &cfg),
+            GateVerdict::Pass { .. }
+        ));
+    }
+
+    #[test]
+    fn gate_skips_missing_or_mismatched_baselines() {
+        let h = History::default();
+        let cfg = GateConfig::default();
+        assert!(matches!(
+            gate(&h, &sample("fig6", 1000.0), &cfg),
+            GateVerdict::Skip { .. }
+        ));
+        // Same bin, different config → no baseline.
+        let mut h = History::default();
+        record(&mut h, &[sample("fig6", 1000.0)], "abc", "2026-08-05");
+        let mut full = sample("fig6", 100.0);
+        full.config.smoke = false;
+        assert!(matches!(gate(&h, &full, &cfg), GateVerdict::Skip { .. }));
+        // Minimum-sample rule: demand more history than exists.
+        let strict = GateConfig {
+            min_samples: 3,
+            ..GateConfig::default()
+        };
+        assert!(matches!(
+            gate(&h, &sample("fig6", 100.0), &strict),
+            GateVerdict::Skip { .. }
+        ));
+    }
+
+    #[test]
+    fn noisy_baseline_widens_its_own_tolerance() {
+        let mut h = History::default();
+        // Relative MAD = 0.2; with noise_mult 4 the allowed drop is 80%.
+        for rate in [800.0, 1000.0, 1200.0] {
+            h.entries.push(entry("fig6", rate, "r", "d"));
+        }
+        let cfg = GateConfig {
+            max_regress: 0.1,
+            noise_mult: 4.0,
+            min_samples: 1,
+        };
+        match gate(&h, &sample("fig6", 500.0), &cfg) {
+            GateVerdict::Pass { allowed_drop, .. } => {
+                assert!((allowed_drop - 0.8).abs() < 1e-9);
+            }
+            v => panic!("expected pass, got {v:?}"),
+        }
+        assert!(matches!(
+            gate(&h, &sample("fig6", 100.0), &cfg),
+            GateVerdict::Fail { .. }
+        ));
+    }
+
+    #[test]
+    fn provenance_fields_do_not_affect_the_gate() {
+        let cfg = GateConfig::default();
+        let mut a = History::default();
+        let mut b = History::default();
+        a.entries.push(entry("fig6", 1000.0, "aaaa", "2020-01-01"));
+        b.entries.push(entry("fig6", 1000.0, "bbbb", "2026-08-05"));
+        let probe = sample("fig6", 900.0);
+        assert_eq!(gate(&a, &probe, &cfg), gate(&b, &probe, &cfg));
+    }
+
+    #[test]
+    fn history_round_trips_through_json() {
+        let mut h = History::default();
+        h.entries
+            .push(entry("fig6", 123.25, "abc1234", "2026-08-05"));
+        h.entries
+            .push(entry("table1", 7.5, "abc1234", "2026-08-05"));
+        let doc = h.to_json();
+        let parsed = Json::parse(&doc.render()).expect("parse");
+        assert_eq!(History::from_json(&parsed).expect("decode"), h);
+    }
+
+    #[test]
+    fn civil_dates_are_correct() {
+        assert_eq!(utc_date_from_epoch(0), "1970-01-01");
+        assert_eq!(utc_date_from_epoch(86_400), "1970-01-02");
+        // 2000-02-29 (leap day): 951782400.
+        assert_eq!(utc_date_from_epoch(951_782_400), "2000-02-29");
+        // 2026-08-05: 1785888000.
+        assert_eq!(utc_date_from_epoch(1_785_888_000), "2026-08-05");
+    }
+}

@@ -39,7 +39,7 @@ fn main() {
         .into_iter()
         .flat_map(|k| [(k, Variant::Base), (k, Variant::Tree), (k, Variant::Linear)])
         .collect();
-    let mut results = run_cells("ablation_lookup", opts.jobs, &cells, |i, &(k, v)| {
+    let mut results = run_cells("ablation_lookup", &opts, &cells, |i, &(k, v)| {
         let mut cfg = opts.cfg_for_cell(i);
         let s = match v {
             Variant::Base => Strategy::SharedOa,
@@ -110,7 +110,7 @@ fn main() {
     println!("\nExtension — TypePointer §6.1 fallback: shrinking tag budget (vE-BFS)");
     println!("(normalized to unbounded-budget TypePointer)\n");
     let budgets: [(Option<u64>, u32); 4] = [(None, 4), (Some(24), 3), (Some(16), 2), (Some(8), 1)];
-    let sweep = run_cells("ablation_budget", opts.jobs, &budgets, |_, &(budget, _)| {
+    let sweep = run_cells("ablation_budget", &opts, &budgets, |_, &(budget, _)| {
         let mut cfg = opts.cfg.clone();
         cfg.tag_budget = budget;
         run_workload(WorkloadKind::VeBfs, Strategy::TypePointerHw, &cfg)

@@ -22,7 +22,7 @@ fn main() {
         .into_iter()
         .flat_map(|k| [(k, Strategy::Cuda), (k, Strategy::SharedOa)])
         .collect();
-    let mut results = run_cells("alloc_init", opts.jobs, &cells, |i, &(k, s)| {
+    let mut results = run_cells("alloc_init", &opts, &cells, |i, &(k, s)| {
         run_workload(k, s, &opts.cfg_for_cell(i))
     });
     let obs = results.first_mut().and_then(|r| r.obs.take());

@@ -33,7 +33,7 @@ fn main() {
             cells.push((kind, Strategy::Coal, chunk));
         }
     }
-    let mut results = run_cells("fig10", opts.jobs, &cells, |i, &(k, s, chunk)| {
+    let mut results = run_cells("fig10", &opts, &cells, |i, &(k, s, chunk)| {
         let mut cfg = opts.cfg_for_cell(i);
         cfg.initial_chunk_objs = chunk;
         run_workload(k, s, &cfg)

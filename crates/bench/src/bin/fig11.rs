@@ -23,7 +23,7 @@ fn main() {
         .into_iter()
         .flat_map(|k| [(k, Strategy::Cuda), (k, Strategy::TypePointerHw)])
         .collect();
-    let mut results = run_cells("fig11", opts.jobs, &cells, |i, &(k, s)| {
+    let mut results = run_cells("fig11", &opts, &cells, |i, &(k, s)| {
         let mut cfg = opts.cfg_for_cell(i);
         if s == Strategy::TypePointerHw {
             cfg.allocator_override = Some(AllocatorKind::Cuda);

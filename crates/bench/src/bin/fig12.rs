@@ -47,7 +47,7 @@ fn main() {
         };
         cells.extend(STRATEGIES.map(|s| (params, s)));
     }
-    let mut results = run_cells("fig12", opts.jobs, &cells, |i, &(p, s)| {
+    let mut results = run_cells("fig12", &opts, &cells, |i, &(p, s)| {
         micro::run(s, p, &opts.cfg_for_cell(i))
     });
     let obs = results.first_mut().and_then(|r| r.obs.take());

@@ -24,7 +24,7 @@ fn main() {
         .into_iter()
         .flat_map(|k| strategies.into_iter().map(move |s| (k, s)))
         .collect();
-    let mut results = run_cells("fig6", opts.jobs, &cells, |i, &(k, s)| {
+    let mut results = run_cells("fig6", &opts, &cells, |i, &(k, s)| {
         run_workload(k, s, &opts.cfg_for_cell(i))
     });
     let obs = results.first_mut().and_then(|r| r.obs.take());

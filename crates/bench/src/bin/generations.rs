@@ -36,7 +36,7 @@ fn main() {
             }
         }
     }
-    let mut results = run_cells("generations", opts.jobs, &cells, |i, &(k, mi, s)| {
+    let mut results = run_cells("generations", &opts, &cells, |i, &(k, mi, s)| {
         let mut cfg = opts.cfg_for_cell(i);
         cfg.gpu = machines[mi].1.clone();
         run_workload(k, s, &cfg)

@@ -1,0 +1,101 @@
+//! Appends the current run's throughput samples to the benchmark
+//! trajectory (`BENCH_gvf.json`).
+//!
+//! Usage: `perf_record [--history PATH] MANIFEST...`
+//!
+//! Each argument is a `gvf.run-manifest` produced by a figure binary
+//! (their `--json-out` artifacts); the embedded `hostPerf` section
+//! carries the throughput sample, so nothing is re-run. Manifests are
+//! grouped by (generator, config) and each group contributes one
+//! trajectory entry holding the **median** over its N samples — run a
+//! figure binary several times and pass all the manifests here for a
+//! noise-robust point. Exits non-zero if any manifest is unreadable,
+//! so a broken pipeline cannot silently record nothing.
+//!
+//! All human-facing output goes to stderr; this binary emits nothing on
+//! stdout (the determinism contract's channel discipline applies to
+//! tooling too).
+
+use gvf_bench::bench_history::{
+    git_short_rev, record, sample_from_manifest, today_utc, History, DEFAULT_HISTORY_PATH,
+};
+use gvf_bench::json::Json;
+
+fn main() {
+    let mut history_path = DEFAULT_HISTORY_PATH.to_string();
+    let mut manifests: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--history" => match args.next() {
+                Some(p) => history_path = p,
+                None => {
+                    eprintln!("perf_record: --history needs a path");
+                    std::process::exit(2);
+                }
+            },
+            _ => manifests.push(arg),
+        }
+    }
+    if manifests.is_empty() {
+        eprintln!("usage: perf_record [--history PATH] MANIFEST...");
+        std::process::exit(2);
+    }
+
+    let mut samples = Vec::new();
+    for path in &manifests {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perf_record: {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("perf_record: {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match sample_from_manifest(&doc) {
+            Ok(s) => samples.push(s),
+            Err(e) => {
+                eprintln!("perf_record: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut history = match History::load(&history_path) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("perf_record: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rev = git_short_rev();
+    let date = today_utc();
+    let appended = record(&mut history, &samples, &rev, &date);
+    if let Err(e) = history.save(&history_path) {
+        eprintln!("perf_record: {history_path}: {e}");
+        std::process::exit(1);
+    }
+    for entry in &appended {
+        eprintln!(
+            "perf_record: {} @ {} — {:.3e} sim cycles/s over {} sample{} -> {}",
+            entry.sample.bin,
+            rev,
+            entry.sample.sim_cycles_per_sec,
+            entry.samples,
+            if entry.samples == 1 { "" } else { "s" },
+            history_path
+        );
+    }
+    eprintln!(
+        "perf_record: {} entr{} appended ({} total)",
+        appended.len(),
+        if appended.len() == 1 { "y" } else { "ies" },
+        history.entries.len()
+    );
+}

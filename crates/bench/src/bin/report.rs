@@ -1,0 +1,410 @@
+//! Unified reproduction report: collates every artifact under the
+//! results directory into one human-readable `REPORT.md`.
+//!
+//! Usage: `report [--results DIR] [--history PATH] [--out PATH]`
+//!
+//! The collator reads only emitted artifacts — run manifests
+//! (`gvf.run-manifest`), Chrome traces (`gvf.timeline`), and the
+//! benchmark trajectory (`gvf.bench-trajectory`) — never the simulator
+//! itself, so the report is a pure function of `results/` and can be
+//! regenerated at any time. Sections:
+//!
+//! 1. per-figure cell tables (canonical paper order: tables first, then
+//!    Figures 6–12, then the repo's own ablations);
+//! 2. a host-performance summary per run (wall time, throughput, peak
+//!    RSS) from each manifest's `hostPerf` section;
+//! 3. a top-K stall-hotspot table aggregated from the probe traces'
+//!    `"cat": "stall"` events, keyed by (PC, cause) — the closest thing
+//!    the simulated GPU has to a profiler's hot-PC view;
+//! 4. the recent benchmark trajectory from `BENCH_gvf.json`.
+//!
+//! Unreadable or unrecognized files are reported and skipped — a
+//! partial `run_all.sh --keep-going` run still gets a report of
+//! whatever succeeded. Progress goes to stderr; the report goes to the
+//! `--out` file only.
+
+use gvf_bench::bench_history::{History, DEFAULT_HISTORY_PATH};
+use gvf_bench::json::Json;
+use gvf_bench::manifest::MANIFEST_SCHEMA;
+use gvf_bench::report::markdown_table;
+use gvf_sim::TIMELINE_SCHEMA;
+
+/// Canonical presentation order; anything else sorts after, by name.
+const ORDER: &[(&str, &str)] = &[
+    ("fig1b", "Figure 1b — motivating dispatch overhead"),
+    ("table1", "Table 1 — workload characterization"),
+    ("table2", "Table 2 — allocator comparison"),
+    ("fig6", "Figure 6 — speedup over CUDA vfuncs"),
+    ("fig7", "Figure 7 — dispatch latency breakdown"),
+    ("fig8", "Figure 8 — memory-traffic reduction"),
+    ("fig9", "Figure 9 — cache behaviour"),
+    ("fig10", "Figure 10 — chunk-size sensitivity"),
+    ("fig11", "Figure 11 — type-count scaling"),
+    ("fig12", "Figure 12 — object-count scaling"),
+    ("alloc_init", "Allocator initialization cost"),
+    ("ablation_lookup", "Ablation — range-lookup strategies"),
+    ("generations", "Ablation — generational recycling"),
+    ("counters", "Hardware-counter cross-check"),
+];
+
+fn fmt_num(x: f64) -> String {
+    if !x.is_finite() {
+        return "-".to_string();
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else if x.abs() >= 1e6 || (x != 0.0 && x.abs() < 1e-3) {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+fn scalar(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        Json::Num(n) => fmt_num(*n),
+        Json::Bool(b) => b.to_string(),
+        Json::Null => "-".to_string(),
+        other => other.render(),
+    }
+}
+
+/// Markdown table of a manifest's cells: the cell coordinates (every
+/// non-stats member, in first-seen order) plus the headline measures.
+fn cells_section(doc: &Json) -> String {
+    let Some(cells) = doc.get("cells").and_then(Json::as_arr) else {
+        return String::new();
+    };
+    let mut coord_keys: Vec<String> = Vec::new();
+    for cell in cells {
+        if let Json::Obj(members) = cell {
+            for (k, v) in members {
+                if matches!(v, Json::Obj(_) | Json::Arr(_)) {
+                    continue; // stats / derived, handled below
+                }
+                if !coord_keys.contains(k) {
+                    coord_keys.push(k.clone());
+                }
+            }
+        }
+    }
+    let mut headers: Vec<&str> = coord_keys.iter().map(String::as_str).collect();
+    headers.extend(["cycles", "IPC", "L1 hit", "vfunc PKI"]);
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|cell| {
+            let mut row: Vec<String> = coord_keys
+                .iter()
+                .map(|k| cell.get(k).map(scalar).unwrap_or_else(|| "-".into()))
+                .collect();
+            let stat = |k: &str| {
+                cell.get("stats")
+                    .and_then(|s| s.get(k))
+                    .and_then(Json::as_num)
+            };
+            let derived = |k: &str| {
+                cell.get("derived")
+                    .and_then(|d| d.get(k))
+                    .and_then(Json::as_num)
+            };
+            row.push(stat("cycles").map(fmt_num).unwrap_or_else(|| "-".into()));
+            row.push(derived("ipc").map(fmt_num).unwrap_or_else(|| "-".into()));
+            row.push(
+                derived("l1_hit_rate")
+                    .map(|r| format!("{:.1}%", r * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+            );
+            row.push(
+                derived("vfunc_pki")
+                    .map(fmt_num)
+                    .unwrap_or_else(|| "-".into()),
+            );
+            row
+        })
+        .collect();
+    markdown_table(&headers, &rows)
+}
+
+/// One row of the host-performance summary, from a manifest.
+fn host_perf_row(bin: &str, doc: &Json) -> Option<Vec<String>> {
+    let host = doc.get("hostPerf")?;
+    let throughput = host.get("throughput")?;
+    let num = |d: &Json, k: &str| d.get(k).and_then(Json::as_num);
+    let rss = match host.get("peak_rss_bytes") {
+        Some(Json::Num(b)) => format!("{:.1} MiB", b / (1024.0 * 1024.0)),
+        _ => "-".to_string(),
+    };
+    Some(vec![
+        bin.to_string(),
+        num(host, "wall_s")
+            .map(|s| format!("{s:.2} s"))
+            .unwrap_or_else(|| "-".into()),
+        num(throughput, "cells").map(fmt_num).unwrap_or_default(),
+        num(throughput, "cells_per_sec")
+            .map(fmt_num)
+            .unwrap_or_default(),
+        num(throughput, "sim_cycles_per_sec")
+            .map(fmt_num)
+            .unwrap_or_default(),
+        rss,
+    ])
+}
+
+/// Hotspot accumulator entry: (pc, cause) → (stall count, total cycles).
+type Hotspot = ((u64, String), (u64, u64));
+
+/// Aggregates a trace's `"cat": "stall"` slices by (pc, cause).
+fn accumulate_hotspots(doc: &Json, agg: &mut Vec<Hotspot>) {
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) else {
+        return;
+    };
+    for ev in events {
+        if ev.get("cat").and_then(Json::as_str) != Some("stall") {
+            continue;
+        }
+        let dur = ev.get("dur").and_then(Json::as_num).unwrap_or(0.0) as u64;
+        let args = ev.get("args");
+        let pc = args
+            .and_then(|a| a.get("pc"))
+            .and_then(Json::as_num)
+            .unwrap_or(0.0) as u64;
+        let cause = args
+            .and_then(|a| a.get("cause"))
+            .and_then(Json::as_str)
+            .or_else(|| ev.get("name").and_then(Json::as_str))
+            .unwrap_or("other")
+            .to_string();
+        let key = (pc, cause);
+        match agg.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, (count, total))) => {
+                *count += 1;
+                *total += dur;
+            }
+            None => agg.push((key, (1, dur))),
+        }
+    }
+}
+
+fn main() {
+    let mut results_dir = "results".to_string();
+    let mut history_path = DEFAULT_HISTORY_PATH.to_string();
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("report: {name} needs a value");
+                std::process::exit(2);
+            }
+        };
+        match arg.as_str() {
+            "--results" => results_dir = value("--results"),
+            "--history" => history_path = value("--history"),
+            "--out" => out_path = Some(value("--out")),
+            other => {
+                eprintln!("report: unknown argument {other:?}");
+                eprintln!("usage: report [--results DIR] [--history PATH] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| format!("{results_dir}/REPORT.md"));
+
+    // Deterministic scan: sorted *.json paths under the results dir.
+    let mut paths: Vec<String> = match std::fs::read_dir(&results_dir) {
+        Ok(iter) => iter
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .map(|p| p.to_string_lossy().into_owned())
+            .collect(),
+        Err(e) => {
+            eprintln!("report: {results_dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    paths.sort();
+
+    let mut manifests: Vec<(String, Json)> = Vec::new(); // (generator, doc)
+    let mut hotspots: Vec<Hotspot> = Vec::new();
+    let mut skipped = 0usize;
+    for path in &paths {
+        let doc = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Json::parse(&t).map_err(|e| e.to_string()))
+        {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("report: skipping {path}: {e}");
+                skipped += 1;
+                continue;
+            }
+        };
+        let schema = doc
+            .get("schema")
+            .or_else(|| doc.get("otherData").and_then(|o| o.get("schema")))
+            .and_then(Json::as_str)
+            .unwrap_or("");
+        if schema == MANIFEST_SCHEMA {
+            let generator = doc
+                .get("generator")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string();
+            manifests.push((generator, doc));
+        } else if schema == TIMELINE_SCHEMA {
+            accumulate_hotspots(&doc, &mut hotspots);
+        }
+        // Metrics series feed Figure 13-style plots, not this report.
+    }
+    // Canonical order, then alphabetical for strangers.
+    manifests.sort_by_key(|(generator, _)| {
+        let rank = ORDER
+            .iter()
+            .position(|(name, _)| name == generator)
+            .unwrap_or(ORDER.len());
+        (rank, generator.clone())
+    });
+
+    let mut md = String::new();
+    md.push_str("# gvf reproduction report\n\n");
+    md.push_str(
+        "Collated by the `report` binary from the run manifests, probe traces, \
+         and benchmark trajectory under `results/`. Regenerate with \
+         `./run_all.sh` or `cargo run --release --bin report`.\n\n",
+    );
+    md.push_str(&format!(
+        "- manifests: {} ({} file{} skipped)\n",
+        manifests.len(),
+        skipped,
+        if skipped == 1 { "" } else { "s" }
+    ));
+    let total_cells: usize = manifests
+        .iter()
+        .filter_map(|(_, d)| d.get("cells").and_then(Json::as_arr).map(<[_]>::len))
+        .sum();
+    md.push_str(&format!("- grid cells: {total_cells}\n\n"));
+
+    md.push_str("## Results\n\n");
+    for (generator, doc) in &manifests {
+        let title = ORDER
+            .iter()
+            .find(|(name, _)| name == generator)
+            .map(|(_, t)| *t)
+            .unwrap_or(generator.as_str());
+        md.push_str(&format!("### {title}\n\n"));
+        if let Some(config) = doc.get("config") {
+            md.push_str(&format!(
+                "Config: scale {}, iterations {}, seed {}, smoke {}.\n\n",
+                config.get("scale").map(scalar).unwrap_or_default(),
+                config.get("iterations").map(scalar).unwrap_or_default(),
+                config.get("seed").map(scalar).unwrap_or_default(),
+                config.get("smoke").map(scalar).unwrap_or_default(),
+            ));
+        }
+        md.push_str(&cells_section(doc));
+        md.push('\n');
+    }
+
+    md.push_str("## Host performance\n\n");
+    md.push_str(
+        "Wall-clock data from each manifest's `hostPerf` section — host-side \
+         only, excluded from the determinism diff.\n\n",
+    );
+    let host_rows: Vec<Vec<String>> = manifests
+        .iter()
+        .filter_map(|(generator, doc)| host_perf_row(generator, doc))
+        .collect();
+    md.push_str(&markdown_table(
+        &[
+            "bin",
+            "wall",
+            "cells",
+            "cells/s",
+            "sim cycles/s",
+            "peak RSS",
+        ],
+        &host_rows,
+    ));
+    md.push('\n');
+
+    md.push_str("## Stall hotspots\n\n");
+    if hotspots.is_empty() {
+        md.push_str("No probe traces found (run with `--trace-out` to record).\n\n");
+    } else {
+        md.push_str(
+            "Top program counters by total stall cycles, aggregated from the \
+             probe timelines' `stall` slices.\n\n",
+        );
+        hotspots.sort_by(|(ka, (_, da)), (kb, (_, db))| db.cmp(da).then(ka.cmp(kb)));
+        let rows: Vec<Vec<String>> = hotspots
+            .iter()
+            .take(10)
+            .map(|((pc, cause), (count, total))| {
+                vec![
+                    format!("0x{pc:04x}"),
+                    cause.clone(),
+                    count.to_string(),
+                    total.to_string(),
+                ]
+            })
+            .collect();
+        md.push_str(&markdown_table(
+            &["PC", "cause", "stalls", "total cycles"],
+            &rows,
+        ));
+        md.push('\n');
+    }
+
+    md.push_str("## Benchmark trajectory\n\n");
+    match History::load(&history_path) {
+        Ok(history) if !history.entries.is_empty() => {
+            md.push_str(&format!(
+                "Last {} of {} entries in `{}` (gate metric: simulated \
+                 cycles per host second).\n\n",
+                history.entries.len().min(20),
+                history.entries.len(),
+                history_path
+            ));
+            let tail = &history.entries[history.entries.len().saturating_sub(20)..];
+            let rows: Vec<Vec<String>> = tail
+                .iter()
+                .map(|e| {
+                    vec![
+                        e.date.clone(),
+                        e.rev.clone(),
+                        e.sample.bin.clone(),
+                        fmt_num(e.sample.sim_cycles_per_sec),
+                        e.samples.to_string(),
+                    ]
+                })
+                .collect();
+            md.push_str(&markdown_table(
+                &["date", "rev", "bin", "sim cycles/s", "samples"],
+                &rows,
+            ));
+            md.push('\n');
+        }
+        Ok(_) => {
+            md.push_str(&format!(
+                "No trajectory yet — `perf_record` appends to `{history_path}`.\n\n"
+            ));
+        }
+        Err(e) => {
+            eprintln!("report: trajectory unreadable: {e}");
+            md.push_str(&format!("Trajectory unreadable: {e}\n\n"));
+        }
+    }
+
+    if let Err(e) = std::fs::write(&out_path, md.as_bytes()) {
+        eprintln!("report: {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "report: wrote {out_path} ({} manifests, {} hotspot keys)",
+        manifests.len(),
+        hotspots.len()
+    );
+}

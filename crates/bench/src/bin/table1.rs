@@ -35,7 +35,7 @@ fn main() {
                 STRATEGIES.map(|s| (MicroParams { n_objects, n_types }, s))
             })
             .collect();
-    let mut results = run_cells("table1", opts.jobs, &cells, |i, &(p, s)| {
+    let mut results = run_cells("table1", &opts, &cells, |i, &(p, s)| {
         micro::run(s, p, &opts.cfg_for_cell(i))
     });
     let obs = results.first_mut().and_then(|r| r.obs.take());

@@ -17,7 +17,7 @@ use gvf_workloads::{run_workload, WorkloadKind};
 fn main() {
     let opts = HarnessOpts::from_args();
     let cells: Vec<WorkloadKind> = WorkloadKind::EVALUATED.to_vec();
-    let mut results = run_cells("table2", opts.jobs, &cells, |i, &k| {
+    let mut results = run_cells("table2", &opts, &cells, |i, &k| {
         run_workload(k, Strategy::SharedOa, &opts.cfg_for_cell(i))
     });
     let obs = results.first_mut().and_then(|r| r.obs.take());

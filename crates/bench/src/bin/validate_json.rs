@@ -3,17 +3,27 @@
 //! prove every emitted artifact round-trips through the same parser a
 //! downstream consumer would use.
 //!
-//! Usage: `validate_json FILE...` — exits non-zero on the first file
-//! that fails to parse or carries an unknown/missing schema. Chrome
-//! traces (`gvf.timeline`) keep their schema under `otherData`, the
-//! manifest and metrics documents at top level.
+//! Usage:
+//!
+//! - `validate_json FILE...` — exits non-zero on the first file that
+//!   fails to parse or carries an unknown/missing schema. Chrome traces
+//!   (`gvf.timeline`) keep their schema under `otherData`, the
+//!   manifest, metrics, and trajectory documents at top level.
+//! - `validate_json --det-diff A B` — the determinism comparison: both
+//!   manifests must parse, and must be **identical after stripping the
+//!   `hostPerf` section** (the one intentionally wall-clock-dependent
+//!   part of a manifest). This is what CI runs on the serial-vs-parallel
+//!   pair instead of a raw byte diff.
 
+use gvf_bench::bench_history::TRAJECTORY_SCHEMA;
+use gvf_bench::hostperf::HOSTPERF_SCHEMA;
 use gvf_bench::json::Json;
-use gvf_bench::manifest::{MANIFEST_SCHEMA, METRICS_SCHEMA};
+use gvf_bench::manifest::{strip_host_perf, MANIFEST_SCHEMA, METRICS_SCHEMA};
 use gvf_sim::TIMELINE_SCHEMA;
 
 /// Returns the document's schema identifier, looking both at the top
-/// level (manifest, metrics) and under `otherData` (Chrome trace).
+/// level (manifest, metrics, trajectory) and under `otherData` (Chrome
+/// trace).
 fn schema_of(doc: &Json) -> Option<&str> {
     doc.get("schema")
         .or_else(|| doc.get("otherData").and_then(|o| o.get("schema")))
@@ -31,6 +41,14 @@ fn check(doc: &Json, schema: &str) -> Result<(), String> {
             }
             doc.get("config")
                 .ok_or("manifest without a config section")?;
+            let host = doc
+                .get("hostPerf")
+                .ok_or("manifest without a hostPerf section")?;
+            if host.get("schema").and_then(Json::as_str) != Some(HOSTPERF_SCHEMA) {
+                return Err(format!("hostPerf section is not {HOSTPERF_SCHEMA:?}"));
+            }
+            host.get("throughput")
+                .ok_or("hostPerf without a throughput section")?;
             Ok(())
         }
         METRICS_SCHEMA => {
@@ -41,28 +59,82 @@ fn check(doc: &Json, schema: &str) -> Result<(), String> {
             arr_len("traceEvents").ok_or("trace without a traceEvents array")?;
             Ok(())
         }
+        TRAJECTORY_SCHEMA => {
+            let entries = arr_len("entries").ok_or("trajectory without an entries array")?;
+            // A freshly bootstrapped history may be empty; entries that
+            // do exist must decode.
+            if entries > 0 {
+                gvf_bench::bench_history::History::from_json(doc)?;
+            }
+            Ok(())
+        }
         other => Err(format!("unknown schema {other:?}")),
     }
 }
 
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("parse error: {e}"))
+}
+
+/// `--det-diff A B`: equality of the two manifests' determinism views.
+fn det_diff(a_path: &str, b_path: &str) -> Result<(), String> {
+    let a = load(a_path).map_err(|e| format!("{a_path}: {e}"))?;
+    let b = load(b_path).map_err(|e| format!("{b_path}: {e}"))?;
+    for (path, doc) in [(a_path, &a), (b_path, &b)] {
+        if schema_of(doc) != Some(MANIFEST_SCHEMA) {
+            return Err(format!("{path}: not a {MANIFEST_SCHEMA:?} document"));
+        }
+    }
+    let a_view = strip_host_perf(&a).render();
+    let b_view = strip_host_perf(&b).render();
+    if a_view != b_view {
+        // Point at the first differing line so the CI log is actionable.
+        let line = a_view
+            .lines()
+            .zip(b_view.lines())
+            .position(|(x, y)| x != y)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| a_view.lines().count().min(b_view.lines().count()) + 1);
+        return Err(format!(
+            "determinism views differ (first difference at line {line})"
+        ));
+    }
+    Ok(())
+}
+
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
-    if paths.is_empty() {
-        eprintln!("usage: validate_json FILE...");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--det-diff") {
+        match &args[1..] {
+            [a, b] => match det_diff(a, b) {
+                Ok(()) => {
+                    println!("{a} == {b} (modulo hostPerf): ok");
+                }
+                Err(msg) => {
+                    eprintln!("det-diff: {msg}");
+                    std::process::exit(1);
+                }
+            },
+            _ => {
+                eprintln!("usage: validate_json --det-diff A B");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if args.is_empty() {
+        eprintln!("usage: validate_json FILE... | validate_json --det-diff A B");
         std::process::exit(2);
     }
-    for path in &paths {
+    for path in &args {
         let fail = |msg: &str| -> ! {
             eprintln!("{path}: INVALID — {msg}");
             std::process::exit(1);
         };
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => fail(&format!("unreadable: {e}")),
-        };
-        let doc = match Json::parse(&text) {
+        let doc = match load(path) {
             Ok(d) => d,
-            Err(e) => fail(&format!("parse error: {e}")),
+            Err(e) => fail(&e),
         };
         let schema = match schema_of(&doc) {
             Some(s) => s.to_string(),

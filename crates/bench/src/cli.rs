@@ -9,8 +9,9 @@ pub const DEFAULT_TRACE_EVENTS_PER_SM: usize = 4096;
 pub const DEFAULT_METRICS_BUCKET_CYCLES: u64 = 256;
 
 /// Common harness options: `--scale N`, `--iters N`, `--seed N`,
-/// `--jobs N`, `--engine-threads N`, `--smoke`, plus the observability
-/// outputs `--json-out PATH`, `--trace-out PATH`, `--metrics-out PATH`.
+/// `--jobs N`, `--engine-threads N`, `--smoke`, `--quiet`, plus the
+/// observability outputs `--json-out PATH`, `--trace-out PATH`,
+/// `--metrics-out PATH`.
 #[derive(Clone, Debug)]
 pub struct HarnessOpts {
     /// Workload configuration assembled from the flags.
@@ -23,6 +24,10 @@ pub struct HarnessOpts {
     /// the binary finishes in seconds while still exercising the full
     /// pipeline.
     pub smoke: bool,
+    /// Suppress stderr progress heartbeats and sweep summaries
+    /// (`--quiet`) — for scripted runs whose stderr is part of a log.
+    /// Stdout is unaffected (it is already identical either way).
+    pub quiet: bool,
     /// Write the versioned run manifest here (`--json-out`).
     pub json_out: Option<String>,
     /// Write a Chrome trace-event timeline of the grid's first cell
@@ -43,9 +48,13 @@ impl HarnessOpts {
     /// Parses `std::env::args`, starting from the evaluation defaults.
     /// Exits with status 2 and a usage message on malformed flags.
     pub fn from_args() -> Self {
+        // Anchor the host-perf wall clock before any work, so the
+        // manifest's `setup` phase covers flag parsing and startup.
+        gvf_sim::hostperf::process_start();
         let mut cfg = WorkloadConfig::eval();
         let mut jobs = 1usize;
         let mut smoke = false;
+        let mut quiet = false;
         let mut json_out = None;
         let mut trace_out = None;
         let mut metrics_out = None;
@@ -86,6 +95,10 @@ impl HarnessOpts {
                     smoke = true;
                     i += 1;
                 }
+                "--quiet" => {
+                    quiet = true;
+                    i += 1;
+                }
                 "--json-out" => {
                     json_out = Some(need(i).clone());
                     i += 2;
@@ -102,7 +115,7 @@ impl HarnessOpts {
                     println!(
                         "options: --scale N (default 8)  --iters N  --seed N  \
                          --jobs N (0 = all cores)  --engine-threads N (0 = auto)  --smoke  \
-                         --json-out PATH  --trace-out PATH  --metrics-out PATH"
+                         --quiet  --json-out PATH  --trace-out PATH  --metrics-out PATH"
                     );
                     std::process::exit(0);
                 }
@@ -122,6 +135,7 @@ impl HarnessOpts {
             cfg,
             jobs,
             smoke,
+            quiet,
             json_out,
             trace_out,
             metrics_out,

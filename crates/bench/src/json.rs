@@ -88,6 +88,14 @@ impl Json {
         }
     }
 
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Shorthand for a string value.
     pub fn str(s: impl Into<String>) -> Json {
         Json::Str(s.into())

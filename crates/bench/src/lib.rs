@@ -7,8 +7,10 @@
 //! micro-benchmark driver the `benches/` targets run on (the workspace
 //! builds offline, so Criterion is not a dependency).
 
+pub mod bench_history;
 pub mod cli;
 pub mod harness;
+pub mod hostperf;
 pub mod json;
 pub mod manifest;
 pub mod report;

@@ -7,9 +7,12 @@
 //!   generator name, the simulation-relevant config, and one record per
 //!   grid cell with its raw [`Stats`] counters plus derived metrics.
 //!   The config section deliberately excludes host-side knobs
-//!   (`--jobs`, `--engine-threads`) and wall-clock times, so a serial
-//!   and a parallel run of the same grid produce **byte-identical**
-//!   manifests — the CI determinism diff relies on this.
+//!   (`--jobs`, `--engine-threads`), and the only wall-clock data is
+//!   the `hostPerf` section ([`crate::hostperf`], schema
+//!   `gvf.hostperf` v1) — which the determinism diff **strips** via
+//!   [`strip_host_perf`], so a serial and a parallel run of the same
+//!   grid still compare byte-identical (`validate_json --det-diff`,
+//!   the CI gate).
 //! - `--trace-out` — a Chrome trace-event / Perfetto timeline
 //!   ([`gvf_sim::timeline`]) recorded from the grid's first cell.
 //! - `--metrics-out` — the per-epoch metrics time series
@@ -120,8 +123,27 @@ pub fn derived_json(s: &Stats) -> Json {
         )
 }
 
+/// Removes the wall-clock-dependent `hostPerf` section, producing the
+/// canonical **determinism view** of a manifest: two runs of the same
+/// grid — serial or parallel, fast machine or slow — must render this
+/// view byte-identically. Everything else is untouched.
+pub fn strip_host_perf(doc: &Json) -> Json {
+    match doc {
+        Json::Obj(members) => Json::Obj(
+            members
+                .iter()
+                .filter(|(k, _)| k != "hostPerf")
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
 /// Builds the `gvf.run-manifest` document. The config section contains
-/// only simulation-relevant knobs (see the module docs for why).
+/// only simulation-relevant knobs (see the module docs for why);
+/// [`emit`] appends the stripped-by-diff `hostPerf` section on top of
+/// this deterministic core.
 pub fn manifest(generator: &str, opts: &HarnessOpts, cells: &[CellRecord]) -> Json {
     let config = Json::obj()
         .with("scale", Json::num_u64(opts.cfg.scale as u64))
@@ -206,7 +228,12 @@ fn write_file(path: &str, contents: &[u8]) -> io::Result<()> {
 pub fn emit(opts: &HarnessOpts, generator: &str, cells: &[CellRecord], obs: Option<&ObsReport>) {
     let run = || -> io::Result<()> {
         if let Some(path) = &opts.json_out {
-            write_file(path, manifest(generator, opts, cells).render().as_bytes())?;
+            let total_sim_cycles: u64 = cells.iter().map(|c| c.stats.cycles).sum();
+            let doc = manifest(generator, opts, cells).with(
+                "hostPerf",
+                crate::hostperf::host_perf_json(total_sim_cycles),
+            );
+            write_file(path, doc.render().as_bytes())?;
         }
         let empty = ObsReport::default();
         let obs = obs.unwrap_or(&empty);
@@ -266,6 +293,20 @@ mod tests {
             doc.get("l1_hit_rate").and_then(Json::as_num),
             Some(s.l1_hit_rate())
         );
+    }
+
+    #[test]
+    fn strip_host_perf_removes_only_that_section() {
+        let core = Json::obj()
+            .with("schema", Json::str(MANIFEST_SCHEMA))
+            .with("cells", Json::Arr(vec![Json::obj()]));
+        let with_perf = core
+            .clone()
+            .with("hostPerf", Json::obj().with("wall_s", Json::Num(1.25)));
+        assert_eq!(strip_host_perf(&with_perf), core);
+        assert_eq!(strip_host_perf(&core), core);
+        // Non-objects pass through untouched.
+        assert_eq!(strip_host_perf(&Json::Null), Json::Null);
     }
 
     #[test]

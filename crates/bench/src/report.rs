@@ -37,6 +37,33 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Renders a GitHub-flavoured markdown table (first column
+/// left-aligned, the rest right-aligned — the numeric convention the
+/// `REPORT.md` collator uses throughout).
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in headers {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push_str("\n|");
+    for (i, _) in headers.iter().enumerate() {
+        out.push_str(if i == 0 { " :--- |" } else { " ---: |" });
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row.iter().take(headers.len()) {
+            out.push_str(&format!(" {cell} |"));
+        }
+        for _ in row.len()..headers.len() {
+            out.push_str("  |");
+        }
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,5 +73,21 @@ mod tests {
         assert_eq!(geomean(&[]), 0.0);
         assert!((geomean(&[4.0]) - 4.0).abs() < 1e-9);
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = markdown_table(
+            &["name", "cycles"],
+            &[
+                vec!["a".into(), "10".into()],
+                vec!["b".into()], // short row is padded
+            ],
+        );
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| name | cycles |");
+        assert_eq!(lines[1], "| :--- | ---: |");
+        assert_eq!(lines[2], "| a | 10 |");
+        assert_eq!(lines[3], "| b |  |");
     }
 }

@@ -6,8 +6,17 @@
 //! code stays a plain in-order loop and stdout is byte-identical for
 //! any `--jobs` value. All operator feedback — progress heartbeats and
 //! the wall-clock summary — goes to **stderr only** (the CI determinism
-//! diff compares stdout between serial and parallel runs).
+//! diff compares stdout between serial and parallel runs), and
+//! `--quiet` suppresses even that for scripted runs.
+//!
+//! Each sweep also self-reports to [`gvf_sim::hostperf`]: the pool's
+//! [`gvf_sim::PoolTelemetry`] (per-worker busy/queue-wait/idle time)
+//! and the cell count land in the manifest's `hostPerf` section, which
+//! the determinism diff strips (wall-clock numbers differ run to run by
+//! design — see `DESIGN.md` "Host performance & trajectory").
 
+use crate::cli::HarnessOpts;
+use gvf_sim::hostperf::{self, SweepTelemetry};
 use gvf_sim::SimPool;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -15,21 +24,27 @@ use std::time::Instant;
 /// Minimum milliseconds between progress heartbeats.
 const HEARTBEAT_MS: u64 = 1000;
 
-/// Runs `f` over `cells` on `jobs` threads (`0` = all cores), returning
-/// results in input order; `f` also receives the cell's grid index
-/// (feeding [`crate::cli::HarnessOpts::cfg_for_cell`]). Long sweeps get
-/// throttled `k/N cells, ETA` heartbeats on stderr; a final wall-clock
-/// line always prints to stderr so stdout stays a clean report.
-pub fn run_cells<I, T, F>(label: &str, jobs: usize, cells: &[I], f: F) -> Vec<T>
+/// Runs `f` over `cells` on `opts.jobs` threads (`0` = all cores),
+/// returning results in input order; `f` also receives the cell's grid
+/// index (feeding [`crate::cli::HarnessOpts::cfg_for_cell`]). Long
+/// sweeps get throttled `k/N cells, ETA` heartbeats on stderr; a final
+/// wall-clock line always prints to stderr so stdout stays a clean
+/// report. `--quiet` silences both. The sweep's pool telemetry is
+/// recorded for the manifest's `hostPerf` section.
+pub fn run_cells<I, T, F>(label: &str, opts: &HarnessOpts, cells: &[I], f: F) -> Vec<T>
 where
     I: Sync,
     T: Send,
     F: Fn(usize, &I) -> T + Sync,
 {
-    let pool = SimPool::new(jobs);
+    let pool = SimPool::new(opts.jobs);
+    let quiet = opts.quiet;
     let start = Instant::now();
     let last_beat = AtomicU64::new(0);
-    let out = pool.run_indexed(cells, f, |done, total| {
+    let (out, telemetry) = pool.run_timed(cells, f, |done, total| {
+        if quiet {
+            return;
+        }
         let elapsed_ms = start.elapsed().as_millis() as u64;
         let prev = last_beat.load(Ordering::Relaxed);
         // One thread wins the CAS per heartbeat window; the rest skip.
@@ -39,16 +54,54 @@ where
                 .compare_exchange(prev, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
         {
-            let eta = start.elapsed().as_secs_f64() / done as f64 * (total - done) as f64;
-            eprintln!("[{label}] {done}/{total} cells, ETA {eta:.0}s");
+            match eta_seconds(done, total, start.elapsed().as_secs_f64()) {
+                Some(eta) => eprintln!("[{label}] {done}/{total} cells, ETA {eta:.0}s"),
+                None => eprintln!("[{label}] {done}/{total} cells"),
+            }
         }
     });
-    eprintln!(
-        "[{label}] {} simulations in {:.2}s ({} job{})",
-        cells.len(),
-        start.elapsed().as_secs_f64(),
-        pool.jobs(),
-        if pool.jobs() == 1 { "" } else { "s" },
+    if !quiet {
+        eprintln!(
+            "[{label}] {} simulations in {:.2}s ({} job{})",
+            cells.len(),
+            start.elapsed().as_secs_f64(),
+            pool.jobs(),
+            if pool.jobs() == 1 { "" } else { "s" },
+        );
+    }
+    hostperf::record_sweep(
+        SweepTelemetry {
+            label: label.to_string(),
+            cells: cells.len() as u64,
+            pool: telemetry,
+        },
+        start.elapsed().as_nanos() as u64,
     );
     out
+}
+
+/// Remaining-time estimate, `None` when there is nothing to extrapolate
+/// from (zero completed cells or no measurable elapsed time — a
+/// division by zero in disguise).
+fn eta_seconds(done: usize, total: usize, elapsed_s: f64) -> Option<f64> {
+    if done == 0 || elapsed_s <= 0.0 {
+        return None;
+    }
+    Some(elapsed_s / done as f64 * total.saturating_sub(done) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_guards_degenerate_inputs() {
+        assert_eq!(eta_seconds(0, 10, 1.0), None);
+        assert_eq!(eta_seconds(5, 10, 0.0), None);
+        assert_eq!(eta_seconds(5, 10, -1.0), None);
+        let eta = eta_seconds(5, 10, 2.0).expect("well-defined");
+        assert!((eta - 2.0).abs() < 1e-9);
+        // Finished sweeps extrapolate to zero remaining.
+        assert_eq!(eta_seconds(10, 10, 3.0), Some(0.0));
+    }
 }

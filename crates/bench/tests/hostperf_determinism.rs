@@ -1,0 +1,146 @@
+//! The determinism contract versus the telemetry subsystem: host-perf
+//! sections and trajectory timestamps are wall-clock data, so neither
+//! may influence the serial-vs-parallel manifest comparison or the
+//! regression gate's arithmetic. These tests pin that exclusion down
+//! end-to-end, at the same layer `validate_json --det-diff` and
+//! `perf_gate` operate on.
+
+use gvf_bench::bench_history::{
+    gate, record, sample_from_manifest, GateConfig, History, RunConfig, Sample,
+};
+use gvf_bench::cli::HarnessOpts;
+use gvf_bench::hostperf::host_perf_json_from;
+use gvf_bench::json::Json;
+use gvf_bench::manifest::{manifest, strip_host_perf, CellRecord};
+use gvf_sim::{HostPerfSnapshot, PoolTelemetry, SweepTelemetry, WorkerTelemetry};
+use gvf_workloads::WorkloadConfig;
+
+fn opts() -> HarnessOpts {
+    HarnessOpts {
+        cfg: WorkloadConfig::tiny(),
+        jobs: 1,
+        smoke: true,
+        quiet: true,
+        json_out: None,
+        trace_out: None,
+        metrics_out: None,
+    }
+}
+
+fn cells() -> Vec<CellRecord> {
+    let mut stats = gvf_sim::Stats::new();
+    stats.cycles = 12_345;
+    stats.instrs_mem = 100;
+    stats.instrs_compute = 4_000;
+    stats.instrs_ctrl = 50;
+    vec![CellRecord::new("raytrace", "typegroup", &stats)]
+}
+
+/// A snapshot shaped like run `variant`: same work, different clocks —
+/// exactly what a serial and a parallel run of one grid look like.
+fn snapshot(variant: u64) -> HostPerfSnapshot {
+    HostPerfSnapshot {
+        wall_ns: 1_000_000_000 * (variant + 1),
+        setup_ns: 7_000_000 * (variant + 1),
+        report_ns: 3_000_000,
+        alloc_ns: 90_000_000 * (variant + 1),
+        simulate_ns: 800_000_000,
+        sweeps: vec![SweepTelemetry {
+            label: "fig6".into(),
+            cells: 1,
+            pool: PoolTelemetry {
+                wall_ns: 900_000_000 / (variant + 1),
+                jobs: variant as usize + 1,
+                workers: vec![WorkerTelemetry {
+                    busy_ns: 850_000_000,
+                    queue_wait_ns: 1_000 * variant,
+                    cells: 1,
+                }],
+            },
+        }],
+        peak_rss_bytes: Some((64 + variant) << 20),
+    }
+}
+
+/// Two runs of the same grid with wildly different host telemetry must
+/// compare identical through the determinism view — and, as a sanity
+/// check on the test itself, differ without the strip.
+#[test]
+fn host_perf_is_excluded_from_the_determinism_view() {
+    let opts = opts();
+    let cells = cells();
+    let core = manifest("fig6", &opts, &cells);
+    let serial = core
+        .clone()
+        .with("hostPerf", host_perf_json_from(&snapshot(0), 12_345));
+    let parallel = core
+        .clone()
+        .with("hostPerf", host_perf_json_from(&snapshot(3), 12_345));
+
+    assert_ne!(
+        serial.render(),
+        parallel.render(),
+        "test is vacuous: the two hostPerf sections did not differ"
+    );
+    assert_eq!(
+        strip_host_perf(&serial).render(),
+        strip_host_perf(&parallel).render(),
+        "determinism views must be byte-identical"
+    );
+    // The strip recovers exactly the deterministic core.
+    assert_eq!(strip_host_perf(&serial), core);
+}
+
+/// The round trip `perf_record` relies on: a manifest with an embedded
+/// hostPerf section yields the same throughput sample after render →
+/// parse, and the sample ignores everything the strip removes… except
+/// the hostPerf numbers themselves.
+#[test]
+fn samples_survive_the_manifest_round_trip() {
+    let doc = manifest("fig6", &opts(), &cells())
+        .with("hostPerf", host_perf_json_from(&snapshot(1), 12_345));
+    let parsed = Json::parse(&doc.render()).expect("manifest must parse");
+    let a = sample_from_manifest(&doc).expect("sample");
+    let b = sample_from_manifest(&parsed).expect("sample after round trip");
+    assert_eq!(a, b);
+    assert_eq!(a.bin, "fig6");
+    assert_eq!(a.sim_cycles, 12_345);
+    assert!(a.sim_cycles_per_sec > 0.0);
+    // The stripped view must NOT yield a sample: hostPerf is the
+    // sample's only wall-clock source.
+    assert!(sample_from_manifest(&strip_host_perf(&doc)).is_err());
+}
+
+/// Trajectory provenance (git rev, date) never reaches the gate: two
+/// histories recording identical measurements under different
+/// rev/date stamps produce identical verdicts for every probe.
+#[test]
+fn trajectory_timestamps_are_excluded_from_the_gate() {
+    let sample = |rate: f64| Sample {
+        bin: "fig6".into(),
+        config: RunConfig {
+            smoke: true,
+            scale: 1,
+            iterations: 2,
+        },
+        wall_s: 1.0,
+        cells: 4,
+        cells_per_sec: 4.0,
+        sim_cycles: 1_000,
+        sim_cycles_per_sec: rate,
+        total_instrs: 500,
+        mean_ipc: 0.5,
+    };
+    let mut then = History::default();
+    let mut now = History::default();
+    record(&mut then, &[sample(1000.0)], "0000001", "1999-12-31");
+    record(&mut now, &[sample(1000.0)], "fffffff", "2026-08-05");
+    let cfg = GateConfig::default();
+    for rate in [1000.0, 900.0, 100.0, 0.5] {
+        assert_eq!(
+            gate(&then, &sample(rate), &cfg),
+            gate(&now, &sample(rate), &cfg),
+            "verdict for rate {rate} depended on provenance"
+        );
+    }
+}

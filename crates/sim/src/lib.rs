@@ -46,6 +46,7 @@ mod cache;
 mod config;
 mod engine;
 mod exec;
+pub mod hostperf;
 mod instr;
 mod pool;
 pub mod probe;
@@ -58,6 +59,7 @@ pub use cache::{CacheProbe, SectoredCache};
 pub use config::GpuConfig;
 pub use engine::Gpu;
 pub use exec::{lanes_from_fn, lanes_none, run_kernel, Lanes, WarpCtx, WARP_SIZE};
+pub use hostperf::{HostPerfSnapshot, PoolTelemetry, SweepTelemetry, WorkerTelemetry};
 pub use instr::{AccessTag, InstrClass, MemOp, Op, Space};
 pub use pool::SimPool;
 pub use probe::{

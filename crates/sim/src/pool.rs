@@ -10,6 +10,16 @@
 //!
 //! Without the `parallel` crate feature (or with one job) the pool
 //! degenerates to a plain in-order loop on the calling thread.
+//!
+//! [`SimPool::run_timed`] additionally self-measures: per-worker busy
+//! and queue-wait time plus the pool's wall time come back as a
+//! [`PoolTelemetry`] for the host-performance manifest section. The
+//! measurement costs two clock reads per *cell* (each cell is a whole
+//! simulation), so it cannot perturb results — and telemetry is
+//! host-side only, excluded from the determinism contract.
+
+use crate::hostperf::{PoolTelemetry, WorkerTelemetry};
+use std::time::Instant;
 
 /// A fixed-size host thread pool for independent simulation jobs.
 ///
@@ -69,28 +79,61 @@ impl SimPool {
         F: Fn(usize, &I) -> T + Sync,
         D: Fn(usize, usize) + Sync,
     {
+        self.run_timed(inputs, f, on_done).0
+    }
+
+    /// [`run_indexed`](SimPool::run_indexed) plus self-measurement: the
+    /// returned [`PoolTelemetry`] carries the pool's wall time and each
+    /// worker's busy / queue-wait nanoseconds and cell count. Outputs
+    /// are unchanged and still bit-identical for any job count; only
+    /// the telemetry (which never reaches stdout or the determinism
+    /// diff) depends on scheduling.
+    pub fn run_timed<I, T, F, D>(&self, inputs: &[I], f: F, on_done: D) -> (Vec<T>, PoolTelemetry)
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+        D: Fn(usize, usize) + Sync,
+    {
+        let start = Instant::now();
         #[cfg(feature = "parallel")]
         {
             let jobs = self.jobs.min(inputs.len()).max(1);
             if jobs > 1 {
-                return run_parallel(inputs, &f, &on_done, jobs);
+                return run_parallel_timed(inputs, &f, &on_done, jobs, start);
             }
         }
         let total = inputs.len();
-        inputs
+        let mut worker = WorkerTelemetry::default();
+        let out = inputs
             .iter()
             .enumerate()
             .map(|(i, input)| {
+                let cell_start = Instant::now();
                 let out = f(i, input);
+                worker.busy_ns += cell_start.elapsed().as_nanos() as u64;
+                worker.cells += 1;
                 on_done(i + 1, total);
                 out
             })
-            .collect()
+            .collect();
+        let telemetry = PoolTelemetry {
+            wall_ns: start.elapsed().as_nanos() as u64,
+            jobs: 1,
+            workers: vec![worker],
+        };
+        (out, telemetry)
     }
 }
 
 #[cfg(feature = "parallel")]
-fn run_parallel<I, T, F, D>(inputs: &[I], f: &F, on_done: &D, jobs: usize) -> Vec<T>
+fn run_parallel_timed<I, T, F, D>(
+    inputs: &[I],
+    f: &F,
+    on_done: &D,
+    jobs: usize,
+    start: Instant,
+) -> (Vec<T>, PoolTelemetry)
 where
     I: Sync,
     T: Send,
@@ -107,22 +150,47 @@ where
     let finished = AtomicUsize::new(0);
     let total = inputs.len();
     let slots: Vec<Mutex<Option<T>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+    let worker_slots: Vec<Mutex<WorkerTelemetry>> = (0..jobs)
+        .map(|_| Mutex::new(WorkerTelemetry::default()))
+        .collect();
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(input) = inputs.get(i) else { return };
-                let out = f(i, input);
-                *slots[i].lock().expect("slot mutex") = Some(out);
-                let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
-                on_done(done, total);
+        for worker_slot in &worker_slots {
+            let cursor = &cursor;
+            let finished = &finished;
+            let slots = &slots;
+            scope.spawn(move || {
+                let mut telemetry = WorkerTelemetry::default();
+                loop {
+                    let fetch_start = Instant::now();
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let grabbed = inputs.get(i);
+                    telemetry.queue_wait_ns += fetch_start.elapsed().as_nanos() as u64;
+                    let Some(input) = grabbed else { break };
+                    let cell_start = Instant::now();
+                    let out = f(i, input);
+                    telemetry.busy_ns += cell_start.elapsed().as_nanos() as u64;
+                    telemetry.cells += 1;
+                    *slots[i].lock().expect("slot mutex") = Some(out);
+                    let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
+                    on_done(done, total);
+                }
+                *worker_slot.lock().expect("worker telemetry mutex") = telemetry;
             });
         }
     });
-    slots
+    let out = slots
         .into_iter()
         .map(|s| s.into_inner().expect("slot mutex").expect("every job ran"))
-        .collect()
+        .collect();
+    let telemetry = PoolTelemetry {
+        wall_ns: start.elapsed().as_nanos() as u64,
+        jobs,
+        workers: worker_slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("worker telemetry mutex"))
+            .collect(),
+    };
+    (out, telemetry)
 }
 
 #[cfg(test)]
@@ -161,6 +229,27 @@ mod tests {
     fn more_jobs_than_inputs() {
         let out = SimPool::new(64).run(&[1, 2], |&n: &i32| n + 1);
         assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn run_timed_accounts_every_cell_to_a_worker() {
+        for jobs in [1, 4] {
+            let inputs: Vec<u64> = (0..41).collect();
+            let (out, telemetry) = SimPool::new(jobs).run_timed(
+                &inputs,
+                |_, &n| {
+                    // Do a little real work so busy time is non-zero.
+                    (0..200u64).fold(n, |a, b| a.wrapping_mul(31).wrapping_add(b))
+                },
+                |_, _| {},
+            );
+            assert_eq!(out.len(), 41);
+            assert_eq!(telemetry.workers.len(), telemetry.jobs);
+            let cells: u64 = telemetry.workers.iter().map(|w| w.cells).sum();
+            assert_eq!(cells, 41, "every cell attributed to exactly one worker");
+            let busy: u64 = telemetry.workers.iter().map(|w| w.busy_ns).sum();
+            assert!(busy > 0);
+        }
     }
 
     #[test]

@@ -4,7 +4,9 @@ use crate::config::WorkloadConfig;
 use gvf_alloc::{AllocatorKind, CudaHeapAllocator, DeviceAllocator, SharedOa};
 use gvf_core::{DeviceProgram, Strategy, TypeId, TypeRegistry};
 use gvf_mem::{DeviceMemory, VirtAddr};
+use gvf_sim::hostperf::{self, Phase};
 use gvf_sim::{recording_probe, Gpu, KernelTrace, ObsReport, ProbeSpec, Stats, WarpCtx};
+use std::time::Instant;
 
 /// Everything a workload needs to build objects and run kernels.
 #[derive(Debug)]
@@ -20,6 +22,12 @@ pub struct Rig {
     objects_built: u64,
     probe_spec: ProbeSpec,
     obs: ObsReport,
+    // Host-phase attribution (wall time of this rig, split between the
+    // alloc/build phase and kernel execution). Two clock reads per
+    // kernel launch, never per object — see gvf_sim::hostperf.
+    last_mark: Instant,
+    alloc_ns: u64,
+    simulate_ns: u64,
 }
 
 impl Rig {
@@ -54,6 +62,9 @@ impl Rig {
             objects_built: 0,
             probe_spec: cfg.probe,
             obs: ObsReport::default(),
+            last_mark: Instant::now(),
+            alloc_ns: 0,
+            simulate_ns: 0,
         }
     }
 
@@ -87,6 +98,14 @@ impl Rig {
         n_threads: usize,
         mut body: impl FnMut(&DeviceProgram, &mut WarpCtx<'_>),
     ) -> KernelTrace {
+        // Everything since the last kernel (object construction, range
+        // finalization, host frame prep) belongs to the alloc phase;
+        // the kernel call itself — functional execution plus timing
+        // replay — is the simulate phase.
+        let kernel_start = Instant::now();
+        self.alloc_ns += kernel_start
+            .saturating_duration_since(self.last_mark)
+            .as_nanos() as u64;
         self.prog.begin_kernel(&mut self.mem);
         let prog = &self.prog;
         let trace = gvf_sim::run_kernel(&mut self.mem, n_threads, |w| body(prog, w));
@@ -104,7 +123,18 @@ impl Rig {
             s
         };
         self.stats += &s;
+        let kernel_end = Instant::now();
+        self.simulate_ns += kernel_end
+            .saturating_duration_since(kernel_start)
+            .as_nanos() as u64;
+        self.last_mark = kernel_end;
         trace
+    }
+
+    /// Host nanoseconds this rig has attributed so far as
+    /// `(alloc, simulate)` — flushed to [`gvf_sim::hostperf`] on drop.
+    pub fn host_phase_ns(&self) -> (u64, u64) {
+        (self.alloc_ns, self.simulate_ns)
     }
 
     /// Accumulated statistics over every kernel run so far.
@@ -132,6 +162,18 @@ impl Rig {
     /// objects × the allocator's per-object init cycles.
     pub fn init_cycles_model(&self) -> u64 {
         self.objects_built * self.alloc.kind().init_cycles_per_object()
+    }
+}
+
+impl Drop for Rig {
+    fn drop(&mut self) {
+        // Trailing host work after the last kernel (checksum readback,
+        // metric extraction) counts as alloc/build time — this also
+        // covers rigs that never launch a kernel, like the §8.2
+        // allocation-only comparison.
+        self.alloc_ns += self.last_mark.elapsed().as_nanos() as u64;
+        hostperf::add_phase_ns(Phase::Alloc, self.alloc_ns);
+        hostperf::add_phase_ns(Phase::Simulate, self.simulate_ns);
     }
 }
 

@@ -2,37 +2,61 @@
 # Regenerate every paper figure/table plus the test and bench suites,
 # collecting a machine-readable artifact tree under results/.
 #
-#   ./run_all.sh [--jobs N]
+#   ./run_all.sh [--jobs N] [--out DIR] [--keep-going]
 #
 # --jobs N is passed through to every harness binary: N concurrent
 # simulations, 0 = all cores, default = all cores. Results are
 # bit-identical for any value (the engine's determinism contract); only
 # wall-clock changes.
+# --out DIR redirects the artifact tree (default: results/).
+# --keep-going runs every step even after a failure and prints a
+# failure summary at the end (exit stays non-zero) — useful for seeing
+# the full damage of a broken change in one pass.
 #
-# Artifacts: results/<bin>.json is each binary's gvf.run-manifest; fig6
-# additionally records results/fig6.trace.json (Chrome trace-event /
-# Perfetto timeline) and results/fig6.metrics.json (per-epoch metrics).
-# Every artifact is re-parsed by the in-repo validator before the run
-# counts as green.
+# Artifacts: $OUT/<bin>.json is each binary's gvf.run-manifest (with an
+# embedded gvf.hostperf section); fig6 additionally records
+# $OUT/fig6.trace.json (Chrome trace-event / Perfetto timeline) and
+# $OUT/fig6.metrics.json (per-epoch metrics). Every artifact is
+# re-parsed by the in-repo validator before the run counts as green.
+# After the sweep, perf_record folds each manifest's throughput into
+# the BENCH_gvf.json trajectory, perf_gate judges the run against that
+# baseline, and the report binary collates everything into
+# $OUT/REPORT.md.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS=0
+OUT=results
+KEEP_GOING=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --jobs)
       [ $# -ge 2 ] || { echo "error: --jobs needs a value" >&2; exit 2; }
       JOBS="$2"; shift 2 ;;
+    --out)
+      [ $# -ge 2 ] || { echo "error: --out needs a value" >&2; exit 2; }
+      OUT="$2"; shift 2 ;;
+    --keep-going)
+      KEEP_GOING=1; shift ;;
     *)
-      echo "error: unknown argument '$1' (usage: $0 [--jobs N])" >&2; exit 2 ;;
+      echo "error: unknown argument '$1' (usage: $0 [--jobs N] [--out DIR] [--keep-going])" >&2; exit 2 ;;
   esac
 done
+
+# The benchmark block below runs inside a pipe subshell (tee), so
+# failures are collected in a file rather than a shell variable.
+FAILURES_FILE="$(mktemp)"
+trap 'rm -f "$FAILURES_FILE"' EXIT
 
 fail() {
   echo >&2
   echo "run_all.sh: FAILED at step '$1' — see output above." >&2
   echo "Re-run just that step with: $2" >&2
-  exit 1
+  if [ "$KEEP_GOING" = 1 ]; then
+    echo "$1" >> "$FAILURES_FILE"
+  else
+    exit 1
+  fi
 }
 
 run_step() {
@@ -41,7 +65,7 @@ run_step() {
   "$@" || fail "$name" "$*"
 }
 
-mkdir -p results
+mkdir -p "$OUT"
 
 run_step "cargo test" cargo test --workspace 2>&1 | tee test_output.txt
 
@@ -52,16 +76,39 @@ run_step "cargo test" cargo test --workspace 2>&1 | tee test_output.txt
   echo "  PAPER FIGURE / TABLE HARNESS (cargo run -p gvf-bench --bin <x>)"
   echo "================================================================"
   # Every binary sweeps its grid on --jobs threads and drops its run
-  # manifest into results/; fig6 also records the observability
+  # manifest into $OUT/; fig6 also records the observability
   # artifacts from its first grid cell.
   for b in fig1b table1 table2 fig6 fig7 fig8 fig9 fig11 fig12 alloc_init fig10 ablation_lookup generations counters; do
     extra=()
     if [ "$b" = fig6 ]; then
-      extra=(--trace-out results/fig6.trace.json --metrics-out results/fig6.metrics.json)
+      extra=(--trace-out "$OUT/fig6.trace.json" --metrics-out "$OUT/fig6.metrics.json")
     fi
     run_step "$b" cargo run --release -p gvf-bench --bin "$b" -- \
-      --jobs "$JOBS" --json-out "results/$b.json" "${extra[@]}"
+      --jobs "$JOBS" --json-out "$OUT/$b.json" "${extra[@]}"
   done
-  run_step "validate artifacts" cargo run --release -p gvf-bench --bin validate_json -- results/*.json
+  run_step "validate artifacts" cargo run --release -p gvf-bench --bin validate_json -- "$OUT"/*.json
+
+  # Fold this run's host throughput into the benchmark trajectory,
+  # then judge it against the recorded baseline. Recording first means
+  # a fresh checkout always has a same-machine baseline to stand on.
+  manifests=()
+  for b in fig1b table1 table2 fig6 fig7 fig8 fig9 fig11 fig12 alloc_init fig10 ablation_lookup generations counters; do
+    [ -f "$OUT/$b.json" ] && manifests+=("$OUT/$b.json")
+  done
+  if [ "${#manifests[@]}" -gt 0 ]; then
+    run_step "perf_record" cargo run --release -p gvf-bench --bin perf_record -- "${manifests[@]}"
+    run_step "perf_gate" cargo run --release -p gvf-bench --bin perf_gate -- "${manifests[@]}"
+    run_step "validate trajectory" cargo run --release -p gvf-bench --bin validate_json -- BENCH_gvf.json
+  fi
+
+  # Collate everything into the human-readable reproduction report.
+  run_step "report" cargo run --release -p gvf-bench --bin report -- --results "$OUT"
 } 2>&1 | tee bench_output.txt
+
+if [ -s "$FAILURES_FILE" ]; then
+  echo
+  echo "run_all.sh: $(wc -l < "$FAILURES_FILE") step(s) FAILED:"
+  sed 's/^/  - /' "$FAILURES_FILE"
+  exit 1
+fi
 echo ALL_DONE
