@@ -42,6 +42,13 @@
 //! - **Timestamps are provenance, not identity.** `rev` and `date`
 //!   describe an entry; they take no part in baseline matching or the
 //!   gate's arithmetic, and the determinism suite pins that down.
+//! - **Gate before record.** A sample must be judged against a
+//!   baseline that does not contain it: folding the gated run in
+//!   first turns a one-entry baseline `[b]` into `[b, x]`, whose
+//!   median and MAD shift exactly fast enough that no slowdown can
+//!   ever fail — and unconditional appending lets a persistent
+//!   regression become the new normal. `run_all.sh` therefore runs
+//!   `perf_gate` first and `perf_record` only on a pass.
 //!
 //! The gate judges **simulated-cycles-per-second**, not wall seconds:
 //! it is invariant to how many cells a figure sweeps and degrades
@@ -245,8 +252,14 @@ impl History {
     }
 
     /// Writes the trajectory back (pretty-rendered, diff-friendly).
+    /// Atomic: the document lands in a temp file in the same directory
+    /// and is renamed over the target, so an interrupted write can
+    /// never leave a truncated file behind — `load` treats anything
+    /// unparsable (other than a missing file) as a hard error.
     pub fn save(&self, path: &str) -> io::Result<()> {
-        std::fs::write(path, self.to_json().render())
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, self.to_json().render())?;
+        std::fs::rename(&tmp, path)
     }
 
     /// The baseline for a sample: every recorded entry of the same bin
@@ -284,17 +297,24 @@ pub fn sample_from_manifest(doc: &Json) -> Result<Sample, String> {
         .ok_or("manifest: \"cells\" is not an array")?;
     let mut total_instrs = 0u64;
     let mut ipc_sum = 0.0;
+    let mut ipc_cells = 0u64;
     for cell in cells_records {
         if let Some(stats) = cell.get("stats") {
             for key in ["instrs_mem", "instrs_compute", "instrs_ctrl"] {
                 total_instrs += num_u64(stats, key, "cell stats")?;
             }
         }
-        if let Some(ipc) = cell.get("derived").and_then(|d| d.get("ipc")) {
-            ipc_sum += ipc.as_num().unwrap_or(0.0);
+        // Average only over cells that actually report an IPC; a cell
+        // without one must not drag the mean toward zero.
+        if let Some(ipc) = cell
+            .get("derived")
+            .and_then(|d| d.get("ipc"))
+            .and_then(Json::as_num)
+        {
+            ipc_sum += ipc;
+            ipc_cells += 1;
         }
     }
-    let n_cells = cells_records.len().max(1) as f64;
     Ok(Sample {
         bin,
         config,
@@ -304,7 +324,11 @@ pub fn sample_from_manifest(doc: &Json) -> Result<Sample, String> {
         sim_cycles: num_u64(throughput, "sim_cycles", "throughput")?,
         sim_cycles_per_sec: num(throughput, "sim_cycles_per_sec", "throughput")?,
         total_instrs,
-        mean_ipc: ipc_sum / n_cells,
+        mean_ipc: if ipc_cells > 0 {
+            ipc_sum / ipc_cells as f64
+        } else {
+            0.0
+        },
     })
 }
 
@@ -644,6 +668,41 @@ mod tests {
             gate(&h, &sample("fig6", 100.0), &cfg),
             GateVerdict::Fail { .. }
         ));
+    }
+
+    #[test]
+    fn gate_must_run_before_record_to_catch_regressions() {
+        // The pipeline contract run_all.sh relies on: judged against a
+        // pristine baseline, a 10× slowdown fails…
+        let cfg = GateConfig::default();
+        let mut h = History::default();
+        record(&mut h, &[sample("fig6", 1000.0)], "base", "2026-08-01");
+        let slow = sample("fig6", 100.0);
+        assert!(matches!(gate(&h, &slow, &cfg), GateVerdict::Fail { .. }));
+        // …but once the regressed run is folded into its own baseline
+        // the group [1000, 100] has median 550 and MAD 450, the
+        // noise-widened tolerance exceeds 100%, and the identical
+        // slowdown sails through. This is why recording happens only
+        // after a pass — pin the failure mode so nobody "simplifies"
+        // the ordering back.
+        record(&mut h, std::slice::from_ref(&slow), "regr", "2026-08-02");
+        assert!(matches!(gate(&h, &slow, &cfg), GateVerdict::Pass { .. }));
+    }
+
+    #[test]
+    fn save_is_atomic_and_round_trips() {
+        let path = std::env::temp_dir().join(format!(
+            "gvf_bench_trajectory_test_{}.json",
+            std::process::id()
+        ));
+        let path = path.to_str().expect("utf-8 temp path").to_string();
+        let mut h = History::default();
+        h.entries.push(entry("fig6", 42.5, "abc1234", "2026-08-05"));
+        h.save(&path).expect("save");
+        // The temp file must not survive a successful save.
+        assert!(!std::path::Path::new(&format!("{path}.tmp")).exists());
+        assert_eq!(History::load(&path).expect("load"), h);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

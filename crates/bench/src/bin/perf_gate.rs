@@ -15,9 +15,11 @@
 //!
 //! Exit codes: `0` all judged samples passed (skips allowed), `1` at
 //! least one regression, `2` usage error. Verdicts go to stderr; CI
-//! runs this as an advisory job (single-machine wall clocks are noisy)
-//! while `run_all.sh` records before gating, so a local reproduction
-//! always has a same-machine baseline to stand on.
+//! runs this as an advisory job (single-machine wall clocks are noisy).
+//! `run_all.sh` gates **before** recording and only records runs that
+//! pass — the judged sample must never sit inside its own baseline,
+//! or the comparison degenerates into "slower than the midpoint of
+//! (baseline, me)?", which no regression can ever fail.
 
 use gvf_bench::bench_history::{
     gate, sample_from_manifest, GateConfig, GateVerdict, History, DEFAULT_HISTORY_PATH,

@@ -18,10 +18,11 @@
 # $OUT/fig6.trace.json (Chrome trace-event / Perfetto timeline) and
 # $OUT/fig6.metrics.json (per-epoch metrics). Every artifact is
 # re-parsed by the in-repo validator before the run counts as green.
-# After the sweep, perf_record folds each manifest's throughput into
-# the BENCH_gvf.json trajectory, perf_gate judges the run against that
-# baseline, and the report binary collates everything into
-# $OUT/REPORT.md.
+# After the sweep, perf_gate judges the run against the recorded
+# BENCH_gvf.json baseline; only a run that passes the gate is folded
+# into the trajectory by perf_record (so a regressed run can never
+# become part of its own — or any future — baseline). The report
+# binary then collates everything into $OUT/REPORT.md.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -88,17 +89,29 @@ run_step "cargo test" cargo test --workspace 2>&1 | tee test_output.txt
   done
   run_step "validate artifacts" cargo run --release -p gvf-bench --bin validate_json -- "$OUT"/*.json
 
-  # Fold this run's host throughput into the benchmark trajectory,
-  # then judge it against the recorded baseline. Recording first means
-  # a fresh checkout always has a same-machine baseline to stand on.
+  # Judge this run against the recorded baseline FIRST, and fold it
+  # into the trajectory only once it passes. Recording first would put
+  # the gated sample inside its own baseline (with one prior entry per
+  # bin the median becomes the midpoint and the gate mathematically
+  # cannot fail), and appending unconditionally would let a persistent
+  # regression rewrite the baseline into the new normal. A fresh
+  # checkout still bootstraps cleanly: with no matching baseline the
+  # gate skips (never fails) and the first recording stands it up.
   manifests=()
   for b in fig1b table1 table2 fig6 fig7 fig8 fig9 fig11 fig12 alloc_init fig10 ablation_lookup generations counters; do
     [ -f "$OUT/$b.json" ] && manifests+=("$OUT/$b.json")
   done
   if [ "${#manifests[@]}" -gt 0 ]; then
-    run_step "perf_record" cargo run --release -p gvf-bench --bin perf_record -- "${manifests[@]}"
     run_step "perf_gate" cargo run --release -p gvf-bench --bin perf_gate -- "${manifests[@]}"
-    run_step "validate trajectory" cargo run --release -p gvf-bench --bin validate_json -- BENCH_gvf.json
+    # Under --keep-going a gate failure lands in FAILURES_FILE instead
+    # of exiting; either way, a run that failed the gate is not
+    # recorded.
+    if grep -qx "perf_gate" "$FAILURES_FILE" 2>/dev/null; then
+      echo "run_all.sh: perf_gate failed — not folding this run into BENCH_gvf.json" >&2
+    else
+      run_step "perf_record" cargo run --release -p gvf-bench --bin perf_record -- "${manifests[@]}"
+      run_step "validate trajectory" cargo run --release -p gvf-bench --bin validate_json -- BENCH_gvf.json
+    fi
   fi
 
   # Collate everything into the human-readable reproduction report.
