@@ -24,5 +24,5 @@ mod sharedoa;
 mod traits;
 
 pub use cuda::CudaHeapAllocator;
-pub use sharedoa::SharedOa;
+pub use sharedoa::{SharedOa, TypeRegionStats};
 pub use traits::{AllocStats, AllocatorKind, DeviceAllocator, TypeKey, TypeRange};

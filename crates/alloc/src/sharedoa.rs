@@ -4,6 +4,29 @@ use crate::traits::{AllocStats, AllocatorKind, DeviceAllocator, TypeKey, TypeRan
 use gvf_mem::{DeviceMemory, VirtAddr};
 use std::collections::HashMap;
 
+/// Read-only snapshot of one type's region accounting, as reported by
+/// [`SharedOa::region_stats`] — the allocator-side evidence of the
+/// attribution profiler (region growth, merging effectiveness, per-type
+/// range-table size).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TypeRegionStats {
+    /// The type these regions hold.
+    pub ty: TypeKey,
+    /// Object size in bytes.
+    pub obj_size: u64,
+    /// Range-table entries for this type *after* merging.
+    pub regions: u64,
+    /// Total capacity across the type's regions, in objects.
+    pub capacity_objs: u64,
+    /// Objects actually allocated.
+    pub used_objs: u64,
+    /// Capacity of the largest single region, in objects (merging
+    /// success concentrates capacity here).
+    pub largest_region_objs: u64,
+    /// Capacity the *next* chunk would get (the doubling cursor).
+    pub next_region_objs: u64,
+}
+
 #[derive(Clone, Debug)]
 struct Region {
     base: VirtAddr,
@@ -102,6 +125,33 @@ impl SharedOa {
     /// How many times adjacent same-type regions were merged.
     pub fn merges(&self) -> u64 {
         self.merges
+    }
+
+    /// Per-type region accounting, sorted by type key — a read-only
+    /// snapshot for attribution artifacts. Complements
+    /// [`merges`](Self::merges): `capacity_objs` counts chunks that were
+    /// merged away, `regions` counts the table entries that remain.
+    pub fn region_stats(&self) -> Vec<TypeRegionStats> {
+        let mut out: Vec<TypeRegionStats> = self
+            .types
+            .iter()
+            .map(|(&ty, st)| TypeRegionStats {
+                ty,
+                obj_size: st.obj_size,
+                regions: st.regions.len() as u64,
+                capacity_objs: st.regions.iter().map(|r| r.capacity_objs).sum(),
+                used_objs: st.regions.iter().map(|r| r.used_objs).sum(),
+                largest_region_objs: st
+                    .regions
+                    .iter()
+                    .map(|r| r.capacity_objs)
+                    .max()
+                    .unwrap_or(0),
+                next_region_objs: st.next_region_objs,
+            })
+            .collect();
+        out.sort_by_key(|s| s.ty);
+        out
     }
 
     /// Looks up which type owns `addr`, if any (host-side use; the
@@ -219,6 +269,10 @@ impl DeviceAllocator for SharedOa {
 
     fn kind(&self) -> AllocatorKind {
         AllocatorKind::SharedOa
+    }
+
+    fn shared_oa(&self) -> Option<&SharedOa> {
+        Some(self)
     }
 }
 
@@ -352,5 +406,74 @@ mod tests {
     fn alloc_unregistered_panics() {
         let mut m = mem();
         SharedOa::new().alloc(&mut m, TypeKey(3));
+    }
+
+    #[test]
+    fn region_stats_track_merge_accounting_across_growth() {
+        let mut m = mem();
+        let mut soa = SharedOa::with_initial_chunk(4);
+        soa.register_type(TypeKey(0), 16);
+        let st0 = soa.region_stats()[0];
+        assert_eq!((st0.regions, st0.capacity_objs), (0, 0), "no chunk yet");
+        assert_eq!(st0.next_region_objs, 4, "first grab is the initial chunk");
+        // 28 objects force three chunk grabs (4 + 8 + 16); arenas keep
+        // them adjacent, so grabs 2 and 3 each merge into the first.
+        for i in 1..=28u64 {
+            soa.alloc(&mut m, TypeKey(0));
+            let st = &soa.region_stats()[0];
+            assert_eq!(st.used_objs, i, "every alloc is accounted");
+            // Capacity after k chunk grabs is 4(2^k - 1); every grab
+            // beyond the first merged, so merges = k - 1.
+            let chunks = (st.capacity_objs / 4 + 1).trailing_zeros() as u64;
+            assert_eq!(
+                soa.merges(),
+                chunks - 1,
+                "every grab after the first merges"
+            );
+        }
+        let st = soa.region_stats()[0];
+        assert_eq!(st.ty, TypeKey(0));
+        assert_eq!(st.obj_size, 16);
+        assert_eq!(st.regions, 1, "merging keeps one table entry");
+        assert_eq!(st.capacity_objs, 4 + 8 + 16);
+        assert_eq!(st.used_objs, 28);
+        assert_eq!(st.largest_region_objs, 28, "merges concentrate capacity");
+        assert_eq!(st.next_region_objs, 32, "doubling cursor past 16");
+        assert_eq!(soa.merges(), 2);
+        assert_eq!(soa.stats().regions, st.regions, "views agree");
+    }
+
+    #[test]
+    fn region_stats_sorted_by_type() {
+        let mut m = mem();
+        let mut soa = SharedOa::with_initial_chunk(4);
+        for t in [3u32, 0, 7] {
+            soa.register_type(TypeKey(t), 32);
+            soa.alloc(&mut m, TypeKey(t));
+        }
+        let tys: Vec<_> = soa.region_stats().iter().map(|s| s.ty).collect();
+        assert_eq!(tys, vec![TypeKey(0), TypeKey(3), TypeKey(7)]);
+    }
+
+    #[test]
+    fn type_of_unmapped_address_stays_none() {
+        let mut m = mem();
+        let mut soa = SharedOa::with_initial_chunk(4);
+        soa.register_type(TypeKey(0), 64);
+        let mut last = soa.alloc(&mut m, TypeKey(0));
+        for _ in 0..2 {
+            last = soa.alloc(&mut m, TypeKey(0));
+        }
+        assert_eq!(soa.type_of(last), Some(TypeKey(0)));
+        // One past the last live object: inside the region's reserved
+        // capacity but never allocated ("freed"/unmapped slot) — must
+        // not be attributed to the type.
+        assert_eq!(soa.type_of(last.offset(64)), None);
+        // Far past the region, inside the type's VA arena.
+        assert_eq!(soa.type_of(last.offset(64 * 100)), None);
+        // Just below the region's base.
+        let first = soa.region_stats()[0];
+        assert_eq!(first.used_objs, 3);
+        assert_eq!(soa.type_of(VirtAddr::new(last.canonical() - 3 * 64)), None);
     }
 }

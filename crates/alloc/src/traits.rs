@@ -137,6 +137,15 @@ pub trait DeviceAllocator: fmt::Debug {
 
     /// Which allocator this is.
     fn kind(&self) -> AllocatorKind;
+
+    /// The SharedOA introspection surface, when this allocator is one.
+    /// Defaults to `None` (the CUDA baseline keeps no per-type state
+    /// worth attributing). Lets harness code reach
+    /// [`SharedOa::region_stats`](crate::SharedOa::region_stats)
+    /// through a `Box<dyn DeviceAllocator>` without downcasting.
+    fn shared_oa(&self) -> Option<&crate::SharedOa> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -51,7 +51,6 @@ fn main() {
         };
         run_workload(k, s, &cfg)
     });
-    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut records = Vec::new();
     let mut rows = Vec::new();
@@ -73,14 +72,12 @@ fn main() {
             format!("{}", tree.stats.total_instrs()),
             format!("{}", lin.stats.total_instrs()),
         ]);
-        records.push(CellRecord::new(kind.label(), "sharedoa", &base.stats));
+        records.push(CellRecord::of(kind.label(), "sharedoa", base));
         records.push(
-            CellRecord::new(kind.label(), "coal-tree", &tree.stats)
-                .with("norm_vs_sharedoa", Json::Num(t)),
+            CellRecord::of(kind.label(), "coal-tree", tree).with("norm_vs_sharedoa", Json::Num(t)),
         );
         records.push(
-            CellRecord::new(kind.label(), "coal-linear", &lin.stats)
-                .with("norm_vs_sharedoa", Json::Num(l)),
+            CellRecord::of(kind.label(), "coal-linear", lin).with("norm_vs_sharedoa", Json::Num(l)),
         );
     }
     rows.push(vec![
@@ -122,7 +119,7 @@ fn main() {
         format!("{}", full.stats.global_load_transactions),
     ]];
     records.push(
-        CellRecord::new(WorkloadKind::VeBfs.label(), "typepointer-hw", &full.stats)
+        CellRecord::of(WorkloadKind::VeBfs.label(), "typepointer-hw", full)
             .with("tag_budget", Json::Null),
     );
     for (&(budget, tagged), r) in budgets.iter().zip(&sweep).skip(1) {
@@ -134,12 +131,12 @@ fn main() {
             format!("{}", r.stats.global_load_transactions),
         ]);
         records.push(
-            CellRecord::new(WorkloadKind::VeBfs.label(), "typepointer-hw", &r.stats)
+            CellRecord::of(WorkloadKind::VeBfs.label(), "typepointer-hw", r)
                 .with("tag_budget", Json::num_u64(budget)),
         );
     }
     print_table(&["tag budget", "norm perf", "ld transactions"], &rows);
     println!("(fewer tagged types ⇒ more classic vTable loads ⇒ more transactions)");
 
-    manifest::emit(&opts, "ablation_lookup", &records, obs.as_ref());
+    manifest::emit_grid(&opts, "ablation_lookup", &records, &mut results);
 }

@@ -25,7 +25,6 @@ fn main() {
     let mut results = run_cells("alloc_init", &opts, &cells, |i, &(k, s)| {
         run_workload(k, s, &opts.cfg_for_cell(i))
     });
-    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -46,7 +45,7 @@ fn main() {
         ]);
         for (s, r) in [(Strategy::Cuda, cuda), (Strategy::SharedOa, soa)] {
             records.push(
-                CellRecord::new(kind.label(), s.label(), &r.stats)
+                CellRecord::of(kind.label(), s.label(), r)
                     .with("init_cycles", Json::num_u64(r.init_cycles))
                     .with(
                         "external_fragmentation",
@@ -80,5 +79,5 @@ fn main() {
         &rows,
     );
 
-    manifest::emit(&opts, "alloc_init", &records, obs.as_ref());
+    manifest::emit_grid(&opts, "alloc_init", &records, &mut results);
 }

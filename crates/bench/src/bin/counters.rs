@@ -21,7 +21,6 @@ fn main() {
     let mut results = run_cells("counters", &opts, &cells, |i, &(k, s)| {
         run_workload(k, s, &opts.cfg_for_cell(i))
     });
-    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let stride = Strategy::EVALUATED.len();
     let mut records = Vec::new();
@@ -44,9 +43,9 @@ fn main() {
                 r.stats.stall(AccessTag::VfuncPtr),
                 r.stats.stall(AccessTag::RangeWalk),
             );
-            records.push(CellRecord::new(kind.label(), s.label(), &r.stats));
+            records.push(CellRecord::of(kind.label(), s.label(), r));
         }
     }
 
-    manifest::emit(&opts, "counters", &records, obs.as_ref());
+    manifest::emit_grid(&opts, "counters", &records, &mut results);
 }

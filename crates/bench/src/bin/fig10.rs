@@ -38,7 +38,6 @@ fn main() {
         cfg.initial_chunk_objs = chunk;
         run_workload(k, s, &cfg)
     });
-    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let stride = 1 + chunk_sizes.len();
     let mut records = Vec::new();
@@ -48,7 +47,7 @@ fn main() {
     for (ki, kind) in WorkloadKind::EVALUATED.into_iter().enumerate() {
         let cuda = &results[ki * stride];
         records.push(
-            CellRecord::new(kind.label(), Strategy::Cuda.label(), &cuda.stats)
+            CellRecord::of(kind.label(), Strategy::Cuda.label(), cuda)
                 .with("chunk_objs", Json::num_u64(opts.cfg.initial_chunk_objs)),
         );
         let mut prow = vec![kind.label().to_string()];
@@ -60,7 +59,7 @@ fn main() {
             frag_sums[ci] += frag;
             frow.push(format!("{:.0}%", frag * 100.0));
             records.push(
-                CellRecord::new(kind.label(), Strategy::Coal.label(), &r.stats)
+                CellRecord::of(kind.label(), Strategy::Coal.label(), r)
                     .with("chunk_objs", Json::num_u64(chunk_sizes[ci]))
                     .with("external_fragmentation", Json::Num(frag)),
             );
@@ -88,5 +87,5 @@ fn main() {
     println!("paper AVG: 17% (small chunks) -> 27% (4M-object chunks)\n");
     print_table(&headers_ref, &frag_rows);
 
-    manifest::emit(&opts, "fig10", &records, obs.as_ref());
+    manifest::emit_grid(&opts, "fig10", &records, &mut results);
 }

@@ -30,7 +30,6 @@ fn main() {
         }
         run_workload(k, s, &cfg)
     });
-    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -46,13 +45,9 @@ fn main() {
             "1.00".to_string(),
             format!("{norm:.2}"),
         ]);
-        records.push(CellRecord::new(
-            kind.label(),
-            Strategy::Cuda.label(),
-            &cuda.stats,
-        ));
+        records.push(CellRecord::of(kind.label(), Strategy::Cuda.label(), cuda));
         records.push(
-            CellRecord::new(kind.label(), Strategy::TypePointerHw.label(), &tp.stats)
+            CellRecord::of(kind.label(), Strategy::TypePointerHw.label(), tp)
                 .with("norm_vs_cuda", Json::Num(norm)),
         );
     }
@@ -66,5 +61,5 @@ fn main() {
     println!("paper GM: 1.18\n");
     print_table(&["Workload", "CUDA", "TypePointer on CUDA"], &rows);
 
-    manifest::emit(&opts, "fig11", &records, obs.as_ref());
+    manifest::emit_grid(&opts, "fig11", &records, &mut results);
 }

@@ -50,13 +50,12 @@ fn main() {
     let mut results = run_cells("fig12", &opts, &cells, |i, &(p, s)| {
         micro::run(s, p, &opts.cfg_for_cell(i))
     });
-    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let records: Vec<CellRecord> = cells
         .iter()
         .zip(&results)
         .map(|(&(p, s), r)| {
-            CellRecord::new("micro", s.label(), &r.stats)
+            CellRecord::of("micro", s.label(), r)
                 .with("n_objects", Json::num_u64(p.n_objects as u64))
                 .with("n_types", Json::num_u64(p.n_types as u64))
         })
@@ -96,5 +95,5 @@ fn main() {
         STEPS.len(),
     );
 
-    manifest::emit(&opts, "fig12", &records, obs.as_ref());
+    manifest::emit_grid(&opts, "fig12", &records, &mut results);
 }

@@ -19,7 +19,6 @@ fn main() {
     let mut results = run_cells("fig1b", &opts, &cells, |i, &k| {
         run_workload(k, Strategy::Cuda, &opts.cfg_for_cell(i))
     });
-    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -36,7 +35,7 @@ fn main() {
             format!("{:.1}%", c * 100.0),
         ]);
         records.push(
-            CellRecord::new(kind.label(), Strategy::Cuda.label(), &r.stats)
+            CellRecord::of(kind.label(), Strategy::Cuda.label(), r)
                 .with("vtable_load_share", Json::Num(a))
                 .with("vfunc_load_share", Json::Num(b))
                 .with("indirect_call_share", Json::Num(c)),
@@ -62,5 +61,5 @@ fn main() {
         &rows,
     );
 
-    manifest::emit(&opts, "fig1b", &records, obs.as_ref());
+    manifest::emit_grid(&opts, "fig1b", &records, &mut results);
 }

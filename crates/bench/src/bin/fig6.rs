@@ -27,7 +27,6 @@ fn main() {
     let mut results = run_cells("fig6", &opts, &cells, |i, &(k, s)| {
         run_workload(k, s, &opts.cfg_for_cell(i))
     });
-    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -42,7 +41,7 @@ fn main() {
             per_strategy[si].push(norm);
             row.push(format!("{norm:.2}"));
             records.push(
-                CellRecord::new(kind.label(), s.label(), &r.stats)
+                CellRecord::of(kind.label(), s.label(), r)
                     .with("norm_vs_sharedoa", Json::Num(norm)),
             );
         }
@@ -62,5 +61,5 @@ fn main() {
         .collect();
     print_table(&headers, &rows);
 
-    manifest::emit(&opts, "fig6", &records, obs.as_ref());
+    manifest::emit_grid(&opts, "fig6", &records, &mut results);
 }

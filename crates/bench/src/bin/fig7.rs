@@ -27,7 +27,6 @@ fn main() {
     let mut results = run_cells("fig7", &opts, &cells, |i, &(k, s)| {
         run_workload(k, s, &opts.cfg_for_cell(i))
     });
-    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -56,7 +55,7 @@ fn main() {
                 format!("{:.2}", m + c + x),
             ]);
             records.push(
-                CellRecord::new(kind.label(), s.label(), &r.stats)
+                CellRecord::of(kind.label(), s.label(), r)
                     .with("instrs_vs_sharedoa", Json::Num(m + c + x)),
             );
         }
@@ -80,5 +79,5 @@ fn main() {
         &rows,
     );
 
-    manifest::emit(&opts, "fig7", &records, obs.as_ref());
+    manifest::emit_grid(&opts, "fig7", &records, &mut results);
 }

@@ -25,7 +25,6 @@ fn main() {
     let mut results = run_cells("fig8", &opts, &cells, |i, &(k, s)| {
         run_workload(k, s, &opts.cfg_for_cell(i))
     });
-    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -39,7 +38,7 @@ fn main() {
             per_strategy[si].push(norm);
             row.push(format!("{norm:.2}"));
             records.push(
-                CellRecord::new(kind.label(), s.label(), &r.stats)
+                CellRecord::of(kind.label(), s.label(), r)
                     .with("load_tx_vs_sharedoa", Json::Num(norm)),
             );
         }
@@ -58,5 +57,5 @@ fn main() {
         .collect();
     print_table(&headers, &rows);
 
-    manifest::emit(&opts, "fig8", &records, obs.as_ref());
+    manifest::emit_grid(&opts, "fig8", &records, &mut results);
 }

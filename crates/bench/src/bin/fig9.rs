@@ -22,7 +22,6 @@ fn main() {
     let mut results = run_cells("fig9", &opts, &cells, |i, &(k, s)| {
         run_workload(k, s, &opts.cfg_for_cell(i))
     });
-    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -34,7 +33,7 @@ fn main() {
             let hr = r.stats.l1_hit_rate();
             sums[si] += hr;
             row.push(format!("{:.1}%", hr * 100.0));
-            records.push(CellRecord::new(kind.label(), s.label(), &r.stats));
+            records.push(CellRecord::of(kind.label(), s.label(), r));
         }
         rows.push(row);
     }
@@ -52,5 +51,5 @@ fn main() {
         .collect();
     print_table(&headers, &rows);
 
-    manifest::emit(&opts, "fig9", &records, obs.as_ref());
+    manifest::emit_grid(&opts, "fig9", &records, &mut results);
 }

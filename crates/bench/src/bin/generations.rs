@@ -41,7 +41,6 @@ fn main() {
         cfg.gpu = machines[mi].1.clone();
         run_workload(k, s, &cfg)
     });
-    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let stride = STRATEGIES.len();
     let mut rows = Vec::new();
@@ -50,7 +49,7 @@ fn main() {
         let name = machines[mi].0;
         let base = &results[gi];
         records.push(
-            CellRecord::new(kind.label(), Strategy::SharedOa.label(), &base.stats)
+            CellRecord::of(kind.label(), Strategy::SharedOa.label(), base)
                 .with("gpu", Json::str(name)),
         );
         let mut row = vec![format!("{} {}", kind.label(), name)];
@@ -59,7 +58,7 @@ fn main() {
             let norm = r.stats.speedup_vs(&base.stats);
             row.push(format!("{norm:.2}"));
             records.push(
-                CellRecord::new(kind.label(), STRATEGIES[si].label(), &r.stats)
+                CellRecord::of(kind.label(), STRATEGIES[si].label(), r)
                     .with("gpu", Json::str(name))
                     .with("norm_vs_sharedoa", Json::Num(norm)),
             );
@@ -70,5 +69,5 @@ fn main() {
     println!("(normalized to SharedOA on each machine; expect CUDA < 1 < COAL ≤ TP everywhere)\n");
     print_table(&["Workload/GPU", "CUDA", "COAL", "TypePointer"], &rows);
 
-    manifest::emit(&opts, "generations", &records, obs.as_ref());
+    manifest::emit_grid(&opts, "generations", &records, &mut results);
 }

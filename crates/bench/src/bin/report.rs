@@ -11,12 +11,16 @@
 //!
 //! 1. per-figure cell tables (canonical paper order: tables first, then
 //!    Figures 6–12, then the repo's own ablations);
-//! 2. a host-performance summary per run (wall time, throughput, peak
+//! 2. an attribution section from the `gvf.attribution` documents:
+//!    per-strategy coalescing and lookup walk-depth tables, plus the
+//!    hard cross-check that every cell's attributed transactions equal
+//!    its manifest `Stats` counters (a mismatch exits non-zero);
+//! 3. a host-performance summary per run (wall time, throughput, peak
 //!    RSS) from each manifest's `hostPerf` section;
-//! 3. a top-K stall-hotspot table aggregated from the probe traces'
+//! 4. a top-K stall-hotspot table aggregated from the probe traces'
 //!    `"cat": "stall"` events, keyed by (PC, cause) — the closest thing
 //!    the simulated GPU has to a profiler's hot-PC view;
-//! 4. the recent benchmark trajectory from `BENCH_gvf.json`.
+//! 5. the recent benchmark trajectory from `BENCH_gvf.json`.
 //!
 //! Unreadable or unrecognized files are reported and skipped — a
 //! partial `run_all.sh --keep-going` run still gets a report of
@@ -25,7 +29,7 @@
 
 use gvf_bench::bench_history::{History, DEFAULT_HISTORY_PATH};
 use gvf_bench::json::Json;
-use gvf_bench::manifest::MANIFEST_SCHEMA;
+use gvf_bench::manifest::{ATTRIB_SCHEMA, MANIFEST_SCHEMA};
 use gvf_bench::report::markdown_table;
 use gvf_sim::TIMELINE_SCHEMA;
 
@@ -151,6 +155,212 @@ fn host_perf_row(bin: &str, doc: &Json) -> Option<Vec<String>> {
     ])
 }
 
+/// Pretty-prints a sparse log2 histogram (`[{lo, count}, ...]`) as
+/// compact `lo×count` pairs.
+fn hist_compact(h: Option<&Json>) -> String {
+    let Some(buckets) = h.and_then(Json::as_arr) else {
+        return "-".to_string();
+    };
+    if buckets.is_empty() {
+        return "-".to_string();
+    }
+    buckets
+        .iter()
+        .map(|b| {
+            format!(
+                "{}×{}",
+                b.get("lo").map(scalar).unwrap_or_default(),
+                b.get("count").map(scalar).unwrap_or_default()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Cross-checks one attribution document against its manifest: cell
+/// coordinates must line up, and for every tag, the attributed
+/// transaction total must equal the manifest's `Stats` counter —
+/// including tags the attribution omitted (counter must then be zero).
+/// Appends one line per violation to `failures`.
+fn cross_check_attribution(
+    generator: &str,
+    adoc: &Json,
+    manifest: &Json,
+    failures: &mut Vec<String>,
+) {
+    let acells = adoc.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+    let mcells = manifest.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+    if acells.len() != mcells.len() {
+        failures.push(format!(
+            "{generator}: attribution has {} cells, manifest has {}",
+            acells.len(),
+            mcells.len()
+        ));
+        return;
+    }
+    for (i, (ac, mc)) in acells.iter().zip(mcells.iter()).enumerate() {
+        for key in ["workload", "strategy"] {
+            if ac.get(key).and_then(Json::as_str) != mc.get(key).and_then(Json::as_str) {
+                failures.push(format!("{generator} cell {i}: {key} coordinate mismatch"));
+            }
+        }
+        let Some(attrib) = ac.get("attribution").filter(|a| **a != Json::Null) else {
+            continue;
+        };
+        let by_tag = attrib
+            .get("probe")
+            .and_then(|p| p.get("loads"))
+            .and_then(|l| l.get("by_tag"));
+        let counters = mc
+            .get("stats")
+            .and_then(|s| s.get("load_transactions_by_tag"));
+        let Some(Json::Obj(counters)) = counters else {
+            failures.push(format!(
+                "{generator} cell {i}: manifest cell lacks load counters"
+            ));
+            continue;
+        };
+        for (tag, counted) in counters {
+            let counted = counted.as_num().unwrap_or(0.0) as u64;
+            let attributed = by_tag
+                .and_then(|t| t.get(tag))
+                .and_then(|e| e.get("transactions"))
+                .and_then(Json::as_num)
+                .unwrap_or(0.0) as u64;
+            if attributed != counted {
+                failures.push(format!(
+                    "{generator} cell {i} tag {tag}: attributed {attributed} != counted {counted}"
+                ));
+            }
+        }
+    }
+}
+
+/// The per-document attribution tables: per-strategy coalescing
+/// evidence and per-cell lookup walk depth.
+fn attribution_section(adoc: &Json) -> String {
+    let cells = adoc.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+    let mut md = String::new();
+
+    // Coalescing, aggregated over workloads: (strategy, tag) →
+    // [instructions, lanes, transactions, l1_hits].
+    let mut agg: Vec<((String, String), [u64; 4])> = Vec::new();
+    for cell in cells {
+        let strategy = cell
+            .get("strategy")
+            .and_then(Json::as_str)
+            .unwrap_or("-")
+            .to_string();
+        let by_tag = cell
+            .get("attribution")
+            .and_then(|a| a.get("probe"))
+            .and_then(|p| p.get("loads"))
+            .and_then(|l| l.get("by_tag"));
+        let Some(Json::Obj(by_tag)) = by_tag else {
+            continue;
+        };
+        for (tag, e) in by_tag {
+            let key = (strategy.clone(), tag.clone());
+            let vals = [
+                e.get("instructions"),
+                e.get("lanes"),
+                e.get("transactions"),
+                e.get("l1_hits"),
+            ]
+            .map(|v| v.and_then(Json::as_num).unwrap_or(0.0) as u64);
+            match agg.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, acc)) => {
+                    for (a, v) in acc.iter_mut().zip(vals) {
+                        *a += v;
+                    }
+                }
+                None => agg.push((key, vals)),
+            }
+        }
+    }
+    if !agg.is_empty() {
+        md.push_str("Coalescing by strategy and access tag (summed over cells):\n\n");
+        let rows: Vec<Vec<String>> = agg
+            .iter()
+            .map(|((strategy, tag), [instrs, lanes, txns, hits])| {
+                vec![
+                    strategy.clone(),
+                    tag.clone(),
+                    instrs.to_string(),
+                    txns.to_string(),
+                    if *txns > 0 {
+                        format!("{:.2}", *lanes as f64 / *txns as f64)
+                    } else {
+                        "-".into()
+                    },
+                    if *instrs > 0 {
+                        format!("{:.2}", *txns as f64 / *instrs as f64)
+                    } else {
+                        "-".into()
+                    },
+                    if *txns > 0 {
+                        format!("{:.1}%", *hits as f64 / *txns as f64 * 100.0)
+                    } else {
+                        "-".into()
+                    },
+                ]
+            })
+            .collect();
+        md.push_str(&markdown_table(
+            &[
+                "strategy",
+                "tag",
+                "load instrs",
+                "transactions",
+                "lanes/txn",
+                "txn/instr",
+                "L1 hit",
+            ],
+            &rows,
+        ));
+        md.push('\n');
+    }
+
+    // Lookup walk depth, one row per cell that walked a range structure.
+    let lookup_rows: Vec<Vec<String>> = cells
+        .iter()
+        .filter_map(|cell| {
+            let l = cell
+                .get("attribution")
+                .and_then(|a| a.get("lookup"))
+                .filter(|l| **l != Json::Null)?;
+            Some(vec![
+                cell.get("workload").map(scalar).unwrap_or_default(),
+                cell.get("strategy").map(scalar).unwrap_or_default(),
+                l.get("kind").map(scalar).unwrap_or_default(),
+                l.get("num_ranges").map(scalar).unwrap_or_default(),
+                l.get("dispatches").map(scalar).unwrap_or_default(),
+                hist_compact(l.get("walk_depth")),
+                hist_compact(l.get("comparisons")),
+            ])
+        })
+        .collect();
+    if !lookup_rows.is_empty() {
+        md.push_str(
+            "Range-lookup walks (per-dispatch depth and comparison histograms, `value×count`):\n\n",
+        );
+        md.push_str(&markdown_table(
+            &[
+                "workload",
+                "strategy",
+                "lookup",
+                "ranges",
+                "dispatches",
+                "walk depth",
+                "comparisons",
+            ],
+            &lookup_rows,
+        ));
+        md.push('\n');
+    }
+    md
+}
+
 /// Hotspot accumulator entry: (pc, cause) → (stall count, total cycles).
 type Hotspot = ((u64, String), (u64, u64));
 
@@ -228,6 +438,7 @@ fn main() {
     paths.sort();
 
     let mut manifests: Vec<(String, Json)> = Vec::new(); // (generator, doc)
+    let mut attributions: Vec<(String, Json)> = Vec::new(); // (generator, doc)
     let mut hotspots: Vec<Hotspot> = Vec::new();
     let mut skipped = 0usize;
     for path in &paths {
@@ -254,6 +465,13 @@ fn main() {
                 .unwrap_or("unknown")
                 .to_string();
             manifests.push((generator, doc));
+        } else if schema == ATTRIB_SCHEMA {
+            let generator = doc
+                .get("generator")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string();
+            attributions.push((generator, doc));
         } else if schema == TIMELINE_SCHEMA {
             accumulate_hotspots(&doc, &mut hotspots);
         }
@@ -306,6 +524,55 @@ fn main() {
         }
         md.push_str(&cells_section(doc));
         md.push('\n');
+    }
+
+    md.push_str("## Attribution\n\n");
+    let mut cross_check_failures: Vec<String> = Vec::new();
+    if attributions.is_empty() {
+        md.push_str("No attribution documents found (run with `--attrib-out` to record).\n\n");
+    } else {
+        md.push_str(
+            "Mechanism evidence from the `gvf.attribution` documents: the \
+             allocator, lookup-walk and cache-line behaviour behind each \
+             figure. Every cell's attributed per-PC transactions are \
+             reconciled exactly against its manifest `Stats` counters; a \
+             mismatch fails this report.\n\n",
+        );
+        attributions.sort_by_key(|(generator, _)| {
+            let rank = ORDER
+                .iter()
+                .position(|(name, _)| name == generator)
+                .unwrap_or(ORDER.len());
+            (rank, generator.clone())
+        });
+        for (generator, adoc) in &attributions {
+            md.push_str(&format!("### {generator}\n\n"));
+            match manifests.iter().find(|(g, _)| g == generator) {
+                Some((_, mdoc)) => {
+                    let before = cross_check_failures.len();
+                    cross_check_attribution(generator, adoc, mdoc, &mut cross_check_failures);
+                    let new = &cross_check_failures[before..];
+                    if new.is_empty() {
+                        md.push_str(
+                            "Cross-check: attributed transactions == Stats counters \
+                             for every cell and tag. ✓\n\n",
+                        );
+                    } else {
+                        md.push_str(&format!(
+                            "**Cross-check FAILED** ({} mismatch{}):\n\n",
+                            new.len(),
+                            if new.len() == 1 { "" } else { "es" }
+                        ));
+                        for f in new {
+                            md.push_str(&format!("- {f}\n"));
+                        }
+                        md.push('\n');
+                    }
+                }
+                None => md.push_str("No matching manifest — cross-check skipped.\n\n"),
+            }
+            md.push_str(&attribution_section(adoc));
+        }
     }
 
     md.push_str("## Host performance\n\n");
@@ -403,8 +670,18 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!(
-        "report: wrote {out_path} ({} manifests, {} hotspot keys)",
+        "report: wrote {out_path} ({} manifests, {} attribution docs, {} hotspot keys)",
         manifests.len(),
+        attributions.len(),
         hotspots.len()
     );
+    if !cross_check_failures.is_empty() {
+        // The hard invariant: per-PC attribution must reconcile exactly
+        // with the Stats counters. A mismatch means the profiler lost
+        // or double-counted evidence — fail the report.
+        for f in &cross_check_failures {
+            eprintln!("report: attribution cross-check: {f}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -38,7 +38,6 @@ fn main() {
     let mut results = run_cells("table1", &opts, &cells, |i, &(p, s)| {
         micro::run(s, p, &opts.cfg_for_cell(i))
     });
-    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -58,7 +57,7 @@ fn main() {
             format!("{b:.1}"),
         ]);
         records.push(
-            CellRecord::new("micro", s.label(), &r.stats)
+            CellRecord::of("micro", s.label(), r)
                 .with("n_objects", Json::num_u64(params.n_objects as u64))
                 .with("n_types", Json::num_u64(params.n_types as u64))
                 .with("vtable_tx_per_call", Json::Num(a))
@@ -81,5 +80,5 @@ fn main() {
         &rows,
     );
 
-    manifest::emit(&opts, "table1", &records, obs.as_ref());
+    manifest::emit_grid(&opts, "table1", &records, &mut results);
 }

@@ -20,7 +20,6 @@ fn main() {
     let mut results = run_cells("table2", &opts, &cells, |i, &k| {
         run_workload(k, Strategy::SharedOa, &opts.cfg_for_cell(i))
     });
-    let obs = results.first_mut().and_then(|r| r.obs.take());
 
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -33,7 +32,7 @@ fn main() {
             format!("{:.1}", r.table2.vfunc_pki),
         ]);
         records.push(
-            CellRecord::new(kind.label(), Strategy::SharedOa.label(), &r.stats)
+            CellRecord::of(kind.label(), Strategy::SharedOa.label(), r)
                 .with("objects", Json::num_u64(r.table2.objects))
                 .with("types", Json::num_u64(r.table2.types as u64))
                 .with(
@@ -53,5 +52,5 @@ fn main() {
         &rows,
     );
 
-    manifest::emit(&opts, "table2", &records, obs.as_ref());
+    manifest::emit_grid(&opts, "table2", &records, &mut results);
 }

@@ -14,12 +14,35 @@
 //!   `hostPerf` section** (the one intentionally wall-clock-dependent
 //!   part of a manifest). This is what CI runs on the serial-vs-parallel
 //!   pair instead of a raw byte diff.
+//! - `validate_json --list-schemas` — prints every schema id + version
+//!   this validator knows, one `id vN` pair per line.
+//!
+//! For `gvf.attribution` documents the structural check goes beyond the
+//! header: for every cell that carries attribution, the per-PC
+//! transaction sums must equal the per-tag totals, and the per-tag
+//! totals must equal the cell's copied `Stats` load-transaction
+//! counters — the profiler's hard cross-check invariant, verifiable
+//! from the document alone.
 
-use gvf_bench::bench_history::TRAJECTORY_SCHEMA;
-use gvf_bench::hostperf::HOSTPERF_SCHEMA;
+use gvf_bench::bench_history::{TRAJECTORY_SCHEMA, TRAJECTORY_SCHEMA_VERSION};
+use gvf_bench::hostperf::{HOSTPERF_SCHEMA, HOSTPERF_SCHEMA_VERSION};
 use gvf_bench::json::Json;
-use gvf_bench::manifest::{strip_host_perf, MANIFEST_SCHEMA, METRICS_SCHEMA};
-use gvf_sim::TIMELINE_SCHEMA;
+use gvf_bench::manifest::{
+    strip_host_perf, ATTRIB_SCHEMA, ATTRIB_SCHEMA_VERSION, MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_VERSION, METRICS_SCHEMA, METRICS_SCHEMA_VERSION,
+};
+use gvf_sim::{TIMELINE_SCHEMA, TIMELINE_SCHEMA_VERSION};
+
+/// Every schema this validator understands, with its current version.
+/// `--list-schemas` prints this table; keep it in sync with [`check`].
+const KNOWN_SCHEMAS: &[(&str, u32)] = &[
+    (MANIFEST_SCHEMA, MANIFEST_SCHEMA_VERSION),
+    (METRICS_SCHEMA, METRICS_SCHEMA_VERSION),
+    (ATTRIB_SCHEMA, ATTRIB_SCHEMA_VERSION),
+    (TIMELINE_SCHEMA, TIMELINE_SCHEMA_VERSION),
+    (HOSTPERF_SCHEMA, HOSTPERF_SCHEMA_VERSION),
+    (TRAJECTORY_SCHEMA, TRAJECTORY_SCHEMA_VERSION),
+];
 
 /// Returns the document's schema identifier, looking both at the top
 /// level (manifest, metrics, trajectory) and under `otherData` (Chrome
@@ -55,6 +78,21 @@ fn check(doc: &Json, schema: &str) -> Result<(), String> {
             arr_len("kernels").ok_or("metrics without a kernels array")?;
             Ok(())
         }
+        ATTRIB_SCHEMA => {
+            let cells = doc
+                .get("cells")
+                .and_then(Json::as_arr)
+                .ok_or("attribution without a cells array")?;
+            if cells.is_empty() {
+                return Err("attribution with zero cells".into());
+            }
+            doc.get("config")
+                .ok_or("attribution without a config section")?;
+            for (i, cell) in cells.iter().enumerate() {
+                check_attrib_cell(cell).map_err(|e| format!("cell {i}: {e}"))?;
+            }
+            Ok(())
+        }
         TIMELINE_SCHEMA => {
             arr_len("traceEvents").ok_or("trace without a traceEvents array")?;
             Ok(())
@@ -70,6 +108,68 @@ fn check(doc: &Json, schema: &str) -> Result<(), String> {
         }
         other => Err(format!("unknown schema {other:?}")),
     }
+}
+
+/// The attribution invariants checkable from the document alone: for
+/// every tag, `sum(per_pc.transactions) == by_tag.transactions ==
+/// stats_load_transactions[tag]` (and the same join for instructions,
+/// lanes and hits between per_pc and by_tag).
+fn check_attrib_cell(cell: &Json) -> Result<(), String> {
+    let attrib = cell.get("attribution").ok_or("no attribution member")?;
+    if *attrib == Json::Null {
+        return Ok(()); // cell ran without attribution recording
+    }
+    let loads = attrib
+        .get("probe")
+        .and_then(|p| p.get("loads"))
+        .ok_or("attribution without probe.loads")?;
+    let per_pc = loads
+        .get("per_pc")
+        .and_then(Json::as_arr)
+        .ok_or("loads without per_pc array")?;
+    let by_tag = match loads.get("by_tag") {
+        Some(Json::Obj(members)) => members,
+        _ => return Err("loads without by_tag object".into()),
+    };
+    let field = |v: &Json, k: &str| v.get(k).and_then(Json::as_num).unwrap_or(0.0) as u64;
+    for (tag, totals) in by_tag {
+        let mut sums = [0u64; 4];
+        for pc in per_pc {
+            if pc.get("tag").and_then(Json::as_str) == Some(tag) {
+                for (i, k) in ["instructions", "lanes", "transactions", "l1_hits"]
+                    .iter()
+                    .enumerate()
+                {
+                    sums[i] += field(pc, k);
+                }
+            }
+        }
+        for (i, k) in ["instructions", "lanes", "transactions", "l1_hits"]
+            .iter()
+            .enumerate()
+        {
+            if sums[i] != field(totals, k) {
+                return Err(format!(
+                    "tag {tag:?}: per_pc {k} sum {} != by_tag total {}",
+                    sums[i],
+                    field(totals, k)
+                ));
+            }
+        }
+        let counted = cell
+            .get("stats_load_transactions")
+            .and_then(|l| l.get(tag))
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("tag {tag:?}: no stats_load_transactions entry"))?
+            as u64;
+        if sums[2] != counted {
+            return Err(format!(
+                "tag {tag:?}: attributed transactions {} != Stats counter {counted}",
+                sums[2]
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn load(path: &str) -> Result<Json, String> {
@@ -105,6 +205,12 @@ fn det_diff(a_path: &str, b_path: &str) -> Result<(), String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--list-schemas") {
+        for (schema, version) in KNOWN_SCHEMAS {
+            println!("{schema} v{version}");
+        }
+        return;
+    }
     if args.first().map(String::as_str) == Some("--det-diff") {
         match &args[1..] {
             [a, b] => match det_diff(a, b) {
@@ -124,7 +230,10 @@ fn main() {
         return;
     }
     if args.is_empty() {
-        eprintln!("usage: validate_json FILE... | validate_json --det-diff A B");
+        eprintln!(
+            "usage: validate_json FILE... | validate_json --det-diff A B | \
+             validate_json --list-schemas"
+        );
         std::process::exit(2);
     }
     for path in &args {

@@ -11,7 +11,7 @@ pub const DEFAULT_METRICS_BUCKET_CYCLES: u64 = 256;
 /// Common harness options: `--scale N`, `--iters N`, `--seed N`,
 /// `--jobs N`, `--engine-threads N`, `--smoke`, `--quiet`, plus the
 /// observability outputs `--json-out PATH`, `--trace-out PATH`,
-/// `--metrics-out PATH`.
+/// `--metrics-out PATH`, `--attrib-out PATH`.
 #[derive(Clone, Debug)]
 pub struct HarnessOpts {
     /// Workload configuration assembled from the flags.
@@ -36,6 +36,9 @@ pub struct HarnessOpts {
     /// Write the first cell's per-epoch metrics series here
     /// (`--metrics-out`).
     pub metrics_out: Option<String>,
+    /// Write the mechanism-attribution report (`gvf.attribution` v1)
+    /// here (`--attrib-out`).
+    pub attrib_out: Option<String>,
 }
 
 /// Prints a usage error and exits with status 2.
@@ -58,6 +61,7 @@ impl HarnessOpts {
         let mut json_out = None;
         let mut trace_out = None;
         let mut metrics_out = None;
+        let mut attrib_out = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -111,11 +115,16 @@ impl HarnessOpts {
                     metrics_out = Some(need(i).clone());
                     i += 2;
                 }
+                "--attrib-out" => {
+                    attrib_out = Some(need(i).clone());
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     println!(
                         "options: --scale N (default 8)  --iters N  --seed N  \
                          --jobs N (0 = all cores)  --engine-threads N (0 = auto)  --smoke  \
-                         --quiet  --json-out PATH  --trace-out PATH  --metrics-out PATH"
+                         --quiet  --json-out PATH  --trace-out PATH  --metrics-out PATH  \
+                         --attrib-out PATH"
                     );
                     std::process::exit(0);
                 }
@@ -139,17 +148,22 @@ impl HarnessOpts {
             json_out,
             trace_out,
             metrics_out,
+            attrib_out,
         }
     }
 
     /// The configuration for grid cell `i`. Timeline/metrics recording
     /// is enabled on the **first cell only** — one probed cell keeps
     /// artifact sizes bounded (a full grid's timeline would be tens of
-    /// MB) while the manifest still covers every cell. Probes never
-    /// change timing, so probed and unprobed cells report identical
-    /// [`gvf_sim::Stats`].
+    /// MB) while the manifest still covers every cell. Attribution is
+    /// enabled on **every** cell when `--attrib-out` is given: its
+    /// report is bounded histograms, not an event stream, and the
+    /// REPORT.md cross-check reconciles attribution against [`Stats`]
+    /// for each cell. Probes never change timing, so probed and
+    /// unprobed cells report identical [`gvf_sim::Stats`].
     pub fn cfg_for_cell(&self, i: usize) -> WorkloadConfig {
         let mut cfg = self.cfg.clone();
+        let attribution = self.attrib_out.is_some();
         if i == 0 {
             cfg.probe = ProbeSpec {
                 timeline_events_per_sm: if self.trace_out.is_some() {
@@ -162,6 +176,12 @@ impl HarnessOpts {
                 } else {
                     0
                 },
+                attribution,
+            };
+        } else if attribution {
+            cfg.probe = ProbeSpec {
+                attribution,
+                ..ProbeSpec::OFF
             };
         }
         cfg

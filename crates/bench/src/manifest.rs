@@ -18,6 +18,16 @@
 //! - `--metrics-out` — the per-epoch metrics time series
 //!   (`gvf.metrics` v1) from the first cell: per-bucket IPC, hit rates
 //!   and stall mix.
+//! - `--attrib-out` — the **mechanism attribution** report
+//!   (`gvf.attribution` v1): per-PC load/coalescing/L1 evidence from
+//!   the [`gvf_sim::AttributionProbe`], per-set cache contention,
+//!   reuse-distance histograms, and the allocator / lookup / tag
+//!   introspection snapshots, one entry per grid cell. Each cell also
+//!   carries a copy of its [`Stats`] load-transaction counters, so the
+//!   document is *self-checking*: summed per-PC transactions must equal
+//!   the counter for every tag (`validate_json` and `report` both
+//!   enforce this). The document contains no wall-clock data, so serial
+//!   and parallel runs emit byte-identical files.
 //!
 //! Schema versioning: the `schema`/`version` header is bumped on any
 //! breaking field change; consumers must check it (DESIGN.md
@@ -25,7 +35,12 @@
 
 use crate::cli::HarnessOpts;
 use crate::json::Json;
-use gvf_sim::{write_chrome_trace, EpochSeries, ObsReport, StallCause, Stats};
+use gvf_core::{LookupAttrib, TagAttrib};
+use gvf_sim::{
+    write_chrome_trace, AccessTag, AttribReport, EpochSeries, LineClass, LogHist, ObsReport,
+    PcLoadStats, StallCause, Stats,
+};
+use gvf_workloads::{AllocAttribSnapshot, AttribBundle, RunResult};
 use std::io::{self, Write};
 
 /// Manifest schema identifier.
@@ -36,6 +51,10 @@ pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
 pub const METRICS_SCHEMA: &str = "gvf.metrics";
 /// Metrics-series schema version; bump on breaking changes.
 pub const METRICS_SCHEMA_VERSION: u32 = 1;
+/// Attribution-report schema identifier.
+pub const ATTRIB_SCHEMA: &str = "gvf.attribution";
+/// Attribution-report schema version; bump on breaking changes.
+pub const ATTRIB_SCHEMA_VERSION: u32 = 1;
 
 /// One grid cell of a figure run: identifying coordinates (workload,
 /// strategy, knob values...) plus the measured counters.
@@ -45,6 +64,10 @@ pub struct CellRecord {
     pub meta: Vec<(String, Json)>,
     /// The cell's raw counters.
     pub stats: Stats,
+    /// The cell's mechanism-attribution bundle, when the run recorded
+    /// one (`--attrib-out`). Travels with the record so the attribution
+    /// document's cells mirror the manifest's cells one-for-one.
+    pub attrib: Option<AttribBundle>,
 }
 
 impl CellRecord {
@@ -56,7 +79,16 @@ impl CellRecord {
                 ("strategy".to_string(), Json::str(strategy)),
             ],
             stats: stats.clone(),
+            attrib: None,
         }
+    }
+
+    /// A record carrying a run's full evidence: its [`Stats`] plus the
+    /// attribution bundle when the run recorded one.
+    pub fn of(workload: &str, strategy: &str, r: &RunResult) -> Self {
+        let mut rec = CellRecord::new(workload, strategy, &r.stats);
+        rec.attrib = r.attrib.clone();
+        rec
     }
 
     /// Appends an extra coordinate / measurement (builder style).
@@ -145,11 +177,6 @@ pub fn strip_host_perf(doc: &Json) -> Json {
 /// [`emit`] appends the stripped-by-diff `hostPerf` section on top of
 /// this deterministic core.
 pub fn manifest(generator: &str, opts: &HarnessOpts, cells: &[CellRecord]) -> Json {
-    let config = Json::obj()
-        .with("scale", Json::num_u64(opts.cfg.scale as u64))
-        .with("iterations", Json::num_u64(opts.cfg.iterations as u64))
-        .with("seed", Json::num_u64(opts.cfg.seed))
-        .with("smoke", Json::Bool(opts.smoke));
     let records: Vec<Json> = cells
         .iter()
         .map(|cell| {
@@ -165,8 +192,18 @@ pub fn manifest(generator: &str, opts: &HarnessOpts, cells: &[CellRecord]) -> Js
         .with("schema", Json::str(MANIFEST_SCHEMA))
         .with("version", Json::num_u64(MANIFEST_SCHEMA_VERSION as u64))
         .with("generator", Json::str(generator))
-        .with("config", config)
+        .with("config", config_json(opts))
         .with("cells", Json::Arr(records))
+}
+
+/// The simulation-relevant config section shared by the manifest and
+/// the attribution document (host-side knobs deliberately excluded).
+fn config_json(opts: &HarnessOpts) -> Json {
+    Json::obj()
+        .with("scale", Json::num_u64(opts.cfg.scale as u64))
+        .with("iterations", Json::num_u64(opts.cfg.iterations as u64))
+        .with("seed", Json::num_u64(opts.cfg.seed))
+        .with("smoke", Json::Bool(opts.smoke))
 }
 
 fn series_json(series: &EpochSeries) -> Json {
@@ -210,6 +247,200 @@ pub fn metrics_doc(generator: &str, obs: &ObsReport) -> Json {
         )
 }
 
+/// Sparse rendering of a [`LogHist`]: only populated buckets, each with
+/// its index, inclusive lower bound, and count.
+fn log_hist_json(h: &LogHist) -> Json {
+    Json::Arr(
+        h.counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| {
+                Json::obj()
+                    .with("bucket", Json::num_u64(i as u64))
+                    .with("lo", Json::num_u64(LogHist::bucket_lo(i)))
+                    .with("count", Json::num_u64(c))
+            })
+            .collect(),
+    )
+}
+
+fn u64_array(v: &[u64]) -> Json {
+    Json::Arr(v.iter().map(|&x| Json::num_u64(x)).collect())
+}
+
+/// The stable schema label of an access tag (shared with the manifest's
+/// `load_transactions_by_tag` keys, so consumers join on one namespace).
+fn tag_label(tag: AccessTag) -> &'static str {
+    StallCause::Access(tag).label()
+}
+
+fn pc_load_fields(mut obj: Json, s: &PcLoadStats) -> Json {
+    obj.set("instructions", Json::num_u64(s.instructions));
+    obj.set("lanes", Json::num_u64(s.lanes));
+    obj.set("transactions", Json::num_u64(s.transactions));
+    obj.set("l1_hits", Json::num_u64(s.l1_hits));
+    obj
+}
+
+/// The probe half of a cell's attribution: per-PC loads, per-tag totals
+/// with coalescing ratios, per-set L1 contention, and reuse histograms.
+fn attrib_probe_json(r: &AttribReport) -> Json {
+    let per_pc: Vec<Json> = r
+        .per_pc
+        .iter()
+        .map(|(&(pc, tag_idx), s)| {
+            let head = Json::obj()
+                .with("pc", Json::num_u64(pc as u64))
+                .with("tag", Json::str(tag_label(AccessTag::ALL[tag_idx])));
+            pc_load_fields(head, s)
+        })
+        .collect();
+    let mut by_tag = Json::obj();
+    for tag in AccessTag::ALL {
+        let t = r.totals_by_tag(tag);
+        if t == PcLoadStats::default() {
+            continue;
+        }
+        let mut entry = pc_load_fields(Json::obj(), &t);
+        // Coalescing evidence: lanes per transaction (32 = perfectly
+        // converged) and transactions per load instruction.
+        entry.set(
+            "lanes_per_transaction",
+            if t.transactions > 0 {
+                Json::Num(t.lanes as f64 / t.transactions as f64)
+            } else {
+                Json::Null
+            },
+        );
+        entry.set(
+            "transactions_per_instruction",
+            if t.instructions > 0 {
+                Json::Num(t.transactions as f64 / t.instructions as f64)
+            } else {
+                Json::Null
+            },
+        );
+        by_tag.set(tag_label(tag), entry);
+    }
+    let mut reuse = Json::obj();
+    for class in LineClass::ALL {
+        reuse.set(
+            class.label(),
+            Json::obj()
+                .with("cold_lines", Json::num_u64(r.cold_lines[class.index()]))
+                .with("intervals", log_hist_json(&r.reuse[class.index()])),
+        );
+    }
+    Json::obj()
+        .with("sms", Json::num_u64(r.sms))
+        .with(
+            "loads",
+            Json::obj()
+                .with("per_pc", Json::Arr(per_pc))
+                .with("by_tag", by_tag),
+        )
+        .with(
+            "l1_sets",
+            Json::obj()
+                .with("accesses", u64_array(&r.set_accesses))
+                .with("hits", u64_array(&r.set_hits))
+                .with("final_valid_sectors", u64_array(&r.final_set_sectors)),
+        )
+        .with("reuse", reuse)
+}
+
+fn alloc_attrib_json(a: &AllocAttribSnapshot) -> Json {
+    let types: Vec<Json> = a
+        .types
+        .iter()
+        .map(|t| {
+            Json::obj()
+                .with("type", Json::num_u64(t.ty.0 as u64))
+                .with("obj_size", Json::num_u64(t.obj_size))
+                .with("regions", Json::num_u64(t.regions))
+                .with("capacity_objs", Json::num_u64(t.capacity_objs))
+                .with("used_objs", Json::num_u64(t.used_objs))
+                .with("largest_region_objs", Json::num_u64(t.largest_region_objs))
+                .with("next_region_objs", Json::num_u64(t.next_region_objs))
+        })
+        .collect();
+    Json::obj()
+        .with("merges", Json::num_u64(a.merges))
+        .with("initial_chunk_objs", Json::num_u64(a.initial_chunk_objs))
+        .with("types", Json::Arr(types))
+}
+
+fn lookup_attrib_json(l: &LookupAttrib) -> Json {
+    Json::obj()
+        .with("kind", Json::str(l.kind.label()))
+        .with("num_ranges", Json::num_u64(l.num_ranges))
+        .with("tree_depth", Json::num_u64(l.tree_depth as u64))
+        .with("dispatches", Json::num_u64(l.dispatches))
+        .with("lanes", Json::num_u64(l.lanes))
+        .with("walk_depth", log_hist_json(&l.walk_depth))
+        .with("comparisons", log_hist_json(&l.comparisons))
+}
+
+fn tag_attrib_json(t: &TagAttrib) -> Json {
+    Json::obj()
+        .with("tag_mode", Json::str(t.tag_mode.label()))
+        .with("hardware_mask", Json::Bool(t.hardware_mask))
+        .with("decode_dispatches", Json::num_u64(t.decode_dispatches))
+        .with("decode_lanes", Json::num_u64(t.decode_lanes))
+        .with("fallback_dispatches", Json::num_u64(t.fallback_dispatches))
+        .with("fallback_lanes", Json::num_u64(t.fallback_lanes))
+        .with("mask_ops", Json::num_u64(t.mask_ops))
+}
+
+fn attrib_bundle_json(b: &AttribBundle) -> Json {
+    let opt = |j: Option<Json>| j.unwrap_or(Json::Null);
+    Json::obj()
+        .with("probe", attrib_probe_json(&b.probe))
+        .with("allocator", opt(b.alloc.as_ref().map(alloc_attrib_json)))
+        .with("lookup", opt(b.lookup.as_ref().map(lookup_attrib_json)))
+        .with("tags", opt(b.tags.as_ref().map(tag_attrib_json)))
+}
+
+/// Builds the `gvf.attribution` document. Cells mirror the manifest's
+/// cells one-for-one (same coordinates, same order); each carries a
+/// copy of its [`Stats`] per-tag load-transaction counters next to the
+/// attribution evidence, making the hard cross-check (summed per-PC
+/// transactions == counter, per tag) verifiable from this file alone.
+/// Deliberately contains no wall-clock data: serial and parallel runs
+/// of the same grid emit byte-identical documents.
+pub fn attribution_doc(generator: &str, opts: &HarnessOpts, cells: &[CellRecord]) -> Json {
+    let records: Vec<Json> = cells
+        .iter()
+        .map(|cell| {
+            let mut rec = Json::obj();
+            for (k, v) in &cell.meta {
+                rec.set(k, v.clone());
+            }
+            let mut loads = Json::obj();
+            for tag in AccessTag::ALL {
+                loads.set(
+                    tag_label(tag),
+                    Json::num_u64(cell.stats.load_transactions(tag)),
+                );
+            }
+            rec.with("stats_load_transactions", loads).with(
+                "attribution",
+                match &cell.attrib {
+                    Some(b) => attrib_bundle_json(b),
+                    None => Json::Null,
+                },
+            )
+        })
+        .collect();
+    Json::obj()
+        .with("schema", Json::str(ATTRIB_SCHEMA))
+        .with("version", Json::num_u64(ATTRIB_SCHEMA_VERSION as u64))
+        .with("generator", Json::str(generator))
+        .with("config", config_json(opts))
+        .with("cells", Json::Arr(records))
+}
+
 fn write_file(path: &str, contents: &[u8]) -> io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     f.write_all(contents)?;
@@ -245,12 +476,32 @@ pub fn emit(opts: &HarnessOpts, generator: &str, cells: &[CellRecord], obs: Opti
         if let Some(path) = &opts.metrics_out {
             write_file(path, metrics_doc(generator, obs).render().as_bytes())?;
         }
+        if let Some(path) = &opts.attrib_out {
+            write_file(
+                path,
+                attribution_doc(generator, opts, cells).render().as_bytes(),
+            )?;
+        }
         Ok(())
     };
     if let Err(e) = run() {
         eprintln!("error: failed to write artifact: {e}");
         std::process::exit(1);
     }
+}
+
+/// One-call artifact emission for a figure binary: takes the
+/// observability report from the grid's first (probed) cell and hands
+/// everything to [`emit`]. Replaces the `obs`-take + `emit` pair every
+/// binary used to repeat.
+pub fn emit_grid(
+    opts: &HarnessOpts,
+    generator: &str,
+    cells: &[CellRecord],
+    results: &mut [RunResult],
+) {
+    let obs = results.first_mut().and_then(|r| r.obs.take());
+    emit(opts, generator, cells, obs.as_ref());
 }
 
 #[cfg(test)]
@@ -307,6 +558,73 @@ mod tests {
         assert_eq!(strip_host_perf(&core), core);
         // Non-objects pass through untouched.
         assert_eq!(strip_host_perf(&Json::Null), Json::Null);
+    }
+
+    fn test_opts() -> HarnessOpts {
+        HarnessOpts {
+            cfg: gvf_workloads::WorkloadConfig::tiny(),
+            jobs: 1,
+            smoke: true,
+            quiet: true,
+            json_out: None,
+            trace_out: None,
+            metrics_out: None,
+            attrib_out: None,
+        }
+    }
+
+    #[test]
+    fn attribution_doc_mirrors_cells_and_self_checks() {
+        let mut report = AttribReport {
+            sms: 1,
+            ..AttribReport::default()
+        };
+        report.per_pc.insert(
+            (7, AccessTag::VtablePtr.index()),
+            PcLoadStats {
+                instructions: 2,
+                lanes: 64,
+                transactions: 12,
+                l1_hits: 5,
+            },
+        );
+        let mut cell = CellRecord::new("GOL", "cuda", &sample_stats());
+        cell.attrib = Some(AttribBundle {
+            probe: report,
+            alloc: None,
+            lookup: None,
+            tags: None,
+        });
+        let doc = attribution_doc("test", &test_opts(), &[cell]);
+        let parsed = Json::parse(&doc.render()).expect("parse");
+        assert_eq!(parsed, doc);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(ATTRIB_SCHEMA)
+        );
+        let cell0 = &doc.get("cells").and_then(Json::as_arr).expect("cells")[0];
+        assert_eq!(cell0.get("workload").and_then(Json::as_str), Some("GOL"));
+        // The self-check join: attributed transactions for a tag equal
+        // the copied Stats counter (sample_stats sets slot 0 to 12).
+        let attributed = cell0
+            .get("attribution")
+            .and_then(|a| a.get("probe"))
+            .and_then(|p| p.get("loads"))
+            .and_then(|l| l.get("by_tag"))
+            .and_then(|t| t.get("vtable-ptr"))
+            .and_then(|e| e.get("transactions"))
+            .and_then(Json::as_num);
+        let counted = cell0
+            .get("stats_load_transactions")
+            .and_then(|l| l.get("vtable-ptr"))
+            .and_then(Json::as_num);
+        assert_eq!(attributed, Some(12.0));
+        assert_eq!(attributed, counted);
+        // Attribution-less cells serialize as an explicit null.
+        let bare = CellRecord::new("GOL", "coal", &sample_stats());
+        let doc = attribution_doc("test", &test_opts(), &[bare]);
+        let cell0 = &doc.get("cells").and_then(Json::as_arr).expect("cells")[0];
+        assert_eq!(cell0.get("attribution"), Some(&Json::Null));
     }
 
     #[test]

@@ -24,6 +24,7 @@ fn opts() -> HarnessOpts {
         json_out: None,
         trace_out: None,
         metrics_out: None,
+        attrib_out: None,
     }
 }
 

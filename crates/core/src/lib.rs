@@ -62,7 +62,7 @@ mod registry;
 mod segtree;
 mod strategy;
 
-pub use program::{CallSite, DeviceProgram, LookupKind, TagMode, NO_TAG};
+pub use program::{CallSite, DeviceProgram, LookupAttrib, LookupKind, TagAttrib, TagMode, NO_TAG};
 pub use registry::{FuncId, TypeId, TypeRegistry};
 pub use segtree::{LinearRangeTable, ResolvedRange, SegmentTree};
 pub use strategy::{ParseStrategyError, Strategy};

@@ -7,7 +7,8 @@ use crate::segtree::{LinearRangeTable, ResolvedRange, SegmentTree};
 use crate::strategy::Strategy;
 use gvf_alloc::{DeviceAllocator, TypeKey};
 use gvf_mem::{DeviceMemory, VirtAddr, MAX_TAG};
-use gvf_sim::{lanes_from_fn, AccessTag, Lanes, WarpCtx, WARP_SIZE};
+use gvf_sim::{lanes_from_fn, AccessTag, Lanes, LogHist, WarpCtx, WARP_SIZE};
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Base of the synthetic "instruction memory" where virtual-function
@@ -43,6 +44,64 @@ pub enum LookupKind {
     LinearScan,
 }
 
+impl LookupKind {
+    /// Short machine-readable label (attribution schema field).
+    pub fn label(self) -> &'static str {
+        match self {
+            LookupKind::SegmentTree => "segment-tree",
+            LookupKind::LinearScan => "linear-scan",
+        }
+    }
+}
+
+/// COAL lookup attribution: how many dispatches walked the range
+/// structure, how deep, and how many range comparisons they cost —
+/// the §5 evidence behind Fig. 9 and the lookup ablation. Returned by
+/// [`DeviceProgram::lookup_attrib`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LookupAttrib {
+    /// Which structure dispatch walked.
+    pub kind: LookupKind,
+    /// Real (non-padding) ranges in the structure.
+    pub num_ranges: u64,
+    /// Tree depth (`0` for the linear scan).
+    pub tree_depth: u32,
+    /// Dispatches that entered the lookup.
+    pub dispatches: u64,
+    /// Participating lanes across all dispatches.
+    pub lanes: u64,
+    /// Per-dispatch levels walked (tree) or entries examined (linear).
+    pub walk_depth: LogHist,
+    /// Per-dispatch range comparisons (2 per tree level / 2 per linear
+    /// entry).
+    pub comparisons: LogHist,
+}
+
+/// TypePointer tag attribution: decode vs. fallback dispatch counts and
+/// the software mask cost — the §6 evidence distinguishing the MMU mode
+/// from the software prototype. Returned by
+/// [`DeviceProgram::tag_attrib`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TagAttrib {
+    /// How the tag names a vTable.
+    pub tag_mode: TagMode,
+    /// `true` when tag stripping is free (the MMU ignores the top bits —
+    /// [`Strategy::TypePointerHw`]); `false` for the software prototype,
+    /// which pays [`TagAttrib::mask_ops`] mask instructions.
+    pub hardware_mask: bool,
+    /// Dispatches that decoded at least one lane's tag (SHR + ADD/IMAD).
+    pub decode_dispatches: u64,
+    /// Lanes dispatched through tag decode.
+    pub decode_lanes: u64,
+    /// Dispatches that took the classic path for ≥ 1 `NO_TAG` lane.
+    pub fallback_dispatches: u64,
+    /// Lanes dispatched through the `NO_TAG` fallback.
+    pub fallback_lanes: u64,
+    /// Software mask instructions emitted at member accesses (always `0`
+    /// when [`hardware_mask`](Self::hardware_mask)).
+    pub mask_ops: u64,
+}
+
 /// How TypePointer encodes a type in the 15 unused pointer bits (§6.1).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum TagMode {
@@ -54,6 +113,16 @@ pub enum TagMode {
     /// the largest, and the offset is `index × paddedSize` (supports up
     /// to 32k types at the cost of padding, §6.2).
     Index,
+}
+
+impl TagMode {
+    /// Short machine-readable label (attribution schema field).
+    pub fn label(self) -> &'static str {
+        match self {
+            TagMode::Offset => "offset",
+            TagMode::Index => "index",
+        }
+    }
 }
 
 /// A virtual call site, as the compiler sees it.
@@ -127,6 +196,14 @@ pub struct DeviceProgram {
     /// start beyond it get [`NO_TAG`] and dispatch through the classic
     /// path — the §6.1 link-time fallback.
     tag_capacity: u64,
+    /// TypePointer dispatch counters (interior-mutable: `vcall` takes
+    /// `&self`). See [`TagAttrib`].
+    tp_decode_dispatches: Cell<u64>,
+    tp_decode_lanes: Cell<u64>,
+    tp_fallback_dispatches: Cell<u64>,
+    tp_fallback_lanes: Cell<u64>,
+    /// Software tag-mask instructions emitted at member accesses.
+    mask_ops: Cell<u64>,
 }
 
 impl DeviceProgram {
@@ -240,6 +317,11 @@ impl DeviceProgram {
             const_tables: vec![table0],
             current_kernel: 0,
             tag_capacity: tag_capacity_bytes,
+            tp_decode_dispatches: Cell::new(0),
+            tp_decode_lanes: Cell::new(0),
+            tp_fallback_dispatches: Cell::new(0),
+            tp_fallback_lanes: Cell::new(0),
+            mask_ops: Cell::new(0),
         }
     }
 
@@ -405,6 +487,67 @@ impl DeviceProgram {
         self.lookup_kind
     }
 
+    /// Lookup attribution for the *active* lookup structure, or `None`
+    /// when no structure was built (non-COAL strategies, or COAL before
+    /// [`finalize_ranges`](Self::finalize_ranges)). Counters reset when
+    /// `finalize_ranges` rebuilds the structures.
+    pub fn lookup_attrib(&self) -> Option<LookupAttrib> {
+        match self.lookup_kind {
+            LookupKind::SegmentTree => self.tree.as_ref().map(|t| {
+                // The padded tree walks exactly `depth` levels per
+                // dispatch, 2 in-range tests per level.
+                let mut walk_depth = LogHist::new();
+                walk_depth.record_n(t.depth() as u64, t.walks());
+                let mut comparisons = LogHist::new();
+                comparisons.record_n(2 * t.depth() as u64, t.walks());
+                LookupAttrib {
+                    kind: LookupKind::SegmentTree,
+                    num_ranges: t.num_ranges() as u64,
+                    tree_depth: t.depth(),
+                    dispatches: t.walks(),
+                    lanes: t.walk_lanes(),
+                    walk_depth,
+                    comparisons,
+                }
+            }),
+            LookupKind::LinearScan => self.linear.as_ref().map(|l| {
+                let entries = l.entries_scanned();
+                // 2 comparisons per entry examined; doubling a value
+                // moves it up exactly one log2 bucket, so rebuilding
+                // from bucket lower bounds is exact.
+                let mut comparisons = LogHist::new();
+                for (i, &c) in entries.counts().iter().enumerate() {
+                    if c > 0 {
+                        comparisons.record_n(2 * LogHist::bucket_lo(i), c);
+                    }
+                }
+                LookupAttrib {
+                    kind: LookupKind::LinearScan,
+                    num_ranges: l.num_ranges() as u64,
+                    tree_depth: 0,
+                    dispatches: l.scans(),
+                    lanes: l.scan_lanes(),
+                    walk_depth: entries,
+                    comparisons,
+                }
+            }),
+        }
+    }
+
+    /// TypePointer tag attribution, or `None` for strategies that do
+    /// not tag pointers.
+    pub fn tag_attrib(&self) -> Option<TagAttrib> {
+        self.strategy.uses_tagged_pointers().then(|| TagAttrib {
+            tag_mode: self.tag_mode,
+            hardware_mask: self.strategy.member_mask_alu() == 0,
+            decode_dispatches: self.tp_decode_dispatches.get(),
+            decode_lanes: self.tp_decode_lanes.get(),
+            fallback_dispatches: self.tp_fallback_dispatches.get(),
+            fallback_lanes: self.tp_fallback_lanes.get(),
+            mask_ops: self.mask_ops.get(),
+        })
+    }
+
     /// Host-side type query for a constructed object (testing aid).
     pub fn type_of(&self, mem: &mut DeviceMemory, obj: VirtAddr) -> Option<TypeId> {
         match self.strategy {
@@ -455,6 +598,7 @@ impl DeviceProgram {
         let mask_alu = self.strategy.member_mask_alu();
         if mask_alu > 0 {
             ctx.alu(mask_alu);
+            self.mask_ops.set(self.mask_ops.get() + mask_alu as u64);
         }
         let hdr = self.header_bytes();
         lanes_from_fn(|i| objs[i].map(|o| o.strip_tag().offset(hdr + field_off)))
@@ -565,6 +709,24 @@ impl DeviceProgram {
                     if ctx.is_active(i) && objs[i].map(|o| o.tag()) == Some(NO_TAG) {
                         fallback |= 1 << i;
                     }
+                }
+                let mut decode_lanes: u64 = 0;
+                for i in 0..WARP_SIZE {
+                    if ctx.is_active(i) && objs[i].is_some() && (fallback >> i) & 1 == 0 {
+                        decode_lanes += 1;
+                    }
+                }
+                if decode_lanes > 0 {
+                    self.tp_decode_dispatches
+                        .set(self.tp_decode_dispatches.get() + 1);
+                    self.tp_decode_lanes
+                        .set(self.tp_decode_lanes.get() + decode_lanes);
+                }
+                if fallback != 0 {
+                    self.tp_fallback_dispatches
+                        .set(self.tp_fallback_dispatches.get() + 1);
+                    self.tp_fallback_lanes
+                        .set(self.tp_fallback_lanes.get() + fallback.count_ones() as u64);
                 }
                 let mut fids = gvf_sim::lanes_none();
                 if fallback != 0 {

@@ -2,7 +2,8 @@
 //! (paper Algorithm 1) and a linear-scan alternative used as an ablation.
 
 use gvf_mem::{DeviceMemory, VirtAddr};
-use gvf_sim::{lanes_from_fn, AccessTag, Lanes, WarpCtx, WARP_SIZE};
+use gvf_sim::{lanes_from_fn, AccessTag, Lanes, LogHist, WarpCtx, WARP_SIZE};
+use std::cell::Cell;
 
 /// One row of the virtual range table, resolved to a vTable address.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,6 +38,12 @@ pub struct SegmentTree {
     host_nodes: Vec<[u64; 4]>,
     /// Host mirror of leaf vTable addresses (0 = padding leaf).
     host_leaves: Vec<u64>,
+    /// Dispatches that walked the tree ([`emit_walk`](Self::emit_walk)
+    /// calls with ≥ 1 participating lane). Interior-mutable so the
+    /// read-only emit path can count itself.
+    walks: Cell<u64>,
+    /// Lanes that participated across all walks.
+    walk_lanes: Cell<u64>,
 }
 
 impl SegmentTree {
@@ -114,7 +121,23 @@ impl SegmentTree {
             host_ranges: sorted,
             host_nodes,
             host_leaves,
+            walks: Cell::new(0),
+            walk_lanes: Cell::new(0),
         }
+    }
+
+    /// Dispatches that walked the tree since construction. Every walk
+    /// visits exactly [`depth`](Self::depth) levels (the tree is padded
+    /// to a power of two), so per-dispatch walk-depth and
+    /// comparison-count histograms are fully determined by this counter
+    /// and the depth.
+    pub fn walks(&self) -> u64 {
+        self.walks.get()
+    }
+
+    /// Total participating lanes across all walks.
+    pub fn walk_lanes(&self) -> u64 {
+        self.walk_lanes.get()
     }
 
     /// Number of real (non-padding) ranges.
@@ -170,6 +193,11 @@ impl SegmentTree {
         let participating: Vec<usize> = (0..WARP_SIZE)
             .filter(|&i| ctx.is_active(i) && objs[i].is_some())
             .collect();
+        if !participating.is_empty() {
+            self.walks.set(self.walks.get() + 1);
+            self.walk_lanes
+                .set(self.walk_lanes.get() + participating.len() as u64);
+        }
 
         if self.internal_count > 0 {
             for _level in 0..self.depth {
@@ -224,6 +252,13 @@ impl SegmentTree {
 pub struct LinearRangeTable {
     entry_base: VirtAddr,
     host_ranges: Vec<ResolvedRange>,
+    /// Dispatches that scanned the table (≥ 1 participating lane).
+    scans: Cell<u64>,
+    /// Lanes that participated across all scans.
+    scan_lanes: Cell<u64>,
+    /// Histogram of entries examined per scan — data-dependent, unlike
+    /// the tree's constant depth (the `O(K)` the ablation measures).
+    entries_scanned: Cell<LogHist>,
 }
 
 impl LinearRangeTable {
@@ -249,7 +284,31 @@ impl LinearRangeTable {
         LinearRangeTable {
             entry_base,
             host_ranges: sorted,
+            scans: Cell::new(0),
+            scan_lanes: Cell::new(0),
+            entries_scanned: Cell::new(LogHist::new()),
         }
+    }
+
+    /// Number of table entries.
+    pub fn num_ranges(&self) -> usize {
+        self.host_ranges.len()
+    }
+
+    /// Dispatches that scanned the table since construction.
+    pub fn scans(&self) -> u64 {
+        self.scans.get()
+    }
+
+    /// Total participating lanes across all scans.
+    pub fn scan_lanes(&self) -> u64 {
+        self.scan_lanes.get()
+    }
+
+    /// Histogram of entries examined per scan (early exit once every
+    /// lane matched).
+    pub fn entries_scanned(&self) -> LogHist {
+        self.entries_scanned.get()
     }
 
     /// Host-side lookup.
@@ -274,10 +333,17 @@ impl LinearRangeTable {
                 remaining |= 1 << i;
             }
         }
+        if remaining != 0 {
+            self.scans.set(self.scans.get() + 1);
+            self.scan_lanes
+                .set(self.scan_lanes.get() + remaining.count_ones() as u64);
+        }
+        let mut examined: u64 = 0;
         for (k, r) in self.host_ranges.iter().enumerate() {
             if remaining == 0 {
                 break;
             }
+            examined += 1;
             let a = self.entry_base.offset(k as u64 * Self::ENTRY_BYTES);
             let addrs = lanes_from_fn(|i| ((remaining >> i) & 1 == 1).then_some(a));
             ctx.ld(AccessTag::RangeWalk, 8, &addrs);
@@ -300,6 +366,11 @@ impl LinearRangeTable {
             }
         }
         assert_eq!(remaining, 0, "lanes left unmatched by range scan");
+        if examined > 0 {
+            let mut h = self.entries_scanned.get();
+            h.record(examined);
+            self.entries_scanned.set(h);
+        }
         out
     }
 }
@@ -448,6 +519,34 @@ mod tests {
             let got = l.emit_scan(w, &objs);
             assert!(got.iter().take(32).all(|v| *v == Some(VirtAddr::new(0xc0))));
         });
+    }
+
+    #[test]
+    fn walk_and_scan_counters_accumulate() {
+        let mut mem = DeviceMemory::with_capacity(1 << 20);
+        let t = SegmentTree::build(&mut mem, &ranges());
+        let l = LinearRangeTable::build(&mut mem, &ranges());
+        assert_eq!((t.walks(), t.walk_lanes()), (0, 0));
+        assert_eq!((l.scans(), l.scan_lanes()), (0, 0));
+        assert!(l.entries_scanned().is_empty());
+        run_kernel(&mut mem, 32, |w| {
+            let objs = lanes_from_fn(|i| (i < 7).then_some(VirtAddr::new(0x1100)));
+            t.emit_walk(w, &objs);
+            t.emit_walk(w, &objs);
+            l.emit_scan(w, &objs);
+            // 0x5100 lives in the *last* sorted range: full scan.
+            let far = lanes_from_fn(|i| (i < 2).then_some(VirtAddr::new(0x5100)));
+            l.emit_scan(w, &far);
+        });
+        assert_eq!(t.walks(), 2);
+        assert_eq!(t.walk_lanes(), 14);
+        assert_eq!(l.scans(), 2);
+        assert_eq!(l.scan_lanes(), 9);
+        let h = l.entries_scanned();
+        assert_eq!(h.total(), 2);
+        // First scan matched in entry 1, second needed all 3 entries.
+        assert_eq!(h.counts()[LogHist::bucket_of(1)], 1);
+        assert_eq!(h.counts()[LogHist::bucket_of(3)], 1);
     }
 
     #[test]

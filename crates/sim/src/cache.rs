@@ -160,6 +160,38 @@ impl SectoredCache {
         self.hits = 0;
         self.misses = 0;
     }
+
+    /// Number of sets (attribution indexes per-set evidence by this).
+    pub fn set_count(&self) -> usize {
+        self.set_count as usize
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// The set `addr` maps to and its line address (`addr /
+    /// line_bytes`) — the same mapping [`access`](Self::access) uses,
+    /// exposed so probes can attribute transactions without mutating
+    /// the cache.
+    pub fn set_of(&self, addr: u64) -> (usize, u64) {
+        let (set, _, _) = self.locate(addr);
+        (set, addr / self.line_bytes)
+    }
+
+    /// Valid sectors currently resident per set — an occupancy
+    /// snapshot, one count per set in index order.
+    pub fn per_set_valid_sectors(&self) -> Vec<u32> {
+        self.sets
+            .iter()
+            .map(|set| {
+                set.iter()
+                    .map(|l| l.valid_sectors.count_ones())
+                    .sum::<u32>()
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +250,22 @@ mod tests {
         c.access(0x100);
         assert_eq!(c.probe_only(0x100), CacheProbe::Hit);
         assert_eq!(c.probe_only(0x120), CacheProbe::SectorMiss);
+    }
+
+    #[test]
+    fn introspection_matches_geometry() {
+        let mut c = tiny();
+        assert_eq!(c.set_count(), 2);
+        assert_eq!(c.line_bytes(), 128);
+        assert_eq!(c.set_of(0x100), (0, 2)); // line 2 -> set 0
+        assert_eq!(c.set_of(0x1a0), (1, 3)); // line 3 -> set 1
+        assert_eq!(c.per_set_valid_sectors(), vec![0, 0]);
+        c.access(0x100); // one sector in set 0
+        c.access(0x120); // second sector, same line
+        c.access(0x180); // one sector in set 1
+        assert_eq!(c.per_set_valid_sectors(), vec![2, 1]);
+        c.flush();
+        assert_eq!(c.per_set_valid_sectors(), vec![0, 0]);
     }
 
     #[test]

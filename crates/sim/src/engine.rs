@@ -836,6 +836,13 @@ fn issue_load_phase_a<P: Probe>(
         Space::Global => {
             sm.stats.global_load_transactions += sm.scratch.len() as u64;
             sm.stats.load_transactions_by_tag[tag_idx] += sm.scratch.len() as u64;
+            sm.probe.load_coalesced(
+                cycle,
+                pc,
+                m.tag,
+                m.addrs.len() as u64,
+                sm.scratch.len() as u64,
+            );
             let mut known_done = cycle;
             let sec_start = sm.sectors.len();
             for k in 0..sm.scratch.len() {
@@ -846,6 +853,8 @@ fn issue_load_phase_a<P: Probe>(
                 sm.l1_free_at = t1 + 1;
                 let hit = sm.l1.access(addr).is_hit();
                 sm.probe.l1_access(cycle, m.tag, hit);
+                let (set, line_addr) = sm.l1.set_of(addr);
+                sm.probe.l1_sector(cycle, pc, m.tag, line_addr, set, hit);
                 if hit {
                     known_done = known_done.max(t1 + cfg.l1_latency);
                 } else {
@@ -975,8 +984,11 @@ fn finish<P: Probe>(
 ) -> Stats {
     // Finalize any retirement left from the last epoch (its phase-B
     // completions have been posted) so drain times reach `ready_at`.
+    // Also the single end-of-run point where probes may snapshot their
+    // SM's L1 — shared by the serial and parallel paths.
     for sm in sms.iter_mut() {
         sm_prologue(sm, cycle);
+        sm.probe.cache_final(&sm.l1);
     }
     let mut stats = base;
     for sm in sms.iter() {

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod attrib;
 mod cache;
 mod config;
 mod engine;
@@ -55,6 +56,7 @@ mod stats;
 pub mod timeline;
 mod trace;
 
+pub use attrib::{AttribReport, AttributionProbe, LineClass, LogHist, PcLoadStats};
 pub use cache::{CacheProbe, SectoredCache};
 pub use config::GpuConfig;
 pub use engine::Gpu;

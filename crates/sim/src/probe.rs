@@ -32,6 +32,8 @@
 //! run can record a timeline and a metrics series at once without a
 //! bespoke combined type.
 
+use crate::attrib::{AttribReport, AttributionProbe};
+use crate::cache::SectoredCache;
 use crate::instr::{AccessTag, Op};
 use crate::stats::{Stats, STALL_INDIRECT_CALL};
 use crate::timeline::{TimelineProbe, TraceEvent};
@@ -112,6 +114,44 @@ pub trait Probe: Send {
     #[inline(always)]
     fn l1_access(&mut self, _cycle: u64, _tag: AccessTag, _hit: bool) {}
 
+    /// A global load at trace position `pc` coalesced `lanes`
+    /// participating lanes into `sectors` sector transactions. Fires
+    /// once per dynamic load instruction, before the per-sector
+    /// [`l1_access`](Probe::l1_access)/[`l1_sector`](Probe::l1_sector)
+    /// stream it summarizes.
+    #[inline(always)]
+    fn load_coalesced(
+        &mut self,
+        _cycle: u64,
+        _pc: usize,
+        _tag: AccessTag,
+        _lanes: u64,
+        _sectors: u64,
+    ) {
+    }
+
+    /// The addressed companion of [`l1_access`](Probe::l1_access): the
+    /// same L1 sector probe, carrying the trace position, the cache
+    /// line address and the L1 set it mapped to. One call per global
+    /// load transaction, in the same order as `l1_access`.
+    #[inline(always)]
+    fn l1_sector(
+        &mut self,
+        _cycle: u64,
+        _pc: usize,
+        _tag: AccessTag,
+        _line_addr: u64,
+        _set: usize,
+        _hit: bool,
+    ) {
+    }
+
+    /// End-of-run snapshot of this SM's L1, fired once from the
+    /// engine's finish path (after the last epoch, before stats
+    /// merging).
+    #[inline(always)]
+    fn cache_final(&mut self, _l1: &SectoredCache) {}
+
     /// One constant-cache sector probe tagged `tag`.
     #[inline(always)]
     fn const_access(&mut self, _cycle: u64, _tag: AccessTag, _hit: bool) {}
@@ -175,6 +215,32 @@ impl<P: Probe> Probe for Option<P> {
         }
     }
     #[inline(always)]
+    fn load_coalesced(&mut self, cycle: u64, pc: usize, tag: AccessTag, lanes: u64, sectors: u64) {
+        if let Some(p) = self {
+            p.load_coalesced(cycle, pc, tag, lanes, sectors);
+        }
+    }
+    #[inline(always)]
+    fn l1_sector(
+        &mut self,
+        cycle: u64,
+        pc: usize,
+        tag: AccessTag,
+        line_addr: u64,
+        set: usize,
+        hit: bool,
+    ) {
+        if let Some(p) = self {
+            p.l1_sector(cycle, pc, tag, line_addr, set, hit);
+        }
+    }
+    #[inline(always)]
+    fn cache_final(&mut self, l1: &SectoredCache) {
+        if let Some(p) = self {
+            p.cache_final(l1);
+        }
+    }
+    #[inline(always)]
     fn const_access(&mut self, cycle: u64, tag: AccessTag, hit: bool) {
         if let Some(p) = self {
             p.const_access(cycle, tag, hit);
@@ -234,6 +300,29 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     fn l1_access(&mut self, cycle: u64, tag: AccessTag, hit: bool) {
         self.0.l1_access(cycle, tag, hit);
         self.1.l1_access(cycle, tag, hit);
+    }
+    #[inline(always)]
+    fn load_coalesced(&mut self, cycle: u64, pc: usize, tag: AccessTag, lanes: u64, sectors: u64) {
+        self.0.load_coalesced(cycle, pc, tag, lanes, sectors);
+        self.1.load_coalesced(cycle, pc, tag, lanes, sectors);
+    }
+    #[inline(always)]
+    fn l1_sector(
+        &mut self,
+        cycle: u64,
+        pc: usize,
+        tag: AccessTag,
+        line_addr: u64,
+        set: usize,
+        hit: bool,
+    ) {
+        self.0.l1_sector(cycle, pc, tag, line_addr, set, hit);
+        self.1.l1_sector(cycle, pc, tag, line_addr, set, hit);
+    }
+    #[inline(always)]
+    fn cache_final(&mut self, l1: &SectoredCache) {
+        self.0.cache_final(l1);
+        self.1.cache_final(l1);
     }
     #[inline(always)]
     fn const_access(&mut self, cycle: u64, tag: AccessTag, hit: bool) {
@@ -523,6 +612,9 @@ pub struct ProbeSpec {
     pub timeline_events_per_sm: usize,
     /// Metrics bucket width in cycles (`0` = no metrics series).
     pub metrics_bucket_cycles: u64,
+    /// Record per-PC / cache-line / reuse attribution evidence
+    /// (see [`crate::attrib`]).
+    pub attribution: bool,
 }
 
 impl ProbeSpec {
@@ -530,6 +622,7 @@ impl ProbeSpec {
     pub const OFF: ProbeSpec = ProbeSpec {
         timeline_events_per_sm: 0,
         metrics_bucket_cycles: 0,
+        attribution: false,
     };
 
     /// `true` when no probe is requested.
@@ -539,9 +632,12 @@ impl ProbeSpec {
 }
 
 /// The concrete probe stack built from a [`ProbeSpec`]: an optional
-/// timeline and an optional metrics series, composed through the
-/// `Option` / tuple [`Probe`] impls.
-pub type RecordingProbe = (Option<TimelineProbe>, Option<EpochMetricsProbe>);
+/// timeline, an optional metrics series and an optional attribution
+/// collector, composed through the `Option` / tuple [`Probe`] impls.
+pub type RecordingProbe = (
+    Option<TimelineProbe>,
+    (Option<EpochMetricsProbe>, Option<AttributionProbe>),
+);
 
 /// Builds the [`RecordingProbe`] for SM `sm` according to `spec`.
 pub fn recording_probe(sm: usize, spec: ProbeSpec) -> RecordingProbe {
@@ -549,7 +645,8 @@ pub fn recording_probe(sm: usize, spec: ProbeSpec) -> RecordingProbe {
         .then(|| TimelineProbe::new(sm, spec.timeline_events_per_sm));
     let metrics = (spec.metrics_bucket_cycles > 0)
         .then(|| EpochMetricsProbe::new(spec.metrics_bucket_cycles));
-    (timeline, metrics)
+    let attrib = spec.attribution.then(AttributionProbe::new);
+    (timeline, (metrics, attrib))
 }
 
 /// Observability artifacts accumulated over one or more kernel
@@ -563,15 +660,20 @@ pub struct ObsReport {
     pub events_dropped: u64,
     /// One whole-GPU metrics series per kernel launch.
     pub kernel_series: Vec<EpochSeries>,
+    /// Merged attribution evidence across all SMs and launches, when
+    /// attribution was requested.
+    pub attribution: Option<AttribReport>,
 }
 
 impl ObsReport {
     /// Folds the per-SM probes of one kernel launch in. `cycle_base` is
     /// the cumulative simulated-cycle offset of this launch (the sum of
     /// all previous launches' cycles), applied to timeline timestamps.
+    /// Probes arrive in ascending-SM order from both engine paths, so
+    /// every merge below is order-deterministic.
     pub fn absorb(&mut self, cycle_base: u64, probes: Vec<RecordingProbe>) {
         let mut merged: Option<EpochSeries> = None;
-        for (timeline, metrics) in probes {
+        for (timeline, (metrics, attrib)) in probes {
             if let Some(t) = timeline {
                 self.events_dropped += t.dropped();
                 self.events.extend(t.into_events().into_iter().map(|mut e| {
@@ -585,6 +687,12 @@ impl ObsReport {
                     None => merged = Some(m.into_series()),
                 }
             }
+            if let Some(a) = attrib {
+                match &mut self.attribution {
+                    Some(acc) => acc.merge(a.report()),
+                    None => self.attribution = Some(a.into_report()),
+                }
+            }
         }
         if let Some(series) = merged {
             self.kernel_series.push(series);
@@ -593,7 +701,10 @@ impl ObsReport {
 
     /// `true` when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.kernel_series.is_empty() && self.events_dropped == 0
+        self.events.is_empty()
+            && self.kernel_series.is_empty()
+            && self.events_dropped == 0
+            && self.attribution.is_none()
     }
 }
 
@@ -656,16 +767,17 @@ mod tests {
     #[test]
     fn probe_spec_off_by_default() {
         assert!(ProbeSpec::default().is_off());
-        let (t, m) = recording_probe(0, ProbeSpec::OFF);
-        assert!(t.is_none() && m.is_none());
-        let (t, m) = recording_probe(
+        let (t, (m, a)) = recording_probe(0, ProbeSpec::OFF);
+        assert!(t.is_none() && m.is_none() && a.is_none());
+        let (t, (m, a)) = recording_probe(
             1,
             ProbeSpec {
                 timeline_events_per_sm: 8,
                 metrics_bucket_cycles: 16,
+                attribution: true,
             },
         );
-        assert!(t.is_some() && m.is_some());
+        assert!(t.is_some() && m.is_some() && a.is_some());
     }
 
     #[test]

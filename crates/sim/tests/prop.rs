@@ -279,6 +279,85 @@ fn arb_kernel(rng: &mut Rng) -> KernelTrace {
     KernelTrace { warps }
 }
 
+/// Attribution histograms merge associatively and commutatively with
+/// exact totals — the algebra the thread-count-independent merged
+/// report rests on.
+#[test]
+fn log_hist_merge_associative_commutative() {
+    use gvf_sim::LogHist;
+    props!(48, |rng| {
+        let mk = |rng: &mut Rng| {
+            let mut h = LogHist::new();
+            for _ in 0..rng.range_usize(0, 20) {
+                h.record(rng.next_u64() >> rng.range_u64(0, 64));
+            }
+            h
+        };
+        let (a, b, c) = (mk(rng), mk(rng), mk(rng));
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge is associative");
+        assert_eq!(ab_c.total(), a.total() + b.total() + c.total());
+    });
+}
+
+/// Attribution inherits the engine's determinism contract: on arbitrary
+/// kernels, the merged [`AttribReport`] is identical for any host
+/// thread count and any merge order, probing never perturbs `Stats`,
+/// and the attributed per-tag transaction totals reconcile exactly with
+/// the `Stats` load-transaction counters (the profiler's hard
+/// cross-check invariant).
+#[test]
+fn attribution_identical_any_thread_count() {
+    use gvf_sim::{AttribReport, AttributionProbe};
+    props!(12, |rng| {
+        let kernel = arb_kernel(rng);
+        let cfg = GpuConfig::small();
+        let plain = Gpu::new(cfg.clone()).execute(&kernel);
+        let (stats, probes) =
+            Gpu::new(cfg.clone()).execute_probed(&kernel, |_| AttributionProbe::new());
+        assert_eq!(stats, plain, "attribution probe perturbed Stats");
+        let mut serial = AttribReport::default();
+        for p in probes {
+            serial.merge(p.report());
+        }
+        for tag in AccessTag::ALL {
+            assert_eq!(
+                serial.transactions_by_tag(tag),
+                plain.load_transactions_by_tag[tag.index()],
+                "attribution does not reconcile for {tag:?}"
+            );
+        }
+        for threads in [2usize, 5] {
+            let (s, probes) = Gpu::new(cfg.clone())
+                .with_threads(threads)
+                .execute_probed(&kernel, |_| AttributionProbe::new());
+            assert_eq!(s, plain, "probed Stats diverged at {threads} threads");
+            // Merge in reverse SM order: commutativity must make the
+            // whole-GPU report insensitive to it.
+            let mut reports: Vec<AttribReport> = probes
+                .into_iter()
+                .map(AttributionProbe::into_report)
+                .collect();
+            reports.reverse();
+            let mut total = AttribReport::default();
+            for r in &reports {
+                total.merge(r);
+            }
+            assert_eq!(total, serial, "attribution diverged at {threads} threads");
+        }
+    });
+}
+
 /// Observability invariant: probes never perturb the run (`Stats` from
 /// a probed execution are bit-identical to the un-probed `NopProbe`
 /// path), and the hook stream is *complete* — a [`CountingProbe`]

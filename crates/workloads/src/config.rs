@@ -1,8 +1,8 @@
 //! Workload identification, configuration, and results.
 
-use gvf_alloc::{AllocStats, AllocatorKind, SharedOa};
-use gvf_core::{LookupKind, TagMode};
-use gvf_sim::{GpuConfig, ObsReport, ProbeSpec, Stats};
+use gvf_alloc::{AllocStats, AllocatorKind, SharedOa, TypeRegionStats};
+use gvf_core::{LookupAttrib, LookupKind, TagAttrib, TagMode};
+use gvf_sim::{AttribReport, GpuConfig, ObsReport, ProbeSpec, Stats};
 use std::fmt;
 
 /// The eleven evaluated applications (paper Table 2) plus the §8.3
@@ -225,6 +225,36 @@ pub struct Table2Row {
     pub vfunc_pki: f64,
 }
 
+/// Allocator-side attribution: a read-only snapshot of SharedOA's
+/// per-type region accounting at the end of a run. `None` for the CUDA
+/// baseline, which keeps no per-type state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllocAttribSnapshot {
+    /// Adjacent same-type chunk merges performed.
+    pub merges: u64,
+    /// Configured initial chunk size, in objects.
+    pub initial_chunk_objs: u64,
+    /// Per-type region stats, sorted by type key.
+    pub types: Vec<TypeRegionStats>,
+}
+
+/// The complete mechanism-attribution evidence of one run: cache-level
+/// per-PC access attribution from the probes, plus host-side allocator,
+/// lookup and tag introspection. Collected by
+/// [`Rig::take_attrib`](crate::Rig::take_attrib) when
+/// [`WorkloadConfig::probe`] enables attribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttribBundle {
+    /// Merged per-PC / per-set / reuse evidence from the engine probes.
+    pub probe: AttribReport,
+    /// SharedOA region snapshot (when the run used SharedOA).
+    pub alloc: Option<AllocAttribSnapshot>,
+    /// COAL lookup-walk attribution (when a lookup structure was built).
+    pub lookup: Option<LookupAttrib>,
+    /// TypePointer tag decode/mask attribution (tagged strategies only).
+    pub tags: Option<TagAttrib>,
+}
+
 /// The outcome of one workload × strategy run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -246,4 +276,7 @@ pub struct RunResult {
     /// series) when [`WorkloadConfig::probe`] requested recording;
     /// `None` on the default zero-overhead path.
     pub obs: Option<ObsReport>,
+    /// Mechanism-attribution evidence when
+    /// [`WorkloadConfig::probe`] enabled attribution; `None` otherwise.
+    pub attrib: Option<AttribBundle>,
 }

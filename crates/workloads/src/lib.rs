@@ -33,7 +33,10 @@ mod config;
 mod rig;
 pub mod util;
 
-pub use config::{ParseWorkloadError, RunResult, Table2Row, WorkloadConfig, WorkloadKind};
+pub use config::{
+    AllocAttribSnapshot, AttribBundle, ParseWorkloadError, RunResult, Table2Row, WorkloadConfig,
+    WorkloadKind,
+};
 pub use graphchi::GraphAlgo;
 pub use micro::MicroParams;
 pub use rig::{Checksum, Rig};

@@ -1,6 +1,6 @@
 //! Shared experiment rig: memory + program + allocator + GPU plumbing.
 
-use crate::config::WorkloadConfig;
+use crate::config::{AllocAttribSnapshot, AttribBundle, WorkloadConfig};
 use gvf_alloc::{AllocatorKind, CudaHeapAllocator, DeviceAllocator, SharedOa};
 use gvf_core::{DeviceProgram, Strategy, TypeId, TypeRegistry};
 use gvf_mem::{DeviceMemory, VirtAddr};
@@ -151,6 +151,25 @@ impl Rig {
         } else {
             Some(std::mem::take(&mut self.obs))
         }
+    }
+
+    /// Takes the mechanism-attribution bundle: the probes' cache-level
+    /// evidence joined with the allocator, lookup and tag introspection
+    /// snapshots. `None` when attribution was off (or no kernel ran).
+    /// Call before [`take_obs`](Self::take_obs) — this removes the
+    /// attribution half of the observability report.
+    pub fn take_attrib(&mut self) -> Option<AttribBundle> {
+        let probe = self.obs.attribution.take()?;
+        Some(AttribBundle {
+            probe,
+            alloc: self.alloc.shared_oa().map(|soa| AllocAttribSnapshot {
+                merges: soa.merges(),
+                initial_chunk_objs: soa.initial_chunk_objs(),
+                types: soa.region_stats(),
+            }),
+            lookup: self.prog.lookup_attrib(),
+            tags: self.prog.tag_attrib(),
+        })
     }
 
     /// Number of objects constructed.

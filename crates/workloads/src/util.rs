@@ -91,6 +91,9 @@ pub fn collect_with_metrics(
             vfunc_entries: reg.total_vfunc_entries() as u32,
             vfunc_pki: stats.vfunc_pki(),
         },
+        // Attribution first: it removes its half of the obs report, so
+        // an attribution-only run yields `obs: None`.
+        attrib: rig.take_attrib(),
         obs: rig.take_obs(),
         stats,
         metrics,

@@ -14,9 +14,10 @@
 # the full damage of a broken change in one pass.
 #
 # Artifacts: $OUT/<bin>.json is each binary's gvf.run-manifest (with an
-# embedded gvf.hostperf section); fig6 additionally records
-# $OUT/fig6.trace.json (Chrome trace-event / Perfetto timeline) and
-# $OUT/fig6.metrics.json (per-epoch metrics). Every artifact is
+# embedded gvf.hostperf section) and $OUT/<bin>.attrib.json its
+# mechanism-attribution report (gvf.attribution); fig6 additionally
+# records $OUT/fig6.trace.json (Chrome trace-event / Perfetto timeline)
+# and $OUT/fig6.metrics.json (per-epoch metrics). Every artifact is
 # re-parsed by the in-repo validator before the run counts as green.
 # After the sweep, perf_gate judges the run against the recorded
 # BENCH_gvf.json baseline; only a run that passes the gate is folded
@@ -77,15 +78,16 @@ run_step "cargo test" cargo test --workspace 2>&1 | tee test_output.txt
   echo "  PAPER FIGURE / TABLE HARNESS (cargo run -p gvf-bench --bin <x>)"
   echo "================================================================"
   # Every binary sweeps its grid on --jobs threads and drops its run
-  # manifest into $OUT/; fig6 also records the observability
-  # artifacts from its first grid cell.
+  # manifest plus mechanism-attribution report into $OUT/; fig6 also
+  # records the observability artifacts from its first grid cell.
   for b in fig1b table1 table2 fig6 fig7 fig8 fig9 fig11 fig12 alloc_init fig10 ablation_lookup generations counters; do
     extra=()
     if [ "$b" = fig6 ]; then
       extra=(--trace-out "$OUT/fig6.trace.json" --metrics-out "$OUT/fig6.metrics.json")
     fi
     run_step "$b" cargo run --release -p gvf-bench --bin "$b" -- \
-      --jobs "$JOBS" --json-out "$OUT/$b.json" "${extra[@]}"
+      --jobs "$JOBS" --json-out "$OUT/$b.json" \
+      --attrib-out "$OUT/$b.attrib.json" "${extra[@]}"
   done
   run_step "validate artifacts" cargo run --release -p gvf-bench --bin validate_json -- "$OUT"/*.json
 
