@@ -273,6 +273,20 @@ impl History {
     }
 }
 
+/// Whether this manifest's run served any cell from the content-
+/// addressed cell cache (`hostPerf.cellCache.cachedCells > 0`). Such a
+/// run's wall-clock throughput is inflated — the cached cells cost no
+/// simulation time — so `perf_record` and `perf_gate` must skip it:
+/// folding it into `BENCH_gvf.json` would poison the baseline and fail
+/// honest future runs.
+pub fn manifest_used_cell_cache(doc: &Json) -> bool {
+    doc.get("hostPerf")
+        .and_then(|h| h.get("cellCache"))
+        .and_then(|c| c.get("cachedCells"))
+        .and_then(Json::as_num)
+        .is_some_and(|n| n > 0.0)
+}
+
 /// Extracts the throughput [`Sample`] from a `gvf.run-manifest`
 /// document (requires the `hostPerf` section every binary now embeds).
 pub fn sample_from_manifest(doc: &Json) -> Result<Sample, String> {
@@ -412,7 +426,10 @@ pub struct GateConfig {
     pub max_regress: f64,
     /// How many baseline-MADs of slowdown to tolerate.
     pub noise_mult: f64,
-    /// Baselines with fewer entries than this are skipped, not failed.
+    /// Baselines backed by fewer underlying samples than this are
+    /// skipped, not failed. Counted over [`TrajectoryEntry::samples`]
+    /// — a single entry folded from a 3-sample run satisfies a minimum
+    /// of 3.
     pub min_samples: usize,
 }
 
@@ -424,7 +441,10 @@ impl Default for GateConfig {
             // regression costs less than a flaky CI gate.
             max_regress: 0.35,
             noise_mult: 4.0,
-            min_samples: 1,
+            // A 1-sample baseline has MAD 0 and all the noise of a
+            // single wall-clock measurement; arming against it
+            // contradicts the documented skip rule, so demand 3.
+            min_samples: 3,
         }
     }
 }
@@ -461,13 +481,16 @@ pub enum GateVerdict {
 /// Judges `sample` against its baseline in `history`.
 pub fn gate(history: &History, sample: &Sample, cfg: &GateConfig) -> GateVerdict {
     let baseline = history.baseline(sample);
-    if baseline.len() < cfg.min_samples.max(1) {
+    // Count underlying samples, not entries: `record` folds an N-sample
+    // run into ONE entry with `samples: N`.
+    let backing: u64 = baseline.iter().map(|e| e.samples.max(1)).sum();
+    if backing < cfg.min_samples.max(1) as u64 {
         return GateVerdict::Skip {
             reason: format!(
-                "{}: {} baseline entr{} for this config (minimum {})",
+                "{}: {} baseline sample{} for this config (minimum {})",
                 sample.bin,
-                baseline.len(),
-                if baseline.len() == 1 { "y" } else { "ies" },
+                backing,
+                if backing == 1 { "" } else { "s" },
                 cfg.min_samples.max(1)
             ),
         };
@@ -602,7 +625,18 @@ mod tests {
     #[test]
     fn gate_passes_fresh_baseline_and_fails_synthetic_slowdown() {
         let mut h = History::default();
-        record(&mut h, &[sample("fig6", 1000.0)], "abc", "2026-08-05");
+        // Three samples fold into ONE entry with samples=3 — enough
+        // backing for the default min_samples of 3.
+        record(
+            &mut h,
+            &[
+                sample("fig6", 1000.0),
+                sample("fig6", 1000.0),
+                sample("fig6", 1000.0),
+            ],
+            "abc",
+            "2026-08-05",
+        );
         let cfg = GateConfig::default();
         // The very sample just recorded must pass against itself.
         assert!(matches!(
@@ -635,14 +669,34 @@ mod tests {
         let mut full = sample("fig6", 100.0);
         full.config.smoke = false;
         assert!(matches!(gate(&h, &full, &cfg), GateVerdict::Skip { .. }));
-        // Minimum-sample rule: demand more history than exists.
-        let strict = GateConfig {
-            min_samples: 3,
-            ..GateConfig::default()
-        };
+        // Minimum-sample rule at the default of 3: a 1-sample baseline
+        // (MAD 0) must be skipped, not armed against…
         assert!(matches!(
-            gate(&h, &sample("fig6", 100.0), &strict),
+            gate(&h, &sample("fig6", 100.0), &cfg),
             GateVerdict::Skip { .. }
+        ));
+        // …and a 2-sample baseline as well, whether the samples arrive
+        // as two entries or would fold into one.
+        record(&mut h, &[sample("fig6", 990.0)], "def", "2026-08-05");
+        assert!(matches!(
+            gate(&h, &sample("fig6", 100.0), &cfg),
+            GateVerdict::Skip { .. }
+        ));
+        // The third sample arms the gate: the slowdown now fails.
+        record(&mut h, &[sample("fig6", 1010.0)], "ghi", "2026-08-05");
+        assert!(matches!(
+            gate(&h, &sample("fig6", 100.0), &cfg),
+            GateVerdict::Fail { .. }
+        ));
+        // A single entry whose `samples` field records a folded
+        // 3-sample run satisfies the minimum on its own.
+        let mut folded = History::default();
+        let mut e = entry("fig6", 1000.0, "abc", "2026-08-05");
+        e.samples = 3;
+        folded.entries.push(e);
+        assert!(matches!(
+            gate(&folded, &sample("fig6", 100.0), &cfg),
+            GateVerdict::Fail { .. }
         ));
     }
 
@@ -676,7 +730,16 @@ mod tests {
         // pristine baseline, a 10× slowdown fails…
         let cfg = GateConfig::default();
         let mut h = History::default();
-        record(&mut h, &[sample("fig6", 1000.0)], "base", "2026-08-01");
+        record(
+            &mut h,
+            &[
+                sample("fig6", 1000.0),
+                sample("fig6", 1000.0),
+                sample("fig6", 1000.0),
+            ],
+            "base",
+            "2026-08-01",
+        );
         let slow = sample("fig6", 100.0);
         assert!(matches!(gate(&h, &slow, &cfg), GateVerdict::Fail { .. }));
         // …but once the regressed run is folded into its own baseline

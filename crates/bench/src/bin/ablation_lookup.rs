@@ -39,6 +39,7 @@ fn main() {
         .into_iter()
         .flat_map(|k| [(k, Variant::Base), (k, Variant::Tree), (k, Variant::Linear)])
         .collect();
+    let cache = opts.cell_cache("ablation_lookup");
     let mut results = run_cells("ablation_lookup", &opts, &cells, |i, &(k, v)| {
         let mut cfg = opts.cfg_for_cell(i);
         let s = match v {
@@ -49,8 +50,9 @@ fn main() {
                 Strategy::Coal
             }
         };
-        run_workload(k, s, &cfg)
-    });
+        cache.run(i, &cfg, || run_workload(k, s, &cfg))
+    })
+    .into_results(&opts);
 
     let mut records = Vec::new();
     let mut rows = Vec::new();
@@ -107,11 +109,15 @@ fn main() {
     println!("\nExtension — TypePointer §6.1 fallback: shrinking tag budget (vE-BFS)");
     println!("(normalized to unbounded-budget TypePointer)\n");
     let budgets: [(Option<u64>, u32); 4] = [(None, 4), (Some(24), 3), (Some(16), 2), (Some(8), 1)];
-    let sweep = run_cells("ablation_budget", &opts, &budgets, |_, &(budget, _)| {
+    let budget_cache = opts.cell_cache("ablation_budget");
+    let sweep = run_cells("ablation_budget", &opts, &budgets, |i, &(budget, _)| {
         let mut cfg = opts.cfg.clone();
         cfg.tag_budget = budget;
-        run_workload(WorkloadKind::VeBfs, Strategy::TypePointerHw, &cfg)
-    });
+        budget_cache.run(i, &cfg, || {
+            run_workload(WorkloadKind::VeBfs, Strategy::TypePointerHw, &cfg)
+        })
+    })
+    .into_results(&opts);
     let full = &sweep[0];
     let mut rows = vec![vec![
         "unbounded (4/4 tagged)".to_string(),

@@ -22,9 +22,12 @@ fn main() {
         .into_iter()
         .flat_map(|k| [(k, Strategy::Cuda), (k, Strategy::SharedOa)])
         .collect();
+    let cache = opts.cell_cache("alloc_init");
     let mut results = run_cells("alloc_init", &opts, &cells, |i, &(k, s)| {
-        run_workload(k, s, &opts.cfg_for_cell(i))
-    });
+        let cfg = opts.cfg_for_cell(i);
+        cache.run(i, &cfg, || run_workload(k, s, &cfg))
+    })
+    .into_results(&opts);
 
     let mut rows = Vec::new();
     let mut records = Vec::new();

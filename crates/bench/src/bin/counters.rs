@@ -18,9 +18,12 @@ fn main() {
         .into_iter()
         .flat_map(|k| Strategy::EVALUATED.into_iter().map(move |s| (k, s)))
         .collect();
+    let cache = opts.cell_cache("counters");
     let mut results = run_cells("counters", &opts, &cells, |i, &(k, s)| {
-        run_workload(k, s, &opts.cfg_for_cell(i))
-    });
+        let cfg = opts.cfg_for_cell(i);
+        cache.run(i, &cfg, || run_workload(k, s, &cfg))
+    })
+    .into_results(&opts);
 
     let stride = Strategy::EVALUATED.len();
     let mut records = Vec::new();

@@ -33,11 +33,13 @@ fn main() {
             cells.push((kind, Strategy::Coal, chunk));
         }
     }
+    let cache = opts.cell_cache("fig10");
     let mut results = run_cells("fig10", &opts, &cells, |i, &(k, s, chunk)| {
         let mut cfg = opts.cfg_for_cell(i);
         cfg.initial_chunk_objs = chunk;
-        run_workload(k, s, &cfg)
-    });
+        cache.run(i, &cfg, || run_workload(k, s, &cfg))
+    })
+    .into_results(&opts);
 
     let stride = 1 + chunk_sizes.len();
     let mut records = Vec::new();

@@ -23,13 +23,15 @@ fn main() {
         .into_iter()
         .flat_map(|k| [(k, Strategy::Cuda), (k, Strategy::TypePointerHw)])
         .collect();
+    let cache = opts.cell_cache("fig11");
     let mut results = run_cells("fig11", &opts, &cells, |i, &(k, s)| {
         let mut cfg = opts.cfg_for_cell(i);
         if s == Strategy::TypePointerHw {
             cfg.allocator_override = Some(AllocatorKind::Cuda);
         }
-        run_workload(k, s, &cfg)
-    });
+        cache.run(i, &cfg, || run_workload(k, s, &cfg))
+    })
+    .into_results(&opts);
 
     let mut rows = Vec::new();
     let mut records = Vec::new();

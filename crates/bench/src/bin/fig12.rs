@@ -47,9 +47,12 @@ fn main() {
         };
         cells.extend(STRATEGIES.map(|s| (params, s)));
     }
+    let cache = opts.cell_cache("fig12");
     let mut results = run_cells("fig12", &opts, &cells, |i, &(p, s)| {
-        micro::run(s, p, &opts.cfg_for_cell(i))
-    });
+        let cfg = opts.cfg_for_cell(i);
+        cache.run(i, &cfg, || micro::run(s, p, &cfg))
+    })
+    .into_results(&opts);
 
     let records: Vec<CellRecord> = cells
         .iter()

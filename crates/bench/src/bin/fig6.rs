@@ -24,9 +24,12 @@ fn main() {
         .into_iter()
         .flat_map(|k| strategies.into_iter().map(move |s| (k, s)))
         .collect();
+    let cache = opts.cell_cache("fig6");
     let mut results = run_cells("fig6", &opts, &cells, |i, &(k, s)| {
-        run_workload(k, s, &opts.cfg_for_cell(i))
-    });
+        let cfg = opts.cfg_for_cell(i);
+        cache.run(i, &cfg, || run_workload(k, s, &cfg))
+    })
+    .into_results(&opts);
 
     let mut rows = Vec::new();
     let mut records = Vec::new();

@@ -36,11 +36,13 @@ fn main() {
             }
         }
     }
+    let cache = opts.cell_cache("generations");
     let mut results = run_cells("generations", &opts, &cells, |i, &(k, mi, s)| {
         let mut cfg = opts.cfg_for_cell(i);
         cfg.gpu = machines[mi].1.clone();
-        run_workload(k, s, &cfg)
-    });
+        cache.run(i, &cfg, || run_workload(k, s, &cfg))
+    })
+    .into_results(&opts);
 
     let stride = STRATEGIES.len();
     let mut rows = Vec::new();

@@ -22,7 +22,8 @@
 //! (baseline, me)?", which no regression can ever fail.
 
 use gvf_bench::bench_history::{
-    gate, sample_from_manifest, GateConfig, GateVerdict, History, DEFAULT_HISTORY_PATH,
+    gate, manifest_used_cell_cache, sample_from_manifest, GateConfig, GateVerdict, History,
+    DEFAULT_HISTORY_PATH,
 };
 use gvf_bench::json::Json;
 
@@ -80,6 +81,13 @@ fn main() {
                 std::process::exit(1);
             }
         };
+        if manifest_used_cell_cache(&doc) {
+            // Cached cells take near-zero wall time; judging a resumed
+            // run against a fresh baseline is meaningless either way.
+            skips += 1;
+            eprintln!("perf_gate: SKIP {path} — run resumed cells from the cell cache");
+            continue;
+        }
         let sample = match sample_from_manifest(&doc) {
             Ok(s) => s,
             Err(e) => {

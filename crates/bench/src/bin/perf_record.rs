@@ -12,12 +12,18 @@
 //! noise-robust point. Exits non-zero if any manifest is unreadable,
 //! so a broken pipeline cannot silently record nothing.
 //!
+//! Manifests from resumed runs (any cell served from the cell cache,
+//! see `hostPerf.cellCache`) are **skipped with a note**: cached cells
+//! take near-zero wall time, so their cycles/sec figure would poison
+//! the baseline with impossibly fast samples.
+//!
 //! All human-facing output goes to stderr; this binary emits nothing on
 //! stdout (the determinism contract's channel discipline applies to
 //! tooling too).
 
 use gvf_bench::bench_history::{
-    git_short_rev, record, sample_from_manifest, today_utc, History, DEFAULT_HISTORY_PATH,
+    git_short_rev, manifest_used_cell_cache, record, sample_from_manifest, today_utc, History,
+    DEFAULT_HISTORY_PATH,
 };
 use gvf_bench::json::Json;
 
@@ -58,6 +64,10 @@ fn main() {
                 std::process::exit(1);
             }
         };
+        if manifest_used_cell_cache(&doc) {
+            eprintln!("perf_record: {path}: skipped — run resumed cells from the cell cache");
+            continue;
+        }
         match sample_from_manifest(&doc) {
             Ok(s) => samples.push(s),
             Err(e) => {

@@ -127,7 +127,21 @@ fn cells_section(doc: &Json) -> String {
             row
         })
         .collect();
-    markdown_table(&headers, &rows)
+    // A v2 failure manifest records dead cells alongside the survivors;
+    // flag them ahead of the table (their measure columns are "-").
+    let failed = cells
+        .iter()
+        .filter(|c| c.get("status").and_then(Json::as_str) == Some("failed"))
+        .count();
+    let mut out = String::new();
+    if failed > 0 {
+        out.push_str(&format!(
+            "**{failed} of {} cells FAILED** — see the `status`/`panic` columns below.\n\n",
+            cells.len()
+        ));
+    }
+    out.push_str(&markdown_table(&headers, &rows));
+    out
 }
 
 /// One row of the host-performance summary, from a manifest.

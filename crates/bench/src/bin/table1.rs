@@ -35,9 +35,12 @@ fn main() {
                 STRATEGIES.map(|s| (MicroParams { n_objects, n_types }, s))
             })
             .collect();
+    let cache = opts.cell_cache("table1");
     let mut results = run_cells("table1", &opts, &cells, |i, &(p, s)| {
-        micro::run(s, p, &opts.cfg_for_cell(i))
-    });
+        let cfg = opts.cfg_for_cell(i);
+        cache.run(i, &cfg, || micro::run(s, p, &cfg))
+    })
+    .into_results(&opts);
 
     let mut rows = Vec::new();
     let mut records = Vec::new();

@@ -17,9 +17,12 @@ use gvf_workloads::{run_workload, WorkloadKind};
 fn main() {
     let opts = HarnessOpts::from_args();
     let cells: Vec<WorkloadKind> = WorkloadKind::EVALUATED.to_vec();
+    let cache = opts.cell_cache("table2");
     let mut results = run_cells("table2", &opts, &cells, |i, &k| {
-        run_workload(k, Strategy::SharedOa, &opts.cfg_for_cell(i))
-    });
+        let cfg = opts.cfg_for_cell(i);
+        cache.run(i, &cfg, || run_workload(k, Strategy::SharedOa, &cfg))
+    })
+    .into_results(&opts);
 
     let mut rows = Vec::new();
     let mut records = Vec::new();

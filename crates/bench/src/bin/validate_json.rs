@@ -25,6 +25,7 @@
 //! from the document alone.
 
 use gvf_bench::bench_history::{TRAJECTORY_SCHEMA, TRAJECTORY_SCHEMA_VERSION};
+use gvf_bench::cellcache::{self, CELLCACHE_SCHEMA, CELLCACHE_SCHEMA_VERSION};
 use gvf_bench::hostperf::{HOSTPERF_SCHEMA, HOSTPERF_SCHEMA_VERSION};
 use gvf_bench::json::Json;
 use gvf_bench::manifest::{
@@ -42,6 +43,7 @@ const KNOWN_SCHEMAS: &[(&str, u32)] = &[
     (TIMELINE_SCHEMA, TIMELINE_SCHEMA_VERSION),
     (HOSTPERF_SCHEMA, HOSTPERF_SCHEMA_VERSION),
     (TRAJECTORY_SCHEMA, TRAJECTORY_SCHEMA_VERSION),
+    (CELLCACHE_SCHEMA, CELLCACHE_SCHEMA_VERSION),
 ];
 
 /// Returns the document's schema identifier, looking both at the top
@@ -58,9 +60,37 @@ fn check(doc: &Json, schema: &str) -> Result<(), String> {
     let arr_len = |key: &str| doc.get(key).and_then(Json::as_arr).map(<[_]>::len);
     match schema {
         MANIFEST_SCHEMA => {
-            let cells = arr_len("cells").ok_or("manifest without a cells array")?;
-            if cells == 0 {
+            // v1 manifests (pre fault isolation) stay valid; v2 adds
+            // `"status": "failed"` entries, which are checked below.
+            let version = doc.get("version").and_then(Json::as_num).unwrap_or(0.0) as u32;
+            if version == 0 || version > MANIFEST_SCHEMA_VERSION {
+                return Err(format!(
+                    "manifest version {version} (validator knows 1..={MANIFEST_SCHEMA_VERSION})"
+                ));
+            }
+            let cells = doc
+                .get("cells")
+                .and_then(Json::as_arr)
+                .ok_or("manifest without a cells array")?;
+            if cells.is_empty() {
                 return Err("manifest with zero cells".into());
+            }
+            for (i, cell) in cells.iter().enumerate() {
+                match cell.get("status").and_then(Json::as_str) {
+                    None | Some("ok") => {}
+                    Some("failed") => {
+                        if version < 2 {
+                            return Err(format!("cell {i}: failed entry in a v{version} manifest"));
+                        }
+                        for key in ["index", "panic", "configFingerprint"] {
+                            cell.get(key)
+                                .ok_or(format!("failed cell {i} without {key:?}"))?;
+                        }
+                    }
+                    Some(other) => {
+                        return Err(format!("cell {i}: unknown status {other:?}"));
+                    }
+                }
             }
             doc.get("config")
                 .ok_or("manifest without a config section")?;
@@ -97,6 +127,7 @@ fn check(doc: &Json, schema: &str) -> Result<(), String> {
             arr_len("traceEvents").ok_or("trace without a traceEvents array")?;
             Ok(())
         }
+        CELLCACHE_SCHEMA => cellcache::verify_entry(doc),
         TRAJECTORY_SCHEMA => {
             let entries = arr_len("entries").ok_or("trajectory without an entries array")?;
             // A freshly bootstrapped history may be empty; entries that

@@ -1,0 +1,900 @@
+//! Content-addressed cell cache: checkpoint/resume for figure sweeps.
+//!
+//! Every grid cell of a figure binary is a pure function of its
+//! simulation configuration — that is the determinism contract the CI
+//! diffs enforce. This module exploits it: a completed cell's
+//! [`RunResult`] is persisted under a **cell key**, the FNV-1a hash of
+//! (schema versions, generator id, cell index, full simulation config),
+//! and a later run with the same key can skip the simulation entirely
+//! (`--resume`). The key deliberately excludes everything the
+//! determinism view excludes — host-perf, wall-clock, `--jobs`,
+//! `--engine-threads` — so a resumed sweep emits **byte-identical**
+//! manifests and attribution artifacts; only the `hostPerf` section
+//! (already stripped by `validate_json --det-diff`) records how many
+//! cells came from the cache.
+//!
+//! Entries live under `<dir>/.cellcache/<key>.json` (schema
+//! `gvf.cellcache` v1) next to the `--json-out` artifact by default.
+//! Each entry carries a `contentHash` over its own rendering, so a
+//! corrupted or hand-edited entry is detected and re-simulated rather
+//! than trusted (`validate_json` enforces the same check in CI — the
+//! cache-poisoning gate).
+//!
+//! What the cache does **not** key on: the simulator's code. Editing
+//! the engine and resuming against a stale cache will happily replay
+//! old results — `run_all.sh` therefore defaults to *write-only* mode
+//! (`--resume` opts into reads), and the cache directory is safe to
+//! delete at any time.
+//!
+//! Cells that record observability artifacts (`--trace-out` /
+//! `--metrics-out` probe the first cell) bypass the cache entirely:
+//! event streams are large and wall-clock-adjacent, and a resumed run
+//! must still produce them fresh.
+
+use crate::json::Json;
+use gvf_alloc::AllocatorKind;
+use gvf_alloc::{AllocStats, TypeKey, TypeRegionStats};
+use gvf_core::{LookupAttrib, LookupKind, TagAttrib, TagMode};
+use gvf_sim::{AttribReport, LogHist, PcLoadStats, LOG_HIST_BUCKETS};
+use gvf_workloads::{AllocAttribSnapshot, AttribBundle, RunResult, Table2Row, WorkloadConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cell-cache schema identifier.
+pub const CELLCACHE_SCHEMA: &str = "gvf.cellcache";
+/// Cell-cache schema version; bump on breaking changes.
+pub const CELLCACHE_SCHEMA_VERSION: u32 = 1;
+
+/// Directory name holding cache entries, under the artifact directory.
+pub const CELLCACHE_DIR: &str = ".cellcache";
+
+// Process-wide counters surfaced in the manifest's `hostPerf` section
+// (which the determinism diff strips, so they never affect a byte diff).
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static CACHE_WRITES: AtomicU64 = AtomicU64::new(0);
+
+/// 64-bit FNV-1a. The standard library's `DefaultHasher` is not stable
+/// across releases; cache keys must be, so the hash is pinned here.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn opt_u64(v: Option<u64>) -> Json {
+    match v {
+        Some(n) => Json::num_u64(n),
+        None => Json::Null,
+    }
+}
+
+/// The deterministic config rendering hashed into a cell key (and
+/// recorded verbatim in failure entries as the *config fingerprint*).
+/// Every simulation-relevant knob appears; host-side knobs
+/// (`engine_threads`, `--jobs`) and the observability probes that
+/// bypass the cache (timeline, metrics) deliberately do not.
+/// Attribution *is* keyed: it changes what a [`RunResult`] carries.
+pub fn config_fingerprint_json(cfg: &WorkloadConfig) -> Json {
+    let g = &cfg.gpu;
+    let gpu = Json::obj()
+        .with("num_sms", Json::num_u64(g.num_sms as u64))
+        .with("max_warps_per_sm", Json::num_u64(g.max_warps_per_sm as u64))
+        .with(
+            "schedulers_per_sm",
+            Json::num_u64(g.schedulers_per_sm as u64),
+        )
+        .with("warp_size", Json::num_u64(g.warp_size as u64))
+        .with("alu_latency", Json::num_u64(g.alu_latency))
+        .with("alu_chain_latency", Json::num_u64(g.alu_chain_latency))
+        .with("branch_latency", Json::num_u64(g.branch_latency))
+        .with(
+            "indirect_call_latency",
+            Json::num_u64(g.indirect_call_latency),
+        )
+        .with("ret_latency", Json::num_u64(g.ret_latency))
+        .with("l1_latency", Json::num_u64(g.l1_latency))
+        .with("l1_bytes", Json::num_u64(g.l1_bytes))
+        .with("l1_ways", Json::num_u64(g.l1_ways as u64))
+        .with("l2_latency", Json::num_u64(g.l2_latency))
+        .with("l2_bytes", Json::num_u64(g.l2_bytes))
+        .with("l2_ways", Json::num_u64(g.l2_ways as u64))
+        .with("l2_slices", Json::num_u64(g.l2_slices as u64))
+        .with("line_bytes", Json::num_u64(g.line_bytes))
+        .with("sector_bytes", Json::num_u64(g.sector_bytes))
+        .with("dram_latency", Json::num_u64(g.dram_latency))
+        .with("dram_channels", Json::num_u64(g.dram_channels as u64))
+        .with("dram_sector_cycles", Json::num_u64(g.dram_sector_cycles))
+        .with(
+            "max_pending_loads",
+            Json::num_u64(g.max_pending_loads as u64),
+        )
+        .with("mshr_per_sm", Json::num_u64(g.mshr_per_sm as u64))
+        .with("l1_queue_cap", Json::num_u64(g.l1_queue_cap))
+        .with("const_latency", Json::num_u64(g.const_latency))
+        .with("const_miss_latency", Json::num_u64(g.const_miss_latency))
+        .with("const_bytes", Json::num_u64(g.const_bytes));
+    Json::obj()
+        .with("scale", Json::num_u64(cfg.scale as u64))
+        .with("iterations", Json::num_u64(cfg.iterations as u64))
+        .with("seed", Json::num_u64(cfg.seed))
+        .with("initial_chunk_objs", Json::num_u64(cfg.initial_chunk_objs))
+        .with(
+            "allocator_override",
+            match cfg.allocator_override {
+                Some(AllocatorKind::Cuda) => Json::str("cuda"),
+                Some(AllocatorKind::SharedOa) => Json::str("sharedoa"),
+                None => Json::Null,
+            },
+        )
+        .with("tag_mode", Json::str(cfg.tag_mode.label()))
+        .with("coal_lookup", Json::str(cfg.coal_lookup.label()))
+        .with("tag_budget", opt_u64(cfg.tag_budget))
+        .with(
+            "device_memory_bytes",
+            Json::num_u64(cfg.device_memory_bytes),
+        )
+        .with("attribution", Json::Bool(cfg.probe.attribution))
+        .with("gpu", gpu)
+}
+
+/// The short hex fingerprint of a cell's configuration, as recorded in
+/// manifest failure entries.
+pub fn config_fingerprint(cfg: &WorkloadConfig) -> String {
+    format!(
+        "{:016x}",
+        fnv1a64(config_fingerprint_json(cfg).render().as_bytes())
+    )
+}
+
+/// The content-addressed key of grid cell `index` of `generator` under
+/// `cfg`, as a 16-digit hex string (the cache file's basename).
+pub fn cell_key(generator: &str, index: usize, cfg: &WorkloadConfig) -> String {
+    let material = format!(
+        "cellcache-v{}\nmanifest-v{}\ngenerator={generator}\ncell={index}\n{}",
+        CELLCACHE_SCHEMA_VERSION,
+        crate::manifest::MANIFEST_SCHEMA_VERSION,
+        config_fingerprint_json(cfg).render(),
+    );
+    format!("{:016x}", fnv1a64(material.as_bytes()))
+}
+
+fn u64_arr(v: &[u64]) -> Json {
+    Json::Arr(v.iter().map(|&x| Json::num_u64(x)).collect())
+}
+
+fn parse_u64_arr(j: &Json) -> Option<Vec<u64>> {
+    j.as_arr()?
+        .iter()
+        .map(|x| x.as_num().map(|n| n as u64))
+        .collect()
+}
+
+fn log_hist_counts(h: &LogHist) -> Json {
+    u64_arr(h.counts())
+}
+
+fn parse_log_hist(j: &Json) -> Option<LogHist> {
+    let v = parse_u64_arr(j)?;
+    let counts: [u64; LOG_HIST_BUCKETS] = v.try_into().ok()?;
+    Some(LogHist::from_counts(counts))
+}
+
+fn attrib_json(b: &AttribBundle) -> Json {
+    let p = &b.probe;
+    let per_pc: Vec<Json> = p
+        .per_pc
+        .iter()
+        .map(|(&(pc, tag), s)| {
+            u64_arr(&[
+                pc as u64,
+                tag as u64,
+                s.instructions,
+                s.lanes,
+                s.transactions,
+                s.l1_hits,
+            ])
+        })
+        .collect();
+    let probe = Json::obj()
+        .with("per_pc", Json::Arr(per_pc))
+        .with("set_accesses", u64_arr(&p.set_accesses))
+        .with("set_hits", u64_arr(&p.set_hits))
+        .with("final_set_sectors", u64_arr(&p.final_set_sectors))
+        .with(
+            "reuse",
+            Json::Arr(p.reuse.iter().map(log_hist_counts).collect()),
+        )
+        .with("cold_lines", u64_arr(&p.cold_lines))
+        .with("sms", Json::num_u64(p.sms));
+    let alloc = match &b.alloc {
+        Some(a) => Json::obj()
+            .with("merges", Json::num_u64(a.merges))
+            .with("initial_chunk_objs", Json::num_u64(a.initial_chunk_objs))
+            .with(
+                "types",
+                Json::Arr(
+                    a.types
+                        .iter()
+                        .map(|t| {
+                            u64_arr(&[
+                                t.ty.0 as u64,
+                                t.obj_size,
+                                t.regions,
+                                t.capacity_objs,
+                                t.used_objs,
+                                t.largest_region_objs,
+                                t.next_region_objs,
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        None => Json::Null,
+    };
+    let lookup = match &b.lookup {
+        Some(l) => Json::obj()
+            .with("kind", Json::str(l.kind.label()))
+            .with("num_ranges", Json::num_u64(l.num_ranges))
+            .with("tree_depth", Json::num_u64(l.tree_depth as u64))
+            .with("dispatches", Json::num_u64(l.dispatches))
+            .with("lanes", Json::num_u64(l.lanes))
+            .with("walk_depth", log_hist_counts(&l.walk_depth))
+            .with("comparisons", log_hist_counts(&l.comparisons)),
+        None => Json::Null,
+    };
+    let tags = match &b.tags {
+        Some(t) => Json::obj()
+            .with("tag_mode", Json::str(t.tag_mode.label()))
+            .with("hardware_mask", Json::Bool(t.hardware_mask))
+            .with("decode_dispatches", Json::num_u64(t.decode_dispatches))
+            .with("decode_lanes", Json::num_u64(t.decode_lanes))
+            .with("fallback_dispatches", Json::num_u64(t.fallback_dispatches))
+            .with("fallback_lanes", Json::num_u64(t.fallback_lanes))
+            .with("mask_ops", Json::num_u64(t.mask_ops)),
+        None => Json::Null,
+    };
+    Json::obj()
+        .with("probe", probe)
+        .with("alloc", alloc)
+        .with("lookup", lookup)
+        .with("tags", tags)
+}
+
+fn parse_attrib(j: &Json) -> Option<AttribBundle> {
+    let get_u64 = |o: &Json, k: &str| o.get(k).and_then(Json::as_num).map(|n| n as u64);
+    let p = j.get("probe")?;
+    let mut probe = AttribReport {
+        set_accesses: parse_u64_arr(p.get("set_accesses")?)?,
+        set_hits: parse_u64_arr(p.get("set_hits")?)?,
+        final_set_sectors: parse_u64_arr(p.get("final_set_sectors")?)?,
+        sms: get_u64(p, "sms")?,
+        ..AttribReport::default()
+    };
+    for row in p.get("per_pc")?.as_arr()? {
+        let v = parse_u64_arr(row)?;
+        let [pc, tag, instructions, lanes, transactions, l1_hits] = v.try_into().ok()?;
+        probe.per_pc.insert(
+            (pc as usize, tag as usize),
+            PcLoadStats {
+                instructions,
+                lanes,
+                transactions,
+                l1_hits,
+            },
+        );
+    }
+    let reuse = p.get("reuse")?.as_arr()?;
+    if reuse.len() != probe.reuse.len() {
+        return None;
+    }
+    for (slot, j) in probe.reuse.iter_mut().zip(reuse) {
+        *slot = parse_log_hist(j)?;
+    }
+    probe.cold_lines = parse_u64_arr(p.get("cold_lines")?)?.try_into().ok()?;
+
+    let alloc = match j.get("alloc")? {
+        Json::Null => None,
+        a => Some(AllocAttribSnapshot {
+            merges: get_u64(a, "merges")?,
+            initial_chunk_objs: get_u64(a, "initial_chunk_objs")?,
+            types: a
+                .get("types")?
+                .as_arr()?
+                .iter()
+                .map(|row| {
+                    let v = parse_u64_arr(row)?;
+                    let [ty, obj_size, regions, capacity_objs, used_objs, largest, next] =
+                        v.try_into().ok()?;
+                    Some(TypeRegionStats {
+                        ty: TypeKey(ty as u32),
+                        obj_size,
+                        regions,
+                        capacity_objs,
+                        used_objs,
+                        largest_region_objs: largest,
+                        next_region_objs: next,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+        }),
+    };
+    let lookup = match j.get("lookup")? {
+        Json::Null => None,
+        l => Some(LookupAttrib {
+            kind: match l.get("kind")?.as_str()? {
+                "segment-tree" => LookupKind::SegmentTree,
+                "linear-scan" => LookupKind::LinearScan,
+                _ => return None,
+            },
+            num_ranges: get_u64(l, "num_ranges")?,
+            tree_depth: get_u64(l, "tree_depth")? as u32,
+            dispatches: get_u64(l, "dispatches")?,
+            lanes: get_u64(l, "lanes")?,
+            walk_depth: parse_log_hist(l.get("walk_depth")?)?,
+            comparisons: parse_log_hist(l.get("comparisons")?)?,
+        }),
+    };
+    let tags = match j.get("tags")? {
+        Json::Null => None,
+        t => Some(TagAttrib {
+            tag_mode: match t.get("tag_mode")?.as_str()? {
+                "offset" => TagMode::Offset,
+                "index" => TagMode::Index,
+                _ => return None,
+            },
+            hardware_mask: t.get("hardware_mask")?.as_bool()?,
+            decode_dispatches: get_u64(t, "decode_dispatches")?,
+            decode_lanes: get_u64(t, "decode_lanes")?,
+            fallback_dispatches: get_u64(t, "fallback_dispatches")?,
+            fallback_lanes: get_u64(t, "fallback_lanes")?,
+            mask_ops: get_u64(t, "mask_ops")?,
+        }),
+    };
+    Some(AttribBundle {
+        probe,
+        alloc,
+        lookup,
+        tags,
+    })
+}
+
+fn result_json(r: &RunResult) -> Json {
+    let s = &r.stats;
+    let stats = Json::obj()
+        .with(
+            "scalars",
+            u64_arr(&[
+                s.cycles,
+                s.instrs_mem,
+                s.instrs_compute,
+                s.instrs_ctrl,
+                s.global_load_transactions,
+                s.global_store_transactions,
+                s.l1_accesses,
+                s.l1_hits,
+                s.l2_accesses,
+                s.l2_hits,
+                s.dram_accesses,
+                s.const_accesses,
+                s.const_hits,
+                s.warps,
+                s.vfunc_calls,
+            ]),
+        )
+        .with("stall_by_tag", u64_arr(&s.stall_by_tag))
+        .with(
+            "load_transactions_by_tag",
+            u64_arr(&s.load_transactions_by_tag),
+        );
+    Json::obj()
+        // A 64-bit digest routinely exceeds 2^53 — unrepresentable in an
+        // f64 JSON number, so it travels as a hex string.
+        .with("checksum", Json::str(format!("{:016x}", r.checksum)))
+        .with("stats", stats)
+        .with("init_cycles", Json::num_u64(r.init_cycles))
+        .with(
+            "alloc_stats",
+            u64_arr(&[
+                r.alloc_stats.objects,
+                r.alloc_stats.used_bytes,
+                r.alloc_stats.reserved_bytes,
+                r.alloc_stats.regions,
+            ]),
+        )
+        .with(
+            "table2",
+            Json::obj()
+                .with("objects", Json::num_u64(r.table2.objects))
+                .with("types", Json::num_u64(r.table2.types as u64))
+                .with(
+                    "vfunc_entries",
+                    Json::num_u64(r.table2.vfunc_entries as u64),
+                )
+                .with("vfunc_pki", Json::Num(r.table2.vfunc_pki)),
+        )
+        .with(
+            "metrics",
+            Json::Arr(
+                r.metrics
+                    .iter()
+                    .map(|&(k, v)| Json::Arr(vec![Json::str(k), Json::Num(v)]))
+                    .collect(),
+            ),
+        )
+        .with(
+            "attrib",
+            match &r.attrib {
+                Some(b) => attrib_json(b),
+                None => Json::Null,
+            },
+        )
+}
+
+fn parse_result(j: &Json) -> Option<RunResult> {
+    let scalars = parse_u64_arr(j.get("stats")?.get("scalars")?)?;
+    let [cycles, instrs_mem, instrs_compute, instrs_ctrl, global_load_transactions, global_store_transactions, l1_accesses, l1_hits, l2_accesses, l2_hits, dram_accesses, const_accesses, const_hits, warps, vfunc_calls] =
+        scalars.try_into().ok()?;
+    let mut stats = gvf_sim::Stats::new();
+    stats.cycles = cycles;
+    stats.instrs_mem = instrs_mem;
+    stats.instrs_compute = instrs_compute;
+    stats.instrs_ctrl = instrs_ctrl;
+    stats.global_load_transactions = global_load_transactions;
+    stats.global_store_transactions = global_store_transactions;
+    stats.l1_accesses = l1_accesses;
+    stats.l1_hits = l1_hits;
+    stats.l2_accesses = l2_accesses;
+    stats.l2_hits = l2_hits;
+    stats.dram_accesses = dram_accesses;
+    stats.const_accesses = const_accesses;
+    stats.const_hits = const_hits;
+    stats.warps = warps;
+    stats.vfunc_calls = vfunc_calls;
+    stats.stall_by_tag = parse_u64_arr(j.get("stats")?.get("stall_by_tag")?)?
+        .try_into()
+        .ok()?;
+    stats.load_transactions_by_tag =
+        parse_u64_arr(j.get("stats")?.get("load_transactions_by_tag")?)?
+            .try_into()
+            .ok()?;
+
+    let a = parse_u64_arr(j.get("alloc_stats")?)?;
+    let [objects, used_bytes, reserved_bytes, regions] = a.try_into().ok()?;
+    let t2 = j.get("table2")?;
+    let num = |o: &Json, k: &str| o.get(k).and_then(Json::as_num);
+    let metrics = j
+        .get("metrics")?
+        .as_arr()?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr()?;
+            let key = pair.first()?.as_str()?;
+            let value = pair.get(1)?.as_num()?;
+            // Metric keys are a small closed set per workload; leaking
+            // the decoded string restores the `&'static str` the struct
+            // carries. Bounded: one leak per distinct key per process.
+            Some((&*Box::leak(key.to_string().into_boxed_str()), value))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(RunResult {
+        stats,
+        checksum: u64::from_str_radix(j.get("checksum")?.as_str()?, 16).ok()?,
+        alloc_stats: AllocStats {
+            objects,
+            used_bytes,
+            reserved_bytes,
+            regions,
+        },
+        init_cycles: num(j, "init_cycles")? as u64,
+        table2: Table2Row {
+            objects: num(t2, "objects")? as u64,
+            types: num(t2, "types")? as u32,
+            vfunc_entries: num(t2, "vfunc_entries")? as u32,
+            vfunc_pki: num(t2, "vfunc_pki")?,
+        },
+        metrics,
+        obs: None,
+        attrib: match j.get("attrib")? {
+            Json::Null => None,
+            b => Some(parse_attrib(b)?),
+        },
+    })
+}
+
+/// Builds the `gvf.cellcache` entry document for one completed cell.
+pub fn entry_doc(generator: &str, index: usize, key: &str, r: &RunResult) -> Json {
+    let doc = Json::obj()
+        .with("schema", Json::str(CELLCACHE_SCHEMA))
+        .with("version", Json::num_u64(CELLCACHE_SCHEMA_VERSION as u64))
+        .with("generator", Json::str(generator))
+        .with("cell", Json::num_u64(index as u64))
+        .with("key", Json::str(key))
+        .with("contentHash", Json::str(""))
+        .with("result", result_json(r));
+    let hash = content_hash(&doc);
+    Json::Obj(match doc {
+        Json::Obj(members) => members
+            .into_iter()
+            .map(|(k, v)| {
+                if k == "contentHash" {
+                    (k, Json::str(&hash))
+                } else {
+                    (k, v)
+                }
+            })
+            .collect(),
+        _ => unreachable!(),
+    })
+}
+
+/// The integrity hash of an entry: FNV-1a over the document's rendering
+/// with `contentHash` blanked. Re-derivable by any consumer, so a
+/// poisoned entry (edited counters, stale hash) is detectable without
+/// re-simulating.
+pub fn content_hash(doc: &Json) -> String {
+    let blanked = match doc {
+        Json::Obj(members) => Json::Obj(
+            members
+                .iter()
+                .map(|(k, v)| {
+                    if k == "contentHash" {
+                        (k.clone(), Json::str(""))
+                    } else {
+                        (k.clone(), v.clone())
+                    }
+                })
+                .collect(),
+        ),
+        other => other.clone(),
+    };
+    format!("{:016x}", fnv1a64(blanked.render().as_bytes()))
+}
+
+/// Structural + integrity validation of a parsed cache entry. Returns a
+/// human-readable reason on rejection (shared by the resume path and
+/// `validate_json`).
+pub fn verify_entry(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(CELLCACHE_SCHEMA) {
+        return Err("schema is not gvf.cellcache".to_string());
+    }
+    if doc.get("version").and_then(Json::as_num) != Some(CELLCACHE_SCHEMA_VERSION as f64) {
+        return Err(format!(
+            "unsupported version (want {CELLCACHE_SCHEMA_VERSION})"
+        ));
+    }
+    for field in ["generator", "key", "contentHash"] {
+        if doc.get(field).and_then(Json::as_str).is_none() {
+            return Err(format!("missing string field {field}"));
+        }
+    }
+    if doc.get("cell").and_then(Json::as_num).is_none() {
+        return Err("missing cell index".to_string());
+    }
+    let recorded = doc.get("contentHash").and_then(Json::as_str).unwrap_or("");
+    let actual = content_hash(doc);
+    if recorded != actual {
+        return Err(format!(
+            "content hash mismatch (recorded {recorded}, actual {actual}) — entry is corrupt or poisoned"
+        ));
+    }
+    let result = doc.get("result").ok_or("missing result")?;
+    if parse_result(result).is_none() {
+        return Err("result section does not decode".to_string());
+    }
+    Ok(())
+}
+
+/// A per-binary handle on the cache directory.
+///
+/// `read` is `--resume`; writes happen whenever the cache is enabled
+/// (so a default run warms the cache for a later `--resume`). A `None`
+/// directory disables everything — [`CellCache::run`] degrades to
+/// calling the simulation closure directly.
+pub struct CellCache {
+    dir: Option<String>,
+    read: bool,
+    quiet: bool,
+    generator: String,
+}
+
+impl CellCache {
+    /// A cache rooted at `dir` (`None` = disabled).
+    pub fn new(dir: Option<String>, read: bool, quiet: bool, generator: &str) -> Self {
+        CellCache {
+            dir,
+            read,
+            quiet,
+            generator: generator.to_string(),
+        }
+    }
+
+    /// A disabled cache: every cell simulates.
+    pub fn disabled(generator: &str) -> Self {
+        CellCache::new(None, false, true, generator)
+    }
+
+    fn path_for(&self, key: &str) -> Option<std::path::PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| std::path::Path::new(d).join(format!("{key}.json")))
+    }
+
+    fn try_read(&self, index: usize, key: &str) -> Option<RunResult> {
+        let path = self.path_for(key)?;
+        let text = std::fs::read_to_string(&path).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        if let Err(reason) = verify_entry(&doc) {
+            if !self.quiet {
+                eprintln!(
+                    "[{}] ignoring cache entry {}: {reason}",
+                    self.generator,
+                    path.display()
+                );
+            }
+            return None;
+        }
+        if doc.get("generator").and_then(Json::as_str) != Some(self.generator.as_str())
+            || doc.get("cell").and_then(Json::as_num) != Some(index as f64)
+            || doc.get("key").and_then(Json::as_str) != Some(key)
+        {
+            return None;
+        }
+        parse_result(doc.get("result")?)
+    }
+
+    fn write(&self, index: usize, key: &str, r: &RunResult) {
+        let Some(path) = self.path_for(key) else {
+            return;
+        };
+        let doc = entry_doc(&self.generator, index, key, r);
+        // Atomic publish: a concurrent or killed writer never leaves a
+        // torn entry under the final name. I/O errors only cost the
+        // cache, never the run.
+        let tmp = path.with_extension("json.tmp");
+        let ok = (|| -> std::io::Result<()> {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(&tmp, doc.render())?;
+            std::fs::rename(&tmp, &path)
+        })();
+        match ok {
+            Ok(()) => {
+                CACHE_WRITES.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                if !self.quiet {
+                    eprintln!(
+                        "[{}] could not write cache entry {}: {e}",
+                        self.generator,
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Produces cell `index`'s result: from the cache when resuming and
+    /// a valid entry exists, otherwise by running `f` (and persisting
+    /// its result). Cells whose probe spec records timeline or metrics
+    /// streams bypass the cache entirely (see the module docs).
+    pub fn run(
+        &self,
+        index: usize,
+        cfg: &WorkloadConfig,
+        f: impl FnOnce() -> RunResult,
+    ) -> RunResult {
+        let observed = cfg.probe.timeline_events_per_sm > 0 || cfg.probe.metrics_bucket_cycles > 0;
+        if self.dir.is_none() || observed {
+            return f();
+        }
+        let key = cell_key(&self.generator, index, cfg);
+        if self.read {
+            if let Some(r) = self.try_read(index, &key) {
+                CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                return r;
+            }
+        }
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        let r = f();
+        self.write(index, &key, &r);
+        r
+    }
+}
+
+/// This process's cache counters for the manifest's `hostPerf` section:
+/// `cachedCells` came from the cache, `simulatedCells` ran, and
+/// `entriesWritten` were persisted.
+pub fn counters_json() -> Json {
+    Json::obj()
+        .with(
+            "cachedCells",
+            Json::num_u64(CACHE_HITS.load(Ordering::Relaxed)),
+        )
+        .with(
+            "simulatedCells",
+            Json::num_u64(CACHE_MISSES.load(Ordering::Relaxed)),
+        )
+        .with(
+            "entriesWritten",
+            Json::num_u64(CACHE_WRITES.load(Ordering::Relaxed)),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvf_workloads::WorkloadConfig;
+
+    fn sample_result() -> RunResult {
+        let mut stats = gvf_sim::Stats::new();
+        stats.cycles = 12345;
+        stats.instrs_mem = 100;
+        stats.l1_accesses = 64;
+        stats.l1_hits = 32;
+        stats.stall_by_tag[0] = 7;
+        stats.load_transactions_by_tag[1] = 9;
+        let mut walk = LogHist::new();
+        walk.record(3);
+        walk.record(900);
+        let mut probe = AttribReport {
+            sms: 2,
+            set_accesses: vec![1, 2, 3],
+            set_hits: vec![1, 0, 2],
+            final_set_sectors: vec![4, 4, 0],
+            ..AttribReport::default()
+        };
+        probe.per_pc.insert(
+            (7, 1),
+            PcLoadStats {
+                instructions: 2,
+                lanes: 64,
+                transactions: 9,
+                l1_hits: 5,
+            },
+        );
+        RunResult {
+            stats,
+            checksum: u64::MAX - 17, // exercises the > 2^53 hex path
+            alloc_stats: AllocStats {
+                objects: 10,
+                used_bytes: 640,
+                reserved_bytes: 1024,
+                regions: 2,
+            },
+            init_cycles: 999,
+            table2: Table2Row {
+                objects: 10,
+                types: 3,
+                vfunc_entries: 12,
+                vfunc_pki: 1.625,
+            },
+            metrics: vec![("alive", 42.0), ("level_sum", 7.5)],
+            obs: None,
+            attrib: Some(AttribBundle {
+                probe,
+                alloc: Some(AllocAttribSnapshot {
+                    merges: 1,
+                    initial_chunk_objs: 64,
+                    types: vec![TypeRegionStats {
+                        ty: TypeKey(3),
+                        obj_size: 64,
+                        regions: 2,
+                        capacity_objs: 128,
+                        used_objs: 100,
+                        largest_region_objs: 64,
+                        next_region_objs: 128,
+                    }],
+                }),
+                lookup: Some(LookupAttrib {
+                    kind: LookupKind::SegmentTree,
+                    num_ranges: 5,
+                    tree_depth: 3,
+                    dispatches: 11,
+                    lanes: 300,
+                    walk_depth: walk,
+                    comparisons: walk,
+                }),
+                tags: Some(TagAttrib {
+                    tag_mode: TagMode::Offset,
+                    hardware_mask: true,
+                    decode_dispatches: 11,
+                    decode_lanes: 300,
+                    fallback_dispatches: 1,
+                    fallback_lanes: 2,
+                    mask_ops: 0,
+                }),
+            }),
+        }
+    }
+
+    fn results_equal(a: &RunResult, b: &RunResult) {
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.alloc_stats, b.alloc_stats);
+        assert_eq!(a.init_cycles, b.init_cycles);
+        assert_eq!(a.table2.objects, b.table2.objects);
+        assert_eq!(a.table2.types, b.table2.types);
+        assert_eq!(a.table2.vfunc_entries, b.table2.vfunc_entries);
+        assert_eq!(a.table2.vfunc_pki, b.table2.vfunc_pki);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.attrib, b.attrib);
+        assert!(b.obs.is_none());
+    }
+
+    #[test]
+    fn entry_round_trips_losslessly() {
+        let r = sample_result();
+        let cfg = WorkloadConfig::tiny();
+        let key = cell_key("fig6", 3, &cfg);
+        let doc = entry_doc("fig6", 3, &key, &r);
+        let parsed = Json::parse(&doc.render()).expect("parse");
+        verify_entry(&parsed).expect("verifies");
+        let decoded = parse_result(parsed.get("result").expect("result")).expect("decode");
+        results_equal(&r, &decoded);
+    }
+
+    #[test]
+    fn tampering_breaks_the_content_hash() {
+        let r = sample_result();
+        let cfg = WorkloadConfig::tiny();
+        let key = cell_key("fig6", 0, &cfg);
+        let doc = entry_doc("fig6", 0, &key, &r);
+        verify_entry(&doc).expect("fresh entry verifies");
+        // Poison a counter without updating the hash.
+        let poisoned = Json::parse(&doc.render().replace("12345", "1")).expect("parse");
+        let err = verify_entry(&poisoned).expect_err("poisoned entry rejected");
+        assert!(err.contains("content hash mismatch"), "{err}");
+    }
+
+    #[test]
+    fn key_tracks_config_generator_and_index() {
+        let cfg = WorkloadConfig::tiny();
+        let base = cell_key("fig6", 0, &cfg);
+        assert_eq!(base, cell_key("fig6", 0, &cfg), "stable");
+        assert_ne!(base, cell_key("fig7", 0, &cfg), "generator keyed");
+        assert_ne!(base, cell_key("fig6", 1, &cfg), "index keyed");
+        let mut other = cfg.clone();
+        other.seed ^= 1;
+        assert_ne!(base, cell_key("fig6", 0, &other), "config keyed");
+        // Host-side knobs are excluded, like the determinism view.
+        let mut threads = cfg.clone();
+        threads.engine_threads = 8;
+        assert_eq!(
+            base,
+            cell_key("fig6", 0, &threads),
+            "engine_threads excluded"
+        );
+    }
+
+    #[test]
+    fn cache_round_trips_through_disk_and_counts() {
+        let dir = std::env::temp_dir().join(format!("gvf-cellcache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = WorkloadConfig::tiny();
+        let cache = CellCache::new(Some(dir.to_string_lossy().into_owned()), true, true, "t");
+        let mut ran = 0;
+        let r1 = cache.run(0, &cfg, || {
+            ran += 1;
+            sample_result()
+        });
+        let r2 = cache.run(0, &cfg, || {
+            ran += 1;
+            sample_result()
+        });
+        assert_eq!(ran, 1, "second run came from the cache");
+        results_equal(&r1, &r2);
+        // Probed cells bypass the cache.
+        let mut probed = cfg.clone();
+        probed.probe.timeline_events_per_sm = 16;
+        cache.run(0, &probed, || {
+            ran += 1;
+            sample_result()
+        });
+        assert_eq!(ran, 2, "observed cell re-simulated");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -39,6 +39,16 @@ pub struct HarnessOpts {
     /// Write the mechanism-attribution report (`gvf.attribution` v1)
     /// here (`--attrib-out`).
     pub attrib_out: Option<String>,
+    /// Read completed cells back from the content-addressed cell cache
+    /// (`--resume`) instead of re-simulating them. Resumed sweeps emit
+    /// byte-identical manifests (see [`crate::cellcache`]).
+    pub resume: bool,
+    /// Disable the cell cache entirely (`--no-cache`): no reads, no
+    /// writes. Mutually exclusive with `--resume`.
+    pub no_cache: bool,
+    /// Cell-cache directory override (`--cache-dir`). Defaults to
+    /// `.cellcache/` next to the `--json-out` artifact.
+    pub cache_dir: Option<String>,
 }
 
 /// Prints a usage error and exits with status 2.
@@ -62,6 +72,9 @@ impl HarnessOpts {
         let mut trace_out = None;
         let mut metrics_out = None;
         let mut attrib_out = None;
+        let mut resume = false;
+        let mut no_cache = false;
+        let mut cache_dir = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -119,12 +132,24 @@ impl HarnessOpts {
                     attrib_out = Some(need(i).clone());
                     i += 2;
                 }
+                "--resume" => {
+                    resume = true;
+                    i += 1;
+                }
+                "--no-cache" => {
+                    no_cache = true;
+                    i += 1;
+                }
+                "--cache-dir" => {
+                    cache_dir = Some(need(i).clone());
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     println!(
                         "options: --scale N (default 8)  --iters N  --seed N  \
                          --jobs N (0 = all cores)  --engine-threads N (0 = auto)  --smoke  \
                          --quiet  --json-out PATH  --trace-out PATH  --metrics-out PATH  \
-                         --attrib-out PATH"
+                         --attrib-out PATH  --resume  --no-cache  --cache-dir DIR"
                     );
                     std::process::exit(0);
                 }
@@ -140,6 +165,9 @@ impl HarnessOpts {
             cfg.seed = seed;
             cfg.engine_threads = engine_threads;
         }
+        if resume && no_cache {
+            usage_error("--resume and --no-cache are mutually exclusive");
+        }
         HarnessOpts {
             cfg,
             jobs,
@@ -149,7 +177,36 @@ impl HarnessOpts {
             trace_out,
             metrics_out,
             attrib_out,
+            resume,
+            no_cache,
+            cache_dir,
         }
+    }
+
+    /// The content-addressed cell cache for this run (see
+    /// [`crate::cellcache`]). Enabled whenever a cache directory can be
+    /// derived — `--cache-dir`, or `.cellcache/` next to `--json-out` —
+    /// and `--no-cache` was not given; reads additionally require
+    /// `--resume`. A default run is therefore *write-only*: it warms
+    /// the cache so an interrupted sweep can be resumed, but never
+    /// trusts stale entries unless asked to.
+    pub fn cell_cache(&self, generator: &str) -> crate::cellcache::CellCache {
+        if self.no_cache {
+            return crate::cellcache::CellCache::disabled(generator);
+        }
+        let dir = self.cache_dir.clone().or_else(|| {
+            self.json_out.as_ref().map(|p| {
+                let parent = std::path::Path::new(p)
+                    .parent()
+                    .filter(|d| !d.as_os_str().is_empty())
+                    .unwrap_or_else(|| std::path::Path::new("."));
+                parent
+                    .join(crate::cellcache::CELLCACHE_DIR)
+                    .to_string_lossy()
+                    .into_owned()
+            })
+        });
+        crate::cellcache::CellCache::new(dir, self.resume, self.quiet, generator)
     }
 
     /// The configuration for grid cell `i`. Timeline/metrics recording

@@ -127,9 +127,13 @@ pub fn host_perf_json_from(snap: &HostPerfSnapshot, total_sim_cycles: u64) -> Js
 }
 
 /// The `hostPerf` section for this process right now: snapshots the
-/// global collector. Called by [`crate::manifest::emit`].
+/// global collector and appends the cell-cache counters (how many cells
+/// were resumed from the cache vs simulated — the *only* place a
+/// resumed run differs from a fresh one, and it is stripped by the
+/// determinism diff). Called by [`crate::manifest::emit`].
 pub fn host_perf_json(total_sim_cycles: u64) -> Json {
     host_perf_json_from(&hostperf::snapshot(), total_sim_cycles)
+        .with("cellCache", crate::cellcache::counters_json())
 }
 
 #[cfg(test)]

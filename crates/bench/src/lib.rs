@@ -8,6 +8,7 @@
 //! builds offline, so Criterion is not a dependency).
 
 pub mod bench_history;
+pub mod cellcache;
 pub mod cli;
 pub mod harness;
 pub mod hostperf;

@@ -3,9 +3,11 @@
 //! Every grid binary can emit three artifacts next to its stdout table
 //! (see [`crate::cli::HarnessOpts`]):
 //!
-//! - `--json-out` — the **run manifest** (`gvf.run-manifest` v1):
+//! - `--json-out` — the **run manifest** (`gvf.run-manifest` v2):
 //!   generator name, the simulation-relevant config, and one record per
-//!   grid cell with its raw [`Stats`] counters plus derived metrics.
+//!   grid cell with its raw [`Stats`] counters plus derived metrics;
+//!   sweeps with dead cells instead record `"status": "failed"` entries
+//!   per cell (see [`emit_failures`]).
 //!   The config section deliberately excludes host-side knobs
 //!   (`--jobs`, `--engine-threads`), and the only wall-clock data is
 //!   the `hostPerf` section ([`crate::hostperf`], schema
@@ -46,7 +48,13 @@ use std::io::{self, Write};
 /// Manifest schema identifier.
 pub const MANIFEST_SCHEMA: &str = "gvf.run-manifest";
 /// Manifest schema version; bump on breaking changes.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 adds per-cell fault isolation: a sweep with dead cells records
+/// them as `"status": "failed"` entries (index, panic payload, config
+/// fingerprint) alongside the surviving cells' full records. A run with
+/// no failures emits exactly the v1 body — a lossless v1 view — with
+/// only this version number bumped.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
 /// Metrics-series schema identifier.
 pub const METRICS_SCHEMA: &str = "gvf.metrics";
 /// Metrics-series schema version; bump on breaking changes.
@@ -490,6 +498,70 @@ pub fn emit(opts: &HarnessOpts, generator: &str, cells: &[CellRecord], obs: Opti
     }
 }
 
+/// Writes the **failure manifest** of a sweep with dead cells: a v2
+/// manifest whose `cells` array records every grid index — surviving
+/// cells keep their full stats/derived records (their simulation work
+/// is not lost), dead cells become first-class `"status": "failed"`
+/// entries carrying the panic payload and config fingerprint. No-op
+/// without `--json-out`. The caller ([`crate::sweep::SweepRun`]) exits
+/// non-zero afterwards; partial artifacts other than the manifest
+/// (attribution, traces) are deliberately not written — their schemas
+/// promise cells that mirror a complete grid.
+pub fn emit_failures(
+    opts: &HarnessOpts,
+    generator: &str,
+    cells: &[Result<RunResult, crate::sweep::SweepFailure>],
+) {
+    let Some(path) = &opts.json_out else {
+        return;
+    };
+    let total_sim_cycles: u64 = cells
+        .iter()
+        .filter_map(|c| c.as_ref().ok())
+        .map(|r| r.stats.cycles)
+        .sum();
+    let doc = failure_manifest(generator, opts, cells).with(
+        "hostPerf",
+        crate::hostperf::host_perf_json(total_sim_cycles),
+    );
+    if let Err(e) = write_file(path, doc.render().as_bytes()) {
+        eprintln!("error: failed to write failure manifest: {e}");
+    }
+}
+
+/// The deterministic core of a failure manifest (everything but
+/// `hostPerf`): one entry per grid index, `"ok"` cells with full
+/// stats/derived records, `"failed"` cells with panic payload and
+/// config fingerprint.
+pub fn failure_manifest(
+    generator: &str,
+    opts: &HarnessOpts,
+    cells: &[Result<RunResult, crate::sweep::SweepFailure>],
+) -> Json {
+    let records: Vec<Json> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| match cell {
+            Ok(r) => Json::obj()
+                .with("index", Json::num_u64(i as u64))
+                .with("status", Json::str("ok"))
+                .with("stats", stats_json(&r.stats))
+                .with("derived", derived_json(&r.stats)),
+            Err(f) => Json::obj()
+                .with("index", Json::num_u64(i as u64))
+                .with("status", Json::str("failed"))
+                .with("panic", Json::str(&f.payload))
+                .with("configFingerprint", Json::str(&f.fingerprint)),
+        })
+        .collect();
+    Json::obj()
+        .with("schema", Json::str(MANIFEST_SCHEMA))
+        .with("version", Json::num_u64(MANIFEST_SCHEMA_VERSION as u64))
+        .with("generator", Json::str(generator))
+        .with("config", config_json(opts))
+        .with("cells", Json::Arr(records))
+}
+
 /// One-call artifact emission for a figure binary: takes the
 /// observability report from the grid's first (probed) cell and hands
 /// everything to [`emit`]. Replaces the `obs`-take + `emit` pair every
@@ -570,6 +642,9 @@ mod tests {
             trace_out: None,
             metrics_out: None,
             attrib_out: None,
+            resume: false,
+            no_cache: false,
+            cache_dir: None,
         }
     }
 
@@ -625,6 +700,48 @@ mod tests {
         let doc = attribution_doc("test", &test_opts(), &[bare]);
         let cell0 = &doc.get("cells").and_then(Json::as_arr).expect("cells")[0];
         assert_eq!(cell0.get("attribution"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn failure_manifest_records_dead_and_surviving_cells() {
+        let ok = RunResult {
+            stats: sample_stats(),
+            checksum: 0,
+            alloc_stats: Default::default(),
+            init_cycles: 0,
+            table2: Default::default(),
+            metrics: Vec::new(),
+            obs: None,
+            attrib: None,
+        };
+        let cells = vec![
+            Ok(ok),
+            Err(crate::sweep::SweepFailure {
+                cell: 1,
+                payload: "boom".into(),
+                fingerprint: "deadbeef".into(),
+            }),
+        ];
+        let doc = failure_manifest("fig6", &test_opts(), &cells);
+        let parsed = Json::parse(&doc.render()).expect("parse");
+        assert_eq!(parsed, doc);
+        assert_eq!(
+            doc.get("version").and_then(Json::as_num),
+            Some(MANIFEST_SCHEMA_VERSION as f64)
+        );
+        let entries = doc.get("cells").and_then(Json::as_arr).expect("cells");
+        assert_eq!(entries[0].get("status").and_then(Json::as_str), Some("ok"));
+        assert!(entries[0].get("stats").is_some());
+        assert_eq!(
+            entries[1].get("status").and_then(Json::as_str),
+            Some("failed")
+        );
+        assert_eq!(entries[1].get("panic").and_then(Json::as_str), Some("boom"));
+        assert_eq!(
+            entries[1].get("configFingerprint").and_then(Json::as_str),
+            Some("deadbeef")
+        );
+        assert_eq!(entries[1].get("stats"), None, "dead cells carry no stats");
     }
 
     #[test]

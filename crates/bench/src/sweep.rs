@@ -2,12 +2,19 @@
 //!
 //! Every figure binary boils down to a grid of independent cells
 //! (workload × strategy × knob). [`run_cells`] pushes the grid through a
-//! [`SimPool`] and returns the results in grid order, so the reporting
-//! code stays a plain in-order loop and stdout is byte-identical for
-//! any `--jobs` value. All operator feedback — progress heartbeats and
-//! the wall-clock summary — goes to **stderr only** (the CI determinism
-//! diff compares stdout between serial and parallel runs), and
-//! `--quiet` suppresses even that for scripted runs.
+//! [`SimPool`] and returns a [`SweepRun`] holding the results in grid
+//! order, so the reporting code stays a plain in-order loop and stdout
+//! is byte-identical for any `--jobs` value. All operator feedback —
+//! progress heartbeats and the wall-clock summary — goes to **stderr
+//! only** (the CI determinism diff compares stdout between serial and
+//! parallel runs), and `--quiet` suppresses even that for scripted runs.
+//!
+//! **Fault isolation:** a panicking cell no longer aborts the sweep.
+//! The pool catches each cell's panic ([`gvf_sim::CellFailure`]); the
+//! remaining cells complete, and [`SweepRun::into_results`] turns any
+//! failures into first-class `"failed"` manifest entries plus a
+//! non-zero exit that lists exactly which cells died — per-cell
+//! granularity instead of losing the whole binary's work.
 //!
 //! Each sweep also self-reports to [`gvf_sim::hostperf`]: the pool's
 //! [`gvf_sim::PoolTelemetry`] (per-worker busy/queue-wait/idle time)
@@ -17,21 +24,94 @@
 
 use crate::cli::HarnessOpts;
 use gvf_sim::hostperf::{self, SweepTelemetry};
-use gvf_sim::SimPool;
+use gvf_sim::{CellFailure, SimPool};
+use gvf_workloads::RunResult;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Minimum milliseconds between progress heartbeats.
 const HEARTBEAT_MS: u64 = 1000;
 
+/// One dead cell of a sweep: where it died, what the panic said, and
+/// the fingerprint of the configuration that killed it (reproducible
+/// via `--seed`/knob flags; the fingerprint is what the cell cache
+/// would have keyed it by — see [`crate::cellcache`]).
+#[derive(Clone, Debug)]
+pub struct SweepFailure {
+    /// Grid index of the dead cell.
+    pub cell: usize,
+    /// The panic payload.
+    pub payload: String,
+    /// Hex fingerprint of the cell's simulation config.
+    pub fingerprint: String,
+}
+
+/// The outcome of a sweep: per-cell results in grid order, each either
+/// a value or the failure that killed it.
+pub struct SweepRun<T> {
+    label: String,
+    cells: Vec<Result<T, SweepFailure>>,
+}
+
+impl<T> SweepRun<T> {
+    /// The dead cells, in grid order.
+    pub fn failures(&self) -> Vec<&SweepFailure> {
+        self.cells.iter().filter_map(|c| c.as_ref().err()).collect()
+    }
+
+    /// Unwraps every cell, panicking on the first failure — for callers
+    /// (tests, benches) that treat any dead cell as fatal.
+    pub fn expect_all(self) -> Vec<T> {
+        self.cells
+            .into_iter()
+            .map(|c| c.unwrap_or_else(|f| panic!("cell {} panicked: {}", f.cell, f.payload)))
+            .collect()
+    }
+}
+
+impl SweepRun<RunResult> {
+    /// The figure-binary unwrap: on an all-green sweep, the results in
+    /// grid order. Any dead cell instead writes the failure manifest
+    /// (`--json-out`, schema v2 with `"status": "failed"` entries — see
+    /// [`crate::manifest::emit_failures`]), lists the dead cells on
+    /// stderr, and exits non-zero; surviving cells' counters are
+    /// preserved in the manifest, so a long sweep's work is not lost.
+    pub fn into_results(self, opts: &HarnessOpts) -> Vec<RunResult> {
+        if self.failures().is_empty() {
+            return self
+                .cells
+                .into_iter()
+                .map(|c| c.unwrap_or_else(|_| unreachable!("no failures")))
+                .collect();
+        }
+        let label = self.label.clone();
+        let failed: Vec<usize> = self.failures().iter().map(|f| f.cell).collect();
+        crate::manifest::emit_failures(opts, &label, &self.cells);
+        for f in self.failures() {
+            eprintln!(
+                "[{label}] cell {} FAILED: {} (config {})",
+                f.cell, f.payload, f.fingerprint
+            );
+        }
+        eprintln!(
+            "[{label}] {} of {} cells failed: {failed:?}",
+            failed.len(),
+            self.cells.len(),
+        );
+        std::process::exit(1);
+    }
+}
+
 /// Runs `f` over `cells` on `opts.jobs` threads (`0` = all cores),
-/// returning results in input order; `f` also receives the cell's grid
-/// index (feeding [`crate::cli::HarnessOpts::cfg_for_cell`]). Long
-/// sweeps get throttled `k/N cells, ETA` heartbeats on stderr; a final
-/// wall-clock line always prints to stderr so stdout stays a clean
-/// report. `--quiet` silences both. The sweep's pool telemetry is
-/// recorded for the manifest's `hostPerf` section.
-pub fn run_cells<I, T, F>(label: &str, opts: &HarnessOpts, cells: &[I], f: F) -> Vec<T>
+/// returning a [`SweepRun`] in input order; `f` also receives the
+/// cell's grid index (feeding [`crate::cli::HarnessOpts::cfg_for_cell`]).
+/// Long sweeps get throttled `k/N cells, ETA` heartbeats on stderr, and
+/// the completion heartbeat always prints (the last cell must never be
+/// swallowed by the throttle); a final wall-clock line also goes to
+/// stderr so stdout stays a clean report. `--quiet` silences all of it.
+/// The sweep's pool telemetry is recorded for the manifest's `hostPerf`
+/// section.
+pub fn run_cells<I, T, F>(label: &str, opts: &HarnessOpts, cells: &[I], f: F) -> SweepRun<T>
 where
     I: Sync,
     T: Send,
@@ -47,12 +127,18 @@ where
         }
         let elapsed_ms = start.elapsed().as_millis() as u64;
         let prev = last_beat.load(Ordering::Relaxed);
-        // One thread wins the CAS per heartbeat window; the rest skip.
-        if done < total
-            && elapsed_ms >= prev + HEARTBEAT_MS
-            && last_beat
-                .compare_exchange(prev, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
-                .is_ok()
+        if !heartbeat_due(done, total, elapsed_ms, prev) {
+            return;
+        }
+        // The completion beat is unconditionally printed: only one
+        // thread ever observes `done == total`, so it needs no CAS and
+        // cannot be swallowed by the throttle window. Throttled beats
+        // race; one thread wins the CAS per window, the rest skip.
+        if done == total {
+            eprintln!("[{label}] {done}/{total} cells");
+        } else if last_beat
+            .compare_exchange(prev, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
         {
             match eta_seconds(done, total, start.elapsed().as_secs_f64()) {
                 Some(eta) => eprintln!("[{label}] {done}/{total} cells, ETA {eta:.0}s"),
@@ -77,7 +163,29 @@ where
         },
         start.elapsed().as_nanos() as u64,
     );
-    out
+    let cells = out
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.map_err(|CellFailure { index, payload }| SweepFailure {
+                cell: index,
+                payload,
+                fingerprint: crate::cellcache::config_fingerprint(&opts.cfg_for_cell(i)),
+            })
+        })
+        .collect();
+    SweepRun {
+        label: label.to_string(),
+        cells,
+    }
+}
+
+/// Whether a progress line should be considered at all: the completion
+/// beat (`done == total`) is always due — the CAS throttle used to
+/// swallow it when the last cell landed inside the throttle window —
+/// and intermediate beats are due once the window has elapsed.
+fn heartbeat_due(done: usize, total: usize, elapsed_ms: u64, prev_beat_ms: u64) -> bool {
+    done == total || elapsed_ms >= prev_beat_ms + HEARTBEAT_MS
 }
 
 /// Remaining-time estimate, `None` when there is nothing to extrapolate
@@ -103,5 +211,16 @@ mod tests {
         assert!((eta - 2.0).abs() < 1e-9);
         // Finished sweeps extrapolate to zero remaining.
         assert_eq!(eta_seconds(10, 10, 3.0), Some(0.0));
+    }
+
+    #[test]
+    fn completion_heartbeat_is_never_throttled() {
+        // The regression: last cell completes 1 ms after a beat, inside
+        // the throttle window — the final N/N line must still be due.
+        assert!(heartbeat_due(10, 10, 501, 500));
+        assert!(heartbeat_due(10, 10, 0, 0), "instant sweeps too");
+        // Intermediate beats still throttle.
+        assert!(!heartbeat_due(5, 10, 501, 500));
+        assert!(heartbeat_due(5, 10, 500 + HEARTBEAT_MS, 500));
     }
 }

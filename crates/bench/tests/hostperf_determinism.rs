@@ -25,6 +25,9 @@ fn opts() -> HarnessOpts {
         trace_out: None,
         metrics_out: None,
         attrib_out: None,
+        resume: false,
+        no_cache: false,
+        cache_dir: None,
     }
 }
 

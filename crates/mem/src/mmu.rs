@@ -88,9 +88,24 @@ impl Mmu {
         }
     }
 
-    /// Pre-maps every page overlapping `[base, base + len)`.
+    /// Pre-maps every page overlapping `[base, base + len)`, enforcing
+    /// the same tag policy as [`translate`](Self::translate).
+    ///
+    /// # Errors
+    /// [`MemFault::NonCanonical`] in strict mode with tag bits set;
+    /// [`MemFault::OutOfMemory`] when no frame is available.
     pub fn map_range(&mut self, base: VirtAddr, len: u64) -> MemResult<()> {
-        self.page_table.map_range(base.strip_tag(), len)
+        let base = match self.mode {
+            MmuMode::Strict => {
+                if !base.is_canonical() {
+                    self.non_canonical_faults += 1;
+                    return Err(MemFault::NonCanonical { addr: base });
+                }
+                base
+            }
+            MmuMode::IgnoreTagBits => base.strip_tag(),
+        };
+        self.page_table.map_range(base, len)
     }
 
     /// Read access to the underlying page table.
@@ -120,6 +135,28 @@ mod tests {
         let err = mmu.translate(tagged).unwrap_err();
         assert!(matches!(err, MemFault::NonCanonical { .. }));
         assert_eq!(mmu.non_canonical_faults(), 1);
+    }
+
+    #[test]
+    fn strict_map_range_faults_on_tag() {
+        let mut mmu = Mmu::new(1 << 20, MmuMode::Strict);
+        let tagged = VirtAddr::new(0x1000).with_tag(3);
+        let err = mmu.map_range(tagged, 0x1000).unwrap_err();
+        assert!(matches!(err, MemFault::NonCanonical { .. }));
+        assert_eq!(mmu.non_canonical_faults(), 1);
+        // A canonical base still maps.
+        assert!(mmu.map_range(VirtAddr::new(0x1000), 0x1000).is_ok());
+    }
+
+    #[test]
+    fn ignore_mode_map_range_masks_tag() {
+        let mut mmu = Mmu::new(1 << 20, MmuMode::IgnoreTagBits);
+        mmu.set_demand_paging(false);
+        let tagged = VirtAddr::new(0x1000).with_tag(0x7fff);
+        mmu.map_range(tagged, 0x1000).unwrap();
+        // The mapping landed at the canonical address.
+        assert!(mmu.translate(VirtAddr::new(0x1000)).is_ok());
+        assert_eq!(mmu.non_canonical_faults(), 0);
     }
 
     #[test]

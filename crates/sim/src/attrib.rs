@@ -104,6 +104,12 @@ impl LogHist {
     pub fn counts(&self) -> &[u64; LOG_HIST_BUCKETS] {
         &self.counts
     }
+
+    /// Rebuild a histogram from raw bucket counts (the inverse of
+    /// [`LogHist::counts`]); used when decoding persisted attribution data.
+    pub const fn from_counts(counts: [u64; LOG_HIST_BUCKETS]) -> Self {
+        LogHist { counts }
+    }
 }
 
 impl Default for LogHist {

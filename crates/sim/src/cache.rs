@@ -53,9 +53,19 @@ impl SectoredCache {
     pub fn new(total_bytes: u64, ways: u32, line_bytes: u64, sector_bytes: u64) -> Self {
         assert!(total_bytes > 0 && ways > 0 && line_bytes > 0 && sector_bytes > 0);
         assert_eq!(line_bytes % sector_bytes, 0);
+        assert_eq!(
+            total_bytes % line_bytes,
+            0,
+            "cache size must be a whole number of lines"
+        );
         let lines = total_bytes / line_bytes;
         assert!(lines >= ways as u64, "cache smaller than one set");
-        let set_count = (lines / ways as u64).max(1);
+        assert_eq!(
+            lines % ways as u64,
+            0,
+            "cache lines must divide evenly into {ways}-way sets"
+        );
+        let set_count = lines / ways as u64;
         SectoredCache {
             sets: vec![Vec::with_capacity(ways as usize); set_count as usize],
             ways: ways as usize,
@@ -201,6 +211,22 @@ mod tests {
     fn tiny() -> SectoredCache {
         // 2 sets x 2 ways x 128B lines = 512B.
         SectoredCache::new(512, 2, 128, 32)
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of lines")]
+    fn ragged_total_bytes_panics() {
+        // 600B is not a whole number of 128B lines; the old code silently
+        // truncated it to 4 lines.
+        SectoredCache::new(600, 2, 128, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn ragged_set_geometry_panics() {
+        // 5 lines across 2 ways is not a whole number of sets; the old
+        // code silently truncated to 2 sets (dropping a line).
+        SectoredCache::new(640, 2, 128, 32);
     }
 
     #[test]

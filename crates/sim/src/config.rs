@@ -152,9 +152,13 @@ impl GpuConfig {
     pub fn scaled_to(&self, num_sms: u32) -> Self {
         assert!(num_sms > 0, "at least one SM");
         let scale = |v: u64| (v * num_sms as u64 / self.num_sms as u64).max(1);
+        // Round the scaled L2 down to a whole number of sets; the cache
+        // model rejects geometries that do not divide evenly.
+        let l2_set_bytes = self.line_bytes * self.l2_ways as u64;
+        let l2_bytes = scale(self.l2_bytes).max(128 << 10) / l2_set_bytes * l2_set_bytes;
         GpuConfig {
             num_sms,
-            l2_bytes: scale(self.l2_bytes).max(128 << 10),
+            l2_bytes: l2_bytes.max(l2_set_bytes),
             l2_slices: (scale(self.l2_slices as u64) as u32).max(2),
             dram_channels: (scale(self.dram_channels as u64) as u32).max(2),
             ..self.clone()

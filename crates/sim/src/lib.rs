@@ -56,14 +56,16 @@ mod stats;
 pub mod timeline;
 mod trace;
 
-pub use attrib::{AttribReport, AttributionProbe, LineClass, LogHist, PcLoadStats};
+pub use attrib::{
+    AttribReport, AttributionProbe, LineClass, LogHist, PcLoadStats, LOG_HIST_BUCKETS,
+};
 pub use cache::{CacheProbe, SectoredCache};
 pub use config::GpuConfig;
 pub use engine::Gpu;
 pub use exec::{lanes_from_fn, lanes_none, run_kernel, Lanes, WarpCtx, WARP_SIZE};
 pub use hostperf::{HostPerfSnapshot, PoolTelemetry, SweepTelemetry, WorkerTelemetry};
 pub use instr::{AccessTag, InstrClass, MemOp, Op, Space};
-pub use pool::SimPool;
+pub use pool::{CellFailure, SimPool};
 pub use probe::{
     recording_probe, CountingProbe, EpochMetricsProbe, EpochSeries, MetricsBucket, NopProbe,
     ObsReport, Probe, ProbeSpec, RecordingProbe, StallCause, STALL_CAUSES,

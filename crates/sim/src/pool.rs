@@ -17,9 +17,64 @@
 //! measurement costs two clock reads per *cell* (each cell is a whole
 //! simulation), so it cannot perturb results — and telemetry is
 //! host-side only, excluded from the determinism contract.
+//!
+//! **Fault isolation:** every cell runs under
+//! [`std::panic::catch_unwind`], so one panicking cell cannot abort the
+//! sweep — [`SimPool::run_indexed`] returns `Result<T, CellFailure>`
+//! per cell, the failed cell's panic payload travels in the
+//! [`CellFailure`], and every other cell still completes and comes back
+//! in input order. The surviving cells' outputs are bit-identical to a
+//! failure-free run for any job count (cells share nothing, so a
+//! neighbour's death cannot perturb them).
 
 use crate::hostperf::{PoolTelemetry, WorkerTelemetry};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+
+/// One grid cell's panic, caught by the pool so the rest of the sweep
+/// survives. The payload is the panic message (stringified); `index` is
+/// the cell's position in the input slice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Input-order index of the cell that panicked.
+    pub index: usize,
+    /// The panic payload, stringified (`&str`/`String` payloads
+    /// verbatim; anything else becomes a placeholder).
+    pub payload: String,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} panicked: {}", self.index, self.payload)
+    }
+}
+
+/// Stringifies a caught panic payload (`&str` and `String` verbatim —
+/// the two types `panic!` produces — anything exotic gets a marker).
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// Runs one cell under `catch_unwind`. `AssertUnwindSafe` is sound here
+/// because `f` is `Fn` over shared references: a panicking cell cannot
+/// have left partial writes behind in state another cell observes (each
+/// cell owns its simulation), and the caller never reuses the closure's
+/// captures mutably.
+fn run_cell<I, T, F>(f: &F, i: usize, input: &I) -> Result<T, CellFailure>
+where
+    F: Fn(usize, &I) -> T + Sync,
+{
+    catch_unwind(AssertUnwindSafe(|| f(i, input))).map_err(|payload| CellFailure {
+        index: i,
+        payload: payload_string(payload),
+    })
+}
 
 /// A fixed-size host thread pool for independent simulation jobs.
 ///
@@ -55,7 +110,10 @@ impl SimPool {
 
     /// Applies `f` to every input and returns the outputs in input
     /// order. `f` must be self-contained per input — results are
-    /// identical for any job count.
+    /// identical for any job count. A panicking cell re-raises **after**
+    /// every other cell has completed (callers that want to survive a
+    /// failure use [`run_indexed`](SimPool::run_indexed) and inspect the
+    /// per-cell `Result`s).
     pub fn run<I, T, F>(&self, inputs: &[I], f: F) -> Vec<T>
     where
         I: Sync,
@@ -63,16 +121,26 @@ impl SimPool {
         F: Fn(&I) -> T + Sync,
     {
         self.run_indexed(inputs, |_, input| f(input), |_, _| {})
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|failure| panic!("{failure}")))
+            .collect()
     }
 
-    /// [`run`](SimPool::run) with the cell index passed to `f` and a
-    /// completion callback: `on_done(done, total)` fires after each
-    /// cell finishes, with the number completed so far. Completion
-    /// order (and hence the `done` sequence) depends on scheduling, so
-    /// the callback is for stderr progress reporting only — outputs are
-    /// still returned in input order and bit-identical for any job
-    /// count.
-    pub fn run_indexed<I, T, F, D>(&self, inputs: &[I], f: F, on_done: D) -> Vec<T>
+    /// [`run`](SimPool::run) with the cell index passed to `f`, a
+    /// completion callback, and per-cell fault isolation: `on_done(done,
+    /// total)` fires after each cell finishes (panicked or not), with
+    /// the number completed so far. Completion order (and hence the
+    /// `done` sequence) depends on scheduling, so the callback is for
+    /// stderr progress reporting only — outputs are still returned in
+    /// input order, a panicking cell becomes an `Err(CellFailure)` in
+    /// its own slot, and the surviving cells are bit-identical for any
+    /// job count.
+    pub fn run_indexed<I, T, F, D>(
+        &self,
+        inputs: &[I],
+        f: F,
+        on_done: D,
+    ) -> Vec<Result<T, CellFailure>>
     where
         I: Sync,
         T: Send,
@@ -88,7 +156,12 @@ impl SimPool {
     /// are unchanged and still bit-identical for any job count; only
     /// the telemetry (which never reaches stdout or the determinism
     /// diff) depends on scheduling.
-    pub fn run_timed<I, T, F, D>(&self, inputs: &[I], f: F, on_done: D) -> (Vec<T>, PoolTelemetry)
+    pub fn run_timed<I, T, F, D>(
+        &self,
+        inputs: &[I],
+        f: F,
+        on_done: D,
+    ) -> (Vec<Result<T, CellFailure>>, PoolTelemetry)
     where
         I: Sync,
         T: Send,
@@ -110,7 +183,7 @@ impl SimPool {
             .enumerate()
             .map(|(i, input)| {
                 let cell_start = Instant::now();
-                let out = f(i, input);
+                let out = run_cell(&f, i, input);
                 worker.busy_ns += cell_start.elapsed().as_nanos() as u64;
                 worker.cells += 1;
                 on_done(i + 1, total);
@@ -133,7 +206,7 @@ fn run_parallel_timed<I, T, F, D>(
     on_done: &D,
     jobs: usize,
     start: Instant,
-) -> (Vec<T>, PoolTelemetry)
+) -> (Vec<Result<T, CellFailure>>, PoolTelemetry)
 where
     I: Sync,
     T: Send,
@@ -149,7 +222,8 @@ where
     let cursor = AtomicUsize::new(0);
     let finished = AtomicUsize::new(0);
     let total = inputs.len();
-    let slots: Vec<Mutex<Option<T>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<T, CellFailure>>>> =
+        inputs.iter().map(|_| Mutex::new(None)).collect();
     let worker_slots: Vec<Mutex<WorkerTelemetry>> = (0..jobs)
         .map(|_| Mutex::new(WorkerTelemetry::default()))
         .collect();
@@ -167,7 +241,7 @@ where
                     telemetry.queue_wait_ns += fetch_start.elapsed().as_nanos() as u64;
                     let Some(input) = grabbed else { break };
                     let cell_start = Instant::now();
-                    let out = f(i, input);
+                    let out = run_cell(f, i, input);
                     telemetry.busy_ns += cell_start.elapsed().as_nanos() as u64;
                     telemetry.cells += 1;
                     *slots[i].lock().expect("slot mutex") = Some(out);
@@ -269,7 +343,65 @@ mod tests {
             );
             assert_eq!(calls.load(Ordering::Relaxed), 23);
             let expect: Vec<u64> = (0..23).map(|i| i * 100 + i).collect();
+            let out: Vec<u64> = out.into_iter().map(|r| r.expect("no panics")).collect();
             assert_eq!(out, expect);
         }
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_for_any_job_count() {
+        for jobs in [1, 4] {
+            let inputs: Vec<u64> = (0..17).collect();
+            let out = SimPool::new(jobs).run_indexed(
+                &inputs,
+                |_, &n| {
+                    assert!(n != 5, "cell five dies");
+                    n * 2
+                },
+                |_, _| {},
+            );
+            assert_eq!(out.len(), 17);
+            for (i, r) in out.iter().enumerate() {
+                if i == 5 {
+                    let failure = r.as_ref().expect_err("cell 5 panicked");
+                    assert_eq!(failure.index, 5);
+                    assert!(failure.payload.contains("cell five dies"));
+                } else {
+                    assert_eq!(*r.as_ref().expect("survivor"), i as u64 * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failed_cells_still_count_toward_progress_and_telemetry() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for jobs in [1, 3] {
+            let inputs: Vec<u64> = (0..9).collect();
+            let calls = AtomicUsize::new(0);
+            let (out, telemetry) = SimPool::new(jobs).run_timed(
+                &inputs,
+                |_, &n| {
+                    assert!(n % 2 == 0, "odd cell");
+                    n
+                },
+                |_, _| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(calls.load(Ordering::Relaxed), 9);
+            assert_eq!(out.iter().filter(|r| r.is_err()).count(), 4);
+            let cells: u64 = telemetry.workers.iter().map(|w| w.cells).sum();
+            assert_eq!(cells, 9, "failed cells are still attributed to a worker");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 1 panicked")]
+    fn run_repanics_on_cell_failure() {
+        SimPool::new(1).run(&[1u64, 2, 3], |&n| {
+            assert!(n != 2, "two is right out");
+            n
+        });
     }
 }

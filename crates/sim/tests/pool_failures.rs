@@ -1,0 +1,75 @@
+//! Fault-isolation property tests for [`SimPool`].
+//!
+//! These run in their own integration-test binary because they install a
+//! silent panic hook for the whole process: the deliberately panicking
+//! cells below would otherwise spray backtraces over the test output.
+
+use gvf_prop::props;
+use gvf_sim::{CellFailure, SimPool};
+
+fn silence_panics() {
+    // Caught panics still invoke the global hook; keep the test output
+    // clean. Installing per-test races with parallel test threads, so the
+    // hook is process-wide and installed once.
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| std::panic::set_hook(Box::new(|_| {})));
+}
+
+/// A sweep containing one deliberately panicking cell still returns every
+/// other cell's result, in input order, byte-identical for any job count;
+/// the dead cell surfaces as exactly one [`CellFailure`] carrying its
+/// index and payload.
+#[test]
+fn panicking_cell_is_isolated_and_deterministic() {
+    silence_panics();
+    props!(32, |rng| {
+        let n = rng.range_usize(1, 40);
+        let bad = rng.range_usize(0, n);
+        let inputs: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+        let cell = |i: usize, &input: &u64| -> u64 {
+            assert!(i != bad, "cell {i} told to die");
+            // Arbitrary deterministic work.
+            input.wrapping_mul(0x9e37_79b9).rotate_left((i % 63) as u32)
+        };
+
+        // Serial run is the reference.
+        let reference = SimPool::new(1).run_indexed(&inputs, cell, |_, _| {});
+        for jobs in [2usize, 4, 8] {
+            let out = SimPool::new(jobs).run_indexed(&inputs, cell, |_, _| {});
+            assert_eq!(out.len(), n);
+            let failures: Vec<&CellFailure> = out.iter().filter_map(|r| r.as_ref().err()).collect();
+            assert_eq!(failures.len(), 1, "exactly one failure");
+            assert_eq!(failures[0].index, bad);
+            assert!(failures[0].payload.contains("told to die"));
+            // Surviving cells agree with the serial reference, in order.
+            for (i, (r, reference)) in out.iter().zip(&reference).enumerate() {
+                if i != bad {
+                    assert_eq!(
+                        r.as_ref().expect("survivor"),
+                        reference.as_ref().expect("serial survivor"),
+                        "cell {i} with --jobs {jobs}"
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// All-panicking and no-panicking edge cases round-trip through the pool.
+#[test]
+fn failure_edge_cases() {
+    silence_panics();
+    let inputs: Vec<u64> = (0..7).collect();
+    let out = SimPool::new(3).run_indexed(&inputs, |i, _| -> u64 { panic!("cell {i}") }, |_, _| {});
+    assert!(out.iter().all(|r| r.is_err()));
+    for (i, r) in out.iter().enumerate() {
+        let f = r.as_ref().unwrap_err();
+        assert_eq!(f.index, i);
+        assert_eq!(f.payload, format!("cell {i}"));
+        assert_eq!(f.to_string(), format!("cell {i} panicked: cell {i}"));
+    }
+
+    let ok = SimPool::new(3).run_indexed(&inputs, |_, &v| v + 1, |_, _| {});
+    assert!(ok.iter().all(|r| r.is_ok()));
+}

@@ -2,7 +2,8 @@
 # Regenerate every paper figure/table plus the test and bench suites,
 # collecting a machine-readable artifact tree under results/.
 #
-#   ./run_all.sh [--jobs N] [--out DIR] [--keep-going]
+#   ./run_all.sh [--jobs N] [--out DIR] [--keep-going] [--smoke]
+#                [--resume | --no-cache]
 #
 # --jobs N is passed through to every harness binary: N concurrent
 # simulations, 0 = all cores, default = all cores. Results are
@@ -11,7 +12,16 @@
 # --out DIR redirects the artifact tree (default: results/).
 # --keep-going runs every step even after a failure and prints a
 # failure summary at the end (exit stays non-zero) — useful for seeing
-# the full damage of a broken change in one pass.
+# the full damage of a broken change in one pass. Fault isolation
+# inside each binary is finer still: a panicking grid cell produces a
+# v2 failure manifest and a non-zero exit, without losing the other
+# cells' work.
+# --smoke shrinks every binary to the CI-sized config (seconds, not
+# minutes) — the interrupted-run CI job uses this.
+# --resume reads completed cells back from $OUT/.cellcache/ (after an
+# interrupted or failed run) instead of re-simulating; manifests come
+# out byte-identical to an uninterrupted run apart from hostPerf.
+# --no-cache disables the cell cache entirely.
 #
 # Artifacts: $OUT/<bin>.json is each binary's gvf.run-manifest (with an
 # embedded gvf.hostperf section) and $OUT/<bin>.attrib.json its
@@ -30,6 +40,8 @@ cd "$(dirname "$0")"
 JOBS=0
 OUT=results
 KEEP_GOING=0
+CACHE_FLAGS=()
+SMOKE_FLAGS=()
 while [ $# -gt 0 ]; do
   case "$1" in
     --jobs)
@@ -40,8 +52,14 @@ while [ $# -gt 0 ]; do
       OUT="$2"; shift 2 ;;
     --keep-going)
       KEEP_GOING=1; shift ;;
+    --smoke)
+      SMOKE_FLAGS=(--smoke); shift ;;
+    --resume)
+      CACHE_FLAGS=(--resume); shift ;;
+    --no-cache)
+      CACHE_FLAGS=(--no-cache); shift ;;
     *)
-      echo "error: unknown argument '$1' (usage: $0 [--jobs N] [--out DIR] [--keep-going])" >&2; exit 2 ;;
+      echo "error: unknown argument '$1' (usage: $0 [--jobs N] [--out DIR] [--keep-going] [--smoke] [--resume | --no-cache])" >&2; exit 2 ;;
   esac
 done
 
@@ -87,9 +105,16 @@ run_step "cargo test" cargo test --workspace 2>&1 | tee test_output.txt
     fi
     run_step "$b" cargo run --release -p gvf-bench --bin "$b" -- \
       --jobs "$JOBS" --json-out "$OUT/$b.json" \
-      --attrib-out "$OUT/$b.attrib.json" "${extra[@]}"
+      --attrib-out "$OUT/$b.attrib.json" \
+      "${SMOKE_FLAGS[@]}" "${CACHE_FLAGS[@]}" "${extra[@]}"
   done
   run_step "validate artifacts" cargo run --release -p gvf-bench --bin validate_json -- "$OUT"/*.json
+  # Cell-cache entries are artifacts too: each carries a content hash
+  # that the validator recomputes, so a corrupted or hand-edited entry
+  # is caught here rather than silently resumed into a future manifest.
+  if compgen -G "$OUT/.cellcache/*.json" > /dev/null; then
+    run_step "validate cell cache" cargo run --release -p gvf-bench --bin validate_json -- "$OUT"/.cellcache/*.json
+  fi
 
   # Judge this run against the recorded baseline FIRST, and fold it
   # into the trajectory only once it passes. Recording first would put
