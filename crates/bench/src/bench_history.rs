@@ -42,6 +42,13 @@
 //! - **Timestamps are provenance, not identity.** `rev` and `date`
 //!   describe an entry; they take no part in baseline matching or the
 //!   gate's arithmetic, and the determinism suite pins that down.
+//! - **Benchmark-grade samples only.** Smoke-config runs
+//!   (`config.smoke == true`) and sub-second runs measure startup
+//!   overhead, not simulation throughput: their wall clock is dominated
+//!   by process setup and their relative noise is enormous. Neither
+//!   [`record`] nor [`History::baseline`] will touch them, and [`gate`]
+//!   skips (never judges) such samples — see
+//!   [`sample_is_benchmark_grade`].
 //! - **Gate before record.** A sample must be judged against a
 //!   baseline that does not contain it: folding the gated run in
 //!   first turns a one-entry baseline `[b]` into `[b, x]`, whose
@@ -68,6 +75,18 @@ pub const TRAJECTORY_SCHEMA: &str = "gvf.bench-trajectory";
 pub const TRAJECTORY_SCHEMA_VERSION: u32 = 1;
 /// Where the trajectory lives, relative to the repo root.
 pub const DEFAULT_HISTORY_PATH: &str = "BENCH_gvf.json";
+/// Minimum wall seconds for a sample to count as benchmark-grade; runs
+/// below it are startup-cost measurements, not throughput measurements.
+pub const MIN_BENCH_WALL_S: f64 = 1.0;
+
+/// Whether a sample is worth folding into (or judging against) the
+/// trajectory: a full (non-smoke) configuration that ran for at least
+/// [`MIN_BENCH_WALL_S`]. Smoke grids finish in milliseconds and their
+/// throughput is all process startup; folding either kind in would
+/// poison every baseline statistic they touch.
+pub fn sample_is_benchmark_grade(s: &Sample) -> bool {
+    !s.config.smoke && s.wall_s >= MIN_BENCH_WALL_S
+}
 
 /// The simulation-relevant configuration a sample was measured under.
 /// Baselines only form between equal configs.
@@ -262,13 +281,19 @@ impl History {
         std::fs::rename(&tmp, path)
     }
 
-    /// The baseline for a sample: every recorded entry of the same bin
-    /// under the same config, oldest first. Provenance fields play no
-    /// part in the match.
+    /// The baseline for a sample: every recorded **benchmark-grade**
+    /// entry of the same bin under the same config, oldest first.
+    /// Provenance fields play no part in the match. Smoke or sub-second
+    /// entries (from histories written before the grade rule, or edited
+    /// by hand) are ignored rather than trusted.
     pub fn baseline(&self, sample: &Sample) -> Vec<&TrajectoryEntry> {
         self.entries
             .iter()
-            .filter(|e| e.sample.bin == sample.bin && e.sample.config == sample.config)
+            .filter(|e| {
+                e.sample.bin == sample.bin
+                    && e.sample.config == sample.config
+                    && sample_is_benchmark_grade(&e.sample)
+            })
             .collect()
     }
 }
@@ -375,8 +400,10 @@ pub fn mad(xs: &[f64]) -> f64 {
 
 /// Folds `samples` into `history`: manifests are grouped by
 /// (bin, config) in first-seen order, each group becomes one entry
-/// holding the **median** of every measure over its N samples. Returns
-/// the entries appended.
+/// holding the **median** of every measure over its N samples. Samples
+/// that are not benchmark-grade ([`sample_is_benchmark_grade`]) are
+/// silently dropped — a smoke run can never enter the trajectory.
+/// Returns the entries appended.
 pub fn record(
     history: &mut History,
     samples: &[Sample],
@@ -384,7 +411,7 @@ pub fn record(
     date: &str,
 ) -> Vec<TrajectoryEntry> {
     let mut groups: Vec<(&Sample, Vec<&Sample>)> = Vec::new();
-    for s in samples {
+    for s in samples.iter().filter(|s| sample_is_benchmark_grade(s)) {
         match groups
             .iter_mut()
             .find(|(head, _)| head.bin == s.bin && head.config == s.config)
@@ -478,8 +505,23 @@ pub enum GateVerdict {
     },
 }
 
-/// Judges `sample` against its baseline in `history`.
+/// Judges `sample` against its baseline in `history`. Samples that are
+/// not benchmark-grade are skipped, never judged: a smoke run's
+/// throughput says nothing about the simulator.
 pub fn gate(history: &History, sample: &Sample, cfg: &GateConfig) -> GateVerdict {
+    if !sample_is_benchmark_grade(sample) {
+        return GateVerdict::Skip {
+            reason: format!(
+                "{}: not benchmark-grade ({})",
+                sample.bin,
+                if sample.config.smoke {
+                    "smoke config".to_string()
+                } else {
+                    format!("wall {:.3}s < {MIN_BENCH_WALL_S}s", sample.wall_s)
+                }
+            ),
+        };
+    }
     let baseline = history.baseline(sample);
     // Count underlying samples, not entries: `record` folds an N-sample
     // run into ONE entry with `samples: N`.
@@ -571,7 +613,9 @@ mod tests {
         Sample {
             bin: bin.to_string(),
             config: RunConfig {
-                smoke: true,
+                // Benchmark-grade: record/baseline/gate all ignore
+                // smoke samples, so the fixtures must be full runs.
+                smoke: false,
                 scale: 1,
                 iterations: 2,
             },
@@ -620,6 +664,73 @@ mod tests {
         assert_eq!(appended[0].sample.sim_cycles_per_sec, 200.0);
         assert_eq!(appended[1].sample.bin, "fig7");
         assert_eq!(h.entries.len(), 2);
+    }
+
+    /// Smoke-config and sub-second samples never enter the trajectory:
+    /// `record` drops them, `baseline` refuses pre-existing ones, and
+    /// `gate` skips rather than judges them.
+    #[test]
+    fn smoke_and_subsecond_samples_are_excluded_everywhere() {
+        let mut smoke = sample("fig6", 9e9);
+        smoke.config.smoke = true;
+        let mut blink = sample("fig6", 9e9);
+        blink.wall_s = 0.2;
+        assert!(!sample_is_benchmark_grade(&smoke));
+        assert!(!sample_is_benchmark_grade(&blink));
+        assert!(sample_is_benchmark_grade(&sample("fig6", 1.0)));
+
+        // record(): only the benchmark-grade sample is folded in, and
+        // the bogus 9e9 rates leave no trace in the group median.
+        let mut h = History::default();
+        let appended = record(
+            &mut h,
+            &[smoke.clone(), sample("fig6", 500.0), blink.clone()],
+            "abc",
+            "2026-08-08",
+        );
+        assert_eq!(appended.len(), 1);
+        assert_eq!(appended[0].samples, 1);
+        assert_eq!(appended[0].sample.sim_cycles_per_sec, 500.0);
+
+        // record() of nothing but dross appends nothing at all.
+        assert!(record(&mut h, &[smoke.clone(), blink.clone()], "abc", "2026-08-08").is_empty());
+
+        // baseline(): entries that predate the grade rule (or were
+        // edited by hand) are ignored even when the config matches.
+        let mut tainted = History::default();
+        tainted
+            .entries
+            .push(entry("fig6", 9e9, "old", "2020-01-01"));
+        tainted.entries[0].sample.wall_s = 0.1;
+        let probe = sample("fig6", 400.0);
+        assert!(tainted.baseline(&probe).is_empty());
+
+        // gate(): a non-grade probe is skipped, never judged — even
+        // against a baseline that would otherwise fail it hard.
+        let cfg = GateConfig::default();
+        let mut strong = History::default();
+        record(
+            &mut strong,
+            &[
+                sample("fig6", 1000.0),
+                sample("fig6", 1000.0),
+                sample("fig6", 1000.0),
+            ],
+            "abc",
+            "2026-08-08",
+        );
+        let mut slow_smoke = sample("fig6", 1.0);
+        slow_smoke.config.smoke = true;
+        assert!(matches!(
+            gate(&strong, &slow_smoke, &cfg),
+            GateVerdict::Skip { .. }
+        ));
+        let mut slow_blink = sample("fig6", 1.0);
+        slow_blink.wall_s = 0.5;
+        assert!(matches!(
+            gate(&strong, &slow_blink, &cfg),
+            GateVerdict::Skip { .. }
+        ));
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //! recorded trajectory, exit non-zero on regression.
 //!
 //! Usage: `perf_gate [--history PATH] [--max-regress F] [--noise-mult F]
-//!                   [--min-samples N] MANIFEST...`
+//!                   [--min-samples N] [--quiet] MANIFEST...`
+//!
+//! `--quiet` silences PASS/SKIP chatter; failures (and the summary
+//! line accompanying them) still print, and exit codes are unchanged.
 //!
 //! For each manifest the gate extracts the `hostPerf` throughput sample
 //! and compares its simulated-cycles-per-second against the **median**
@@ -40,6 +43,7 @@ fn parse_flag<T: std::str::FromStr>(name: &str, value: Option<String>) -> T {
 fn main() {
     let mut history_path = DEFAULT_HISTORY_PATH.to_string();
     let mut cfg = GateConfig::default();
+    let mut quiet = false;
     let mut manifests: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,13 +52,14 @@ fn main() {
             "--max-regress" => cfg.max_regress = parse_flag("--max-regress", args.next()),
             "--noise-mult" => cfg.noise_mult = parse_flag("--noise-mult", args.next()),
             "--min-samples" => cfg.min_samples = parse_flag("--min-samples", args.next()),
+            "--quiet" => quiet = true,
             _ => manifests.push(arg),
         }
     }
     if manifests.is_empty() {
         eprintln!(
             "usage: perf_gate [--history PATH] [--max-regress F] [--noise-mult F] \
-             [--min-samples N] MANIFEST..."
+             [--min-samples N] [--quiet] MANIFEST..."
         );
         std::process::exit(2);
     }
@@ -85,7 +90,9 @@ fn main() {
             // Cached cells take near-zero wall time; judging a resumed
             // run against a fresh baseline is meaningless either way.
             skips += 1;
-            eprintln!("perf_gate: SKIP {path} — run resumed cells from the cell cache");
+            if !quiet {
+                eprintln!("perf_gate: SKIP {path} — run resumed cells from the cell cache");
+            }
             continue;
         }
         let sample = match sample_from_manifest(&doc) {
@@ -102,14 +109,16 @@ fn main() {
                 allowed_drop,
             } => {
                 passes += 1;
-                eprintln!(
-                    "perf_gate: PASS {} — {:.3e} vs baseline {:.3e} sim cycles/s \
-                     (allowed drop {:.0}%)",
-                    sample.bin,
-                    current,
-                    baseline,
-                    allowed_drop * 100.0
-                );
+                if !quiet {
+                    eprintln!(
+                        "perf_gate: PASS {} — {:.3e} vs baseline {:.3e} sim cycles/s \
+                         (allowed drop {:.0}%)",
+                        sample.bin,
+                        current,
+                        baseline,
+                        allowed_drop * 100.0
+                    );
+                }
             }
             GateVerdict::Fail {
                 current,
@@ -129,15 +138,19 @@ fn main() {
             }
             GateVerdict::Skip { reason } => {
                 skips += 1;
-                eprintln!("perf_gate: SKIP {reason}");
+                if !quiet {
+                    eprintln!("perf_gate: SKIP {reason}");
+                }
             }
         }
     }
-    eprintln!(
-        "perf_gate: {passes} passed, {failures} failed, {skips} skipped \
-         (baseline {history_path}, {} entries)",
-        history.entries.len()
-    );
+    if !quiet || failures > 0 {
+        eprintln!(
+            "perf_gate: {passes} passed, {failures} failed, {skips} skipped \
+             (baseline {history_path}, {} entries)",
+            history.entries.len()
+        );
+    }
     if failures > 0 {
         std::process::exit(1);
     }

@@ -1,7 +1,10 @@
 //! Appends the current run's throughput samples to the benchmark
 //! trajectory (`BENCH_gvf.json`).
 //!
-//! Usage: `perf_record [--history PATH] MANIFEST...`
+//! Usage: `perf_record [--history PATH] [--quiet] MANIFEST...`
+//!
+//! `--quiet` silences the per-entry and summary chatter; errors still
+//! print and exit codes are unchanged.
 //!
 //! Each argument is a `gvf.run-manifest` produced by a figure binary
 //! (their `--json-out` artifacts); the embedded `hostPerf` section
@@ -29,6 +32,7 @@ use gvf_bench::json::Json;
 
 fn main() {
     let mut history_path = DEFAULT_HISTORY_PATH.to_string();
+    let mut quiet = false;
     let mut manifests: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,11 +44,12 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--quiet" => quiet = true,
             _ => manifests.push(arg),
         }
     }
     if manifests.is_empty() {
-        eprintln!("usage: perf_record [--history PATH] MANIFEST...");
+        eprintln!("usage: perf_record [--history PATH] [--quiet] MANIFEST...");
         std::process::exit(2);
     }
 
@@ -65,7 +70,9 @@ fn main() {
             }
         };
         if manifest_used_cell_cache(&doc) {
-            eprintln!("perf_record: {path}: skipped — run resumed cells from the cell cache");
+            if !quiet {
+                eprintln!("perf_record: {path}: skipped — run resumed cells from the cell cache");
+            }
             continue;
         }
         match sample_from_manifest(&doc) {
@@ -90,6 +97,9 @@ fn main() {
     if let Err(e) = history.save(&history_path) {
         eprintln!("perf_record: {history_path}: {e}");
         std::process::exit(1);
+    }
+    if quiet {
+        return;
     }
     for entry in &appended {
         eprintln!(

@@ -1,7 +1,7 @@
 //! Unified reproduction report: collates every artifact under the
 //! results directory into one human-readable `REPORT.md`.
 //!
-//! Usage: `report [--results DIR] [--history PATH] [--out PATH]`
+//! Usage: `report [--results DIR] [--history PATH] [--out PATH] [--quiet]`
 //!
 //! The collator reads only emitted artifacts — run manifests
 //! (`gvf.run-manifest`), Chrome traces (`gvf.timeline`), and the
@@ -17,10 +17,17 @@
 //!    its manifest `Stats` counters (a mismatch exits non-zero);
 //! 3. a host-performance summary per run (wall time, throughput, peak
 //!    RSS) from each manifest's `hostPerf` section;
-//! 4. a top-K stall-hotspot table aggregated from the probe traces'
+//! 4. "Where the host time goes": top exclusive-time spans from the
+//!    `gvf.hostprofile` documents — the engine's own flamegraph view;
+//! 5. "Fast-forward opportunity" from the `gvf.cycleaudit` documents:
+//!    how much simulated time was skippable per cell, with the hard
+//!    cross-check that every audit's epoch classes sum to
+//!    `sms × auditedCycles` and reconcile against the manifest's
+//!    `Stats` cycle counters (a mismatch exits non-zero);
+//! 6. a top-K stall-hotspot table aggregated from the probe traces'
 //!    `"cat": "stall"` events, keyed by (PC, cause) — the closest thing
 //!    the simulated GPU has to a profiler's hot-PC view;
-//! 5. the recent benchmark trajectory from `BENCH_gvf.json`.
+//! 7. the recent benchmark trajectory from `BENCH_gvf.json`.
 //!
 //! Unreadable or unrecognized files are reported and skipped — a
 //! partial `run_all.sh --keep-going` run still gets a report of
@@ -29,7 +36,7 @@
 
 use gvf_bench::bench_history::{History, DEFAULT_HISTORY_PATH};
 use gvf_bench::json::Json;
-use gvf_bench::manifest::{ATTRIB_SCHEMA, MANIFEST_SCHEMA};
+use gvf_bench::manifest::{ATTRIB_SCHEMA, CYCLEAUDIT_SCHEMA, HOSTPROFILE_SCHEMA, MANIFEST_SCHEMA};
 use gvf_bench::report::markdown_table;
 use gvf_sim::TIMELINE_SCHEMA;
 
@@ -375,6 +382,186 @@ fn attribution_section(adoc: &Json) -> String {
     md
 }
 
+/// Cross-checks one cycle-audit document against its manifest: cell
+/// coordinates must line up, every audit's six epoch classes must sum
+/// to `sms × auditedCycles` exactly, and `auditedCycles` must equal
+/// the manifest cell's `Stats` cycle counter. Appends one line per
+/// violation to `failures`.
+fn cross_check_audit(generator: &str, adoc: &Json, manifest: &Json, failures: &mut Vec<String>) {
+    let acells = adoc.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+    let mcells = manifest.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+    if acells.len() != mcells.len() {
+        failures.push(format!(
+            "{generator}: cycle audit has {} cells, manifest has {}",
+            acells.len(),
+            mcells.len()
+        ));
+        return;
+    }
+    for (i, (ac, mc)) in acells.iter().zip(mcells.iter()).enumerate() {
+        for key in ["workload", "strategy"] {
+            if ac.get(key).and_then(Json::as_str) != mc.get(key).and_then(Json::as_str) {
+                failures.push(format!(
+                    "{generator} cell {i}: {key} coordinate mismatch (audit)"
+                ));
+            }
+        }
+        let Some(audit) = ac.get("audit").filter(|a| **a != Json::Null) else {
+            continue;
+        };
+        let num = |v: &Json, k: &str| v.get(k).and_then(Json::as_num).unwrap_or(0.0) as u64;
+        let sms = num(audit, "sms");
+        let audited = num(audit, "auditedCycles");
+        let classes = audit.get("classes");
+        let sum: u64 = [
+            "active",
+            "stalledKnown",
+            "stalledOther",
+            "drained",
+            "skipped",
+            "tail",
+        ]
+        .iter()
+        .map(|k| classes.map(|c| num(c, k)).unwrap_or(0))
+        .sum();
+        if sum != sms * audited {
+            failures.push(format!(
+                "{generator} cell {i}: audit classes sum {sum} != sms {sms} × \
+                 auditedCycles {audited}"
+            ));
+        }
+        let counted = mc
+            .get("stats")
+            .and_then(|s| s.get("cycles"))
+            .and_then(Json::as_num)
+            .unwrap_or(0.0) as u64;
+        if audited != counted {
+            failures.push(format!(
+                "{generator} cell {i}: auditedCycles {audited} != manifest cycles {counted}"
+            ));
+        }
+    }
+}
+
+/// The per-document fast-forward table: one row per audited cell with
+/// its epoch-class mix and the skippable-time upper bound.
+fn audit_section(adoc: &Json) -> String {
+    let cells = adoc.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .filter_map(|cell| {
+            let a = cell.get("audit").filter(|a| **a != Json::Null)?;
+            let classes = a.get("classes")?;
+            let ff = a.get("fastForward")?;
+            let sites = a.get("callSites");
+            let class = |k: &str| classes.get(k).map(scalar).unwrap_or_default();
+            Some(vec![
+                cell.get("workload").map(scalar).unwrap_or_default(),
+                cell.get("strategy").map(scalar).unwrap_or_default(),
+                a.get("auditedCycles").map(scalar).unwrap_or_default(),
+                class("active"),
+                class("stalledKnown"),
+                class("drained"),
+                class("skipped"),
+                ff.get("fraction")
+                    .and_then(Json::as_num)
+                    .map(|f| format!("{:.1}%", f * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+                ff.get("upperBoundSpeedup")
+                    .and_then(Json::as_num)
+                    .map(|s| format!("{s:.2}×"))
+                    .unwrap_or_else(|| "-".into()),
+                sites
+                    .map(|s| {
+                        format!(
+                            "{}m/{}f/{}M",
+                            s.get("monomorphic").map(scalar).unwrap_or_default(),
+                            s.get("fewTyped").map(scalar).unwrap_or_default(),
+                            s.get("megamorphic").map(scalar).unwrap_or_default(),
+                        )
+                    })
+                    .unwrap_or_else(|| "-".into()),
+            ])
+        })
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut md = String::new();
+    md.push_str(&markdown_table(
+        &[
+            "workload",
+            "strategy",
+            "cycles",
+            "active",
+            "stalled-known",
+            "drained",
+            "skipped",
+            "skippable",
+            "upper-bound speedup",
+            "sites (mono/few/mega)",
+        ],
+        &rows,
+    ));
+    md.push('\n');
+    md
+}
+
+/// The host-profile table: top spans by exclusive time, one table per
+/// profiled binary.
+fn hostprofile_section(generator: &str, pdoc: &Json) -> String {
+    let Some(spans) = pdoc.get("spans").and_then(Json::as_arr) else {
+        return String::new();
+    };
+    if spans.is_empty() {
+        return format!("`{generator}`: profile recorded no spans.\n\n");
+    }
+    let mut ranked: Vec<(&Json, f64)> = spans
+        .iter()
+        .map(|s| {
+            (
+                s,
+                s.get("exclusiveNs").and_then(Json::as_num).unwrap_or(0.0),
+            )
+        })
+        .collect();
+    ranked.sort_by(|(sa, a), (sb, b)| {
+        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal).then(
+            sa.get("path")
+                .and_then(Json::as_str)
+                .cmp(&sb.get("path").and_then(Json::as_str)),
+        )
+    });
+    let total_excl: f64 = ranked.iter().map(|(_, e)| e).sum();
+    let rows: Vec<Vec<String>> = ranked
+        .iter()
+        .take(10)
+        .map(|(s, excl)| {
+            vec![
+                s.get("path").map(scalar).unwrap_or_default(),
+                s.get("count").map(scalar).unwrap_or_default(),
+                format!(
+                    "{:.1} ms",
+                    s.get("totalNs").and_then(Json::as_num).unwrap_or(0.0) / 1e6
+                ),
+                format!("{:.1} ms", excl / 1e6),
+                if total_excl > 0.0 {
+                    format!("{:.1}%", excl / total_excl * 100.0)
+                } else {
+                    "-".into()
+                },
+            ]
+        })
+        .collect();
+    let mut md = format!("### {generator}\n\n");
+    md.push_str(&markdown_table(
+        &["span", "count", "inclusive", "exclusive", "excl %"],
+        &rows,
+    ));
+    md.push('\n');
+    md
+}
+
 /// Hotspot accumulator entry: (pc, cause) → (stall count, total cycles).
 type Hotspot = ((u64, String), (u64, u64));
 
@@ -414,6 +601,7 @@ fn main() {
     let mut results_dir = "results".to_string();
     let mut history_path = DEFAULT_HISTORY_PATH.to_string();
     let mut out_path: Option<String> = None;
+    let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| match args.next() {
@@ -427,9 +615,10 @@ fn main() {
             "--results" => results_dir = value("--results"),
             "--history" => history_path = value("--history"),
             "--out" => out_path = Some(value("--out")),
+            "--quiet" => quiet = true,
             other => {
                 eprintln!("report: unknown argument {other:?}");
-                eprintln!("usage: report [--results DIR] [--history PATH] [--out PATH]");
+                eprintln!("usage: report [--results DIR] [--history PATH] [--out PATH] [--quiet]");
                 std::process::exit(2);
             }
         }
@@ -453,6 +642,8 @@ fn main() {
 
     let mut manifests: Vec<(String, Json)> = Vec::new(); // (generator, doc)
     let mut attributions: Vec<(String, Json)> = Vec::new(); // (generator, doc)
+    let mut audits: Vec<(String, Json)> = Vec::new(); // (generator, doc)
+    let mut profiles: Vec<(String, Json)> = Vec::new(); // (generator, doc)
     let mut hotspots: Vec<Hotspot> = Vec::new();
     let mut skipped = 0usize;
     for path in &paths {
@@ -462,7 +653,9 @@ fn main() {
         {
             Ok(d) => d,
             Err(e) => {
-                eprintln!("report: skipping {path}: {e}");
+                if !quiet {
+                    eprintln!("report: skipping {path}: {e}");
+                }
                 skipped += 1;
                 continue;
             }
@@ -472,20 +665,19 @@ fn main() {
             .or_else(|| doc.get("otherData").and_then(|o| o.get("schema")))
             .and_then(Json::as_str)
             .unwrap_or("");
+        let generator = doc
+            .get("generator")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
         if schema == MANIFEST_SCHEMA {
-            let generator = doc
-                .get("generator")
-                .and_then(Json::as_str)
-                .unwrap_or("unknown")
-                .to_string();
             manifests.push((generator, doc));
         } else if schema == ATTRIB_SCHEMA {
-            let generator = doc
-                .get("generator")
-                .and_then(Json::as_str)
-                .unwrap_or("unknown")
-                .to_string();
             attributions.push((generator, doc));
+        } else if schema == CYCLEAUDIT_SCHEMA {
+            audits.push((generator, doc));
+        } else if schema == HOSTPROFILE_SCHEMA {
+            profiles.push((generator, doc));
         } else if schema == TIMELINE_SCHEMA {
             accumulate_hotspots(&doc, &mut hotspots);
         }
@@ -611,6 +803,81 @@ fn main() {
     ));
     md.push('\n');
 
+    md.push_str("## Where the host time goes\n\n");
+    if profiles.is_empty() {
+        md.push_str("No host profiles found (run with `--profile-out` to record).\n\n");
+    } else {
+        md.push_str(
+            "Top spans by exclusive wall time from each binary's \
+             `gvf.hostprofile` document — the engine's self-measured answer \
+             to \"which internal region is the bottleneck\". Paths are \
+             `;`-joined span stacks; the `collapsedStacks` member of each \
+             profile feeds flamegraph tools directly.\n\n",
+        );
+        profiles.sort_by_key(|(generator, _)| {
+            let rank = ORDER
+                .iter()
+                .position(|(name, _)| name == generator)
+                .unwrap_or(ORDER.len());
+            (rank, generator.clone())
+        });
+        for (generator, pdoc) in &profiles {
+            md.push_str(&hostprofile_section(generator, pdoc));
+        }
+    }
+
+    md.push_str("## Fast-forward opportunity\n\n");
+    if audits.is_empty() {
+        md.push_str("No cycle audits found (run with `--audit-out` to record).\n\n");
+    } else {
+        md.push_str(
+            "From the `gvf.cycleaudit` documents: every simulated epoch-cycle \
+             classified, per cell. `skippable` counts stalled-known plus \
+             drained cycles — epochs the engine simulated but whose next \
+             event was already known, so a per-SM fast-forward could skip \
+             them; the speedup column is the resulting upper bound \
+             (1 / (1 − fraction)). Each audit is reconciled exactly against \
+             its manifest: classes must sum to sms × auditedCycles and \
+             auditedCycles must equal the cell's Stats cycles; a mismatch \
+             fails this report.\n\n",
+        );
+        audits.sort_by_key(|(generator, _)| {
+            let rank = ORDER
+                .iter()
+                .position(|(name, _)| name == generator)
+                .unwrap_or(ORDER.len());
+            (rank, generator.clone())
+        });
+        for (generator, adoc) in &audits {
+            md.push_str(&format!("### {generator}\n\n"));
+            match manifests.iter().find(|(g, _)| g == generator) {
+                Some((_, mdoc)) => {
+                    let before = cross_check_failures.len();
+                    cross_check_audit(generator, adoc, mdoc, &mut cross_check_failures);
+                    let new = &cross_check_failures[before..];
+                    if new.is_empty() {
+                        md.push_str(
+                            "Cross-check: classes sum to sms × auditedCycles == Stats \
+                             cycles for every cell. ✓\n\n",
+                        );
+                    } else {
+                        md.push_str(&format!(
+                            "**Cross-check FAILED** ({} mismatch{}):\n\n",
+                            new.len(),
+                            if new.len() == 1 { "" } else { "es" }
+                        ));
+                        for f in new {
+                            md.push_str(&format!("- {f}\n"));
+                        }
+                        md.push('\n');
+                    }
+                }
+                None => md.push_str("No matching manifest — cross-check skipped.\n\n"),
+            }
+            md.push_str(&audit_section(adoc));
+        }
+    }
+
     md.push_str("## Stall hotspots\n\n");
     if hotspots.is_empty() {
         md.push_str("No probe traces found (run with `--trace-out` to record).\n\n");
@@ -683,18 +950,24 @@ fn main() {
         eprintln!("report: {out_path}: {e}");
         std::process::exit(1);
     }
-    eprintln!(
-        "report: wrote {out_path} ({} manifests, {} attribution docs, {} hotspot keys)",
-        manifests.len(),
-        attributions.len(),
-        hotspots.len()
-    );
+    if !quiet {
+        eprintln!(
+            "report: wrote {out_path} ({} manifests, {} attribution docs, {} audits, \
+             {} profiles, {} hotspot keys)",
+            manifests.len(),
+            attributions.len(),
+            audits.len(),
+            profiles.len(),
+            hotspots.len()
+        );
+    }
     if !cross_check_failures.is_empty() {
-        // The hard invariant: per-PC attribution must reconcile exactly
-        // with the Stats counters. A mismatch means the profiler lost
-        // or double-counted evidence — fail the report.
+        // The hard invariants: per-PC attribution and the cycle audit
+        // must reconcile exactly with the Stats counters. A mismatch
+        // means a probe lost or double-counted evidence — fail the
+        // report.
         for f in &cross_check_failures {
-            eprintln!("report: attribution cross-check: {f}");
+            eprintln!("report: cross-check: {f}");
         }
         std::process::exit(1);
     }

@@ -22,14 +22,18 @@
 //! transaction sums must equal the per-tag totals, and the per-tag
 //! totals must equal the cell's copied `Stats` load-transaction
 //! counters — the profiler's hard cross-check invariant, verifiable
-//! from the document alone.
+//! from the document alone. `gvf.cycleaudit` documents get the audit's
+//! equivalent: the six epoch classes must sum to `sms × auditedCycles`
+//! exactly, and `auditedCycles` must equal the cell's copied `Stats`
+//! cycle counter.
 
 use gvf_bench::bench_history::{TRAJECTORY_SCHEMA, TRAJECTORY_SCHEMA_VERSION};
 use gvf_bench::cellcache::{self, CELLCACHE_SCHEMA, CELLCACHE_SCHEMA_VERSION};
 use gvf_bench::hostperf::{HOSTPERF_SCHEMA, HOSTPERF_SCHEMA_VERSION};
 use gvf_bench::json::Json;
 use gvf_bench::manifest::{
-    strip_host_perf, ATTRIB_SCHEMA, ATTRIB_SCHEMA_VERSION, MANIFEST_SCHEMA,
+    strip_host_perf, ATTRIB_SCHEMA, ATTRIB_SCHEMA_VERSION, CYCLEAUDIT_SCHEMA,
+    CYCLEAUDIT_SCHEMA_VERSION, HOSTPROFILE_SCHEMA, HOSTPROFILE_SCHEMA_VERSION, MANIFEST_SCHEMA,
     MANIFEST_SCHEMA_VERSION, METRICS_SCHEMA, METRICS_SCHEMA_VERSION,
 };
 use gvf_sim::{TIMELINE_SCHEMA, TIMELINE_SCHEMA_VERSION};
@@ -40,6 +44,8 @@ const KNOWN_SCHEMAS: &[(&str, u32)] = &[
     (MANIFEST_SCHEMA, MANIFEST_SCHEMA_VERSION),
     (METRICS_SCHEMA, METRICS_SCHEMA_VERSION),
     (ATTRIB_SCHEMA, ATTRIB_SCHEMA_VERSION),
+    (CYCLEAUDIT_SCHEMA, CYCLEAUDIT_SCHEMA_VERSION),
+    (HOSTPROFILE_SCHEMA, HOSTPROFILE_SCHEMA_VERSION),
     (TIMELINE_SCHEMA, TIMELINE_SCHEMA_VERSION),
     (HOSTPERF_SCHEMA, HOSTPERF_SCHEMA_VERSION),
     (TRAJECTORY_SCHEMA, TRAJECTORY_SCHEMA_VERSION),
@@ -123,6 +129,36 @@ fn check(doc: &Json, schema: &str) -> Result<(), String> {
             }
             Ok(())
         }
+        CYCLEAUDIT_SCHEMA => {
+            let cells = doc
+                .get("cells")
+                .and_then(Json::as_arr)
+                .ok_or("cycle audit without a cells array")?;
+            if cells.is_empty() {
+                return Err("cycle audit with zero cells".into());
+            }
+            doc.get("config")
+                .ok_or("cycle audit without a config section")?;
+            for (i, cell) in cells.iter().enumerate() {
+                check_audit_cell(cell).map_err(|e| format!("cell {i}: {e}"))?;
+            }
+            Ok(())
+        }
+        HOSTPROFILE_SCHEMA => {
+            let spans = doc
+                .get("spans")
+                .and_then(Json::as_arr)
+                .ok_or("host profile without a spans array")?;
+            doc.get("collapsedStacks")
+                .and_then(Json::as_str)
+                .ok_or("host profile without collapsedStacks text")?;
+            for (i, s) in spans.iter().enumerate() {
+                for key in ["path", "count", "totalNs", "exclusiveNs"] {
+                    s.get(key).ok_or(format!("span {i} without {key:?}"))?;
+                }
+            }
+            Ok(())
+        }
         TIMELINE_SCHEMA => {
             arr_len("traceEvents").ok_or("trace without a traceEvents array")?;
             Ok(())
@@ -200,6 +236,56 @@ fn check_attrib_cell(cell: &Json) -> Result<(), String> {
             ));
         }
     }
+    Ok(())
+}
+
+/// The cycle-audit invariants checkable from the document alone: the
+/// six epoch classes sum to `sms × auditedCycles` exactly (every
+/// simulated cycle of every audited SM is accounted for, once), and
+/// `auditedCycles` equals the cell's copied `Stats` cycle counter.
+fn check_audit_cell(cell: &Json) -> Result<(), String> {
+    let audit = cell.get("audit").ok_or("no audit member")?;
+    if *audit == Json::Null {
+        return Ok(()); // cell ran without audit recording
+    }
+    let num = |v: &Json, k: &str| {
+        v.get(k)
+            .and_then(Json::as_num)
+            .map(|n| n as u64)
+            .ok_or(format!("audit without {k:?}"))
+    };
+    let sms = num(audit, "sms")?;
+    let audited = num(audit, "auditedCycles")?;
+    let classes = audit.get("classes").ok_or("audit without classes")?;
+    let mut sum = 0u64;
+    for k in [
+        "active",
+        "stalledKnown",
+        "stalledOther",
+        "drained",
+        "skipped",
+        "tail",
+    ] {
+        sum += num(classes, k)?;
+    }
+    if sum != sms * audited {
+        return Err(format!(
+            "classes sum {sum} != sms {sms} × auditedCycles {audited} = {}",
+            sms * audited
+        ));
+    }
+    let stats_cycles = cell
+        .get("statsCycles")
+        .and_then(Json::as_num)
+        .ok_or("cell without statsCycles")? as u64;
+    if audited != stats_cycles {
+        return Err(format!(
+            "auditedCycles {audited} != Stats cycle counter {stats_cycles}"
+        ));
+    }
+    audit
+        .get("fastForward")
+        .ok_or("audit without fastForward")?;
     Ok(())
 }
 

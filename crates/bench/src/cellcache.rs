@@ -29,20 +29,26 @@
 //! Cells that record observability artifacts (`--trace-out` /
 //! `--metrics-out` probe the first cell) bypass the cache entirely:
 //! event streams are large and wall-clock-adjacent, and a resumed run
-//! must still produce them fresh.
+//! must still produce them fresh. The mechanism-attribution and
+//! cycle-audit reports are different: both are bounded, deterministic
+//! counters, so they travel *through* the cache (and are keyed, since
+//! they change what a [`RunResult`] carries).
 
 use crate::json::Json;
 use gvf_alloc::AllocatorKind;
 use gvf_alloc::{AllocStats, TypeKey, TypeRegionStats};
 use gvf_core::{LookupAttrib, LookupKind, TagAttrib, TagMode};
-use gvf_sim::{AttribReport, LogHist, PcLoadStats, LOG_HIST_BUCKETS};
+use gvf_sim::{
+    AttribReport, CallSiteStats, CycleAuditReport, LogHist, PcLoadStats, LOG_HIST_BUCKETS,
+};
 use gvf_workloads::{AllocAttribSnapshot, AttribBundle, RunResult, Table2Row, WorkloadConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cell-cache schema identifier.
 pub const CELLCACHE_SCHEMA: &str = "gvf.cellcache";
 /// Cell-cache schema version; bump on breaking changes.
-pub const CELLCACHE_SCHEMA_VERSION: u32 = 1;
+/// v2: entries carry the cycle-audit report and key on `cycle_audit`.
+pub const CELLCACHE_SCHEMA_VERSION: u32 = 2;
 
 /// Directory name holding cache entries, under the artifact directory.
 pub const CELLCACHE_DIR: &str = ".cellcache";
@@ -76,7 +82,8 @@ fn opt_u64(v: Option<u64>) -> Json {
 /// Every simulation-relevant knob appears; host-side knobs
 /// (`engine_threads`, `--jobs`) and the observability probes that
 /// bypass the cache (timeline, metrics) deliberately do not.
-/// Attribution *is* keyed: it changes what a [`RunResult`] carries.
+/// Attribution and the cycle audit *are* keyed: they change what a
+/// [`RunResult`] carries.
 pub fn config_fingerprint_json(cfg: &WorkloadConfig) -> Json {
     let g = &cfg.gpu;
     let gpu = Json::obj()
@@ -137,6 +144,7 @@ pub fn config_fingerprint_json(cfg: &WorkloadConfig) -> Json {
             Json::num_u64(cfg.device_memory_bytes),
         )
         .with("attribution", Json::Bool(cfg.probe.attribution))
+        .with("cycle_audit", Json::Bool(cfg.probe.cycle_audit))
         .with("gpu", gpu)
 }
 
@@ -361,6 +369,71 @@ fn parse_attrib(j: &Json) -> Option<AttribBundle> {
     })
 }
 
+fn audit_json(a: &CycleAuditReport) -> Json {
+    // One row per indirect-call site: [pc, calls, unknown_calls,
+    // overflowed, target, target, ...]. Targets are FuncIds (u32-sized),
+    // so the f64 JSON number range is never a concern.
+    let sites: Vec<Json> = a
+        .call_sites
+        .iter()
+        .map(|(&pc, s)| {
+            let mut row = vec![pc as u64, s.calls, s.unknown_calls, s.overflowed as u64];
+            row.extend(s.targets.iter().copied());
+            u64_arr(&row)
+        })
+        .collect();
+    Json::obj()
+        .with(
+            "counters",
+            u64_arr(&[
+                a.sms,
+                a.audited_cycles,
+                a.active,
+                a.stalled_known,
+                a.stalled_other,
+                a.drained,
+                a.skipped,
+                a.tail,
+            ]),
+        )
+        .with("gap_hist", log_hist_counts(&a.gap_hist))
+        .with("call_sites", Json::Arr(sites))
+}
+
+fn parse_audit(j: &Json) -> Option<CycleAuditReport> {
+    let c = parse_u64_arr(j.get("counters")?)?;
+    let [sms, audited_cycles, active, stalled_known, stalled_other, drained, skipped, tail] =
+        c.try_into().ok()?;
+    let mut a = CycleAuditReport {
+        sms,
+        audited_cycles,
+        active,
+        stalled_known,
+        stalled_other,
+        drained,
+        skipped,
+        tail,
+        gap_hist: parse_log_hist(j.get("gap_hist")?)?,
+        ..CycleAuditReport::default()
+    };
+    for row in j.get("call_sites")?.as_arr()? {
+        let v = parse_u64_arr(row)?;
+        if v.len() < 4 {
+            return None;
+        }
+        a.call_sites.insert(
+            v[0] as usize,
+            CallSiteStats {
+                calls: v[1],
+                unknown_calls: v[2],
+                overflowed: v[3] != 0,
+                targets: v[4..].iter().copied().collect(),
+            },
+        );
+    }
+    Some(a)
+}
+
 fn result_json(r: &RunResult) -> Json {
     let s = &r.stats;
     let stats = Json::obj()
@@ -428,6 +501,13 @@ fn result_json(r: &RunResult) -> Json {
             "attrib",
             match &r.attrib {
                 Some(b) => attrib_json(b),
+                None => Json::Null,
+            },
+        )
+        .with(
+            "audit",
+            match &r.audit {
+                Some(a) => audit_json(a),
                 None => Json::Null,
             },
         )
@@ -500,6 +580,10 @@ fn parse_result(j: &Json) -> Option<RunResult> {
         attrib: match j.get("attrib")? {
             Json::Null => None,
             b => Some(parse_attrib(b)?),
+        },
+        audit: match j.get("audit")? {
+            Json::Null => None,
+            a => Some(parse_audit(a)?),
         },
     })
 }
@@ -808,6 +892,31 @@ mod tests {
                     mask_ops: 0,
                 }),
             }),
+            audit: Some({
+                let mut a = CycleAuditReport {
+                    sms: 2,
+                    audited_cycles: 12345,
+                    active: 400,
+                    stalled_known: 100,
+                    stalled_other: 50,
+                    drained: 20,
+                    skipped: 24000,
+                    tail: 120,
+                    ..CycleAuditReport::default()
+                };
+                a.gap_hist.record(7);
+                a.gap_hist.record_n(1000, 3);
+                a.call_sites.insert(
+                    9,
+                    CallSiteStats {
+                        calls: 12,
+                        unknown_calls: 1,
+                        targets: [2u64, 5, 6].into_iter().collect(),
+                        overflowed: false,
+                    },
+                );
+                a
+            }),
         }
     }
 
@@ -822,6 +931,7 @@ mod tests {
         assert_eq!(a.table2.vfunc_pki, b.table2.vfunc_pki);
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.attrib, b.attrib);
+        assert_eq!(a.audit, b.audit);
         assert!(b.obs.is_none());
     }
 
@@ -868,6 +978,10 @@ mod tests {
             cell_key("fig6", 0, &threads),
             "engine_threads excluded"
         );
+        // The audit changes what a RunResult carries, so it is keyed.
+        let mut audited = cfg.clone();
+        audited.probe.cycle_audit = true;
+        assert_ne!(base, cell_key("fig6", 0, &audited), "cycle_audit keyed");
     }
 
     #[test]

@@ -11,7 +11,8 @@ pub const DEFAULT_METRICS_BUCKET_CYCLES: u64 = 256;
 /// Common harness options: `--scale N`, `--iters N`, `--seed N`,
 /// `--jobs N`, `--engine-threads N`, `--smoke`, `--quiet`, plus the
 /// observability outputs `--json-out PATH`, `--trace-out PATH`,
-/// `--metrics-out PATH`, `--attrib-out PATH`.
+/// `--metrics-out PATH`, `--attrib-out PATH`, `--profile-out PATH`,
+/// `--audit-out PATH`.
 #[derive(Clone, Debug)]
 pub struct HarnessOpts {
     /// Workload configuration assembled from the flags.
@@ -39,6 +40,14 @@ pub struct HarnessOpts {
     /// Write the mechanism-attribution report (`gvf.attribution` v1)
     /// here (`--attrib-out`).
     pub attrib_out: Option<String>,
+    /// Write the host-side span profile (`gvf.hostprofile` v1) here
+    /// (`--profile-out`). Enables [`gvf_sim::spans`] recording for the
+    /// whole process. Wall-clock data: excluded from determinism diffs.
+    pub profile_out: Option<String>,
+    /// Write the deterministic cycle-audit report (`gvf.cycleaudit` v1)
+    /// here (`--audit-out`). Byte-identical for any `--jobs` /
+    /// `--engine-threads` value.
+    pub audit_out: Option<String>,
     /// Read completed cells back from the content-addressed cell cache
     /// (`--resume`) instead of re-simulating them. Resumed sweeps emit
     /// byte-identical manifests (see [`crate::cellcache`]).
@@ -72,6 +81,8 @@ impl HarnessOpts {
         let mut trace_out = None;
         let mut metrics_out = None;
         let mut attrib_out = None;
+        let mut profile_out = None;
+        let mut audit_out = None;
         let mut resume = false;
         let mut no_cache = false;
         let mut cache_dir = None;
@@ -132,6 +143,14 @@ impl HarnessOpts {
                     attrib_out = Some(need(i).clone());
                     i += 2;
                 }
+                "--profile-out" => {
+                    profile_out = Some(need(i).clone());
+                    i += 2;
+                }
+                "--audit-out" => {
+                    audit_out = Some(need(i).clone());
+                    i += 2;
+                }
                 "--resume" => {
                     resume = true;
                     i += 1;
@@ -149,7 +168,8 @@ impl HarnessOpts {
                         "options: --scale N (default 8)  --iters N  --seed N  \
                          --jobs N (0 = all cores)  --engine-threads N (0 = auto)  --smoke  \
                          --quiet  --json-out PATH  --trace-out PATH  --metrics-out PATH  \
-                         --attrib-out PATH  --resume  --no-cache  --cache-dir DIR"
+                         --attrib-out PATH  --profile-out PATH  --audit-out PATH  \
+                         --resume  --no-cache  --cache-dir DIR"
                     );
                     std::process::exit(0);
                 }
@@ -168,6 +188,11 @@ impl HarnessOpts {
         if resume && no_cache {
             usage_error("--resume and --no-cache are mutually exclusive");
         }
+        if profile_out.is_some() {
+            // Process-wide: spans record from the first kernel on, and
+            // every SimPool worker / engine thread participates.
+            gvf_sim::spans::enable();
+        }
         HarnessOpts {
             cfg,
             jobs,
@@ -177,6 +202,8 @@ impl HarnessOpts {
             trace_out,
             metrics_out,
             attrib_out,
+            profile_out,
+            audit_out,
             resume,
             no_cache,
             cache_dir,
@@ -212,15 +239,17 @@ impl HarnessOpts {
     /// The configuration for grid cell `i`. Timeline/metrics recording
     /// is enabled on the **first cell only** — one probed cell keeps
     /// artifact sizes bounded (a full grid's timeline would be tens of
-    /// MB) while the manifest still covers every cell. Attribution is
-    /// enabled on **every** cell when `--attrib-out` is given: its
-    /// report is bounded histograms, not an event stream, and the
-    /// REPORT.md cross-check reconciles attribution against [`Stats`]
-    /// for each cell. Probes never change timing, so probed and
-    /// unprobed cells report identical [`gvf_sim::Stats`].
+    /// MB) while the manifest still covers every cell. Attribution
+    /// (`--attrib-out`) and the cycle audit (`--audit-out`) are enabled
+    /// on **every** cell: their reports are bounded histograms and
+    /// counters, not event streams, and the REPORT.md cross-checks
+    /// reconcile them against [`Stats`] for each cell. Probes never
+    /// change timing, so probed and unprobed cells report identical
+    /// [`gvf_sim::Stats`].
     pub fn cfg_for_cell(&self, i: usize) -> WorkloadConfig {
         let mut cfg = self.cfg.clone();
         let attribution = self.attrib_out.is_some();
+        let cycle_audit = self.audit_out.is_some();
         if i == 0 {
             cfg.probe = ProbeSpec {
                 timeline_events_per_sm: if self.trace_out.is_some() {
@@ -234,10 +263,12 @@ impl HarnessOpts {
                     0
                 },
                 attribution,
+                cycle_audit,
             };
-        } else if attribution {
+        } else if attribution || cycle_audit {
             cfg.probe = ProbeSpec {
                 attribution,
+                cycle_audit,
                 ..ProbeSpec::OFF
             };
         }

@@ -30,6 +30,21 @@
 //!   the counter for every tag (`validate_json` and `report` both
 //!   enforce this). The document contains no wall-clock data, so serial
 //!   and parallel runs emit byte-identical files.
+//! - `--audit-out` — the **cycle audit** (`gvf.cycleaudit` v1): per
+//!   cell, every simulated epoch-cycle classified as active /
+//!   stalled-known / stalled-other / drained / skipped / tail, the
+//!   fast-forwardable-gap histogram with an upper-bound speedup
+//!   estimate, and per-call-site observed-type-set summaries. Like
+//!   attribution it is self-checking — the six classes must sum to
+//!   `sms × auditedCycles`, and `auditedCycles` must equal the cell's
+//!   [`Stats`] cycle counter — and wall-clock-free: serial and parallel
+//!   runs emit byte-identical documents.
+//! - `--profile-out` — the **host span profile** (`gvf.hostprofile`
+//!   v1): the [`gvf_sim::spans`] hierarchical wall-time breakdown of
+//!   this process (inclusive/exclusive ns per span path, plus a
+//!   collapsed-stack rendering for flamegraph tools). Wall-clock data
+//!   through and through — excluded from determinism diffs exactly
+//!   like `hostPerf`.
 //!
 //! Schema versioning: the `schema`/`version` header is bumped on any
 //! breaking field change; consumers must check it (DESIGN.md
@@ -39,8 +54,8 @@ use crate::cli::HarnessOpts;
 use crate::json::Json;
 use gvf_core::{LookupAttrib, TagAttrib};
 use gvf_sim::{
-    write_chrome_trace, AccessTag, AttribReport, EpochSeries, LineClass, LogHist, ObsReport,
-    PcLoadStats, StallCause, Stats,
+    write_chrome_trace, AccessTag, AttribReport, CycleAuditReport, EpochSeries, LineClass, LogHist,
+    ObsReport, PcLoadStats, StallCause, Stats,
 };
 use gvf_workloads::{AllocAttribSnapshot, AttribBundle, RunResult};
 use std::io::{self, Write};
@@ -63,6 +78,18 @@ pub const METRICS_SCHEMA_VERSION: u32 = 1;
 pub const ATTRIB_SCHEMA: &str = "gvf.attribution";
 /// Attribution-report schema version; bump on breaking changes.
 pub const ATTRIB_SCHEMA_VERSION: u32 = 1;
+/// Host-span-profile schema identifier.
+pub const HOSTPROFILE_SCHEMA: &str = "gvf.hostprofile";
+/// Host-span-profile schema version; bump on breaking changes.
+pub const HOSTPROFILE_SCHEMA_VERSION: u32 = 1;
+/// Cycle-audit schema identifier.
+pub const CYCLEAUDIT_SCHEMA: &str = "gvf.cycleaudit";
+/// Cycle-audit schema version; bump on breaking changes.
+pub const CYCLEAUDIT_SCHEMA_VERSION: u32 = 1;
+
+/// Call sites listed individually in a cycle-audit cell, by descending
+/// call count; the rest are summarized in the class counters.
+pub const CYCLEAUDIT_TOP_SITES: usize = 16;
 
 /// One grid cell of a figure run: identifying coordinates (workload,
 /// strategy, knob values...) plus the measured counters.
@@ -76,6 +103,9 @@ pub struct CellRecord {
     /// one (`--attrib-out`). Travels with the record so the attribution
     /// document's cells mirror the manifest's cells one-for-one.
     pub attrib: Option<AttribBundle>,
+    /// The cell's cycle-audit report, when the run recorded one
+    /// (`--audit-out`). Travels with the record for the same reason.
+    pub audit: Option<CycleAuditReport>,
 }
 
 impl CellRecord {
@@ -88,14 +118,16 @@ impl CellRecord {
             ],
             stats: stats.clone(),
             attrib: None,
+            audit: None,
         }
     }
 
     /// A record carrying a run's full evidence: its [`Stats`] plus the
-    /// attribution bundle when the run recorded one.
+    /// attribution bundle and cycle audit when the run recorded them.
     pub fn of(workload: &str, strategy: &str, r: &RunResult) -> Self {
         let mut rec = CellRecord::new(workload, strategy, &r.stats);
         rec.attrib = r.attrib.clone();
+        rec.audit = r.audit.clone();
         rec
     }
 
@@ -449,6 +481,114 @@ pub fn attribution_doc(generator: &str, opts: &HarnessOpts, cells: &[CellRecord]
         .with("cells", Json::Arr(records))
 }
 
+fn audit_cell_json(a: &CycleAuditReport) -> Json {
+    let classes = Json::obj()
+        .with("active", Json::num_u64(a.active))
+        .with("stalledKnown", Json::num_u64(a.stalled_known))
+        .with("stalledOther", Json::num_u64(a.stalled_other))
+        .with("drained", Json::num_u64(a.drained))
+        .with("skipped", Json::num_u64(a.skipped))
+        .with("tail", Json::num_u64(a.tail));
+    let fast_forward = Json::obj()
+        .with("skippableCycles", Json::num_u64(a.skippable_cycles()))
+        .with("fraction", Json::Num(a.skippable_fraction()))
+        .with("upperBoundSpeedup", Json::Num(a.upper_bound_speedup()));
+    // Individual sites, hottest first; ties broken by trace position so
+    // the rendering stays deterministic.
+    let mut hot: Vec<_> = a.call_sites.iter().collect();
+    hot.sort_by_key(|(&pc, s)| (std::cmp::Reverse(s.calls), pc));
+    let top: Vec<Json> = hot
+        .iter()
+        .take(CYCLEAUDIT_TOP_SITES)
+        .map(|(&pc, s)| {
+            Json::obj()
+                .with("pc", Json::num_u64(pc as u64))
+                .with("calls", Json::num_u64(s.calls))
+                .with("unknownCalls", Json::num_u64(s.unknown_calls))
+                .with("targets", Json::num_u64(s.targets.len() as u64))
+                .with("overflowed", Json::Bool(s.overflowed))
+                .with("class", Json::str(s.class().label()))
+        })
+        .collect();
+    let (unknown, mono, few, mega) = a.site_class_counts();
+    let call_sites = Json::obj()
+        .with("sites", Json::num_u64(a.call_sites.len() as u64))
+        .with("unknown", Json::num_u64(unknown))
+        .with("monomorphic", Json::num_u64(mono))
+        .with("fewTyped", Json::num_u64(few))
+        .with("megamorphic", Json::num_u64(mega))
+        .with("top", Json::Arr(top));
+    Json::obj()
+        .with("sms", Json::num_u64(a.sms))
+        .with("auditedCycles", Json::num_u64(a.audited_cycles))
+        .with("classes", classes)
+        .with("gapHist", log_hist_json(&a.gap_hist))
+        .with("fastForward", fast_forward)
+        .with("callSites", call_sites)
+}
+
+/// Builds the `gvf.cycleaudit` document. Cells mirror the manifest's
+/// cells one-for-one; each carries a copy of its [`Stats`] cycle
+/// counter, making the hard cross-check (six classes sum to
+/// `sms × auditedCycles`, and `auditedCycles == statsCycles`)
+/// verifiable from this file alone. Contains no wall-clock data:
+/// serial and parallel runs emit byte-identical documents.
+pub fn cycleaudit_doc(generator: &str, opts: &HarnessOpts, cells: &[CellRecord]) -> Json {
+    let records: Vec<Json> = cells
+        .iter()
+        .map(|cell| {
+            let mut rec = Json::obj();
+            for (k, v) in &cell.meta {
+                rec.set(k, v.clone());
+            }
+            rec.with("statsCycles", Json::num_u64(cell.stats.cycles))
+                .with(
+                    "audit",
+                    match &cell.audit {
+                        Some(a) => audit_cell_json(a),
+                        None => Json::Null,
+                    },
+                )
+        })
+        .collect();
+    Json::obj()
+        .with("schema", Json::str(CYCLEAUDIT_SCHEMA))
+        .with("version", Json::num_u64(CYCLEAUDIT_SCHEMA_VERSION as u64))
+        .with("generator", Json::str(generator))
+        .with("config", config_json(opts))
+        .with("cells", Json::Arr(records))
+}
+
+/// Builds the `gvf.hostprofile` document from the process's
+/// [`gvf_sim::spans`] state: one entry per span path with call count
+/// and inclusive/exclusive wall nanoseconds, plus the collapsed-stack
+/// text flamegraph tools consume directly. Wall-clock data: never part
+/// of a determinism diff (the artifact exists so "where did the host
+/// time go" has a measured answer, not a deterministic one).
+pub fn hostprofile_doc(generator: &str) -> Json {
+    let spans = gvf_sim::spans::snapshot();
+    let rows: Vec<Json> = spans
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .with("path", Json::str(&s.path))
+                .with("count", Json::num_u64(s.count))
+                .with("totalNs", Json::num_u64(s.total_ns))
+                .with("exclusiveNs", Json::num_u64(s.exclusive_ns))
+        })
+        .collect();
+    Json::obj()
+        .with("schema", Json::str(HOSTPROFILE_SCHEMA))
+        .with("version", Json::num_u64(HOSTPROFILE_SCHEMA_VERSION as u64))
+        .with("generator", Json::str(generator))
+        .with("enabled", Json::Bool(gvf_sim::spans::enabled()))
+        .with("spans", Json::Arr(rows))
+        .with(
+            "collapsedStacks",
+            Json::str(gvf_sim::collapsed_stacks(&spans)),
+        )
+}
+
 fn write_file(path: &str, contents: &[u8]) -> io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     f.write_all(contents)?;
@@ -489,6 +629,16 @@ pub fn emit(opts: &HarnessOpts, generator: &str, cells: &[CellRecord], obs: Opti
                 path,
                 attribution_doc(generator, opts, cells).render().as_bytes(),
             )?;
+        }
+        if let Some(path) = &opts.audit_out {
+            write_file(
+                path,
+                cycleaudit_doc(generator, opts, cells).render().as_bytes(),
+            )?;
+        }
+        // Last, so the profile covers the emission of everything above.
+        if let Some(path) = &opts.profile_out {
+            write_file(path, hostprofile_doc(generator).render().as_bytes())?;
         }
         Ok(())
     };
@@ -642,6 +792,8 @@ mod tests {
             trace_out: None,
             metrics_out: None,
             attrib_out: None,
+            profile_out: None,
+            audit_out: None,
             resume: false,
             no_cache: false,
             cache_dir: None,
@@ -713,6 +865,7 @@ mod tests {
             metrics: Vec::new(),
             obs: None,
             attrib: None,
+            audit: None,
         };
         let cells = vec![
             Ok(ok),
@@ -742,6 +895,94 @@ mod tests {
             Some("deadbeef")
         );
         assert_eq!(entries[1].get("stats"), None, "dead cells carry no stats");
+    }
+
+    #[test]
+    fn cycleaudit_doc_mirrors_cells_and_self_checks() {
+        let mut audit = CycleAuditReport {
+            sms: 1,
+            audited_cycles: 1000,
+            active: 300,
+            stalled_known: 100,
+            stalled_other: 50,
+            drained: 50,
+            skipped: 400,
+            tail: 100,
+            ..CycleAuditReport::default()
+        };
+        audit.gap_hist.record(64);
+        audit.call_sites.insert(
+            5,
+            gvf_sim::CallSiteStats {
+                calls: 7,
+                unknown_calls: 0,
+                targets: [1u64, 2].into_iter().collect(),
+                overflowed: false,
+            },
+        );
+        assert!(audit.reconciles());
+        let mut cell = CellRecord::new("GOL", "typepointer", &sample_stats());
+        cell.audit = Some(audit);
+        let doc = cycleaudit_doc("test", &test_opts(), &[cell]);
+        let parsed = Json::parse(&doc.render()).expect("parse");
+        assert_eq!(parsed, doc);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(CYCLEAUDIT_SCHEMA)
+        );
+        let cell0 = &doc.get("cells").and_then(Json::as_arr).expect("cells")[0];
+        assert_eq!(cell0.get("workload").and_then(Json::as_str), Some("GOL"));
+        // The self-check joins, verifiable from the document alone: the
+        // six classes sum to sms × auditedCycles, which equals the
+        // copied Stats counter (sample_stats sets cycles = 1000).
+        let a = cell0.get("audit").expect("audit");
+        let classes = a.get("classes").expect("classes");
+        let sum: f64 = [
+            "active",
+            "stalledKnown",
+            "stalledOther",
+            "drained",
+            "skipped",
+            "tail",
+        ]
+        .iter()
+        .map(|k| classes.get(k).and_then(Json::as_num).expect("class"))
+        .sum();
+        assert_eq!(sum, 1000.0);
+        assert_eq!(a.get("auditedCycles").and_then(Json::as_num), Some(1000.0));
+        assert_eq!(
+            cell0.get("statsCycles").and_then(Json::as_num),
+            Some(1000.0)
+        );
+        let ff = a.get("fastForward").expect("fastForward");
+        assert_eq!(
+            ff.get("skippableCycles").and_then(Json::as_num),
+            Some(150.0)
+        );
+        let site0 = &a
+            .get("callSites")
+            .and_then(|c| c.get("top"))
+            .and_then(Json::as_arr)
+            .expect("top")[0];
+        assert_eq!(site0.get("class").and_then(Json::as_str), Some("fewTyped"));
+        // Audit-less cells serialize as an explicit null.
+        let bare = CellRecord::new("GOL", "coal", &sample_stats());
+        let doc = cycleaudit_doc("test", &test_opts(), &[bare]);
+        let cell0 = &doc.get("cells").and_then(Json::as_arr).expect("cells")[0];
+        assert_eq!(cell0.get("audit"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn hostprofile_doc_has_schema_header_and_span_fields() {
+        let doc = hostprofile_doc("test");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(HOSTPROFILE_SCHEMA)
+        );
+        assert!(doc.get("spans").and_then(Json::as_arr).is_some());
+        assert!(doc.get("collapsedStacks").and_then(Json::as_str).is_some());
+        let parsed = Json::parse(&doc.render()).expect("parse");
+        assert_eq!(parsed, doc);
     }
 
     #[test]

@@ -25,6 +25,8 @@ fn opts() -> HarnessOpts {
         trace_out: None,
         metrics_out: None,
         attrib_out: None,
+        profile_out: None,
+        audit_out: None,
         resume: false,
         no_cache: false,
         cache_dir: None,
@@ -123,11 +125,13 @@ fn trajectory_timestamps_are_excluded_from_the_gate() {
     let sample = |rate: f64| Sample {
         bin: "fig6".into(),
         config: RunConfig {
-            smoke: true,
+            // Benchmark-grade: smoke or sub-second samples are skipped
+            // by the gate outright, which would make this test vacuous.
+            smoke: false,
             scale: 1,
             iterations: 2,
         },
-        wall_s: 1.0,
+        wall_s: 2.0,
         cells: 4,
         cells_per_sec: 4.0,
         sim_cycles: 1_000,

@@ -826,7 +826,7 @@ impl DeviceProgram {
     ) {
         for (fid, mask) in group_lanes(ctx, fids) {
             ctx.with_mask(mask, |ctx| {
-                ctx.indirect_call();
+                ctx.indirect_call_to(fid.0 as u64);
                 body(ctx, fid);
                 ctx.ret();
             });

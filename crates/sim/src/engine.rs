@@ -304,6 +304,7 @@ impl Gpu {
         kernel: &KernelTrace,
         mut mk: impl FnMut(usize) -> P,
     ) -> (Stats, Vec<P>) {
+        let _ex = crate::spans::span("engine.execute");
         let cfg = &self.cfg;
         let Some((mut sms, mut memsys, base)) = setup(cfg, kernel, &mut mk) else {
             let probes = (0..cfg.num_sms as usize).map(mk).collect();
@@ -315,15 +316,21 @@ impl Gpu {
             let mut live = false;
             let mut issued = false;
             let mut min_next = u64::MAX;
-            for sm in sms.iter_mut() {
-                let out = sm_epoch(cfg, kernel, sm, cycle);
-                live |= out.live;
-                issued |= out.issued;
-                min_next = min_next.min(out.min_next);
+            {
+                let _pa = crate::spans::span("engine.phase_a");
+                for sm in sms.iter_mut() {
+                    let out = sm_epoch(cfg, kernel, sm, cycle);
+                    live |= out.live;
+                    issued |= out.issued;
+                    min_next = min_next.min(out.min_next);
+                }
             }
-            for sm in sms.iter_mut() {
-                if !sm.reqs.is_empty() {
-                    mem_phase_b(cfg, &mut memsys, &mut memstats, sm);
+            {
+                let _pb = crate::spans::span("engine.phase_b");
+                for sm in sms.iter_mut() {
+                    if !sm.reqs.is_empty() {
+                        mem_phase_b(cfg, &mut memsys, &mut memstats, sm);
+                    }
                 }
             }
             if !live {
@@ -331,6 +338,7 @@ impl Gpu {
             }
             cycle = next_cycle(cycle, issued, min_next);
         }
+        let _fin = crate::spans::span("engine.finish");
         let stats = finish(base, &mut sms, &memsys, &memstats, cycle);
         let probes = sms.into_iter().map(|sm| sm.probe).collect();
         (stats, probes)
@@ -363,6 +371,7 @@ impl Gpu {
         use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
         use std::sync::Mutex;
 
+        let _ex = crate::spans::span("engine.execute");
         let cfg = &self.cfg;
         let threads = threads.clamp(1, cfg.num_sms as usize);
         if threads == 1 {
@@ -430,12 +439,15 @@ impl Gpu {
                         let mut live = false;
                         let mut issued = false;
                         let mut min_next = u64::MAX;
-                        for sm in sms.iter().take(hi).skip(lo) {
-                            let sm = &mut *sm.lock().expect("sm mutex");
-                            let out = sm_epoch(cfg, kernel, sm, cycle);
-                            live |= out.live;
-                            issued |= out.issued;
-                            min_next = min_next.min(out.min_next);
+                        {
+                            let _pa = crate::spans::span("engine.phase_a");
+                            for sm in sms.iter().take(hi).skip(lo) {
+                                let sm = &mut *sm.lock().expect("sm mutex");
+                                let out = sm_epoch(cfg, kernel, sm, cycle);
+                                live |= out.live;
+                                issued |= out.issued;
+                                min_next = min_next.min(out.min_next);
+                            }
                         }
                         if live {
                             acc_live.store(true, Ordering::Relaxed);
@@ -472,10 +484,13 @@ impl Gpu {
 
                 // Phase B — canonical ascending-SM order, regardless of
                 // which worker simulated which SM.
-                for sm in sms.iter() {
-                    let sm = &mut *sm.lock().expect("sm mutex");
-                    if !sm.reqs.is_empty() {
-                        mem_phase_b(cfg, &mut memsys, &mut memstats, sm);
+                {
+                    let _pb = crate::spans::span("engine.phase_b");
+                    for sm in sms.iter() {
+                        let sm = &mut *sm.lock().expect("sm mutex");
+                        if !sm.reqs.is_empty() {
+                            mem_phase_b(cfg, &mut memsys, &mut memstats, sm);
+                        }
                     }
                 }
 
@@ -497,6 +512,7 @@ impl Gpu {
             .into_iter()
             .map(|m| m.into_inner().expect("sm mutex"))
             .collect();
+        let _fin = crate::spans::span("engine.finish");
         let stats = finish(base, &mut sms, &memsys, &memstats, final_cycle);
         let probes = sms.into_iter().map(|sm| sm.probe).collect();
         (stats, probes)
@@ -669,7 +685,7 @@ fn sm_epoch<P: Probe>(
         // warp retries once ready, keeping resource reservations
         // causal.
         let defer_until = match op {
-            Op::IndirectCall => {
+            Op::IndirectCall { .. } => {
                 sm.resident[wi].dep_ready(&[AccessTag::ConstIndirection, AccessTag::VfuncPtr])
             }
             Op::Mem(m) if !m.is_store => {
@@ -719,7 +735,7 @@ fn sm_epoch<P: Probe>(
             Op::Alu(nn) => cycle + (*nn as u64) * cfg.alu_chain_latency + cfg.alu_latency,
             Op::Branch | Op::DirectCall => cycle + cfg.branch_latency,
             Op::Ret => cycle + cfg.ret_latency,
-            Op::IndirectCall => {
+            Op::IndirectCall { .. } => {
                 sm.stats.stall_by_tag[STALL_INDIRECT_CALL] += cfg.indirect_call_latency;
                 sm.probe.stall(
                     trace_idx,
@@ -751,6 +767,8 @@ fn sm_epoch<P: Probe>(
     for &(_, retire_cycle) in &sm.retiring {
         out.min_next = out.min_next.min(retire_cycle + 1);
     }
+    sm.probe
+        .epoch_end(cycle, out.live, out.issued, out.min_next);
     out
 }
 
@@ -812,6 +830,7 @@ fn issue_load_phase_a<P: Probe>(
     trace_idx: usize,
     pc: usize,
 ) -> u64 {
+    let _lm = crate::spans::span("engine.l1_mshr");
     coalesce(&mut sm.scratch, m, cfg.sector_bytes);
     let tag_idx = m.tag.index();
     match m.space {
@@ -1129,7 +1148,7 @@ mod tests {
         let addrs: Vec<u64> = (0..32).map(|i| 0x5_0000 + i * 128).collect();
         let s = gpu().execute(&one_warp(vec![
             load(addrs, AccessTag::VtablePtr),
-            Op::IndirectCall,
+            Op::IndirectCall { target: 0 },
         ]));
         assert!(s.stall(AccessTag::VtablePtr) > 0);
         assert!(s.stall_by_tag[STALL_INDIRECT_CALL] > 0);
@@ -1287,8 +1306,11 @@ mod scoreboard_tests {
             addrs: vec![0x9000; 32].into_boxed_slice(),
             tag: AccessTag::ConstIndirection,
         });
-        let with_wait = gpu().execute(&one(vec![cold_const.clone(), Op::IndirectCall]));
-        let call_only = gpu().execute(&one(vec![Op::IndirectCall]));
+        let with_wait = gpu().execute(&one(vec![
+            cold_const.clone(),
+            Op::IndirectCall { target: 0 },
+        ]));
+        let call_only = gpu().execute(&one(vec![Op::IndirectCall { target: 0 }]));
         let cfg = GpuConfig::small();
         assert!(
             with_wait.cycles >= call_only.cycles + cfg.const_miss_latency / 2,
@@ -1397,7 +1419,7 @@ mod epoch_tests {
                             tag: AccessTag::VtablePtr,
                         }));
                     }
-                    2 => w.push(Op::IndirectCall),
+                    2 => w.push(Op::IndirectCall { target: 0 }),
                     3 => w.push(Op::Mem(MemOp {
                         space: Space::Global,
                         is_store: true,

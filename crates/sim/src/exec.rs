@@ -104,10 +104,20 @@ impl<'m> WarpCtx<'m> {
         }
     }
 
-    /// Records an indirect call (operation **C**).
+    /// Records an indirect call (operation **C**) with an unknown
+    /// callee — use [`indirect_call_to`](Self::indirect_call_to) when
+    /// the dispatch target is known, so call-site type profiling can
+    /// classify the site.
     pub fn indirect_call(&mut self) {
+        self.indirect_call_to(crate::instr::UNKNOWN_CALL_TARGET);
+    }
+
+    /// Records an indirect call resolving to `target` (the dispatcher's
+    /// function id). The target never affects timing; it only feeds the
+    /// cycle-audit's per-call-site observed-type-set counters.
+    pub fn indirect_call_to(&mut self, target: u64) {
         if self.mask != 0 {
-            self.trace.push(Op::IndirectCall);
+            self.trace.push(Op::IndirectCall { target });
         }
     }
 

@@ -75,6 +75,10 @@ impl fmt::Display for AccessTag {
     }
 }
 
+/// Sentinel [`Op::IndirectCall`] target for producers that cannot name
+/// the callee (hand-built test traces, legacy entry points).
+pub const UNKNOWN_CALL_TARGET: u64 = u64::MAX;
+
 /// Instruction class, matching the paper's Fig. 7 breakdown.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum InstrClass {
@@ -124,8 +128,14 @@ pub enum Op {
     Mem(MemOp),
     /// A direct branch / predicate evaluation / reconvergence point.
     Branch,
-    /// An indirect call through a register (operation **C**).
-    IndirectCall,
+    /// An indirect call through a register (operation **C**). `target`
+    /// is the resolved callee identity (the registry's function id) for
+    /// call-site type profiling, or [`UNKNOWN_CALL_TARGET`] when the
+    /// producer does not know it. Timing never reads the target.
+    IndirectCall {
+        /// Resolved callee, or [`UNKNOWN_CALL_TARGET`].
+        target: u64,
+    },
     /// A direct call (Concord's statically-known targets).
     DirectCall,
     /// Return from a (virtual) function body.
@@ -138,7 +148,7 @@ impl Op {
         match self {
             Op::Alu(_) => InstrClass::Compute,
             Op::Mem(_) => InstrClass::Mem,
-            Op::Branch | Op::IndirectCall | Op::DirectCall | Op::Ret => InstrClass::Ctrl,
+            Op::Branch | Op::IndirectCall { .. } | Op::DirectCall | Op::Ret => InstrClass::Ctrl,
         }
     }
 
@@ -159,7 +169,13 @@ mod tests {
     fn classes() {
         assert_eq!(Op::Alu(3).class(), InstrClass::Compute);
         assert_eq!(Op::Branch.class(), InstrClass::Ctrl);
-        assert_eq!(Op::IndirectCall.class(), InstrClass::Ctrl);
+        assert_eq!(
+            Op::IndirectCall {
+                target: UNKNOWN_CALL_TARGET
+            }
+            .class(),
+            InstrClass::Ctrl
+        );
         let m = MemOp {
             space: Space::Global,
             is_store: false,

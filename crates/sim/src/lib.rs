@@ -52,6 +52,7 @@ mod instr;
 mod pool;
 pub mod probe;
 pub mod simt;
+pub mod spans;
 mod stats;
 pub mod timeline;
 mod trace;
@@ -64,12 +65,14 @@ pub use config::GpuConfig;
 pub use engine::Gpu;
 pub use exec::{lanes_from_fn, lanes_none, run_kernel, Lanes, WarpCtx, WARP_SIZE};
 pub use hostperf::{HostPerfSnapshot, PoolTelemetry, SweepTelemetry, WorkerTelemetry};
-pub use instr::{AccessTag, InstrClass, MemOp, Op, Space};
+pub use instr::{AccessTag, InstrClass, MemOp, Op, Space, UNKNOWN_CALL_TARGET};
 pub use pool::{CellFailure, SimPool};
 pub use probe::{
-    recording_probe, CountingProbe, EpochMetricsProbe, EpochSeries, MetricsBucket, NopProbe,
-    ObsReport, Probe, ProbeSpec, RecordingProbe, StallCause, STALL_CAUSES,
+    recording_probe, CallSiteClass, CallSiteStats, CountingProbe, CycleAuditProbe,
+    CycleAuditReport, EpochClass, EpochMetricsProbe, EpochSeries, MetricsBucket, NopProbe,
+    ObsReport, Probe, ProbeSpec, RecordingProbe, StallCause, CALL_SITE_TARGET_CAP, STALL_CAUSES,
 };
+pub use spans::{collapsed_stacks, SpanStat};
 pub use stats::{Stats, STALL_INDIRECT_CALL};
 pub use timeline::{
     write_chrome_trace, TimelineProbe, TraceEvent, TraceEventKind, TIMELINE_SCHEMA,

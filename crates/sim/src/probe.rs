@@ -32,11 +32,12 @@
 //! run can record a timeline and a metrics series at once without a
 //! bespoke combined type.
 
-use crate::attrib::{AttribReport, AttributionProbe};
+use crate::attrib::{AttribReport, AttributionProbe, LogHist};
 use crate::cache::SectoredCache;
-use crate::instr::{AccessTag, Op};
+use crate::instr::{AccessTag, Op, UNKNOWN_CALL_TARGET};
 use crate::stats::{Stats, STALL_INDIRECT_CALL};
 use crate::timeline::{TimelineProbe, TraceEvent};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Why a warp stalled, mirroring the indexing of
 /// [`Stats::stall_by_tag`]: one slot per [`AccessTag`] plus the
@@ -100,6 +101,15 @@ pub trait Probe: Send {
     /// skipped, so consecutive calls may jump forward).
     #[inline(always)]
     fn epoch(&mut self, _cycle: u64) {}
+
+    /// The epoch at `cycle` finished on this SM: `live` / `issued` /
+    /// `min_next` are the SM's phase-A outputs (whether any warp still
+    /// has work, whether anything issued this cycle, and the earliest
+    /// cycle at which a currently-stalled warp is known to become
+    /// ready — `u64::MAX` when unknown). Fired once per
+    /// [`epoch`](Probe::epoch), after the schedulers ran.
+    #[inline(always)]
+    fn epoch_end(&mut self, _cycle: u64, _live: bool, _issued: bool, _min_next: u64) {}
 
     /// Warp `warp` issued `op` (its `pc`-th trace entry) at `cycle`.
     #[inline(always)]
@@ -197,6 +207,12 @@ impl<P: Probe> Probe for Option<P> {
         }
     }
     #[inline(always)]
+    fn epoch_end(&mut self, cycle: u64, live: bool, issued: bool, min_next: u64) {
+        if let Some(p) = self {
+            p.epoch_end(cycle, live, issued, min_next);
+        }
+    }
+    #[inline(always)]
     fn issue(&mut self, cycle: u64, warp: usize, pc: usize, op: &Op) {
         if let Some(p) = self {
             p.issue(cycle, warp, pc, op);
@@ -285,6 +301,11 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     fn epoch(&mut self, cycle: u64) {
         self.0.epoch(cycle);
         self.1.epoch(cycle);
+    }
+    #[inline(always)]
+    fn epoch_end(&mut self, cycle: u64, live: bool, issued: bool, min_next: u64) {
+        self.0.epoch_end(cycle, live, issued, min_next);
+        self.1.epoch_end(cycle, live, issued, min_next);
     }
     #[inline(always)]
     fn issue(&mut self, cycle: u64, warp: usize, pc: usize, op: &Op) {
@@ -600,6 +621,314 @@ impl Probe for EpochMetricsProbe {
     }
 }
 
+/// How one simulated epoch was spent on one SM, derived from the
+/// phase-A outputs at [`Probe::epoch_end`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochClass {
+    /// At least one warp issued this cycle.
+    Active,
+    /// Nothing issued, but every stalled warp's completion cycle is
+    /// known (`min_next != u64::MAX`) — the epoch an event-driven
+    /// engine could fast-forward over.
+    StalledKnown,
+    /// Nothing issued and at least one warp's wake-up is unknown
+    /// (waiting on phase-B arbitration still in flight).
+    StalledOther,
+    /// This SM has no work left while another SM keeps the clock
+    /// running.
+    Drained,
+}
+
+impl EpochClass {
+    /// Machine-readable label (audit artifact field name).
+    pub fn label(self) -> &'static str {
+        match self {
+            EpochClass::Active => "active",
+            EpochClass::StalledKnown => "stalledKnown",
+            EpochClass::StalledOther => "stalledOther",
+            EpochClass::Drained => "drained",
+        }
+    }
+}
+
+/// Cap on distinct [`Op::IndirectCall`] targets remembered per call
+/// site; beyond it the site sets
+/// [`overflowed`](CallSiteStats::overflowed) and is megamorphic by
+/// definition.
+pub const CALL_SITE_TARGET_CAP: usize = 32;
+
+/// Observed-type-set classification of an indirect-call site, after
+/// the inline-cache literature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallSiteClass {
+    /// No resolved target was ever observed (all calls carried
+    /// [`UNKNOWN_CALL_TARGET`]).
+    Unknown,
+    /// Exactly one target — a direct-call / speculative
+    /// devirtualization candidate.
+    Monomorphic,
+    /// 2–4 targets — an inline-cache / guarded-dispatch candidate.
+    FewTyped,
+    /// 5 or more targets (or the target set overflowed its cap).
+    Megamorphic,
+}
+
+impl CallSiteClass {
+    /// Machine-readable label (audit artifact field name).
+    pub fn label(self) -> &'static str {
+        match self {
+            CallSiteClass::Unknown => "unknown",
+            CallSiteClass::Monomorphic => "monomorphic",
+            CallSiteClass::FewTyped => "fewTyped",
+            CallSiteClass::Megamorphic => "megamorphic",
+        }
+    }
+}
+
+/// Per-call-site counters: how many dynamic indirect calls a trace
+/// position issued and which callees they resolved to. Sites are keyed
+/// by trace position (the engine's `pc`), aggregated across warps and
+/// SMs — a positional proxy for the static call site.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CallSiteStats {
+    /// Dynamic indirect calls observed at this position.
+    pub calls: u64,
+    /// Calls whose target was [`UNKNOWN_CALL_TARGET`].
+    pub unknown_calls: u64,
+    /// Distinct resolved targets, capped at [`CALL_SITE_TARGET_CAP`].
+    pub targets: BTreeSet<u64>,
+    /// `true` once the target set hit its cap and stopped admitting.
+    pub overflowed: bool,
+}
+
+impl CallSiteStats {
+    fn observe(&mut self, target: u64) {
+        self.calls += 1;
+        if target == UNKNOWN_CALL_TARGET {
+            self.unknown_calls += 1;
+        } else if !self.targets.contains(&target) {
+            if self.targets.len() < CALL_SITE_TARGET_CAP {
+                self.targets.insert(target);
+            } else {
+                self.overflowed = true;
+            }
+        }
+    }
+
+    fn absorb(&mut self, other: &CallSiteStats) {
+        self.calls += other.calls;
+        self.unknown_calls += other.unknown_calls;
+        self.overflowed |= other.overflowed;
+        for &t in &other.targets {
+            if self.targets.len() < CALL_SITE_TARGET_CAP {
+                self.targets.insert(t);
+            } else if !self.targets.contains(&t) {
+                self.overflowed = true;
+            }
+        }
+    }
+
+    /// The site's observed-type-set class.
+    pub fn class(&self) -> CallSiteClass {
+        if self.overflowed || self.targets.len() >= 5 {
+            CallSiteClass::Megamorphic
+        } else {
+            match self.targets.len() {
+                0 => CallSiteClass::Unknown,
+                1 => CallSiteClass::Monomorphic,
+                _ => CallSiteClass::FewTyped,
+            }
+        }
+    }
+}
+
+/// The deterministic cycle audit of a run: every per-SM epoch-cycle of
+/// the simulated timeline classified, a histogram of fast-forwardable
+/// gap lengths, and per-call-site type profiles. Wall-clock-free —
+/// byte-identical for any host thread count.
+///
+/// Accounting model: each SM sees the same epoch cycles `c_0 < … <
+/// c_n`. Epoch `i < n` covers `[c_i, c_{i+1})`: one cycle in its
+/// [`EpochClass`] plus `c_{i+1} − c_i − 1` cycles the engine's global
+/// fast-forward already [`skipped`](CycleAuditReport::skipped). The
+/// final epoch's coverage `[c_n, cycles)` is the
+/// [`tail`](CycleAuditReport::tail). Hence the hard invariant checked
+/// by [`reconciles`](CycleAuditReport::reconciles): the six counters
+/// sum to `sms × audited_cycles` exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CycleAuditReport {
+    /// SMs audited (constant across the run's kernels).
+    pub sms: u64,
+    /// Simulated cycles audited: the sum of every launched kernel's
+    /// `Stats::cycles` — each SM's timeline is this long.
+    pub audited_cycles: u64,
+    /// Epoch-cycles where the SM issued at least one instruction.
+    pub active: u64,
+    /// Epoch-cycles with nothing issued and every wake-up known — the
+    /// per-SM fast-forward opportunity.
+    pub stalled_known: u64,
+    /// Epoch-cycles with nothing issued and some wake-up unknown.
+    pub stalled_other: u64,
+    /// Epoch-cycles on an SM with no remaining work.
+    pub drained: u64,
+    /// Cycles the engine's global all-SM fast-forward already skipped
+    /// (no epoch was simulated for them).
+    pub skipped: u64,
+    /// Cycles after each kernel's last simulated epoch (drain window up
+    /// to `Stats::cycles`).
+    pub tail: u64,
+    /// Log₂ histogram of `min_next − cycle` gap lengths over
+    /// stalled-known epochs.
+    pub gap_hist: LogHist,
+    /// Per-trace-position indirect-call-site profiles.
+    pub call_sites: BTreeMap<usize, CallSiteStats>,
+}
+
+impl CycleAuditReport {
+    /// Sum of all six epoch-cycle classes.
+    pub fn classes_total(&self) -> u64 {
+        self.active
+            + self.stalled_known
+            + self.stalled_other
+            + self.drained
+            + self.skipped
+            + self.tail
+    }
+
+    /// The hard invariant: classified cycles cover each SM's timeline
+    /// exactly once.
+    pub fn reconciles(&self) -> bool {
+        self.classes_total() == self.sms * self.audited_cycles
+    }
+
+    /// Cycles an event-driven engine could skip outright: stalled with
+    /// a known completion, or on a drained SM.
+    pub fn skippable_cycles(&self) -> u64 {
+        self.stalled_known + self.drained
+    }
+
+    /// `skippable / (sms × audited)` — the fraction of per-SM
+    /// epoch-cycles that are fast-forwardable; `0.0` when nothing was
+    /// audited.
+    pub fn skippable_fraction(&self) -> f64 {
+        let denom = self.sms * self.audited_cycles;
+        if denom == 0 {
+            0.0
+        } else {
+            self.skippable_cycles() as f64 / denom as f64
+        }
+    }
+
+    /// Amdahl-style upper bound on engine speedup if every skippable
+    /// epoch-cycle cost nothing: `1 / (1 − fraction)`.
+    pub fn upper_bound_speedup(&self) -> f64 {
+        let f = self.skippable_fraction();
+        if f >= 1.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (1.0 - f)
+        }
+    }
+
+    /// Call-site counts by class, in
+    /// `(unknown, monomorphic, few-typed, megamorphic)` order.
+    pub fn site_class_counts(&self) -> (u64, u64, u64, u64) {
+        let mut c = (0, 0, 0, 0);
+        for s in self.call_sites.values() {
+            match s.class() {
+                CallSiteClass::Unknown => c.0 += 1,
+                CallSiteClass::Monomorphic => c.1 += 1,
+                CallSiteClass::FewTyped => c.2 += 1,
+                CallSiteClass::Megamorphic => c.3 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Per-SM collector behind [`CycleAuditReport`]. Classification is
+/// deferred by one epoch: [`Probe::epoch`] at `c_{i+1}` commits epoch
+/// `i`'s class and the skipped gap, and the kernel's trailing epoch is
+/// folded into the report tail by `ObsReport::absorb`, which knows the
+/// kernel's final cycle count.
+#[derive(Clone, Debug, Default)]
+pub struct CycleAuditProbe {
+    pending: Option<(u64, EpochClass)>,
+    active: u64,
+    stalled_known: u64,
+    stalled_other: u64,
+    drained: u64,
+    skipped: u64,
+    gap_hist: LogHist,
+    sites: BTreeMap<usize, CallSiteStats>,
+}
+
+impl CycleAuditProbe {
+    /// A fresh, zeroed audit collector.
+    pub fn new() -> Self {
+        CycleAuditProbe::default()
+    }
+
+    fn commit(&mut self, class: EpochClass) {
+        match class {
+            EpochClass::Active => self.active += 1,
+            EpochClass::StalledKnown => self.stalled_known += 1,
+            EpochClass::StalledOther => self.stalled_other += 1,
+            EpochClass::Drained => self.drained += 1,
+        }
+    }
+
+    /// Folds this SM's audit into `report`, closing the books at
+    /// `kernel_cycles` (the launch's `Stats::cycles`): the last epoch's
+    /// coverage becomes tail, and this SM's timeline accounts for
+    /// exactly `kernel_cycles` cycles.
+    pub fn finalize_into(mut self, kernel_cycles: u64, report: &mut CycleAuditReport) {
+        let tail = match self.pending.take() {
+            Some((last_cycle, _)) => kernel_cycles.saturating_sub(last_cycle),
+            None => kernel_cycles,
+        };
+        report.active += self.active;
+        report.stalled_known += self.stalled_known;
+        report.stalled_other += self.stalled_other;
+        report.drained += self.drained;
+        report.skipped += self.skipped;
+        report.tail += tail;
+        report.gap_hist.merge(&self.gap_hist);
+        for (pc, s) in &self.sites {
+            report.call_sites.entry(*pc).or_default().absorb(s);
+        }
+    }
+}
+
+impl Probe for CycleAuditProbe {
+    fn epoch(&mut self, cycle: u64) {
+        if let Some((prev, class)) = self.pending.take() {
+            self.commit(class);
+            self.skipped += cycle.saturating_sub(prev + 1);
+        }
+    }
+
+    fn epoch_end(&mut self, cycle: u64, live: bool, issued: bool, min_next: u64) {
+        let class = if issued {
+            EpochClass::Active
+        } else if !live {
+            EpochClass::Drained
+        } else if min_next != u64::MAX {
+            self.gap_hist.record(min_next.saturating_sub(cycle));
+            EpochClass::StalledKnown
+        } else {
+            EpochClass::StalledOther
+        };
+        self.pending = Some((cycle, class));
+    }
+
+    fn issue(&mut self, _cycle: u64, _warp: usize, pc: usize, op: &Op) {
+        if let Op::IndirectCall { target } = op {
+            self.sites.entry(pc).or_default().observe(*target);
+        }
+    }
+}
+
 /// What a [`crate::Gpu`] run should record. `OFF` (the default) keeps
 /// the engine on the [`NopProbe`] fast path; any enabled field routes
 /// execution through [`recording_probe`].
@@ -615,6 +944,9 @@ pub struct ProbeSpec {
     /// Record per-PC / cache-line / reuse attribution evidence
     /// (see [`crate::attrib`]).
     pub attribution: bool,
+    /// Record the deterministic cycle audit (epoch classification,
+    /// fast-forward gaps, call-site type profiles).
+    pub cycle_audit: bool,
 }
 
 impl ProbeSpec {
@@ -623,6 +955,7 @@ impl ProbeSpec {
         timeline_events_per_sm: 0,
         metrics_bucket_cycles: 0,
         attribution: false,
+        cycle_audit: false,
     };
 
     /// `true` when no probe is requested.
@@ -632,11 +965,15 @@ impl ProbeSpec {
 }
 
 /// The concrete probe stack built from a [`ProbeSpec`]: an optional
-/// timeline, an optional metrics series and an optional attribution
-/// collector, composed through the `Option` / tuple [`Probe`] impls.
+/// timeline, an optional metrics series, an optional attribution
+/// collector and an optional cycle audit, composed through the
+/// `Option` / tuple [`Probe`] impls.
 pub type RecordingProbe = (
     Option<TimelineProbe>,
-    (Option<EpochMetricsProbe>, Option<AttributionProbe>),
+    (
+        Option<EpochMetricsProbe>,
+        (Option<AttributionProbe>, Option<CycleAuditProbe>),
+    ),
 );
 
 /// Builds the [`RecordingProbe`] for SM `sm` according to `spec`.
@@ -646,7 +983,8 @@ pub fn recording_probe(sm: usize, spec: ProbeSpec) -> RecordingProbe {
     let metrics = (spec.metrics_bucket_cycles > 0)
         .then(|| EpochMetricsProbe::new(spec.metrics_bucket_cycles));
     let attrib = spec.attribution.then(AttributionProbe::new);
-    (timeline, (metrics, attrib))
+    let audit = spec.cycle_audit.then(CycleAuditProbe::new);
+    (timeline, (metrics, (attrib, audit)))
 }
 
 /// Observability artifacts accumulated over one or more kernel
@@ -663,17 +1001,23 @@ pub struct ObsReport {
     /// Merged attribution evidence across all SMs and launches, when
     /// attribution was requested.
     pub attribution: Option<AttribReport>,
+    /// Merged cycle audit across all SMs and launches, when the audit
+    /// was requested.
+    pub audit: Option<CycleAuditReport>,
 }
 
 impl ObsReport {
     /// Folds the per-SM probes of one kernel launch in. `cycle_base` is
     /// the cumulative simulated-cycle offset of this launch (the sum of
-    /// all previous launches' cycles), applied to timeline timestamps.
-    /// Probes arrive in ascending-SM order from both engine paths, so
-    /// every merge below is order-deterministic.
-    pub fn absorb(&mut self, cycle_base: u64, probes: Vec<RecordingProbe>) {
+    /// all previous launches' cycles), applied to timeline timestamps;
+    /// `kernel_cycles` is this launch's own `Stats::cycles`, which
+    /// closes the cycle audit's books (tail accounting). Probes arrive
+    /// in ascending-SM order from both engine paths, so every merge
+    /// below is order-deterministic.
+    pub fn absorb(&mut self, cycle_base: u64, kernel_cycles: u64, probes: Vec<RecordingProbe>) {
         let mut merged: Option<EpochSeries> = None;
-        for (timeline, (metrics, attrib)) in probes {
+        let mut audit_sms: u64 = 0;
+        for (timeline, (metrics, (attrib, audit))) in probes {
             if let Some(t) = timeline {
                 self.events_dropped += t.dropped();
                 self.events.extend(t.into_events().into_iter().map(|mut e| {
@@ -693,6 +1037,18 @@ impl ObsReport {
                     None => self.attribution = Some(a.into_report()),
                 }
             }
+            if let Some(a) = audit {
+                let acc = self.audit.get_or_insert_with(CycleAuditReport::default);
+                a.finalize_into(kernel_cycles, acc);
+                audit_sms += 1;
+            }
+        }
+        if audit_sms > 0 {
+            let acc = self.audit.as_mut().expect("audit report exists");
+            // One kernel's worth of timeline per SM; the SM count is
+            // constant across launches on the same GPU.
+            acc.sms = audit_sms;
+            acc.audited_cycles += kernel_cycles;
         }
         if let Some(series) = merged {
             self.kernel_series.push(series);
@@ -705,6 +1061,7 @@ impl ObsReport {
             && self.kernel_series.is_empty()
             && self.events_dropped == 0
             && self.attribution.is_none()
+            && self.audit.is_none()
     }
 }
 
@@ -767,17 +1124,98 @@ mod tests {
     #[test]
     fn probe_spec_off_by_default() {
         assert!(ProbeSpec::default().is_off());
-        let (t, (m, a)) = recording_probe(0, ProbeSpec::OFF);
-        assert!(t.is_none() && m.is_none() && a.is_none());
-        let (t, (m, a)) = recording_probe(
+        let (t, (m, (a, au))) = recording_probe(0, ProbeSpec::OFF);
+        assert!(t.is_none() && m.is_none() && a.is_none() && au.is_none());
+        let (t, (m, (a, au))) = recording_probe(
             1,
             ProbeSpec {
                 timeline_events_per_sm: 8,
                 metrics_bucket_cycles: 16,
                 attribution: true,
+                cycle_audit: true,
             },
         );
-        assert!(t.is_some() && m.is_some() && a.is_some());
+        assert!(t.is_some() && m.is_some() && a.is_some() && au.is_some());
+    }
+
+    #[test]
+    fn cycle_audit_accounting_covers_the_timeline() {
+        // Hand-drive the hook sequence of one SM: epochs at cycles
+        // 0 (issued), 1 (stalled, wake known at 5), 5 (issued),
+        // 6 (drained), with the kernel finishing at cycle 10.
+        let mut p = CycleAuditProbe::new();
+        p.epoch(0);
+        p.epoch_end(0, true, true, u64::MAX);
+        p.epoch(1);
+        p.epoch_end(1, true, false, 5);
+        p.epoch(5);
+        p.epoch_end(5, true, true, u64::MAX);
+        p.epoch(6);
+        p.epoch_end(6, false, false, u64::MAX);
+        let mut r = CycleAuditReport::default();
+        p.finalize_into(10, &mut r);
+        r.sms = 1;
+        r.audited_cycles = 10;
+        assert_eq!(r.active, 2);
+        assert_eq!(r.stalled_known, 1);
+        assert_eq!(r.stalled_other, 0);
+        // Epoch at 6 is the last: its class is never committed; its
+        // coverage [6, 10) is the tail.
+        assert_eq!(r.drained, 0);
+        assert_eq!(r.skipped, 3, "cycles 2,3,4 were globally fast-forwarded");
+        assert_eq!(r.tail, 4);
+        assert!(r.reconciles());
+        assert_eq!(r.skippable_cycles(), 1);
+        assert_eq!(r.gap_hist.total(), 1);
+    }
+
+    #[test]
+    fn cycle_audit_empty_probe_is_all_tail() {
+        let p = CycleAuditProbe::new();
+        let mut r = CycleAuditReport::default();
+        p.finalize_into(7, &mut r);
+        r.sms = 1;
+        r.audited_cycles = 7;
+        assert_eq!(r.tail, 7);
+        assert!(r.reconciles());
+        // And the zero-kernel case sums to zero.
+        let z = CycleAuditReport::default();
+        assert!(z.reconciles());
+        assert_eq!(z.skippable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn call_sites_classify_by_observed_targets() {
+        let mut p = CycleAuditProbe::new();
+        let call = |t: u64| Op::IndirectCall { target: t };
+        p.issue(0, 0, 3, &call(1));
+        p.issue(0, 0, 3, &call(1));
+        p.issue(0, 1, 4, &call(1));
+        p.issue(0, 1, 4, &call(2));
+        for t in 0..6 {
+            p.issue(0, 2, 5, &call(t));
+        }
+        p.issue(0, 3, 6, &call(UNKNOWN_CALL_TARGET));
+        let mut r = CycleAuditReport::default();
+        p.finalize_into(0, &mut r);
+        assert_eq!(r.call_sites[&3].class(), CallSiteClass::Monomorphic);
+        assert_eq!(r.call_sites[&4].class(), CallSiteClass::FewTyped);
+        assert_eq!(r.call_sites[&5].class(), CallSiteClass::Megamorphic);
+        assert_eq!(r.call_sites[&6].class(), CallSiteClass::Unknown);
+        assert_eq!(r.call_sites[&6].unknown_calls, 1);
+        assert_eq!(r.site_class_counts(), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn call_site_target_cap_overflows_to_megamorphic() {
+        let mut s = CallSiteStats::default();
+        for t in 0..(CALL_SITE_TARGET_CAP as u64 + 3) {
+            s.observe(t);
+        }
+        assert!(s.overflowed);
+        assert_eq!(s.targets.len(), CALL_SITE_TARGET_CAP);
+        assert_eq!(s.class(), CallSiteClass::Megamorphic);
+        assert_eq!(s.calls, CALL_SITE_TARGET_CAP as u64 + 3);
     }
 
     #[test]

@@ -125,7 +125,7 @@ mod tests {
             addrs: vec![0].into_boxed_slice(),
             tag: AccessTag::Field,
         }));
-        t.push(Op::IndirectCall);
+        t.push(Op::IndirectCall { target: 0 });
         t.push(Op::Ret);
         assert_eq!(t.dyn_instrs_of(InstrClass::Compute), 4);
         assert_eq!(t.dyn_instrs_of(InstrClass::Mem), 1);

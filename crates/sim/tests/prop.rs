@@ -86,7 +86,7 @@ fn instruction_accounting_exact() {
                     expect += 1;
                 }
                 3 => {
-                    w.push(Op::IndirectCall);
+                    w.push(Op::IndirectCall { target: 0 });
                     expect += 1;
                 }
                 _ => {
@@ -242,7 +242,9 @@ fn arb_kernel(rng: &mut Rng) -> KernelTrace {
             match rng.range_usize(0, 6) {
                 0 => w.push(Op::Alu(rng.range_u64(1, 8) as u16)),
                 1 => w.push(Op::Branch),
-                2 => w.push(Op::IndirectCall),
+                2 => w.push(Op::IndirectCall {
+                    target: rng.range_u64(0, 6),
+                }),
                 3 => {
                     let tag = AccessTag::ALL[rng.range_usize(0, AccessTag::ALL.len())];
                     let addrs = gen::vec(gen::range_u64(0, 1 << 16), 1..32)(rng);
@@ -354,6 +356,48 @@ fn attribution_identical_any_thread_count() {
                 total.merge(r);
             }
             assert_eq!(total, serial, "attribution diverged at {threads} threads");
+        }
+    });
+}
+
+/// Cycle-audit invariants: (1) the audit probe never perturbs `Stats`;
+/// (2) the epoch-class accounting covers each SM's timeline exactly —
+/// `active + stalledKnown + stalledOther + drained + skipped + tail ==
+/// sms × Stats::cycles`; (3) the merged report is bit-identical for
+/// any host thread count (the serial-vs-parallel byte-diff CI gate in
+/// library form), on arbitrary kernels.
+#[test]
+fn cycle_audit_reconciles_and_is_thread_count_invariant() {
+    use gvf_sim::{CycleAuditProbe, CycleAuditReport};
+    let audit_of = |gpu: Gpu, kernel: &KernelTrace, plain: &Stats| -> CycleAuditReport {
+        let (stats, probes) = gpu.execute_probed(kernel, |_| CycleAuditProbe::new());
+        assert_eq!(&stats, plain, "audit probe perturbed Stats");
+        let mut report = CycleAuditReport {
+            sms: probes.len() as u64,
+            audited_cycles: stats.cycles,
+            ..CycleAuditReport::default()
+        };
+        for p in probes {
+            p.finalize_into(stats.cycles, &mut report);
+        }
+        report
+    };
+    props!(12, |rng| {
+        let kernel = arb_kernel(rng);
+        let cfg = GpuConfig::small();
+        let plain = Gpu::new(cfg.clone()).execute(&kernel);
+        let serial = audit_of(Gpu::new(cfg.clone()), &kernel, &plain);
+        assert!(
+            serial.reconciles(),
+            "audit classes {} != {} sms x {} cycles",
+            serial.classes_total(),
+            serial.sms,
+            serial.audited_cycles
+        );
+        assert_eq!(serial.audited_cycles, plain.cycles);
+        for threads in [2usize, 5] {
+            let parallel = audit_of(Gpu::new(cfg.clone()).with_threads(threads), &kernel, &plain);
+            assert_eq!(parallel, serial, "audit diverged at {threads} threads");
         }
     });
 }

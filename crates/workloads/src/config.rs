@@ -2,7 +2,7 @@
 
 use gvf_alloc::{AllocStats, AllocatorKind, SharedOa, TypeRegionStats};
 use gvf_core::{LookupAttrib, LookupKind, TagAttrib, TagMode};
-use gvf_sim::{AttribReport, GpuConfig, ObsReport, ProbeSpec, Stats};
+use gvf_sim::{AttribReport, CycleAuditReport, GpuConfig, ObsReport, ProbeSpec, Stats};
 use std::fmt;
 
 /// The eleven evaluated applications (paper Table 2) plus the §8.3
@@ -279,4 +279,7 @@ pub struct RunResult {
     /// Mechanism-attribution evidence when
     /// [`WorkloadConfig::probe`] enabled attribution; `None` otherwise.
     pub attrib: Option<AttribBundle>,
+    /// Deterministic cycle audit when [`WorkloadConfig::probe`] enabled
+    /// it; `None` otherwise.
+    pub audit: Option<CycleAuditReport>,
 }

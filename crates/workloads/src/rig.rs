@@ -108,18 +108,27 @@ impl Rig {
             .as_nanos() as u64;
         self.prog.begin_kernel(&mut self.mem);
         let prog = &self.prog;
-        let trace = gvf_sim::run_kernel(&mut self.mem, n_threads, |w| body(prog, w));
+        let trace = {
+            let _fx = gvf_sim::spans::span("kernel.functional");
+            gvf_sim::run_kernel(&mut self.mem, n_threads, |w| body(prog, w))
+        };
         let s = if self.probe_spec.is_off() {
             // Zero-overhead default: the NopProbe monomorphization.
+            let _tm = gvf_sim::spans::span("kernel.timing");
             self.gpu.execute(&trace)
         } else {
             let spec = self.probe_spec;
-            let (s, probes) = self
-                .gpu
-                .execute_probed(&trace, |sm| recording_probe(sm, spec));
+            let (s, probes) = {
+                let _tm = gvf_sim::spans::span("kernel.timing");
+                self.gpu
+                    .execute_probed(&trace, |sm| recording_probe(sm, spec))
+            };
             // Offset this launch's timeline by the cycles already
-            // simulated, so back-to-back kernels read as one run.
-            self.obs.absorb(self.stats.cycles, probes);
+            // simulated, so back-to-back kernels read as one run; the
+            // launch's own cycle count closes the cycle audit's books.
+            // The absorb span measures the probe overhead itself.
+            let _ab = gvf_sim::spans::span("kernel.absorb");
+            self.obs.absorb(self.stats.cycles, s.cycles, probes);
             s
         };
         self.stats += &s;
@@ -170,6 +179,15 @@ impl Rig {
             lookup: self.prog.lookup_attrib(),
             tags: self.prog.tag_attrib(),
         })
+    }
+
+    /// Takes the cycle-audit report accumulated across this rig's
+    /// kernel launches; `None` when the audit was off (or no kernel
+    /// ran). Like [`take_attrib`](Self::take_attrib), call before
+    /// [`take_obs`](Self::take_obs) — this removes the audit half of
+    /// the observability report.
+    pub fn take_audit(&mut self) -> Option<gvf_sim::CycleAuditReport> {
+        self.obs.audit.take()
     }
 
     /// Number of objects constructed.

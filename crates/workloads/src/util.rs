@@ -91,9 +91,10 @@ pub fn collect_with_metrics(
             vfunc_entries: reg.total_vfunc_entries() as u32,
             vfunc_pki: stats.vfunc_pki(),
         },
-        // Attribution first: it removes its half of the obs report, so
-        // an attribution-only run yields `obs: None`.
+        // Attribution and audit first: each removes its half of the obs
+        // report, so an attribution/audit-only run yields `obs: None`.
         attrib: rig.take_attrib(),
+        audit: rig.take_audit(),
         obs: rig.take_obs(),
         stats,
         metrics,

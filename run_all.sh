@@ -3,7 +3,7 @@
 # collecting a machine-readable artifact tree under results/.
 #
 #   ./run_all.sh [--jobs N] [--out DIR] [--keep-going] [--smoke]
-#                [--resume | --no-cache]
+#                [--quiet] [--resume | --no-cache]
 #
 # --jobs N is passed through to every harness binary: N concurrent
 # simulations, 0 = all cores, default = all cores. Results are
@@ -18,15 +18,21 @@
 # cells' work.
 # --smoke shrinks every binary to the CI-sized config (seconds, not
 # minutes) — the interrupted-run CI job uses this.
+# --quiet trims the tooling chatter: perf_gate PASS/SKIP lines,
+# perf_record append lines and the report progress line are silenced
+# (failures still print, exit codes are unchanged).
 # --resume reads completed cells back from $OUT/.cellcache/ (after an
 # interrupted or failed run) instead of re-simulating; manifests come
 # out byte-identical to an uninterrupted run apart from hostPerf.
 # --no-cache disables the cell cache entirely.
 #
 # Artifacts: $OUT/<bin>.json is each binary's gvf.run-manifest (with an
-# embedded gvf.hostperf section) and $OUT/<bin>.attrib.json its
-# mechanism-attribution report (gvf.attribution); fig6 additionally
-# records $OUT/fig6.trace.json (Chrome trace-event / Perfetto timeline)
+# embedded gvf.hostperf section), $OUT/<bin>.attrib.json its
+# mechanism-attribution report (gvf.attribution), $OUT/<bin>.profile.json
+# its host-side span profile (gvf.hostprofile — where the wall-clock
+# time went) and $OUT/<bin>.audit.json its cycle audit (gvf.cycleaudit —
+# how much simulated time was skippable); fig6 additionally records
+# $OUT/fig6.trace.json (Chrome trace-event / Perfetto timeline)
 # and $OUT/fig6.metrics.json (per-epoch metrics). Every artifact is
 # re-parsed by the in-repo validator before the run counts as green.
 # After the sweep, perf_gate judges the run against the recorded
@@ -42,6 +48,7 @@ OUT=results
 KEEP_GOING=0
 CACHE_FLAGS=()
 SMOKE_FLAGS=()
+QUIET_FLAGS=()
 while [ $# -gt 0 ]; do
   case "$1" in
     --jobs)
@@ -54,12 +61,14 @@ while [ $# -gt 0 ]; do
       KEEP_GOING=1; shift ;;
     --smoke)
       SMOKE_FLAGS=(--smoke); shift ;;
+    --quiet)
+      QUIET_FLAGS=(--quiet); shift ;;
     --resume)
       CACHE_FLAGS=(--resume); shift ;;
     --no-cache)
       CACHE_FLAGS=(--no-cache); shift ;;
     *)
-      echo "error: unknown argument '$1' (usage: $0 [--jobs N] [--out DIR] [--keep-going] [--smoke] [--resume | --no-cache])" >&2; exit 2 ;;
+      echo "error: unknown argument '$1' (usage: $0 [--jobs N] [--out DIR] [--keep-going] [--smoke] [--quiet] [--resume | --no-cache])" >&2; exit 2 ;;
   esac
 done
 
@@ -96,8 +105,9 @@ run_step "cargo test" cargo test --workspace 2>&1 | tee test_output.txt
   echo "  PAPER FIGURE / TABLE HARNESS (cargo run -p gvf-bench --bin <x>)"
   echo "================================================================"
   # Every binary sweeps its grid on --jobs threads and drops its run
-  # manifest plus mechanism-attribution report into $OUT/; fig6 also
-  # records the observability artifacts from its first grid cell.
+  # manifest, mechanism-attribution report, host span profile and
+  # cycle audit into $OUT/; fig6 also records the observability
+  # artifacts from its first grid cell.
   for b in fig1b table1 table2 fig6 fig7 fig8 fig9 fig11 fig12 alloc_init fig10 ablation_lookup generations counters; do
     extra=()
     if [ "$b" = fig6 ]; then
@@ -106,8 +116,14 @@ run_step "cargo test" cargo test --workspace 2>&1 | tee test_output.txt
     run_step "$b" cargo run --release -p gvf-bench --bin "$b" -- \
       --jobs "$JOBS" --json-out "$OUT/$b.json" \
       --attrib-out "$OUT/$b.attrib.json" \
+      --profile-out "$OUT/$b.profile.json" \
+      --audit-out "$OUT/$b.audit.json" \
       "${SMOKE_FLAGS[@]}" "${CACHE_FLAGS[@]}" "${extra[@]}"
   done
+  # The glob picks up every per-binary artifact family: .json manifest,
+  # .attrib.json, .profile.json, .audit.json (plus fig6's trace and
+  # metrics) — the validator dispatches on each file's schema header
+  # and, for gvf.cycleaudit, re-checks the epoch accounting invariant.
   run_step "validate artifacts" cargo run --release -p gvf-bench --bin validate_json -- "$OUT"/*.json
   # Cell-cache entries are artifacts too: each carries a content hash
   # that the validator recomputes, so a corrupted or hand-edited entry
@@ -129,20 +145,20 @@ run_step "cargo test" cargo test --workspace 2>&1 | tee test_output.txt
     [ -f "$OUT/$b.json" ] && manifests+=("$OUT/$b.json")
   done
   if [ "${#manifests[@]}" -gt 0 ]; then
-    run_step "perf_gate" cargo run --release -p gvf-bench --bin perf_gate -- "${manifests[@]}"
+    run_step "perf_gate" cargo run --release -p gvf-bench --bin perf_gate -- "${QUIET_FLAGS[@]}" "${manifests[@]}"
     # Under --keep-going a gate failure lands in FAILURES_FILE instead
     # of exiting; either way, a run that failed the gate is not
     # recorded.
     if grep -qx "perf_gate" "$FAILURES_FILE" 2>/dev/null; then
       echo "run_all.sh: perf_gate failed — not folding this run into BENCH_gvf.json" >&2
     else
-      run_step "perf_record" cargo run --release -p gvf-bench --bin perf_record -- "${manifests[@]}"
+      run_step "perf_record" cargo run --release -p gvf-bench --bin perf_record -- "${QUIET_FLAGS[@]}" "${manifests[@]}"
       run_step "validate trajectory" cargo run --release -p gvf-bench --bin validate_json -- BENCH_gvf.json
     fi
   fi
 
   # Collate everything into the human-readable reproduction report.
-  run_step "report" cargo run --release -p gvf-bench --bin report -- --results "$OUT"
+  run_step "report" cargo run --release -p gvf-bench --bin report -- --results "$OUT" "${QUIET_FLAGS[@]}"
 } 2>&1 | tee bench_output.txt
 
 if [ -s "$FAILURES_FILE" ]; then
