@@ -27,7 +27,10 @@
 //! 6. a top-K stall-hotspot table aggregated from the probe traces'
 //!    `"cat": "stall"` events, keyed by (PC, cause) — the closest thing
 //!    the simulated GPU has to a profiler's hot-PC view;
-//! 7. the recent benchmark trajectory from `BENCH_gvf.json`.
+//! 7. a "Run timeline" section from the `gvf.events` telemetry streams
+//!    (`*.events.jsonl`): per-sweep cell outcomes, wall time, worker
+//!    occupancy and stall warnings — how each run actually unfolded;
+//! 8. the recent benchmark trajectory from `BENCH_gvf.json`.
 //!
 //! Unreadable or unrecognized files are reported and skipped — a
 //! partial `run_all.sh --keep-going` run still gets a report of
@@ -35,6 +38,7 @@
 //! `--out` file only.
 
 use gvf_bench::bench_history::{History, DEFAULT_HISTORY_PATH};
+use gvf_bench::events;
 use gvf_bench::json::Json;
 use gvf_bench::manifest::{ATTRIB_SCHEMA, CYCLEAUDIT_SCHEMA, HOSTPROFILE_SCHEMA, MANIFEST_SCHEMA};
 use gvf_bench::report::markdown_table;
@@ -683,6 +687,35 @@ fn main() {
         }
         // Metrics series feed Figure 13-style plots, not this report.
     }
+    // Events streams live in their own scan: they are JSONL, not JSON,
+    // and run_all names them *.events.jsonl so the `.json` glob above
+    // never sees them.
+    let mut event_paths: Vec<String> = std::fs::read_dir(&results_dir)
+        .map(|iter| {
+            iter.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.to_string_lossy().ends_with(".events.jsonl"))
+                .map(|p| p.to_string_lossy().into_owned())
+                .collect()
+        })
+        .unwrap_or_default();
+    event_paths.sort();
+    let mut timelines: Vec<events::StreamSummary> = Vec::new();
+    for path in &event_paths {
+        let summary = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| events::parse_stream(&t))
+            .and_then(|stream| events::validate_stream(&stream));
+        match summary {
+            Ok(s) => timelines.push(s),
+            Err(e) => {
+                if !quiet {
+                    eprintln!("report: skipping {path}: {e}");
+                }
+                skipped += 1;
+            }
+        }
+    }
     // Canonical order, then alphabetical for strangers.
     manifests.sort_by_key(|(generator, _)| {
         let rank = ORDER
@@ -901,6 +934,68 @@ fn main() {
             .collect();
         md.push_str(&markdown_table(
             &["PC", "cause", "stalls", "total cycles"],
+            &rows,
+        ));
+        md.push('\n');
+    }
+
+    md.push_str("## Run timeline\n\n");
+    if timelines.is_empty() {
+        md.push_str("No telemetry streams found (run with `--events-out` to record).\n\n");
+    } else {
+        md.push_str(
+            "From the `gvf.events` telemetry streams: how each run actually \
+             unfolded — per-sweep cell outcomes, wall time, and worker \
+             occupancy (each worker's busy time over the sweep's wall time). \
+             Wall-clock data, excluded from the determinism diff.\n\n",
+        );
+        timelines.sort_by_key(|s| {
+            let rank = ORDER
+                .iter()
+                .position(|(name, _)| *name == s.bin)
+                .unwrap_or(ORDER.len());
+            (rank, s.bin.clone())
+        });
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for run in &timelines {
+            for sweep in &run.sweeps {
+                let occupancy = match sweep.wall_ms.filter(|w| *w > 0) {
+                    Some(wall) => sweep
+                        .worker_busy_ms
+                        .values()
+                        .map(|busy| format!("{:.0}%", (*busy as f64 / wall as f64) * 100.0))
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                    None => "-".into(),
+                };
+                rows.push(vec![
+                    run.bin.clone(),
+                    sweep.label.clone(),
+                    sweep.total.to_string(),
+                    sweep.finished.len().to_string(),
+                    sweep.cached.len().to_string(),
+                    sweep.failed.len().to_string(),
+                    sweep
+                        .wall_ms
+                        .map(|w| format!("{:.2} s", w as f64 / 1000.0))
+                        .unwrap_or_else(|| "interrupted".into()),
+                    occupancy,
+                    sweep.stalls.to_string(),
+                ]);
+            }
+        }
+        md.push_str(&markdown_table(
+            &[
+                "bin",
+                "sweep",
+                "cells",
+                "simulated",
+                "cached",
+                "failed",
+                "wall",
+                "worker occupancy",
+                "stalls",
+            ],
             &rows,
         ));
         md.push('\n');

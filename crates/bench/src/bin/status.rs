@@ -1,0 +1,154 @@
+//! Sweep status console over a `gvf.events` telemetry stream.
+//!
+//! A long figure sweep writing `--events-out fig7.events.jsonl` can be
+//! watched from another terminal:
+//!
+//! - `status --summary FILE` — one-shot roll-up: per-sweep cell
+//!   outcomes (simulated / cached / failed), worker occupancy, stall
+//!   warnings, the last host resource sample, and whether the run is
+//!   still going, finished, failed, or was interrupted. The stream is
+//!   validated against the full lifecycle invariants first, so a
+//!   corrupt file is an error, not a garbled table.
+//! - `status --follow FILE` — tails the stream like `tail -f`,
+//!   rendering each event as a human-readable line as it lands, and
+//!   exits when the writer closes the stream with `runEnd` (or on
+//!   ctrl-C). A torn final line is re-read on the next poll — the
+//!   writer flushes whole lines, so this converges.
+//!
+//! The binary never writes anything: it is a pure consumer of the
+//! events file, safe to run against a live sweep.
+
+use gvf_bench::events;
+use gvf_bench::json::Json;
+
+fn usage() -> ! {
+    eprintln!("usage: status --summary FILE | status --follow FILE");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [mode, path] if mode == "--summary" => summary(path),
+        [mode, path] if mode == "--follow" => follow(path),
+        _ => usage(),
+    }
+}
+
+fn summary(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: unreadable: {e}");
+            std::process::exit(1);
+        }
+    };
+    let summary = events::parse_stream(&text)
+        .and_then(|stream| events::validate_stream(&stream))
+        .unwrap_or_else(|e| {
+            eprintln!("{path}: invalid events stream: {e}");
+            std::process::exit(1);
+        });
+    print!("{}", events::render_summary(&summary));
+    // Scriptable exit: 0 only for a cleanly finished run.
+    std::process::exit(match summary.run_status.as_deref() {
+        Some("ok") => 0,
+        _ => 1,
+    });
+}
+
+/// One human-readable line per event; `None` for event kinds too noisy
+/// to tail (`cellScheduled` bursts, throttled internals).
+fn render_line(e: &Json) -> Option<String> {
+    let ev = e.get("ev").and_then(Json::as_str)?;
+    let t = e.get("tMs").and_then(Json::as_num).unwrap_or(0.0) / 1000.0;
+    let s = |k: &str| e.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+    let n = |k: &str| e.get(k).and_then(Json::as_num).unwrap_or(0.0);
+    let line = match ev {
+        "runStart" => format!(
+            "run {} starts (config {}, jobs {})",
+            s("bin"),
+            s("configFingerprint"),
+            n("jobs")
+        ),
+        "sweepStart" => format!("sweep {} starts: {} cells", s("sweep"), n("cells")),
+        "cellScheduled" | "cellStarted" => return None,
+        "cellFinished" => format!(
+            "[{}] cell {} done on worker {} in {:.2}s",
+            s("sweep"),
+            n("cell"),
+            n("worker"),
+            n("durationMs") / 1000.0
+        ),
+        "cellCacheHit" => format!("[{}] cell {} from cache", s("sweep"), n("cell")),
+        "cellFailed" => format!(
+            "[{}] cell {} FAILED on worker {}: {}",
+            s("sweep"),
+            n("cell"),
+            n("worker"),
+            s("panic").lines().next().unwrap_or("")
+        ),
+        "progress" => {
+            let eta = e
+                .get("etaS")
+                .and_then(Json::as_num)
+                .map(|eta| format!(", ETA {eta:.0}s"))
+                .unwrap_or_default();
+            format!("[{}] {}/{} cells{eta}", s("sweep"), n("done"), n("total"))
+        }
+        "resource" => format!(
+            "rss {:.1} MB, cpu {:.1}s",
+            n("rssBytes") / (1024.0 * 1024.0),
+            n("cpuMs") / 1000.0
+        ),
+        "stall" => format!(
+            "[{}] STALL: cell {} on worker {} for {:.1}s (median {:.1}s)",
+            s("sweep"),
+            n("cell"),
+            n("worker"),
+            n("elapsedMs") / 1000.0,
+            n("medianMs") / 1000.0
+        ),
+        "sweepEnd" => format!(
+            "sweep {} done: {} simulated, {} cached, {} failed in {:.2}s",
+            s("sweep"),
+            n("finished"),
+            n("cached"),
+            n("failed"),
+            n("wallMs") / 1000.0
+        ),
+        "runEnd" => format!("run ends: {}", s("status")),
+        other => format!("{other} {}", e.render_compact()),
+    };
+    Some(format!("[{t:8.2}s] {line}"))
+}
+
+fn follow(path: &str) -> ! {
+    use std::io::Write;
+    // Byte offset of the first unconsumed line; re-polled so a torn
+    // line is retried once the writer completes it.
+    let mut offset = 0usize;
+    let stdout = std::io::stdout();
+    loop {
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        let fresh = text.get(offset..).unwrap_or("");
+        for line in fresh.split_inclusive('\n') {
+            if !line.ends_with('\n') {
+                break; // torn tail: wait for the writer's flush
+            }
+            offset += line.len();
+            let Ok(e) = Json::parse(line) else {
+                continue;
+            };
+            if let Some(rendered) = render_line(&e) {
+                if writeln!(stdout.lock(), "{rendered}").is_err() {
+                    std::process::exit(0); // reader hung up (`status --follow | head`)
+                }
+            }
+            if e.get("ev").and_then(Json::as_str) == Some("runEnd") {
+                std::process::exit(0);
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+}

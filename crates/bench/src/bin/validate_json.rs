@@ -9,11 +9,19 @@
 //!   fails to parse or carries an unknown/missing schema. Chrome traces
 //!   (`gvf.timeline`) keep their schema under `otherData`, the
 //!   manifest, metrics, and trajectory documents at top level.
+//!   `gvf.events` telemetry streams are JSONL, recognized by their
+//!   `runStart` first line, and validated against the full lifecycle
+//!   invariants (see [`gvf_bench::events::validate_stream`]).
 //! - `validate_json --det-diff A B` — the determinism comparison: both
 //!   manifests must parse, and must be **identical after stripping the
 //!   `hostPerf` section** (the one intentionally wall-clock-dependent
 //!   part of a manifest). This is what CI runs on the serial-vs-parallel
 //!   pair instead of a raw byte diff.
+//! - `validate_json --events-reconcile EVENTS MANIFEST` — lifecycle
+//!   reconciliation: the events stream must validate, and its cell
+//!   outcomes must match the run manifest one-to-one (every cell
+//!   exactly once; failed index sets equal; cache-hit counts agreeing
+//!   with `hostPerf.cellCache`).
 //! - `validate_json --list-schemas` — prints every schema id + version
 //!   this validator knows, one `id vN` pair per line.
 //!
@@ -29,6 +37,7 @@
 
 use gvf_bench::bench_history::{TRAJECTORY_SCHEMA, TRAJECTORY_SCHEMA_VERSION};
 use gvf_bench::cellcache::{self, CELLCACHE_SCHEMA, CELLCACHE_SCHEMA_VERSION};
+use gvf_bench::events::{self, EVENTS_SCHEMA, EVENTS_SCHEMA_VERSION};
 use gvf_bench::hostperf::{HOSTPERF_SCHEMA, HOSTPERF_SCHEMA_VERSION};
 use gvf_bench::json::Json;
 use gvf_bench::manifest::{
@@ -50,6 +59,7 @@ const KNOWN_SCHEMAS: &[(&str, u32)] = &[
     (HOSTPERF_SCHEMA, HOSTPERF_SCHEMA_VERSION),
     (TRAJECTORY_SCHEMA, TRAJECTORY_SCHEMA_VERSION),
     (CELLCACHE_SCHEMA, CELLCACHE_SCHEMA_VERSION),
+    (EVENTS_SCHEMA, EVENTS_SCHEMA_VERSION),
 ];
 
 /// Returns the document's schema identifier, looking both at the top
@@ -164,6 +174,11 @@ fn check(doc: &Json, schema: &str) -> Result<(), String> {
             Ok(())
         }
         CELLCACHE_SCHEMA => cellcache::verify_entry(doc),
+        EVENTS_SCHEMA => {
+            // Reached only for a one-object file: a real stream is
+            // JSONL and is detected before whole-file parsing.
+            events::validate_stream(std::slice::from_ref(doc)).map(|_| ())
+        }
         TRAJECTORY_SCHEMA => {
             let entries = arr_len("entries").ok_or("trajectory without an entries array")?;
             // A freshly bootstrapped history may be empty; entries that
@@ -294,6 +309,39 @@ fn load(path: &str) -> Result<Json, String> {
     Json::parse(&text).map_err(|e| format!("parse error: {e}"))
 }
 
+/// Whether this file is a `gvf.events` JSONL stream: its first line is
+/// a JSON object claiming the events schema (whole-file parsing would
+/// reject JSONL, so streams are detected before [`load`]).
+fn is_events_stream(text: &str) -> bool {
+    text.lines()
+        .find(|l| !l.trim().is_empty())
+        .and_then(|l| Json::parse(l).ok())
+        .map(|e| e.get("schema").and_then(Json::as_str) == Some(EVENTS_SCHEMA))
+        .unwrap_or(false)
+}
+
+/// Full events-stream validation: parse each line, check the lifecycle
+/// invariants.
+fn check_events(text: &str) -> Result<events::StreamSummary, String> {
+    let stream = events::parse_stream(text)?;
+    events::validate_stream(&stream)
+}
+
+/// `--events-reconcile EVENTS MANIFEST`: the stream validates and its
+/// cell outcomes match the manifest one-to-one.
+fn events_reconcile(events_path: &str, manifest_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(events_path)
+        .map_err(|e| format!("{events_path}: unreadable: {e}"))?;
+    let summary = check_events(&text).map_err(|e| format!("{events_path}: {e}"))?;
+    let manifest = load(manifest_path).map_err(|e| format!("{manifest_path}: {e}"))?;
+    if schema_of(&manifest) != Some(MANIFEST_SCHEMA) {
+        return Err(format!(
+            "{manifest_path}: not a {MANIFEST_SCHEMA:?} document"
+        ));
+    }
+    events::reconcile(&summary, &manifest)
+}
+
 /// `--det-diff A B`: equality of the two manifests' determinism views.
 fn det_diff(a_path: &str, b_path: &str) -> Result<(), String> {
     let a = load(a_path).map_err(|e| format!("{a_path}: {e}"))?;
@@ -346,10 +394,28 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("--events-reconcile") {
+        match &args[1..] {
+            [ev, mf] => match events_reconcile(ev, mf) {
+                Ok(()) => {
+                    println!("{ev} reconciles with {mf}: ok");
+                }
+                Err(msg) => {
+                    eprintln!("events-reconcile: {msg}");
+                    std::process::exit(1);
+                }
+            },
+            _ => {
+                eprintln!("usage: validate_json --events-reconcile EVENTS MANIFEST");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     if args.is_empty() {
         eprintln!(
             "usage: validate_json FILE... | validate_json --det-diff A B | \
-             validate_json --list-schemas"
+             validate_json --events-reconcile EVENTS MANIFEST | validate_json --list-schemas"
         );
         std::process::exit(2);
     }
@@ -358,9 +424,20 @@ fn main() {
             eprintln!("{path}: INVALID — {msg}");
             std::process::exit(1);
         };
-        let doc = match load(path) {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => fail(&format!("unreadable: {e}")),
+        };
+        if is_events_stream(&text) {
+            if let Err(msg) = check_events(&text) {
+                fail(&msg);
+            }
+            println!("{path}: ok ({EVENTS_SCHEMA})");
+            continue;
+        }
+        let doc = match Json::parse(&text) {
             Ok(d) => d,
-            Err(e) => fail(&e),
+            Err(e) => fail(&format!("parse error: {e}")),
         };
         let schema = match schema_of(&doc) {
             Some(s) => s.to_string(),

@@ -779,6 +779,9 @@ impl CellCache {
         if self.read {
             if let Some(r) = self.try_read(index, &key) {
                 CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                // The pool will report this cell finished; the events
+                // stream turns that into a cellCacheHit terminal.
+                crate::events::note_cache_hit(index, &key);
                 return r;
             }
         }

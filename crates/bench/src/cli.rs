@@ -12,7 +12,7 @@ pub const DEFAULT_METRICS_BUCKET_CYCLES: u64 = 256;
 /// `--jobs N`, `--engine-threads N`, `--smoke`, `--quiet`, plus the
 /// observability outputs `--json-out PATH`, `--trace-out PATH`,
 /// `--metrics-out PATH`, `--attrib-out PATH`, `--profile-out PATH`,
-/// `--audit-out PATH`.
+/// `--audit-out PATH`, `--events-out PATH`.
 #[derive(Clone, Debug)]
 pub struct HarnessOpts {
     /// Workload configuration assembled from the flags.
@@ -58,6 +58,19 @@ pub struct HarnessOpts {
     /// Cell-cache directory override (`--cache-dir`). Defaults to
     /// `.cellcache/` next to the `--json-out` artifact.
     pub cache_dir: Option<String>,
+    /// Write the live `gvf.events` v1 JSONL telemetry stream here
+    /// (`--events-out`). Wall-clock data, excluded from the determinism
+    /// view; see [`crate::events`].
+    pub events_out: Option<String>,
+    /// Stall-watchdog threshold multiple (`--stall-factor`, default
+    /// 8.0): an in-flight cell is flagged once it exceeds this multiple
+    /// of the rolling median non-cached cell time.
+    pub stall_factor: f64,
+    /// Panic injection for telemetry/fault-isolation testing
+    /// (`--fail-cell N`): grid cell `N` panics instead of simulating.
+    /// The failure takes the real per-cell isolation path, so CI can
+    /// assert that failure manifests carry flight-recorder context.
+    pub fail_cell: Option<usize>,
 }
 
 /// Prints a usage error and exits with status 2.
@@ -86,6 +99,9 @@ impl HarnessOpts {
         let mut resume = false;
         let mut no_cache = false;
         let mut cache_dir = None;
+        let mut events_out = None;
+        let mut stall_factor = crate::events::DEFAULT_STALL_FACTOR;
+        let mut fail_cell = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -163,13 +179,31 @@ impl HarnessOpts {
                     cache_dir = Some(need(i).clone());
                     i += 2;
                 }
+                "--events-out" => {
+                    events_out = Some(need(i).clone());
+                    i += 2;
+                }
+                "--stall-factor" => {
+                    stall_factor = need(i)
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--stall-factor takes a number"));
+                    if stall_factor <= 1.0 {
+                        usage_error("--stall-factor must be > 1");
+                    }
+                    i += 2;
+                }
+                "--fail-cell" => {
+                    fail_cell = Some(int(i, "--fail-cell"));
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     println!(
                         "options: --scale N (default 8)  --iters N  --seed N  \
                          --jobs N (0 = all cores)  --engine-threads N (0 = auto)  --smoke  \
                          --quiet  --json-out PATH  --trace-out PATH  --metrics-out PATH  \
                          --attrib-out PATH  --profile-out PATH  --audit-out PATH  \
-                         --resume  --no-cache  --cache-dir DIR"
+                         --resume  --no-cache  --cache-dir DIR  --events-out PATH  \
+                         --stall-factor X (default 8)  --fail-cell N (panic injection)"
                     );
                     std::process::exit(0);
                 }
@@ -193,6 +227,28 @@ impl HarnessOpts {
             // every SimPool worker / engine thread participates.
             gvf_sim::spans::enable();
         }
+        if let Some(path) = &events_out {
+            let bin = std::env::args()
+                .next()
+                .as_deref()
+                .map(|p| {
+                    std::path::Path::new(p)
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| p.to_string())
+                })
+                .unwrap_or_else(|| "unknown".to_string());
+            crate::events::init(
+                path,
+                &crate::events::RunInfo {
+                    bin,
+                    fingerprint: crate::cellcache::config_fingerprint(&cfg),
+                    jobs,
+                    smoke,
+                    stall_factor,
+                },
+            );
+        }
         HarnessOpts {
             cfg,
             jobs,
@@ -207,6 +263,9 @@ impl HarnessOpts {
             resume,
             no_cache,
             cache_dir,
+            events_out,
+            stall_factor,
+            fail_cell,
         }
     }
 

@@ -163,6 +163,47 @@ impl Json {
         }
     }
 
+    /// Renders on a single line with no indentation or trailing newline
+    /// — the JSONL form used by the `gvf.events` stream, where each
+    /// event must occupy exactly one line. Same determinism rules as
+    /// [`render`](Json::render), and `parse(render_compact(v)) == v`.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     /// Parses a JSON document (exactly one value plus whitespace).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
@@ -518,6 +559,23 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "accepted malformed {bad:?}");
         }
+    }
+
+    #[test]
+    fn compact_render_is_one_line_and_round_trips() {
+        let v = Json::obj()
+            .with("ev", Json::str("cellFinished"))
+            .with("tMs", Json::num_u64(1234))
+            .with("panic", Json::str("line one\nline two"))
+            .with("arr", Json::Arr(vec![Json::Null, Json::Num(0.5)]))
+            .with("nested", Json::obj().with("k", Json::Bool(true)));
+        let line = v.render_compact();
+        assert!(!line.contains('\n'), "JSONL events are single lines");
+        assert_eq!(Json::parse(&line).expect("parse"), v);
+        assert_eq!(
+            line,
+            r#"{"ev":"cellFinished","tMs":1234,"panic":"line one\nline two","arr":[null,0.5],"nested":{"k":true}}"#
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 pub mod bench_history;
 pub mod cellcache;
 pub mod cli;
+pub mod events;
 pub mod harness;
 pub mod hostperf;
 pub mod json;

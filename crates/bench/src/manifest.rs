@@ -646,6 +646,9 @@ pub fn emit(opts: &HarnessOpts, generator: &str, cells: &[CellRecord], obs: Opti
         eprintln!("error: failed to write artifact: {e}");
         std::process::exit(1);
     }
+    // All artifacts landed: close the events stream. (The failure path
+    // closes it with "failed" before its non-zero exit instead.)
+    crate::events::run_end("ok");
 }
 
 /// Writes the **failure manifest** of a sweep with dead cells: a v2
@@ -679,10 +682,15 @@ pub fn emit_failures(
     }
 }
 
-/// The deterministic core of a failure manifest (everything but
-/// `hostPerf`): one entry per grid index, `"ok"` cells with full
-/// stats/derived records, `"failed"` cells with panic payload and
-/// config fingerprint.
+/// The body of a failure manifest: one entry per grid index, `"ok"`
+/// cells with full stats/derived records, `"failed"` cells with panic
+/// payload, config fingerprint, the worker id and queue wait the pool
+/// observed, and the flight-recorder snapshot — the last
+/// [`crate::events::FLIGHT_RECORDER_EVENTS`] telemetry events up to and
+/// including the cell's `cellFailed` (`null` when the cell did not die
+/// under an event-tracked sweep). The per-cell runtime context and the
+/// flight recorder are wall-clock data; failure manifests abort the run
+/// and never enter a determinism diff, so that is fine.
 pub fn failure_manifest(
     generator: &str,
     opts: &HarnessOpts,
@@ -697,11 +705,19 @@ pub fn failure_manifest(
                 .with("status", Json::str("ok"))
                 .with("stats", stats_json(&r.stats))
                 .with("derived", derived_json(&r.stats)),
-            Err(f) => Json::obj()
-                .with("index", Json::num_u64(i as u64))
-                .with("status", Json::str("failed"))
-                .with("panic", Json::str(&f.payload))
-                .with("configFingerprint", Json::str(&f.fingerprint)),
+            Err(f) => {
+                let flight = crate::events::flight_recorder(generator, i)
+                    .map(Json::Arr)
+                    .unwrap_or(Json::Null);
+                Json::obj()
+                    .with("index", Json::num_u64(i as u64))
+                    .with("status", Json::str("failed"))
+                    .with("panic", Json::str(&f.payload))
+                    .with("configFingerprint", Json::str(&f.fingerprint))
+                    .with("worker", Json::num_u64(f.worker as u64))
+                    .with("queueWaitMs", Json::num_u64(f.queue_wait_ns / 1_000_000))
+                    .with("flightRecorder", flight)
+            }
         })
         .collect();
     Json::obj()
@@ -797,6 +813,9 @@ mod tests {
             resume: false,
             no_cache: false,
             cache_dir: None,
+            events_out: None,
+            stall_factor: crate::events::DEFAULT_STALL_FACTOR,
+            fail_cell: None,
         }
     }
 
@@ -873,6 +892,8 @@ mod tests {
                 cell: 1,
                 payload: "boom".into(),
                 fingerprint: "deadbeef".into(),
+                worker: 3,
+                queue_wait_ns: 2_500_000,
             }),
         ];
         let doc = failure_manifest("fig6", &test_opts(), &cells);
@@ -895,6 +916,14 @@ mod tests {
             Some("deadbeef")
         );
         assert_eq!(entries[1].get("stats"), None, "dead cells carry no stats");
+        // The pool's runtime observation rides along on failed entries.
+        assert_eq!(entries[1].get("worker").and_then(Json::as_num), Some(3.0));
+        assert_eq!(
+            entries[1].get("queueWaitMs").and_then(Json::as_num),
+            Some(2.0)
+        );
+        // No event-tracked sweep ran this cell, so no flight recorder.
+        assert_eq!(entries[1].get("flightRecorder"), Some(&Json::Null));
     }
 
     #[test]

@@ -16,26 +16,30 @@
 //! non-zero exit that lists exactly which cells died — per-cell
 //! granularity instead of losing the whole binary's work.
 //!
-//! Each sweep also self-reports to [`gvf_sim::hostperf`]: the pool's
-//! [`gvf_sim::PoolTelemetry`] (per-worker busy/queue-wait/idle time)
-//! and the cell count land in the manifest's `hostPerf` section, which
-//! the determinism diff strips (wall-clock numbers differ run to run by
-//! design — see `DESIGN.md` "Host performance & trajectory").
+//! **Telemetry:** the sweep's lifecycle flows through
+//! [`crate::events`] via the pool's [`gvf_sim::CellHooks`] — per-cell
+//! scheduled/started/terminal events with worker id, queue wait and
+//! duration, the stderr heartbeat (now an events consumer, with the
+//! resumed-run ETA fix), the flight recorder, and the `--events-out`
+//! JSONL stream. Each sweep also self-reports to
+//! [`gvf_sim::hostperf`]: the pool's [`gvf_sim::PoolTelemetry`]
+//! (per-worker busy/queue-wait/idle time) and the cell count land in
+//! the manifest's `hostPerf` section, which the determinism diff strips
+//! (wall-clock numbers differ run to run by design — see `DESIGN.md`
+//! "Host performance & trajectory").
 
 use crate::cli::HarnessOpts;
 use gvf_sim::hostperf::{self, SweepTelemetry};
-use gvf_sim::{CellFailure, SimPool};
+use gvf_sim::{CellFailure, CellHooks, CellObservation, SimPool};
 use gvf_workloads::RunResult;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
-/// Minimum milliseconds between progress heartbeats.
-const HEARTBEAT_MS: u64 = 1000;
-
-/// One dead cell of a sweep: where it died, what the panic said, and
-/// the fingerprint of the configuration that killed it (reproducible
-/// via `--seed`/knob flags; the fingerprint is what the cell cache
-/// would have keyed it by — see [`crate::cellcache`]).
+/// One dead cell of a sweep: where it died, what the panic said, which
+/// worker it was on, how long it queued, and the fingerprint of the
+/// configuration that killed it (reproducible via `--seed`/knob flags;
+/// the fingerprint is what the cell cache would have keyed it by — see
+/// [`crate::cellcache`]).
 #[derive(Clone, Debug)]
 pub struct SweepFailure {
     /// Grid index of the dead cell.
@@ -44,6 +48,10 @@ pub struct SweepFailure {
     pub payload: String,
     /// Hex fingerprint of the cell's simulation config.
     pub fingerprint: String,
+    /// Pool worker the cell died on.
+    pub worker: usize,
+    /// Nanoseconds the cell waited in the pool queue before starting.
+    pub queue_wait_ns: u64,
 }
 
 /// The outcome of a sweep: per-cell results in grid order, each either
@@ -57,6 +65,13 @@ impl<T> SweepRun<T> {
     /// The dead cells, in grid order.
     pub fn failures(&self) -> Vec<&SweepFailure> {
         self.cells.iter().filter_map(|c| c.as_ref().err()).collect()
+    }
+
+    /// Every cell outcome in grid order — for callers (tests, the
+    /// failure-manifest builder) that need the raw per-cell results
+    /// without the exit-on-failure policy of [`SweepRun::into_results`].
+    pub fn cells(&self) -> &[Result<T, SweepFailure>] {
+        &self.cells
     }
 
     /// Unwraps every cell, panicking on the first failure — for callers
@@ -74,8 +89,9 @@ impl SweepRun<RunResult> {
     /// grid order. Any dead cell instead writes the failure manifest
     /// (`--json-out`, schema v2 with `"status": "failed"` entries — see
     /// [`crate::manifest::emit_failures`]), lists the dead cells on
-    /// stderr, and exits non-zero; surviving cells' counters are
-    /// preserved in the manifest, so a long sweep's work is not lost.
+    /// stderr, closes the events stream with `runEnd: failed`, and
+    /// exits non-zero; surviving cells' counters are preserved in the
+    /// manifest, so a long sweep's work is not lost.
     pub fn into_results(self, opts: &HarnessOpts) -> Vec<RunResult> {
         if self.failures().is_empty() {
             return self
@@ -98,19 +114,45 @@ impl SweepRun<RunResult> {
             failed.len(),
             self.cells.len(),
         );
+        crate::events::run_end("failed");
         std::process::exit(1);
+    }
+}
+
+/// Bridges the pool's per-cell lifecycle to [`crate::events`] and
+/// records each cell's worker id and queue wait for failure reporting.
+struct SweepHooks {
+    /// Per-cell (worker, queue-wait ns), filled as cells terminate.
+    runtime: Mutex<Vec<(usize, u64)>>,
+}
+
+impl CellHooks for SweepHooks {
+    fn started(&self, index: usize, worker: usize) {
+        crate::events::cell_started(index, worker);
+    }
+
+    fn finished(&self, obs: &CellObservation, done: usize, total: usize) {
+        {
+            let mut runtime = self.runtime.lock().expect("sweep runtime mutex");
+            runtime[obs.index] = (obs.worker, obs.queue_wait_ns);
+        }
+        crate::events::cell_done(obs, done, total);
     }
 }
 
 /// Runs `f` over `cells` on `opts.jobs` threads (`0` = all cores),
 /// returning a [`SweepRun`] in input order; `f` also receives the
 /// cell's grid index (feeding [`crate::cli::HarnessOpts::cfg_for_cell`]).
-/// Long sweeps get throttled `k/N cells, ETA` heartbeats on stderr, and
-/// the completion heartbeat always prints (the last cell must never be
-/// swallowed by the throttle); a final wall-clock line also goes to
-/// stderr so stdout stays a clean report. `--quiet` silences all of it.
-/// The sweep's pool telemetry is recorded for the manifest's `hostPerf`
-/// section.
+/// Long sweeps get throttled `k/N cells, ETA` heartbeats on stderr (an
+/// events consumer — see [`crate::events`]; the ETA extrapolates from
+/// non-cached completions only, and the completion heartbeat always
+/// prints); a final wall-clock line also goes to stderr so stdout stays
+/// a clean report. `--quiet` silences all of it. The sweep's pool
+/// telemetry is recorded for the manifest's `hostPerf` section.
+/// `--fail-cell N` makes grid cell `N` panic instead of running `f` —
+/// the injected failure takes the real isolation path (pool
+/// `catch_unwind`, failure manifest, flight recorder), which CI uses to
+/// test the telemetry end to end.
 pub fn run_cells<I, T, F>(label: &str, opts: &HarnessOpts, cells: &[I], f: F) -> SweepRun<T>
 where
     I: Sync,
@@ -120,32 +162,22 @@ where
     let pool = SimPool::new(opts.jobs);
     let quiet = opts.quiet;
     let start = Instant::now();
-    let last_beat = AtomicU64::new(0);
-    let (out, telemetry) = pool.run_timed(cells, f, |done, total| {
-        if quiet {
-            return;
-        }
-        let elapsed_ms = start.elapsed().as_millis() as u64;
-        let prev = last_beat.load(Ordering::Relaxed);
-        if !heartbeat_due(done, total, elapsed_ms, prev) {
-            return;
-        }
-        // The completion beat is unconditionally printed: only one
-        // thread ever observes `done == total`, so it needs no CAS and
-        // cannot be swallowed by the throttle window. Throttled beats
-        // race; one thread wins the CAS per window, the rest skip.
-        if done == total {
-            eprintln!("[{label}] {done}/{total} cells");
-        } else if last_beat
-            .compare_exchange(prev, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
-            .is_ok()
-        {
-            match eta_seconds(done, total, start.elapsed().as_secs_f64()) {
-                Some(eta) => eprintln!("[{label}] {done}/{total} cells, ETA {eta:.0}s"),
-                None => eprintln!("[{label}] {done}/{total} cells"),
+    crate::events::sweep_start(label, cells.len(), pool.jobs(), quiet);
+    let hooks = SweepHooks {
+        runtime: Mutex::new(vec![(0, 0); cells.len()]),
+    };
+    let fail_cell = opts.fail_cell;
+    let (out, telemetry) = pool.run_observed(
+        cells,
+        |i, cell| {
+            if fail_cell == Some(i) {
+                panic!("injected failure (--fail-cell {i})");
             }
-        }
-    });
+            f(i, cell)
+        },
+        &hooks,
+    );
+    crate::events::sweep_end(label);
     if !quiet {
         eprintln!(
             "[{label}] {} simulations in {:.2}s ({} job{})",
@@ -163,6 +195,7 @@ where
         },
         start.elapsed().as_nanos() as u64,
     );
+    let runtime = hooks.runtime.into_inner().expect("sweep runtime mutex");
     let cells = out
         .into_iter()
         .enumerate()
@@ -171,56 +204,13 @@ where
                 cell: index,
                 payload,
                 fingerprint: crate::cellcache::config_fingerprint(&opts.cfg_for_cell(i)),
+                worker: runtime[i].0,
+                queue_wait_ns: runtime[i].1,
             })
         })
         .collect();
     SweepRun {
         label: label.to_string(),
         cells,
-    }
-}
-
-/// Whether a progress line should be considered at all: the completion
-/// beat (`done == total`) is always due — the CAS throttle used to
-/// swallow it when the last cell landed inside the throttle window —
-/// and intermediate beats are due once the window has elapsed.
-fn heartbeat_due(done: usize, total: usize, elapsed_ms: u64, prev_beat_ms: u64) -> bool {
-    done == total || elapsed_ms >= prev_beat_ms + HEARTBEAT_MS
-}
-
-/// Remaining-time estimate, `None` when there is nothing to extrapolate
-/// from (zero completed cells or no measurable elapsed time — a
-/// division by zero in disguise).
-fn eta_seconds(done: usize, total: usize, elapsed_s: f64) -> Option<f64> {
-    if done == 0 || elapsed_s <= 0.0 {
-        return None;
-    }
-    Some(elapsed_s / done as f64 * total.saturating_sub(done) as f64)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn eta_guards_degenerate_inputs() {
-        assert_eq!(eta_seconds(0, 10, 1.0), None);
-        assert_eq!(eta_seconds(5, 10, 0.0), None);
-        assert_eq!(eta_seconds(5, 10, -1.0), None);
-        let eta = eta_seconds(5, 10, 2.0).expect("well-defined");
-        assert!((eta - 2.0).abs() < 1e-9);
-        // Finished sweeps extrapolate to zero remaining.
-        assert_eq!(eta_seconds(10, 10, 3.0), Some(0.0));
-    }
-
-    #[test]
-    fn completion_heartbeat_is_never_throttled() {
-        // The regression: last cell completes 1 ms after a beat, inside
-        // the throttle window — the final N/N line must still be due.
-        assert!(heartbeat_due(10, 10, 501, 500));
-        assert!(heartbeat_due(10, 10, 0, 0), "instant sweeps too");
-        // Intermediate beats still throttle.
-        assert!(!heartbeat_due(5, 10, 501, 500));
-        assert!(heartbeat_due(5, 10, 500 + HEARTBEAT_MS, 500));
     }
 }

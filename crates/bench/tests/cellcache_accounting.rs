@@ -34,6 +34,9 @@ fn opts(cache_dir: &std::path::Path, resume: bool) -> HarnessOpts {
         resume,
         no_cache: false,
         cache_dir: Some(cache_dir.to_string_lossy().into_owned()),
+        events_out: None,
+        stall_factor: gvf_bench::events::DEFAULT_STALL_FACTOR,
+        fail_cell: None,
     }
 }
 

@@ -30,6 +30,9 @@ fn opts() -> HarnessOpts {
         resume: false,
         no_cache: false,
         cache_dir: None,
+        events_out: None,
+        stall_factor: gvf_bench::events::DEFAULT_STALL_FACTOR,
+        fail_cell: None,
     }
 }
 

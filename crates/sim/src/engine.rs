@@ -312,7 +312,9 @@ impl Gpu {
         };
         let mut memstats = Stats::new();
         let mut cycle: u64 = 0;
+        let mut liveness = crate::progress::EpochBatcher::new();
         loop {
+            liveness.tick();
             let mut live = false;
             let mut issued = false;
             let mut min_next = u64::MAX;
@@ -463,7 +465,9 @@ impl Gpu {
 
             let mut cycle = 0u64;
             let mut worker_epoch = 0u64;
+            let mut liveness = crate::progress::EpochBatcher::new();
             loop {
+                liveness.tick();
                 acc_live.store(false, Ordering::Relaxed);
                 acc_issued.store(false, Ordering::Relaxed);
                 acc_min_next.store(u64::MAX, Ordering::Relaxed);
@@ -1026,6 +1030,9 @@ fn finish<P: Probe>(
         .max()
         .unwrap_or(cycle);
     stats.cycles = last.max(cycle);
+    if crate::progress::enabled() {
+        crate::progress::kernel_finished(stats.cycles);
+    }
     stats
 }
 

@@ -51,6 +51,7 @@ pub mod hostperf;
 mod instr;
 mod pool;
 pub mod probe;
+pub mod progress;
 pub mod simt;
 pub mod spans;
 mod stats;
@@ -66,7 +67,7 @@ pub use engine::Gpu;
 pub use exec::{lanes_from_fn, lanes_none, run_kernel, Lanes, WarpCtx, WARP_SIZE};
 pub use hostperf::{HostPerfSnapshot, PoolTelemetry, SweepTelemetry, WorkerTelemetry};
 pub use instr::{AccessTag, InstrClass, MemOp, Op, Space, UNKNOWN_CALL_TARGET};
-pub use pool::{CellFailure, SimPool};
+pub use pool::{CellFailure, CellHooks, CellObservation, SimPool};
 pub use probe::{
     recording_probe, CallSiteClass, CallSiteStats, CountingProbe, CycleAuditProbe,
     CycleAuditReport, EpochClass, EpochMetricsProbe, EpochSeries, MetricsBucket, NopProbe,

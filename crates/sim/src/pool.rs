@@ -61,6 +61,55 @@ fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// What the pool observed about one completed cell, handed to
+/// [`CellHooks::finished`]: which worker ran it, how long it waited in
+/// the queue (the cursor fetch preceding it), how long it ran, and how
+/// it ended. This is host-side scheduling telemetry — wall-clock data
+/// that never reaches stdout or the determinism view.
+#[derive(Clone, Debug)]
+pub struct CellObservation {
+    /// Input-order index of the cell.
+    pub index: usize,
+    /// Id of the worker that ran it (`0..jobs`; always 0 on the serial
+    /// path).
+    pub worker: usize,
+    /// Nanoseconds spent acquiring this cell from the queue.
+    pub queue_wait_ns: u64,
+    /// Nanoseconds spent running the cell (including a panicking run).
+    pub busy_ns: u64,
+    /// The panic payload when the cell died, `None` when it completed.
+    pub panic: Option<String>,
+}
+
+/// Per-cell lifecycle hooks for [`SimPool::run_observed`]. Callbacks
+/// fire on the worker thread that runs the cell, in that cell's own
+/// order (`started` strictly before its `finished`); cells on different
+/// workers interleave arbitrarily. Default bodies make every hook
+/// optional.
+pub trait CellHooks: Sync {
+    /// A worker picked up cell `index`.
+    fn started(&self, index: usize, worker: usize) {
+        let _ = (index, worker);
+    }
+    /// A cell completed (or panicked — see
+    /// [`CellObservation::panic`]); `done` of `total` cells have
+    /// finished so far. Completion order depends on scheduling, so this
+    /// is for telemetry and stderr progress only.
+    fn finished(&self, obs: &CellObservation, done: usize, total: usize) {
+        let _ = (obs, done, total);
+    }
+}
+
+/// Adapter: the plain `on_done(done, total)` progress callback of
+/// [`SimPool::run_timed`] expressed as [`CellHooks`].
+struct DoneHook<D>(D);
+
+impl<D: Fn(usize, usize) + Sync> CellHooks for DoneHook<D> {
+    fn finished(&self, _obs: &CellObservation, done: usize, total: usize) {
+        (self.0)(done, total)
+    }
+}
+
 /// Runs one cell under `catch_unwind`. `AssertUnwindSafe` is sound here
 /// because `f` is `Fn` over shared references: a panicking cell cannot
 /// have left partial writes behind in state another cell observes (each
@@ -169,12 +218,32 @@ impl SimPool {
         F: Fn(usize, &I) -> T + Sync,
         D: Fn(usize, usize) + Sync,
     {
+        self.run_observed(inputs, f, &DoneHook(on_done))
+    }
+
+    /// [`run_timed`](SimPool::run_timed) with full per-cell lifecycle
+    /// hooks ([`CellHooks`]): each cell reports which worker ran it,
+    /// its queue wait and duration, and its panic payload if it died —
+    /// the substrate of the live-telemetry event stream. Outputs are
+    /// unchanged and still bit-identical for any job count.
+    pub fn run_observed<I, T, F, H>(
+        &self,
+        inputs: &[I],
+        f: F,
+        hooks: &H,
+    ) -> (Vec<Result<T, CellFailure>>, PoolTelemetry)
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+        H: CellHooks,
+    {
         let start = Instant::now();
         #[cfg(feature = "parallel")]
         {
             let jobs = self.jobs.min(inputs.len()).max(1);
             if jobs > 1 {
-                return run_parallel_timed(inputs, &f, &on_done, jobs, start);
+                return run_parallel_observed(inputs, &f, hooks, jobs, start);
             }
         }
         let total = inputs.len();
@@ -183,11 +252,23 @@ impl SimPool {
             .iter()
             .enumerate()
             .map(|(i, input)| {
+                hooks.started(i, 0);
                 let cell_start = Instant::now();
                 let out = run_cell(&f, i, input);
-                worker.busy_ns += cell_start.elapsed().as_nanos() as u64;
+                let busy_ns = cell_start.elapsed().as_nanos() as u64;
+                worker.busy_ns += busy_ns;
                 worker.cells += 1;
-                on_done(i + 1, total);
+                hooks.finished(
+                    &CellObservation {
+                        index: i,
+                        worker: 0,
+                        queue_wait_ns: 0,
+                        busy_ns,
+                        panic: out.as_ref().err().map(|e| e.payload.clone()),
+                    },
+                    i + 1,
+                    total,
+                );
                 out
             })
             .collect();
@@ -201,10 +282,10 @@ impl SimPool {
 }
 
 #[cfg(feature = "parallel")]
-fn run_parallel_timed<I, T, F, D>(
+fn run_parallel_observed<I, T, F, H>(
     inputs: &[I],
     f: &F,
-    on_done: &D,
+    hooks: &H,
     jobs: usize,
     start: Instant,
 ) -> (Vec<Result<T, CellFailure>>, PoolTelemetry)
@@ -212,7 +293,7 @@ where
     I: Sync,
     T: Send,
     F: Fn(usize, &I) -> T + Sync,
-    D: Fn(usize, usize) + Sync,
+    H: CellHooks,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
@@ -229,28 +310,47 @@ where
         .map(|_| Mutex::new(WorkerTelemetry::default()))
         .collect();
     std::thread::scope(|scope| {
-        for worker_slot in &worker_slots {
+        for (w, worker_slot) in worker_slots.iter().enumerate() {
             let cursor = &cursor;
             let finished = &finished;
             let slots = &slots;
-            scope.spawn(move || {
-                let mut telemetry = WorkerTelemetry::default();
-                loop {
-                    let fetch_start = Instant::now();
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let grabbed = inputs.get(i);
-                    telemetry.queue_wait_ns += fetch_start.elapsed().as_nanos() as u64;
-                    let Some(input) = grabbed else { break };
-                    let cell_start = Instant::now();
-                    let out = run_cell(f, i, input);
-                    telemetry.busy_ns += cell_start.elapsed().as_nanos() as u64;
-                    telemetry.cells += 1;
-                    *slots[i].lock().expect("slot mutex") = Some(out);
-                    let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
-                    on_done(done, total);
-                }
-                *worker_slot.lock().expect("worker telemetry mutex") = telemetry;
-            });
+            // Named threads so live span stacks (the stall watchdog's
+            // diagnostics) can say which pool worker is stuck.
+            std::thread::Builder::new()
+                .name(format!("pool-worker-{w}"))
+                .spawn_scoped(scope, move || {
+                    let mut telemetry = WorkerTelemetry::default();
+                    loop {
+                        let fetch_start = Instant::now();
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let grabbed = inputs.get(i);
+                        let queue_wait_ns = fetch_start.elapsed().as_nanos() as u64;
+                        telemetry.queue_wait_ns += queue_wait_ns;
+                        let Some(input) = grabbed else { break };
+                        hooks.started(i, w);
+                        let cell_start = Instant::now();
+                        let out = run_cell(f, i, input);
+                        let busy_ns = cell_start.elapsed().as_nanos() as u64;
+                        telemetry.busy_ns += busy_ns;
+                        telemetry.cells += 1;
+                        let panic = out.as_ref().err().map(|e| e.payload.clone());
+                        *slots[i].lock().expect("slot mutex") = Some(out);
+                        let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
+                        hooks.finished(
+                            &CellObservation {
+                                index: i,
+                                worker: w,
+                                queue_wait_ns,
+                                busy_ns,
+                                panic,
+                            },
+                            done,
+                            total,
+                        );
+                    }
+                    *worker_slot.lock().expect("worker telemetry mutex") = telemetry;
+                })
+                .expect("spawn pool worker");
         }
     });
     let out = slots
@@ -394,6 +494,63 @@ mod tests {
             assert_eq!(out.iter().filter(|r| r.is_err()).count(), 4);
             let cells: u64 = telemetry.workers.iter().map(|w| w.cells).sum();
             assert_eq!(cells, 9, "failed cells are still attributed to a worker");
+        }
+    }
+
+    #[test]
+    fn run_observed_reports_worker_lifecycle_per_cell() {
+        use std::sync::Mutex;
+
+        struct Capture {
+            started: Mutex<Vec<(usize, usize)>>,
+            finished: Mutex<Vec<CellObservation>>,
+        }
+        impl CellHooks for Capture {
+            fn started(&self, index: usize, worker: usize) {
+                self.started.lock().unwrap().push((index, worker));
+            }
+            fn finished(&self, obs: &CellObservation, done: usize, total: usize) {
+                assert!(done >= 1 && done <= total);
+                self.finished.lock().unwrap().push(obs.clone());
+            }
+        }
+
+        for jobs in [1, 4] {
+            let inputs: Vec<u64> = (0..19).collect();
+            let capture = Capture {
+                started: Mutex::new(Vec::new()),
+                finished: Mutex::new(Vec::new()),
+            };
+            let (out, telemetry) = SimPool::new(jobs).run_observed(
+                &inputs,
+                |_, &n| {
+                    assert!(n != 7, "seven dies");
+                    n
+                },
+                &capture,
+            );
+            assert_eq!(out.len(), 19);
+            let started = capture.started.into_inner().unwrap();
+            let mut finished = capture.finished.into_inner().unwrap();
+            assert_eq!(started.len(), 19);
+            assert_eq!(finished.len(), 19);
+            finished.sort_by_key(|o| o.index);
+            let resolved_jobs = telemetry.jobs;
+            for (i, obs) in finished.iter().enumerate() {
+                assert_eq!(obs.index, i, "every cell observed exactly once");
+                assert!(obs.worker < resolved_jobs);
+                assert!(
+                    started.contains(&(i, obs.worker)),
+                    "cell {i} started on the worker that finished it"
+                );
+                assert_eq!(obs.panic.is_some(), i == 7);
+            }
+            assert!(finished[7].panic.as_deref().unwrap().contains("seven dies"));
+            // The hooks' per-cell accounting reconciles with the
+            // aggregate worker telemetry.
+            let hook_busy: u64 = finished.iter().map(|o| o.busy_ns).sum();
+            let agg_busy: u64 = telemetry.workers.iter().map(|w| w.busy_ns).sum();
+            assert!(hook_busy <= agg_busy + 19);
         }
     }
 

@@ -30,11 +30,15 @@
 # embedded gvf.hostperf section), $OUT/<bin>.attrib.json its
 # mechanism-attribution report (gvf.attribution), $OUT/<bin>.profile.json
 # its host-side span profile (gvf.hostprofile — where the wall-clock
-# time went) and $OUT/<bin>.audit.json its cycle audit (gvf.cycleaudit —
-# how much simulated time was skippable); fig6 additionally records
-# $OUT/fig6.trace.json (Chrome trace-event / Perfetto timeline)
-# and $OUT/fig6.metrics.json (per-epoch metrics). Every artifact is
-# re-parsed by the in-repo validator before the run counts as green.
+# time went), $OUT/<bin>.audit.json its cycle audit (gvf.cycleaudit —
+# how much simulated time was skippable) and $OUT/<bin>.events.jsonl its
+# live telemetry stream (gvf.events — sweep/cell lifecycle, heartbeats,
+# resource samples; watch a live run with `status --follow`); fig6
+# additionally records $OUT/fig6.trace.json (Chrome trace-event /
+# Perfetto timeline) and $OUT/fig6.metrics.json (per-epoch metrics).
+# Every artifact is re-parsed by the in-repo validator before the run
+# counts as green, and each events stream is reconciled 1:1 against its
+# binary's manifest.
 # After the sweep, perf_gate judges the run against the recorded
 # BENCH_gvf.json baseline; only a run that passes the gate is folded
 # into the trajectory by perf_record (so a regressed run can never
@@ -118,6 +122,7 @@ run_step "cargo test" cargo test --workspace 2>&1 | tee test_output.txt
       --attrib-out "$OUT/$b.attrib.json" \
       --profile-out "$OUT/$b.profile.json" \
       --audit-out "$OUT/$b.audit.json" \
+      --events-out "$OUT/$b.events.jsonl" \
       "${SMOKE_FLAGS[@]}" "${CACHE_FLAGS[@]}" "${extra[@]}"
   done
   # The glob picks up every per-binary artifact family: .json manifest,
@@ -130,6 +135,19 @@ run_step "cargo test" cargo test --workspace 2>&1 | tee test_output.txt
   # is caught here rather than silently resumed into a future manifest.
   if compgen -G "$OUT/.cellcache/*.json" > /dev/null; then
     run_step "validate cell cache" cargo run --release -p gvf-bench --bin validate_json -- "$OUT"/.cellcache/*.json
+  fi
+  # Telemetry streams are artifacts too: validate each against the
+  # gvf.events lifecycle invariants, reconcile it 1:1 with its binary's
+  # manifest, and print the status console's roll-up (also asserting
+  # that `status --summary` sees a cleanly finished run).
+  if compgen -G "$OUT/*.events.jsonl" > /dev/null; then
+    run_step "validate events" cargo run --release -p gvf-bench --bin validate_json -- "$OUT"/*.events.jsonl
+    for ev in "$OUT"/*.events.jsonl; do
+      mf="${ev%.events.jsonl}.json"
+      [ -f "$mf" ] || continue
+      run_step "reconcile $(basename "$ev")" cargo run --release -p gvf-bench --bin validate_json -- --events-reconcile "$ev" "$mf"
+    done
+    run_step "status" cargo run --release -p gvf-bench --bin status -- --summary "$OUT/fig7.events.jsonl"
   fi
 
   # Judge this run against the recorded baseline FIRST, and fold it
