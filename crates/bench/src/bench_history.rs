@@ -70,14 +70,20 @@ use crate::manifest::MANIFEST_SCHEMA;
 use std::io;
 
 /// Trajectory schema identifier.
-pub const TRAJECTORY_SCHEMA: &str = "gvf.bench-trajectory";
+pub const TRAJECTORY_SCHEMA: &str = crate::schemas::TRAJECTORY.id;
 /// Trajectory schema version; bump on breaking changes.
-pub const TRAJECTORY_SCHEMA_VERSION: u32 = 1;
+pub const TRAJECTORY_SCHEMA_VERSION: u32 = crate::schemas::TRAJECTORY.version;
 /// Where the trajectory lives, relative to the repo root.
 pub const DEFAULT_HISTORY_PATH: &str = "BENCH_gvf.json";
 /// Minimum wall seconds for a sample to count as benchmark-grade; runs
 /// below it are startup-cost measurements, not throughput measurements.
 pub const MIN_BENCH_WALL_S: f64 = 1.0;
+/// Samples per (bin, config) group below which the trajectory's
+/// MAD-based noise estimate is meaningless — the gate falls back to its
+/// fixed threshold. `perf_record` warns when a benchmark-grade entry is
+/// folded from fewer manifests; `run_all.sh --samples` (default 3 for
+/// full-scale runs) records enough to clear it.
+pub const RECOMMENDED_SAMPLES: u64 = 3;
 
 /// Whether a sample is worth folding into (or judging against) the
 /// trajectory: a full (non-smoke) configuration that ran for at least

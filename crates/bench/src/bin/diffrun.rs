@@ -1,0 +1,102 @@
+//! Run-comparison front end: diffs two result trees and explains what
+//! changed (see [`gvf_bench::rundiff`] for the engine and the artifact
+//! shape).
+//!
+//! Usage:
+//!
+//! ```text
+//! diffrun [--out PATH] [--require-clean] [--quiet] BASELINE CURRENT
+//! ```
+//!
+//! `BASELINE` and `CURRENT` are each either a directory of harness
+//! artifacts (manifests plus their sibling attribution / cycle-audit /
+//! host-profile documents and `.events.jsonl` streams, as produced by
+//! `run_all.sh`) or a single run-manifest file (siblings are picked up
+//! by naming convention). The `gvf.rundiff` v1 artifact goes to `--out`
+//! (or stdout); a human-readable per-run summary goes to stderr unless
+//! `--quiet`.
+//!
+//! Exit status: `0` on a successful diff, `1` on unreadable inputs or —
+//! with `--require-clean` — when the diff finds semantic or coverage
+//! drift (the A/A CI gate: two runs of the same rev must produce
+//! byte-identical simulated results and the same cell coverage).
+//! Usage errors exit `2`.
+
+use gvf_bench::json::Json;
+use gvf_bench::rundiff;
+
+fn usage() -> ! {
+    eprintln!("usage: diffrun [--out PATH] [--require-clean] [--quiet] BASELINE CURRENT");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut require_clean = false;
+    let mut quiet = false;
+    let mut trees: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(p),
+                None => usage(),
+            },
+            "--require-clean" => require_clean = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            s if s.starts_with("--") => usage(),
+            _ => trees.push(arg),
+        }
+    }
+    let [baseline, current] = trees.as_slice() else {
+        usage();
+    };
+
+    let load = |path: &str| -> rundiff::RunTree {
+        match rundiff::load_tree(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("diffrun: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let doc = rundiff::diff_trees(&load(baseline), &load(current));
+
+    let rendered = doc.render();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("diffrun: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => print!("{rendered}"),
+    }
+
+    if !quiet {
+        eprintln!("diffrun: {baseline} -> {current}");
+        for line in rundiff::human_summary(&doc).lines() {
+            eprintln!("  {line}");
+        }
+    }
+
+    let summary_flag = |key: &str| {
+        doc.get("summary")
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_bool)
+            .unwrap_or(false)
+    };
+    let semantic_clean = summary_flag("semanticClean");
+    let coverage_clean = summary_flag("coverageClean");
+    if require_clean && !(semantic_clean && coverage_clean) {
+        eprintln!(
+            "diffrun: NOT CLEAN (semantic: {}, coverage: {})",
+            if semantic_clean { "clean" } else { "drift" },
+            if coverage_clean { "clean" } else { "drift" },
+        );
+        std::process::exit(1);
+    }
+}

@@ -16,6 +16,12 @@
 //! baseline entries are skipped, never failed, so a fresh checkout
 //! passes trivially.
 //!
+//! A failing verdict is followed by up to three `cause N:` lines from
+//! [`gvf_bench::rundiff::attributed_causes`] — the failing run's own
+//! sibling artifacts (span profile, cycle audit, attribution) naming
+//! the hottest span, the dominant cycle class, and the L1 hit rate, so
+//! the log explains the regression instead of just measuring it.
+//!
 //! Exit codes: `0` all judged samples passed (skips allowed), `1` at
 //! least one regression, `2` usage error. Verdicts go to stderr; CI
 //! runs this as an advisory job (single-machine wall clocks are noisy).
@@ -135,6 +141,15 @@ fn main() {
                     (1.0 - current / baseline) * 100.0,
                     allowed_drop * 100.0
                 );
+                // Point the log at *why*, not just *how much*: the
+                // failing run's own sibling artifacts (span profile,
+                // cycle audit, attribution) name the dominant costs.
+                for (i, cause) in gvf_bench::rundiff::attributed_causes(path)
+                    .iter()
+                    .enumerate()
+                {
+                    eprintln!("  cause {}: {cause}", i + 1);
+                }
             }
             GateVerdict::Skip { reason } => {
                 skips += 1;

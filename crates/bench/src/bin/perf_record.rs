@@ -20,13 +20,19 @@
 //! take near-zero wall time, so their cycles/sec figure would poison
 //! the baseline with impossibly fast samples.
 //!
+//! Benchmark-grade entries (non-smoke, wall ≥ `MIN_BENCH_WALL_S`)
+//! recorded from fewer than
+//! [`gvf_bench::bench_history::RECOMMENDED_SAMPLES`] manifests get a
+//! warning: a single wall-clock sample makes a noisy baseline, and the
+//! gate's MAD-based tolerance needs spread to measure.
+//!
 //! All human-facing output goes to stderr; this binary emits nothing on
 //! stdout (the determinism contract's channel discipline applies to
 //! tooling too).
 
 use gvf_bench::bench_history::{
-    git_short_rev, manifest_used_cell_cache, record, sample_from_manifest, today_utc, History,
-    DEFAULT_HISTORY_PATH,
+    git_short_rev, manifest_used_cell_cache, record, sample_from_manifest,
+    sample_is_benchmark_grade, today_utc, History, DEFAULT_HISTORY_PATH, RECOMMENDED_SAMPLES,
 };
 use gvf_bench::json::Json;
 
@@ -111,6 +117,17 @@ fn main() {
             if entry.samples == 1 { "" } else { "s" },
             history_path
         );
+        if sample_is_benchmark_grade(&entry.sample) && entry.samples < RECOMMENDED_SAMPLES {
+            eprintln!(
+                "perf_record: warning: {} recorded from {} sample{} — a \
+                 single-machine median wants {RECOMMENDED_SAMPLES} (pass \
+                 several manifests of the same config, e.g. run_all.sh \
+                 --samples {RECOMMENDED_SAMPLES})",
+                entry.sample.bin,
+                entry.samples,
+                if entry.samples == 1 { "" } else { "s" },
+            );
+        }
     }
     eprintln!(
         "perf_record: {} entr{} appended ({} total)",

@@ -30,12 +30,19 @@
 //! 7. a "Run timeline" section from the `gvf.events` telemetry streams
 //!    (`*.events.jsonl`): per-sweep cell outcomes, wall time, worker
 //!    occupancy and stall warnings — how each run actually unfolded;
-//! 8. the recent benchmark trajectory from `BENCH_gvf.json`.
+//! 8. "What changed since the baseline": every `gvf.rundiff`
+//!    run-comparison artifact found in the results dir (see
+//!    [`gvf_bench::rundiff`]) rendered as per-run verdicts plus top
+//!    attributed causes, and the latest-vs-previous trajectory movement
+//!    per binary;
+//! 9. the recent benchmark trajectory from `BENCH_gvf.json`.
 //!
 //! Unreadable or unrecognized files are reported and skipped — a
 //! partial `run_all.sh --keep-going` run still gets a report of
-//! whatever succeeded. Progress goes to stderr; the report goes to the
-//! `--out` file only.
+//! whatever succeeded, and each section lists its own absent (missing,
+//! empty, or torn) artifacts explicitly rather than silently dropping
+//! them. Progress goes to stderr; the report goes to the `--out` file
+//! only.
 
 use gvf_bench::bench_history::{History, DEFAULT_HISTORY_PATH};
 use gvf_bench::events;
@@ -417,17 +424,10 @@ fn cross_check_audit(generator: &str, adoc: &Json, manifest: &Json, failures: &m
         let sms = num(audit, "sms");
         let audited = num(audit, "auditedCycles");
         let classes = audit.get("classes");
-        let sum: u64 = [
-            "active",
-            "stalledKnown",
-            "stalledOther",
-            "drained",
-            "skipped",
-            "tail",
-        ]
-        .iter()
-        .map(|k| classes.map(|c| num(c, k)).unwrap_or(0))
-        .sum();
+        let sum: u64 = gvf_sim::CYCLE_CLASS_LABELS
+            .iter()
+            .map(|k| classes.map(|c| num(c, k)).unwrap_or(0))
+            .sum();
         if sum != sms * audited {
             failures.push(format!(
                 "{generator} cell {i}: audit classes sum {sum} != sms {sms} × \
@@ -569,6 +569,132 @@ fn hostprofile_section(generator: &str, pdoc: &Json) -> String {
 /// Hotspot accumulator entry: (pc, cause) → (stall count, total cycles).
 type Hotspot = ((u64, String), (u64, u64));
 
+/// Which report section a results-dir file feeds, by naming
+/// convention (`run_all.sh` suffixes). Used to report unreadable or
+/// torn artifacts in the section that would have rendered them,
+/// instead of only a stderr note.
+fn artifact_family(path: &str) -> &'static str {
+    if path.ends_with(".attrib.json") {
+        "attribution"
+    } else if path.ends_with(".audit.json") {
+        "cycle-audit"
+    } else if path.ends_with(".profile.json") {
+        "host-profile"
+    } else if path.ends_with(".trace.json") {
+        "trace"
+    } else if path.ends_with(".metrics.json") {
+        "metrics"
+    } else if path.ends_with(".events.jsonl") {
+        "events"
+    } else {
+        "manifest"
+    }
+}
+
+/// The explicit "artifact absent" note for one family: every file of
+/// that family that failed to read or parse, so a torn or truncated
+/// artifact degrades to a visible note in its own section rather than
+/// silently vanishing from the report.
+fn absent_notes(unreadable: &[(String, String)], family: &str) -> String {
+    let hits: Vec<&(String, String)> = unreadable
+        .iter()
+        .filter(|(p, _)| artifact_family(p) == family)
+        .collect();
+    if hits.is_empty() {
+        return String::new();
+    }
+    let mut md = format!(
+        "**{} {family} artifact{} absent from this report** (unreadable or torn):\n\n",
+        hits.len(),
+        if hits.len() == 1 { "" } else { "s" }
+    );
+    for (path, err) in hits {
+        md.push_str(&format!("- `{path}` — {err}\n"));
+    }
+    md.push('\n');
+    md
+}
+
+/// The "What changed since the baseline" section: every `gvf.rundiff`
+/// artifact found in the results dir (e.g. `rundiff.json` from
+/// `run_all.sh --baseline`), rendered as its per-run verdicts plus the
+/// top attributed causes, followed by the latest-vs-previous trajectory
+/// movement per benchmarked binary.
+fn baseline_section(rundiffs: &[(String, Json)], history: Option<&History>) -> String {
+    let mut md = String::new();
+    if rundiffs.is_empty() {
+        md.push_str(
+            "No run-comparison artifacts found — produce one with \
+             `run_all.sh --baseline DIR` or `diffrun BASELINE CURRENT` \
+             to get every regression explained here.\n\n",
+        );
+    }
+    for (path, doc) in rundiffs {
+        md.push_str(&format!("### `{path}`\n\n"));
+        for line in gvf_bench::rundiff::human_summary(doc).lines() {
+            md.push_str(&format!("- {line}\n"));
+        }
+        let causes = doc
+            .get("summary")
+            .and_then(|s| s.get("topCauses"))
+            .and_then(Json::as_arr)
+            .unwrap_or(&[]);
+        if !causes.is_empty() {
+            md.push_str("\nTop attributed causes:\n");
+            for c in causes {
+                md.push_str(&format!("- {}\n", scalar(c)));
+            }
+        }
+        md.push('\n');
+    }
+    // Trajectory movement: latest vs previous entry per binary.
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    if let Some(history) = history {
+        let mut bins: Vec<&str> = history
+            .entries
+            .iter()
+            .map(|e| e.sample.bin.as_str())
+            .collect();
+        bins.sort_unstable();
+        bins.dedup();
+        for bin in bins {
+            let of_bin: Vec<_> = history
+                .entries
+                .iter()
+                .filter(|e| e.sample.bin == bin)
+                .collect();
+            let [.., prev, last] = of_bin.as_slice() else {
+                continue;
+            };
+            rows.push(vec![
+                bin.to_string(),
+                format!("{} ({})", fmt_num(prev.sample.sim_cycles_per_sec), prev.rev),
+                format!("{} ({})", fmt_num(last.sample.sim_cycles_per_sec), last.rev),
+                if prev.sample.sim_cycles_per_sec > 0.0 {
+                    format!(
+                        "x{:.2}",
+                        last.sample.sim_cycles_per_sec / prev.sample.sim_cycles_per_sec
+                    )
+                } else {
+                    "-".into()
+                },
+            ]);
+        }
+    }
+    if !rows.is_empty() {
+        md.push_str(
+            "Trajectory movement (latest vs previous recorded benchmark per \
+             binary; gate metric: simulated cycles per host second):\n\n",
+        );
+        md.push_str(&markdown_table(
+            &["bin", "previous", "latest", "ratio"],
+            &rows,
+        ));
+        md.push('\n');
+    }
+    md
+}
+
 /// Aggregates a trace's `"cat": "stall"` slices by (pc, cause).
 fn accumulate_hotspots(doc: &Json, agg: &mut Vec<Hotspot>) {
     let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) else {
@@ -648,18 +774,26 @@ fn main() {
     let mut attributions: Vec<(String, Json)> = Vec::new(); // (generator, doc)
     let mut audits: Vec<(String, Json)> = Vec::new(); // (generator, doc)
     let mut profiles: Vec<(String, Json)> = Vec::new(); // (generator, doc)
+    let mut rundiffs: Vec<(String, Json)> = Vec::new(); // (path, doc)
     let mut hotspots: Vec<Hotspot> = Vec::new();
+    let mut unreadable: Vec<(String, String)> = Vec::new(); // (path, error)
     let mut skipped = 0usize;
     for path in &paths {
         let doc = match std::fs::read_to_string(path)
             .map_err(|e| e.to_string())
-            .and_then(|t| Json::parse(&t).map_err(|e| e.to_string()))
-        {
+            .and_then(|t| {
+                if t.trim().is_empty() {
+                    Err("empty file".to_string())
+                } else {
+                    Json::parse(&t).map_err(|e| e.to_string())
+                }
+            }) {
             Ok(d) => d,
             Err(e) => {
                 if !quiet {
                     eprintln!("report: skipping {path}: {e}");
                 }
+                unreadable.push((path.clone(), e));
                 skipped += 1;
                 continue;
             }
@@ -684,6 +818,8 @@ fn main() {
             profiles.push((generator, doc));
         } else if schema == TIMELINE_SCHEMA {
             accumulate_hotspots(&doc, &mut hotspots);
+        } else if schema == gvf_bench::schemas::RUNDIFF.id {
+            rundiffs.push((path.clone(), doc));
         }
         // Metrics series feed Figure 13-style plots, not this report.
     }
@@ -712,6 +848,7 @@ fn main() {
                 if !quiet {
                     eprintln!("report: skipping {path}: {e}");
                 }
+                unreadable.push((path.clone(), e));
                 skipped += 1;
             }
         }
@@ -743,8 +880,11 @@ fn main() {
         .filter_map(|(_, d)| d.get("cells").and_then(Json::as_arr).map(<[_]>::len))
         .sum();
     md.push_str(&format!("- grid cells: {total_cells}\n\n"));
+    md.push_str(&absent_notes(&unreadable, "metrics"));
+    md.push_str(&absent_notes(&unreadable, "trace"));
 
     md.push_str("## Results\n\n");
+    md.push_str(&absent_notes(&unreadable, "manifest"));
     for (generator, doc) in &manifests {
         let title = ORDER
             .iter()
@@ -766,6 +906,7 @@ fn main() {
     }
 
     md.push_str("## Attribution\n\n");
+    md.push_str(&absent_notes(&unreadable, "attribution"));
     let mut cross_check_failures: Vec<String> = Vec::new();
     if attributions.is_empty() {
         md.push_str("No attribution documents found (run with `--attrib-out` to record).\n\n");
@@ -837,6 +978,7 @@ fn main() {
     md.push('\n');
 
     md.push_str("## Where the host time goes\n\n");
+    md.push_str(&absent_notes(&unreadable, "host-profile"));
     if profiles.is_empty() {
         md.push_str("No host profiles found (run with `--profile-out` to record).\n\n");
     } else {
@@ -860,6 +1002,7 @@ fn main() {
     }
 
     md.push_str("## Fast-forward opportunity\n\n");
+    md.push_str(&absent_notes(&unreadable, "cycle-audit"));
     if audits.is_empty() {
         md.push_str("No cycle audits found (run with `--audit-out` to record).\n\n");
     } else {
@@ -940,6 +1083,7 @@ fn main() {
     }
 
     md.push_str("## Run timeline\n\n");
+    md.push_str(&absent_notes(&unreadable, "events"));
     if timelines.is_empty() {
         md.push_str("No telemetry streams found (run with `--events-out` to record).\n\n");
     } else {
@@ -1001,8 +1145,22 @@ fn main() {
         md.push('\n');
     }
 
+    let history = History::load(&history_path);
+
+    md.push_str("## What changed since the baseline\n\n");
+    md.push_str(
+        "Differential observability: every `gvf.rundiff` run-comparison \
+         artifact under the results dir (produced by `run_all.sh \
+         --baseline DIR` or `diffrun`), plus the latest movement in the \
+         benchmark trajectory.\n\n",
+    );
+    md.push_str(&baseline_section(
+        &rundiffs,
+        history.as_ref().ok().filter(|h| !h.entries.is_empty()),
+    ));
+
     md.push_str("## Benchmark trajectory\n\n");
-    match History::load(&history_path) {
+    match &history {
         Ok(history) if !history.entries.is_empty() => {
             md.push_str(&format!(
                 "Last {} of {} entries in `{}` (gate metric: simulated \

@@ -23,7 +23,11 @@
 //!   exactly once; failed index sets equal; cache-hit counts agreeing
 //!   with `hostPerf.cellCache`).
 //! - `validate_json --list-schemas` — prints every schema id + version
-//!   this validator knows, one `id vN` pair per line.
+//!   this validator knows (the [`gvf_bench::schemas`] registry), one
+//!   `id vN` pair per line. `gvf.rundiff` run-comparison artifacts are
+//!   checked via [`gvf_bench::rundiff::check_doc`]: header, per-run
+//!   internal consistency (clean flags vs diff lists), and summary
+//!   recomputation.
 //!
 //! For `gvf.attribution` documents the structural check goes beyond the
 //! header: for every cell that carries attribution, the per-PC
@@ -35,32 +39,17 @@
 //! exactly, and `auditedCycles` must equal the cell's copied `Stats`
 //! cycle counter.
 
-use gvf_bench::bench_history::{TRAJECTORY_SCHEMA, TRAJECTORY_SCHEMA_VERSION};
-use gvf_bench::cellcache::{self, CELLCACHE_SCHEMA, CELLCACHE_SCHEMA_VERSION};
-use gvf_bench::events::{self, EVENTS_SCHEMA, EVENTS_SCHEMA_VERSION};
-use gvf_bench::hostperf::{HOSTPERF_SCHEMA, HOSTPERF_SCHEMA_VERSION};
+use gvf_bench::bench_history::TRAJECTORY_SCHEMA;
+use gvf_bench::cellcache::{self, CELLCACHE_SCHEMA};
+use gvf_bench::events::{self, EVENTS_SCHEMA};
+use gvf_bench::hostperf::HOSTPERF_SCHEMA;
 use gvf_bench::json::Json;
 use gvf_bench::manifest::{
-    strip_host_perf, ATTRIB_SCHEMA, ATTRIB_SCHEMA_VERSION, CYCLEAUDIT_SCHEMA,
-    CYCLEAUDIT_SCHEMA_VERSION, HOSTPROFILE_SCHEMA, HOSTPROFILE_SCHEMA_VERSION, MANIFEST_SCHEMA,
-    MANIFEST_SCHEMA_VERSION, METRICS_SCHEMA, METRICS_SCHEMA_VERSION,
+    strip_host_perf, ATTRIB_SCHEMA, CYCLEAUDIT_SCHEMA, HOSTPROFILE_SCHEMA, MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_VERSION, METRICS_SCHEMA,
 };
-use gvf_sim::{TIMELINE_SCHEMA, TIMELINE_SCHEMA_VERSION};
-
-/// Every schema this validator understands, with its current version.
-/// `--list-schemas` prints this table; keep it in sync with [`check`].
-const KNOWN_SCHEMAS: &[(&str, u32)] = &[
-    (MANIFEST_SCHEMA, MANIFEST_SCHEMA_VERSION),
-    (METRICS_SCHEMA, METRICS_SCHEMA_VERSION),
-    (ATTRIB_SCHEMA, ATTRIB_SCHEMA_VERSION),
-    (CYCLEAUDIT_SCHEMA, CYCLEAUDIT_SCHEMA_VERSION),
-    (HOSTPROFILE_SCHEMA, HOSTPROFILE_SCHEMA_VERSION),
-    (TIMELINE_SCHEMA, TIMELINE_SCHEMA_VERSION),
-    (HOSTPERF_SCHEMA, HOSTPERF_SCHEMA_VERSION),
-    (TRAJECTORY_SCHEMA, TRAJECTORY_SCHEMA_VERSION),
-    (CELLCACHE_SCHEMA, CELLCACHE_SCHEMA_VERSION),
-    (EVENTS_SCHEMA, EVENTS_SCHEMA_VERSION),
-];
+use gvf_bench::{rundiff, schemas};
+use gvf_sim::TIMELINE_SCHEMA;
 
 /// Returns the document's schema identifier, looking both at the top
 /// level (manifest, metrics, trajectory) and under `otherData` (Chrome
@@ -188,6 +177,7 @@ fn check(doc: &Json, schema: &str) -> Result<(), String> {
             }
             Ok(())
         }
+        s if s == schemas::RUNDIFF.id => rundiff::check_doc(doc),
         other => Err(format!("unknown schema {other:?}")),
     }
 }
@@ -273,14 +263,7 @@ fn check_audit_cell(cell: &Json) -> Result<(), String> {
     let audited = num(audit, "auditedCycles")?;
     let classes = audit.get("classes").ok_or("audit without classes")?;
     let mut sum = 0u64;
-    for k in [
-        "active",
-        "stalledKnown",
-        "stalledOther",
-        "drained",
-        "skipped",
-        "tail",
-    ] {
+    for k in gvf_sim::CYCLE_CLASS_LABELS {
         sum += num(classes, k)?;
     }
     if sum != sms * audited {
@@ -371,8 +354,8 @@ fn det_diff(a_path: &str, b_path: &str) -> Result<(), String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--list-schemas") {
-        for (schema, version) in KNOWN_SCHEMAS {
-            println!("{schema} v{version}");
+        for s in schemas::ALL {
+            println!("{} v{}", s.id, s.version);
         }
         return;
     }

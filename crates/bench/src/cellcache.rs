@@ -45,10 +45,10 @@ use gvf_workloads::{AllocAttribSnapshot, AttribBundle, RunResult, Table2Row, Wor
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cell-cache schema identifier.
-pub const CELLCACHE_SCHEMA: &str = "gvf.cellcache";
+pub const CELLCACHE_SCHEMA: &str = crate::schemas::CELLCACHE.id;
 /// Cell-cache schema version; bump on breaking changes.
 /// v2: entries carry the cycle-audit report and key on `cycle_audit`.
-pub const CELLCACHE_SCHEMA_VERSION: u32 = 2;
+pub const CELLCACHE_SCHEMA_VERSION: u32 = crate::schemas::CELLCACHE.version;
 
 /// Directory name holding cache entries, under the artifact directory.
 pub const CELLCACHE_DIR: &str = ".cellcache";

@@ -71,6 +71,14 @@ pub struct HarnessOpts {
     /// The failure takes the real per-cell isolation path, so CI can
     /// assert that failure manifests carry flight-recorder context.
     pub fail_cell: Option<usize>,
+    /// Slowdown injection for run-diff attribution testing
+    /// (`--slow-cell N`): grid cell `N` busy-waits for ~9× its own wall
+    /// time (min 250 ms) after simulating, inside the host span
+    /// `sweep.slow_cell_injection`. Simulated results, stdout, and every
+    /// determinism-checked artifact are untouched — only wall-clock
+    /// telemetry moves — so CI can assert that `diffrun` attributes the
+    /// regression to exactly that span.
+    pub slow_cell: Option<usize>,
 }
 
 /// Prints a usage error and exits with status 2.
@@ -102,6 +110,7 @@ impl HarnessOpts {
         let mut events_out = None;
         let mut stall_factor = crate::events::DEFAULT_STALL_FACTOR;
         let mut fail_cell = None;
+        let mut slow_cell = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -196,6 +205,10 @@ impl HarnessOpts {
                     fail_cell = Some(int(i, "--fail-cell"));
                     i += 2;
                 }
+                "--slow-cell" => {
+                    slow_cell = Some(int(i, "--slow-cell"));
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     println!(
                         "options: --scale N (default 8)  --iters N  --seed N  \
@@ -203,7 +216,8 @@ impl HarnessOpts {
                          --quiet  --json-out PATH  --trace-out PATH  --metrics-out PATH  \
                          --attrib-out PATH  --profile-out PATH  --audit-out PATH  \
                          --resume  --no-cache  --cache-dir DIR  --events-out PATH  \
-                         --stall-factor X (default 8)  --fail-cell N (panic injection)"
+                         --stall-factor X (default 8)  --fail-cell N (panic injection)  \
+                         --slow-cell N (wall-clock slowdown injection)"
                     );
                     std::process::exit(0);
                 }
@@ -266,6 +280,7 @@ impl HarnessOpts {
             events_out,
             stall_factor,
             fail_cell,
+            slow_cell,
         }
     }
 

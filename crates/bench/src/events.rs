@@ -48,9 +48,9 @@ use std::io::Write;
 use std::sync::{Mutex, OnceLock};
 
 /// Schema identifier of the events stream.
-pub const EVENTS_SCHEMA: &str = "gvf.events";
+pub const EVENTS_SCHEMA: &str = crate::schemas::EVENTS.id;
 /// Current schema version.
-pub const EVENTS_SCHEMA_VERSION: u32 = 1;
+pub const EVENTS_SCHEMA_VERSION: u32 = crate::schemas::EVENTS.version;
 
 /// Flight-recorder depth: how many trailing events are embedded into a
 /// dead cell's failure-manifest entry.

@@ -38,9 +38,9 @@ use gvf_sim::hostperf;
 use gvf_sim::HostPerfSnapshot;
 
 /// Host-performance schema identifier.
-pub const HOSTPERF_SCHEMA: &str = "gvf.hostperf";
+pub const HOSTPERF_SCHEMA: &str = crate::schemas::HOSTPERF.id;
 /// Host-performance schema version; bump on breaking changes.
-pub const HOSTPERF_SCHEMA_VERSION: u32 = 1;
+pub const HOSTPERF_SCHEMA_VERSION: u32 = crate::schemas::HOSTPERF.version;
 
 fn secs(ns: u64) -> Json {
     Json::Num(ns as f64 / 1e9)

@@ -16,4 +16,6 @@ pub mod hostperf;
 pub mod json;
 pub mod manifest;
 pub mod report;
+pub mod rundiff;
+pub mod schemas;
 pub mod sweep;

@@ -60,8 +60,8 @@ use gvf_sim::{
 use gvf_workloads::{AllocAttribSnapshot, AttribBundle, RunResult};
 use std::io::{self, Write};
 
-/// Manifest schema identifier.
-pub const MANIFEST_SCHEMA: &str = "gvf.run-manifest";
+/// Manifest schema identifier (see [`crate::schemas::RUN_MANIFEST`]).
+pub const MANIFEST_SCHEMA: &str = crate::schemas::RUN_MANIFEST.id;
 /// Manifest schema version; bump on breaking changes.
 ///
 /// v2 adds per-cell fault isolation: a sweep with dead cells records
@@ -69,23 +69,23 @@ pub const MANIFEST_SCHEMA: &str = "gvf.run-manifest";
 /// fingerprint) alongside the surviving cells' full records. A run with
 /// no failures emits exactly the v1 body — a lossless v1 view — with
 /// only this version number bumped.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
+pub const MANIFEST_SCHEMA_VERSION: u32 = crate::schemas::RUN_MANIFEST.version;
 /// Metrics-series schema identifier.
-pub const METRICS_SCHEMA: &str = "gvf.metrics";
+pub const METRICS_SCHEMA: &str = crate::schemas::METRICS.id;
 /// Metrics-series schema version; bump on breaking changes.
-pub const METRICS_SCHEMA_VERSION: u32 = 1;
+pub const METRICS_SCHEMA_VERSION: u32 = crate::schemas::METRICS.version;
 /// Attribution-report schema identifier.
-pub const ATTRIB_SCHEMA: &str = "gvf.attribution";
+pub const ATTRIB_SCHEMA: &str = crate::schemas::ATTRIBUTION.id;
 /// Attribution-report schema version; bump on breaking changes.
-pub const ATTRIB_SCHEMA_VERSION: u32 = 1;
+pub const ATTRIB_SCHEMA_VERSION: u32 = crate::schemas::ATTRIBUTION.version;
 /// Host-span-profile schema identifier.
-pub const HOSTPROFILE_SCHEMA: &str = "gvf.hostprofile";
+pub const HOSTPROFILE_SCHEMA: &str = crate::schemas::HOSTPROFILE.id;
 /// Host-span-profile schema version; bump on breaking changes.
-pub const HOSTPROFILE_SCHEMA_VERSION: u32 = 1;
+pub const HOSTPROFILE_SCHEMA_VERSION: u32 = crate::schemas::HOSTPROFILE.version;
 /// Cycle-audit schema identifier.
-pub const CYCLEAUDIT_SCHEMA: &str = "gvf.cycleaudit";
+pub const CYCLEAUDIT_SCHEMA: &str = crate::schemas::CYCLEAUDIT.id;
 /// Cycle-audit schema version; bump on breaking changes.
-pub const CYCLEAUDIT_SCHEMA_VERSION: u32 = 1;
+pub const CYCLEAUDIT_SCHEMA_VERSION: u32 = crate::schemas::CYCLEAUDIT.version;
 
 /// Call sites listed individually in a cycle-audit cell, by descending
 /// call count; the rest are summarized in the class counters.
@@ -238,12 +238,24 @@ pub fn manifest(generator: &str, opts: &HarnessOpts, cells: &[CellRecord]) -> Js
 
 /// The simulation-relevant config section shared by the manifest and
 /// the attribution document (host-side knobs deliberately excluded).
+///
+/// `configFingerprint` is the run-level config-grid fingerprint, taken
+/// with probes forced OFF so it matches the `gvf.events` `runStart`
+/// fingerprint (probes are applied per-cell and never change results) —
+/// a probed and an unprobed run of the same grid fingerprint alike.
+/// `rundiff` pairs runs on it.
 fn config_json(opts: &HarnessOpts) -> Json {
+    let mut base = opts.cfg.clone();
+    base.probe = gvf_sim::ProbeSpec::OFF;
     Json::obj()
         .with("scale", Json::num_u64(opts.cfg.scale as u64))
         .with("iterations", Json::num_u64(opts.cfg.iterations as u64))
         .with("seed", Json::num_u64(opts.cfg.seed))
         .with("smoke", Json::Bool(opts.smoke))
+        .with(
+            "configFingerprint",
+            Json::str(crate::cellcache::config_fingerprint(&base)),
+        )
 }
 
 fn series_json(series: &EpochSeries) -> Json {
@@ -482,13 +494,10 @@ pub fn attribution_doc(generator: &str, opts: &HarnessOpts, cells: &[CellRecord]
 }
 
 fn audit_cell_json(a: &CycleAuditReport) -> Json {
-    let classes = Json::obj()
-        .with("active", Json::num_u64(a.active))
-        .with("stalledKnown", Json::num_u64(a.stalled_known))
-        .with("stalledOther", Json::num_u64(a.stalled_other))
-        .with("drained", Json::num_u64(a.drained))
-        .with("skipped", Json::num_u64(a.skipped))
-        .with("tail", Json::num_u64(a.tail));
+    let mut classes = Json::obj();
+    for (label, count) in a.class_counts() {
+        classes.set(label, Json::num_u64(count));
+    }
     let fast_forward = Json::obj()
         .with("skippableCycles", Json::num_u64(a.skippable_cycles()))
         .with("fraction", Json::Num(a.skippable_fraction()))
@@ -816,6 +825,7 @@ mod tests {
             events_out: None,
             stall_factor: crate::events::DEFAULT_STALL_FACTOR,
             fail_cell: None,
+            slow_cell: None,
         }
     }
 

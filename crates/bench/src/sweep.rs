@@ -152,7 +152,12 @@ impl CellHooks for SweepHooks {
 /// `--fail-cell N` makes grid cell `N` panic instead of running `f` —
 /// the injected failure takes the real isolation path (pool
 /// `catch_unwind`, failure manifest, flight recorder), which CI uses to
-/// test the telemetry end to end.
+/// test the telemetry end to end. `--slow-cell N` runs cell `N`
+/// normally, then busy-waits ~9× the cell's own wall time (min 250 ms)
+/// inside the `sweep.slow_cell_injection` host span: a pure wall-clock
+/// regression with untouched simulated results, which CI's rundiff gate
+/// uses to check that the span-profile attribution names the right
+/// path.
 pub fn run_cells<I, T, F>(label: &str, opts: &HarnessOpts, cells: &[I], f: F) -> SweepRun<T>
 where
     I: Sync,
@@ -167,11 +172,23 @@ where
         runtime: Mutex::new(vec![(0, 0); cells.len()]),
     };
     let fail_cell = opts.fail_cell;
+    let slow_cell = opts.slow_cell;
     let (out, telemetry) = pool.run_observed(
         cells,
         |i, cell| {
             if fail_cell == Some(i) {
                 panic!("injected failure (--fail-cell {i})");
+            }
+            if slow_cell == Some(i) {
+                let t0 = Instant::now();
+                let out = f(i, cell);
+                let budget = (t0.elapsed() * 9).max(std::time::Duration::from_millis(250));
+                let _g = gvf_sim::spans::span("sweep.slow_cell_injection");
+                let spin = Instant::now();
+                while spin.elapsed() < budget {
+                    std::hint::spin_loop();
+                }
+                return out;
             }
             f(i, cell)
         },

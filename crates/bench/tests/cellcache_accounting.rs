@@ -37,6 +37,7 @@ fn opts(cache_dir: &std::path::Path, resume: bool) -> HarnessOpts {
         events_out: None,
         stall_factor: gvf_bench::events::DEFAULT_STALL_FACTOR,
         fail_cell: None,
+        slow_cell: None,
     }
 }
 

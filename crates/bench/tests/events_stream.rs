@@ -37,6 +37,7 @@ fn opts(cache_dir: &std::path::Path, resume: bool, fail_cell: Option<usize>) -> 
         events_out: None, // the sink is installed via events::init below
         stall_factor: events::DEFAULT_STALL_FACTOR,
         fail_cell,
+        slow_cell: None,
     }
 }
 

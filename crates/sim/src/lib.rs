@@ -71,9 +71,10 @@ pub use pool::{CellFailure, CellHooks, CellObservation, SimPool};
 pub use probe::{
     recording_probe, CallSiteClass, CallSiteStats, CountingProbe, CycleAuditProbe,
     CycleAuditReport, EpochClass, EpochMetricsProbe, EpochSeries, MetricsBucket, NopProbe,
-    ObsReport, Probe, ProbeSpec, RecordingProbe, StallCause, CALL_SITE_TARGET_CAP, STALL_CAUSES,
+    ObsReport, Probe, ProbeSpec, RecordingProbe, StallCause, CALL_SITE_TARGET_CAP,
+    CYCLE_CLASS_LABELS, STALL_CAUSES,
 };
-pub use spans::{collapsed_stacks, SpanStat};
+pub use spans::{align_exclusive, collapsed_stacks, SpanDelta, SpanStat};
 pub use stats::{Stats, STALL_INDIRECT_CALL};
 pub use timeline::{
     write_chrome_trace, TimelineProbe, TraceEvent, TraceEventKind, TIMELINE_SCHEMA,

@@ -784,7 +784,36 @@ pub struct CycleAuditReport {
     pub call_sites: BTreeMap<usize, CallSiteStats>,
 }
 
+/// Stable JSON member names of the six epoch-cycle classes, in the
+/// order [`CycleAuditReport::class_counts`] reports them. Every
+/// consumer that serializes, validates, or diffs a cycle-audit
+/// `classes` object (manifest emitter, `validate_json`, REPORT.md
+/// cross-checks, `rundiff` stall-mix) iterates this list instead of
+/// hand-repeating the keys.
+pub const CYCLE_CLASS_LABELS: [&str; 6] = [
+    "active",
+    "stalledKnown",
+    "stalledOther",
+    "drained",
+    "skipped",
+    "tail",
+];
+
 impl CycleAuditReport {
+    /// The six epoch-cycle class counters paired with their stable JSON
+    /// labels, in [`CYCLE_CLASS_LABELS`] order — the read-back helper
+    /// for serializers and differs.
+    pub fn class_counts(&self) -> [(&'static str, u64); 6] {
+        [
+            (CYCLE_CLASS_LABELS[0], self.active),
+            (CYCLE_CLASS_LABELS[1], self.stalled_known),
+            (CYCLE_CLASS_LABELS[2], self.stalled_other),
+            (CYCLE_CLASS_LABELS[3], self.drained),
+            (CYCLE_CLASS_LABELS[4], self.skipped),
+            (CYCLE_CLASS_LABELS[5], self.tail),
+        ]
+    }
+
     /// Sum of all six epoch-cycle classes.
     pub fn classes_total(&self) -> u64 {
         self.active

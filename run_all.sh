@@ -3,7 +3,8 @@
 # collecting a machine-readable artifact tree under results/.
 #
 #   ./run_all.sh [--jobs N] [--out DIR] [--keep-going] [--smoke]
-#                [--quiet] [--resume | --no-cache]
+#                [--quiet] [--resume | --no-cache] [--samples N]
+#                [--baseline DIR]
 #
 # --jobs N is passed through to every harness binary: N concurrent
 # simulations, 0 = all cores, default = all cores. Results are
@@ -25,6 +26,17 @@
 # interrupted or failed run) instead of re-simulating; manifests come
 # out byte-identical to an uninterrupted run apart from hostPerf.
 # --no-cache disables the cell cache entirely.
+# --samples N records N wall-clock samples per binary into the
+# trajectory: after the primary sweep, each binary reruns N-1 more
+# times (manifest-only, cache disabled) into $OUT/samples/, and
+# perf_record folds the whole group into one median entry. Default: 3
+# for benchmark-grade runs, 1 under --smoke (smoke samples never enter
+# the baseline anyway).
+# --baseline DIR diffs this run against a previous artifact tree: after
+# validation, diffrun writes $OUT/rundiff.json (gvf.rundiff — semantic /
+# performance / coverage drift, every regression attributed), the
+# validator checks it, and the report renders it under "What changed
+# since the baseline".
 #
 # Artifacts: $OUT/<bin>.json is each binary's gvf.run-manifest (with an
 # embedded gvf.hostperf section), $OUT/<bin>.attrib.json its
@@ -53,6 +65,8 @@ KEEP_GOING=0
 CACHE_FLAGS=()
 SMOKE_FLAGS=()
 QUIET_FLAGS=()
+SAMPLES=""
+BASELINE=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --jobs)
@@ -61,6 +75,12 @@ while [ $# -gt 0 ]; do
     --out)
       [ $# -ge 2 ] || { echo "error: --out needs a value" >&2; exit 2; }
       OUT="$2"; shift 2 ;;
+    --samples)
+      [ $# -ge 2 ] || { echo "error: --samples needs a value" >&2; exit 2; }
+      SAMPLES="$2"; shift 2 ;;
+    --baseline)
+      [ $# -ge 2 ] || { echo "error: --baseline needs a value" >&2; exit 2; }
+      BASELINE="$2"; shift 2 ;;
     --keep-going)
       KEEP_GOING=1; shift ;;
     --smoke)
@@ -72,9 +92,15 @@ while [ $# -gt 0 ]; do
     --no-cache)
       CACHE_FLAGS=(--no-cache); shift ;;
     *)
-      echo "error: unknown argument '$1' (usage: $0 [--jobs N] [--out DIR] [--keep-going] [--smoke] [--quiet] [--resume | --no-cache])" >&2; exit 2 ;;
+      echo "error: unknown argument '$1' (usage: $0 [--jobs N] [--out DIR] [--keep-going] [--smoke] [--quiet] [--resume | --no-cache] [--samples N] [--baseline DIR])" >&2; exit 2 ;;
   esac
 done
+# Benchmark-grade (non-smoke) runs default to the trajectory's
+# recommended sample count; smoke samples never enter the baseline, so
+# one is enough.
+if [ -z "$SAMPLES" ]; then
+  if [ "${#SMOKE_FLAGS[@]}" -gt 0 ]; then SAMPLES=1; else SAMPLES=3; fi
+fi
 
 # The benchmark block below runs inside a pipe subshell (tee), so
 # failures are collected in a file rather than a shell variable.
@@ -125,11 +151,29 @@ run_step "cargo test" cargo test --workspace 2>&1 | tee test_output.txt
       --events-out "$OUT/$b.events.jsonl" \
       "${SMOKE_FLAGS[@]}" "${CACHE_FLAGS[@]}" "${extra[@]}"
   done
+  # Extra wall-clock samples for the trajectory: N-1 manifest-only
+  # reruns per binary into $OUT/samples/ (a subdirectory, so the
+  # validator glob and the report's scan of $OUT never mix them in with
+  # the primary artifacts). Cache disabled — a cache-hit sample takes
+  # near-zero wall time and perf_record would rightly skip it.
+  if [ "$SAMPLES" -gt 1 ]; then
+    mkdir -p "$OUT/samples"
+    for s in $(seq 2 "$SAMPLES"); do
+      for b in fig1b table1 table2 fig6 fig7 fig8 fig9 fig11 fig12 alloc_init fig10 ablation_lookup generations counters; do
+        run_step "$b sample $s" cargo run --release -p gvf-bench --bin "$b" -- \
+          --jobs "$JOBS" --json-out "$OUT/samples/$b.s$s.json" --no-cache \
+          "${SMOKE_FLAGS[@]}"
+      done
+    done
+  fi
   # The glob picks up every per-binary artifact family: .json manifest,
   # .attrib.json, .profile.json, .audit.json (plus fig6's trace and
   # metrics) — the validator dispatches on each file's schema header
   # and, for gvf.cycleaudit, re-checks the epoch accounting invariant.
   run_step "validate artifacts" cargo run --release -p gvf-bench --bin validate_json -- "$OUT"/*.json
+  if compgen -G "$OUT/samples/*.json" > /dev/null; then
+    run_step "validate samples" cargo run --release -p gvf-bench --bin validate_json -- "$OUT"/samples/*.json
+  fi
   # Cell-cache entries are artifacts too: each carries a content hash
   # that the validator recomputes, so a corrupted or hand-edited entry
   # is caught here rather than silently resumed into a future manifest.
@@ -170,9 +214,26 @@ run_step "cargo test" cargo test --workspace 2>&1 | tee test_output.txt
     if grep -qx "perf_gate" "$FAILURES_FILE" 2>/dev/null; then
       echo "run_all.sh: perf_gate failed — not folding this run into BENCH_gvf.json" >&2
     else
-      run_step "perf_record" cargo run --release -p gvf-bench --bin perf_record -- "${QUIET_FLAGS[@]}" "${manifests[@]}"
+      # The extra --samples reruns join the primary manifests here;
+      # perf_record groups by (generator, config) and records one
+      # median entry per group.
+      rec_manifests=("${manifests[@]}")
+      if compgen -G "$OUT/samples/*.json" > /dev/null; then
+        rec_manifests+=("$OUT"/samples/*.json)
+      fi
+      run_step "perf_record" cargo run --release -p gvf-bench --bin perf_record -- "${QUIET_FLAGS[@]}" "${rec_manifests[@]}"
       run_step "validate trajectory" cargo run --release -p gvf-bench --bin validate_json -- BENCH_gvf.json
     fi
+  fi
+
+  # Differential observability: diff this tree against the provided
+  # baseline tree and validate the artifact. Runs before the report so
+  # $OUT/rundiff.json lands in its "What changed since the baseline"
+  # section.
+  if [ -n "$BASELINE" ]; then
+    run_step "diffrun" cargo run --release -p gvf-bench --bin diffrun -- \
+      --out "$OUT/rundiff.json" "${QUIET_FLAGS[@]}" "$BASELINE" "$OUT"
+    run_step "validate rundiff" cargo run --release -p gvf-bench --bin validate_json -- "$OUT/rundiff.json"
   fi
 
   # Collate everything into the human-readable reproduction report.
