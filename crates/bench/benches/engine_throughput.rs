@@ -21,7 +21,7 @@ fn synthetic_kernel(warps: usize, ops_per_warp: usize) -> KernelTrace {
                         is_store: false,
                         width: 8,
                         mask: u32::MAX,
-                        addrs: addrs.into_boxed_slice(),
+                        addrs: addrs.into(),
                         tag: AccessTag::Field,
                     }));
                 }
@@ -31,7 +31,10 @@ fn synthetic_kernel(warps: usize, ops_per_warp: usize) -> KernelTrace {
                     is_store: true,
                     width: 4,
                     mask: u32::MAX,
-                    addrs: (0..32u64).map(|l| 0x80_0000 + l * 4).collect(),
+                    addrs: (0..32u64)
+                        .map(|l| 0x80_0000 + l * 4)
+                        .collect::<Vec<u64>>()
+                        .into(),
                     tag: AccessTag::Other,
                 })),
             }

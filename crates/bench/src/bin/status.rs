@@ -102,12 +102,12 @@ fn render_line(e: &Json) -> Option<String> {
             n("cpuMs") / 1000.0
         ),
         "stall" => format!(
-            "[{}] STALL: cell {} on worker {} for {:.1}s (median {:.1}s)",
+            "[{}] STALL: cell {} on worker {} for {:.1}s (baseline {:.1}s)",
             s("sweep"),
             n("cell"),
             n("worker"),
             n("elapsedMs") / 1000.0,
-            n("medianMs") / 1000.0
+            n("baselineMs") / 1000.0
         ),
         "sweepEnd" => format!(
             "sweep {} done: {} simulated, {} cached, {} failed in {:.2}s",

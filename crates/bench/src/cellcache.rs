@@ -80,8 +80,9 @@ fn opt_u64(v: Option<u64>) -> Json {
 /// The deterministic config rendering hashed into a cell key (and
 /// recorded verbatim in failure entries as the *config fingerprint*).
 /// Every simulation-relevant knob appears; host-side knobs
-/// (`engine_threads`, `--jobs`) and the observability probes that
-/// bypass the cache (timeline, metrics) deliberately do not.
+/// (`engine_threads`, `--jobs`, `fast_forward`) and the observability
+/// probes that bypass the cache (timeline, metrics) deliberately do
+/// not.
 /// Attribution and the cycle audit *are* keyed: they change what a
 /// [`RunResult`] carries.
 pub fn config_fingerprint_json(cfg: &WorkloadConfig) -> Json {
@@ -981,6 +982,9 @@ mod tests {
             cell_key("fig6", 0, &threads),
             "engine_threads excluded"
         );
+        let mut no_ff = cfg.clone();
+        no_ff.fast_forward = false;
+        assert_eq!(base, cell_key("fig6", 0, &no_ff), "fast_forward excluded");
         // The audit changes what a RunResult carries, so it is keyed.
         let mut audited = cfg.clone();
         audited.probe.cycle_audit = true;

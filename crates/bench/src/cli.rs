@@ -64,7 +64,7 @@ pub struct HarnessOpts {
     pub events_out: Option<String>,
     /// Stall-watchdog threshold multiple (`--stall-factor`, default
     /// 8.0): an in-flight cell is flagged once it exceeds this multiple
-    /// of the rolling median non-cached cell time.
+    /// of the rolling upper-quartile non-cached cell time.
     pub stall_factor: f64,
     /// Panic injection for telemetry/fault-isolation testing
     /// (`--fail-cell N`): grid cell `N` panics instead of simulating.
@@ -144,6 +144,12 @@ impl HarnessOpts {
                     cfg.engine_threads = int(i, "--engine-threads (0 = auto)");
                     i += 2;
                 }
+                "--no-fast-forward" => {
+                    // Plain epoch ticking, for the CI A/B determinism
+                    // check against the fast-forwarded default.
+                    cfg.fast_forward = false;
+                    i += 1;
+                }
                 "--smoke" => {
                     smoke = true;
                     i += 1;
@@ -212,7 +218,8 @@ impl HarnessOpts {
                 "--help" | "-h" => {
                     println!(
                         "options: --scale N (default 8)  --iters N  --seed N  \
-                         --jobs N (0 = all cores)  --engine-threads N (0 = auto)  --smoke  \
+                         --jobs N (0 = all cores)  --engine-threads N (0 = auto)  \
+                         --no-fast-forward (plain epoch ticking)  --smoke  \
                          --quiet  --json-out PATH  --trace-out PATH  --metrics-out PATH  \
                          --attrib-out PATH  --profile-out PATH  --audit-out PATH  \
                          --resume  --no-cache  --cache-dir DIR  --events-out PATH  \
@@ -229,9 +236,11 @@ impl HarnessOpts {
             // CI and local `--smoke` runs agree.
             let seed = cfg.seed;
             let engine_threads = cfg.engine_threads;
+            let fast_forward = cfg.fast_forward;
             cfg = WorkloadConfig::tiny();
             cfg.seed = seed;
             cfg.engine_threads = engine_threads;
+            cfg.fast_forward = fast_forward;
         }
         if resume && no_cache {
             usage_error("--resume and --no-cache are mutually exclusive");

@@ -16,8 +16,9 @@
 //!   cell, each carrying worker id, queue wait and duration);
 //! - periodic `resource` samples (RSS + CPU from `/proc`, span-registry
 //!   deltas) and `stall` diagnostics from a watchdog thread that flags
-//!   any in-flight cell exceeding `--stall-factor` × the rolling median
-//!   non-cached cell time, attaching every thread's current span stack
+//!   any in-flight cell exceeding `--stall-factor` × the rolling
+//!   upper-quartile non-cached cell time ([`stall_baseline_ms`]),
+//!   attaching every thread's current span stack
 //!   ([`gvf_sim::spans::live_stacks`]) and the engine's global progress
 //!   counters ([`gvf_sim::progress`]);
 //! - a bounded in-memory ring of the last [`FLIGHT_RECORDER_EVENTS`]
@@ -57,7 +58,8 @@ pub const EVENTS_SCHEMA_VERSION: u32 = crate::schemas::EVENTS.version;
 pub const FLIGHT_RECORDER_EVENTS: usize = 32;
 
 /// Default `--stall-factor`: an in-flight cell is flagged once it
-/// exceeds this multiple of the rolling median non-cached cell time.
+/// exceeds this multiple of the rolling upper-quartile non-cached cell
+/// time ([`stall_baseline_ms`]).
 pub const DEFAULT_STALL_FACTOR: f64 = 8.0;
 
 /// Minimum milliseconds between progress heartbeats (same throttle the
@@ -67,7 +69,7 @@ const HEARTBEAT_MS: u64 = 1000;
 const WATCHDOG_TICK_MS: u64 = 250;
 /// Minimum milliseconds between `resource` samples.
 const RESOURCE_SAMPLE_MS: u64 = 1000;
-/// Completed non-cached cells needed before the stall median is
+/// Completed non-cached cells needed before the stall baseline is
 /// meaningful.
 const STALL_MIN_SAMPLES: usize = 3;
 /// Floor on the stall threshold, so millisecond-scale smoke cells do
@@ -101,7 +103,7 @@ struct SweepState {
     /// Completions that actually simulated (not cache hits, not
     /// panics) — the only population the ETA extrapolates from.
     noncached_done: usize,
-    /// Durations of those completions, for the stall median.
+    /// Durations of those completions, for the stall baseline.
     durations_ms: Vec<u64>,
     /// Cells whose closure reported a cache hit (key by cell), consumed
     /// when the pool reports the cell finished.
@@ -438,8 +440,8 @@ pub fn eta_seconds(
 
 /// The watchdog thread: wakes every [`WATCHDOG_TICK_MS`], samples host
 /// resources on a [`RESOURCE_SAMPLE_MS`] cadence, and flags in-flight
-/// cells exceeding `stall_factor` × the rolling median non-cached cell
-/// time (each cell at most once). Runs for the life of the process —
+/// cells exceeding `stall_factor` × the rolling upper-quartile
+/// non-cached cell time (each cell at most once). Runs for the life of the process —
 /// the sink is flushed per line, so dying with the process loses
 /// nothing.
 fn watchdog_loop() {
@@ -493,10 +495,9 @@ fn watchdog_tick() {
     if sweep.durations_ms.len() < STALL_MIN_SAMPLES {
         return;
     }
-    let mut sorted = sweep.durations_ms.clone();
-    sorted.sort_unstable();
-    let median_ms = sorted[sorted.len() / 2];
-    let threshold_ms = ((inner.stall_factor * median_ms as f64) as u64).max(STALL_MIN_THRESHOLD_MS);
+    let baseline_ms = stall_baseline_ms(&sweep.durations_ms);
+    let threshold_ms =
+        ((inner.stall_factor * baseline_ms as f64) as u64).max(STALL_MIN_THRESHOLD_MS);
     let label = sweep.label.clone();
     let quiet = sweep.quiet;
     let factor = inner.stall_factor;
@@ -526,7 +527,7 @@ fn watchdog_tick() {
             .with("cell", Json::num_u64(cell as u64))
             .with("worker", Json::num_u64(worker as u64))
             .with("elapsedMs", Json::num_u64(elapsed_ms))
-            .with("medianMs", Json::num_u64(median_ms))
+            .with("baselineMs", Json::num_u64(baseline_ms))
             .with("factor", Json::Num(factor))
             .with(
                 "engine",
@@ -538,13 +539,27 @@ fn watchdog_tick() {
             .with("stacks", Json::Arr(stacks));
         let line = (!quiet).then(|| {
             format!(
-                "[{label}] cell {cell} on worker {worker} stalled: {:.1}s vs median {:.1}s",
+                "[{label}] cell {cell} on worker {worker} stalled: {:.1}s vs baseline {:.1}s",
                 elapsed_ms as f64 / 1000.0,
-                median_ms as f64 / 1000.0,
+                baseline_ms as f64 / 1000.0,
             )
         });
         dispatch(inner, e, line);
     }
+}
+
+/// The stall baseline: the **upper quartile** of completed non-cached
+/// cell durations, not the median. With fast-forward on, a sweep's cell
+/// durations are bimodal — quiet-heavy configs skip their idle epochs
+/// and finish several times faster than busy configs of the same shape.
+/// A plain median can land in the fast mode and flag every healthy
+/// slow-mode cell as stalled; the upper quartile tracks the slow mode,
+/// so only cells abnormal *for the slow mode* trip the watchdog.
+fn stall_baseline_ms(durations_ms: &[u64]) -> u64 {
+    debug_assert!(!durations_ms.is_empty());
+    let mut sorted = durations_ms.to_vec();
+    sorted.sort_unstable();
+    sorted[((sorted.len() * 3) / 4).min(sorted.len() - 1)]
 }
 
 /// Current resident set size in bytes (`VmRSS` from
@@ -1102,6 +1117,27 @@ mod tests {
         // Without cache hits the estimate is exactly the old formula.
         let plain = eta_seconds(5, 5, 10, 2.0).expect("well-defined");
         assert!((plain - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_baseline_tracks_slow_mode_of_bimodal_sweeps() {
+        // The regression (satellite): with fast-forward on, quiet-heavy
+        // cells finish several times faster than busy cells, so the
+        // duration population is bimodal. A median of this sample lands
+        // at 10 ms (fast mode) — an 8× threshold of 80 ms would flag
+        // every healthy 2 s slow-mode cell. The upper quartile lands in
+        // the slow mode.
+        assert_eq!(stall_baseline_ms(&[10, 10, 10, 10, 2000, 2000]), 2000);
+        // Even a 75% fast-mode majority must not drag the baseline down.
+        assert_eq!(
+            stall_baseline_ms(&[10, 10, 10, 10, 10, 10, 2000, 2000]),
+            2000
+        );
+        // Uniform populations behave like the old median.
+        assert_eq!(stall_baseline_ms(&[500, 500, 500, 500]), 500);
+        assert_eq!(stall_baseline_ms(&[7]), 7);
+        // Order-insensitive.
+        assert_eq!(stall_baseline_ms(&[2000, 10, 2000, 10, 10, 10]), 2000);
     }
 
     #[test]

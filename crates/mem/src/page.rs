@@ -3,6 +3,36 @@
 use crate::addr::{PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
 use crate::error::{MemFault, MemResult};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative (Fibonacci) hasher for vpn keys. The default SipHash
+/// is DoS-hardened but dominates the functional pass's per-lane
+/// translation cost, and vpns are simulator-internal, not
+/// attacker-controlled. Nothing observable depends on map iteration
+/// order, so the swap cannot perturb simulated results.
+#[derive(Clone, Default)]
+pub struct VpnHasher(u64);
+
+impl Hasher for VpnHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-style fallback; u64 keys take the write_u64 fast path.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_right(31);
+    }
+}
+
+type VpnMap = HashMap<u64, u64, BuildHasherDefault<VpnHasher>>;
 
 /// Page table for the simulated unified address space.
 ///
@@ -11,7 +41,7 @@ use std::collections::HashMap;
 /// memory size.
 #[derive(Debug, Clone)]
 pub struct PageTable {
-    map: HashMap<u64, u64>,
+    map: VpnMap,
     next_frame: u64,
     max_frames: u64,
     faults_served: u64,
@@ -21,7 +51,7 @@ impl PageTable {
     /// Creates a page table backed by `phys_bytes` of simulated DRAM.
     pub fn new(phys_bytes: u64) -> Self {
         PageTable {
-            map: HashMap::new(),
+            map: VpnMap::default(),
             next_frame: 0,
             max_frames: phys_bytes / PAGE_SIZE,
             faults_served: 0,

@@ -32,9 +32,18 @@ struct Line {
 }
 
 /// A sectored, set-associative cache with LRU replacement.
+///
+/// Storage is one flat set-major array (`set * ways + way`) with an
+/// explicit per-set occupancy count rather than a `Vec` per set: the
+/// engine probes the L1 on every coalesced sector, and a flat array
+/// keeps those probes on one cache line per set with zero pointer
+/// chasing.
 #[derive(Clone, Debug)]
 pub struct SectoredCache {
-    sets: Vec<Vec<Line>>,
+    lines: Vec<Line>,
+    /// Number of valid ways per set; ways `0..occ[set]` are occupied,
+    /// in insertion order (eviction replaces in place, preserving it).
+    occ: Vec<u8>,
     ways: usize,
     line_bytes: u64,
     sector_bytes: u64,
@@ -65,9 +74,21 @@ impl SectoredCache {
             0,
             "cache lines must divide evenly into {ways}-way sets"
         );
+        assert!(
+            ways <= u8::MAX as u32,
+            "per-set occupancy is tracked in a u8"
+        );
         let set_count = lines / ways as u64;
         SectoredCache {
-            sets: vec![Vec::with_capacity(ways as usize); set_count as usize],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid_sectors: 0,
+                    last_used: 0,
+                };
+                lines as usize
+            ],
+            occ: vec![0; set_count as usize],
             ways: ways as usize,
             line_bytes,
             sector_bytes,
@@ -92,11 +113,14 @@ impl SectoredCache {
         self.tick += 1;
         let (set_idx, tag, sector) = self.locate(addr);
         let tick = self.tick;
-        let ways = self.ways;
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.ways;
+        let occ = self.occ[set_idx] as usize;
         let sector_bit = 1u8 << sector;
 
-        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+        if let Some(line) = self.lines[base..base + occ]
+            .iter_mut()
+            .find(|l| l.tag == tag)
+        {
             line.last_used = tick;
             if line.valid_sectors & sector_bit != 0 {
                 self.hits += 1;
@@ -108,30 +132,85 @@ impl SectoredCache {
         }
 
         self.misses += 1;
-        if set.len() < ways {
-            set.push(Line {
-                tag,
-                valid_sectors: sector_bit,
-                last_used: tick,
-            });
+        self.fill_line(set_idx, tag, sector_bit, tick);
+        CacheProbe::LineMiss
+    }
+
+    /// Batched sector probe: exactly equivalent to calling
+    /// [`access`](Self::access) once per set bit of `sector_mask`, in
+    /// ascending bit order, on the corresponding sectors of the line
+    /// containing `line_base` (any byte address inside the line) — but
+    /// with one tag search and one replacement decision instead of one
+    /// per sector. Returns the hit mask: bit `k` set iff sector `k`'s
+    /// probe was a [`CacheProbe::Hit`].
+    ///
+    /// The equivalence holds because the batch's sectors are distinct:
+    /// a line already resident gives `valid_sectors & sector_mask` hits
+    /// and fills the rest; an absent line takes all-miss, with the
+    /// first sector allocating (empty way, else LRU victim chosen
+    /// before any of the batch's `last_used` bumps — identical to the
+    /// sequential victim) and the rest sector-filling the new line.
+    /// `tick`, `hits`, `misses` and the final `last_used` advance by
+    /// the same amounts as the sequential calls.
+    pub fn access_sectors(&mut self, line_base: u64, sector_mask: u8) -> u8 {
+        debug_assert!(sector_mask != 0, "empty sector batch");
+        debug_assert!(
+            self.line_bytes / self.sector_bytes <= 8,
+            "sector mask wider than u8"
+        );
+        let nbits = sector_mask.count_ones() as u64;
+        self.tick += nbits;
+        let (set_idx, tag, _) = self.locate(line_base);
+        let tick = self.tick;
+        let base = set_idx * self.ways;
+        let occ = self.occ[set_idx] as usize;
+
+        if let Some(line) = self.lines[base..base + occ]
+            .iter_mut()
+            .find(|l| l.tag == tag)
+        {
+            line.last_used = tick;
+            let hit_mask = line.valid_sectors & sector_mask;
+            line.valid_sectors |= sector_mask;
+            let h = hit_mask.count_ones() as u64;
+            self.hits += h;
+            self.misses += nbits - h;
+            return hit_mask;
+        }
+
+        self.misses += nbits;
+        self.fill_line(set_idx, tag, sector_mask, tick);
+        0
+    }
+
+    /// Allocates a line in `set_idx`: the first empty way if any,
+    /// otherwise the LRU victim.
+    #[inline]
+    fn fill_line(&mut self, set_idx: usize, tag: u64, valid_sectors: u8, tick: u64) {
+        let base = set_idx * self.ways;
+        let occ = self.occ[set_idx] as usize;
+        let slot = if occ < self.ways {
+            self.occ[set_idx] = (occ + 1) as u8;
+            &mut self.lines[base + occ]
         } else {
-            let victim = set
+            self.lines[base..base + occ]
                 .iter_mut()
                 .min_by_key(|l| l.last_used)
-                .expect("non-empty set");
-            victim.tag = tag;
-            victim.valid_sectors = sector_bit;
-            victim.last_used = tick;
-        }
-        CacheProbe::LineMiss
+                .expect("non-empty set")
+        };
+        slot.tag = tag;
+        slot.valid_sectors = valid_sectors;
+        slot.last_used = tick;
     }
 
     /// Probes without filling (used for stores in a write-through,
     /// no-write-allocate L1).
     pub fn probe_only(&mut self, addr: u64) -> CacheProbe {
         let (set_idx, tag, sector) = self.locate(addr);
+        let base = set_idx * self.ways;
+        let occ = self.occ[set_idx] as usize;
         let sector_bit = 1u8 << sector;
-        match self.sets[set_idx].iter().find(|l| l.tag == tag) {
+        match self.lines[base..base + occ].iter().find(|l| l.tag == tag) {
             Some(line) if line.valid_sectors & sector_bit != 0 => CacheProbe::Hit,
             Some(_) => CacheProbe::SectorMiss,
             None => CacheProbe::LineMiss,
@@ -140,9 +219,7 @@ impl SectoredCache {
 
     /// Invalidates everything (kernel boundary).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.occ.fill(0);
     }
 
     /// Demand accesses that hit.
@@ -193,10 +270,11 @@ impl SectoredCache {
     /// Valid sectors currently resident per set — an occupancy
     /// snapshot, one count per set in index order.
     pub fn per_set_valid_sectors(&self) -> Vec<u32> {
-        self.sets
-            .iter()
-            .map(|set| {
-                set.iter()
+        (0..self.set_count as usize)
+            .map(|s| {
+                let base = s * self.ways;
+                self.lines[base..base + self.occ[s] as usize]
+                    .iter()
                     .map(|l| l.valid_sectors.count_ones())
                     .sum::<u32>()
             })
@@ -292,6 +370,48 @@ mod tests {
         assert_eq!(c.per_set_valid_sectors(), vec![2, 1]);
         c.flush();
         assert_eq!(c.per_set_valid_sectors(), vec![0, 0]);
+    }
+
+    #[test]
+    fn access_sectors_matches_sequential_access() {
+        // Drive two identical caches through the same line/mask
+        // sequence — one batched, one sector-by-sector — and require
+        // identical hit decisions, counters and subsequent behavior
+        // (i.e. identical LRU state). The xorshift sequence covers
+        // resident lines, sector misses, empty-way fills and LRU
+        // evictions across both sets.
+        let mut batched = tiny();
+        let mut seq = tiny();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let line = x % 16; // 16 lines over 2 sets of 2 ways: heavy conflict
+            let mask = ((x >> 8) % 15 + 1) as u8; // 4 sectors per line, never empty
+            let line_base = line * 128;
+            let batch_hits = batched.access_sectors(line_base, mask);
+            let mut seq_hits = 0u8;
+            for sector in 0..4 {
+                if mask & (1 << sector) != 0 && seq.access(line_base + sector * 32).is_hit() {
+                    seq_hits |= 1 << sector;
+                }
+            }
+            assert_eq!(batch_hits, seq_hits, "hit mask diverged");
+            assert_eq!(batched.hits(), seq.hits());
+            assert_eq!(batched.misses(), seq.misses());
+        }
+        assert_eq!(batched.per_set_valid_sectors(), seq.per_set_valid_sectors());
+    }
+
+    #[test]
+    fn access_sectors_single_bit_matches_access_probe() {
+        let mut c = tiny();
+        assert_eq!(c.access_sectors(0x100, 0b01), 0); // line miss
+        assert_eq!(c.access_sectors(0x100, 0b01), 0b01); // hit
+        assert_eq!(c.access_sectors(0x100, 0b10), 0); // sector miss
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! divergence is expressed with explicit lane masks ([`WarpCtx::with_mask`],
 //! [`WarpCtx::branch_if`]), mirroring SIMT reconvergence-stack semantics.
 
-use crate::instr::{AccessTag, MemOp, Op, Space};
+use crate::instr::{AccessTag, Op, Space};
 use crate::trace::{KernelTrace, WarpTrace};
 use gvf_mem::{DeviceMemory, VirtAddr};
 
@@ -179,26 +179,25 @@ impl<'m> WarpCtx<'m> {
         tag: AccessTag,
         addrs: &Lanes<VirtAddr>,
     ) -> u32 {
-        let mut dense = Vec::new();
         let mut mask = 0u32;
         for lane in 0..WARP_SIZE {
-            if !self.is_active(lane) {
-                continue;
-            }
-            if let Some(a) = addrs[lane] {
+            if self.is_active(lane) && addrs[lane].is_some() {
                 mask |= 1 << lane;
-                dense.push(a.canonical());
             }
         }
         if mask != 0 {
-            self.trace.push(Op::Mem(MemOp {
+            // The dense addresses go straight into the trace's lane
+            // arena — recording a memory op never heap-allocates.
+            self.trace.push_mem(
                 space,
                 is_store,
                 width,
                 mask,
-                addrs: dense.into_boxed_slice(),
                 tag,
-            }));
+                (0..WARP_SIZE)
+                    .filter(|l| (mask >> l) & 1 == 1)
+                    .map(|l| addrs[l].expect("masked lane has address").canonical()),
+            );
         }
         mask
     }
@@ -231,16 +230,35 @@ impl<'m> WarpCtx<'m> {
         assert!((1..=8).contains(&width), "load width must be 1..=8 bytes");
         let mask = self.emit_mem(space, false, width, tag, addrs);
         let mut out = lanes_none();
-        for lane in 0..WARP_SIZE {
+        let w = width as usize;
+        // Lanes overwhelmingly touch consecutive addresses (linear and
+        // AoS field layouts), so fold maximal contiguous runs into one
+        // device read each instead of 32 per-lane calls — the bytes
+        // read are identical, only the host-side call count changes.
+        let mut run = [0u8; 8 * WARP_SIZE];
+        let mut lane = 0;
+        while lane < WARP_SIZE {
             if (mask >> lane) & 1 == 0 {
+                lane += 1;
                 continue;
             }
-            let addr = addrs[lane].expect("masked lane has address");
-            let mut buf = [0u8; 8];
+            let base = addrs[lane].expect("masked lane has address");
+            let mut len = 1;
+            while lane + len < WARP_SIZE
+                && (mask >> (lane + len)) & 1 == 1
+                && addrs[lane + len].map(|a| a.raw()) == Some(base.raw() + (len * w) as u64)
+            {
+                len += 1;
+            }
             self.mem
-                .read_bytes(addr, &mut buf[..width as usize])
+                .read_bytes(base, &mut run[..len * w])
                 .unwrap_or_else(|e| panic!("device trap on load at lane {lane}: {e}"));
-            out[lane] = Some(u64::from_le_bytes(buf));
+            for k in 0..len {
+                let mut buf = [0u8; 8];
+                buf[..w].copy_from_slice(&run[k * w..(k + 1) * w]);
+                out[lane + k] = Some(u64::from_le_bytes(buf));
+            }
+            lane += len;
         }
         out
     }
@@ -252,16 +270,32 @@ impl<'m> WarpCtx<'m> {
     pub fn st(&mut self, tag: AccessTag, width: u8, addrs: &Lanes<VirtAddr>, values: &Lanes<u64>) {
         assert!((1..=8).contains(&width), "store width must be 1..=8 bytes");
         let mask = self.emit_mem(Space::Global, true, width, tag, addrs);
-        for lane in 0..WARP_SIZE {
+        let w = width as usize;
+        // Same contiguous-run batching as the load path: gather the
+        // run's little-endian bytes, then one device write.
+        let mut run = [0u8; 8 * WARP_SIZE];
+        let mut lane = 0;
+        while lane < WARP_SIZE {
             if (mask >> lane) & 1 == 0 {
+                lane += 1;
                 continue;
             }
-            let addr = addrs[lane].expect("masked lane has address");
-            let v = values[lane].expect("store value for active lane");
-            let buf = v.to_le_bytes();
+            let base = addrs[lane].expect("masked lane has address");
+            let mut len = 1;
+            while lane + len < WARP_SIZE
+                && (mask >> (lane + len)) & 1 == 1
+                && addrs[lane + len].map(|a| a.raw()) == Some(base.raw() + (len * w) as u64)
+            {
+                len += 1;
+            }
+            for k in 0..len {
+                let v = values[lane + k].expect("store value for active lane");
+                run[k * w..(k + 1) * w].copy_from_slice(&v.to_le_bytes()[..w]);
+            }
             self.mem
-                .write_bytes(addr, &buf[..width as usize])
+                .write_bytes(base, &run[..len * w])
                 .unwrap_or_else(|e| panic!("device trap on store at lane {lane}: {e}"));
+            lane += len;
         }
     }
 

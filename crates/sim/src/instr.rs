@@ -90,6 +90,39 @@ pub enum InstrClass {
     Ctrl,
 }
 
+/// Dense lane addresses of a [`MemOp`].
+///
+/// Hand-built ops own their address list; ops recorded by the
+/// functional pass are interned into the owning warp trace's shared
+/// lane arena (one growable buffer per warp), so trace construction
+/// performs no per-instruction heap allocation. Either form resolves
+/// to a `&[u64]` through `WarpTrace::lanes`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LaneAddrs {
+    /// Self-contained address list.
+    Owned(Box<[u64]>),
+    /// `len` addresses starting at index `start` of the owning warp
+    /// trace's lane arena.
+    Interned {
+        /// First index in the arena.
+        start: u32,
+        /// Number of addresses.
+        len: u32,
+    },
+}
+
+impl From<Vec<u64>> for LaneAddrs {
+    fn from(v: Vec<u64>) -> Self {
+        LaneAddrs::Owned(v.into_boxed_slice())
+    }
+}
+
+impl From<Box<[u64]>> for LaneAddrs {
+    fn from(b: Box<[u64]>) -> Self {
+        LaneAddrs::Owned(b)
+    }
+}
+
 /// A memory operation by one warp: up to 32 lane addresses.
 ///
 /// Addresses are stored densely; `mask` says which lanes participate.
@@ -106,7 +139,7 @@ pub struct MemOp {
     /// Active-lane mask.
     pub mask: u32,
     /// Canonical per-lane byte addresses (dense, one per set mask bit).
-    pub addrs: Box<[u64]>,
+    pub addrs: LaneAddrs,
     /// Attribution tag.
     pub tag: AccessTag,
 }
@@ -181,7 +214,7 @@ mod tests {
             is_store: false,
             width: 8,
             mask: 0b101,
-            addrs: vec![0, 64].into_boxed_slice(),
+            addrs: vec![0, 64].into(),
             tag: AccessTag::Field,
         };
         assert_eq!(m.lane_count(), 2);

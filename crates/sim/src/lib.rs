@@ -66,7 +66,7 @@ pub use config::GpuConfig;
 pub use engine::Gpu;
 pub use exec::{lanes_from_fn, lanes_none, run_kernel, Lanes, WarpCtx, WARP_SIZE};
 pub use hostperf::{HostPerfSnapshot, PoolTelemetry, SweepTelemetry, WorkerTelemetry};
-pub use instr::{AccessTag, InstrClass, MemOp, Op, Space, UNKNOWN_CALL_TARGET};
+pub use instr::{AccessTag, InstrClass, LaneAddrs, MemOp, Op, Space, UNKNOWN_CALL_TARGET};
 pub use pool::{CellFailure, CellHooks, CellObservation, SimPool};
 pub use probe::{
     recording_probe, CallSiteClass, CallSiteStats, CountingProbe, CycleAuditProbe,

@@ -296,7 +296,6 @@ where
     H: CellHooks,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
 
     // Work-stealing by atomic cursor: job runtimes vary wildly across a
     // sweep (scaled configs vs. tiny ones), so static chunking would
@@ -304,66 +303,81 @@ where
     let cursor = AtomicUsize::new(0);
     let finished = AtomicUsize::new(0);
     let total = inputs.len();
-    let slots: Vec<Mutex<Option<Result<T, CellFailure>>>> =
-        inputs.iter().map(|_| Mutex::new(None)).collect();
-    let worker_slots: Vec<Mutex<WorkerTelemetry>> = (0..jobs)
-        .map(|_| Mutex::new(WorkerTelemetry::default()))
-        .collect();
-    std::thread::scope(|scope| {
-        for (w, worker_slot) in worker_slots.iter().enumerate() {
-            let cursor = &cursor;
-            let finished = &finished;
-            let slots = &slots;
-            // Named threads so live span stacks (the stall watchdog's
-            // diagnostics) can say which pool worker is stuck.
-            std::thread::Builder::new()
-                .name(format!("pool-worker-{w}"))
-                .spawn_scoped(scope, move || {
-                    let mut telemetry = WorkerTelemetry::default();
-                    loop {
-                        let fetch_start = Instant::now();
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let grabbed = inputs.get(i);
-                        let queue_wait_ns = fetch_start.elapsed().as_nanos() as u64;
-                        telemetry.queue_wait_ns += queue_wait_ns;
-                        let Some(input) = grabbed else { break };
-                        hooks.started(i, w);
-                        let cell_start = Instant::now();
-                        let out = run_cell(f, i, input);
-                        let busy_ns = cell_start.elapsed().as_nanos() as u64;
-                        telemetry.busy_ns += busy_ns;
-                        telemetry.cells += 1;
-                        let panic = out.as_ref().err().map(|e| e.payload.clone());
-                        *slots[i].lock().expect("slot mutex") = Some(out);
-                        let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
-                        hooks.finished(
-                            &CellObservation {
-                                index: i,
-                                worker: w,
-                                queue_wait_ns,
-                                busy_ns,
-                                panic,
-                            },
-                            done,
-                            total,
-                        );
-                    }
-                    *worker_slot.lock().expect("worker telemetry mutex") = telemetry;
-                })
-                .expect("spawn pool worker");
+    // Each worker accumulates its (index, result) pairs locally and
+    // hands them back through its join handle, so the cursor and the
+    // `done` counter are the only shared words — no per-cell mutex
+    // round-trip on the result slots.
+    let (per_worker, workers) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                let cursor = &cursor;
+                let finished = &finished;
+                let f = &f;
+                // Named threads so live span stacks (the stall
+                // watchdog's diagnostics) can say which pool worker is
+                // stuck.
+                std::thread::Builder::new()
+                    .name(format!("pool-worker-{w}"))
+                    .spawn_scoped(scope, move || {
+                        let mut telemetry = WorkerTelemetry::default();
+                        let mut results: Vec<(usize, Result<T, CellFailure>)> = Vec::new();
+                        loop {
+                            let fetch_start = Instant::now();
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let grabbed = inputs.get(i);
+                            let queue_wait_ns = fetch_start.elapsed().as_nanos() as u64;
+                            telemetry.queue_wait_ns += queue_wait_ns;
+                            let Some(input) = grabbed else { break };
+                            hooks.started(i, w);
+                            let cell_start = Instant::now();
+                            let out = run_cell(f, i, input);
+                            let busy_ns = cell_start.elapsed().as_nanos() as u64;
+                            telemetry.busy_ns += busy_ns;
+                            telemetry.cells += 1;
+                            let panic = out.as_ref().err().map(|e| e.payload.clone());
+                            results.push((i, out));
+                            let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
+                            hooks.finished(
+                                &CellObservation {
+                                    index: i,
+                                    worker: w,
+                                    queue_wait_ns,
+                                    busy_ns,
+                                    panic,
+                                },
+                                done,
+                                total,
+                            );
+                        }
+                        (results, telemetry)
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        let mut per_worker = Vec::with_capacity(jobs);
+        let mut workers = Vec::with_capacity(jobs);
+        for handle in handles {
+            // A panic here is a bug in the hooks (cell panics are
+            // caught by `run_cell`); propagate it like the scope would.
+            let (results, telemetry) = handle.join().expect("pool worker panicked");
+            per_worker.push(results);
+            workers.push(telemetry);
         }
+        (per_worker, workers)
     });
+    let mut slots: Vec<Option<Result<T, CellFailure>>> = (0..total).map(|_| None).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "cell {i} ran twice");
+        slots[i] = Some(r);
+    }
     let out = slots
         .into_iter()
-        .map(|s| s.into_inner().expect("slot mutex").expect("every job ran"))
+        .map(|s| s.expect("every job ran"))
         .collect();
     let telemetry = PoolTelemetry {
         wall_ns: start.elapsed().as_nanos() as u64,
         jobs,
-        workers: worker_slots
-            .into_iter()
-            .map(|s| s.into_inner().expect("worker telemetry mutex"))
-            .collect(),
+        workers,
     };
     (out, telemetry)
 }

@@ -97,6 +97,14 @@ impl StallCause {
 /// hook's payloads over a run reproduces the corresponding counter
 /// bit-for-bit (this is what [`CountingProbe`] does).
 pub trait Probe: Send {
+    /// Statically `true` when every hook of this probe type is a no-op
+    /// ([`NopProbe`] and compositions of it). The engine's fast-forward
+    /// path uses this to elide the per-skipped-epoch hook replay that
+    /// keeps instrumented runs byte-identical to epoch-tick runs: when
+    /// the hooks provably observe nothing, skipping the calls changes
+    /// nothing. Leave this `false` for any probe that records events.
+    const IS_NOP: bool = false;
+
     /// A new epoch begins on this SM at `cycle` (idle stretches are
     /// skipped, so consecutive calls may jump forward).
     #[inline(always)]
@@ -195,11 +203,16 @@ pub trait Probe: Send {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NopProbe;
 
-impl Probe for NopProbe {}
+impl Probe for NopProbe {
+    const IS_NOP: bool = true;
+}
 
 /// `Option<P>` is a probe that forwards when `Some` — the building
 /// block for runtime-configurable probe stacks.
 impl<P: Probe> Probe for Option<P> {
+    // Forwarding to a no-op is still a no-op, whether Some or None.
+    const IS_NOP: bool = P::IS_NOP;
+
     #[inline(always)]
     fn epoch(&mut self, cycle: u64) {
         if let Some(p) = self {
@@ -297,6 +310,8 @@ impl<P: Probe> Probe for Option<P> {
 /// A pair of probes fires both halves, in order — composition without a
 /// bespoke combined type.
 impl<A: Probe, B: Probe> Probe for (A, B) {
+    const IS_NOP: bool = A::IS_NOP && B::IS_NOP;
+
     #[inline(always)]
     fn epoch(&mut self, cycle: u64) {
         self.0.epoch(cycle);

@@ -1,11 +1,15 @@
 //! Kernel traces: the interface between functional execution and timing.
 
-use crate::instr::{InstrClass, Op};
+use crate::instr::{AccessTag, InstrClass, LaneAddrs, MemOp, Op, Space};
 
 /// The instruction stream of a single warp.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct WarpTrace {
     ops: Vec<Op>,
+    /// Shared arena for [`LaneAddrs::Interned`] spans: one flat buffer
+    /// instead of one boxed slice per memory op, so recording a trace
+    /// allocates O(log n) times instead of O(ops).
+    lane_arena: Vec<u64>,
     vfunc_calls: u64,
 }
 
@@ -24,6 +28,44 @@ impl WarpTrace {
             }
         }
         self.ops.push(op);
+    }
+
+    /// Appends a memory op whose dense lane addresses come from
+    /// `lane_addrs` (in mask-bit order), interning them straight into
+    /// the warp's lane arena — the allocation-free path the functional
+    /// pass records through.
+    pub fn push_mem(
+        &mut self,
+        space: Space,
+        is_store: bool,
+        width: u8,
+        mask: u32,
+        tag: AccessTag,
+        lane_addrs: impl IntoIterator<Item = u64>,
+    ) {
+        let start = self.lane_arena.len() as u32;
+        self.lane_arena.extend(lane_addrs);
+        let len = self.lane_arena.len() as u32 - start;
+        debug_assert_eq!(len, mask.count_ones(), "one dense address per mask bit");
+        self.ops.push(Op::Mem(MemOp {
+            space,
+            is_store,
+            width,
+            mask,
+            addrs: LaneAddrs::Interned { start, len },
+            tag,
+        }));
+    }
+
+    /// Resolves a memory op's dense lane addresses. Interned ops must
+    /// belong to this warp trace.
+    pub fn lanes<'a>(&'a self, m: &'a MemOp) -> &'a [u64] {
+        match &m.addrs {
+            LaneAddrs::Owned(b) => b,
+            LaneAddrs::Interned { start, len } => {
+                &self.lane_arena[*start as usize..(*start + *len) as usize]
+            }
+        }
     }
 
     /// Records that one dynamic virtual-function call site executed
@@ -89,7 +131,7 @@ impl KernelTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instr::{AccessTag, MemOp, Space};
+    use crate::instr::{AccessTag, LaneAddrs, MemOp, Space};
 
     #[test]
     fn alu_fusion() {
@@ -122,7 +164,7 @@ mod tests {
             is_store: false,
             width: 8,
             mask: 1,
-            addrs: vec![0].into_boxed_slice(),
+            addrs: vec![0].into(),
             tag: AccessTag::Field,
         }));
         t.push(Op::IndirectCall { target: 0 });
@@ -130,6 +172,29 @@ mod tests {
         assert_eq!(t.dyn_instrs_of(InstrClass::Compute), 4);
         assert_eq!(t.dyn_instrs_of(InstrClass::Mem), 1);
         assert_eq!(t.dyn_instrs_of(InstrClass::Ctrl), 2);
+    }
+
+    #[test]
+    fn push_mem_interns_into_arena() {
+        let mut t = WarpTrace::new();
+        t.push_mem(Space::Global, false, 8, 0b101, AccessTag::Field, [128, 256]);
+        t.push_mem(Space::Global, true, 4, 0b1, AccessTag::Other, [512]);
+        let [Op::Mem(a), Op::Mem(b)] = t.ops() else {
+            panic!("expected two mem ops");
+        };
+        assert!(matches!(a.addrs, LaneAddrs::Interned { start: 0, len: 2 }));
+        assert_eq!(t.lanes(a), &[128, 256]);
+        assert_eq!(t.lanes(b), &[512]);
+        // Owned ops resolve through the same accessor.
+        let owned = MemOp {
+            space: Space::Global,
+            is_store: false,
+            width: 8,
+            mask: 0b11,
+            addrs: vec![8, 16].into(),
+            tag: AccessTag::Field,
+        };
+        assert_eq!(t.lanes(&owned), &[8, 16]);
     }
 
     #[test]

@@ -19,7 +19,7 @@ fn mem_op(addrs: Vec<u64>, tag: AccessTag) -> Op {
         is_store: false,
         width: 8,
         mask,
-        addrs: addrs.into_boxed_slice(),
+        addrs: addrs.into(),
         tag,
     })
 }
@@ -258,7 +258,7 @@ fn arb_kernel(rng: &mut Rng) -> KernelTrace {
                         is_store: true,
                         width: 8,
                         mask: mask.max(1),
-                        addrs: addrs.into_boxed_slice(),
+                        addrs: addrs.into(),
                         tag: AccessTag::Field,
                     }));
                 }
@@ -270,7 +270,7 @@ fn arb_kernel(rng: &mut Rng) -> KernelTrace {
                         is_store: false,
                         width: 8,
                         mask: mask.max(1),
-                        addrs: addrs.into_boxed_slice(),
+                        addrs: addrs.into(),
                         tag: AccessTag::VfuncPtr,
                     }));
                 }
@@ -398,6 +398,75 @@ fn cycle_audit_reconciles_and_is_thread_count_invariant() {
         for threads in [2usize, 5] {
             let parallel = audit_of(Gpu::new(cfg.clone()).with_threads(threads), &kernel, &plain);
             assert_eq!(parallel, serial, "audit diverged at {threads} threads");
+        }
+    });
+}
+
+/// The engine's whole determinism contract in property form:
+/// [`Gpu::execute`] ≡ [`Gpu::execute_serial`] over random programs,
+/// with fast-forward on and off, at 1/2/8 host threads. All three
+/// determinism-checked artifacts must agree — [`Stats`], the merged
+/// attribution report and the merged cycle-audit report. The structs
+/// compared here are exactly what the harness serializes, and the
+/// serializer is deterministic, so struct equality is artifact
+/// byte-equality.
+#[test]
+fn execute_matches_execute_serial_over_ff_and_threads() {
+    use gvf_sim::{
+        AttribReport, AttributionProbe, CycleAuditProbe, CycleAuditReport, Gpu, KernelTrace,
+    };
+
+    fn artifacts(
+        gpu: &Gpu,
+        serial: bool,
+        kernel: &KernelTrace,
+    ) -> (Stats, AttribReport, CycleAuditReport) {
+        let (stats, aprobes) = if serial {
+            gpu.execute_serial_probed(kernel, |_| AttributionProbe::new())
+        } else {
+            gpu.execute_probed(kernel, |_| AttributionProbe::new())
+        };
+        let mut attrib = AttribReport::default();
+        for p in aprobes {
+            attrib.merge(p.report());
+        }
+        let (s2, cprobes) = if serial {
+            gpu.execute_serial_probed(kernel, |_| CycleAuditProbe::new())
+        } else {
+            gpu.execute_probed(kernel, |_| CycleAuditProbe::new())
+        };
+        assert_eq!(stats, s2, "Stats differ across probe kinds");
+        let mut audit = CycleAuditReport {
+            sms: cprobes.len() as u64,
+            audited_cycles: s2.cycles,
+            ..CycleAuditReport::default()
+        };
+        for p in cprobes {
+            p.finalize_into(s2.cycles, &mut audit);
+        }
+        (stats, attrib, audit)
+    }
+
+    props!(8, |rng| {
+        let kernel = arb_kernel(rng);
+        let cfg = GpuConfig::small();
+        let reference = artifacts(&Gpu::new(cfg.clone()), true, &kernel);
+        for ff in [true, false] {
+            for threads in [1usize, 2, 8] {
+                let gpu = Gpu::new(cfg.clone())
+                    .with_threads(threads)
+                    .with_fast_forward(ff);
+                let parallel = artifacts(&gpu, false, &kernel);
+                assert_eq!(
+                    parallel, reference,
+                    "execute diverged from serial reference (ff={ff}, threads={threads})"
+                );
+                let serial = artifacts(&gpu, true, &kernel);
+                assert_eq!(
+                    serial, reference,
+                    "execute_serial diverged (ff={ff}, threads={threads})"
+                );
+            }
         }
     });
 }

@@ -158,6 +158,12 @@ pub struct WorkloadConfig {
     /// `0` = auto). Purely a wall-clock knob: simulated results are
     /// bit-identical for any value (the engine's determinism contract).
     pub engine_threads: usize,
+    /// Per-SM event-driven fast-forward in the timing engine (on by
+    /// default). Like `engine_threads`, purely a wall-clock knob:
+    /// stats, probe streams and artifacts are bit-identical either
+    /// way. Off (`--no-fast-forward`) forces plain epoch ticking so CI
+    /// can A/B the two paths.
+    pub fast_forward: bool,
     /// Observability recording for this run ([`ProbeSpec::OFF`] by
     /// default, which keeps the engine on the zero-overhead
     /// `NopProbe` path). Probes observe without feeding back into
@@ -182,6 +188,7 @@ impl WorkloadConfig {
             tag_budget: None,
             device_memory_bytes: 4 << 30,
             engine_threads: 1,
+            fast_forward: true,
             probe: ProbeSpec::OFF,
         }
     }
@@ -201,6 +208,7 @@ impl WorkloadConfig {
             tag_budget: None,
             device_memory_bytes: 512 << 20,
             engine_threads: 1,
+            fast_forward: true,
             probe: ProbeSpec::OFF,
         }
     }
